@@ -1,0 +1,68 @@
+//! E1 — the Figure 1 taxonomy as measurements: each predicate class is
+//! detected with its best algorithm on the same computation family, so
+//! the relative costs exhibit the tractability frontier (polynomial
+//! classes scale smoothly; the exact baseline explodes and is only run
+//! on the smallest size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpd::conjunctive::possibly_conjunctive;
+use gpd::enumerate::possibly_by_enumeration;
+use gpd::relational::{possibly_exact_sum, possibly_sum};
+use gpd::singular::possibly_singular_chains;
+use gpd::symmetric::{possibly_symmetric, SymmetricPredicate};
+use gpd::Relop;
+use gpd_bench::{boolean_workload, singular_workload, unit_sum_workload};
+use gpd_computation::ProcessId;
+use std::hint::black_box;
+
+fn taxonomy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_taxonomy");
+    for &n in &[4usize, 8, 16] {
+        let m = 50;
+        let (comp, bvar) = boolean_workload(100 + n as u64, n, m);
+        let processes: Vec<ProcessId> = (0..n).map(ProcessId::new).collect();
+
+        group.bench_with_input(BenchmarkId::new("conjunctive", n), &n, |b, _| {
+            b.iter(|| black_box(possibly_conjunctive(&comp, &bvar, &processes)))
+        });
+        group.bench_with_input(BenchmarkId::new("definitely_conjunctive", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(gpd::conjunctive::definitely_conjunctive(
+                    &comp, &bvar, &processes,
+                ))
+            })
+        });
+
+        let (scomp, svar, spred) = singular_workload(200 + n as u64, n / 2, 2, m, 0.4);
+        group.bench_with_input(BenchmarkId::new("singular_2cnf_chains", n), &n, |b, _| {
+            b.iter(|| black_box(possibly_singular_chains(&scomp, &svar, &spred)))
+        });
+
+        let (icomp, ivar) = unit_sum_workload(300 + n as u64, n, m);
+        group.bench_with_input(BenchmarkId::new("relational_ge", n), &n, |b, _| {
+            b.iter(|| black_box(possibly_sum(&icomp, &ivar, Relop::Ge, 2)))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_sum", n), &n, |b, _| {
+            b.iter(|| black_box(possibly_exact_sum(&icomp, &ivar, 1).unwrap()))
+        });
+
+        let xor = SymmetricPredicate::exclusive_or(n as u32);
+        group.bench_with_input(BenchmarkId::new("symmetric_xor", n), &n, |b, _| {
+            b.iter(|| black_box(possibly_symmetric(&comp, &bvar, &xor)))
+        });
+    }
+
+    // The exact baseline only fits at toy scale — this is the point.
+    let (comp, bvar) = boolean_workload(999, 4, 6);
+    group.bench_function("baseline_enumeration_n4_m6", |b| {
+        b.iter(|| {
+            black_box(possibly_by_enumeration(&comp, |cut| {
+                (0..4).all(|p| bvar.value_at(cut, p))
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, taxonomy);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E2 — the §2 model (Figure 2): the cost of the consistent-cut lattice
+//! itself. Lattice size grows exponentially with the number of
+//! processes; order queries via vector clocks stay O(1). This is the
+//! state-explosion backdrop every later experiment plays against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpd_bench::standard_computation;
+use gpd_computation::fixtures::figure2;
+use std::hint::black_box;
+
+fn lattice_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_lattice_enumeration");
+    group.sample_size(10);
+    for &n in &[2usize, 3, 4, 5] {
+        let comp = standard_computation(20 + n as u64, n, 6);
+        group.bench_with_input(BenchmarkId::new("count_cuts", n), &n, |b, _| {
+            b.iter(|| black_box(comp.consistent_cuts().count()))
+        });
+    }
+    group.finish();
+}
+
+fn order_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_order_queries");
+    let comp = standard_computation(33, 8, 100);
+    let events: Vec<_> = comp.events().collect();
+    group.bench_function("happened_before_800_events", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &e in events.iter().step_by(7) {
+                for &f in events.iter().step_by(11) {
+                    acc += usize::from(comp.happened_before(e, f));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("pairwise_consistency_800_events", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &e in events.iter().step_by(7) {
+                for &f in events.iter().step_by(11) {
+                    acc += usize::from(comp.consistent(e, f));
+                }
+            }
+            black_box(acc)
+        })
+    });
+
+    let fig = figure2();
+    group.bench_function("figure2_consistency", |b| {
+        b.iter(|| {
+            black_box((
+                fig.computation.consistent(fig.e, fig.f),
+                fig.computation.consistent(fig.g, fig.h),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, lattice_enumeration, order_queries);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E3 — Theorem 1 in motion: building the SAT → singular-2-CNF gadget is
+//! polynomial, while *deciding* the resulting detection instance with the
+//! general algorithms inherits SAT's exponential worst case (hard-density
+//! random formulas). DPLL on the original formula is benchmarked
+//! alongside as the problem's native difficulty.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpd::hardness::reduce_sat;
+use gpd::singular::{possibly_singular_chains, possibly_singular_subsets};
+use gpd_bench::hard_formula;
+use gpd_sat::solve;
+use std::hint::black_box;
+
+fn reduction_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_reduction_construction");
+    for &vars in &[10u32, 20, 40] {
+        let formula = hard_formula(7, vars);
+        group.bench_with_input(BenchmarkId::new("reduce_sat", vars), &vars, |b, _| {
+            b.iter(|| black_box(reduce_sat(&formula).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn detection_on_gadgets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_detection_on_gadgets");
+    group.sample_size(10);
+    for &vars in &[4u32, 8, 12] {
+        // Small clause counts: the detection side is exponential in the
+        // number of clauses (the scan-combination exponent).
+        let gadget = gpd_bench::small_sat_gadget(7, vars, vars as usize);
+        let formula = gpd_bench::small_formula(7, vars, vars as usize);
+        group.bench_with_input(BenchmarkId::new("dpll", vars), &vars, |b, _| {
+            b.iter(|| black_box(solve(&formula).is_some()))
+        });
+        group.bench_with_input(BenchmarkId::new("chains", vars), &vars, |b, _| {
+            b.iter(|| {
+                black_box(
+                    possibly_singular_chains(
+                        &gadget.computation,
+                        &gadget.variable,
+                        &gadget.predicate,
+                    )
+                    .is_some(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("subsets", vars), &vars, |b, _| {
+            b.iter(|| {
+                black_box(
+                    possibly_singular_subsets(
+                        &gadget.computation,
+                        &gadget.variable,
+                        &gadget.predicate,
+                    )
+                    .is_some(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reduction_cost, detection_on_gadgets);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E4 — the §3.2 special case: on receive-ordered computations the
+//! ordered scan is a single polynomial pass. Sweep events-per-process
+//! and clause count; compare against the chain-cover general algorithm
+//! and (at toy size) the exact lattice baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpd::enumerate::possibly_by_enumeration;
+use gpd::singular::{possibly_singular_chains, possibly_singular_ordered};
+use gpd_bench::ordered_singular_workload;
+use std::hint::black_box;
+
+fn scaling_in_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_events_scaling");
+    for &events in &[10usize, 40, 160, 640] {
+        let (comp, var, phi) = ordered_singular_workload(11, 2, 3, events, 0.3);
+        group.bench_with_input(BenchmarkId::new("ordered_scan", events), &events, |b, _| {
+            b.iter(|| black_box(possibly_singular_ordered(&comp, &var, &phi).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("chain_cover", events), &events, |b, _| {
+            b.iter(|| black_box(possibly_singular_chains(&comp, &var, &phi)))
+        });
+    }
+    group.finish();
+}
+
+fn scaling_in_clauses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_clause_scaling");
+    for &groups in &[2usize, 4, 8] {
+        let (comp, var, phi) = ordered_singular_workload(13, groups, 3, 40, 0.3);
+        group.bench_with_input(BenchmarkId::new("ordered_scan", groups), &groups, |b, _| {
+            b.iter(|| black_box(possibly_singular_ordered(&comp, &var, &phi).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("chain_cover", groups), &groups, |b, _| {
+            b.iter(|| black_box(possibly_singular_chains(&comp, &var, &phi)))
+        });
+    }
+    group.finish();
+}
+
+fn against_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_vs_baseline_toy");
+    group.sample_size(10);
+    let (comp, var, phi) = ordered_singular_workload(17, 2, 2, 4, 0.3);
+    group.bench_function("ordered_scan", |b| {
+        b.iter(|| black_box(possibly_singular_ordered(&comp, &var, &phi).unwrap()))
+    });
+    group.bench_function("lattice_enumeration", |b| {
+        b.iter(|| black_box(possibly_by_enumeration(&comp, |cut| phi.eval(&var, cut))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, scaling_in_events, scaling_in_clauses, against_baseline);
+criterion_main!(benches);

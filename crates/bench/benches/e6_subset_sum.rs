@@ -1,0 +1,55 @@
+//! E6 — Theorem 2: with unbounded increments, exact-sum detection *is*
+//! subset sum. Exact decision on the gadget (dynamic programming /
+//! enumeration) grows exponentially in the element count, while the
+//! inequality questions on the very same gadget stay polynomial via the
+//! flow algorithm — the sharp edge the ±1 restriction removes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpd::enumerate::possibly_by_enumeration;
+use gpd::hardness::{brute_force_subset_sum, reduce_subset_sum};
+use gpd::relational::{max_sum_cut, min_sum_cut};
+use gpd_bench::subset_sum_instance;
+use std::hint::black_box;
+
+fn exact_vs_inequality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_exact_vs_inequality");
+    group.sample_size(10);
+    for &n in &[10usize, 14, 18, 22] {
+        let (sizes, target) = subset_sum_instance(21, n);
+        let gadget = reduce_subset_sum(&sizes, target);
+        group.bench_with_input(BenchmarkId::new("exact_brute_force", n), &n, |b, _| {
+            b.iter(|| black_box(brute_force_subset_sum(&sizes, target).is_some()))
+        });
+        group.bench_with_input(BenchmarkId::new("inequality_flow", n), &n, |b, _| {
+            b.iter(|| {
+                black_box((
+                    max_sum_cut(&gadget.computation, &gadget.variable),
+                    min_sum_cut(&gadget.computation, &gadget.variable),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn lattice_view_of_subset_sum(c: &mut Criterion) {
+    // The gadget's lattice is the subset lattice: enumeration *is* the
+    // 2^n brute force, measured directly at small n.
+    let mut group = c.benchmark_group("e6_lattice_is_powerset");
+    group.sample_size(10);
+    for &n in &[8usize, 12, 16] {
+        let (sizes, target) = subset_sum_instance(22, n);
+        let gadget = reduce_subset_sum(&sizes, target);
+        group.bench_with_input(BenchmarkId::new("enumerate_cuts", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(possibly_by_enumeration(&gadget.computation, |cut| {
+                    gadget.variable.sum_at(cut) == gadget.target
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, exact_vs_inequality, lattice_view_of_subset_sum);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E7 — Theorems 4–7: polynomial `Possibly(Σ = K)` for ±1-step
+//! variables. Sweep processes and events (the flow + walk pipeline
+//! should scale near-linearly in total events), compare with lattice
+//! enumeration at toy sizes, and measure `Definitely(Σ = K)` with its
+//! endpoint short-circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpd::enumerate::possibly_by_enumeration;
+use gpd::relational::{definitely_exact_sum, possibly_exact_sum};
+use gpd_bench::unit_sum_workload;
+use std::hint::black_box;
+
+fn possibly_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_possibly_scaling");
+    group.sample_size(10);
+    for &(n, m) in &[(4usize, 50usize), (8, 100), (16, 200), (32, 400)] {
+        let (comp, var) = unit_sum_workload(40 + n as u64, n, m);
+        let id = format!("n{n}_m{m}");
+        group.bench_with_input(BenchmarkId::new("possibly_exact", &id), &n, |b, _| {
+            b.iter(|| black_box(possibly_exact_sum(&comp, &var, 2).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn against_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_vs_enumeration_toy");
+    group.sample_size(10);
+    for &m in &[3usize, 5, 7] {
+        let (comp, var) = unit_sum_workload(50, 4, m);
+        group.bench_with_input(BenchmarkId::new("possibly_exact", m), &m, |b, _| {
+            b.iter(|| black_box(possibly_exact_sum(&comp, &var, 1).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("enumeration", m), &m, |b, _| {
+            b.iter(|| black_box(possibly_by_enumeration(&comp, |c| var.sum_at(c) == 1)))
+        });
+    }
+    group.finish();
+}
+
+fn definitely_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_definitely");
+    group.sample_size(10);
+    // Small computations: the Definitely primitives are exact (lattice)
+    // with endpoint short-circuits; K = 0 usually short-circuits at the
+    // initial cut, larger K may need the search.
+    let (comp, var) = unit_sum_workload(60, 4, 6);
+    for &k in &[0i64, 1, 2] {
+        group.bench_with_input(BenchmarkId::new("definitely_exact", k), &k, |b, _| {
+            b.iter(|| black_box(definitely_exact_sum(&comp, &var, k).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, possibly_scaling, against_enumeration, definitely_cost);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E8 — §4.3 applications: symmetric predicates are disjunctions of
+//! exact counts, each answered by Theorem 7. The per-question cost is a
+//! constant number of flow computations regardless of how many counts the
+//! predicate accepts (the min/max interval prunes the disjunction), so
+//! all the named predicates price alike; measured on simulated protocol
+//! traces as well as random computations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpd::symmetric::{possibly_symmetric, SymmetricPredicate};
+use gpd_bench::boolean_workload;
+use gpd_sim::protocols::{TokenRing, Voter};
+use gpd_sim::{SimConfig, Simulation};
+use std::hint::black_box;
+
+fn named_predicates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_named_predicates");
+    for &n in &[8usize, 32, 64] {
+        let (comp, var) = boolean_workload(70 + n as u64, n, 50);
+        let questions = [
+            ("xor", SymmetricPredicate::exclusive_or(n as u32)),
+            ("not_all_equal", SymmetricPredicate::not_all_equal(n as u32)),
+            (
+                "no_simple_majority",
+                SymmetricPredicate::absence_of_simple_majority(n as u32),
+            ),
+            (
+                "no_two_thirds",
+                SymmetricPredicate::absence_of_two_thirds_majority(n as u32),
+            ),
+            ("exactly_k", SymmetricPredicate::exactly(n as u32 / 2)),
+        ];
+        for (name, phi) in questions {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &n,
+                |b, _| b.iter(|| black_box(possibly_symmetric(&comp, &var, &phi))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn on_protocol_traces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_protocol_traces");
+    let voting = Simulation::new(Voter::electorate(10, 0.5), SimConfig::new(81)).run();
+    let voted_yes = voting.bool_var("voted_yes").unwrap().clone();
+    let majority = SymmetricPredicate::absence_of_simple_majority(10);
+    group.bench_function("voting_no_majority", |b| {
+        b.iter(|| black_box(possibly_symmetric(&voting.computation, &voted_yes, &majority)))
+    });
+
+    let ring = Simulation::new(TokenRing::ring(12, 4), SimConfig::new(82)).run();
+    let has_token = ring.bool_var("has_token").unwrap().clone();
+    let exactly4 = SymmetricPredicate::exactly(4);
+    group.bench_function("ring_exactly_4_holders", |b| {
+        b.iter(|| black_box(possibly_symmetric(&ring.computation, &has_token, &exactly4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, named_predicates, on_protocol_traces);
+criterion_main!(benches);

@@ -1,0 +1,682 @@
+//! Subcommand implementations.
+
+use std::collections::HashMap;
+
+use gpd::conjunctive::{definitely_conjunctive, possibly_conjunctive};
+use gpd::enumerate::{definitely_by_enumeration, possibly_by_enumeration};
+use gpd::relational::{definitely_exact_sum, definitely_sum, possibly_exact_sum, possibly_sum};
+use gpd::singular::possibly_singular;
+use gpd::symmetric::{definitely_symmetric, possibly_symmetric, SymmetricPredicate};
+use gpd::{CnfClause, Relop, SingularCnf};
+use gpd_computation::trace::{read_trace, write_trace, Trace};
+use gpd_computation::{to_dot, BoolVariable, Computation, Cut, ProcessId};
+use gpd_sim::protocols::{BankBranch, ChangRoberts, RicartAgrawala, TokenRing, Voter};
+use gpd_sim::{Process, SimConfig, SimTrace, Simulation};
+
+use crate::predicate::{parse, CountSpec, LitSpec, PredicateSpec, SumOp};
+use crate::CliError;
+
+/// Above this event count, exhaustive fallbacks require `--enumerate`.
+const ENUMERATION_GUARD: usize = 64;
+
+/// Parsed flags: `--name value` pairs, bare `--switch`es, and positionals.
+struct Flags {
+    positional: Vec<String>,
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+fn parse_flags(args: &[String], value_flags: &[&str], switch_flags: &[&str]) -> Result<Flags, CliError> {
+    let mut flags = Flags {
+        positional: Vec::new(),
+        values: HashMap::new(),
+        switches: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--").or_else(|| arg.strip_prefix('-')) {
+            if value_flags.contains(&name) {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--{name} needs a value")))?;
+                flags.values.insert(name.to_string(), value.clone());
+            } else if switch_flags.contains(&name) {
+                flags.switches.push(name.to_string());
+            } else {
+                return Err(CliError::Usage(format!("unknown flag --{name}")));
+            }
+        } else {
+            flags.positional.push(arg.clone());
+        }
+    }
+    Ok(flags)
+}
+
+impl Flags {
+    fn get_usize(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects a number, got {v:?}"))),
+        }
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects a number, got {v:?}"))),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    read_trace(&text).map_err(|e| CliError::Trace(e.to_string()))
+}
+
+fn trace_text(trace: &SimTrace) -> String {
+    let bools: Vec<(&str, &BoolVariable)> = trace
+        .bool_vars
+        .iter()
+        .map(|(n, v)| (n.as_str(), v))
+        .collect();
+    let ints: Vec<(&str, &gpd_computation::IntVariable)> = trace
+        .int_vars
+        .iter()
+        .map(|(n, v)| (n.as_str(), v))
+        .collect();
+    write_trace(&trace.computation, &bools, &ints)
+}
+
+/// `gpd simulate <protocol> [--n N] [--seed S] [--tokens K] [--rounds R] [--buggy] [-o FILE]`
+pub fn simulate(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, &["n", "seed", "tokens", "rounds", "o"], &["buggy"])?;
+    let [protocol] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(
+            "simulate <token-ring|mutex|election|voting|bank|2pc> [flags]".into(),
+        ));
+    };
+    let n = flags.get_usize("n", 4)?;
+    let seed = flags.get_u64("seed", 0)?;
+    let config = SimConfig::new(seed);
+    let buggy = flags.has("buggy");
+
+    fn run_protocol<P: Process>(processes: Vec<P>, config: SimConfig) -> SimTrace {
+        Simulation::new(processes, config).run()
+    }
+
+    let trace = match protocol.as_str() {
+        "token-ring" => {
+            let tokens = flags.get_usize("tokens", (n / 2).max(1))?;
+            if tokens > n {
+                return Err(CliError::Usage(format!("--tokens {tokens} exceeds --n {n}")));
+            }
+            run_protocol(
+                TokenRing::ring_with_bug(n, tokens, if buggy { 2 } else { 0 }),
+                config,
+            )
+        }
+        "mutex" => {
+            let rounds = flags.get_usize("rounds", 2)? as u32;
+            run_protocol(RicartAgrawala::group_with_bug(n, rounds, buggy), config)
+        }
+        "election" => {
+            // Distinct pseudo-random uids, deterministic in the seed.
+            let uids: Vec<u64> = (0..n as u64).map(|i| i * 1000 + (seed + i) % 997).collect();
+            run_protocol(ChangRoberts::ring(&uids), config)
+        }
+        "voting" => run_protocol(Voter::electorate(n, 0.5), config),
+        "bank" => run_protocol(BankBranch::network(n, 100, 3, 50), config),
+        "2pc" => run_protocol(
+            gpd_sim::protocols::TwoPhaseCommit::transaction(
+                n.max(2),
+                if buggy { 0.5 } else { 0.0 },
+            ),
+            config,
+        ),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown protocol {other:?} (token-ring|mutex|election|voting|bank|2pc)"
+            )))
+        }
+    };
+
+    let text = trace_text(&trace);
+    match flags.values.get("o") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+            Ok(format!(
+                "wrote {} events / {} messages to {path}",
+                trace.computation.event_count(),
+                trace.computation.messages().len()
+            ))
+        }
+        None => Ok(text),
+    }
+}
+
+/// `gpd stats <trace> [--cuts]`
+pub fn stats(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, &[], &["cuts"])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage("stats <trace> [--cuts]".into()));
+    };
+    let trace = load_trace(path)?;
+    let comp = &trace.computation;
+    let mut out = format!(
+        "processes: {}\nevents: {}\nmessages: {}\n",
+        comp.process_count(),
+        comp.event_count(),
+        comp.messages().len()
+    );
+    for p in 0..comp.process_count() {
+        out.push_str(&format!("  p{p}: {} events\n", comp.events_on(p)));
+    }
+    let st = gpd_computation::stats(comp);
+    out.push_str(&format!(
+        "width (max concurrent events): {}\nheight (longest causal chain): {}\n",
+        st.width, st.height
+    ));
+    if !trace.bool_vars.is_empty() {
+        let names: Vec<&str> = trace.bool_vars.iter().map(|(n, _)| n.as_str()).collect();
+        out.push_str(&format!("bool variables: {}\n", names.join(", ")));
+    }
+    if !trace.int_vars.is_empty() {
+        let names: Vec<&str> = trace.int_vars.iter().map(|(n, _)| n.as_str()).collect();
+        out.push_str(&format!("int variables: {}\n", names.join(", ")));
+    }
+    if flags.has("cuts") {
+        if comp.event_count() > ENUMERATION_GUARD {
+            return Err(CliError::Intractable(format!(
+                "counting cuts is exponential; refusing above {ENUMERATION_GUARD} events ({} here)",
+                comp.event_count()
+            )));
+        }
+        out.push_str(&format!(
+            "consistent cuts: {}\n",
+            comp.consistent_cuts().count()
+        ));
+    }
+    Ok(out)
+}
+
+/// `gpd lattice <trace> [--enumerate]`: the per-level consistent-cut
+/// profile — how wide the state space is at each logical step.
+pub fn lattice(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, &[], &["enumerate"])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage("lattice <trace> [--enumerate]".into()));
+    };
+    let trace = load_trace(path)?;
+    let comp = &trace.computation;
+    guard_enumeration(comp, flags.has("enumerate"), "the lattice profile")?;
+    let profile = gpd_computation::lattice_profile(comp);
+    let total: usize = profile.iter().sum();
+    let widest = profile.iter().copied().max().unwrap_or(0).max(1);
+    let mut out = format!("consistent cuts: {total}\n");
+    for (level, &count) in profile.iter().enumerate() {
+        let bar = "#".repeat((count * 40).div_ceil(widest));
+        out.push_str(&format!("{level:>4} | {count:>8} {bar}\n"));
+    }
+    Ok(out)
+}
+
+/// `gpd dot <trace> [--var NAME]`
+pub fn dot(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, &["var"], &[])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage("dot <trace> [--var NAME]".into()));
+    };
+    let trace = load_trace(path)?;
+    let var = match flags.values.get("var") {
+        None => None,
+        Some(name) => Some(find_bool(&trace, name)?),
+    };
+    Ok(to_dot(&trace.computation, var))
+}
+
+fn find_bool<'a>(trace: &'a Trace, name: &str) -> Result<&'a BoolVariable, CliError> {
+    trace
+        .bool_vars
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| {
+            let known: Vec<&str> = trace.bool_vars.iter().map(|(n, _)| n.as_str()).collect();
+            CliError::Trace(format!(
+                "no boolean variable {name:?} (known: {})",
+                known.join(", ")
+            ))
+        })
+}
+
+fn find_int<'a>(trace: &'a Trace, name: &str) -> Result<&'a gpd_computation::IntVariable, CliError> {
+    trace
+        .int_vars
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| {
+            let known: Vec<&str> = trace.int_vars.iter().map(|(n, _)| n.as_str()).collect();
+            CliError::Trace(format!(
+                "no integer variable {name:?} (known: {})",
+                known.join(", ")
+            ))
+        })
+}
+
+/// Combines possibly differently-named literals into one per-process
+/// boolean variable whose value *is the literal's truth* — detection then
+/// only sees positive literals.
+fn literal_truth_variable(trace: &Trace, literals: &[LitSpec]) -> Result<BoolVariable, CliError> {
+    let comp = &trace.computation;
+    let mut tracks: Vec<Vec<bool>> = (0..comp.process_count())
+        .map(|p| vec![false; comp.events_on(p) + 1])
+        .collect();
+    let mut used = vec![false; comp.process_count()];
+    for lit in literals {
+        if lit.process >= comp.process_count() {
+            return Err(CliError::Trace(format!(
+                "process {} out of range ({} processes)",
+                lit.process,
+                comp.process_count()
+            )));
+        }
+        if std::mem::replace(&mut used[lit.process], true) {
+            return Err(CliError::Parse(format!(
+                "process {} appears in two literals; one literal per process",
+                lit.process
+            )));
+        }
+        let var = find_bool(trace, &lit.name)?;
+        tracks[lit.process] = var.tracks()[lit.process]
+            .iter()
+            .map(|&v| v == lit.positive)
+            .collect();
+    }
+    Ok(BoolVariable::new(comp, tracks))
+}
+
+fn describe_cut(_comp: &Computation, cut: &Cut) -> String {
+    format!("witness cut: {:?}", cut.frontier())
+}
+
+fn guard_enumeration(comp: &Computation, enumerate: bool, what: &str) -> Result<(), CliError> {
+    if !enumerate && comp.event_count() > ENUMERATION_GUARD {
+        return Err(CliError::Intractable(format!(
+            "{what} needs exhaustive enumeration (exponential); pass --enumerate to force it \
+             ({} events here, guard is {ENUMERATION_GUARD})",
+            comp.event_count()
+        )));
+    }
+    Ok(())
+}
+
+/// `gpd detect <trace> --pred "EXPR" [--definitely] [--enumerate]`
+pub fn detect(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(args, &["pred"], &["definitely", "enumerate"])?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(
+            "detect <trace> --pred \"EXPR\" [--definitely] [--enumerate]".into(),
+        ));
+    };
+    let expr = flags
+        .values
+        .get("pred")
+        .ok_or_else(|| CliError::Usage("detect needs --pred \"EXPR\"".into()))?;
+    let spec = parse(expr)?;
+    let trace = load_trace(path)?;
+    let comp = &trace.computation;
+    let definitely = flags.has("definitely");
+    let enumerate = flags.has("enumerate");
+    let modality = if definitely { "Definitely" } else { "Possibly" };
+
+    match spec {
+        PredicateSpec::Conjunction(lits) => {
+            let truth = literal_truth_variable(&trace, &lits)?;
+            let processes: Vec<ProcessId> =
+                lits.iter().map(|l| ProcessId::new(l.process)).collect();
+            if definitely {
+                let verdict = definitely_conjunctive(comp, &truth, &processes);
+                Ok(format!("{modality}({expr}): {verdict}\n"))
+            } else {
+                match possibly_conjunctive(comp, &truth, &processes) {
+                    Some(cut) => Ok(format!(
+                        "{modality}({expr}): true\n{}\n",
+                        describe_cut(comp, &cut)
+                    )),
+                    None => Ok(format!("{modality}({expr}): false\n")),
+                }
+            }
+        }
+        PredicateSpec::Cnf(clauses) => {
+            let all_lits: Vec<LitSpec> = clauses.iter().flatten().cloned().collect();
+            let truth = literal_truth_variable(&trace, &all_lits)?;
+            let phi = SingularCnf::new(
+                clauses
+                    .iter()
+                    .map(|c| {
+                        CnfClause::new(
+                            c.iter()
+                                .map(|l| (ProcessId::new(l.process), true))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            );
+            if definitely {
+                guard_enumeration(comp, enumerate, "Definitely(cnf)")?;
+                let verdict = definitely_by_enumeration(comp, |cut| phi.eval(&truth, cut));
+                Ok(format!("{modality}({expr}): {verdict}\n"))
+            } else {
+                match possibly_singular(comp, &truth, &phi) {
+                    Some(cut) => Ok(format!(
+                        "{modality}({expr}): true\n{}\n",
+                        describe_cut(comp, &cut)
+                    )),
+                    None => Ok(format!("{modality}({expr}): false\n")),
+                }
+            }
+        }
+        PredicateSpec::Sum { name, op, k } => {
+            let var = find_int(&trace, &name)?;
+            match (op, definitely) {
+                (SumOp::Eq, false) => match possibly_exact_sum(comp, var, k) {
+                    Ok(Some(cut)) => Ok(format!(
+                        "{modality}({expr}): true\n{}\n",
+                        describe_cut(comp, &cut)
+                    )),
+                    Ok(None) => Ok(format!("{modality}({expr}): false\n")),
+                    Err(err) => {
+                        guard_enumeration(
+                            comp,
+                            enumerate,
+                            &format!("{err}; exact detection (Theorem 2: NP-complete)"),
+                        )?;
+                        match possibly_by_enumeration(comp, |c| var.sum_at(c) == k) {
+                            Some(cut) => Ok(format!(
+                                "{modality}({expr}): true (by enumeration)\n{}\n",
+                                describe_cut(comp, &cut)
+                            )),
+                            None => Ok(format!("{modality}({expr}): false (by enumeration)\n")),
+                        }
+                    }
+                },
+                (SumOp::Eq, true) => match definitely_exact_sum(comp, var, k) {
+                    Ok(verdict) => Ok(format!("{modality}({expr}): {verdict}\n")),
+                    Err(err) => {
+                        guard_enumeration(comp, enumerate, &err.to_string())?;
+                        let verdict = definitely_by_enumeration(comp, |c| var.sum_at(c) == k);
+                        Ok(format!("{modality}({expr}): {verdict} (by enumeration)\n"))
+                    }
+                },
+                (op, false) => {
+                    let relop = match op {
+                        SumOp::Lt => Relop::Lt,
+                        SumOp::Le => Relop::Le,
+                        SumOp::Gt => Relop::Gt,
+                        SumOp::Ge => Relop::Ge,
+                        SumOp::Eq => unreachable!("handled above"),
+                    };
+                    match possibly_sum(comp, var, relop, k) {
+                        Some(cut) => Ok(format!(
+                            "{modality}({expr}): true\n{} (Σ = {})\n",
+                            describe_cut(comp, &cut),
+                            var.sum_at(&cut)
+                        )),
+                        None => Ok(format!("{modality}({expr}): false\n")),
+                    }
+                }
+                (op, true) => {
+                    let relop = match op {
+                        SumOp::Lt => Relop::Lt,
+                        SumOp::Le => Relop::Le,
+                        SumOp::Gt => Relop::Gt,
+                        SumOp::Ge => Relop::Ge,
+                        SumOp::Eq => unreachable!("handled above"),
+                    };
+                    // definitely_sum short-circuits where it can but may
+                    // enumerate: guard.
+                    guard_enumeration(comp, enumerate, "Definitely(sum relop)")?;
+                    let verdict = definitely_sum(comp, var, relop, k);
+                    Ok(format!("{modality}({expr}): {verdict}\n"))
+                }
+            }
+        }
+        PredicateSpec::Count { name, spec } => {
+            let var = find_bool(&trace, &name)?;
+            let n = comp.process_count() as u32;
+            let phi = match spec {
+                CountSpec::In(counts) => SymmetricPredicate::new(counts),
+                CountSpec::Xor => SymmetricPredicate::exclusive_or(n),
+                CountSpec::NotAllEqual => SymmetricPredicate::not_all_equal(n),
+                CountSpec::AllEqual => SymmetricPredicate::all_equal(n),
+                CountSpec::NoMajority => SymmetricPredicate::absence_of_simple_majority(n),
+                CountSpec::NoTwoThirds => SymmetricPredicate::absence_of_two_thirds_majority(n),
+                CountSpec::Exactly(k) => SymmetricPredicate::exactly(k),
+            };
+            if definitely {
+                guard_enumeration(comp, enumerate, "Definitely(count)")?;
+                let verdict = definitely_symmetric(comp, var, &phi);
+                Ok(format!("{modality}({expr}): {verdict}\n"))
+            } else {
+                match possibly_symmetric(comp, var, &phi) {
+                    Some(cut) => Ok(format!(
+                        "{modality}({expr}): true\n{}\n",
+                        describe_cut(comp, &cut)
+                    )),
+                    None => Ok(format!("{modality}({expr}): false\n")),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_trace(name: &str, protocol: &str, extra: &[&str]) -> String {
+        let path = std::env::temp_dir().join(format!("gpd-cli-test-{name}-{}.trace", std::process::id()));
+        let path = path.to_string_lossy().to_string();
+        let mut a = vec![protocol, "--seed", "7", "-o"];
+        a.push(&path);
+        a.extend_from_slice(extra);
+        simulate(&args(&a)).unwrap();
+        path
+    }
+
+    #[test]
+    fn simulate_writes_a_parsable_trace() {
+        let out = simulate(&args(&["token-ring", "--n", "3", "--tokens", "1"])).unwrap();
+        assert!(out.starts_with("gpd-trace 1"));
+        assert!(read_trace(&out).is_ok());
+    }
+
+    #[test]
+    fn simulate_rejects_bad_input() {
+        assert!(matches!(simulate(&args(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            simulate(&args(&["warp-drive"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            simulate(&args(&["token-ring", "--n", "2", "--tokens", "5"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            simulate(&args(&["token-ring", "--n", "x"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            simulate(&args(&["token-ring", "--bogus"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn stats_reports_shape() {
+        let path = temp_trace("stats", "voting", &["--n", "3"]);
+        let out = stats(&args(&[&path])).unwrap();
+        assert!(out.contains("processes: 3"));
+        assert!(out.contains("voted_yes"));
+        assert!(out.contains("width"));
+        assert!(out.contains("height"));
+        let with_cuts = stats(&args(&[&path, "--cuts"])).unwrap();
+        assert!(with_cuts.contains("consistent cuts:"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lattice_profile_renders() {
+        let path = temp_trace("lattice", "voting", &["--n", "3"]);
+        let out = lattice(&args(&[&path])).unwrap();
+        assert!(out.contains("consistent cuts:"), "{out}");
+        assert!(out.contains("   0 |        1"), "{out}");
+        std::fs::remove_file(&path).ok();
+
+        // Guard: a big trace is refused without --enumerate.
+        let big = temp_trace("lattice-big", "token-ring", &["--n", "8", "--tokens", "4"]);
+        assert!(matches!(
+            lattice(&args(&[&big])),
+            Err(CliError::Intractable(_))
+        ));
+        std::fs::remove_file(&big).ok();
+    }
+
+    #[test]
+    fn dot_renders_with_variable() {
+        let path = temp_trace("dot", "token-ring", &["--n", "3"]);
+        let out = dot(&args(&[&path, "--var", "has_token"])).unwrap();
+        assert!(out.contains("digraph"));
+        assert!(matches!(
+            dot(&args(&[&path, "--var", "missing"])),
+            Err(CliError::Trace(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detect_conjunction_on_mutex() {
+        let path = temp_trace("conj", "mutex", &["--n", "3", "--rounds", "1"]);
+        let out = detect(&args(&[
+            &path,
+            "--pred",
+            "conj in_cs@0 in_cs@1",
+        ]))
+        .unwrap();
+        assert!(out.contains("false"), "{out}");
+        // Negated literals work: ¬in_cs everywhere is at least initially true.
+        let out = detect(&args(&[&path, "--pred", "conj !in_cs@0 !in_cs@1 !in_cs@2"])).unwrap();
+        assert!(out.contains("true"), "{out}");
+        // Definitely, polynomial path.
+        let out = detect(&args(&[
+            &path,
+            "--pred",
+            "conj !in_cs@0 !in_cs@1",
+            "--definitely",
+        ]))
+        .unwrap();
+        assert!(out.contains("true"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detect_sums_on_token_ring() {
+        let path = temp_trace("sum", "token-ring", &["--n", "4", "--tokens", "2"]);
+        let out = detect(&args(&[&path, "--pred", "sum tokens == 2"])).unwrap();
+        assert!(out.contains("true"), "{out}");
+        let out = detect(&args(&[&path, "--pred", "sum tokens > 2"])).unwrap();
+        assert!(out.contains("false"), "{out}");
+        let out = detect(&args(&[&path, "--pred", "sum tokens <= 1"])).unwrap();
+        assert!(out.contains("Σ"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detect_counts_on_voting() {
+        let path = temp_trace("count", "voting", &["--n", "4"]);
+        let out = detect(&args(&[&path, "--pred", "count voted in {0}"])).unwrap();
+        assert!(out.contains("true"), "{out}"); // nobody has voted initially
+        let out = detect(&args(&[&path, "--pred", "count voted exactly 4"])).unwrap();
+        assert!(out.contains("true"), "{out}"); // everyone eventually votes
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detect_cnf_on_token_ring() {
+        let path = temp_trace("cnf", "token-ring", &["--n", "4", "--tokens", "1"]);
+        let out = detect(&args(&[
+            &path,
+            "--pred",
+            "cnf has_token@0 | has_token@1 & !has_token@2 | !has_token@3",
+        ]))
+        .unwrap();
+        assert!(out.contains("Possibly"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn enumeration_guard_blocks_big_exhaustive_questions() {
+        let path = temp_trace("guard", "bank", &["--n", "12"]);
+        // Bank balances have unbounded steps: exact sum falls back to
+        // enumeration, which the guard refuses on a large trace.
+        let err = detect(&args(&[&path, "--pred", "sum balance == 1200"])).unwrap_err();
+        assert!(matches!(err, CliError::Intractable(_)), "{err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_and_duplicate_literals_are_rejected() {
+        let path = temp_trace("badlits", "voting", &["--n", "3"]);
+        assert!(matches!(
+            detect(&args(&[&path, "--pred", "conj nope@0"])),
+            Err(CliError::Trace(_))
+        ));
+        assert!(matches!(
+            detect(&args(&[&path, "--pred", "conj voted@0 voted@0"])),
+            Err(CliError::Parse(_))
+        ));
+        assert!(matches!(
+            detect(&args(&[&path, "--pred", "conj voted@9"])),
+            Err(CliError::Trace(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn two_phase_commit_trace_supports_commit_point_query() {
+        let path = temp_trace("2pc", "2pc", &["--n", "4"]);
+        // Unanimous yes: Definitely(all participants prepared).
+        let out = detect(&args(&[
+            &path,
+            "--pred",
+            "conj prepared@1 prepared@2 prepared@3",
+            "--definitely",
+        ]))
+        .unwrap();
+        assert!(out.contains("true"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn top_level_dispatch() {
+        assert!(crate::run(&args(&["help"])).unwrap().contains("gpd <command>"));
+        assert!(matches!(crate::run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            crate::run(&args(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

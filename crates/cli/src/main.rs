@@ -1,0 +1,12 @@
+//! The `gpd` binary: thin wrapper over [`gpd_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gpd_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("gpd: {err}");
+            std::process::exit(1);
+        }
+    }
+}

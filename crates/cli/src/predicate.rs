@@ -1,0 +1,368 @@
+//! The predicate mini-language.
+//!
+//! ```text
+//! expr   := "conj" lit+                      conjunction of literals
+//!         | "cnf" clause ("&" clause)*       singular CNF
+//!         | "sum" NAME relop INT             relational / exact sum
+//!         | "count" NAME countspec           symmetric predicate
+//! lit    := ["!"] NAME "@" PROC
+//! clause := lit ("|" lit)*
+//! relop  := "<" | "<=" | ">" | ">=" | "=="
+//! countspec := "in" "{" INT ("," INT)* "}"
+//!            | "xor" | "not-all-equal" | "all-equal"
+//!            | "no-majority" | "no-two-thirds" | "exactly" INT
+//! ```
+
+use crate::CliError;
+
+/// One literal: variable name on a process, possibly negated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LitSpec {
+    /// Variable name (resolved against the trace's boolean variables).
+    pub name: String,
+    /// Process index hosting the literal.
+    pub process: usize,
+    /// `true` for the plain variable, `false` for its negation.
+    pub positive: bool,
+}
+
+/// Comparison in a `sum` predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SumOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==` (the Theorem 7 exact-sum case)
+    Eq,
+}
+
+/// Which true-variable counts a `count` predicate accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountSpec {
+    /// Explicit accepted counts.
+    In(Vec<u32>),
+    /// Odd parity.
+    Xor,
+    /// At least one true and one false.
+    NotAllEqual,
+    /// All true or all false.
+    AllEqual,
+    /// No simple majority.
+    NoMajority,
+    /// No two-thirds majority.
+    NoTwoThirds,
+    /// Exactly this many.
+    Exactly(u32),
+}
+
+/// A parsed predicate expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredicateSpec {
+    /// `conj lit+`
+    Conjunction(Vec<LitSpec>),
+    /// `cnf clause & clause & ...`
+    Cnf(Vec<Vec<LitSpec>>),
+    /// `sum name relop k`
+    Sum {
+        /// Integer variable name.
+        name: String,
+        /// Comparison.
+        op: SumOp,
+        /// Right-hand constant.
+        k: i64,
+    },
+    /// `count name spec`
+    Count {
+        /// Boolean variable name.
+        name: String,
+        /// Accepted counts.
+        spec: CountSpec,
+    },
+}
+
+fn parse_lit(tok: &str) -> Result<LitSpec, CliError> {
+    let (positive, body) = match tok.strip_prefix('!') {
+        Some(rest) => (false, rest),
+        None => (true, tok),
+    };
+    let (name, proc) = body
+        .split_once('@')
+        .ok_or_else(|| CliError::Parse(format!("literal {tok:?} must be [!]name@process")))?;
+    if name.is_empty() {
+        return Err(CliError::Parse(format!("literal {tok:?} has an empty name")));
+    }
+    let process = proc
+        .parse()
+        .map_err(|_| CliError::Parse(format!("bad process index in {tok:?}")))?;
+    Ok(LitSpec {
+        name: name.to_string(),
+        process,
+        positive,
+    })
+}
+
+/// Parses an expression of the predicate language.
+///
+/// # Errors
+///
+/// Returns [`CliError::Parse`] with a specific message on any syntax
+/// error.
+///
+/// # Example
+///
+/// ```
+/// use gpd_cli::predicate::{parse, PredicateSpec};
+///
+/// let p = parse("conj in_cs@0 !in_cs@1").unwrap();
+/// assert!(matches!(p, PredicateSpec::Conjunction(ref lits) if lits.len() == 2));
+/// ```
+pub fn parse(input: &str) -> Result<PredicateSpec, CliError> {
+    let mut tokens = input.split_whitespace();
+    let head = tokens
+        .next()
+        .ok_or_else(|| CliError::Parse("empty predicate".into()))?;
+    let rest: Vec<&str> = tokens.collect();
+    match head {
+        "conj" => {
+            if rest.is_empty() {
+                return Err(CliError::Parse("conj needs at least one literal".into()));
+            }
+            let lits = rest
+                .iter()
+                .map(|t| parse_lit(t))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(PredicateSpec::Conjunction(lits))
+        }
+        "cnf" => {
+            let mut clauses = Vec::new();
+            let mut current: Vec<LitSpec> = Vec::new();
+            let mut expect_lit = true;
+            for tok in &rest {
+                match *tok {
+                    "&" => {
+                        if current.is_empty() || expect_lit {
+                            return Err(CliError::Parse(
+                                "'&' needs a complete clause before it".into(),
+                            ));
+                        }
+                        clauses.push(std::mem::take(&mut current));
+                        expect_lit = true;
+                    }
+                    "|" => {
+                        if expect_lit {
+                            return Err(CliError::Parse("'|' without preceding literal".into()));
+                        }
+                        expect_lit = true;
+                    }
+                    lit => {
+                        if !expect_lit {
+                            return Err(CliError::Parse(format!(
+                                "expected '|' or '&' before {lit:?}"
+                            )));
+                        }
+                        current.push(parse_lit(lit)?);
+                        expect_lit = false;
+                    }
+                }
+            }
+            if current.is_empty() {
+                return Err(CliError::Parse("cnf needs at least one clause".into()));
+            }
+            if expect_lit {
+                return Err(CliError::Parse("dangling '|' at end of cnf".into()));
+            }
+            clauses.push(current);
+            Ok(PredicateSpec::Cnf(clauses))
+        }
+        "sum" => {
+            let [name, op, k] = rest.as_slice() else {
+                return Err(CliError::Parse("sum needs: sum NAME RELOP INT".into()));
+            };
+            let op = match *op {
+                "<" => SumOp::Lt,
+                "<=" => SumOp::Le,
+                ">" => SumOp::Gt,
+                ">=" => SumOp::Ge,
+                "==" | "=" => SumOp::Eq,
+                other => return Err(CliError::Parse(format!("unknown relop {other:?}"))),
+            };
+            let k = k
+                .parse()
+                .map_err(|_| CliError::Parse(format!("bad constant {k:?}")))?;
+            Ok(PredicateSpec::Sum {
+                name: name.to_string(),
+                op,
+                k,
+            })
+        }
+        "count" => {
+            let (name, spec) = rest
+                .split_first()
+                .ok_or_else(|| CliError::Parse("count needs: count NAME SPEC".into()))?;
+            let spec = match spec {
+                ["in", set] => {
+                    let inner = set
+                        .strip_prefix('{')
+                        .and_then(|s| s.strip_suffix('}'))
+                        .ok_or_else(|| {
+                            CliError::Parse(format!("count set {set:?} must be {{a,b,...}}"))
+                        })?;
+                    let counts = inner
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| {
+                            s.trim().parse().map_err(|_| {
+                                CliError::Parse(format!("bad count {s:?} in {set:?}"))
+                            })
+                        })
+                        .collect::<Result<Vec<u32>, _>>()?;
+                    CountSpec::In(counts)
+                }
+                ["xor"] => CountSpec::Xor,
+                ["not-all-equal"] => CountSpec::NotAllEqual,
+                ["all-equal"] => CountSpec::AllEqual,
+                ["no-majority"] => CountSpec::NoMajority,
+                ["no-two-thirds"] => CountSpec::NoTwoThirds,
+                ["exactly", k] => CountSpec::Exactly(k.parse().map_err(|_| {
+                    CliError::Parse(format!("bad count {k:?} after 'exactly'"))
+                })?),
+                other => {
+                    return Err(CliError::Parse(format!(
+                        "unknown count spec {:?}",
+                        other.join(" ")
+                    )))
+                }
+            };
+            Ok(PredicateSpec::Count {
+                name: name.to_string(),
+                spec,
+            })
+        }
+        other => Err(CliError::Parse(format!(
+            "unknown predicate kind {other:?} (expected conj/cnf/sum/count)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            parse_lit("in_cs@2").unwrap(),
+            LitSpec {
+                name: "in_cs".into(),
+                process: 2,
+                positive: true
+            }
+        );
+        assert_eq!(
+            parse_lit("!flag@0").unwrap(),
+            LitSpec {
+                name: "flag".into(),
+                process: 0,
+                positive: false
+            }
+        );
+        assert!(parse_lit("noat").is_err());
+        assert!(parse_lit("x@abc").is_err());
+        assert!(parse_lit("!@1").is_err());
+    }
+
+    #[test]
+    fn conjunction() {
+        let p = parse("conj a@0 !b@1 c@2").unwrap();
+        match p {
+            PredicateSpec::Conjunction(lits) => {
+                assert_eq!(lits.len(), 3);
+                assert!(!lits[1].positive);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("conj").is_err());
+    }
+
+    #[test]
+    fn cnf_with_clause_separators() {
+        let p = parse("cnf a@0 | !b@1 & c@2 | d@3 & e@4").unwrap();
+        match p {
+            PredicateSpec::Cnf(clauses) => {
+                assert_eq!(clauses.len(), 3);
+                assert_eq!(clauses[0].len(), 2);
+                assert_eq!(clauses[1].len(), 2);
+                assert_eq!(clauses[2].len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse("cnf a@0 | & b@1").is_err());
+        assert!(parse("cnf | a@0").is_err());
+        assert!(parse("cnf a@0 b@1").is_err());
+        assert!(parse("cnf").is_err());
+    }
+
+    #[test]
+    fn sums() {
+        assert_eq!(
+            parse("sum tokens == 3").unwrap(),
+            PredicateSpec::Sum {
+                name: "tokens".into(),
+                op: SumOp::Eq,
+                k: 3
+            }
+        );
+        assert_eq!(
+            parse("sum balance >= -5").unwrap(),
+            PredicateSpec::Sum {
+                name: "balance".into(),
+                op: SumOp::Ge,
+                k: -5
+            }
+        );
+        assert!(parse("sum x ~ 3").is_err());
+        assert!(parse("sum x ==").is_err());
+    }
+
+    #[test]
+    fn counts() {
+        assert_eq!(
+            parse("count v in {0,2,4}").unwrap(),
+            PredicateSpec::Count {
+                name: "v".into(),
+                spec: CountSpec::In(vec![0, 2, 4])
+            }
+        );
+        assert_eq!(
+            parse("count v xor").unwrap(),
+            PredicateSpec::Count {
+                name: "v".into(),
+                spec: CountSpec::Xor
+            }
+        );
+        assert_eq!(
+            parse("count v exactly 2").unwrap(),
+            PredicateSpec::Count {
+                name: "v".into(),
+                spec: CountSpec::Exactly(2)
+            }
+        );
+        for named in ["not-all-equal", "all-equal", "no-majority", "no-two-thirds"] {
+            assert!(parse(&format!("count v {named}")).is_ok(), "{named}");
+        }
+        assert!(parse("count v in 0,1").is_err());
+        assert!(parse("count v within {1}").is_err());
+        assert!(parse("count v in {a}").is_err());
+    }
+
+    #[test]
+    fn unknown_heads_rejected() {
+        assert!(parse("").is_err());
+        assert!(parse("disj a@0").is_err());
+    }
+}

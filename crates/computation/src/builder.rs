@@ -1,0 +1,295 @@
+//! Incremental construction of computations.
+
+use gpd_order::Dag;
+
+use crate::computation::Computation;
+use crate::event::{EventId, EventKind, ProcessId};
+use crate::vclock::VectorClock;
+
+/// Error produced while building a computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A message was added whose endpoints live on the same process.
+    SameProcessMessage {
+        /// The sending event.
+        send: EventId,
+        /// The receiving event.
+        receive: EventId,
+    },
+    /// The program order plus message edges contain a cycle, so the edge
+    /// relation is not a partial order.
+    Cycle,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::SameProcessMessage { send, receive } => write!(
+                f,
+                "message {send:?} → {receive:?} stays on one process; use program order instead"
+            ),
+            BuildError::Cycle => write!(f, "events and messages form a causal cycle"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds a [`Computation`] by appending events to processes and
+/// connecting them with messages.
+///
+/// The fictitious *initial events* of the paper's model are implicit: the
+/// builder only records real events, and every consistent cut contains all
+/// initial events by construction.
+///
+/// # Example
+///
+/// ```
+/// use gpd_computation::ComputationBuilder;
+///
+/// let mut b = ComputationBuilder::new(3);
+/// let s = b.append(0);
+/// let r = b.append(2);
+/// b.message(s, r).unwrap();
+/// b.append(1); // an internal event on p1
+/// let comp = b.build().unwrap();
+/// assert_eq!(comp.event_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComputationBuilder {
+    proc_events: Vec<Vec<EventId>>,
+    event_proc: Vec<ProcessId>,
+    event_local: Vec<u32>,
+    kinds: Vec<EventKind>,
+    messages: Vec<(EventId, EventId)>,
+}
+
+impl ComputationBuilder {
+    /// Creates a builder for a computation over `processes` processes.
+    pub fn new(processes: usize) -> Self {
+        ComputationBuilder {
+            proc_events: vec![Vec::new(); processes],
+            event_proc: Vec::new(),
+            event_local: Vec::new(),
+            kinds: Vec::new(),
+            messages: Vec::new(),
+        }
+    }
+
+    /// The number of processes.
+    pub fn process_count(&self) -> usize {
+        self.proc_events.len()
+    }
+
+    /// The number of events appended so far.
+    pub fn event_count(&self) -> usize {
+        self.event_proc.len()
+    }
+
+    /// Appends a new event at the end of `process`'s local computation and
+    /// returns its id. The event starts as [`EventKind::Internal`];
+    /// attaching messages upgrades its kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process index is out of range.
+    pub fn append(&mut self, process: impl Into<ProcessId>) -> EventId {
+        let p = process.into();
+        assert!(
+            p.index() < self.proc_events.len(),
+            "process {p} out of range {}",
+            self.proc_events.len()
+        );
+        let id = EventId::new(self.event_proc.len());
+        self.event_local.push(self.proc_events[p.index()].len() as u32 + 1);
+        self.proc_events[p.index()].push(id);
+        self.event_proc.push(p);
+        self.kinds.push(EventKind::Internal);
+        id
+    }
+
+    /// Records a message sent at `send` and received at `receive`. An
+    /// event may send or receive any number of messages (the model allows
+    /// multicast and merged receives). Channels are not FIFO.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::SameProcessMessage`] if both endpoints are on
+    /// the same process. Cycles are only detected at [`build`](Self::build)
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either event id was not produced by this builder.
+    pub fn message(&mut self, send: EventId, receive: EventId) -> Result<(), BuildError> {
+        let count = self.event_proc.len();
+        assert!(
+            send.index() < count && receive.index() < count,
+            "unknown event id"
+        );
+        if self.event_proc[send.index()] == self.event_proc[receive.index()] {
+            return Err(BuildError::SameProcessMessage { send, receive });
+        }
+        self.kinds[send.index()] = self.kinds[send.index()].with_send();
+        self.kinds[receive.index()] = self.kinds[receive.index()].with_receive();
+        self.messages.push((send, receive));
+        Ok(())
+    }
+
+    /// Finalizes the computation: checks acyclicity and computes
+    /// Fidge–Mattern vector clocks for every event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Cycle`] if program order plus messages is not
+    /// a partial order.
+    pub fn build(self) -> Result<Computation, BuildError> {
+        let event_count = self.event_proc.len();
+        let mut dag = Dag::new(event_count);
+        for events in &self.proc_events {
+            for w in events.windows(2) {
+                dag.add_edge(w[0].index(), w[1].index());
+            }
+        }
+        for &(s, r) in &self.messages {
+            dag.add_edge(s.index(), r.index());
+        }
+        let order = dag.topo_sort().map_err(|_| BuildError::Cycle)?;
+
+        let n = self.proc_events.len();
+        let mut msg_preds: Vec<Vec<EventId>> = vec![Vec::new(); event_count];
+        let mut msg_succs: Vec<Vec<EventId>> = vec![Vec::new(); event_count];
+        for &(s, r) in &self.messages {
+            msg_preds[r.index()].push(s);
+            msg_succs[s.index()].push(r);
+        }
+
+        let mut clocks: Vec<VectorClock> = vec![VectorClock::zero(n); event_count];
+        for &e in &order {
+            let p = self.event_proc[e].index();
+            let local = self.event_local[e];
+            let mut clock = if local > 1 {
+                clocks[self.proc_events[p][local as usize - 2].index()].clone()
+            } else {
+                VectorClock::zero(n)
+            };
+            // Clone sender clocks first to appease the borrow checker;
+            // fan-in is small in practice.
+            let preds: Vec<VectorClock> = msg_preds[e]
+                .iter()
+                .map(|s| clocks[s.index()].clone())
+                .collect();
+            for pc in &preds {
+                clock.merge(pc);
+            }
+            clock.set(p, local);
+            clocks[e] = clock;
+        }
+
+        Ok(Computation::from_parts(
+            self.proc_events,
+            self.event_proc,
+            self.event_local,
+            self.kinds,
+            self.messages,
+            msg_preds,
+            msg_succs,
+            clocks,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_computation_builds() {
+        let comp = ComputationBuilder::new(3).build().unwrap();
+        assert_eq!(comp.process_count(), 3);
+        assert_eq!(comp.event_count(), 0);
+    }
+
+    #[test]
+    fn kinds_follow_messages() {
+        let mut b = ComputationBuilder::new(2);
+        let a = b.append(0);
+        let c = b.append(1);
+        let d = b.append(1);
+        b.message(a, c).unwrap();
+        b.message(d, a).unwrap(); // a both sends and receives
+        let comp = b.build();
+        // d → a and a → c is acyclic (d is after c on p1? No: c before d,
+        // so a → c → d → a is a cycle). Expect the cycle to be caught.
+        assert_eq!(comp.unwrap_err(), BuildError::Cycle);
+
+        let mut b = ComputationBuilder::new(2);
+        let a = b.append(0);
+        let c = b.append(1);
+        b.message(a, c).unwrap();
+        let comp = b.build().unwrap();
+        assert!(comp.kind(a).is_send());
+        assert!(!comp.kind(a).is_receive());
+        assert!(comp.kind(c).is_receive());
+    }
+
+    #[test]
+    fn same_process_message_rejected() {
+        let mut b = ComputationBuilder::new(1);
+        let e1 = b.append(0);
+        let e2 = b.append(0);
+        assert!(matches!(
+            b.message(e1, e2),
+            Err(BuildError::SameProcessMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn message_cycle_detected_at_build() {
+        let mut b = ComputationBuilder::new(2);
+        let a1 = b.append(0);
+        let a2 = b.append(0);
+        let b1 = b.append(1);
+        let b2 = b.append(1);
+        b.message(a2, b1).unwrap();
+        b.message(b2, a1).unwrap();
+        assert_eq!(b.build().unwrap_err(), BuildError::Cycle);
+    }
+
+    #[test]
+    fn vector_clocks_of_message_exchange() {
+        let mut b = ComputationBuilder::new(2);
+        let s = b.append(0);
+        let r = b.append(1);
+        let after = b.append(1);
+        b.message(s, r).unwrap();
+        let comp = b.build().unwrap();
+        assert_eq!(comp.clock(s).as_slice(), &[1, 0]);
+        assert_eq!(comp.clock(r).as_slice(), &[1, 1]);
+        assert_eq!(comp.clock(after).as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn multiple_receives_merge_clocks() {
+        let mut b = ComputationBuilder::new(3);
+        let s0 = b.append(0);
+        let s1 = b.append(1);
+        let r = b.append(2);
+        b.message(s0, r).unwrap();
+        b.message(s1, r).unwrap();
+        let comp = b.build().unwrap();
+        assert_eq!(comp.clock(r).as_slice(), &[1, 1, 1]);
+        assert_eq!(comp.kind(r), crate::EventKind::Receive);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn append_to_unknown_process_panics() {
+        ComputationBuilder::new(1).append(1);
+    }
+
+    #[test]
+    fn build_error_display() {
+        assert!(BuildError::Cycle.to_string().contains("cycle"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz export of computations (the paper's space-time diagrams).
+
+use crate::computation::Computation;
+use crate::variables::BoolVariable;
+
+/// Renders the computation as a Graphviz `digraph`: one horizontal rank
+/// per process, program-order edges solid, message edges dashed. If a
+/// boolean variable is supplied, its *true events* are drawn as double
+/// circles, mirroring the paper's encircled true events.
+///
+/// # Example
+///
+/// ```
+/// use gpd_computation::{to_dot, ComputationBuilder};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// let s = b.append(0);
+/// let r = b.append(1);
+/// b.message(s, r).unwrap();
+/// let dot = to_dot(&b.build().unwrap(), None);
+/// assert!(dot.contains("digraph computation"));
+/// assert!(dot.contains("style=dashed"));
+/// ```
+pub fn to_dot(comp: &Computation, truth: Option<&BoolVariable>) -> String {
+    let mut out = String::from("digraph computation {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for p in 0..comp.process_count() {
+        out.push_str(&format!("  subgraph cluster_p{p} {{\n    label=\"p{p}\";\n"));
+        for &e in comp.events_of(p) {
+            let name = format!("p{p}_{}", comp.local_index(e));
+            let is_true = truth.is_some_and(|t| t.is_true_event(comp, e));
+            let shape = if is_true { ", shape=doublecircle" } else { "" };
+            out.push_str(&format!(
+                "    {name} [label=\"{}\"{shape}];\n",
+                comp.local_index(e)
+            ));
+        }
+        out.push_str("  }\n");
+    }
+    for p in 0..comp.process_count() {
+        let events = comp.events_of(p);
+        for w in events.windows(2) {
+            out.push_str(&format!(
+                "  p{p}_{} -> p{p}_{};\n",
+                comp.local_index(w[0]),
+                comp.local_index(w[1])
+            ));
+        }
+    }
+    for &(s, r) in comp.messages() {
+        out.push_str(&format!(
+            "  p{}_{} -> p{}_{} [style=dashed];\n",
+            comp.process_of(s).index(),
+            comp.local_index(s),
+            comp.process_of(r).index(),
+            comp.local_index(r)
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ComputationBuilder;
+    use crate::variables::BoolVariable;
+
+    #[test]
+    fn contains_all_events_and_edges() {
+        let mut b = ComputationBuilder::new(2);
+        let a1 = b.append(0);
+        b.append(0);
+        let r = b.append(1);
+        b.message(a1, r).unwrap();
+        let comp = b.build().unwrap();
+        let dot = to_dot(&comp, None);
+        assert!(dot.contains("p0_1"));
+        assert!(dot.contains("p0_2"));
+        assert!(dot.contains("p1_1"));
+        assert!(dot.contains("p0_1 -> p0_2;"));
+        assert!(dot.contains("p0_1 -> p1_1 [style=dashed];"));
+    }
+
+    #[test]
+    fn true_events_are_double_circles() {
+        let mut b = ComputationBuilder::new(1);
+        b.append(0);
+        let comp = b.build().unwrap();
+        let v = BoolVariable::new(&comp, vec![vec![false, true]]);
+        let dot = to_dot(&comp, Some(&v));
+        assert!(dot.contains("doublecircle"));
+    }
+
+    #[test]
+    fn empty_computation_renders() {
+        let comp = ComputationBuilder::new(0).build().unwrap();
+        let dot = to_dot(&comp, None);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

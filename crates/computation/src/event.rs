@@ -1,0 +1,148 @@
+//! Event and process identifiers.
+
+/// Identifies a process by its index within a computation (`0..n`).
+///
+/// # Example
+///
+/// ```
+/// use gpd_computation::ProcessId;
+///
+/// let p = ProcessId::new(2);
+/// assert_eq!(p.index(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Wraps a process index.
+    pub fn new(index: usize) -> Self {
+        ProcessId(u32::try_from(index).expect("process index fits in u32"))
+    }
+
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId::new(index)
+    }
+}
+
+/// Identifies a (non-initial) event within a computation.
+///
+/// Event ids are dense indices assigned by [`ComputationBuilder::append`]
+/// in creation order; the fictitious initial events of the paper's model
+/// are implicit and have no id — every consistent cut contains them.
+///
+/// [`ComputationBuilder::append`]: crate::ComputationBuilder::append
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u32);
+
+impl EventId {
+    pub(crate) fn new(index: usize) -> Self {
+        EventId(u32::try_from(index).expect("event index fits in u32"))
+    }
+
+    /// The dense index of the event (position in creation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs an id from a dense index previously obtained with
+    /// [`index`](Self::index). The index must belong to the same
+    /// computation or lookups with it will be meaningless.
+    pub fn from_index(index: usize) -> Self {
+        EventId::new(index)
+    }
+}
+
+impl std::fmt::Debug for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// How an event interacts with channels. An event that both sends and
+/// receives is [`EventKind::SendReceive`]; the model (and the paper)
+/// permits this, and the Theorem 1 gadget never produces one, which the
+/// construction points out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Purely local computation step.
+    Internal,
+    /// Sends one or more messages.
+    Send,
+    /// Receives one or more messages.
+    Receive,
+    /// Sends and receives in the same step.
+    SendReceive,
+}
+
+impl EventKind {
+    /// Whether the event receives at least one message.
+    pub fn is_receive(self) -> bool {
+        matches!(self, EventKind::Receive | EventKind::SendReceive)
+    }
+
+    /// Whether the event sends at least one message.
+    pub fn is_send(self) -> bool {
+        matches!(self, EventKind::Send | EventKind::SendReceive)
+    }
+
+    pub(crate) fn with_send(self) -> EventKind {
+        match self {
+            EventKind::Internal | EventKind::Send => EventKind::Send,
+            EventKind::Receive | EventKind::SendReceive => EventKind::SendReceive,
+        }
+    }
+
+    pub(crate) fn with_receive(self) -> EventKind {
+        match self {
+            EventKind::Internal | EventKind::Receive => EventKind::Receive,
+            EventKind::Send | EventKind::SendReceive => EventKind::SendReceive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        assert_eq!(ProcessId::new(5).index(), 5);
+        assert_eq!(ProcessId::from(3), ProcessId::new(3));
+        assert_eq!(format!("{}", ProcessId::new(1)), "p1");
+    }
+
+    #[test]
+    fn event_kind_transitions() {
+        assert_eq!(EventKind::Internal.with_send(), EventKind::Send);
+        assert_eq!(EventKind::Send.with_receive(), EventKind::SendReceive);
+        assert_eq!(EventKind::Receive.with_send(), EventKind::SendReceive);
+        assert!(EventKind::SendReceive.is_send());
+        assert!(EventKind::SendReceive.is_receive());
+        assert!(!EventKind::Internal.is_send());
+        assert!(!EventKind::Send.is_receive());
+    }
+
+    #[test]
+    fn event_id_debug() {
+        assert_eq!(format!("{:?}", EventId::new(4)), "e4");
+    }
+}

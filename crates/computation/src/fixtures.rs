@@ -1,0 +1,112 @@
+//! The paper's running examples as ready-made computations.
+
+use crate::builder::ComputationBuilder;
+use crate::computation::Computation;
+use crate::event::EventId;
+use crate::variables::BoolVariable;
+
+/// The Figure 2 example: a four-process computation with one encircled
+/// *true event* per process (`e`, `f`, `g`, `h`) illustrating consistency
+/// and independence of event pairs.
+///
+/// Reconstructed from the paper's prose (the figure itself is not machine
+/// readable): events `e` and `f` are **consistent and independent**, while
+/// events `g` and `h` are **inconsistent and dependent** (`g` happens
+/// before `h` through a message, and `g`'s successor precedes `h`).
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// The computation.
+    pub computation: Computation,
+    /// The per-process boolean variables `x₁ … x₄`; `e`, `f`, `g`, `h` are
+    /// their true events.
+    pub x: BoolVariable,
+    /// True event on `p0`.
+    pub e: EventId,
+    /// True event on `p1`.
+    pub f: EventId,
+    /// True event on `p2`.
+    pub g: EventId,
+    /// True event on `p3`.
+    pub h: EventId,
+}
+
+/// Builds the Figure 2 example.
+///
+/// # Example
+///
+/// ```
+/// let fig = gpd_computation::fixtures::figure2();
+/// let c = &fig.computation;
+/// assert!(c.consistent(fig.e, fig.f) && c.concurrent(fig.e, fig.f));
+/// assert!(!c.consistent(fig.g, fig.h) && !c.concurrent(fig.g, fig.h));
+/// ```
+pub fn figure2() -> Figure2 {
+    let mut b = ComputationBuilder::new(4);
+    // p0: e1 then e (true).
+    let e1 = b.append(0);
+    let e = b.append(0);
+    // p1: f (true) then f2.
+    let f = b.append(1);
+    let f2 = b.append(1);
+    // p2: g (true) then g2.
+    let g = b.append(2);
+    let g2 = b.append(2);
+    // p3: h1 then h (true).
+    let h1 = b.append(3);
+    let h = b.append(3);
+    // e1 → f2 keeps e and f independent yet consistent.
+    b.message(e1, f2).expect("distinct processes");
+    // g2 → h1 makes g ≺ h and succ(g) = g2 ≤ h: inconsistent, dependent.
+    b.message(g2, h1).expect("distinct processes");
+    let computation = b.build().expect("acyclic by construction");
+    let x = BoolVariable::new(
+        &computation,
+        vec![
+            vec![false, false, true], // true at e
+            vec![false, true, false], // true at f
+            vec![false, true, false], // true at g
+            vec![false, false, true], // true at h
+        ],
+    );
+    Figure2 {
+        computation,
+        x,
+        e,
+        f,
+        g,
+        h,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_matches_the_papers_claims() {
+        let fig = figure2();
+        let c = &fig.computation;
+        // "events e and f are consistent whereas events g and h are not"
+        assert!(c.consistent(fig.e, fig.f));
+        assert!(!c.consistent(fig.g, fig.h));
+        // "events e and f are independent whereas events g and h are not"
+        assert!(c.concurrent(fig.e, fig.f));
+        assert!(c.happened_before(fig.g, fig.h));
+    }
+
+    #[test]
+    fn figure2_true_events_are_marked() {
+        let fig = figure2();
+        for ev in [fig.e, fig.f, fig.g, fig.h] {
+            assert!(fig.x.is_true_event(&fig.computation, ev));
+        }
+    }
+
+    #[test]
+    fn figure2_shape() {
+        let fig = figure2();
+        assert_eq!(fig.computation.process_count(), 4);
+        assert_eq!(fig.computation.event_count(), 8);
+        assert_eq!(fig.computation.messages().len(), 2);
+    }
+}

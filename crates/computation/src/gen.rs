@@ -1,0 +1,241 @@
+//! Seeded random computations and annotations for experiments.
+//!
+//! All generators are deterministic given the `Rng`: every experiment in
+//! `EXPERIMENTS.md` records its seed, so every number is reproducible.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::builder::ComputationBuilder;
+use crate::computation::Computation;
+use crate::variables::{BoolVariable, IntVariable};
+
+/// Generates a random computation with `processes` processes of
+/// `events_per_process` events each and (up to) `messages` message edges.
+///
+/// Events are laid out on a random global timeline (a shuffled
+/// interleaving that preserves each process's order) and messages only go
+/// forward along it, so the result is always acyclic. Duplicate edges are
+/// skipped, which is why fewer than `messages` edges can result on tiny
+/// computations.
+///
+/// # Panics
+///
+/// Panics if `processes == 0` but `messages > 0` would be requested on an
+/// empty timeline (messages require at least two processes).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let comp = gpd_computation::gen::random_computation(&mut rng, 4, 10, 12);
+/// assert_eq!(comp.process_count(), 4);
+/// assert_eq!(comp.event_count(), 40);
+/// ```
+pub fn random_computation<R: Rng>(
+    rng: &mut R,
+    processes: usize,
+    events_per_process: usize,
+    messages: usize,
+) -> Computation {
+    random_computation_with_receivers(rng, processes, events_per_process, messages, None)
+}
+
+/// Like [`random_computation`], but if `receivers` is `Some`, messages are
+/// only delivered to the listed processes. Restricting each group of a
+/// [`Grouping`](crate::Grouping) to one designated receiver process makes
+/// the computation *receive-ordered* for that grouping, which is how the
+/// E4 experiment generates inputs for the §3.2 special case.
+///
+/// # Panics
+///
+/// Panics if `messages > 0` and there is no process pair `(sender,
+/// receiver)` with distinct processes to connect.
+pub fn random_computation_with_receivers<R: Rng>(
+    rng: &mut R,
+    processes: usize,
+    events_per_process: usize,
+    messages: usize,
+    receivers: Option<&[usize]>,
+) -> Computation {
+    let mut schedule: Vec<usize> = (0..processes)
+        .flat_map(|p| std::iter::repeat(p).take(events_per_process))
+        .collect();
+    schedule.shuffle(rng);
+
+    let mut b = ComputationBuilder::new(processes);
+    let events: Vec<crate::EventId> = schedule.iter().map(|&p| b.append(p)).collect();
+
+    // Slots eligible to receive, in timeline order.
+    let receiver_slots: Vec<usize> = (0..events.len())
+        .filter(|&i| receivers.is_none_or(|r| r.contains(&schedule[i])))
+        .collect();
+
+    if messages > 0 {
+        let can_connect = receiver_slots
+            .iter()
+            .any(|&j| (0..j).any(|i| schedule[i] != schedule[j]));
+        assert!(
+            can_connect,
+            "no (sender, receiver) pair available for the requested messages"
+        );
+    }
+
+    let mut used = std::collections::HashSet::new();
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < messages && attempts < messages * 20 {
+        attempts += 1;
+        let &j = match receiver_slots.choose(rng) {
+            Some(j) => j,
+            None => break,
+        };
+        if j == 0 {
+            continue;
+        }
+        let i = rng.gen_range(0..j);
+        if schedule[i] == schedule[j] || !used.insert((i, j)) {
+            continue;
+        }
+        b.message(events[i], events[j])
+            .expect("distinct processes checked above");
+        added += 1;
+    }
+    b.build().expect("forward-only messages cannot form a cycle")
+}
+
+/// Generates a boolean variable per process that is true in each state
+/// independently with probability `density` (initial states included).
+///
+/// # Panics
+///
+/// Panics if `density` is not within `[0, 1]`.
+pub fn random_bool_variable<R: Rng>(rng: &mut R, comp: &Computation, density: f64) -> BoolVariable {
+    let values = (0..comp.process_count())
+        .map(|p| (0..=comp.events_on(p)).map(|_| rng.gen_bool(density)).collect())
+        .collect();
+    BoolVariable::new(comp, values)
+}
+
+/// Generates an integer variable per process performing a lazy ±1 random
+/// walk from 0: each event changes the variable by −1, 0 or +1 (equal
+/// probability). Satisfies the Theorem 7 precondition
+/// ([`IntVariable::is_unit_step`]).
+pub fn random_unit_int_variable<R: Rng>(rng: &mut R, comp: &Computation) -> IntVariable {
+    let values = (0..comp.process_count())
+        .map(|p| {
+            let mut v = 0i64;
+            let mut track = vec![0i64];
+            for _ in 0..comp.events_on(p) {
+                v += rng.gen_range(-1..=1);
+                track.push(v);
+            }
+            track
+        })
+        .collect();
+    IntVariable::new(comp, values)
+}
+
+/// Generates an integer variable per process with arbitrary jumps: each
+/// state's value is drawn uniformly from `-amplitude..=amplitude`. Used
+/// for the NP-hard regime of §4.1 where increments are unbounded.
+///
+/// # Panics
+///
+/// Panics if `amplitude < 0`.
+pub fn random_int_variable<R: Rng>(
+    rng: &mut R,
+    comp: &Computation,
+    amplitude: i64,
+) -> IntVariable {
+    assert!(amplitude >= 0, "amplitude must be nonnegative");
+    let values = (0..comp.process_count())
+        .map(|p| {
+            (0..=comp.events_on(p))
+                .map(|_| rng.gen_range(-amplitude..=amplitude))
+                .collect()
+        })
+        .collect();
+    IntVariable::new(comp, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn shape_is_as_requested() {
+        let comp = random_computation(&mut rng(1), 5, 8, 10);
+        assert_eq!(comp.process_count(), 5);
+        assert_eq!(comp.event_count(), 40);
+        for p in 0..5 {
+            assert_eq!(comp.events_on(p), 8);
+        }
+        assert_eq!(comp.messages().len(), 10);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = random_computation(&mut rng(7), 3, 5, 6);
+        let b = random_computation(&mut rng(7), 3, 5, 6);
+        assert_eq!(a.messages(), b.messages());
+    }
+
+    #[test]
+    fn receivers_are_respected() {
+        let comp =
+            random_computation_with_receivers(&mut rng(2), 6, 6, 15, Some(&[1, 4]));
+        for &(_, r) in comp.messages() {
+            let p = comp.process_of(r).index();
+            assert!(p == 1 || p == 4, "message received on p{p}");
+        }
+    }
+
+    #[test]
+    fn no_messages_possible_is_detected() {
+        // Only one process: no valid message pair.
+        let comp = random_computation(&mut rng(3), 1, 5, 0);
+        assert!(comp.messages().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no (sender, receiver) pair")]
+    fn impossible_messages_panic() {
+        random_computation(&mut rng(3), 1, 5, 2);
+    }
+
+    #[test]
+    fn bool_variable_densities() {
+        let comp = random_computation(&mut rng(4), 3, 20, 5);
+        let all_false = random_bool_variable(&mut rng(5), &comp, 0.0);
+        assert!(all_false.tracks().iter().all(|t| t.iter().all(|&v| !v)));
+        let all_true = random_bool_variable(&mut rng(5), &comp, 1.0);
+        assert!(all_true.tracks().iter().all(|t| t.iter().all(|&v| v)));
+    }
+
+    #[test]
+    fn unit_walk_is_unit_step() {
+        let comp = random_computation(&mut rng(6), 4, 30, 10);
+        let x = random_unit_int_variable(&mut rng(7), &comp);
+        assert!(x.is_unit_step());
+        for p in 0..4 {
+            assert_eq!(x.value_in_state(p, 0), 0);
+        }
+    }
+
+    #[test]
+    fn arbitrary_variable_respects_amplitude() {
+        let comp = random_computation(&mut rng(8), 3, 10, 3);
+        let x = random_int_variable(&mut rng(9), &comp, 4);
+        for t in x.tracks() {
+            assert!(t.iter().all(|&v| (-4..=4).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Breadth-first enumeration of the lattice of consistent cuts.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::computation::Computation;
+use crate::cut::Cut;
+
+/// Iterator over every consistent cut of a computation, in breadth-first
+/// order from the initial cut (so cuts are yielded in nondecreasing event
+/// count — one lattice *level* after another).
+///
+/// The lattice is exponential in general: this iterator is the
+/// Cooper–Marzullo-style baseline that the paper's polynomial algorithms
+/// are measured against, and the exact oracle the test suite validates
+/// them with.
+///
+/// # Example
+///
+/// ```
+/// use gpd_computation::ComputationBuilder;
+///
+/// let mut b = ComputationBuilder::new(2);
+/// b.append(0);
+/// b.append(1);
+/// let comp = b.build().unwrap();
+/// // Each process independently contributes states {0, 1}: 2 × 2 cuts.
+/// assert_eq!(comp.consistent_cuts().count(), 4);
+/// ```
+pub struct CutIter<'a> {
+    comp: &'a Computation,
+    queue: VecDeque<Cut>,
+    seen: HashSet<Cut>,
+}
+
+impl<'a> CutIter<'a> {
+    pub(crate) fn new(comp: &'a Computation) -> Self {
+        let initial = comp.initial_cut();
+        let mut seen = HashSet::new();
+        seen.insert(initial.clone());
+        CutIter {
+            comp,
+            queue: VecDeque::from([initial]),
+            seen,
+        }
+    }
+}
+
+impl Iterator for CutIter<'_> {
+    type Item = Cut;
+
+    fn next(&mut self) -> Option<Cut> {
+        let cut = self.queue.pop_front()?;
+        for next in self.comp.cut_successors(&cut) {
+            if self.seen.insert(next.clone()) {
+                self.queue.push_back(next);
+            }
+        }
+        Some(cut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ComputationBuilder;
+
+    fn chain_processes(lens: &[usize]) -> Computation {
+        let mut b = ComputationBuilder::new(lens.len());
+        for (p, &len) in lens.iter().enumerate() {
+            for _ in 0..len {
+                b.append(p);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn independent_processes_multiply() {
+        // (2+1)(3+1) = 12 cuts.
+        assert_eq!(chain_processes(&[2, 3]).consistent_cuts().count(), 12);
+    }
+
+    #[test]
+    fn single_process_chain() {
+        assert_eq!(chain_processes(&[5]).consistent_cuts().count(), 6);
+    }
+
+    #[test]
+    fn empty_computation_has_one_cut() {
+        assert_eq!(chain_processes(&[]).consistent_cuts().count(), 1);
+        assert_eq!(chain_processes(&[0, 0]).consistent_cuts().count(), 1);
+    }
+
+    #[test]
+    fn message_constrains_lattice() {
+        // p0: s, p1: r, message s → r: cuts are {[],[s],[s r]} by
+        // frontier: [0,0],[1,0],[1,1] — [0,1] is inconsistent.
+        let mut b = ComputationBuilder::new(2);
+        let s = b.append(0);
+        let r = b.append(1);
+        b.message(s, r).unwrap();
+        let comp = b.build().unwrap();
+        let cuts: Vec<Cut> = comp.consistent_cuts().collect();
+        assert_eq!(cuts.len(), 3);
+        assert!(!cuts.contains(&Cut::from_frontier(vec![0, 1])));
+    }
+
+    #[test]
+    fn all_yielded_cuts_are_consistent_and_unique() {
+        let mut b = ComputationBuilder::new(3);
+        let e: Vec<_> = (0..9).map(|i| b.append(i % 3)).collect();
+        b.message(e[0], e[4]).unwrap();
+        b.message(e[4], e[8]).unwrap();
+        b.message(e[2], e[6]).unwrap();
+        let comp = b.build().unwrap();
+        let cuts: Vec<Cut> = comp.consistent_cuts().collect();
+        let set: HashSet<_> = cuts.iter().cloned().collect();
+        assert_eq!(set.len(), cuts.len());
+        for cut in &cuts {
+            assert!(comp.is_consistent(cut));
+        }
+        // Exhaustive cross-check: every consistent frontier is yielded.
+        let mut brute = 0;
+        for a in 0..=3u32 {
+            for b2 in 0..=3u32 {
+                for c in 0..=3u32 {
+                    if comp.is_consistent(&Cut::from_frontier(vec![a, b2, c])) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(cuts.len(), brute);
+    }
+
+    #[test]
+    fn bfs_yields_levels_in_order() {
+        let comp = chain_processes(&[2, 2]);
+        let counts: Vec<usize> = comp.consistent_cuts().map(|c| c.event_count()).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        assert_eq!(counts, sorted, "BFS must yield nondecreasing levels");
+    }
+}

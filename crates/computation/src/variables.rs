@@ -1,0 +1,289 @@
+//! Per-state variable annotations.
+//!
+//! The paper's predicates refer to one variable per process: a boolean
+//! `xᵢ` for conjunctive/CNF predicates, an integer `xᵢ` for relational
+//! and sum predicates. A variable's value is a function of the process's
+//! *local state*, which changes only when the process executes an event —
+//! so a variable over a process with `m` events is a sequence of `m + 1`
+//! values, indexed by the number of events executed (index 0 is the
+//! initial state).
+
+use crate::computation::Computation;
+use crate::cut::Cut;
+use crate::event::{EventId, ProcessId};
+
+fn check_shape<T>(comp: &Computation, values: &[Vec<T>], what: &str) {
+    assert_eq!(
+        values.len(),
+        comp.process_count(),
+        "{what} has {} tracks for {} processes",
+        values.len(),
+        comp.process_count()
+    );
+    for (p, track) in values.iter().enumerate() {
+        assert_eq!(
+            track.len(),
+            comp.events_on(p) + 1,
+            "{what} track for p{p} has {} values for {} states",
+            track.len(),
+            comp.events_on(p) + 1
+        );
+    }
+}
+
+/// One boolean variable per process, valued in every local state.
+///
+/// Event `e` is a *true event* when the variable of `e`'s process holds in
+/// the state `e` produces — the paper's notion used by all CNF detection.
+///
+/// # Example
+///
+/// ```
+/// use gpd_computation::{BoolVariable, ComputationBuilder};
+///
+/// let mut b = ComputationBuilder::new(1);
+/// let e = b.append(0);
+/// let comp = b.build().unwrap();
+/// // false initially, true after the event.
+/// let var = BoolVariable::new(&comp, vec![vec![false, true]]);
+/// assert!(var.is_true_event(&comp, e));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoolVariable {
+    values: Vec<Vec<bool>>,
+}
+
+impl BoolVariable {
+    /// Creates the annotation; `values[p][k]` is the variable of process
+    /// `p` after `k` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape does not match the computation (`process_count`
+    /// tracks of `events_on(p) + 1` values).
+    pub fn new(comp: &Computation, values: Vec<Vec<bool>>) -> Self {
+        check_shape(comp, &values, "bool variable");
+        BoolVariable { values }
+    }
+
+    /// The variable of `process` when it has executed `state` events.
+    pub fn value_in_state(&self, process: impl Into<ProcessId>, state: u32) -> bool {
+        self.values[process.into().index()][state as usize]
+    }
+
+    /// The variable of `process` at `cut`.
+    pub fn value_at(&self, cut: &Cut, process: impl Into<ProcessId>) -> bool {
+        let p = process.into();
+        self.value_in_state(p, cut.state_of(p))
+    }
+
+    /// Whether `e` is a *true event* (its process's variable holds right
+    /// after `e`).
+    pub fn is_true_event(&self, comp: &Computation, e: EventId) -> bool {
+        self.value_in_state(comp.process_of(e), comp.local_index(e))
+    }
+
+    /// Whether the initial state of `process` satisfies the variable.
+    pub fn true_initially(&self, process: impl Into<ProcessId>) -> bool {
+        self.value_in_state(process, 0)
+    }
+
+    /// The local state indices (including 0 for the initial state) of
+    /// `process` in which the variable holds.
+    pub fn true_states(&self, process: impl Into<ProcessId>) -> Vec<u32> {
+        self.values[process.into().index()]
+            .iter()
+            .enumerate()
+            .filter_map(|(k, &v)| v.then_some(k as u32))
+            .collect()
+    }
+
+    /// The raw tracks.
+    pub fn tracks(&self) -> &[Vec<bool>] {
+        &self.values
+    }
+
+    /// The annotation for the time-reversed computation
+    /// ([`Computation::reversed`]): each track is reversed, so the value
+    /// in reversed state `k` is the value in original state `mₚ − k`.
+    pub fn reversed(&self) -> BoolVariable {
+        BoolVariable {
+            values: self
+                .values
+                .iter()
+                .map(|t| t.iter().rev().copied().collect())
+                .collect(),
+        }
+    }
+}
+
+/// One integer variable per process, valued in every local state.
+///
+/// # Example
+///
+/// ```
+/// use gpd_computation::{Cut, IntVariable, ComputationBuilder};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// b.append(0);
+/// b.append(1);
+/// let comp = b.build().unwrap();
+/// let x = IntVariable::new(&comp, vec![vec![0, 1], vec![5, 4]]);
+/// assert_eq!(x.sum_at(&Cut::from_frontier(vec![1, 0])), 6);
+/// assert!(x.is_unit_step());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntVariable {
+    values: Vec<Vec<i64>>,
+}
+
+impl IntVariable {
+    /// Creates the annotation; `values[p][k]` is the variable of process
+    /// `p` after `k` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape does not match the computation.
+    pub fn new(comp: &Computation, values: Vec<Vec<i64>>) -> Self {
+        check_shape(comp, &values, "int variable");
+        IntVariable { values }
+    }
+
+    /// The variable of `process` when it has executed `state` events.
+    pub fn value_in_state(&self, process: impl Into<ProcessId>, state: u32) -> i64 {
+        self.values[process.into().index()][state as usize]
+    }
+
+    /// The variable of `process` at `cut`.
+    pub fn value_at(&self, cut: &Cut, process: impl Into<ProcessId>) -> i64 {
+        let p = process.into();
+        self.value_in_state(p, cut.state_of(p))
+    }
+
+    /// The sum `x₁ + … + xₙ` at `cut` — the quantity the §4 algorithms
+    /// track.
+    pub fn sum_at(&self, cut: &Cut) -> i64 {
+        self.values
+            .iter()
+            .zip(cut.frontier())
+            .map(|(track, &f)| track[f as usize])
+            .sum()
+    }
+
+    /// The per-event increments of `process`'s variable (length =
+    /// number of events).
+    pub fn increments(&self, process: impl Into<ProcessId>) -> Vec<i64> {
+        self.values[process.into().index()]
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .collect()
+    }
+
+    /// The largest absolute per-event change across all processes.
+    pub fn max_step(&self) -> i64 {
+        self.values
+            .iter()
+            .flat_map(|track| track.windows(2).map(|w| (w[1] - w[0]).abs()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every event changes its variable by at most one — the
+    /// precondition of the paper's polynomial `Possibly(Σ = K)` algorithm
+    /// (Theorem 7).
+    pub fn is_unit_step(&self) -> bool {
+        self.max_step() <= 1
+    }
+
+    /// The raw tracks.
+    pub fn tracks(&self) -> &[Vec<i64>] {
+        &self.values
+    }
+
+    /// The annotation for the time-reversed computation
+    /// ([`Computation::reversed`]): each track is reversed.
+    pub fn reversed(&self) -> IntVariable {
+        IntVariable {
+            values: self
+                .values
+                .iter()
+                .map(|t| t.iter().rev().copied().collect())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ComputationBuilder;
+
+    fn comp_2x2() -> Computation {
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        b.append(0);
+        b.append(1);
+        b.append(1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bool_variable_lookup() {
+        let comp = comp_2x2();
+        let v = BoolVariable::new(&comp, vec![vec![false, true, false], vec![true, false, true]]);
+        assert!(!v.value_in_state(0, 0));
+        assert!(v.value_in_state(0, 1));
+        assert!(v.true_initially(1));
+        assert_eq!(v.true_states(0), vec![1]);
+        assert_eq!(v.true_states(1), vec![0, 2]);
+        let cut = Cut::from_frontier(vec![1, 2]);
+        assert!(v.value_at(&cut, 0));
+        assert!(v.value_at(&cut, 1));
+    }
+
+    #[test]
+    fn true_events() {
+        let comp = comp_2x2();
+        let v = BoolVariable::new(&comp, vec![vec![false, true, false], vec![false, false, true]]);
+        let e01 = comp.event_at(0, 1).unwrap();
+        let e02 = comp.event_at(0, 2).unwrap();
+        let e12 = comp.event_at(1, 2).unwrap();
+        assert!(v.is_true_event(&comp, e01));
+        assert!(!v.is_true_event(&comp, e02));
+        assert!(v.is_true_event(&comp, e12));
+    }
+
+    #[test]
+    fn int_variable_sums_and_steps() {
+        let comp = comp_2x2();
+        let x = IntVariable::new(&comp, vec![vec![0, 1, 0], vec![2, 2, 3]]);
+        assert_eq!(x.sum_at(&Cut::from_frontier(vec![0, 0])), 2);
+        assert_eq!(x.sum_at(&Cut::from_frontier(vec![1, 2])), 4);
+        assert_eq!(x.increments(0), vec![1, -1]);
+        assert_eq!(x.increments(1), vec![0, 1]);
+        assert!(x.is_unit_step());
+        assert_eq!(x.max_step(), 1);
+    }
+
+    #[test]
+    fn non_unit_step_detected() {
+        let comp = comp_2x2();
+        let x = IntVariable::new(&comp, vec![vec![0, 5, 0], vec![0, 0, 0]]);
+        assert!(!x.is_unit_step());
+        assert_eq!(x.max_step(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "tracks for")]
+    fn wrong_track_count_panics() {
+        let comp = comp_2x2();
+        BoolVariable::new(&comp, vec![vec![false; 3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "values for")]
+    fn wrong_track_length_panics() {
+        let comp = comp_2x2();
+        IntVariable::new(&comp, vec![vec![0; 3], vec![0; 2]]);
+    }
+}

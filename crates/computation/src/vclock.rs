@@ -1,0 +1,143 @@
+//! Fidge–Mattern vector clocks.
+
+/// A vector timestamp: component `i` counts the events of process `i`
+/// that causally precede (or are) the stamped event.
+///
+/// Vector clocks characterize the happened-before order exactly:
+/// `e → f` iff `vc(e) ≤ vc(f)` componentwise and `e ≠ f`.
+///
+/// # Example
+///
+/// ```
+/// use gpd_computation::VectorClock;
+///
+/// let a = VectorClock::from(vec![1, 0]);
+/// let b = VectorClock::from(vec![1, 1]);
+/// assert!(a.dominated_by(&b));
+/// assert!(!b.dominated_by(&a));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    components: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The all-zero clock over `n` processes (the initial state).
+    pub fn zero(n: usize) -> Self {
+        VectorClock {
+            components: vec![0; n],
+        }
+    }
+
+    /// The number of processes.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the clock has no components (degenerate zero-process case).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Component `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> u32 {
+        self.components[i]
+    }
+
+    /// The raw components.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.components
+    }
+
+    pub(crate) fn set(&mut self, i: usize, v: u32) {
+        self.components[i] = v;
+    }
+
+    /// Componentwise maximum with `other`, in place (the receive rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn merge(&mut self, other: &VectorClock) {
+        assert_eq!(self.len(), other.len(), "vector clock length mismatch");
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether `self ≤ other` componentwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dominated_by(&self, other: &VectorClock) -> bool {
+        assert_eq!(self.len(), other.len(), "vector clock length mismatch");
+        self.components
+            .iter()
+            .zip(&other.components)
+            .all(|(a, b)| a <= b)
+    }
+}
+
+impl From<Vec<u32>> for VectorClock {
+    fn from(components: Vec<u32>) -> Self {
+        VectorClock { components }
+    }
+}
+
+impl std::fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock() {
+        let z = VectorClock::zero(3);
+        assert_eq!(z.as_slice(), &[0, 0, 0]);
+        assert!(z.dominated_by(&z));
+    }
+
+    #[test]
+    fn merge_takes_componentwise_max() {
+        let mut a = VectorClock::from(vec![3, 0, 1]);
+        a.merge(&VectorClock::from(vec![1, 2, 1]));
+        assert_eq!(a.as_slice(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn domination_is_partial() {
+        let a = VectorClock::from(vec![1, 0]);
+        let b = VectorClock::from(vec![0, 1]);
+        assert!(!a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+        let z = VectorClock::zero(2);
+        assert!(z.dominated_by(&a) && z.dominated_by(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        VectorClock::zero(2).merge(&VectorClock::zero(3));
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", VectorClock::from(vec![1, 2])), "⟨1,2⟩");
+    }
+}

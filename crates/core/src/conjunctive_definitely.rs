@@ -1,0 +1,249 @@
+//! `Definitely(conjunctive)` in polynomial time (Garg–Waldecker's strong
+//! conjunctive algorithm).
+//!
+//! The paper's Figure 1 taxonomy rests on conjunctive predicates being
+//! easy under *both* modalities [Garg & Waldecker]. The characterization:
+//! group each process's true states into **maximal intervals**. A tuple
+//! of intervals, one per process, is *unavoidable* when for every ordered
+//! pair `(i, j)` the event entering interval `Iᵢ` happens causally before
+//! the event leaving interval `Iⱼ` (vacuously true when `Iᵢ` starts in
+//! the initial state or `Iⱼ` runs to the final state). Then every run
+//! must be inside all intervals simultaneously at the moment the last one
+//! is entered — and conversely, `Definitely` holds iff some tuple of
+//! maximal intervals is unavoidable, which a left-to-right elimination
+//! scan finds in O(n²·I) for I intervals total.
+
+use gpd_computation::{BoolVariable, Computation, EventId, ProcessId};
+
+/// A maximal run of consecutive true states on one process.
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    /// Event entering the interval (`None`: starts in the initial state).
+    begin: Option<EventId>,
+    /// Event leaving the interval (`None`: runs to the final state).
+    exit: Option<EventId>,
+}
+
+/// The maximal true intervals of `p`, in order.
+fn intervals_of(comp: &Computation, var: &BoolVariable, p: ProcessId) -> Vec<Interval> {
+    let m = comp.events_on(p) as u32;
+    let mut out = Vec::new();
+    let mut state = 0u32;
+    while state <= m {
+        if !var.value_in_state(p, state) {
+            state += 1;
+            continue;
+        }
+        let start = state;
+        while state + 1 <= m && var.value_in_state(p, state + 1) {
+            state += 1;
+        }
+        out.push(Interval {
+            begin: (start > 0).then(|| comp.event_at(p, start).expect("state in range")),
+            exit: comp.event_at(p, state + 1),
+        });
+        state += 1;
+    }
+    out
+}
+
+/// Whether entering `a` is guaranteed to precede leaving `b` in every run.
+fn overlaps(comp: &Computation, a: Interval, b: Interval) -> bool {
+    match (a.begin, b.exit) {
+        (None, _) | (_, None) => true,
+        (Some(begin), Some(exit)) => comp.happened_before(begin, exit),
+    }
+}
+
+/// Decides `Definitely(⋀_{p ∈ processes} x_p)` in polynomial time.
+///
+/// # Panics
+///
+/// Panics if a process index is out of range or listed twice.
+///
+/// # Example
+///
+/// ```
+/// use gpd::conjunctive::definitely_conjunctive;
+/// use gpd_computation::{BoolVariable, ComputationBuilder};
+///
+/// // Both variables true initially: every run starts inside the
+/// // conjunction.
+/// let mut b = ComputationBuilder::new(2);
+/// b.append(0);
+/// b.append(1);
+/// let comp = b.build().unwrap();
+/// let x = BoolVariable::new(&comp, vec![vec![true, false], vec![true, false]]);
+/// assert!(definitely_conjunctive(&comp, &x, &[0.into(), 1.into()]));
+/// ```
+pub fn definitely_conjunctive(
+    comp: &Computation,
+    var: &BoolVariable,
+    processes: &[ProcessId],
+) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    for &p in processes {
+        assert!(p.index() < comp.process_count(), "process {p} out of range");
+        assert!(seen.insert(p), "process {p} listed twice");
+    }
+
+    let queues: Vec<Vec<Interval>> = processes
+        .iter()
+        .map(|&p| intervals_of(comp, var, p))
+        .collect();
+    let mut head = vec![0usize; queues.len()];
+
+    loop {
+        if head.iter().zip(&queues).any(|(&h, q)| h >= q.len()) {
+            return false;
+        }
+        let mut advanced = false;
+        'pairs: for i in 0..queues.len() {
+            for j in 0..queues.len() {
+                if i == j {
+                    continue;
+                }
+                let a = queues[i][head[i]];
+                let b = queues[j][head[j]];
+                // Iᵢ's entry does not precede Iⱼ's exit: some run leaves
+                // Iⱼ before entering Iᵢ. Later intervals of i enter even
+                // later, so Iⱼ can never pair with any of them: discard
+                // Iⱼ.
+                if !overlaps(comp, a, b) {
+                    head[j] += 1;
+                    advanced = true;
+                    break 'pairs;
+                }
+            }
+        }
+        if !advanced {
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::definitely_by_enumeration;
+    use gpd_computation::{gen, ComputationBuilder};
+    use rand::{Rng, SeedableRng};
+
+    fn all_processes(n: usize) -> Vec<ProcessId> {
+        (0..n).map(ProcessId::new).collect()
+    }
+
+    #[test]
+    fn initial_truth_is_definite() {
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        let comp = b.build().unwrap();
+        let x = BoolVariable::new(&comp, vec![vec![true, false], vec![true]]);
+        assert!(definitely_conjunctive(&comp, &x, &all_processes(2)));
+    }
+
+    #[test]
+    fn final_truth_is_definite() {
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        b.append(1);
+        let comp = b.build().unwrap();
+        let x = BoolVariable::new(&comp, vec![vec![false, true], vec![false, true]]);
+        assert!(definitely_conjunctive(&comp, &x, &all_processes(2)));
+    }
+
+    #[test]
+    fn concurrent_middle_intervals_are_avoidable() {
+        // Each variable true only in a middle state, no messages: a run
+        // can finish p0 before p1 begins.
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        b.append(0);
+        b.append(1);
+        b.append(1);
+        let comp = b.build().unwrap();
+        let x = BoolVariable::new(
+            &comp,
+            vec![vec![false, true, false], vec![false, true, false]],
+        );
+        assert!(!definitely_conjunctive(&comp, &x, &all_processes(2)));
+        // But Possibly holds.
+        assert!(crate::conjunctive::possibly_conjunctive(&comp, &x, &all_processes(2)).is_some());
+    }
+
+    #[test]
+    fn messages_can_force_overlap() {
+        // p0 true in [1, 2]; exit = e03. p1 true in [1, 1]; exit = e12.
+        // Cross messages pin each entry before the other's exit.
+        let mut b = ComputationBuilder::new(2);
+        let e01 = b.append(0); // enter I0
+        let e02 = b.append(0);
+        let e03 = b.append(0); // exit I0
+        let e11 = b.append(1); // enter I1
+        let e12 = b.append(1); // exit I1
+        b.message(e01, e12).unwrap(); // enter(I0) ≺ exit(I1)
+        b.message(e11, e02).unwrap(); // enter(I1) ≺ e02 ≺ exit(I0)
+        let comp = b.build().unwrap();
+        let _ = (e02, e03);
+        let x = BoolVariable::new(
+            &comp,
+            vec![vec![false, true, true, false], vec![false, true, false]],
+        );
+        assert!(definitely_conjunctive(&comp, &x, &all_processes(2)));
+    }
+
+    #[test]
+    fn never_true_variable_is_never_definite() {
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        let comp = b.build().unwrap();
+        let x = BoolVariable::new(&comp, vec![vec![false, false], vec![true]]);
+        assert!(!definitely_conjunctive(&comp, &x, &all_processes(2)));
+    }
+
+    #[test]
+    fn empty_process_list_is_definitely_true() {
+        let comp = ComputationBuilder::new(1).build().unwrap();
+        let x = BoolVariable::new(&comp, vec![vec![false]]);
+        assert!(definitely_conjunctive(&comp, &x, &[]));
+    }
+
+    #[test]
+    fn interval_extraction() {
+        let mut b = ComputationBuilder::new(1);
+        for _ in 0..4 {
+            b.append(0);
+        }
+        let comp = b.build().unwrap();
+        // States: T F T T F → intervals [0,0] and [2,3].
+        let x = BoolVariable::new(&comp, vec![vec![true, false, true, true, false]]);
+        let ivs = intervals_of(&comp, &x, ProcessId::new(0));
+        assert_eq!(ivs.len(), 2);
+        assert!(ivs[0].begin.is_none());
+        assert_eq!(ivs[0].exit, comp.event_at(0, 1));
+        assert_eq!(ivs[1].begin, comp.event_at(0, 2));
+        assert_eq!(ivs[1].exit, comp.event_at(0, 4));
+        // Interval running to the end has no exit.
+        let y = BoolVariable::new(&comp, vec![vec![false, false, false, true, true]]);
+        let ivs = intervals_of(&comp, &y, ProcessId::new(0));
+        assert_eq!(ivs.len(), 1);
+        assert!(ivs[0].exit.is_none());
+    }
+
+    #[test]
+    fn agrees_with_enumeration_on_random_computations() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(112233);
+        for round in 0..300 {
+            let n = rng.gen_range(2..5);
+            let m = rng.gen_range(1..5);
+            let msgs = rng.gen_range(0..2 * n);
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.5);
+            let fast = definitely_conjunctive(&comp, &x, &all_processes(n));
+            let slow = definitely_by_enumeration(&comp, |cut| {
+                (0..n).all(|p| x.value_at(cut, p))
+            });
+            assert_eq!(fast, slow, "round {round}");
+        }
+    }
+}

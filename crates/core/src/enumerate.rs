@@ -1,0 +1,233 @@
+//! Exhaustive detection by walking the lattice of consistent cuts.
+//!
+//! This is the Cooper–Marzullo-style baseline: exact for *any* global
+//! predicate, but it visits every consistent cut — exponentially many in
+//! general, which is precisely the state explosion the paper's algorithms
+//! avoid. The test suite uses it as the ground-truth oracle, and the E5
+//! experiment measures the exponential gap against it.
+
+use std::collections::{HashSet, VecDeque};
+
+use gpd_computation::{Computation, Cut};
+
+/// Decides `Possibly(Φ)` by enumerating consistent cuts breadth-first;
+/// returns the first (smallest) witness cut.
+///
+/// # Example
+///
+/// ```
+/// use gpd::enumerate::possibly_by_enumeration;
+/// use gpd_computation::ComputationBuilder;
+///
+/// let mut b = ComputationBuilder::new(1);
+/// b.append(0);
+/// let comp = b.build().unwrap();
+/// let witness = possibly_by_enumeration(&comp, |cut| cut.event_count() == 1);
+/// assert_eq!(witness.unwrap().frontier(), &[1]);
+/// ```
+pub fn possibly_by_enumeration<F>(comp: &Computation, mut predicate: F) -> Option<Cut>
+where
+    F: FnMut(&Cut) -> bool,
+{
+    comp.consistent_cuts().find(|cut| predicate(cut))
+}
+
+/// Decides `Definitely(Φ)` exactly: Φ definitely holds iff **no** run
+/// avoids Φ-cuts from start to finish, i.e. iff the final cut is
+/// unreachable from the initial cut through `¬Φ` cuts only.
+///
+/// # Example
+///
+/// ```
+/// use gpd::enumerate::definitely_by_enumeration;
+/// use gpd_computation::ComputationBuilder;
+///
+/// let mut b = ComputationBuilder::new(2);
+/// b.append(0);
+/// b.append(1);
+/// let comp = b.build().unwrap();
+/// // "exactly one event executed" is unavoidable: every run serializes.
+/// assert!(definitely_by_enumeration(&comp, |cut| cut.event_count() == 1));
+/// // "p0 moved before p1" is avoidable.
+/// assert!(!definitely_by_enumeration(
+///     &comp,
+///     |cut| cut.frontier() == [1, 0]
+/// ));
+/// ```
+pub fn definitely_by_enumeration<F>(comp: &Computation, mut predicate: F) -> bool
+where
+    F: FnMut(&Cut) -> bool,
+{
+    let start = comp.initial_cut();
+    if predicate(&start) {
+        return true;
+    }
+    let goal = comp.final_cut();
+    let mut seen: HashSet<Cut> = HashSet::new();
+    seen.insert(start.clone());
+    let mut queue = VecDeque::from([start]);
+    while let Some(cut) = queue.pop_front() {
+        if cut == goal {
+            return false; // a run avoided Φ entirely
+        }
+        for next in comp.cut_successors(&cut) {
+            if !predicate(&next) && seen.insert(next.clone()) {
+                queue.push_back(next);
+            }
+        }
+    }
+    true
+}
+
+/// Decides `Definitely(Φ)` with the Cooper–Marzullo **level sweep**:
+/// instead of remembering every visited cut, keep only the current
+/// lattice level's reachable `¬Φ` cuts — cuts with exactly `k` events —
+/// and advance `k`. Same exponential worst case as
+/// [`definitely_by_enumeration`], but memory drops from the whole
+/// reachable region to one level (its widest antichain), which is what
+/// makes larger instances feasible in practice.
+///
+/// # Example
+///
+/// ```
+/// use gpd::enumerate::definitely_levelwise;
+/// use gpd_computation::ComputationBuilder;
+///
+/// let mut b = ComputationBuilder::new(2);
+/// b.append(0);
+/// b.append(1);
+/// let comp = b.build().unwrap();
+/// assert!(definitely_levelwise(&comp, |cut| cut.event_count() == 1));
+/// ```
+pub fn definitely_levelwise<F>(comp: &Computation, mut predicate: F) -> bool
+where
+    F: FnMut(&Cut) -> bool,
+{
+    let start = comp.initial_cut();
+    if predicate(&start) {
+        return true;
+    }
+    let total: usize = comp.final_cut().event_count();
+    // Invariant: `level` holds the ¬Φ cuts with k events reachable from
+    // the initial cut through ¬Φ cuts only.
+    let mut level: Vec<Cut> = vec![start];
+    for _k in 0..total {
+        let mut next: HashSet<Cut> = HashSet::new();
+        for cut in &level {
+            for succ in comp.cut_successors(cut) {
+                if !predicate(&succ) {
+                    next.insert(succ);
+                }
+            }
+        }
+        if next.is_empty() {
+            return true; // every surviving run hit Φ
+        }
+        level = next.into_iter().collect();
+    }
+    // Some run reached the final level (k = total) avoiding Φ throughout.
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpd_computation::ComputationBuilder;
+
+    fn two_by_two() -> Computation {
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        b.append(0);
+        b.append(1);
+        b.append(1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn possibly_finds_smallest_witness() {
+        let comp = two_by_two();
+        let w = possibly_by_enumeration(&comp, |c| c.event_count() >= 2).unwrap();
+        assert_eq!(w.event_count(), 2);
+    }
+
+    #[test]
+    fn possibly_none_when_unsatisfiable() {
+        let comp = two_by_two();
+        assert!(possibly_by_enumeration(&comp, |c| c.event_count() > 4).is_none());
+    }
+
+    #[test]
+    fn definitely_holds_at_initial_cut() {
+        let comp = two_by_two();
+        assert!(definitely_by_enumeration(&comp, |c| c.event_count() == 0));
+    }
+
+    #[test]
+    fn definitely_holds_at_levels() {
+        // Every run passes through each event-count level.
+        let comp = two_by_two();
+        for level in 0..=4 {
+            assert!(definitely_by_enumeration(&comp, |c| c.event_count() == level));
+        }
+    }
+
+    #[test]
+    fn definitely_fails_for_avoidable_state() {
+        let comp = two_by_two();
+        // The diagonal cut [1,1] can be stepped around via [2,0] or [0,2].
+        assert!(!definitely_by_enumeration(&comp, |c| c.frontier() == [1, 1]));
+    }
+
+    #[test]
+    fn messages_can_make_states_unavoidable() {
+        // p0: s, p1: r with s → r: the cut [1,0] is on every run.
+        let mut b = ComputationBuilder::new(2);
+        let s = b.append(0);
+        let r = b.append(1);
+        b.message(s, r).unwrap();
+        let comp = b.build().unwrap();
+        assert!(definitely_by_enumeration(&comp, |c| c.frontier() == [1, 0]));
+    }
+
+    #[test]
+    fn empty_computation_definitely_is_initial_truth() {
+        let comp = ComputationBuilder::new(1).build().unwrap();
+        assert!(definitely_by_enumeration(&comp, |_| true));
+        assert!(!definitely_by_enumeration(&comp, |_| false));
+        assert!(definitely_levelwise(&comp, |_| true));
+        assert!(!definitely_levelwise(&comp, |_| false));
+    }
+
+    #[test]
+    fn levelwise_agrees_with_bfs_on_random_predicates() {
+        use gpd_computation::gen;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(515);
+        for round in 0..80 {
+            let n = rng.gen_range(1..4);
+            let m = rng.gen_range(1..5);
+            let msgs = if n > 1 { rng.gen_range(0..n) } else { 0 };
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.4);
+            let a = definitely_by_enumeration(&comp, |c| (0..n).all(|p| x.value_at(c, p)));
+            let b = definitely_levelwise(&comp, |c| (0..n).all(|p| x.value_at(c, p)));
+            assert_eq!(a, b, "round {round}");
+            // Also an asymmetric predicate (not conjunctive).
+            let threshold = rng.gen_range(0..=(n * m));
+            let a = definitely_by_enumeration(&comp, |c| c.event_count() >= threshold);
+            let b = definitely_levelwise(&comp, |c| c.event_count() >= threshold);
+            assert_eq!(a, b, "round {round} (threshold)");
+        }
+    }
+
+    #[test]
+    fn levelwise_handles_unavoidable_message_state() {
+        let mut b = ComputationBuilder::new(2);
+        let s = b.append(0);
+        let r = b.append(1);
+        b.message(s, r).unwrap();
+        let comp = b.build().unwrap();
+        assert!(definitely_levelwise(&comp, |c| c.frontier() == [1, 0]));
+        assert!(!definitely_levelwise(&comp, |_| false));
+    }
+}

@@ -1,0 +1,15 @@
+//! Executable NP-hardness reductions (Theorems 1 and 2).
+//!
+//! The paper's two hardness results are constructive reductions; this
+//! module *implements* them, which serves three purposes: the E3/E6
+//! experiments validate each theorem empirically (the SAT/subset-sum
+//! oracle and the detector must agree on every instance), the gadget
+//! computations are worst-case inputs for benchmarking the general
+//! algorithms, and a witness cut converts back into a certificate
+//! (satisfying assignment / subset).
+
+mod sat;
+mod subset_sum;
+
+pub use sat::{reduce_sat, NotNonMonotoneError, SatReduction};
+pub use subset_sum::{brute_force_subset_sum, reduce_subset_sum, SubsetSumReduction};

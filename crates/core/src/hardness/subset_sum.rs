@@ -1,0 +1,149 @@
+//! The Theorem 2 reduction: subset sum → `Possibly(Σxᵢ = K)` with
+//! arbitrary increments.
+//!
+//! One process per element, one event per process that bumps its variable
+//! from 0 to the element's size. Consistent cuts are exactly the subsets
+//! (all events are mutually concurrent), so a cut with sum `K` *is* a
+//! subset summing to `K`. This is why the paper's ±1-step restriction in
+//! §4.2 is essential: one unrestricted jump per process already encodes
+//! subset sum.
+
+use gpd_computation::{Computation, ComputationBuilder, Cut, IntVariable};
+
+/// The output of [`reduce_subset_sum`].
+#[derive(Debug, Clone)]
+pub struct SubsetSumReduction {
+    /// One single-event process per element.
+    pub computation: Computation,
+    /// `xᵢ`: 0 before the event, the element's size after.
+    pub variable: IntVariable,
+    /// The target `K`.
+    pub target: i64,
+}
+
+impl SubsetSumReduction {
+    /// Converts a witness cut into the subset it encodes (indices of the
+    /// chosen elements).
+    pub fn subset_from_cut(&self, cut: &Cut) -> Vec<usize> {
+        (0..self.computation.process_count())
+            .filter(|&p| cut.state_of(p) == 1)
+            .collect()
+    }
+}
+
+/// Builds the Theorem 2 gadget.
+///
+/// # Panics
+///
+/// Panics if some size is not positive (the subset sum problem [GJ79,
+/// SP13] has positive sizes).
+///
+/// # Example
+///
+/// ```
+/// use gpd::hardness::reduce_subset_sum;
+/// use gpd::relational::possibly_sum;
+/// use gpd::Relop;
+///
+/// let gadget = reduce_subset_sum(&[3, 5, 7], 12);
+/// // The inequality side stays polynomial: Σ can reach ≥ 12.
+/// assert!(possibly_sum(&gadget.computation, &gadget.variable, Relop::Ge, 12).is_some());
+/// ```
+pub fn reduce_subset_sum(sizes: &[i64], target: i64) -> SubsetSumReduction {
+    assert!(
+        sizes.iter().all(|&s| s > 0),
+        "subset sum is defined for positive sizes"
+    );
+    let mut b = ComputationBuilder::new(sizes.len());
+    for p in 0..sizes.len() {
+        b.append(p);
+    }
+    let computation = b.build().expect("no messages, trivially acyclic");
+    let variable = IntVariable::new(
+        &computation,
+        sizes.iter().map(|&s| vec![0, s]).collect(),
+    );
+    SubsetSumReduction {
+        computation,
+        variable,
+        target,
+    }
+}
+
+/// Exhaustive subset-sum oracle for validating the reduction (≤ 25
+/// elements).
+///
+/// # Panics
+///
+/// Panics if there are more than 25 elements.
+pub fn brute_force_subset_sum(sizes: &[i64], target: i64) -> Option<Vec<usize>> {
+    assert!(sizes.len() <= 25, "brute force limited to 25 elements");
+    (0u32..1 << sizes.len()).find_map(|mask| {
+        let subset: Vec<usize> = (0..sizes.len()).filter(|&i| mask >> i & 1 == 1).collect();
+        let sum: i64 = subset.iter().map(|&i| sizes[i]).sum();
+        (sum == target).then_some(subset)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::possibly_by_enumeration;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn cuts_are_subsets() {
+        let g = reduce_subset_sum(&[2, 3, 5], 8);
+        assert_eq!(g.computation.consistent_cuts().count(), 8);
+        let cut = Cut::from_frontier(vec![1, 0, 1]);
+        assert_eq!(g.subset_from_cut(&cut), vec![0, 2]);
+        assert_eq!(g.variable.sum_at(&cut), 7);
+    }
+
+    #[test]
+    fn solvable_instance_detected() {
+        let g = reduce_subset_sum(&[2, 3, 5], 8);
+        let cut =
+            possibly_by_enumeration(&g.computation, |c| g.variable.sum_at(c) == g.target)
+                .expect("3 + 5 = 8");
+        let subset = g.subset_from_cut(&cut);
+        let sum: i64 = subset.iter().map(|&i| [2, 3, 5][i]).sum();
+        assert_eq!(sum, 8);
+    }
+
+    #[test]
+    fn unsolvable_instance_not_detected() {
+        let g = reduce_subset_sum(&[2, 4, 6], 5);
+        assert!(
+            possibly_by_enumeration(&g.computation, |c| g.variable.sum_at(c) == g.target)
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn oracle_and_detection_agree_on_random_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+        for round in 0..80 {
+            let n = rng.gen_range(1..9);
+            let sizes: Vec<i64> = (0..n).map(|_| rng.gen_range(1..12)).collect();
+            let target = rng.gen_range(1..30);
+            let g = reduce_subset_sum(&sizes, target);
+            let oracle = brute_force_subset_sum(&sizes, target);
+            let detected = possibly_by_enumeration(&g.computation, |c| {
+                g.variable.sum_at(c) == g.target
+            });
+            assert_eq!(oracle.is_some(), detected.is_some(), "round {round}: {sizes:?} → {target}");
+            if let Some(cut) = detected {
+                let subset = g.subset_from_cut(&cut);
+                let sum: i64 = subset.iter().map(|&i| sizes[i]).sum();
+                assert_eq!(sum, target, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sizes")]
+    fn nonpositive_sizes_panic() {
+        reduce_subset_sum(&[3, 0], 3);
+    }
+}

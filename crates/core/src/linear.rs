@@ -1,0 +1,237 @@
+//! Linear predicate detection (Chase & Garg).
+//!
+//! The paper's Figure 1 cites *linear* predicates as a tractable class
+//! beyond conjunctions. A predicate is **linear** when its satisfying
+//! cuts are closed under intersection (meet), equivalently: every
+//! non-satisfying cut has a *forbidden process* that must advance in any
+//! satisfying cut above it. Given an oracle for that process, the least
+//! satisfying cut is found by a walk that only ever makes forced moves —
+//! O(E) advances, no lattice enumeration.
+//!
+//! Conjunctive predicates are the canonical linear example
+//! ([`ConjunctiveLinear`]); the module also ships an exhaustive
+//! [`verify_linear`] checker used by the tests to certify (or refute)
+//! linearity of a candidate predicate.
+
+use gpd_computation::{BoolVariable, Computation, Cut, ProcessId};
+
+/// A predicate with an efficient *forbidden process* oracle.
+pub trait LinearPredicate {
+    /// Whether the (consistent) cut satisfies the predicate.
+    fn eval(&self, comp: &Computation, cut: &Cut) -> bool;
+
+    /// For a consistent cut that does **not** satisfy the predicate: a
+    /// process that must advance past its current state in every
+    /// satisfying cut that includes this one. Returning a wrong process
+    /// breaks completeness (the linearity obligation is the
+    /// implementor's).
+    fn forbidden(&self, comp: &Computation, cut: &Cut) -> ProcessId;
+}
+
+/// Finds the least consistent cut satisfying a linear predicate, if any:
+/// start at the initial cut; while unsatisfied, advance the forbidden
+/// process one event and restore consistency with further forced
+/// advances.
+///
+/// # Example
+///
+/// ```
+/// use gpd::linear::{possibly_linear, ConjunctiveLinear};
+/// use gpd_computation::{BoolVariable, ComputationBuilder};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// b.append(0);
+/// b.append(1);
+/// let comp = b.build().unwrap();
+/// let x = BoolVariable::new(&comp, vec![vec![false, true], vec![false, true]]);
+/// let phi = ConjunctiveLinear::new(&x, vec![0.into(), 1.into()]);
+/// let cut = possibly_linear(&comp, &phi).unwrap();
+/// assert_eq!(cut.frontier(), &[1, 1]);
+/// ```
+pub fn possibly_linear<P: LinearPredicate>(comp: &Computation, predicate: &P) -> Option<Cut> {
+    let mut frontier = vec![0u32; comp.process_count()];
+    loop {
+        let cut = Cut::from_frontier(frontier.clone());
+        if predicate.eval(comp, &cut) {
+            return Some(cut);
+        }
+        let p = predicate.forbidden(comp, &cut);
+        if frontier[p.index()] as usize >= comp.events_on(p) {
+            return None; // the forbidden process has nothing left
+        }
+        frontier[p.index()] += 1;
+        // Restore consistency: executing an event forces its causal past
+        // in, which is itself a sequence of forced moves.
+        loop {
+            let mut changed = false;
+            for q in 0..comp.process_count() {
+                let f = frontier[q];
+                if f == 0 {
+                    continue;
+                }
+                let e = comp.event_at(q, f).expect("frontier within range");
+                let vc = comp.clock(e);
+                for r in 0..comp.process_count() {
+                    if vc.get(r) > frontier[r] {
+                        frontier[r] = vc.get(r);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+/// Exhaustively certifies linearity on a (small) computation: the
+/// satisfying cuts must be closed under componentwise minimum.
+/// Exponential — a test-suite tool.
+pub fn verify_linear<F>(comp: &Computation, mut eval: F) -> bool
+where
+    F: FnMut(&Cut) -> bool,
+{
+    let satisfying: Vec<Cut> = comp.consistent_cuts().filter(|c| eval(c)).collect();
+    satisfying.iter().all(|a| {
+        satisfying.iter().all(|b| {
+            let meet = Cut::from_frontier(
+                a.frontier()
+                    .iter()
+                    .zip(b.frontier())
+                    .map(|(&x, &y)| x.min(y))
+                    .collect(),
+            );
+            // The meet of consistent cuts is consistent; linearity
+            // additionally demands it satisfies the predicate.
+            eval(&meet)
+        })
+    })
+}
+
+/// A conjunctive predicate `⋀ x_p` presented through the linear-predicate
+/// interface: any process whose variable is false is forbidden (its state
+/// must change, and variables only change by advancing).
+#[derive(Debug, Clone)]
+pub struct ConjunctiveLinear<'a> {
+    var: &'a BoolVariable,
+    processes: Vec<ProcessId>,
+}
+
+impl<'a> ConjunctiveLinear<'a> {
+    /// Creates the adapter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processes` is empty (an empty conjunction is always
+    /// true and has no forbidden process to name).
+    pub fn new(var: &'a BoolVariable, processes: Vec<ProcessId>) -> Self {
+        assert!(!processes.is_empty(), "empty conjunctions are trivially true");
+        ConjunctiveLinear { var, processes }
+    }
+}
+
+impl LinearPredicate for ConjunctiveLinear<'_> {
+    fn eval(&self, _comp: &Computation, cut: &Cut) -> bool {
+        self.processes.iter().all(|&p| self.var.value_at(cut, p))
+    }
+
+    fn forbidden(&self, _comp: &Computation, cut: &Cut) -> ProcessId {
+        *self
+            .processes
+            .iter()
+            .find(|&&p| !self.var.value_at(cut, p))
+            .expect("forbidden is only queried on non-satisfying cuts")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conjunctive::possibly_conjunctive;
+    use gpd_computation::{gen, ComputationBuilder};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn conjunctive_is_certifiably_linear() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..4);
+            let events = rng.gen_range(1..4);
+            let comp = gen::random_computation(&mut rng, n, events, n);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.5);
+            assert!(verify_linear(&comp, |cut| {
+                (0..n).all(|p| x.value_at(cut, p))
+            }));
+        }
+    }
+
+    #[test]
+    fn disjunction_is_not_linear() {
+        // x₀ ∨ x₁ with truths on opposite sides: the meet of the two
+        // satisfying cuts satisfies neither disjunct.
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        b.append(1);
+        let comp = b.build().unwrap();
+        let x = BoolVariable::new(&comp, vec![vec![false, true], vec![false, true]]);
+        assert!(!verify_linear(&comp, |cut| {
+            (0..2).any(|p| x.value_at(cut, p))
+        }));
+    }
+
+    #[test]
+    fn walk_agrees_with_cpdhb_on_random_inputs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        for round in 0..100 {
+            let n = rng.gen_range(2..5);
+            let m = rng.gen_range(1..6);
+            let msgs = rng.gen_range(0..2 * n);
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.4);
+            let processes: Vec<ProcessId> = (0..n).map(ProcessId::new).collect();
+            let phi = ConjunctiveLinear::new(&x, processes.clone());
+            let via_linear = possibly_linear(&comp, &phi);
+            let via_scan = possibly_conjunctive(&comp, &x, &processes);
+            assert_eq!(via_linear, via_scan, "round {round}: both find the least cut");
+        }
+    }
+
+    #[test]
+    fn returns_least_satisfying_cut() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(321);
+        for _ in 0..30 {
+            let n = rng.gen_range(2..4);
+            let events = rng.gen_range(1..4);
+            let comp = gen::random_computation(&mut rng, n, events, n);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.5);
+            let processes: Vec<ProcessId> = (0..n).map(ProcessId::new).collect();
+            let phi = ConjunctiveLinear::new(&x, processes);
+            if let Some(cut) = possibly_linear(&comp, &phi) {
+                for other in comp.consistent_cuts() {
+                    if phi.eval(&comp, &other) {
+                        assert!(cut.leq(&other), "{cut:?} not below {other:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_forbidden_process_means_no_witness() {
+        let mut b = ComputationBuilder::new(1);
+        b.append(0);
+        let comp = b.build().unwrap();
+        let x = BoolVariable::new(&comp, vec![vec![false, false]]);
+        let phi = ConjunctiveLinear::new(&x, vec![0.into()]);
+        assert_eq!(possibly_linear(&comp, &phi), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "trivially true")]
+    fn empty_conjunction_panics() {
+        let comp = ComputationBuilder::new(1).build().unwrap();
+        let x = BoolVariable::new(&comp, vec![vec![false]]);
+        let _ = ConjunctiveLinear::new(&x, vec![]);
+    }
+}

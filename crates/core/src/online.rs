@@ -1,0 +1,256 @@
+//! Online (streaming) conjunctive detection.
+//!
+//! The Garg–Waldecker algorithm was conceived as a *monitor*: a checker
+//! process receives, from each application process, the vector timestamps
+//! of the local states in which its variable is true, and raises an alarm
+//! the moment a consistent global true-state is known to exist. This
+//! module packages the same scan incrementally: feed true states in any
+//! order that is FIFO per process, poll for a verdict after each
+//! observation, and the answer always equals what the offline
+//! [`possibly_conjunctive`](crate::conjunctive::possibly_conjunctive)
+//! would say on the events observed so far.
+
+use std::collections::VecDeque;
+
+use gpd_computation::VectorClock;
+
+/// Streaming detector for `Possibly(x₀ ∧ … ∧ x_{n−1})`.
+///
+/// # Example
+///
+/// ```
+/// use gpd::online::ConjunctiveMonitor;
+/// use gpd_computation::VectorClock;
+///
+/// let mut monitor = ConjunctiveMonitor::new(2);
+/// // p0's variable is true after its first event.
+/// monitor.observe(0, VectorClock::from(vec![1, 0]));
+/// assert!(monitor.witness().is_none()); // nothing from p1 yet
+/// monitor.observe(1, VectorClock::from(vec![0, 1]));
+/// assert!(monitor.witness().is_some()); // concurrent true states
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConjunctiveMonitor {
+    /// Per process: pending true-state clocks, oldest first.
+    queues: Vec<VecDeque<VectorClock>>,
+    /// Found witness (sticky once set).
+    witness: Option<Vec<VectorClock>>,
+}
+
+impl ConjunctiveMonitor {
+    /// A monitor over `n` processes whose variables all start false.
+    pub fn new(n: usize) -> Self {
+        ConjunctiveMonitor {
+            queues: vec![VecDeque::new(); n],
+            witness: None,
+        }
+    }
+
+    /// A monitor over `n` processes with the given initial variable
+    /// values: an initially-true variable contributes its initial state
+    /// (the zero clock) as a candidate.
+    pub fn with_initial(initial: &[bool]) -> Self {
+        let mut monitor = ConjunctiveMonitor::new(initial.len());
+        for (p, &true_initially) in initial.iter().enumerate() {
+            if true_initially {
+                monitor.queues[p].push_back(VectorClock::zero(initial.len()));
+            }
+        }
+        monitor.scan();
+        monitor
+    }
+
+    /// The number of monitored processes.
+    pub fn process_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Reports that process `p` entered a local state in which its
+    /// variable is **true**, stamped with the state's vector clock
+    /// (the clock of the event that produced the state). States must
+    /// arrive in per-process order; interleaving across processes is
+    /// arbitrary.
+    ///
+    /// False states need not be reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range, the clock has the wrong length, or
+    /// the clock regresses within `p`'s stream.
+    pub fn observe(&mut self, p: usize, clock: VectorClock) {
+        assert!(p < self.queues.len(), "process {p} out of range");
+        assert_eq!(clock.len(), self.queues.len(), "clock length mismatch");
+        if let Some(last) = self.queues[p].back() {
+            assert!(
+                last.get(p) < clock.get(p),
+                "states of p{p} must arrive in order"
+            );
+        }
+        if self.witness.is_some() {
+            return;
+        }
+        self.queues[p].push_back(clock);
+        self.scan();
+    }
+
+    /// The witness — one true-state clock per process, pairwise
+    /// consistent — once detection has succeeded. Sticky.
+    pub fn witness(&self) -> Option<&[VectorClock]> {
+        self.witness.as_deref()
+    }
+
+    /// Runs eliminations on the queue heads; records a witness when all
+    /// heads are present and pairwise consistent.
+    fn scan(&mut self) {
+        let n = self.queues.len();
+        if n == 0 {
+            self.witness = Some(Vec::new());
+            return;
+        }
+        loop {
+            if self.queues.iter().any(VecDeque::is_empty) {
+                return; // wait for more observations
+            }
+            let mut advanced = false;
+            'pairs: for i in 0..n {
+                for j in (i + 1)..n {
+                    let ci = &self.queues[i][0];
+                    let cj = &self.queues[j][0];
+                    // State of i forces more of j than cj has: cj can
+                    // never pair with i's current or future states.
+                    let kills_j = ci.get(j) > cj.get(j);
+                    let kills_i = cj.get(i) > ci.get(i);
+                    if kills_j {
+                        self.queues[j].pop_front();
+                        advanced = true;
+                    }
+                    if kills_i {
+                        self.queues[i].pop_front();
+                        advanced = true;
+                    }
+                    if advanced {
+                        break 'pairs;
+                    }
+                }
+            }
+            if !advanced {
+                self.witness = Some(
+                    self.queues
+                        .iter()
+                        .map(|q| q[0].clone())
+                        .collect(),
+                );
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conjunctive::possibly_conjunctive;
+    use gpd_computation::{gen, ProcessId};
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_monitor_is_immediately_satisfied() {
+        let monitor = ConjunctiveMonitor::with_initial(&[]);
+        assert!(monitor.witness().is_some());
+    }
+
+    #[test]
+    fn initial_truths_form_a_witness() {
+        let monitor = ConjunctiveMonitor::with_initial(&[true, true]);
+        let w = monitor.witness().unwrap();
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|c| c.as_slice() == [0, 0]));
+    }
+
+    #[test]
+    fn causally_ordered_truths_are_rejected() {
+        // p1's true state already saw p0's second event, p0 is only true
+        // in its first state: inconsistent forever.
+        let mut m = ConjunctiveMonitor::new(2);
+        m.observe(0, VectorClock::from(vec![1, 0]));
+        m.observe(1, VectorClock::from(vec![2, 1]));
+        assert!(m.witness().is_none());
+        // A later true state of p0 resolves it.
+        m.observe(0, VectorClock::from(vec![3, 0]));
+        assert!(m.witness().is_some());
+    }
+
+    #[test]
+    fn witness_is_sticky() {
+        let mut m = ConjunctiveMonitor::new(1);
+        m.observe(0, VectorClock::from(vec![1]));
+        let w1 = m.witness().unwrap().to_vec();
+        m.observe(0, VectorClock::from(vec![5]));
+        assert_eq!(m.witness().unwrap(), w1.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "must arrive in order")]
+    fn out_of_order_stream_panics() {
+        let mut m = ConjunctiveMonitor::new(1);
+        m.observe(0, VectorClock::from(vec![2]));
+        m.observe(0, VectorClock::from(vec![1]));
+    }
+
+    #[test]
+    fn agrees_with_offline_detection_on_random_streams() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31415);
+        for round in 0..100 {
+            let n = rng.gen_range(2..5);
+            let m = rng.gen_range(1..6);
+            let msgs = rng.gen_range(0..2 * n);
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.4);
+
+            // Stream the true states to the monitor in a random
+            // interleaving that preserves per-process order.
+            let initial: Vec<bool> = (0..n).map(|p| x.true_initially(p)).collect();
+            let mut monitor = ConjunctiveMonitor::with_initial(&initial);
+            let streams: Vec<Vec<VectorClock>> = (0..n)
+                .map(|p| {
+                    x.true_states(p)
+                        .into_iter()
+                        .filter(|&k| k > 0)
+                        .map(|k| comp.clock(comp.event_at(p, k).unwrap()).clone())
+                        .collect()
+                })
+                .collect();
+            let mut order: Vec<usize> = (0..n)
+                .flat_map(|p| std::iter::repeat(p).take(streams[p].len()))
+                .collect();
+            order.shuffle(&mut rng);
+            let mut idx = vec![0usize; n];
+            for p in order {
+                let clock = streams[p][idx[p]].clone();
+                idx[p] += 1;
+                monitor.observe(p, clock);
+            }
+
+            let offline = possibly_conjunctive(
+                &comp,
+                &x,
+                &(0..n).map(ProcessId::new).collect::<Vec<_>>(),
+            );
+            assert_eq!(
+                monitor.witness().is_some(),
+                offline.is_some(),
+                "round {round}"
+            );
+            if let Some(w) = monitor.witness() {
+                // Pairwise consistency of the reported clocks.
+                for i in 0..n {
+                    for j in 0..n {
+                        assert!(w[i].get(j) <= w[j].get(j), "round {round}");
+                    }
+                }
+            }
+            let _ = streams;
+        }
+    }
+}

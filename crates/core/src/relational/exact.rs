@@ -1,0 +1,248 @@
+//! Exact-sum detection under the ±1-step restriction (§4.2, Theorems
+//! 4–7).
+
+use gpd_computation::{Computation, Cut, IntVariable};
+
+use crate::predicate::Relop;
+use crate::relational::definitely::definitely_sum;
+use crate::relational::optimize::{max_sum_cut, min_sum_cut};
+
+/// Error: some event changes its variable by more than one, so the
+/// polynomial exact-sum algorithms do not apply (Theorem 2 makes the
+/// unrestricted problem NP-complete — use
+/// [`crate::enumerate::possibly_by_enumeration`] if the instance is small).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotUnitStepError {
+    /// The largest observed per-event change.
+    pub max_step: i64,
+}
+
+impl std::fmt::Display for NotUnitStepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "variables change by up to {} per event; the exact-sum algorithm needs steps of at most 1",
+            self.max_step
+        )
+    }
+}
+
+impl std::error::Error for NotUnitStepError {}
+
+fn require_unit_step(var: &IntVariable) -> Result<(), NotUnitStepError> {
+    let max_step = var.max_step();
+    if max_step <= 1 {
+        Ok(())
+    } else {
+        Err(NotUnitStepError { max_step })
+    }
+}
+
+/// Walks from `start` toward `goal` (which must be reachable, i.e.
+/// `start ⊆ goal`) one event at a time, returning the first cut whose sum
+/// is `k`. Theorem 4 guarantees one exists whenever `k` lies between the
+/// two endpoint sums, because each step changes the sum by at most one.
+fn walk_until(
+    comp: &Computation,
+    var: &IntVariable,
+    start: &Cut,
+    goal: &Cut,
+    k: i64,
+) -> Option<Cut> {
+    debug_assert!(start.leq(goal), "goal must be reachable from start");
+    let mut frontier = start.frontier().to_vec();
+    let mut sum = var.sum_at(start);
+    if sum == k {
+        return Some(start.clone());
+    }
+    let increments: Vec<Vec<i64>> = (0..comp.process_count())
+        .map(|p| var.increments(p))
+        .collect();
+    loop {
+        // Execute any enabled event that the goal still owes us.
+        let mut progressed = false;
+        for p in 0..comp.process_count() {
+            if frontier[p] >= goal.state_of(p) {
+                continue;
+            }
+            let e = comp
+                .event_at(p, frontier[p] + 1)
+                .expect("goal frontier within range");
+            let vc = comp.clock(e);
+            let enabled =
+                (0..comp.process_count()).all(|q| q == p || vc.get(q) <= frontier[q]);
+            if !enabled {
+                continue;
+            }
+            sum += increments[p][frontier[p] as usize];
+            frontier[p] += 1;
+            progressed = true;
+            if sum == k {
+                return Some(Cut::from_frontier(frontier));
+            }
+            break;
+        }
+        if !progressed {
+            // start == goal already handled; a consistent goal always
+            // admits progress otherwise.
+            return None;
+        }
+    }
+}
+
+/// Decides `Possibly(Σxᵢ = K)` for variables that change by at most one
+/// per event, in polynomial time (Theorem 7(1)): a cut with sum `K`
+/// exists iff `min Σ ≤ K ≤ max Σ`, and the Theorem 4 walk from the
+/// initial cut to an extreme cut materializes the witness.
+///
+/// # Errors
+///
+/// Returns [`NotUnitStepError`] when some step exceeds 1.
+///
+/// # Example
+///
+/// ```
+/// use gpd::relational::possibly_exact_sum;
+/// use gpd_computation::{ComputationBuilder, IntVariable};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// b.append(0);
+/// b.append(1);
+/// let comp = b.build().unwrap();
+/// let x = IntVariable::new(&comp, vec![vec![0, 1], vec![0, 1]]);
+/// let cut = possibly_exact_sum(&comp, &x, 1).unwrap().expect("sum 1 reachable");
+/// assert_eq!(x.sum_at(&cut), 1);
+/// assert!(possibly_exact_sum(&comp, &x, 3).unwrap().is_none());
+/// ```
+pub fn possibly_exact_sum(
+    comp: &Computation,
+    var: &IntVariable,
+    k: i64,
+) -> Result<Option<Cut>, NotUnitStepError> {
+    require_unit_step(var)?;
+    let initial = comp.initial_cut();
+    let s0 = var.sum_at(&initial);
+    if s0 == k {
+        return Ok(Some(initial));
+    }
+    let (extreme, cut) = if s0 < k {
+        max_sum_cut(comp, var)
+    } else {
+        min_sum_cut(comp, var)
+    };
+    if (s0 < k && extreme < k) || (s0 > k && extreme > k) {
+        return Ok(None);
+    }
+    let witness = walk_until(comp, var, &initial, &cut, k)
+        .expect("Theorem 4: a ±1 walk crossing K passes through K");
+    Ok(Some(witness))
+}
+
+/// Decides `Definitely(Σxᵢ = K)` for ±1-step variables via Theorem 7(2):
+/// `Definitely(Σ = K) ⇔ Definitely(Σ ≥ K) ∧ Definitely(Σ ≤ K)` — every
+/// run that must visit both sides of `K` must cross it. The two
+/// inequality primitives are answered exactly (see
+/// [`definitely_sum`](crate::relational::definitely_sum); the paper
+/// inherits them from prior work).
+///
+/// # Errors
+///
+/// Returns [`NotUnitStepError`] when some step exceeds 1.
+pub fn definitely_exact_sum(
+    comp: &Computation,
+    var: &IntVariable,
+    k: i64,
+) -> Result<bool, NotUnitStepError> {
+    require_unit_step(var)?;
+    Ok(definitely_sum(comp, var, Relop::Ge, k) && definitely_sum(comp, var, Relop::Le, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{definitely_by_enumeration, possibly_by_enumeration};
+    use gpd_computation::{gen, ComputationBuilder};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn initial_sum_is_immediate_witness() {
+        let comp = ComputationBuilder::new(2).build().unwrap();
+        let x = IntVariable::new(&comp, vec![vec![1], vec![2]]);
+        let cut = possibly_exact_sum(&comp, &x, 3).unwrap().unwrap();
+        assert_eq!(cut, comp.initial_cut());
+    }
+
+    #[test]
+    fn walk_finds_intermediate_value() {
+        // p0: 0→1→2, p1: 0→1. Max sum 3; ask for 2.
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        b.append(0);
+        b.append(1);
+        let comp = b.build().unwrap();
+        let x = IntVariable::new(&comp, vec![vec![0, 1, 2], vec![0, 1]]);
+        let cut = possibly_exact_sum(&comp, &x, 2).unwrap().unwrap();
+        assert_eq!(x.sum_at(&cut), 2);
+    }
+
+    #[test]
+    fn unreachable_values_return_none() {
+        let mut b = ComputationBuilder::new(1);
+        b.append(0);
+        let comp = b.build().unwrap();
+        let x = IntVariable::new(&comp, vec![vec![0, -1]]);
+        assert!(possibly_exact_sum(&comp, &x, 1).unwrap().is_none());
+        assert!(possibly_exact_sum(&comp, &x, -2).unwrap().is_none());
+        assert!(possibly_exact_sum(&comp, &x, -1).unwrap().is_some());
+    }
+
+    #[test]
+    fn non_unit_step_is_rejected() {
+        let mut b = ComputationBuilder::new(1);
+        b.append(0);
+        let comp = b.build().unwrap();
+        let x = IntVariable::new(&comp, vec![vec![0, 5]]);
+        let err = possibly_exact_sum(&comp, &x, 5).unwrap_err();
+        assert_eq!(err.max_step, 5);
+        assert!(err.to_string().contains("at most 1"));
+        assert!(definitely_exact_sum(&comp, &x, 5).is_err());
+    }
+
+    #[test]
+    fn possibly_agrees_with_enumeration_on_random_walks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(606);
+        for round in 0..60 {
+            let n = rng.gen_range(1..5);
+            let m = rng.gen_range(1..6);
+            let msgs = if n > 1 { rng.gen_range(0..2 * n) } else { 0 };
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_unit_int_variable(&mut rng, &comp);
+            for k in -3..=3 {
+                let fast = possibly_exact_sum(&comp, &x, k).unwrap();
+                let slow = possibly_by_enumeration(&comp, |c| x.sum_at(c) == k);
+                assert_eq!(fast.is_some(), slow.is_some(), "round {round}, k={k}");
+                if let Some(cut) = fast {
+                    assert_eq!(x.sum_at(&cut), k, "round {round}, k={k}");
+                    assert!(comp.is_consistent(&cut));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn definitely_agrees_with_enumeration_on_random_walks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(607);
+        for round in 0..40 {
+            let n = rng.gen_range(1..4);
+            let m = rng.gen_range(1..5);
+            let msgs = if n > 1 { rng.gen_range(0..n) } else { 0 };
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_unit_int_variable(&mut rng, &comp);
+            for k in -2..=2 {
+                let fast = definitely_exact_sum(&comp, &x, k).unwrap();
+                let slow = definitely_by_enumeration(&comp, |c| x.sum_at(c) == k);
+                assert_eq!(fast, slow, "round {round}, k={k}");
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The §3.3 chain-cover algorithm: cover each clause's true states with a
+//! minimum number of chains and scan once per chain combination.
+
+use gpd_computation::{BoolVariable, Computation, Cut};
+use gpd_order::{min_chain_cover, Dag};
+
+use crate::predicate::SingularCnf;
+use crate::scan::{cut_through, scan, Candidate};
+use crate::singular::{cartesian_product, literal_states};
+
+/// Builds, for one clause, the minimum chain cover of its literal-true
+/// states under the causal order on states (state `(p, k)` precedes
+/// `(q, l)` when every cut through `(q, l)` contains `(p, k)`'s past).
+fn clause_chains(
+    comp: &Computation,
+    var: &BoolVariable,
+    clause: &crate::predicate::CnfClause,
+) -> Vec<Vec<Candidate>> {
+    let states: Vec<Candidate> = clause
+        .literals()
+        .iter()
+        .flat_map(|&(p, positive)| literal_states(comp, var, p, positive))
+        .collect();
+    if states.is_empty() {
+        return Vec::new();
+    }
+
+    // Comparability DAG on the states: i → j iff state i strictly
+    // precedes state j (pointwise on the state clocks, which coincides
+    // with the causal order for k ≥ 1 and puts every (·, 0) at bottom).
+    let clock = |c: &Candidate, q: usize| -> u32 {
+        if c.state == 0 {
+            0
+        } else {
+            let e = comp.event_at(c.process, c.state).expect("valid state");
+            comp.clock(e).get(q)
+        }
+    };
+    // a strictly precedes b iff a's state clock is pointwise ≤ b's and
+    // the clocks differ (only pairs of initial states share a clock —
+    // the zero vector — and those are correctly incomparable).
+    let precedes = |a: &Candidate, b: &Candidate| -> bool {
+        if a.process == b.process {
+            return a.state < b.state;
+        }
+        let mut strictly_less = false;
+        for q in 0..comp.process_count() {
+            match clock(a, q).cmp(&clock(b, q)) {
+                std::cmp::Ordering::Greater => return false,
+                std::cmp::Ordering::Less => strictly_less = true,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        strictly_less
+    };
+    let mut dag = Dag::new(states.len());
+    for i in 0..states.len() {
+        for j in 0..states.len() {
+            if i != j && precedes(&states[i], &states[j]) {
+                dag.add_edge(i, j);
+            }
+        }
+    }
+    let closure = dag
+        .transitive_closure()
+        .expect("a subrelation of a partial order is acyclic");
+    let elements: Vec<usize> = (0..states.len()).collect();
+    min_chain_cover(&closure, &elements)
+        .into_chains()
+        .into_iter()
+        .map(|chain| chain.into_iter().map(|i| states[i]).collect())
+        .collect()
+}
+
+/// The minimum chain-cover size of each clause's literal-true states —
+/// the `cᵢ` whose product counts this algorithm's scans. Used by the E5
+/// experiment to compare `∏ cᵢ` against the subset algorithm's `∏ kᵢ`.
+pub fn chain_cover_sizes(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+) -> Vec<usize> {
+    predicate
+        .clauses()
+        .iter()
+        .map(|c| clause_chains(comp, var, c).len())
+        .collect()
+}
+
+/// Decides `Possibly(Φ)` by covering each clause's literal-true states
+/// with a minimum number of chains (Dilworth via bipartite matching) and
+/// running one scan per combination of chains, one chain per clause:
+/// `∏ᵢ cᵢ` scans where `cᵢ` is the clause's cover width. Since `cᵢ` never
+/// exceeds the clause size (each process's states form one chain), this
+/// performs at most as many scans as
+/// [`possibly_singular_subsets`](crate::singular::possibly_singular_subsets)
+/// and often exponentially fewer when true states are causally aligned.
+///
+/// Returns the first witness cut found.
+///
+/// # Example
+///
+/// ```
+/// use gpd::singular::possibly_singular_chains;
+/// use gpd::{CnfClause, SingularCnf};
+/// use gpd_computation::{BoolVariable, ComputationBuilder};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// b.append(0);
+/// b.append(1);
+/// let comp = b.build().unwrap();
+/// let x = BoolVariable::new(&comp, vec![vec![false, true], vec![false, true]]);
+/// let phi = SingularCnf::new(vec![
+///     CnfClause::new(vec![(0.into(), true), (1.into(), true)]),
+/// ]);
+/// assert!(possibly_singular_chains(&comp, &x, &phi).is_some());
+/// ```
+pub fn possibly_singular_chains(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+) -> Option<Cut> {
+    let covers: Vec<Vec<Vec<Candidate>>> = predicate
+        .clauses()
+        .iter()
+        .map(|c| clause_chains(comp, var, c))
+        .collect();
+    let sizes: Vec<usize> = covers.iter().map(Vec::len).collect();
+    cartesian_product(&sizes, |choice| {
+        let slots: Vec<Vec<Candidate>> = covers
+            .iter()
+            .zip(choice)
+            .map(|(cover, &i)| cover[i].clone())
+            .collect();
+        scan(comp, &slots).map(|found| cut_through(comp, &found))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::possibly_by_enumeration;
+    use crate::predicate::CnfClause;
+    use crate::singular::possibly_singular_subsets;
+    use gpd_computation::{gen, ComputationBuilder, ProcessId};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn chain_cover_is_one_when_states_are_ordered() {
+        // p0 sends to p1 between their true states: the two literal-true
+        // states are causally ordered → one chain suffices.
+        let mut b = ComputationBuilder::new(2);
+        let s = b.append(0);
+        let r = b.append(1);
+        b.message(s, r).unwrap();
+        let comp = b.build().unwrap();
+        let x = BoolVariable::new(&comp, vec![vec![false, true], vec![false, true]]);
+        let phi = SingularCnf::new(vec![CnfClause::new(vec![
+            (0.into(), true),
+            (1.into(), true),
+        ])]);
+        assert_eq!(chain_cover_sizes(&comp, &x, &phi), vec![1]);
+        assert!(possibly_singular_chains(&comp, &x, &phi).is_some());
+    }
+
+    #[test]
+    fn chain_cover_equals_clause_width_when_concurrent() {
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        b.append(1);
+        let comp = b.build().unwrap();
+        let x = BoolVariable::new(&comp, vec![vec![false, true], vec![false, true]]);
+        let phi = SingularCnf::new(vec![CnfClause::new(vec![
+            (0.into(), true),
+            (1.into(), true),
+        ])]);
+        assert_eq!(chain_cover_sizes(&comp, &x, &phi), vec![2]);
+    }
+
+    #[test]
+    fn agrees_with_enumeration_and_subsets_on_random_inputs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(777);
+        for round in 0..80 {
+            let n = rng.gen_range(2..6);
+            let m = rng.gen_range(1..5);
+            let msgs = rng.gen_range(0..2 * n);
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.35);
+            // One or two clauses over a prefix of the processes.
+            let phi = if n >= 4 && rng.gen_bool(0.5) {
+                SingularCnf::new(vec![
+                    CnfClause::new(vec![
+                        (ProcessId::new(0), rng.gen_bool(0.5)),
+                        (ProcessId::new(1), rng.gen_bool(0.5)),
+                    ]),
+                    CnfClause::new(vec![
+                        (ProcessId::new(2), rng.gen_bool(0.5)),
+                        (ProcessId::new(3), rng.gen_bool(0.5)),
+                    ]),
+                ])
+            } else {
+                SingularCnf::new(vec![CnfClause::new(
+                    (0..n.min(3))
+                        .map(|p| (ProcessId::new(p), rng.gen_bool(0.5)))
+                        .collect(),
+                )])
+            };
+            let via_chains = possibly_singular_chains(&comp, &x, &phi);
+            let via_subsets = possibly_singular_subsets(&comp, &x, &phi);
+            let slow = possibly_by_enumeration(&comp, |cut| phi.eval(&x, cut));
+            assert_eq!(via_chains.is_some(), slow.is_some(), "round {round}");
+            assert_eq!(via_subsets.is_some(), slow.is_some(), "round {round}");
+            if let Some(cut) = via_chains {
+                assert!(phi.eval(&x, &cut), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn cover_sizes_never_exceed_clause_width() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let comp = gen::random_computation(&mut rng, 4, 4, 5);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.5);
+            let phi = SingularCnf::new(vec![CnfClause::new(vec![
+                (0.into(), true),
+                (1.into(), true),
+                (2.into(), true),
+            ])]);
+            let sizes = chain_cover_sizes(&comp, &x, &phi);
+            assert!(sizes[0] <= 3);
+        }
+    }
+}

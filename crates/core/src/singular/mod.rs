@@ -1,0 +1,157 @@
+//! Singular k-CNF predicate detection (the paper's §3).
+//!
+//! Detecting `Possibly(Φ)` for a singular k-CNF predicate Φ is NP-complete
+//! once k ≥ 2 (Theorem 1; see [`crate::hardness::reduce_sat`] for the
+//! executable reduction). This module provides the paper's three
+//! algorithms for the decidable side:
+//!
+//! * [`possibly_singular_ordered`] — **polynomial** when the computation
+//!   is receive-ordered or send-ordered with respect to the clause
+//!   meta-processes (§3.2).
+//! * [`possibly_singular_subsets`] — general case: one CPDHB scan per
+//!   choice of one literal per clause, `∏ᵢ kᵢ` scans total (§3.3).
+//! * [`possibly_singular_chains`] — general case: cover each clause's
+//!   true states with a minimum number of chains and scan once per chain
+//!   combination, `∏ᵢ cᵢ` scans with `cᵢ ≤ kᵢ` — never more scans than the
+//!   subset algorithm, and exponentially fewer than lattice enumeration
+//!   (§3.3).
+//! * [`possibly_singular`] — dispatcher: the polynomial special case when
+//!   it applies, otherwise the chain-cover algorithm.
+//!
+//! All return the witness cut. Everything is validated against
+//! [`crate::enumerate`] in the test suite.
+
+mod chains;
+mod ordered;
+mod subsets;
+
+pub use chains::{chain_cover_sizes, possibly_singular_chains};
+pub use ordered::{possibly_singular_ordered, NotOrderedError};
+pub use subsets::possibly_singular_subsets;
+
+use gpd_computation::{BoolVariable, Computation, Cut, ProcessId};
+
+use crate::predicate::SingularCnf;
+use crate::scan::Candidate;
+
+/// Detects `Possibly(Φ)` with the best applicable algorithm: the §3.2
+/// polynomial scan when the computation is receive- or send-ordered for
+/// Φ's clause grouping, the §3.3 chain-cover algorithm otherwise.
+///
+/// # Example
+///
+/// ```
+/// use gpd::singular::possibly_singular;
+/// use gpd::{CnfClause, SingularCnf};
+/// use gpd_computation::{BoolVariable, ComputationBuilder};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// b.append(0);
+/// let comp = b.build().unwrap();
+/// let x = BoolVariable::new(&comp, vec![vec![false, true], vec![false]]);
+/// // (x₀ ∨ x₁) — one clause spanning both processes.
+/// let phi = SingularCnf::new(vec![CnfClause::new(vec![
+///     (0.into(), true),
+///     (1.into(), true),
+/// ])]);
+/// assert!(possibly_singular(&comp, &x, &phi).is_some());
+/// ```
+pub fn possibly_singular(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+) -> Option<Cut> {
+    match possibly_singular_ordered(comp, var, predicate) {
+        Ok(result) => result,
+        Err(NotOrderedError) => possibly_singular_chains(comp, var, predicate),
+    }
+}
+
+/// The local states of `p` in which the literal `(p, positive)` holds —
+/// including the initial state.
+pub(crate) fn literal_states(
+    comp: &Computation,
+    var: &BoolVariable,
+    p: ProcessId,
+    positive: bool,
+) -> Vec<Candidate> {
+    (0..=comp.events_on(p) as u32)
+        .filter(|&k| var.value_in_state(p, k) == positive)
+        .map(|state| Candidate { process: p, state })
+        .collect()
+}
+
+/// Iterates over all index combinations `[i₀, …, i_{g-1}]` with
+/// `iⱼ < sizes[j]`, invoking `visit`; stops early when `visit` returns
+/// `Some`.
+pub(crate) fn cartesian_product<T>(
+    sizes: &[usize],
+    mut visit: impl FnMut(&[usize]) -> Option<T>,
+) -> Option<T> {
+    if sizes.iter().any(|&s| s == 0) {
+        return None;
+    }
+    let mut idx = vec![0usize; sizes.len()];
+    loop {
+        if let Some(found) = visit(&idx) {
+            return Some(found);
+        }
+        // Odometer increment.
+        let mut pos = sizes.len();
+        loop {
+            if pos == 0 {
+                return None;
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < sizes[pos] {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_product_visits_all_combinations() {
+        let mut seen = Vec::new();
+        let result: Option<()> = cartesian_product(&[2, 3], |idx| {
+            seen.push(idx.to_vec());
+            None
+        });
+        assert_eq!(result, None);
+        assert_eq!(seen.len(), 6);
+        assert!(seen.contains(&vec![1, 2]));
+        assert!(seen.contains(&vec![0, 0]));
+    }
+
+    #[test]
+    fn cartesian_product_short_circuits() {
+        let mut count = 0;
+        let result = cartesian_product(&[5, 5], |idx| {
+            count += 1;
+            (idx == [0, 2]).then_some("hit")
+        });
+        assert_eq!(result, Some("hit"));
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn empty_dimension_yields_nothing() {
+        let result: Option<()> = cartesian_product(&[2, 0], |_| panic!("must not visit"));
+        assert_eq!(result, None);
+    }
+
+    #[test]
+    fn zero_dimensions_visits_once() {
+        let result = cartesian_product(&[], |idx| {
+            assert!(idx.is_empty());
+            Some(42)
+        });
+        assert_eq!(result, Some(42));
+    }
+}

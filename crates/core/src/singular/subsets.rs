@@ -1,0 +1,131 @@
+//! The §3.3 process-subset algorithm: one CPDHB scan per choice of one
+//! literal per clause.
+
+use gpd_computation::{BoolVariable, Computation, Cut};
+
+use crate::predicate::SingularCnf;
+use crate::scan::{cut_through, scan};
+use crate::singular::{cartesian_product, literal_states};
+
+/// Decides `Possibly(Φ)` for a singular CNF predicate by enumerating, for
+/// every clause, which of its literals will witness it, and running one
+/// conjunctive scan per combination — `∏ᵢ kᵢ` scans for clause sizes
+/// `kᵢ`. Exponential in the number of wide clauses, but each scan is
+/// polynomial: for computations whose lattice is large this is already an
+/// exponential improvement over enumeration (the E5 experiment measures
+/// the gap).
+///
+/// Returns the first witness cut found.
+///
+/// # Example
+///
+/// ```
+/// use gpd::singular::possibly_singular_subsets;
+/// use gpd::{CnfClause, SingularCnf};
+/// use gpd_computation::{BoolVariable, ComputationBuilder};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// b.append(0);
+/// b.append(1);
+/// let comp = b.build().unwrap();
+/// let x = BoolVariable::new(&comp, vec![vec![false, true], vec![false, true]]);
+/// let phi = SingularCnf::new(vec![
+///     CnfClause::new(vec![(0.into(), true), (1.into(), false)]),
+/// ]);
+/// assert!(possibly_singular_subsets(&comp, &x, &phi).is_some());
+/// ```
+pub fn possibly_singular_subsets(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+) -> Option<Cut> {
+    let sizes: Vec<usize> = predicate
+        .clauses()
+        .iter()
+        .map(|c| c.literals().len())
+        .collect();
+    cartesian_product(&sizes, |choice| {
+        let slots: Vec<_> = predicate
+            .clauses()
+            .iter()
+            .zip(choice)
+            .map(|(clause, &i)| {
+                let (p, positive) = clause.literals()[i];
+                literal_states(comp, var, p, positive)
+            })
+            .collect();
+        scan(comp, &slots).map(|found| cut_through(comp, &found))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::possibly_by_enumeration;
+    use crate::predicate::CnfClause;
+    use gpd_computation::gen;
+    use gpd_computation::ProcessId;
+    use rand::{Rng, SeedableRng};
+
+    /// Random singular CNF over disjoint clause process sets.
+    fn random_predicate<R: Rng>(rng: &mut R, n: usize) -> SingularCnf {
+        let mut procs: Vec<usize> = (0..n).collect();
+        // Shuffle then carve into clauses of size 1–3.
+        for i in (1..procs.len()).rev() {
+            procs.swap(i, rng.gen_range(0..=i));
+        }
+        let mut clauses = Vec::new();
+        let mut rest = procs.as_slice();
+        while !rest.is_empty() && clauses.len() < 3 {
+            let k = rng.gen_range(1..=rest.len().min(3));
+            let (now, later) = rest.split_at(k);
+            clauses.push(CnfClause::new(
+                now.iter()
+                    .map(|&p| (ProcessId::new(p), rng.gen_bool(0.5)))
+                    .collect(),
+            ));
+            rest = later;
+        }
+        SingularCnf::new(clauses)
+    }
+
+    #[test]
+    fn agrees_with_enumeration_on_random_inputs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        for round in 0..80 {
+            let n = rng.gen_range(2..6);
+            let m = rng.gen_range(1..5);
+            let msgs = rng.gen_range(0..2 * n);
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.35);
+            let phi = random_predicate(&mut rng, n);
+            let fast = possibly_singular_subsets(&comp, &x, &phi);
+            let slow = possibly_by_enumeration(&comp, |cut| phi.eval(&x, cut));
+            assert_eq!(fast.is_some(), slow.is_some(), "round {round}: {phi:?}");
+            if let Some(cut) = fast {
+                assert!(phi.eval(&x, &cut), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_when_no_literal_state_exists() {
+        let mut b = gpd_computation::ComputationBuilder::new(2);
+        b.append(0);
+        let comp = b.build().unwrap();
+        let x = BoolVariable::new(&comp, vec![vec![false, false], vec![false]]);
+        let phi = SingularCnf::new(vec![CnfClause::new(vec![
+            (0.into(), true),
+            (1.into(), true),
+        ])]);
+        assert_eq!(possibly_singular_subsets(&comp, &x, &phi), None);
+    }
+
+    #[test]
+    fn empty_predicate_is_trivially_possible() {
+        let comp = gpd_computation::ComputationBuilder::new(1).build().unwrap();
+        let x = BoolVariable::new(&comp, vec![vec![false]]);
+        let phi = SingularCnf::new(vec![]);
+        assert!(possibly_singular_subsets(&comp, &x, &phi).is_some());
+    }
+}

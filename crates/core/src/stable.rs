@@ -1,0 +1,117 @@
+//! Stable predicate detection.
+//!
+//! A predicate is **stable** when it can never turn false once true
+//! (termination, deadlock, token loss…). The paper's Figure 1 places
+//! stable predicates at the easy end of the taxonomy [Chandy–Lamport,
+//! Bougé]: since the final cut is above every cut and on every run,
+//! `Possibly(Φ) ⇔ Definitely(Φ) ⇔ Φ(final cut)` — detection is one
+//! evaluation. This module provides that shortcut plus an exhaustive
+//! stability checker for validating that a predicate really is stable.
+
+use gpd_computation::{Computation, Cut};
+
+/// Decides `Possibly(Φ)` for a **stable** predicate by evaluating the
+/// final cut. The caller asserts stability; use [`verify_stable`] in
+/// tests if unsure.
+///
+/// # Example
+///
+/// ```
+/// use gpd::stable::possibly_stable;
+/// use gpd_computation::ComputationBuilder;
+///
+/// let mut b = ComputationBuilder::new(1);
+/// b.append(0);
+/// let comp = b.build().unwrap();
+/// // "at least one event executed" is stable.
+/// assert!(possibly_stable(&comp, |cut| cut.event_count() >= 1).is_some());
+/// ```
+pub fn possibly_stable<F>(comp: &Computation, mut predicate: F) -> Option<Cut>
+where
+    F: FnMut(&Cut) -> bool,
+{
+    let final_cut = comp.final_cut();
+    predicate(&final_cut).then_some(final_cut)
+}
+
+/// Decides `Definitely(Φ)` for a **stable** predicate — identical to
+/// [`possibly_stable`] since the final cut lies on every run.
+pub fn definitely_stable<F>(comp: &Computation, predicate: F) -> bool
+where
+    F: FnMut(&Cut) -> bool,
+{
+    possibly_stable(comp, predicate).is_some()
+}
+
+/// Exhaustively verifies that `predicate` is stable on this computation:
+/// once true at a cut, true at every cut reachable by one event.
+/// Exponential (walks the lattice) — a test-suite tool, not a detector.
+pub fn verify_stable<F>(comp: &Computation, mut predicate: F) -> bool
+where
+    F: FnMut(&Cut) -> bool,
+{
+    comp.consistent_cuts().all(|cut| {
+        !predicate(&cut)
+            || comp
+                .cut_successors(&cut)
+                .iter()
+                .all(|next| predicate(next))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{definitely_by_enumeration, possibly_by_enumeration};
+    use gpd_computation::{gen, ComputationBuilder, IntVariable};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn event_count_threshold_is_stable() {
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        b.append(1);
+        let comp = b.build().unwrap();
+        assert!(verify_stable(&comp, |c| c.event_count() >= 1));
+        assert!(possibly_stable(&comp, |c| c.event_count() >= 2).is_some());
+        assert!(!definitely_stable(&comp, |c| c.event_count() >= 3));
+    }
+
+    #[test]
+    fn non_stable_predicate_is_flagged() {
+        let mut b = ComputationBuilder::new(1);
+        b.append(0);
+        let comp = b.build().unwrap();
+        // "exactly zero events" turns false: not stable.
+        assert!(!verify_stable(&comp, |c| c.event_count() == 0));
+    }
+
+    #[test]
+    fn shortcut_matches_enumeration_for_stable_predicates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2718);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..4);
+            let m = rng.gen_range(1..5);
+            let comp = gen::random_computation(&mut rng, n, m, if n > 1 { n } else { 0 });
+            // A monotone sum threshold over nonnegative increments is
+            // stable: x counts events per process.
+            let x = IntVariable::new(
+                &comp,
+                (0..n)
+                    .map(|p| (0..=comp.events_on(p) as i64).collect())
+                    .collect(),
+            );
+            let threshold = rng.gen_range(0..=(n * m) as i64);
+            let pred = |c: &Cut| x.sum_at(c) >= threshold;
+            assert!(verify_stable(&comp, pred));
+            assert_eq!(
+                possibly_stable(&comp, pred).is_some(),
+                possibly_by_enumeration(&comp, pred).is_some()
+            );
+            assert_eq!(
+                definitely_stable(&comp, pred),
+                definitely_by_enumeration(&comp, pred)
+            );
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Maximum-weight closure (project selection).
+//!
+//! A *closure* of a directed graph is a vertex set `S` that is closed under
+//! successors: `u ∈ S` and `u → v` imply `v ∈ S`. Consistent cuts of a
+//! computation are exactly the closures of the reversed event DAG, which is
+//! how `Possibly(Σxᵢ relop K)` detection lands here: choosing the cut that
+//! maximizes (or minimizes) the sum is choosing a maximum-weight closure.
+
+use crate::dinic::FlowNetwork;
+
+/// The result of [`max_weight_closure`]: the optimal closure and its total
+/// weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Closure {
+    /// Total weight of the selected vertices (0 when the empty closure is
+    /// optimal).
+    pub weight: i64,
+    /// The selected vertices, in increasing order.
+    pub members: Vec<usize>,
+}
+
+/// Computes a maximum-weight closure of the graph on `weights.len()`
+/// vertices whose closure constraints are given by `edges`: for each
+/// `(u, v)`, membership of `u` forces membership of `v`.
+///
+/// Solved with one s-t min cut (the classic "project selection" reduction):
+/// positive-weight vertices hang off the source, negative-weight vertices
+/// feed the sink, constraint edges get infinite capacity, and the source
+/// side of a minimum cut is an optimal closure.
+///
+/// The empty set is always a closure, so the returned weight is ≥ 0.
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is out of range.
+///
+/// # Example
+///
+/// ```
+/// use gpd_flow::max_weight_closure;
+///
+/// // Taking vertex 0 (worth 5) forces vertex 1 (costing 2): net +3.
+/// let c = max_weight_closure(&[5, -2], &[(0, 1)]);
+/// assert_eq!(c.weight, 3);
+/// assert_eq!(c.members, vec![0, 1]);
+/// ```
+pub fn max_weight_closure(weights: &[i64], edges: &[(usize, usize)]) -> Closure {
+    let n = weights.len();
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge ({u}, {v}) out of range {n}");
+    }
+
+    // Vertices 0..n, source n, sink n+1.
+    let (s, t) = (n, n + 1);
+    let mut net = FlowNetwork::new(n + 2);
+    let mut positive_total = 0i64;
+    for (v, &w) in weights.iter().enumerate() {
+        if w > 0 {
+            net.add_edge(s, v, w);
+            positive_total += w;
+        } else if w < 0 {
+            net.add_edge(v, t, -w);
+        }
+    }
+    for &(u, v) in edges {
+        net.add_infinite_edge(u, v);
+    }
+
+    let cut_value = if n == 0 { 0 } else { net.max_flow(s, t) };
+    let weight = positive_total - cut_value;
+    let members: Vec<usize> = if n == 0 {
+        Vec::new()
+    } else {
+        net.min_cut(s).into_iter().filter(|&v| v < n).collect()
+    };
+
+    debug_assert_eq!(
+        members.iter().map(|&v| weights[v]).sum::<i64>(),
+        weight,
+        "closure weight mismatch"
+    );
+    Closure { weight, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_closed(members: &[usize], edges: &[(usize, usize)]) -> bool {
+        let set: std::collections::HashSet<usize> = members.iter().copied().collect();
+        edges.iter().all(|&(u, v)| !set.contains(&u) || set.contains(&v))
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = max_weight_closure(&[], &[]);
+        assert_eq!(c.weight, 0);
+        assert!(c.members.is_empty());
+    }
+
+    #[test]
+    fn all_negative_yields_empty_closure() {
+        let c = max_weight_closure(&[-1, -5], &[]);
+        assert_eq!(c.weight, 0);
+        assert!(c.members.is_empty());
+    }
+
+    #[test]
+    fn all_positive_yields_full_closure() {
+        let c = max_weight_closure(&[2, 3, 4], &[(0, 1), (1, 2)]);
+        assert_eq!(c.weight, 9);
+        assert_eq!(c.members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn profitable_dependency_is_taken() {
+        let c = max_weight_closure(&[5, -2], &[(0, 1)]);
+        assert_eq!(c.weight, 3);
+        assert_eq!(c.members, vec![0, 1]);
+    }
+
+    #[test]
+    fn unprofitable_dependency_is_skipped() {
+        let c = max_weight_closure(&[5, -7], &[(0, 1)]);
+        assert_eq!(c.weight, 0);
+        assert!(c.members.is_empty());
+    }
+
+    #[test]
+    fn independent_vertices_selected_individually() {
+        let c = max_weight_closure(&[4, -1, 3], &[]);
+        assert_eq!(c.weight, 7);
+        assert_eq!(c.members, vec![0, 2]);
+    }
+
+    #[test]
+    fn chain_of_dependencies() {
+        // 0 needs 1 needs 2: 6 - 1 - 2 = 3 > 0, take all.
+        let c = max_weight_closure(&[6, -1, -2], &[(0, 1), (1, 2)]);
+        assert_eq!(c.weight, 3);
+        assert_eq!(c.members, vec![0, 1, 2]);
+        // Middle element alone can also be taken with its own suffix.
+        let c2 = max_weight_closure(&[-6, 5, -2], &[(0, 1), (1, 2)]);
+        assert_eq!(c2.weight, 3);
+        assert_eq!(c2.members, vec![1, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..60 {
+            let n = rng.gen_range(1..9);
+            let weights: Vec<i64> = (0..n).map(|_| rng.gen_range(-6..=6)).collect();
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.gen_bool(0.25) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            // Brute force over all subsets.
+            let mut best = 0i64;
+            for mask in 0u32..(1 << n) {
+                let members: Vec<usize> = (0..n).filter(|&v| mask >> v & 1 == 1).collect();
+                if is_closed(&members, &edges) {
+                    best = best.max(members.iter().map(|&v| weights[v]).sum());
+                }
+            }
+            let c = max_weight_closure(&weights, &edges);
+            assert_eq!(c.weight, best, "weights {weights:?} edges {edges:?}");
+            assert!(is_closed(&c.members, &edges));
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Maximum-flow toolkit for relational predicate detection.
+//!
+//! The polynomial algorithms for `Possibly(x₁ + … + xₙ relop K)` reduce the
+//! question "what is the minimum (or maximum) value of a separable sum over
+//! all consistent cuts?" to a **maximum-weight closure** problem on the
+//! event DAG: a consistent cut is a closed set of events, and each event
+//! carries the increment it applies to the sum. Maximum-weight closure is
+//! classically solved with one s-t minimum cut, which this crate computes
+//! with Dinic's algorithm.
+//!
+//! * [`FlowNetwork`] — capacity graph with [`FlowNetwork::max_flow`] (Dinic)
+//!   and [`FlowNetwork::min_cut`].
+//! * [`max_weight_closure`] — maximum-weight closed subset of a DAG.
+//!
+//! # Example
+//!
+//! ```
+//! use gpd_flow::FlowNetwork;
+//!
+//! let mut net = FlowNetwork::new(4);
+//! let (s, t) = (0, 3);
+//! net.add_edge(s, 1, 3);
+//! net.add_edge(s, 2, 2);
+//! net.add_edge(1, t, 2);
+//! net.add_edge(2, t, 3);
+//! net.add_edge(1, 2, 5);
+//! assert_eq!(net.max_flow(s, t), 5);
+//! ```
+
+mod closure;
+mod dinic;
+
+pub use closure::{max_weight_closure, Closure};
+pub use dinic::FlowNetwork;

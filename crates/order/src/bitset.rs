@@ -1,0 +1,290 @@
+//! Dense bit storage: [`BitSet`] over a fixed universe and a square
+//! [`BitMatrix`] used for transitive closures.
+
+/// A fixed-capacity set of `usize` indices backed by `u64` words.
+///
+/// The capacity is fixed at construction; all operations index within
+/// `0..len`.
+///
+/// # Example
+///
+/// ```
+/// use gpd_order::BitSet;
+///
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(97);
+/// assert!(s.contains(3));
+/// assert_eq!(s.count(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 97]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// The size of the universe (not the number of elements).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Inserts `i` into the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes `i` from the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Whether `i` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// The number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union: `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection: `self &= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Whether `self` is a subset of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.len, other.len, "bitset universe mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indices into a set whose universe is just large enough to
+    /// hold the maximum element.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// A square boolean matrix stored as one [`BitSet`] row per index.
+///
+/// Used as the backing store for [`crate::TransitiveClosure`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    n: usize,
+    rows: Vec<BitSet>,
+}
+
+impl BitMatrix {
+    /// Creates an all-false `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        BitMatrix {
+            n,
+            rows: vec![BitSet::new(n); n],
+        }
+    }
+
+    /// The dimension of the matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Sets entry `(i, j)` to true.
+    pub fn set(&mut self, i: usize, j: usize) {
+        self.rows[i].insert(j);
+    }
+
+    /// Reads entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.rows[i].contains(j)
+    }
+
+    /// Borrows row `i` as a bitset.
+    pub fn row(&self, i: usize) -> &BitSet {
+        &self.rows[i]
+    }
+
+    /// Unions row `src` into row `dst` (used by closure propagation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst == src`.
+    pub fn union_row_into(&mut self, dst: usize, src: usize) {
+        assert_ne!(dst, src, "cannot union a row into itself");
+        let (a, b) = if dst < src {
+            let (lo, hi) = self.rows.split_at_mut(src);
+            (&mut lo[dst], &hi[0])
+        } else {
+            let (lo, hi) = self.rows.split_at_mut(dst);
+            (&mut hi[0], &lo[src])
+        };
+        a.union_with(b);
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "BitMatrix({}x{})", self.n, self.n)?;
+        for row in &self.rows {
+            writeln!(f, "  {row:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_elements() {
+        let s = BitSet::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn contains_out_of_range_panics() {
+        BitSet::new(5).contains(5);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a: BitSet = [1, 2, 3].into_iter().collect();
+        let b: BitSet = [2, 3].into_iter().collect();
+        let mut a2 = a.clone();
+        // Universes must match for set ops; rebuild b over a's universe.
+        let mut b4 = BitSet::new(4);
+        b4.insert(2);
+        b4.insert(3);
+        a.union_with(&b4);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        a2.intersect_with(&b4);
+        assert_eq!(a2.iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert!(b4.is_subset(&a));
+        let _ = b;
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let v = vec![0, 63, 64, 65, 127, 128];
+        let s: BitSet = v.iter().copied().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), v);
+    }
+
+    #[test]
+    fn matrix_set_get_and_row_union() {
+        let mut m = BitMatrix::new(4);
+        m.set(0, 1);
+        m.set(1, 2);
+        assert!(m.get(0, 1));
+        assert!(!m.get(1, 0));
+        m.union_row_into(0, 1);
+        assert!(m.get(0, 2));
+        assert!(m.get(0, 1));
+    }
+
+    #[test]
+    fn debug_representations_are_nonempty() {
+        assert_eq!(format!("{:?}", BitSet::new(3)), "{}");
+        assert!(!format!("{:?}", BitMatrix::new(2)).is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! Dilworth decompositions: minimum chain covers and maximum antichains.
+//!
+//! The §3.3 chain-cover detection algorithm covers the true events of each
+//! process group with a minimum number of chains; the number of CPDHB
+//! invocations is the product of the cover sizes, so minimizing each cover
+//! is what buys the exponential reduction the paper claims.
+
+use crate::dag::TransitiveClosure;
+use crate::matching::hopcroft_karp;
+
+/// A partition of a set of poset elements into chains (totally ordered
+/// subsets), each listed in increasing order.
+#[derive(Debug, Clone)]
+pub struct ChainCover {
+    chains: Vec<Vec<usize>>,
+}
+
+impl ChainCover {
+    /// The number of chains — by Dilworth's theorem this equals the size of
+    /// the maximum antichain among the covered elements.
+    pub fn width(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// The chains, each sorted in order (earlier elements precede later).
+    pub fn chains(&self) -> &[Vec<usize>] {
+        &self.chains
+    }
+
+    /// Consumes the cover and returns the chains.
+    pub fn into_chains(self) -> Vec<Vec<usize>> {
+        self.chains
+    }
+}
+
+/// Computes a minimum chain cover of `elements` within the partial order
+/// described by `closure`, via Hopcroft–Karp on the comparability graph
+/// (Dilworth's theorem: minimum cover size = `elements.len()` − maximum
+/// matching).
+///
+/// Elements may be any subset of the order's universe; the cover only uses
+/// comparabilities among them.
+///
+/// # Panics
+///
+/// Panics if an element index is out of the closure's range or repeated.
+///
+/// # Example
+///
+/// ```
+/// use gpd_order::{Dag, min_chain_cover};
+///
+/// // Two incomparable chains: 0 < 1 and 2 < 3.
+/// let dag = Dag::from_edges(4, [(0, 1), (2, 3)]);
+/// let closure = dag.transitive_closure().unwrap();
+/// let cover = min_chain_cover(&closure, &[0, 1, 2, 3]);
+/// assert_eq!(cover.width(), 2);
+/// ```
+pub fn min_chain_cover(closure: &TransitiveClosure, elements: &[usize]) -> ChainCover {
+    let k = elements.len();
+    let mut seen = vec![false; closure.len()];
+    for &e in elements {
+        assert!(e < closure.len(), "element {e} out of range {}", closure.len());
+        assert!(!seen[e], "element {e} repeated");
+        seen[e] = true;
+    }
+
+    // Bipartite graph: left copy u — right copy v whenever u < v.
+    let adj: Vec<Vec<u32>> = elements
+        .iter()
+        .map(|&u| {
+            elements
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| closure.precedes(u, v))
+                .map(|(j, _)| j as u32)
+                .collect()
+        })
+        .collect();
+    let matching = hopcroft_karp(k, k, &adj);
+
+    // Each matched pair (u, v) links u to its chain successor v. Chains
+    // start at elements that are nobody's successor.
+    let mut chains = Vec::new();
+    for start in 0..k {
+        if matching.pair_right[start].is_some() {
+            continue;
+        }
+        let mut chain = Vec::new();
+        let mut cur = Some(start);
+        while let Some(i) = cur {
+            chain.push(elements[i]);
+            cur = matching.pair_left[i].map(|j| j as usize);
+        }
+        chains.push(chain);
+    }
+    ChainCover { chains }
+}
+
+/// Computes a maximum antichain of `elements` (a largest pairwise
+/// incomparable subset) using the König vertex-cover construction on the
+/// same matching that yields the minimum chain cover.
+///
+/// # Panics
+///
+/// Panics if an element index is out of the closure's range or repeated.
+pub fn max_antichain(closure: &TransitiveClosure, elements: &[usize]) -> Vec<usize> {
+    let k = elements.len();
+    let mut seen = vec![false; closure.len()];
+    for &e in elements {
+        assert!(e < closure.len(), "element {e} out of range {}", closure.len());
+        assert!(!seen[e], "element {e} repeated");
+        seen[e] = true;
+    }
+
+    let adj: Vec<Vec<u32>> = elements
+        .iter()
+        .map(|&u| {
+            elements
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| closure.precedes(u, v))
+                .map(|(j, _)| j as u32)
+                .collect()
+        })
+        .collect();
+    let matching = hopcroft_karp(k, k, &adj);
+
+    // König: Z = vertices reachable from unmatched left vertices along
+    // alternating paths. The independent set (L ∩ Z) ∪ (R \ Z) projects to
+    // the antichain {u : L_u ∈ Z and R_u ∉ Z}.
+    let mut left_in_z = vec![false; k];
+    let mut right_in_z = vec![false; k];
+    let mut stack: Vec<usize> = (0..k).filter(|&u| matching.pair_left[u].is_none()).collect();
+    for &u in &stack {
+        left_in_z[u] = true;
+    }
+    while let Some(u) = stack.pop() {
+        for &v in &adj[u] {
+            let v = v as usize;
+            if !right_in_z[v] && matching.pair_left[u] != Some(v as u32) {
+                right_in_z[v] = true;
+                if let Some(w) = matching.pair_right[v] {
+                    let w = w as usize;
+                    if !left_in_z[w] {
+                        left_in_z[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+    }
+
+    (0..k)
+        .filter(|&i| left_in_z[i] && !right_in_z[i])
+        .map(|i| elements[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::Dag;
+
+    fn closure_of(n: usize, edges: &[(usize, usize)]) -> TransitiveClosure {
+        Dag::from_edges(n, edges.iter().copied())
+            .transitive_closure()
+            .unwrap()
+    }
+
+    fn assert_valid_cover(c: &ChainCover, closure: &TransitiveClosure, elements: &[usize]) {
+        let covered: usize = c.chains().iter().map(Vec::len).sum();
+        assert_eq!(covered, elements.len(), "cover must partition elements");
+        let mut all: Vec<usize> = c.chains().iter().flatten().copied().collect();
+        all.sort_unstable();
+        let mut want = elements.to_vec();
+        want.sort_unstable();
+        assert_eq!(all, want);
+        for chain in c.chains() {
+            for w in chain.windows(2) {
+                assert!(closure.precedes(w[0], w[1]), "chain not ordered: {chain:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_order_needs_one_chain() {
+        let closure = closure_of(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cover = min_chain_cover(&closure, &[0, 1, 2, 3]);
+        assert_eq!(cover.width(), 1);
+        assert_valid_cover(&cover, &closure, &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn antichain_needs_n_chains() {
+        let closure = closure_of(4, &[]);
+        let cover = min_chain_cover(&closure, &[0, 1, 2, 3]);
+        assert_eq!(cover.width(), 4);
+        assert_eq!(max_antichain(&closure, &[0, 1, 2, 3]).len(), 4);
+    }
+
+    #[test]
+    fn diamond_has_width_two() {
+        let closure = closure_of(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let elements = [0, 1, 2, 3];
+        let cover = min_chain_cover(&closure, &elements);
+        assert_eq!(cover.width(), 2);
+        assert_valid_cover(&cover, &closure, &elements);
+        let anti = max_antichain(&closure, &elements);
+        assert_eq!(anti.len(), 2);
+        assert!(closure.concurrent(anti[0], anti[1]));
+    }
+
+    #[test]
+    fn cover_restricted_to_subset() {
+        // Order: 0<1<2 and 3 incomparable; cover only {0, 2, 3}.
+        let closure = closure_of(4, &[(0, 1), (1, 2)]);
+        let cover = min_chain_cover(&closure, &[0, 2, 3]);
+        assert_eq!(cover.width(), 2);
+        assert_valid_cover(&cover, &closure, &[0, 2, 3]);
+    }
+
+    #[test]
+    fn empty_element_set() {
+        let closure = closure_of(3, &[(0, 1)]);
+        let cover = min_chain_cover(&closure, &[]);
+        assert_eq!(cover.width(), 0);
+        assert!(max_antichain(&closure, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated")]
+    fn repeated_element_panics() {
+        let closure = closure_of(2, &[]);
+        min_chain_cover(&closure, &[0, 0]);
+    }
+
+    #[test]
+    fn dilworth_duality_on_random_posets() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let n = rng.gen_range(1..10);
+            // Random DAG via random edges respecting index order.
+            let mut edges = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.3) {
+                        edges.push((i, j));
+                    }
+                }
+            }
+            let closure = closure_of(n, &edges);
+            let elements: Vec<usize> = (0..n).collect();
+            let cover = min_chain_cover(&closure, &elements);
+            let anti = max_antichain(&closure, &elements);
+            // Dilworth: min cover size == max antichain size.
+            assert_eq!(cover.width(), anti.len());
+            assert_valid_cover(&cover, &closure, &elements);
+            // The antichain really is pairwise incomparable.
+            for (i, &u) in anti.iter().enumerate() {
+                for &v in &anti[i + 1..] {
+                    assert!(closure.concurrent(u, v));
+                }
+            }
+        }
+    }
+}

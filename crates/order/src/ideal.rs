@@ -1,0 +1,130 @@
+//! Enumeration of the order ideals (down-sets) of a poset.
+//!
+//! The order ideals of a computation's event poset are exactly its
+//! consistent cuts, so this iterator is the reference "walk every global
+//! state" baseline used to validate the clever detection algorithms. The
+//! number of ideals is exponential in general — that blow-up is the very
+//! phenomenon the paper is about — so this is for small posets and tests.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::bitset::BitSet;
+use crate::dag::Dag;
+
+/// Iterator over all order ideals of a DAG, starting from the empty ideal,
+/// in breadth-first (smallest-first) order.
+///
+/// # Example
+///
+/// ```
+/// use gpd_order::{Dag, IdealIter};
+///
+/// // A 2-element antichain has 4 ideals: {}, {0}, {1}, {0,1}.
+/// let dag = Dag::new(2);
+/// assert_eq!(IdealIter::new(&dag).count(), 4);
+/// ```
+pub struct IdealIter<'a> {
+    dag: &'a Dag,
+    queue: VecDeque<BitSet>,
+    seen: HashSet<BitSet>,
+}
+
+impl<'a> IdealIter<'a> {
+    /// Creates the iterator. The DAG is interpreted as a strict order
+    /// (edges mean "precedes"); it must be acyclic for the enumeration to
+    /// be meaningful, but acyclicity is not re-checked here.
+    pub fn new(dag: &'a Dag) -> Self {
+        let empty = BitSet::new(dag.vertex_count());
+        let mut seen = HashSet::new();
+        seen.insert(empty.clone());
+        let mut queue = VecDeque::new();
+        queue.push_back(empty);
+        IdealIter { dag, queue, seen }
+    }
+}
+
+impl Iterator for IdealIter<'_> {
+    type Item = BitSet;
+
+    fn next(&mut self) -> Option<BitSet> {
+        let ideal = self.queue.pop_front()?;
+        // Extend by every enabled element (all predecessors already in).
+        for v in 0..self.dag.vertex_count() {
+            if ideal.contains(v) {
+                continue;
+            }
+            let enabled = self
+                .dag
+                .predecessors(v)
+                .iter()
+                .all(|&p| ideal.contains(p as usize));
+            if enabled {
+                let mut next = ideal.clone();
+                next.insert(v);
+                if self.seen.insert(next.clone()) {
+                    self.queue.push_back(next);
+                }
+            }
+        }
+        Some(ideal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal_count(n: usize, edges: &[(usize, usize)]) -> usize {
+        IdealIter::new(&Dag::from_edges(n, edges.iter().copied())).count()
+    }
+
+    #[test]
+    fn chain_has_n_plus_one_ideals() {
+        assert_eq!(ideal_count(4, &[(0, 1), (1, 2), (2, 3)]), 5);
+    }
+
+    #[test]
+    fn antichain_has_two_to_the_n_ideals() {
+        assert_eq!(ideal_count(3, &[]), 8);
+        assert_eq!(ideal_count(5, &[]), 32);
+    }
+
+    #[test]
+    fn two_independent_chains_multiply() {
+        // Two chains of length 2: (2+1) * (2+1) = 9 ideals.
+        assert_eq!(ideal_count(4, &[(0, 1), (2, 3)]), 9);
+    }
+
+    #[test]
+    fn every_yielded_set_is_downward_closed() {
+        let dag = Dag::from_edges(5, [(0, 2), (1, 2), (2, 3), (1, 4)]);
+        for ideal in IdealIter::new(&dag) {
+            for v in ideal.iter() {
+                for &p in dag.predecessors(v) {
+                    assert!(ideal.contains(p as usize), "not downward closed: {ideal:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_is_empty_last_is_full() {
+        let dag = Dag::from_edges(3, [(0, 1)]);
+        let ideals: Vec<BitSet> = IdealIter::new(&dag).collect();
+        assert!(ideals[0].is_empty());
+        assert_eq!(ideals.last().unwrap().count(), 3);
+    }
+
+    #[test]
+    fn ideals_are_distinct() {
+        let dag = Dag::from_edges(4, [(0, 1), (0, 2)]);
+        let ideals: Vec<BitSet> = IdealIter::new(&dag).collect();
+        let set: HashSet<_> = ideals.iter().cloned().collect();
+        assert_eq!(set.len(), ideals.len());
+    }
+
+    #[test]
+    fn empty_poset_has_one_ideal() {
+        assert_eq!(ideal_count(0, &[]), 1);
+    }
+}

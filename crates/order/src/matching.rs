@@ -1,0 +1,213 @@
+//! Maximum bipartite matching via Hopcroft–Karp.
+
+/// A maximum matching in a bipartite graph.
+///
+/// Produced by [`hopcroft_karp`]. `pair_left[u]` is the right vertex
+/// matched to left vertex `u`, if any; `pair_right` is the inverse map.
+#[derive(Debug, Clone)]
+pub struct Matching {
+    /// For each left vertex, its matched right vertex.
+    pub pair_left: Vec<Option<u32>>,
+    /// For each right vertex, its matched left vertex.
+    pub pair_right: Vec<Option<u32>>,
+}
+
+impl Matching {
+    /// The number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.pair_left.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+const INF: u32 = u32::MAX;
+
+/// Computes a maximum matching of the bipartite graph with `left` and
+/// `right` vertices, where `adj[u]` lists the right neighbours of left
+/// vertex `u`. Runs in O(E √V).
+///
+/// # Panics
+///
+/// Panics if `adj.len() != left` or any neighbour index is `>= right`.
+///
+/// # Example
+///
+/// ```
+/// use gpd_order::hopcroft_karp;
+///
+/// // A perfect matching on a 2x2 cycle.
+/// let m = hopcroft_karp(2, 2, &[vec![0, 1], vec![0]]);
+/// assert_eq!(m.size(), 2);
+/// ```
+pub fn hopcroft_karp(left: usize, right: usize, adj: &[Vec<u32>]) -> Matching {
+    assert_eq!(adj.len(), left, "adjacency list size must equal left count");
+    for nbrs in adj {
+        for &v in nbrs {
+            assert!((v as usize) < right, "right vertex {v} out of range {right}");
+        }
+    }
+
+    let mut pair_left: Vec<Option<u32>> = vec![None; left];
+    let mut pair_right: Vec<Option<u32>> = vec![None; right];
+    let mut dist: Vec<u32> = vec![0; left];
+
+    // BFS layering from free left vertices; returns whether an augmenting
+    // path exists.
+    let bfs = |pair_left: &[Option<u32>], pair_right: &[Option<u32>], dist: &mut [u32]| -> bool {
+        let mut queue = std::collections::VecDeque::new();
+        for u in 0..left {
+            if pair_left[u].is_none() {
+                dist[u] = 0;
+                queue.push_back(u);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found = false;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                match pair_right[v as usize] {
+                    None => found = true,
+                    Some(w) => {
+                        let w = w as usize;
+                        if dist[w] == INF {
+                            dist[w] = dist[u] + 1;
+                            queue.push_back(w);
+                        }
+                    }
+                }
+            }
+        }
+        found
+    };
+
+    // DFS along the BFS layers, augmenting greedily.
+    fn dfs(
+        u: usize,
+        adj: &[Vec<u32>],
+        pair_left: &mut [Option<u32>],
+        pair_right: &mut [Option<u32>],
+        dist: &mut [u32],
+    ) -> bool {
+        for i in 0..adj[u].len() {
+            let v = adj[u][i] as usize;
+            let advance = match pair_right[v] {
+                None => true,
+                Some(w) => {
+                    let w = w as usize;
+                    dist[w] == dist[u] + 1 && dfs(w, adj, pair_left, pair_right, dist)
+                }
+            };
+            if advance {
+                pair_left[u] = Some(v as u32);
+                pair_right[v] = Some(u as u32);
+                return true;
+            }
+        }
+        dist[u] = INF;
+        false
+    }
+
+    while bfs(&pair_left, &pair_right, &mut dist) {
+        for u in 0..left {
+            if pair_left[u].is_none() {
+                dfs(u, adj, &mut pair_left, &mut pair_right, &mut dist);
+            }
+        }
+    }
+
+    Matching {
+        pair_left,
+        pair_right,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let m = hopcroft_karp(0, 0, &[]);
+        assert_eq!(m.size(), 0);
+    }
+
+    #[test]
+    fn no_edges_no_matching() {
+        let m = hopcroft_karp(3, 3, &[vec![], vec![], vec![]]);
+        assert_eq!(m.size(), 0);
+    }
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let adj: Vec<Vec<u32>> = (0..5).map(|i| vec![i as u32]).collect();
+        let m = hopcroft_karp(5, 5, &adj);
+        assert_eq!(m.size(), 5);
+        for (u, p) in m.pair_left.iter().enumerate() {
+            assert_eq!(*p, Some(u as u32));
+        }
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // Greedy could match L0-R0 and strand L1; Hopcroft-Karp must
+        // re-route to achieve size 2.
+        let adj = vec![vec![0, 1], vec![0]];
+        let m = hopcroft_karp(2, 2, &adj);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.pair_left[1], Some(0));
+        assert_eq!(m.pair_left[0], Some(1));
+    }
+
+    #[test]
+    fn pair_maps_are_inverses() {
+        let adj = vec![vec![1, 2], vec![0, 2], vec![0]];
+        let m = hopcroft_karp(3, 3, &adj);
+        for (u, p) in m.pair_left.iter().enumerate() {
+            if let Some(v) = p {
+                assert_eq!(m.pair_right[*v as usize], Some(u as u32));
+            }
+        }
+        assert_eq!(m.size(), 3);
+    }
+
+    #[test]
+    fn unbalanced_sides() {
+        let adj = vec![vec![0], vec![0], vec![0]];
+        let m = hopcroft_karp(3, 1, &adj);
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_graphs() {
+        // Exhaustive check against brute force for all bipartite graphs on
+        // 3+3 vertices (2^9 graphs).
+        fn brute(adj: &[Vec<u32>], right: usize) -> usize {
+            fn go(u: usize, adj: &[Vec<u32>], used: &mut [bool]) -> usize {
+                if u == adj.len() {
+                    return 0;
+                }
+                let mut best = go(u + 1, adj, used);
+                for &v in &adj[u] {
+                    let v = v as usize;
+                    if !used[v] {
+                        used[v] = true;
+                        best = best.max(1 + go(u + 1, adj, used));
+                        used[v] = false;
+                    }
+                }
+                best
+            }
+            go(0, adj, &mut vec![false; right])
+        }
+        for mask in 0u32..512 {
+            let adj: Vec<Vec<u32>> = (0..3)
+                .map(|u| (0..3).filter(|v| mask >> (u * 3 + v) & 1 == 1).map(|v| v as u32).collect())
+                .collect();
+            assert_eq!(
+                hopcroft_karp(3, 3, &adj).size(),
+                brute(&adj, 3),
+                "mask {mask}"
+            );
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Exhaustive satisfiability oracle for cross-checking.
+
+use crate::cnf::Cnf;
+
+/// Finds a satisfying assignment by enumerating all `2^n` assignments.
+/// Intended as a test oracle for the DPLL solver and the detection
+/// reductions.
+///
+/// # Panics
+///
+/// Panics if the formula has more than 25 variables (the enumeration would
+/// not terminate in reasonable time).
+///
+/// # Example
+///
+/// ```
+/// use gpd_sat::{brute_force, Cnf, Lit};
+///
+/// let cnf = Cnf::new(1, vec![vec![Lit::neg(0)].into()]);
+/// assert_eq!(brute_force(&cnf), Some(vec![false]));
+/// ```
+pub fn brute_force(cnf: &Cnf) -> Option<Vec<bool>> {
+    let n = cnf.num_vars();
+    assert!(n <= 25, "brute force limited to 25 variables, got {n}");
+    (0u32..1 << n)
+        .map(|mask| (0..n).map(|v| mask >> v & 1 == 1).collect::<Vec<bool>>())
+        .find(|a| cnf.eval(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Lit;
+
+    #[test]
+    fn finds_first_model_in_mask_order() {
+        // x0 ∨ x1: first satisfying mask is x0=true, x1=false.
+        let cnf = Cnf::new(2, vec![vec![Lit::pos(0), Lit::pos(1)].into()]);
+        assert_eq!(brute_force(&cnf), Some(vec![true, false]));
+    }
+
+    #[test]
+    fn unsat_returns_none() {
+        let cnf = Cnf::new(
+            1,
+            vec![vec![Lit::pos(0)].into(), vec![Lit::neg(0)].into()],
+        );
+        assert_eq!(brute_force(&cnf), None);
+    }
+
+    #[test]
+    fn zero_vars_trivially_sat() {
+        assert_eq!(brute_force(&Cnf::new(0, vec![])), Some(vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 25 variables")]
+    fn too_many_variables_panics() {
+        brute_force(&Cnf::new(26, vec![]));
+    }
+}

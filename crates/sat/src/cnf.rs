@@ -1,0 +1,293 @@
+//! CNF formula representation.
+
+/// A literal: a boolean variable (indexed from 0) or its negation.
+///
+/// # Example
+///
+/// ```
+/// use gpd_sat::Lit;
+///
+/// let l = Lit::neg(3);
+/// assert_eq!(l.var(), 3);
+/// assert!(!l.is_positive());
+/// assert_eq!(l.negated(), Lit::pos(3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    var: u32,
+    positive: bool,
+}
+
+impl Lit {
+    /// The positive literal of variable `var`.
+    pub fn pos(var: u32) -> Self {
+        Lit { var, positive: true }
+    }
+
+    /// The negative literal of variable `var`.
+    pub fn neg(var: u32) -> Self {
+        Lit { var, positive: false }
+    }
+
+    /// The underlying variable index.
+    pub fn var(self) -> u32 {
+        self.var
+    }
+
+    /// Whether this is the positive literal.
+    pub fn is_positive(self) -> bool {
+        self.positive
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Evaluates the literal under a variable assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is out of the assignment's range.
+    pub fn eval(self, assignment: &[bool]) -> bool {
+        assignment[self.var as usize] == self.positive
+    }
+}
+
+impl std::fmt::Debug for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+impl std::fmt::Display for Lit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var)
+        } else {
+            write!(f, "¬x{}", self.var)
+        }
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates a clause from literals.
+    pub fn new(lits: Vec<Lit>) -> Self {
+        Clause { lits }
+    }
+
+    /// The literals of the clause.
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// The number of literals.
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Whether the clause is empty (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Evaluates the clause under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.lits.iter().any(|l| l.eval(assignment))
+    }
+
+    /// Whether the clause has at least one positive and at least one
+    /// negative literal, or has fewer than three literals — the paper's
+    /// *non-monotone* condition on a single clause.
+    pub fn is_non_monotone(&self) -> bool {
+        self.lits.len() < 3
+            || (self.lits.iter().any(|l| l.is_positive())
+                && self.lits.iter().any(|l| !l.is_positive()))
+    }
+}
+
+impl From<Vec<Lit>> for Clause {
+    fn from(lits: Vec<Lit>) -> Self {
+        Clause::new(lits)
+    }
+}
+
+impl std::fmt::Debug for Clause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula: a conjunction of [`Clause`]s over variables
+/// `0..num_vars`.
+///
+/// # Example
+///
+/// ```
+/// use gpd_sat::{Cnf, Lit};
+///
+/// let cnf = Cnf::new(2, vec![vec![Lit::pos(0), Lit::neg(1)].into()]);
+/// assert!(cnf.eval(&[true, true]));
+/// assert!(!cnf.eval(&[false, true]));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Creates a formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a clause mentions a variable `>= num_vars`.
+    pub fn new(num_vars: u32, clauses: Vec<Clause>) -> Self {
+        for c in &clauses {
+            for l in c.lits() {
+                assert!(l.var() < num_vars, "literal {l} out of range {num_vars}");
+            }
+        }
+        Cnf { num_vars, clauses }
+    }
+
+    /// The number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment has fewer than `num_vars` entries.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert!(
+            assignment.len() >= self.num_vars as usize,
+            "assignment too short"
+        );
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Whether every clause satisfies the paper's non-monotone condition
+    /// (the precondition of the Theorem 1 reduction).
+    pub fn is_non_monotone(&self) -> bool {
+        self.clauses.iter().all(Clause::is_non_monotone)
+    }
+
+    /// Whether every clause has at most `k` literals.
+    pub fn max_clause_len(&self) -> usize {
+        self.clauses.iter().map(Clause::len).max().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for Cnf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cnf[{} vars]", self.num_vars)?;
+        for c in &self.clauses {
+            write!(f, " {c:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_accessors() {
+        let p = Lit::pos(7);
+        assert!(p.is_positive());
+        assert_eq!(p.var(), 7);
+        assert_eq!(p.negated(), Lit::neg(7));
+        assert_eq!(p.negated().negated(), p);
+    }
+
+    #[test]
+    fn literal_eval() {
+        assert!(Lit::pos(0).eval(&[true]));
+        assert!(!Lit::pos(0).eval(&[false]));
+        assert!(Lit::neg(0).eval(&[false]));
+    }
+
+    #[test]
+    fn clause_eval_is_disjunction() {
+        let c = Clause::new(vec![Lit::pos(0), Lit::neg(1)]);
+        assert!(c.eval(&[true, true]));
+        assert!(c.eval(&[false, false]));
+        assert!(!c.eval(&[false, true]));
+    }
+
+    #[test]
+    fn empty_clause_is_false() {
+        let c = Clause::new(vec![]);
+        assert!(!c.eval(&[]));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn non_monotone_condition() {
+        // Short clauses are always fine.
+        assert!(Clause::new(vec![Lit::pos(0), Lit::pos(1)]).is_non_monotone());
+        // Mixed 3-clause is fine.
+        assert!(Clause::new(vec![Lit::pos(0), Lit::pos(1), Lit::neg(2)]).is_non_monotone());
+        // All-positive or all-negative 3-clause is not.
+        assert!(!Clause::new(vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)]).is_non_monotone());
+        assert!(!Clause::new(vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)]).is_non_monotone());
+    }
+
+    #[test]
+    fn cnf_eval_is_conjunction() {
+        let cnf = Cnf::new(
+            2,
+            vec![vec![Lit::pos(0)].into(), vec![Lit::neg(1)].into()],
+        );
+        assert!(cnf.eval(&[true, false]));
+        assert!(!cnf.eval(&[true, true]));
+        assert!(!cnf.eval(&[false, false]));
+    }
+
+    #[test]
+    fn empty_cnf_is_true() {
+        let cnf = Cnf::new(0, vec![]);
+        assert!(cnf.eval(&[]));
+        assert!(cnf.is_non_monotone());
+        assert_eq!(cnf.max_clause_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_literal_panics() {
+        Cnf::new(1, vec![vec![Lit::pos(1)].into()]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Lit::pos(2)), "x2");
+        assert_eq!(format!("{}", Lit::neg(2)), "¬x2");
+        let c = Clause::new(vec![Lit::pos(0), Lit::neg(1)]);
+        assert_eq!(format!("{c:?}"), "(x0 ∨ ¬x1)");
+    }
+}

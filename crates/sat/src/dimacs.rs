@@ -1,0 +1,178 @@
+//! DIMACS CNF interchange format.
+
+use crate::cnf::{Clause, Cnf, Lit};
+
+/// Error produced by [`parse_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    message: String,
+}
+
+impl ParseDimacsError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseDimacsError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid DIMACS input: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses a formula in DIMACS CNF format (`c` comment lines, one
+/// `p cnf <vars> <clauses>` header, then zero-terminated clauses).
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on a missing/malformed header, unparsable
+/// or out-of-range literals, an unterminated clause, or a clause-count
+/// mismatch.
+///
+/// # Example
+///
+/// ```
+/// let cnf = gpd_sat::parse_dimacs("p cnf 2 1\n1 -2 0\n").unwrap();
+/// assert_eq!(cnf.num_vars(), 2);
+/// assert_eq!(cnf.clauses().len(), 1);
+/// ```
+pub fn parse_dimacs(input: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut header: Option<(u32, usize)> = None;
+    let mut clauses: Vec<Clause> = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+
+    for line in input.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            if header.is_some() {
+                return Err(ParseDimacsError::new("duplicate header"));
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(ParseDimacsError::new(format!("bad header line {line:?}")));
+            }
+            let vars: u32 = parts[1]
+                .parse()
+                .map_err(|_| ParseDimacsError::new(format!("bad variable count {:?}", parts[1])))?;
+            let count: usize = parts[2]
+                .parse()
+                .map_err(|_| ParseDimacsError::new(format!("bad clause count {:?}", parts[2])))?;
+            header = Some((vars, count));
+            continue;
+        }
+        let (num_vars, _) = header.ok_or_else(|| ParseDimacsError::new("clause before header"))?;
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::new(format!("bad literal {tok:?}")))?;
+            if v == 0 {
+                clauses.push(Clause::new(std::mem::take(&mut current)));
+            } else {
+                let var = v.unsigned_abs() - 1;
+                if var >= num_vars as u64 {
+                    return Err(ParseDimacsError::new(format!(
+                        "literal {v} out of range (header declares {num_vars} variables)"
+                    )));
+                }
+                current.push(if v > 0 {
+                    Lit::pos(var as u32)
+                } else {
+                    Lit::neg(var as u32)
+                });
+            }
+        }
+    }
+
+    let (num_vars, count) = header.ok_or_else(|| ParseDimacsError::new("missing header"))?;
+    if !current.is_empty() {
+        return Err(ParseDimacsError::new("unterminated clause"));
+    }
+    if clauses.len() != count {
+        return Err(ParseDimacsError::new(format!(
+            "header declares {count} clauses but {} found",
+            clauses.len()
+        )));
+    }
+    Ok(Cnf::new(num_vars, clauses))
+}
+
+/// Serializes a formula to DIMACS CNF format.
+///
+/// # Example
+///
+/// ```
+/// use gpd_sat::{to_dimacs, parse_dimacs, Cnf, Lit};
+///
+/// let cnf = Cnf::new(2, vec![vec![Lit::pos(0), Lit::neg(1)].into()]);
+/// assert_eq!(parse_dimacs(&to_dimacs(&cnf)).unwrap(), cnf);
+/// ```
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = format!("p cnf {} {}\n", cnf.num_vars(), cnf.clauses().len());
+    for clause in cnf.clauses() {
+        for lit in clause.lits() {
+            let v = lit.var() as i64 + 1;
+            let signed = if lit.is_positive() { v } else { -v };
+            out.push_str(&signed.to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let input = "c a comment\n\np cnf 3 2\n1 2 0\nc mid comment\n-3 0\n";
+        let cnf = parse_dimacs(input).unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.clauses().len(), 2);
+        assert_eq!(cnf.clauses()[1].lits(), &[Lit::neg(2)]);
+    }
+
+    #[test]
+    fn clause_spanning_lines() {
+        let cnf = parse_dimacs("p cnf 2 1\n1\n-2\n0\n").unwrap();
+        assert_eq!(cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cnf = Cnf::new(
+            4,
+            vec![
+                vec![Lit::pos(0), Lit::neg(3)].into(),
+                vec![Lit::neg(1), Lit::pos(2), Lit::pos(3)].into(),
+            ],
+        );
+        assert_eq!(parse_dimacs(&to_dimacs(&cnf)).unwrap(), cnf);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_dimacs("").is_err());
+        assert!(parse_dimacs("1 2 0").is_err());
+        assert!(parse_dimacs("p cnf 1 1\n2 0\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\n1\n").is_err());
+        assert!(parse_dimacs("p cnf 1 2\n1 0\n").is_err());
+        assert!(parse_dimacs("p cnf x 1\n1 0\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n").is_err());
+        assert!(parse_dimacs("p cnf 1 1\nz 0\n").is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = parse_dimacs("p cnf 1 1\n5 0\n").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+}

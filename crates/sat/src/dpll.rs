@@ -1,0 +1,259 @@
+//! A DPLL satisfiability solver.
+
+use crate::cnf::{Cnf, Lit};
+
+/// Decides satisfiability of `cnf` and returns a model (one `bool` per
+/// variable) if one exists.
+///
+/// Classic DPLL: unit propagation, the pure-literal rule, then branching
+/// on the first unassigned variable of the shortest open clause.
+/// Exponential in the worst case — the formulas used by the reduction
+/// experiments are small — but complete.
+///
+/// # Example
+///
+/// ```
+/// use gpd_sat::{Cnf, Lit, solve};
+///
+/// let unsat = Cnf::new(1, vec![vec![Lit::pos(0)].into(), vec![Lit::neg(0)].into()]);
+/// assert!(solve(&unsat).is_none());
+/// ```
+pub fn solve(cnf: &Cnf) -> Option<Vec<bool>> {
+    let n = cnf.num_vars() as usize;
+    let mut assignment: Vec<Option<bool>> = vec![None; n];
+    if dpll(cnf, &mut assignment) {
+        // Unconstrained variables default to false.
+        Some(assignment.into_iter().map(|a| a.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+/// State of a clause under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    Conflict,
+    Unit(Lit),
+    Open,
+}
+
+fn clause_state(lits: &[Lit], assignment: &[Option<bool>]) -> ClauseState {
+    let mut unassigned = None;
+    let mut unassigned_count = 0;
+    for &l in lits {
+        match assignment[l.var() as usize] {
+            Some(v) if v == l.is_positive() => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => {
+                unassigned = Some(l);
+                unassigned_count += 1;
+            }
+        }
+    }
+    match unassigned_count {
+        0 => ClauseState::Conflict,
+        1 => ClauseState::Unit(unassigned.expect("counted one unassigned literal")),
+        _ => ClauseState::Open,
+    }
+}
+
+fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation to fixpoint.
+    let mut trail: Vec<u32> = Vec::new();
+    loop {
+        let mut changed = false;
+        let mut conflict = false;
+        for clause in cnf.clauses() {
+            match clause_state(clause.lits(), assignment) {
+                ClauseState::Conflict => {
+                    conflict = true;
+                    break;
+                }
+                ClauseState::Unit(l) => {
+                    assignment[l.var() as usize] = Some(l.is_positive());
+                    trail.push(l.var());
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if conflict {
+            for v in trail {
+                assignment[v as usize] = None;
+            }
+            return false;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Pure-literal elimination: a variable occurring with one polarity in
+    // the open clauses can be fixed to that polarity.
+    let n = assignment.len();
+    let mut pos_seen = vec![false; n];
+    let mut neg_seen = vec![false; n];
+    for clause in cnf.clauses() {
+        if matches!(clause_state(clause.lits(), assignment), ClauseState::Satisfied) {
+            continue;
+        }
+        for &l in clause.lits() {
+            if assignment[l.var() as usize].is_none() {
+                if l.is_positive() {
+                    pos_seen[l.var() as usize] = true;
+                } else {
+                    neg_seen[l.var() as usize] = true;
+                }
+            }
+        }
+    }
+    for v in 0..n {
+        if assignment[v].is_none() && (pos_seen[v] ^ neg_seen[v]) {
+            assignment[v] = Some(pos_seen[v]);
+            trail.push(v as u32);
+        }
+    }
+
+    // Branch on an unassigned variable from the shortest open clause.
+    let mut branch: Option<u32> = None;
+    let mut best_len = usize::MAX;
+    let mut all_satisfied = true;
+    for clause in cnf.clauses() {
+        match clause_state(clause.lits(), assignment) {
+            ClauseState::Satisfied => {}
+            ClauseState::Conflict => {
+                for v in trail {
+                    assignment[v as usize] = None;
+                }
+                return false;
+            }
+            _ => {
+                all_satisfied = false;
+                let open: Vec<Lit> = clause
+                    .lits()
+                    .iter()
+                    .copied()
+                    .filter(|l| assignment[l.var() as usize].is_none())
+                    .collect();
+                if open.len() < best_len {
+                    best_len = open.len();
+                    branch = Some(open[0].var());
+                }
+            }
+        }
+    }
+    if all_satisfied {
+        return true;
+    }
+    let v = branch.expect("an open clause has an unassigned literal") as usize;
+    for value in [true, false] {
+        assignment[v] = Some(value);
+        if dpll(cnf, assignment) {
+            return true;
+        }
+    }
+    assignment[v] = None;
+    for v in trail {
+        assignment[v as usize] = None;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use crate::cnf::Clause;
+
+    fn cnf(n: u32, clauses: &[&[i32]]) -> Cnf {
+        // Positive integers are positive literals (1-based), negative are
+        // negated, mirroring DIMACS.
+        let clauses = clauses
+            .iter()
+            .map(|c| {
+                Clause::new(
+                    c.iter()
+                        .map(|&l| {
+                            let var = l.unsigned_abs() - 1;
+                            if l > 0 {
+                                Lit::pos(var)
+                            } else {
+                                Lit::neg(var)
+                            }
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Cnf::new(n, clauses)
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        assert!(solve(&cnf(0, &[])).is_some());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        assert!(solve(&cnf(1, &[&[]])).is_none());
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let f = cnf(3, &[&[1], &[-1, 2], &[-2, 3]]);
+        let m = solve(&f).unwrap();
+        assert_eq!(m, vec![true, true, true]);
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        assert!(solve(&cnf(1, &[&[1], &[-1]])).is_none());
+    }
+
+    #[test]
+    fn pigeonhole_two_in_one_is_unsat() {
+        // Two pigeons, one hole: p1 ∧ p2 ∧ (¬p1 ∨ ¬p2).
+        assert!(solve(&cnf(2, &[&[1], &[2], &[-1, -2]])).is_none());
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        let f = cnf(4, &[&[1, 2], &[-1, 3], &[-3, -2, 4], &[-4, 1]]);
+        let m = solve(&f).unwrap();
+        assert!(f.eval(&m));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_formulas() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12345);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..8u32);
+            let m = rng.gen_range(0..12);
+            let clauses: Vec<Clause> = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(1..4);
+                    Clause::new(
+                        (0..k)
+                            .map(|_| {
+                                let v = rng.gen_range(0..n);
+                                if rng.gen_bool(0.5) {
+                                    Lit::pos(v)
+                                } else {
+                                    Lit::neg(v)
+                                }
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let f = Cnf::new(n, clauses);
+            let dpll_sat = solve(&f).is_some();
+            let brute_sat = brute_force(&f).is_some();
+            assert_eq!(dpll_sat, brute_sat, "{f:?}");
+            if let Some(m) = solve(&f) {
+                assert!(f.eval(&m), "{f:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Boolean satisfiability toolkit.
+//!
+//! The paper's central hardness result (Theorem 1) reduces **non-monotone
+//! 3-SAT** — CNF where every clause has at most three literals and every
+//! three-literal clause mixes at least one positive and one negative
+//! literal — to singular 2-CNF predicate detection. Validating that
+//! reduction end-to-end requires a SAT solver and the formula
+//! transformations the paper sketches; this crate provides them:
+//!
+//! * [`Cnf`], [`Clause`], [`Lit`] — formula representation with
+//!   evaluation.
+//! * [`solve`] — a DPLL solver (unit propagation + pure-literal rule).
+//! * [`brute_force`] — an exhaustive oracle for cross-checking on small
+//!   inputs.
+//! * [`to_three_cnf`] / [`to_non_monotone`] — the clause-splitting and the
+//!   paper's §3.1 non-monotonization, both satisfiability-preserving.
+//! * [`random_cnf`] — seeded random formula generation for experiments.
+//! * [`parse_dimacs`] / [`to_dimacs`] — interchange format.
+//!
+//! # Example
+//!
+//! ```
+//! use gpd_sat::{Cnf, Lit, solve};
+//!
+//! // (x0 ∨ x1) ∧ (¬x0) is satisfied by x0=false, x1=true.
+//! let cnf = Cnf::new(2, vec![
+//!     vec![Lit::pos(0), Lit::pos(1)].into(),
+//!     vec![Lit::neg(0)].into(),
+//! ]);
+//! let model = solve(&cnf).expect("satisfiable");
+//! assert!(cnf.eval(&model));
+//! ```
+
+mod brute;
+mod cnf;
+mod dimacs;
+mod dpll;
+mod gen;
+mod transform;
+
+pub use brute::brute_force;
+pub use cnf::{Clause, Cnf, Lit};
+pub use dimacs::{parse_dimacs, to_dimacs, ParseDimacsError};
+pub use dpll::solve;
+pub use gen::random_cnf;
+pub use transform::{to_non_monotone, to_three_cnf};

@@ -1,0 +1,232 @@
+//! Satisfiability-preserving formula transformations.
+//!
+//! The Theorem 1 reduction requires its input to be a *non-monotone 3-CNF*
+//! formula: every clause has at most three literals, and every clause with
+//! exactly three literals contains at least one positive and one negative
+//! literal. The paper notes that arbitrary 3-CNF can be brought into this
+//! form; [`to_non_monotone`] implements exactly that construction, and
+//! [`to_three_cnf`] handles arbitrary clause widths first.
+
+use crate::cnf::{Clause, Cnf, Lit};
+
+/// Splits clauses longer than three literals with the standard fresh-
+/// variable chaining: `(l₁ ∨ l₂ ∨ … ∨ lₖ)` becomes
+/// `(l₁ ∨ l₂ ∨ y₁) ∧ (¬y₁ ∨ l₃ ∨ y₂) ∧ … ∧ (¬yₖ₋₃ ∨ lₖ₋₁ ∨ lₖ)`.
+/// The result is equisatisfiable with the input and every model of the
+/// result restricts to a model of the input.
+///
+/// # Example
+///
+/// ```
+/// use gpd_sat::{to_three_cnf, Cnf, Lit};
+///
+/// let wide = Cnf::new(4, vec![
+///     vec![Lit::pos(0), Lit::pos(1), Lit::pos(2), Lit::pos(3)].into(),
+/// ]);
+/// let three = to_three_cnf(&wide);
+/// assert!(three.max_clause_len() <= 3);
+/// ```
+pub fn to_three_cnf(cnf: &Cnf) -> Cnf {
+    let mut next_var = cnf.num_vars();
+    let mut clauses = Vec::new();
+    for clause in cnf.clauses() {
+        let lits = clause.lits();
+        if lits.len() <= 3 {
+            clauses.push(clause.clone());
+            continue;
+        }
+        // First clause keeps two original literals plus a fresh chain var.
+        let mut y = next_var;
+        next_var += 1;
+        clauses.push(Clause::new(vec![lits[0], lits[1], Lit::pos(y)]));
+        for &l in &lits[2..lits.len() - 2] {
+            let y_next = next_var;
+            next_var += 1;
+            clauses.push(Clause::new(vec![Lit::neg(y), l, Lit::pos(y_next)]));
+            y = y_next;
+        }
+        clauses.push(Clause::new(vec![
+            Lit::neg(y),
+            lits[lits.len() - 2],
+            lits[lits.len() - 1],
+        ]));
+    }
+    Cnf::new(next_var, clauses)
+}
+
+/// Rewrites a 3-CNF formula into the paper's **non-monotone** form.
+///
+/// Each all-positive clause `(x₁ ∨ x₂ ∨ x₃)` becomes
+/// `(x₁ ∨ x₂ ∨ ¬y) ∧ (y ∨ x₃) ∧ (¬y ∨ ¬x₃)` for a fresh variable `y`: the
+/// latter two clauses force `y = ¬x₃` in any satisfying assignment, so the
+/// first clause is equivalent to the original. All-negative clauses are
+/// handled symmetrically with `y = ¬x₃` replaced by `y = x₃`'s complement
+/// (`(¬x₁ ∨ ¬x₂ ∨ y)` with `y ⇔ ¬x₃`). The result is equisatisfiable and
+/// the original variables keep their indices and values.
+///
+/// # Panics
+///
+/// Panics if some clause has more than three literals (run
+/// [`to_three_cnf`] first).
+///
+/// # Example
+///
+/// ```
+/// use gpd_sat::{to_non_monotone, brute_force, Cnf, Lit};
+///
+/// let monotone = Cnf::new(3, vec![
+///     vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)].into(),
+/// ]);
+/// let nm = to_non_monotone(&monotone);
+/// assert!(nm.is_non_monotone());
+/// assert!(brute_force(&nm).is_some());
+/// ```
+pub fn to_non_monotone(cnf: &Cnf) -> Cnf {
+    assert!(
+        cnf.max_clause_len() <= 3,
+        "input must be 3-CNF; found a clause with {} literals",
+        cnf.max_clause_len()
+    );
+    let mut next_var = cnf.num_vars();
+    let mut clauses = Vec::new();
+    for clause in cnf.clauses() {
+        if clause.is_non_monotone() {
+            clauses.push(clause.clone());
+            continue;
+        }
+        // Monotone 3-clause (all same polarity). Pin a fresh variable
+        // y ⇔ ¬x₃ (x₃ = the last literal's variable) and substitute for
+        // the last literal with the polarity opposite the clause's, which
+        // makes the 3-clause mixed while the pin clauses stay binary.
+        let lits = clause.lits();
+        let (l1, l2, l3) = (lits[0], lits[1], lits[2]);
+        let y = next_var;
+        next_var += 1;
+        let replacement = if l3.is_positive() {
+            Lit::neg(y) // ¬y ≡ x₃ given y ⇔ ¬x₃
+        } else {
+            Lit::pos(y) // y ≡ ¬x₃
+        };
+        clauses.push(Clause::new(vec![l1, l2, replacement]));
+        // y ⇔ ¬x₃: (y ∨ x₃) ∧ (¬y ∨ ¬x₃).
+        clauses.push(Clause::new(vec![Lit::pos(y), Lit::pos(l3.var())]));
+        clauses.push(Clause::new(vec![Lit::neg(y), Lit::neg(l3.var())]));
+    }
+    Cnf::new(next_var, clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force;
+    use crate::gen::random_cnf;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn short_clauses_pass_through() {
+        let f = Cnf::new(2, vec![vec![Lit::pos(0), Lit::neg(1)].into()]);
+        assert_eq!(to_three_cnf(&f), f);
+        assert_eq!(to_non_monotone(&f), f);
+    }
+
+    #[test]
+    fn wide_clause_is_split() {
+        let f = Cnf::new(
+            5,
+            vec![(0..5).map(Lit::pos).collect::<Vec<_>>().into()],
+        );
+        let t = to_three_cnf(&f);
+        assert!(t.max_clause_len() <= 3);
+        assert_eq!(t.clauses().len(), 3);
+        assert!(t.num_vars() > f.num_vars());
+    }
+
+    #[test]
+    fn all_positive_clause_becomes_non_monotone() {
+        let f = Cnf::new(3, vec![vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)].into()]);
+        let nm = to_non_monotone(&f);
+        assert!(nm.is_non_monotone());
+        assert_eq!(nm.clauses().len(), 3);
+        assert_eq!(nm.num_vars(), 4);
+    }
+
+    #[test]
+    fn all_negative_clause_becomes_non_monotone() {
+        let f = Cnf::new(3, vec![vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)].into()]);
+        let nm = to_non_monotone(&f);
+        assert!(nm.is_non_monotone());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 3-CNF")]
+    fn wide_input_to_non_monotone_panics() {
+        let f = Cnf::new(4, vec![(0..4).map(Lit::pos).collect::<Vec<_>>().into()]);
+        to_non_monotone(&f);
+    }
+
+    #[test]
+    fn models_of_original_extend_to_transformed() {
+        // For every model of the original, some extension satisfies the
+        // transformed formula, and conversely restrictions are models.
+        let f = Cnf::new(
+            3,
+            vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)].into(),
+                vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)].into(),
+            ],
+        );
+        let nm = to_non_monotone(&f);
+        for mask in 0u32..8 {
+            let a: Vec<bool> = (0..3).map(|v| mask >> v & 1 == 1).collect();
+            if f.eval(&a) {
+                // Extend: fresh y variables are forced to ¬l₃ / the pinned value.
+                let mut found = false;
+                for ext in 0u32..1 << (nm.num_vars() - 3) {
+                    let mut full = a.clone();
+                    for b in 0..(nm.num_vars() - 3) {
+                        full.push(ext >> b & 1 == 1);
+                    }
+                    if nm.eval(&full) {
+                        found = true;
+                        break;
+                    }
+                }
+                assert!(found, "model {a:?} does not extend");
+            }
+        }
+    }
+
+    #[test]
+    fn equisatisfiable_on_random_formulas() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..100 {
+            let n = rng.gen_range(3..7u32);
+            let m = rng.gen_range(1..10);
+            let f = random_cnf(&mut rng, n, m, 3);
+            let nm = to_non_monotone(&f);
+            assert!(nm.is_non_monotone());
+            assert_eq!(
+                brute_force(&f).is_some(),
+                brute_force(&nm).is_some(),
+                "{f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn three_cnf_split_is_equisatisfiable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        for _ in 0..50 {
+            let n = rng.gen_range(5..8u32);
+            let m = rng.gen_range(1..6);
+            let f = random_cnf(&mut rng, n, m, 5);
+            let t = to_three_cnf(&f);
+            assert!(t.max_clause_len() <= 3);
+            assert_eq!(
+                brute_force(&f).is_some(),
+                brute_force(&t).is_some(),
+                "{f:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Bank branches wiring money to each other.
+//!
+//! Transfers move arbitrary amounts, so the exposed `balance` variable has
+//! **unbounded per-event increments** — the §4.1 NP-hard regime for exact
+//! sums, but still polynomial for the inequality predicates
+//! `Possibly(Σ balance relop K)` that the flow-based algorithm answers
+//! (e.g. "could the total visible money ever drop below K?").
+
+use rand::Rng;
+
+use crate::kernel::{Context, Process};
+
+/// A wire transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankMsg {
+    /// Amount being transferred.
+    pub amount: i64,
+}
+
+/// One bank branch.
+#[derive(Debug, Clone)]
+pub struct BankBranch {
+    balance: i64,
+    transfers_left: u32,
+    max_amount: i64,
+}
+
+impl BankBranch {
+    /// `n` branches, each starting with `initial_balance` and initiating
+    /// `transfers` outgoing transfers of up to `max_amount` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_balance < 0` or `max_amount <= 0`.
+    pub fn network(n: usize, initial_balance: i64, transfers: u32, max_amount: i64) -> Vec<BankBranch> {
+        assert!(initial_balance >= 0, "negative initial balance");
+        assert!(max_amount > 0, "transfers need a positive maximum");
+        (0..n)
+            .map(|_| BankBranch {
+                balance: initial_balance,
+                transfers_left: transfers,
+                max_amount,
+            })
+            .collect()
+    }
+
+    /// This branch's current balance.
+    pub fn balance(&self) -> i64 {
+        self.balance
+    }
+
+    fn maybe_transfer(&mut self, ctx: &mut Context<'_, BankMsg>) {
+        if self.transfers_left == 0 || ctx.process_count() < 2 {
+            return;
+        }
+        self.transfers_left -= 1;
+        let others = ctx.process_count() - 1;
+        let mut to = ctx.rng().gen_range(0..others);
+        if to >= ctx.me() {
+            to += 1;
+        }
+        let cap = self.balance.min(self.max_amount);
+        if cap > 0 {
+            let amount = ctx.rng().gen_range(1..=cap);
+            self.balance -= amount;
+            ctx.send(to, BankMsg { amount });
+        }
+        if self.transfers_left > 0 {
+            let pause = ctx.rng().gen_range(1..6);
+            ctx.set_timer(pause);
+        }
+    }
+}
+
+impl Process for BankBranch {
+    type Msg = BankMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, BankMsg>) {
+        if self.transfers_left > 0 && ctx.process_count() > 1 {
+            let pause = ctx.rng().gen_range(1..6);
+            ctx.set_timer(pause);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, BankMsg>) {
+        self.maybe_transfer(ctx);
+    }
+
+    fn on_message(&mut self, _from: usize, msg: BankMsg, _ctx: &mut Context<'_, BankMsg>) {
+        self.balance += msg.amount;
+    }
+
+    fn int_vars(&self) -> Vec<(&'static str, i64)> {
+        vec![("balance", self.balance)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{SimConfig, Simulation};
+
+    #[test]
+    fn money_is_conserved_at_quiescence() {
+        let sim = Simulation::new(BankBranch::network(4, 100, 3, 40), SimConfig::new(31));
+        let (trace, procs) = sim.run_with_processes();
+        let total: i64 = procs.iter().map(|b| b.balance()).sum();
+        assert_eq!(total, 400, "no money minted or destroyed");
+        let balance = trace.int_var("balance").unwrap();
+        assert_eq!(balance.sum_at(&trace.computation.final_cut()), 400);
+    }
+
+    #[test]
+    fn balances_never_go_negative() {
+        let trace = Simulation::new(BankBranch::network(3, 50, 5, 60), SimConfig::new(32)).run();
+        let balance = trace.int_var("balance").unwrap();
+        for t in balance.tracks() {
+            assert!(t.iter().all(|&b| b >= 0));
+        }
+    }
+
+    #[test]
+    fn transfers_produce_large_increments() {
+        let trace = Simulation::new(BankBranch::network(3, 100, 4, 50), SimConfig::new(33)).run();
+        let balance = trace.int_var("balance").unwrap();
+        assert!(
+            !balance.is_unit_step(),
+            "bank traffic should exercise the unbounded-increment regime"
+        );
+    }
+
+    #[test]
+    fn intermediate_sums_can_dip_below_total() {
+        // Money in flight is visible on no branch: some consistent cut
+        // has Σ balance < 400 whenever at least one transfer happened.
+        let trace = Simulation::new(BankBranch::network(4, 100, 2, 30), SimConfig::new(34)).run();
+        let balance = trace.int_var("balance").unwrap();
+        let dip = trace
+            .computation
+            .consistent_cuts()
+            .any(|cut| balance.sum_at(&cut) < 400);
+        assert!(dip);
+    }
+
+    #[test]
+    fn single_branch_stays_put() {
+        let (_, procs) =
+            Simulation::new(BankBranch::network(1, 10, 3, 5), SimConfig::new(0)).run_with_processes();
+        assert_eq!(procs[0].balance(), 10);
+    }
+}

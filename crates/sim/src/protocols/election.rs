@@ -1,0 +1,157 @@
+//! Chang–Roberts leader election on a unidirectional ring.
+//!
+//! Exposes `is_leader`, feeding the paper's §4.3 symmetric predicates:
+//! "not exactly one leader" is `¬(Σ is_leader = 1)`, i.e. the complement
+//! of a single exact-sum predicate.
+
+use crate::kernel::{Context, Process};
+
+/// Election messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElectionMsg {
+    /// Candidacy of the process with the given identifier.
+    Elect {
+        /// Candidate identifier.
+        uid: u64,
+    },
+    /// Announcement that the election finished.
+    Elected {
+        /// The winner's identifier.
+        uid: u64,
+    },
+}
+
+/// One ring member.
+#[derive(Debug, Clone)]
+pub struct ChangRoberts {
+    uid: u64,
+    participant: bool,
+    is_leader: bool,
+    leader_uid: Option<u64>,
+}
+
+impl ChangRoberts {
+    /// A ring with the given (distinct) identifiers; every member
+    /// initiates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if identifiers repeat.
+    pub fn ring(uids: &[u64]) -> Vec<ChangRoberts> {
+        let mut sorted = uids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), uids.len(), "identifiers must be distinct");
+        uids.iter()
+            .map(|&uid| ChangRoberts {
+                uid,
+                participant: false,
+                is_leader: false,
+                leader_uid: None,
+            })
+            .collect()
+    }
+
+    /// The elected leader's identifier, once known to this member.
+    pub fn leader_uid(&self) -> Option<u64> {
+        self.leader_uid
+    }
+}
+
+impl Process for ChangRoberts {
+    type Msg = ElectionMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ElectionMsg>) {
+        if ctx.process_count() == 1 {
+            self.is_leader = true;
+            self.leader_uid = Some(self.uid);
+            return;
+        }
+        self.participant = true;
+        let next = (ctx.me() + 1) % ctx.process_count();
+        ctx.send(next, ElectionMsg::Elect { uid: self.uid });
+    }
+
+    fn on_message(&mut self, _from: usize, msg: ElectionMsg, ctx: &mut Context<'_, ElectionMsg>) {
+        let next = (ctx.me() + 1) % ctx.process_count();
+        match msg {
+            ElectionMsg::Elect { uid } => {
+                if uid > self.uid {
+                    self.participant = true;
+                    ctx.send(next, ElectionMsg::Elect { uid });
+                } else if uid < self.uid {
+                    if !self.participant {
+                        self.participant = true;
+                        ctx.send(next, ElectionMsg::Elect { uid: self.uid });
+                    }
+                    // Otherwise swallow: our own (higher) candidacy is
+                    // already circulating.
+                } else {
+                    // Our uid came full circle: we win.
+                    self.is_leader = true;
+                    self.leader_uid = Some(self.uid);
+                    ctx.send(next, ElectionMsg::Elected { uid: self.uid });
+                }
+            }
+            ElectionMsg::Elected { uid } => {
+                if uid != self.uid {
+                    self.leader_uid = Some(uid);
+                    self.participant = false;
+                    ctx.send(next, ElectionMsg::Elected { uid });
+                }
+            }
+        }
+    }
+
+    fn bool_vars(&self) -> Vec<(&'static str, bool)> {
+        vec![
+            ("is_leader", self.is_leader),
+            ("knows_leader", self.leader_uid.is_some()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{SimConfig, Simulation};
+
+    #[test]
+    fn highest_uid_wins() {
+        let sim = Simulation::new(ChangRoberts::ring(&[3, 7, 1, 5]), SimConfig::new(8));
+        let (trace, procs) = sim.run_with_processes();
+        assert!(procs[1].is_leader);
+        for (i, p) in procs.iter().enumerate() {
+            assert_eq!(p.leader_uid(), Some(7), "member {i}");
+            assert_eq!(p.is_leader, i == 1);
+        }
+        // In the final cut exactly one is_leader holds.
+        let leader = trace.bool_var("is_leader").unwrap();
+        let final_cut = trace.computation.final_cut();
+        let leaders = (0..4).filter(|&p| leader.value_at(&final_cut, p)).count();
+        assert_eq!(leaders, 1);
+    }
+
+    #[test]
+    fn all_members_learn_the_leader() {
+        let sim = Simulation::new(ChangRoberts::ring(&[10, 20, 30]), SimConfig::new(1));
+        let trace = sim.run();
+        let knows = trace.bool_var("knows_leader").unwrap();
+        let final_cut = trace.computation.final_cut();
+        assert!((0..3).all(|p| knows.value_at(&final_cut, p)));
+    }
+
+    #[test]
+    fn singleton_ring_elects_itself() {
+        let sim = Simulation::new(ChangRoberts::ring(&[42]), SimConfig::new(0));
+        let (_, procs) = sim.run_with_processes();
+        assert!(procs[0].is_leader);
+        assert_eq!(procs[0].leader_uid(), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_uids_panic() {
+        ChangRoberts::ring(&[1, 1]);
+    }
+}

@@ -1,0 +1,15 @@
+//! Ready-made protocols exercising the paper's motivating scenarios.
+
+mod bank;
+mod election;
+mod mutex;
+mod token_ring;
+mod two_phase_commit;
+mod voting;
+
+pub use bank::{BankBranch, BankMsg};
+pub use election::{ChangRoberts, ElectionMsg};
+pub use mutex::{MutexMsg, RicartAgrawala};
+pub use token_ring::{TokenMsg, TokenRing};
+pub use two_phase_commit::{CommitMsg, TwoPhaseCommit};
+pub use voting::{Voter, VoteMsg};

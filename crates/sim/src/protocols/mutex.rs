@@ -1,0 +1,220 @@
+//! Ricart–Agrawala distributed mutual exclusion, with an optional injected
+//! safety bug.
+//!
+//! This is the paper's motivating debugging scenario: "when debugging a
+//! distributed mutual exclusion algorithm, detecting concurrent accesses
+//! to a shared resource is useful". The exposed boolean `in_cs` lets the
+//! `gpd` crate ask `Possibly(in_cs₀ ∧ in_cs₁)` — which must be false for
+//! the correct protocol and (usually) true for the buggy one, even when no
+//! actual simultaneous access happened in the observed interleaving.
+
+use crate::kernel::{Context, Process};
+
+/// Ricart–Agrawala protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutexMsg {
+    /// Request for the critical section, with the sender's Lamport
+    /// timestamp.
+    Request {
+        /// Lamport timestamp of the request.
+        ts: u64,
+    },
+    /// Permission grant.
+    Reply,
+}
+
+/// One Ricart–Agrawala participant.
+#[derive(Debug, Clone)]
+pub struct RicartAgrawala {
+    clock: u64,
+    requesting: bool,
+    in_cs: bool,
+    request_ts: u64,
+    replies_pending: usize,
+    deferred: Vec<usize>,
+    rounds_left: u32,
+    cs_entries: u32,
+    /// The injected bug: when set, the process grants every request
+    /// immediately — even while inside the critical section.
+    buggy: bool,
+}
+
+impl RicartAgrawala {
+    /// A group of `n` correct processes, each entering the critical
+    /// section `rounds` times.
+    pub fn group(n: usize, rounds: u32) -> Vec<RicartAgrawala> {
+        Self::group_with_bug(n, rounds, false)
+    }
+
+    /// Like [`group`](Self::group); `buggy` injects the
+    /// grant-while-in-CS safety bug into every process.
+    pub fn group_with_bug(n: usize, rounds: u32, buggy: bool) -> Vec<RicartAgrawala> {
+        (0..n)
+            .map(|_| RicartAgrawala {
+                clock: 0,
+                requesting: false,
+                in_cs: false,
+                request_ts: 0,
+                replies_pending: 0,
+                deferred: Vec::new(),
+                rounds_left: rounds,
+                cs_entries: 0,
+                buggy,
+            })
+            .collect()
+    }
+
+    /// How many times this process entered the critical section.
+    pub fn cs_entries(&self) -> u32 {
+        self.cs_entries
+    }
+
+    fn request(&mut self, ctx: &mut Context<'_, MutexMsg>) {
+        self.requesting = true;
+        self.clock += 1;
+        self.request_ts = self.clock;
+        self.replies_pending = ctx.process_count() - 1;
+        for q in 0..ctx.process_count() {
+            if q != ctx.me() {
+                ctx.send(q, MutexMsg::Request { ts: self.request_ts });
+            }
+        }
+        if self.replies_pending == 0 {
+            self.enter(ctx);
+        }
+    }
+
+    fn enter(&mut self, ctx: &mut Context<'_, MutexMsg>) {
+        self.in_cs = true;
+        self.cs_entries += 1;
+        // Leave the critical section after a short stay.
+        ctx.set_timer(3);
+    }
+
+    fn release(&mut self, ctx: &mut Context<'_, MutexMsg>) {
+        self.in_cs = false;
+        self.requesting = false;
+        for q in std::mem::take(&mut self.deferred) {
+            ctx.send(q, MutexMsg::Reply);
+        }
+        if self.rounds_left > 0 {
+            ctx.set_timer(2 + ctx.me() as u64);
+        }
+    }
+
+    /// Whether our outstanding request has priority over `(ts, from)`.
+    fn has_priority(&self, ts: u64, from: usize, me: usize) -> bool {
+        (self.request_ts, me) < (ts, from)
+    }
+}
+
+impl Process for RicartAgrawala {
+    type Msg = MutexMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, MutexMsg>) {
+        if self.rounds_left > 0 {
+            ctx.set_timer(1 + ctx.me() as u64);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, MutexMsg>) {
+        if self.in_cs {
+            self.release(ctx);
+        } else if !self.requesting && self.rounds_left > 0 {
+            self.rounds_left -= 1;
+            self.request(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: usize, msg: MutexMsg, ctx: &mut Context<'_, MutexMsg>) {
+        match msg {
+            MutexMsg::Request { ts } => {
+                self.clock = self.clock.max(ts) + 1;
+                let defer = !self.buggy
+                    && (self.in_cs
+                        || (self.requesting && self.has_priority(ts, from, ctx.me())));
+                if defer {
+                    self.deferred.push(from);
+                } else {
+                    ctx.send(from, MutexMsg::Reply);
+                }
+            }
+            MutexMsg::Reply => {
+                if self.requesting && !self.in_cs {
+                    self.replies_pending -= 1;
+                    if self.replies_pending == 0 {
+                        self.enter(ctx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn bool_vars(&self) -> Vec<(&'static str, bool)> {
+        vec![("in_cs", self.in_cs), ("requesting", self.requesting)]
+    }
+
+    fn int_vars(&self) -> Vec<(&'static str, i64)> {
+        vec![("cs_entries", self.cs_entries as i64)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{SimConfig, Simulation};
+
+    /// Exhaustively checks whether any consistent cut has two processes
+    /// in the critical section at once.
+    fn violation_possible(trace: &crate::kernel::SimTrace) -> bool {
+        let in_cs = trace.bool_var("in_cs").unwrap();
+        trace.computation.consistent_cuts().any(|cut| {
+            (0..trace.computation.process_count())
+                .filter(|&p| in_cs.value_at(&cut, p))
+                .count()
+                >= 2
+        })
+    }
+
+    #[test]
+    fn correct_protocol_completes_all_rounds() {
+        let sim = Simulation::new(RicartAgrawala::group(3, 2), SimConfig::new(5));
+        let (trace, procs) = sim.run_with_processes();
+        for p in &procs {
+            assert_eq!(p.cs_entries(), 2);
+            assert!(!p.in_cs);
+        }
+        let entries = trace.int_var("cs_entries").unwrap();
+        assert_eq!(entries.sum_at(&trace.computation.final_cut()), 6);
+    }
+
+    #[test]
+    fn correct_protocol_has_no_possible_violation() {
+        let sim = Simulation::new(RicartAgrawala::group(3, 1), SimConfig::new(5));
+        let trace = sim.run();
+        assert!(!violation_possible(&trace));
+    }
+
+    #[test]
+    fn buggy_protocol_admits_a_violation_cut() {
+        // With immediate grants, two processes can hold the CS in some
+        // consistent cut. Search a few seeds: the bug is a race, not a
+        // certainty, but detection is about *possibility* and the buggy
+        // runs here do contain a violating cut.
+        let found = (0..10).any(|seed| {
+            let sim = Simulation::new(
+                RicartAgrawala::group_with_bug(3, 1, true),
+                SimConfig::new(seed),
+            );
+            violation_possible(&sim.run())
+        });
+        assert!(found, "no seed produced a possible violation");
+    }
+
+    #[test]
+    fn single_process_enters_immediately() {
+        let sim = Simulation::new(RicartAgrawala::group(1, 3), SimConfig::new(0));
+        let (_, procs) = sim.run_with_processes();
+        assert_eq!(procs[0].cs_entries(), 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! Tokens circulating on a unidirectional ring.
+//!
+//! Each process holds zero or more tokens and forwards one to its ring
+//! successor after a random pause. The exposed integer variable `tokens`
+//! changes by exactly ±1 per event, so the run is a perfect input for the
+//! paper's §4.2 polynomial `Possibly(Σ tokens = K)` detection: token
+//! conservation means the sum should equal the initial token count at
+//! *every* consistent cut — unless the injected duplication bug strikes.
+
+use rand::Rng;
+
+use crate::kernel::{Context, Process};
+
+/// Message carrying one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenMsg;
+
+/// One ring member.
+#[derive(Debug, Clone)]
+pub struct TokenRing {
+    held: i64,
+    hops_left: u32,
+    /// Every `duplicate_every`-th forward also mints a spurious token
+    /// (0 = never): the injected conservation bug.
+    duplicate_every: u32,
+    forwards: u32,
+}
+
+impl TokenRing {
+    /// A ring of `n` correct members, the first `tokens` of which start
+    /// with one token each; each token makes roughly `3 n` hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens > n` or `n == 0`.
+    pub fn ring(n: usize, tokens: usize) -> Vec<TokenRing> {
+        Self::ring_with_bug(n, tokens, 0)
+    }
+
+    /// Like [`ring`](Self::ring), but every `duplicate_every`-th forward
+    /// by a member duplicates the token (0 disables the bug).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens > n` or `n == 0`.
+    pub fn ring_with_bug(n: usize, tokens: usize, duplicate_every: u32) -> Vec<TokenRing> {
+        assert!(n > 0, "ring needs at least one member");
+        assert!(tokens <= n, "cannot place {tokens} tokens on {n} members");
+        (0..n)
+            .map(|p| TokenRing {
+                held: (p < tokens) as i64,
+                hops_left: 3 * n as u32,
+                duplicate_every,
+                forwards: 0,
+            })
+            .collect()
+    }
+
+    fn forward(&mut self, ctx: &mut Context<'_, TokenMsg>) {
+        if self.held == 0 || self.hops_left == 0 {
+            return;
+        }
+        self.held -= 1;
+        self.hops_left -= 1;
+        let next = (ctx.me() + 1) % ctx.process_count();
+        ctx.send(next, TokenMsg);
+        self.forwards += 1;
+        if self.duplicate_every != 0 && self.forwards % self.duplicate_every == 0 {
+            // Injected bug: the token is also "kept".
+            self.held += 1;
+        }
+    }
+}
+
+impl Process for TokenRing {
+    type Msg = TokenMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, TokenMsg>) {
+        if self.held > 0 && ctx.process_count() > 1 {
+            let pause = ctx.rng().gen_range(1..5);
+            ctx.set_timer(pause);
+        }
+    }
+
+    fn on_message(&mut self, _from: usize, _msg: TokenMsg, ctx: &mut Context<'_, TokenMsg>) {
+        self.held += 1;
+        if ctx.process_count() > 1 {
+            self.forward(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, TokenMsg>) {
+        if ctx.process_count() > 1 {
+            self.forward(ctx);
+        }
+    }
+
+    fn int_vars(&self) -> Vec<(&'static str, i64)> {
+        vec![("tokens", self.held)]
+    }
+
+    fn bool_vars(&self) -> Vec<(&'static str, bool)> {
+        vec![("has_token", self.held > 0)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{SimConfig, Simulation};
+
+    #[test]
+    fn tokens_are_conserved_without_the_bug() {
+        let trace = Simulation::new(TokenRing::ring(5, 2), SimConfig::new(4)).run();
+        let tokens = trace.int_var("tokens").unwrap();
+        // In-flight tokens make intermediate sums dip below 2, but the
+        // final cut (quiescence) must hold exactly 2.
+        assert_eq!(tokens.sum_at(&trace.computation.final_cut()), 2);
+        assert!(tokens.is_unit_step(), "token counts move by at most 1");
+        assert!(trace.computation.messages().len() >= 2);
+    }
+
+    #[test]
+    fn duplication_bug_inflates_the_sum() {
+        let trace =
+            Simulation::new(TokenRing::ring_with_bug(5, 2, 3), SimConfig::new(4)).run();
+        let tokens = trace.int_var("tokens").unwrap();
+        assert!(
+            tokens.sum_at(&trace.computation.final_cut()) > 2,
+            "the bug should mint extra tokens"
+        );
+    }
+
+    #[test]
+    fn has_token_tracks_held_count() {
+        let trace = Simulation::new(TokenRing::ring(3, 1), SimConfig::new(7)).run();
+        let held = trace.int_var("tokens").unwrap();
+        let has = trace.bool_var("has_token").unwrap();
+        for p in 0..3 {
+            for s in 0..=trace.computation.events_on(p) {
+                assert_eq!(has.value_in_state(p, s as u32), held.value_in_state(p, s as u32) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_member_ring_stays_quiet() {
+        let trace = Simulation::new(TokenRing::ring(1, 1), SimConfig::new(1)).run();
+        assert!(trace.computation.messages().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn too_many_tokens_panics() {
+        TokenRing::ring(2, 3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Two-phase commit: coordinator + participants.
+//!
+//! The paper's example of a `Definitely` question is verifying "the
+//! commit point of a transaction": when the transaction commits, every
+//! run must pass through a global state where **all** participants are
+//! simultaneously prepared — a definitely-true conjunctive predicate.
+//! When some participant votes no, that state never occurs.
+
+use rand::Rng;
+
+use crate::kernel::{Context, Process};
+
+/// Protocol messages. Process 0 is the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitMsg {
+    /// Coordinator → participant: please vote.
+    Prepare,
+    /// Participant → coordinator: the vote.
+    Vote {
+        /// `true` to commit.
+        yes: bool,
+    },
+    /// Coordinator → participant: global decision.
+    Decision {
+        /// `true`: commit; `false`: abort.
+        commit: bool,
+    },
+}
+
+/// Coordinator or participant of a two-phase commit.
+#[derive(Debug, Clone)]
+pub struct TwoPhaseCommit {
+    is_coordinator: bool,
+    /// Probability a participant votes no (decided with the seeded rng).
+    abort_probability: f64,
+    prepared: bool,
+    committed: bool,
+    aborted: bool,
+    yes_votes: usize,
+    votes_seen: usize,
+    decided: bool,
+}
+
+impl TwoPhaseCommit {
+    /// A coordinator (process 0) plus `n − 1` participants, each voting
+    /// no with probability `abort_probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the probability is outside `[0, 1]`.
+    pub fn transaction(n: usize, abort_probability: f64) -> Vec<TwoPhaseCommit> {
+        assert!(n >= 2, "two-phase commit needs a coordinator and a participant");
+        assert!(
+            (0.0..=1.0).contains(&abort_probability),
+            "probability {abort_probability} out of range"
+        );
+        (0..n)
+            .map(|p| TwoPhaseCommit {
+                is_coordinator: p == 0,
+                abort_probability,
+                prepared: false,
+                committed: false,
+                aborted: false,
+                yes_votes: 0,
+                votes_seen: 0,
+                decided: false,
+            })
+            .collect()
+    }
+
+    /// Whether this node ended committed.
+    pub fn committed(&self) -> bool {
+        self.committed
+    }
+
+    /// Whether this node ended aborted.
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+}
+
+impl Process for TwoPhaseCommit {
+    type Msg = CommitMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, CommitMsg>) {
+        if self.is_coordinator {
+            for q in 1..ctx.process_count() {
+                ctx.send(q, CommitMsg::Prepare);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: usize, msg: CommitMsg, ctx: &mut Context<'_, CommitMsg>) {
+        match msg {
+            CommitMsg::Prepare => {
+                let yes = !ctx.rng().gen_bool(self.abort_probability);
+                if yes {
+                    self.prepared = true;
+                } else {
+                    self.aborted = true;
+                }
+                ctx.send(from, CommitMsg::Vote { yes });
+            }
+            CommitMsg::Vote { yes } => {
+                self.votes_seen += 1;
+                self.yes_votes += yes as usize;
+                if self.votes_seen == ctx.process_count() - 1 && !self.decided {
+                    self.decided = true;
+                    let commit = self.yes_votes == self.votes_seen;
+                    if commit {
+                        self.committed = true;
+                    } else {
+                        self.aborted = true;
+                    }
+                    for q in 1..ctx.process_count() {
+                        ctx.send(q, CommitMsg::Decision { commit });
+                    }
+                }
+            }
+            CommitMsg::Decision { commit } => {
+                self.prepared = false;
+                if commit {
+                    self.committed = true;
+                } else {
+                    self.aborted = true;
+                }
+            }
+        }
+    }
+
+    fn bool_vars(&self) -> Vec<(&'static str, bool)> {
+        vec![
+            ("prepared", self.prepared),
+            ("committed", self.committed),
+            ("aborted", self.aborted),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{SimConfig, Simulation};
+
+    #[test]
+    fn unanimous_yes_commits_everywhere() {
+        let sim = Simulation::new(TwoPhaseCommit::transaction(4, 0.0), SimConfig::new(1));
+        let (trace, procs) = sim.run_with_processes();
+        assert!(procs.iter().all(|p| p.committed() && !p.aborted()));
+        // After quiescence nobody is still prepared.
+        let prepared = trace.bool_var("prepared").unwrap();
+        let final_cut = trace.computation.final_cut();
+        assert!((0..4).all(|p| !prepared.value_at(&final_cut, p)));
+    }
+
+    #[test]
+    fn any_no_vote_aborts_everywhere() {
+        let sim = Simulation::new(TwoPhaseCommit::transaction(4, 1.0), SimConfig::new(2));
+        let (_, procs) = sim.run_with_processes();
+        assert!(procs.iter().all(|p| p.aborted() && !p.committed()));
+    }
+
+    #[test]
+    fn atomicity_holds_across_seeds() {
+        for seed in 0..10 {
+            let sim =
+                Simulation::new(TwoPhaseCommit::transaction(5, 0.3), SimConfig::new(seed));
+            let (_, procs) = sim.run_with_processes();
+            let committed = procs.iter().filter(|p| p.committed()).count();
+            let aborted = procs.iter().filter(|p| p.aborted()).count();
+            assert!(
+                committed == procs.len() || aborted >= 1 && committed == 0,
+                "seed {seed}: mixed outcome ({committed} committed, {aborted} aborted)"
+            );
+        }
+    }
+
+    #[test]
+    fn committed_run_passes_all_prepared_simultaneously() {
+        // The commit point: on a committing run, some consistent cut has
+        // every participant prepared at once (exhaustive check).
+        let sim = Simulation::new(TwoPhaseCommit::transaction(3, 0.0), SimConfig::new(3));
+        let trace = sim.run();
+        let prepared = trace.bool_var("prepared").unwrap();
+        let witness = trace.computation.consistent_cuts().any(|cut| {
+            (1..3).all(|p| prepared.value_at(&cut, p))
+        });
+        assert!(witness);
+    }
+}

@@ -1,0 +1,145 @@
+//! Distributed voting: every process casts a yes/no vote and broadcasts
+//! it.
+//!
+//! The exposed booleans feed the §4.3 majority predicates: *absence of a
+//! simple majority* is `Possibly(Σ voted_yes = ⌈n/2⌉ − …)`-style exact-sum
+//! detection, and "everyone agrees" is the symmetric *all-equal*
+//! predicate.
+
+use rand::Rng;
+
+use crate::kernel::{Context, Process};
+
+/// A broadcast ballot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoteMsg {
+    /// The vote being announced.
+    pub yes: bool,
+}
+
+/// One voter.
+#[derive(Debug, Clone)]
+pub struct Voter {
+    /// Probability of voting yes (decided at start, seeded).
+    yes_probability: f64,
+    voted: bool,
+    voted_yes: bool,
+    yes_seen: i64,
+    votes_seen: i64,
+}
+
+impl Voter {
+    /// An electorate of `n` voters, each voting yes independently with
+    /// probability `yes_probability`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    pub fn electorate(n: usize, yes_probability: f64) -> Vec<Voter> {
+        assert!(
+            (0.0..=1.0).contains(&yes_probability),
+            "probability {yes_probability} out of range"
+        );
+        (0..n)
+            .map(|_| Voter {
+                yes_probability,
+                voted: false,
+                voted_yes: false,
+                yes_seen: 0,
+                votes_seen: 0,
+            })
+            .collect()
+    }
+
+    /// This voter's ballot, if cast.
+    pub fn ballot(&self) -> Option<bool> {
+        self.voted.then_some(self.voted_yes)
+    }
+}
+
+impl Process for Voter {
+    type Msg = VoteMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, VoteMsg>) {
+        // Deliberate: vote after a random pause so ballots interleave.
+        let pause = ctx.rng().gen_range(1..8);
+        ctx.set_timer(pause);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, VoteMsg>) {
+        if self.voted {
+            return;
+        }
+        self.voted = true;
+        self.voted_yes = ctx.rng().gen_bool(self.yes_probability);
+        self.yes_seen += self.voted_yes as i64;
+        self.votes_seen += 1;
+        for q in 0..ctx.process_count() {
+            if q != ctx.me() {
+                ctx.send(q, VoteMsg { yes: self.voted_yes });
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: usize, msg: VoteMsg, _ctx: &mut Context<'_, VoteMsg>) {
+        self.yes_seen += msg.yes as i64;
+        self.votes_seen += 1;
+    }
+
+    fn bool_vars(&self) -> Vec<(&'static str, bool)> {
+        vec![("voted_yes", self.voted_yes), ("voted", self.voted)]
+    }
+
+    fn int_vars(&self) -> Vec<(&'static str, i64)> {
+        vec![("yes_seen", self.yes_seen), ("votes_seen", self.votes_seen)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{SimConfig, Simulation};
+
+    #[test]
+    fn everyone_votes_and_tallies_agree() {
+        let n = 5;
+        let sim = Simulation::new(Voter::electorate(n, 0.5), SimConfig::new(21));
+        let (trace, procs) = sim.run_with_processes();
+        let yes_total = procs.iter().filter(|v| v.ballot() == Some(true)).count() as i64;
+        for v in &procs {
+            assert!(v.ballot().is_some());
+            assert_eq!(v.votes_seen, n as i64, "every ballot reaches everyone");
+            assert_eq!(v.yes_seen, yes_total);
+        }
+        // The recorded voted_yes variable matches the final ballots.
+        let vy = trace.bool_var("voted_yes").unwrap();
+        let final_cut = trace.computation.final_cut();
+        let recorded: i64 = (0..n).map(|p| vy.value_at(&final_cut, p) as i64).sum();
+        assert_eq!(recorded, yes_total);
+    }
+
+    #[test]
+    fn extreme_probabilities_are_unanimous() {
+        let (_, yes) = Simulation::new(Voter::electorate(4, 1.0), SimConfig::new(3))
+            .run_with_processes();
+        assert!(yes.iter().all(|v| v.ballot() == Some(true)));
+        let (_, no) = Simulation::new(Voter::electorate(4, 0.0), SimConfig::new(3))
+            .run_with_processes();
+        assert!(no.iter().all(|v| v.ballot() == Some(false)));
+    }
+
+    #[test]
+    fn voted_starts_false_everywhere() {
+        let trace = Simulation::new(Voter::electorate(3, 0.5), SimConfig::new(4)).run();
+        let voted = trace.bool_var("voted").unwrap();
+        for p in 0..3 {
+            assert!(!voted.value_in_state(p, 0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_probability_panics() {
+        Voter::electorate(2, 1.5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Cross-crate validation: the vector-clock order implemented in
+//! `gpd-computation` must coincide exactly with the transitive closure of
+//! the event DAG computed independently by `gpd-order` — the two crates
+//! implement the same mathematical object through different algorithms.
+
+use gpd_computation::{gen, Computation, EventId};
+use gpd_order::{Dag, TransitiveClosure};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn closure_of(comp: &Computation) -> TransitiveClosure {
+    let mut dag = Dag::new(comp.event_count());
+    for p in 0..comp.process_count() {
+        for w in comp.events_of(p).windows(2) {
+            dag.add_edge(w[0].index(), w[1].index());
+        }
+    }
+    for &(s, r) in comp.messages() {
+        dag.add_edge(s.index(), r.index());
+    }
+    dag.transitive_closure().expect("computations are acyclic")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn happened_before_equals_reachability(
+        seed in any::<u64>(),
+        n in 1usize..6,
+        m in 1usize..8,
+        msgs in 0usize..12,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let msgs = if n > 1 { msgs } else { 0 };
+        let comp = gen::random_computation(&mut rng, n, m, msgs);
+        let closure = closure_of(&comp);
+        for e in comp.events() {
+            for f in comp.events() {
+                prop_assert_eq!(
+                    comp.happened_before(e, f),
+                    closure.precedes(e.index(), f.index()),
+                    "{:?} vs {:?}", e, f
+                );
+                prop_assert_eq!(
+                    comp.concurrent(e, f),
+                    closure.concurrent(e.index(), f.index())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cut_consistency_equals_down_closedness(
+        seed in any::<u64>(),
+        n in 1usize..5,
+        m in 1usize..5,
+        msgs in 0usize..8,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let msgs = if n > 1 { msgs } else { 0 };
+        let comp = gen::random_computation(&mut rng, n, m, msgs);
+        let closure = closure_of(&comp);
+        // Every consistent cut's event set is downward closed under the
+        // independently computed closure, and vice versa for a sample of
+        // frontiers.
+        for cut in comp.consistent_cuts() {
+            let members: Vec<EventId> = comp
+                .events()
+                .filter(|&e| cut.contains(&comp, e))
+                .collect();
+            for &e in &members {
+                for g in comp.events() {
+                    if closure.precedes(g.index(), e.index()) {
+                        prop_assert!(cut.contains(&comp, g));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_width_matches_brute_force_antichain(
+        seed in any::<u64>(),
+        n in 1usize..4,
+        m in 1usize..4,
+        msgs in 0usize..5,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let msgs = if n > 1 { msgs } else { 0 };
+        let comp = gen::random_computation(&mut rng, n, m, msgs);
+        let st = gpd_computation::stats(&comp);
+        // Brute-force the maximum antichain over all event subsets.
+        let events: Vec<EventId> = comp.events().collect();
+        let mut best = 0;
+        for mask in 0u32..(1 << events.len()) {
+            let chosen: Vec<EventId> = events
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            let antichain = chosen
+                .iter()
+                .enumerate()
+                .all(|(i, &e)| chosen[i + 1..].iter().all(|&f| comp.concurrent(e, f)));
+            if antichain {
+                best = best.max(chosen.len());
+            }
+        }
+        prop_assert_eq!(st.width, best);
+    }
+}

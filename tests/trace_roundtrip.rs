@@ -1,0 +1,153 @@
+//! Trace persistence: a recorded simulation survives a round trip through
+//! the text trace format with identical detection results.
+
+use gpd::conjunctive::possibly_conjunctive;
+use gpd::relational::{max_sum_cut, min_sum_cut};
+use gpd_computation::trace::{read_trace, write_trace};
+use gpd_computation::ProcessId;
+use gpd_sim::protocols::{RicartAgrawala, TokenRing};
+use gpd_sim::{SimConfig, Simulation};
+
+#[test]
+fn token_ring_trace_roundtrip_preserves_detection() {
+    let trace = Simulation::new(TokenRing::ring(4, 2), SimConfig::new(77)).run();
+    let tokens = trace.int_var("tokens").unwrap();
+    let has = trace.bool_var("has_token").unwrap();
+
+    let text = write_trace(
+        &trace.computation,
+        &[("has_token", has)],
+        &[("tokens", tokens)],
+    );
+    let back = read_trace(&text).expect("trace parses");
+
+    assert_eq!(
+        back.computation.event_count(),
+        trace.computation.event_count()
+    );
+    // Event ids are renumbered on reload; compare messages by their
+    // (process, local index) endpoints, which are the stable identity.
+    let endpoints = |comp: &gpd_computation::Computation| {
+        let mut v: Vec<_> = comp
+            .messages()
+            .iter()
+            .map(|&(s, r)| {
+                (
+                    (comp.process_of(s).index(), comp.local_index(s)),
+                    (comp.process_of(r).index(), comp.local_index(r)),
+                )
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(endpoints(&back.computation), endpoints(&trace.computation));
+
+    let tokens2 = &back
+        .int_vars
+        .iter()
+        .find(|(n, _)| n == "tokens")
+        .unwrap()
+        .1;
+    assert_eq!(
+        max_sum_cut(&back.computation, tokens2),
+        max_sum_cut(&trace.computation, tokens)
+    );
+    assert_eq!(
+        min_sum_cut(&back.computation, tokens2),
+        min_sum_cut(&trace.computation, tokens)
+    );
+}
+
+#[test]
+fn mutex_trace_roundtrip_preserves_conjunctive_verdicts() {
+    let trace = Simulation::new(
+        RicartAgrawala::group_with_bug(3, 1, true),
+        SimConfig::new(4),
+    )
+    .run();
+    let in_cs = trace.bool_var("in_cs").unwrap();
+    let requesting = trace.bool_var("requesting").unwrap();
+
+    let text = write_trace(
+        &trace.computation,
+        &[("in_cs", in_cs), ("requesting", requesting)],
+        &[],
+    );
+    let back = read_trace(&text).expect("trace parses");
+    let in_cs2 = &back.bool_vars.iter().find(|(n, _)| n == "in_cs").unwrap().1;
+
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            let procs = [ProcessId::new(i), ProcessId::new(j)];
+            let before = possibly_conjunctive(&trace.computation, in_cs, &procs);
+            let after = possibly_conjunctive(&back.computation, in_cs2, &procs);
+            assert_eq!(before, after, "pair ({i},{j})");
+        }
+    }
+}
+
+mod property {
+    use gpd_computation::gen;
+    use gpd_computation::trace::{read_trace, write_trace};
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn random_computations_roundtrip(
+            seed in any::<u64>(),
+            n in 1usize..6,
+            m in 0usize..8,
+            msgs in 0usize..10,
+            density in 0.0f64..1.0,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let msgs = if n > 1 && m > 0 { msgs } else { 0 };
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let bv = gen::random_bool_variable(&mut rng, &comp, density);
+            let iv = gen::random_unit_int_variable(&mut rng, &comp);
+
+            let text = write_trace(&comp, &[("b", &bv)], &[("x", &iv)]);
+            let back = read_trace(&text).expect("own output parses");
+
+            prop_assert_eq!(back.computation.process_count(), comp.process_count());
+            prop_assert_eq!(back.computation.event_count(), comp.event_count());
+            prop_assert_eq!(back.bool_vars[0].1.tracks(), bv.tracks());
+            prop_assert_eq!(back.int_vars[0].1.tracks(), iv.tracks());
+            // The causal order is preserved (compare by local coordinates).
+            for p in 0..n {
+                for q in 0..n {
+                    for k in 1..=comp.events_on(p) as u32 {
+                        for l in 1..=comp.events_on(q) as u32 {
+                            let e1 = comp.event_at(p, k).unwrap();
+                            let f1 = comp.event_at(q, l).unwrap();
+                            let e2 = back.computation.event_at(p, k).unwrap();
+                            let f2 = back.computation.event_at(q, l).unwrap();
+                            prop_assert_eq!(
+                                comp.happened_before(e1, f1),
+                                back.computation.happened_before(e2, f2)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn double_roundtrip_is_identity() {
+    let trace = Simulation::new(TokenRing::ring(3, 1), SimConfig::new(5)).run();
+    let tokens = trace.int_var("tokens").unwrap();
+    let text1 = write_trace(&trace.computation, &[], &[("tokens", tokens)]);
+    let back1 = read_trace(&text1).unwrap();
+    let text2 = write_trace(
+        &back1.computation,
+        &[],
+        &[("tokens", &back1.int_vars[0].1)],
+    );
+    assert_eq!(text1, text2);
+}
