@@ -50,5 +50,10 @@ fn against_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, scaling_in_events, scaling_in_clauses, against_baseline);
+criterion_group!(
+    benches,
+    scaling_in_events,
+    scaling_in_clauses,
+    against_baseline
+);
 criterion_main!(benches);

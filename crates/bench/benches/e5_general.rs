@@ -7,7 +7,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpd::enumerate::possibly_by_enumeration;
-use gpd::singular::{chain_cover_sizes, possibly_singular_chains, possibly_singular_subsets};
+use gpd::singular::{
+    chain_cover_sizes, possibly_singular_chains, possibly_singular_chains_par,
+    possibly_singular_subsets, possibly_singular_subsets_par,
+};
 use gpd_bench::singular_workload;
 use std::hint::black_box;
 
@@ -22,6 +25,31 @@ fn scan_count_growth(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("chains", groups), &groups, |b, _| {
             b.iter(|| black_box(possibly_singular_chains(&comp, &var, &phi)))
         });
+        group.bench_with_input(BenchmarkId::new("subsets_par4", groups), &groups, |b, _| {
+            b.iter(|| black_box(possibly_singular_subsets_par(&comp, &var, &phi, 4)))
+        });
+        group.bench_with_input(BenchmarkId::new("chains_par4", groups), &groups, |b, _| {
+            b.iter(|| black_box(possibly_singular_chains_par(&comp, &var, &phi, 4)))
+        });
+    }
+    group.finish();
+}
+
+fn parallel_speedup(c: &mut Criterion) {
+    // Wide unsatisfiable workload: all ∏kᵢ scans must run before the
+    // reject, so the thread-count sweep measures pure work division —
+    // no first-witness luck. Verdicts are identical across the sweep.
+    let mut group = c.benchmark_group("e5_parallel_unsat");
+    group.sample_size(10);
+    let (comp, var, phi) = gpd_bench::wide_unsat_singular_workload(12, 3, 4);
+    for &threads in &[0usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("subsets", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| black_box(possibly_singular_subsets_par(&comp, &var, &phi, threads)))
+            },
+        );
     }
     group.finish();
 }
@@ -38,9 +66,7 @@ fn against_enumeration(c: &mut Criterion) {
             b.iter(|| black_box(possibly_singular_subsets(&comp, &var, &phi)))
         });
         group.bench_with_input(BenchmarkId::new("enumeration", pad), &pad, |b, _| {
-            b.iter(|| {
-                black_box(possibly_by_enumeration(&comp, |cut| phi.eval(&var, cut)))
-            })
+            b.iter(|| black_box(possibly_by_enumeration(&comp, |cut| phi.eval(&var, cut))))
         });
     }
     group.finish();
@@ -64,5 +90,11 @@ fn chain_cover_advantage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, scan_count_growth, against_enumeration, chain_cover_advantage);
+criterion_group!(
+    benches,
+    scan_count_growth,
+    against_enumeration,
+    chain_cover_advantage,
+    parallel_speedup
+);
 criterion_main!(benches);

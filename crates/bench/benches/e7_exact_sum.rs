@@ -53,5 +53,10 @@ fn definitely_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, possibly_scaling, against_enumeration, definitely_cost);
+criterion_group!(
+    benches,
+    possibly_scaling,
+    against_enumeration,
+    definitely_cost
+);
 criterion_main!(benches);

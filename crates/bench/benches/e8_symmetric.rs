@@ -30,11 +30,9 @@ fn named_predicates(c: &mut Criterion) {
             ("exactly_k", SymmetricPredicate::exactly(n as u32 / 2)),
         ];
         for (name, phi) in questions {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &n,
-                |b, _| b.iter(|| black_box(possibly_symmetric(&comp, &var, &phi))),
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| black_box(possibly_symmetric(&comp, &var, &phi)))
+            });
         }
     }
     group.finish();
@@ -46,7 +44,13 @@ fn on_protocol_traces(c: &mut Criterion) {
     let voted_yes = voting.bool_var("voted_yes").unwrap().clone();
     let majority = SymmetricPredicate::absence_of_simple_majority(10);
     group.bench_function("voting_no_majority", |b| {
-        b.iter(|| black_box(possibly_symmetric(&voting.computation, &voted_yes, &majority)))
+        b.iter(|| {
+            black_box(possibly_symmetric(
+                &voting.computation,
+                &voted_yes,
+                &majority,
+            ))
+        })
     });
 
     let ring = Simulation::new(TokenRing::ring(12, 4), SimConfig::new(82)).run();

@@ -8,10 +8,12 @@ use std::time::{Duration, Instant};
 use gpd::conjunctive::possibly_conjunctive;
 use gpd::enumerate::possibly_by_enumeration;
 use gpd::hardness::{brute_force_subset_sum, reduce_sat, reduce_subset_sum};
-use gpd::relational::{definitely_exact_sum, max_sum_cut, min_sum_cut, possibly_exact_sum, possibly_sum};
+use gpd::relational::{
+    definitely_exact_sum, max_sum_cut, min_sum_cut, possibly_exact_sum, possibly_sum,
+};
 use gpd::singular::{
     chain_cover_sizes, possibly_singular_chains, possibly_singular_ordered,
-    possibly_singular_subsets,
+    possibly_singular_subsets, possibly_singular_subsets_par,
 };
 use gpd::symmetric::{possibly_symmetric, SymmetricPredicate};
 use gpd::Relop;
@@ -39,7 +41,9 @@ fn us(d: Duration) -> String {
 }
 
 fn main() {
-    println!("# Experiment report (regenerate with `cargo run --release -p gpd-bench --bin report`)\n");
+    println!(
+        "# Experiment report (regenerate with `cargo run --release -p gpd-bench --bin report`)\n"
+    );
     e1();
     e2();
     e3();
@@ -68,9 +72,7 @@ fn e1() {
         let processes: Vec<ProcessId> = (0..n).map(ProcessId::new).collect();
         let (_, t) = time(|| possibly_conjunctive(&comp, &bvar, &processes));
         rows[0].1.push(us(t));
-        let (_, t) = time(|| {
-            gpd::conjunctive::definitely_conjunctive(&comp, &bvar, &processes)
-        });
+        let (_, t) = time(|| gpd::conjunctive::definitely_conjunctive(&comp, &bvar, &processes));
         rows[1].1.push(us(t));
         let (scomp, svar, spred) = singular_workload(200 + n as u64, n / 2, 2, m, 0.4);
         let (_, t) = time(|| possibly_singular_chains(&scomp, &svar, &spred));
@@ -88,9 +90,8 @@ fn e1() {
         println!("| {name} | {} |", cells.join(" | "));
     }
     let (comp, bvar) = boolean_workload(999, 4, 6);
-    let (_, t) = time(|| {
-        possibly_by_enumeration(&comp, |cut| (0..4).all(|p| bvar.value_at(cut, p)))
-    });
+    let (_, t) =
+        time(|| possibly_by_enumeration(&comp, |cut| (0..4).all(|p| bvar.value_at(cut, p))));
     println!("\nBaseline lattice enumeration already needs {} at n=4, m=6 — the polynomial classes above handle 50–200 events per process in the same ballpark.\n", us(t));
 }
 
@@ -221,6 +222,33 @@ fn e5() {
             us(t_enum)
         );
     }
+
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("\nParallel fan-out of the subset scans (`--threads`), on a **wide**");
+    println!("unsatisfiable workload: every one of the ∏kᵢ scans must run before");
+    println!("rejecting, so the speedup is guaranteed work division rather than a");
+    println!("lucky early witness. Verdicts are identical at every thread count.");
+    println!("Hardware parallelism on this host: {hw} (the speedup column is");
+    println!("bounded by it — a single-core host can only show ≈1×):\n");
+    println!(
+        "| ∏kᵢ scans (wide unsat workload) | sequential | 2 threads | 4 threads | speedup ×4 |"
+    );
+    println!("|---|---|---|---|---|");
+    for &(groups, width) in &[(3usize, 4usize), (4, 4)] {
+        let (comp, var, phi) = gpd_bench::wide_unsat_singular_workload(30, groups, width);
+        let ks: usize = phi.clauses().iter().map(|c| c.literals().len()).product();
+        let (a, t_seq) = time(|| possibly_singular_subsets(&comp, &var, &phi));
+        let (b2, t_p2) = time(|| possibly_singular_subsets_par(&comp, &var, &phi, 2));
+        let (c, t_p4) = time(|| possibly_singular_subsets_par(&comp, &var, &phi, 4));
+        assert!(a.is_none() && b2.is_none() && c.is_none());
+        let speedup = t_seq.as_secs_f64() / t_p4.as_secs_f64().max(1e-9);
+        println!(
+            "| {ks} | {} | {} | {} | {speedup:.2}× |",
+            us(t_seq),
+            us(t_p2),
+            us(t_p4)
+        );
+    }
     println!();
 }
 
@@ -279,7 +307,12 @@ fn e7() {
         let (b, t_enum) = time(|| possibly_by_enumeration(&comp, |c| var.sum_at(c) == 1));
         assert_eq!(a.is_some(), b.is_some());
         let (d, t_def) = time(|| definitely_exact_sum(&comp, &var, 1).unwrap());
-        println!("| m={m} | {} | {} | {} ({d}) |", us(t_fast), us(t_enum), us(t_def));
+        println!(
+            "| m={m} | {} | {} | {} ({d}) |",
+            us(t_fast),
+            us(t_enum),
+            us(t_def)
+        );
     }
     println!();
 }
@@ -288,11 +321,18 @@ fn e8() {
     println!("## E8 — §4.3 symmetric predicates\n");
     println!("| predicate | n=8 | n=32 | n=64 |");
     println!("|---|---|---|---|");
-    let names: [(&str, fn(u32) -> SymmetricPredicate); 5] = [
+    type Ctor = fn(u32) -> SymmetricPredicate;
+    let names: [(&str, Ctor); 5] = [
         ("exclusive-or", SymmetricPredicate::exclusive_or),
         ("not all equal", SymmetricPredicate::not_all_equal),
-        ("no simple majority", SymmetricPredicate::absence_of_simple_majority),
-        ("no ⅔ majority", SymmetricPredicate::absence_of_two_thirds_majority),
+        (
+            "no simple majority",
+            SymmetricPredicate::absence_of_simple_majority,
+        ),
+        (
+            "no ⅔ majority",
+            SymmetricPredicate::absence_of_two_thirds_majority,
+        ),
         ("exactly n/2", |n| SymmetricPredicate::exactly(n / 2)),
     ];
     for (name, make) in names {

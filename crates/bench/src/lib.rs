@@ -110,7 +110,8 @@ pub fn relay_singular_workload(
             let p = g * width + j % width;
             let e = b.append(p);
             if let Some(pe) = prev {
-                b.message(pe, e).expect("consecutive relay events alternate processes");
+                b.message(pe, e)
+                    .expect("consecutive relay events alternate processes");
             }
             prev = Some(e);
         }
@@ -165,9 +166,7 @@ pub fn unsat_singular_workload(pad: usize) -> (Computation, BoolVariable, Singul
         }
     }
     let comp = b.build().expect("single forward message");
-    let mut tracks: Vec<Vec<bool>> = (0..4)
-        .map(|p| vec![false; comp.events_on(p) + 1])
-        .collect();
+    let mut tracks: Vec<Vec<bool>> = (0..4).map(|p| vec![false; comp.events_on(p) + 1]).collect();
     tracks[0][2] = true; // after e02
     tracks[2][1] = true; // after u1
     let var = BoolVariable::new(&comp, tracks);
@@ -175,6 +174,54 @@ pub fn unsat_singular_workload(pad: usize) -> (Computation, BoolVariable, Singul
         CnfClause::new(vec![(ProcessId::new(0), true), (ProcessId::new(1), true)]),
         CnfClause::new(vec![(ProcessId::new(2), true), (ProcessId::new(3), true)]),
     ]);
+    (comp, var, predicate)
+}
+
+/// [`unsat_singular_workload`] widened for the parallel-speedup
+/// experiment: the same 4-process conflict gadget (keeping the predicate
+/// unsatisfiable) plus `groups` extra clauses of `width` literals over
+/// disjoint always-true processes with `pad` events each. The subset
+/// algorithm must run **all** `2² · widthᵍ` scans before rejecting — no
+/// early witness, so the fan-out's speedup is guaranteed rather than
+/// race-dependent, which is what the E5 parallel table measures.
+pub fn wide_unsat_singular_workload(
+    pad: usize,
+    groups: usize,
+    width: usize,
+) -> (Computation, BoolVariable, SingularCnf) {
+    let n = 4 + groups * width;
+    let mut b = gpd_computation::ComputationBuilder::new(n);
+    // The conflict gadget of `unsat_singular_workload`: p0's and p2's
+    // only true states are mutually inconsistent through one message.
+    let _u1 = b.append(2);
+    let u2 = b.append(2);
+    let _e01 = b.append(0);
+    let e02 = b.append(0);
+    b.message(u2, e02).expect("distinct processes");
+    for p in 0..n {
+        for _ in 0..pad {
+            b.append(p);
+        }
+    }
+    let comp = b.build().expect("single forward message");
+    let mut tracks: Vec<Vec<bool>> = (0..n)
+        .map(|p| vec![p >= 4; comp.events_on(p) + 1])
+        .collect();
+    tracks[0][2] = true; // after e02
+    tracks[2][1] = true; // after u1
+    let var = BoolVariable::new(&comp, tracks);
+    let mut clauses = vec![
+        CnfClause::new(vec![(ProcessId::new(0), true), (ProcessId::new(1), true)]),
+        CnfClause::new(vec![(ProcessId::new(2), true), (ProcessId::new(3), true)]),
+    ];
+    for g in 0..groups {
+        clauses.push(CnfClause::new(
+            (0..width)
+                .map(|i| (ProcessId::new(4 + g * width + i), true))
+                .collect(),
+        ));
+    }
+    let predicate = SingularCnf::new(clauses);
     (comp, var, predicate)
 }
 
@@ -241,11 +288,7 @@ pub fn subset_sum_instance(seed: u64, n: usize) -> (Vec<i64>, i64) {
     // Target a random subset's sum about half the time, a random value
     // otherwise — keeps both outcomes represented.
     let target = if r.gen_bool(0.5) {
-        sizes
-            .iter()
-            .filter(|_| r.gen_bool(0.5))
-            .sum::<i64>()
-            .max(1)
+        sizes.iter().filter(|_| r.gen_bool(0.5)).sum::<i64>().max(1)
     } else {
         r.gen_range(1..sizes.iter().sum::<i64>())
     };
@@ -280,10 +323,7 @@ mod tests {
         assert!(f.is_non_monotone());
         assert!(f.max_clause_len() <= 3);
         let g = sat_gadget(4, 5);
-        assert_eq!(
-            g.computation.process_count(),
-            2 * f.clauses().len()
-        );
+        assert_eq!(g.computation.process_count(), 2 * f.clauses().len());
     }
 
     #[test]
@@ -304,5 +344,18 @@ mod tests {
         let (comp, var, phi) = unsat_singular_workload(3);
         assert!(gpd::singular::possibly_singular_subsets(&comp, &var, &phi).is_none());
         assert!(gpd::enumerate::possibly_by_enumeration(&comp, |c| phi.eval(&var, c)).is_none());
+    }
+
+    #[test]
+    fn wide_unsat_workload_rejects_at_every_thread_count() {
+        let (comp, var, phi) = wide_unsat_singular_workload(3, 2, 3);
+        for threads in [0, 1, 2, 4] {
+            assert!(
+                gpd::singular::possibly_singular_subsets_par(&comp, &var, &phi, threads).is_none()
+            );
+            assert!(
+                gpd::singular::possibly_singular_chains_par(&comp, &var, &phi, threads).is_none()
+            );
+        }
     }
 }

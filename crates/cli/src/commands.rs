@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use gpd::conjunctive::{definitely_conjunctive, possibly_conjunctive};
 use gpd::enumerate::{definitely_by_enumeration, possibly_by_enumeration};
 use gpd::relational::{definitely_exact_sum, definitely_sum, possibly_exact_sum, possibly_sum};
-use gpd::singular::possibly_singular;
+use gpd::singular::possibly_singular_par;
 use gpd::symmetric::{definitely_symmetric, possibly_symmetric, SymmetricPredicate};
 use gpd::{CnfClause, Relop, SingularCnf};
 use gpd_computation::trace::{read_trace, write_trace, Trace};
@@ -26,7 +26,11 @@ struct Flags {
     switches: Vec<String>,
 }
 
-fn parse_flags(args: &[String], value_flags: &[&str], switch_flags: &[&str]) -> Result<Flags, CliError> {
+fn parse_flags(
+    args: &[String],
+    value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Result<Flags, CliError> {
     let mut flags = Flags {
         positional: Vec::new(),
         values: HashMap::new(),
@@ -116,7 +120,9 @@ pub fn simulate(args: &[String]) -> Result<String, CliError> {
         "token-ring" => {
             let tokens = flags.get_usize("tokens", (n / 2).max(1))?;
             if tokens > n {
-                return Err(CliError::Usage(format!("--tokens {tokens} exceeds --n {n}")));
+                return Err(CliError::Usage(format!(
+                    "--tokens {tokens} exceeds --n {n}"
+                )));
             }
             run_protocol(
                 TokenRing::ring_with_bug(n, tokens, if buggy { 2 } else { 0 }),
@@ -257,7 +263,10 @@ fn find_bool<'a>(trace: &'a Trace, name: &str) -> Result<&'a BoolVariable, CliEr
         })
 }
 
-fn find_int<'a>(trace: &'a Trace, name: &str) -> Result<&'a gpd_computation::IntVariable, CliError> {
+fn find_int<'a>(
+    trace: &'a Trace,
+    name: &str,
+) -> Result<&'a gpd_computation::IntVariable, CliError> {
     trace
         .int_vars
         .iter()
@@ -319,12 +328,12 @@ fn guard_enumeration(comp: &Computation, enumerate: bool, what: &str) -> Result<
     Ok(())
 }
 
-/// `gpd detect <trace> --pred "EXPR" [--definitely] [--enumerate]`
+/// `gpd detect <trace> --pred "EXPR" [--definitely] [--enumerate] [--threads N]`
 pub fn detect(args: &[String]) -> Result<String, CliError> {
-    let flags = parse_flags(args, &["pred"], &["definitely", "enumerate"])?;
+    let flags = parse_flags(args, &["pred", "threads"], &["definitely", "enumerate"])?;
     let [path] = flags.positional.as_slice() else {
         return Err(CliError::Usage(
-            "detect <trace> --pred \"EXPR\" [--definitely] [--enumerate]".into(),
+            "detect <trace> --pred \"EXPR\" [--definitely] [--enumerate] [--threads N]".into(),
         ));
     };
     let expr = flags
@@ -336,6 +345,9 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
     let comp = &trace.computation;
     let definitely = flags.has("definitely");
     let enumerate = flags.has("enumerate");
+    // 0 = sequential (the default); N ≥ 2 fans the combinatorial CNF
+    // scans out over N workers with first-witness cancellation.
+    let threads = flags.get_usize("threads", 0)?;
     let modality = if definitely { "Definitely" } else { "Possibly" };
 
     match spec {
@@ -376,7 +388,7 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
                 let verdict = definitely_by_enumeration(comp, |cut| phi.eval(&truth, cut));
                 Ok(format!("{modality}({expr}): {verdict}\n"))
             } else {
-                match possibly_singular(comp, &truth, &phi) {
+                match possibly_singular_par(comp, &truth, &phi, threads) {
                     Some(cut) => Ok(format!(
                         "{modality}({expr}): true\n{}\n",
                         describe_cut(comp, &cut)
@@ -488,7 +500,8 @@ mod tests {
     }
 
     fn temp_trace(name: &str, protocol: &str, extra: &[&str]) -> String {
-        let path = std::env::temp_dir().join(format!("gpd-cli-test-{name}-{}.trace", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("gpd-cli-test-{name}-{}.trace", std::process::id()));
         let path = path.to_string_lossy().to_string();
         let mut a = vec![protocol, "--seed", "7", "-o"];
         a.push(&path);
@@ -570,12 +583,7 @@ mod tests {
     #[test]
     fn detect_conjunction_on_mutex() {
         let path = temp_trace("conj", "mutex", &["--n", "3", "--rounds", "1"]);
-        let out = detect(&args(&[
-            &path,
-            "--pred",
-            "conj in_cs@0 in_cs@1",
-        ]))
-        .unwrap();
+        let out = detect(&args(&[&path, "--pred", "conj in_cs@0 in_cs@1"])).unwrap();
         assert!(out.contains("false"), "{out}");
         // Negated literals work: ¬in_cs everywhere is at least initially true.
         let out = detect(&args(&[&path, "--pred", "conj !in_cs@0 !in_cs@1 !in_cs@2"])).unwrap();
@@ -628,6 +636,28 @@ mod tests {
     }
 
     #[test]
+    fn detect_cnf_threads_flag_keeps_the_verdict() {
+        let path = temp_trace("cnf-par", "token-ring", &["--n", "4", "--tokens", "1"]);
+        let pred = "cnf has_token@0 | has_token@1 & !has_token@2 | !has_token@3";
+        let seq = detect(&args(&[&path, "--pred", pred])).unwrap();
+        for threads in ["1", "2", "4"] {
+            let par = detect(&args(&[&path, "--pred", pred, "--threads", threads])).unwrap();
+            // The verdict line is identical at every thread count; only
+            // the witness frontier may differ.
+            assert_eq!(
+                par.lines().next().unwrap(),
+                seq.lines().next().unwrap(),
+                "threads = {threads}"
+            );
+        }
+        assert!(matches!(
+            detect(&args(&[&path, "--pred", pred, "--threads", "x"])),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn enumeration_guard_blocks_big_exhaustive_questions() {
         let path = temp_trace("guard", "bank", &["--n", "12"]);
         // Bank balances have unbounded steps: exact sum falls back to
@@ -672,7 +702,9 @@ mod tests {
 
     #[test]
     fn top_level_dispatch() {
-        assert!(crate::run(&args(&["help"])).unwrap().contains("gpd <command>"));
+        assert!(crate::run(&args(&["help"]))
+            .unwrap()
+            .contains("gpd <command>"));
         assert!(matches!(crate::run(&[]), Err(CliError::Usage(_))));
         assert!(matches!(
             crate::run(&args(&["frobnicate"])),

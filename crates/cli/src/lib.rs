@@ -81,7 +81,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "dot" => commands::dot(rest),
         "detect" => commands::detect(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError::Usage(format!("unknown command {other:?}\n{USAGE}"))),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n{USAGE}"
+        ))),
     }
 }
 

@@ -94,7 +94,9 @@ fn parse_lit(tok: &str) -> Result<LitSpec, CliError> {
         .split_once('@')
         .ok_or_else(|| CliError::Parse(format!("literal {tok:?} must be [!]name@process")))?;
     if name.is_empty() {
-        return Err(CliError::Parse(format!("literal {tok:?} has an empty name")));
+        return Err(CliError::Parse(format!(
+            "literal {tok:?} has an empty name"
+        )));
     }
     let process = proc
         .parse()
@@ -216,9 +218,9 @@ pub fn parse(input: &str) -> Result<PredicateSpec, CliError> {
                         .split(',')
                         .filter(|s| !s.is_empty())
                         .map(|s| {
-                            s.trim().parse().map_err(|_| {
-                                CliError::Parse(format!("bad count {s:?} in {set:?}"))
-                            })
+                            s.trim()
+                                .parse()
+                                .map_err(|_| CliError::Parse(format!("bad count {s:?} in {set:?}")))
                         })
                         .collect::<Result<Vec<u32>, _>>()?;
                     CountSpec::In(counts)
@@ -228,9 +230,10 @@ pub fn parse(input: &str) -> Result<PredicateSpec, CliError> {
                 ["all-equal"] => CountSpec::AllEqual,
                 ["no-majority"] => CountSpec::NoMajority,
                 ["no-two-thirds"] => CountSpec::NoTwoThirds,
-                ["exactly", k] => CountSpec::Exactly(k.parse().map_err(|_| {
-                    CliError::Parse(format!("bad count {k:?} after 'exactly'"))
-                })?),
+                ["exactly", k] => CountSpec::Exactly(
+                    k.parse()
+                        .map_err(|_| CliError::Parse(format!("bad count {k:?} after 'exactly'")))?,
+                ),
                 other => {
                     return Err(CliError::Parse(format!(
                         "unknown count spec {:?}",

@@ -101,7 +101,8 @@ impl ComputationBuilder {
             self.proc_events.len()
         );
         let id = EventId::new(self.event_proc.len());
-        self.event_local.push(self.proc_events[p.index()].len() as u32 + 1);
+        self.event_local
+            .push(self.proc_events[p.index()].len() as u32 + 1);
         self.proc_events[p.index()].push(id);
         self.event_proc.push(p);
         self.kinds.push(EventKind::Internal);

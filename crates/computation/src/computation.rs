@@ -168,12 +168,8 @@ impl Computation {
     /// through both. Per the paper (§2.2), `e` and `f` are inconsistent
     /// iff `succ(e) ≤ f` or `succ(f) ≤ e`.
     pub fn consistent(&self, e: EventId, f: EventId) -> bool {
-        let succ_e_leq_f = self
-            .successor_on_process(e)
-            .is_some_and(|s| self.leq(s, f));
-        let succ_f_leq_e = self
-            .successor_on_process(f)
-            .is_some_and(|s| self.leq(s, e));
+        let succ_e_leq_f = self.successor_on_process(e).is_some_and(|s| self.leq(s, f));
+        let succ_f_leq_e = self.successor_on_process(f).is_some_and(|s| self.leq(s, e));
         !succ_e_leq_f && !succ_f_leq_e
     }
 
@@ -271,8 +267,8 @@ impl Computation {
             if (f as usize) < self.proc_events[p].len() {
                 let e = self.proc_events[p][f as usize];
                 let vc = &self.clocks[e.index()];
-                let enabled = (0..self.process_count())
-                    .all(|q| q == p || vc.get(q) <= cut.frontier()[q]);
+                let enabled =
+                    (0..self.process_count()).all(|q| q == p || vc.get(q) <= cut.frontier()[q]);
                 if enabled {
                     let mut next = cut.frontier().to_vec();
                     next[p] += 1;
@@ -349,7 +345,10 @@ mod tests {
         b.message(e2, f).unwrap();
         let c = b.build().unwrap();
         assert!(c.happened_before(e, f));
-        assert!(!c.consistent(e, f), "succ(e) = e2 ≤ f forces e2 into any cut through f");
+        assert!(
+            !c.consistent(e, f),
+            "succ(e) = e2 ≤ f forces e2 into any cut through f"
+        );
         assert!(c.consistent(e2, f));
     }
 

@@ -74,7 +74,11 @@ impl Cut {
     ///
     /// Panics if the shapes differ.
     pub fn leq(&self, other: &Cut) -> bool {
-        assert_eq!(self.frontier.len(), other.frontier.len(), "cut shape mismatch");
+        assert_eq!(
+            self.frontier.len(),
+            other.frontier.len(),
+            "cut shape mismatch"
+        );
         self.frontier
             .iter()
             .zip(&other.frontier)

@@ -24,7 +24,9 @@ use crate::variables::BoolVariable;
 pub fn to_dot(comp: &Computation, truth: Option<&BoolVariable>) -> String {
     let mut out = String::from("digraph computation {\n  rankdir=LR;\n  node [shape=circle];\n");
     for p in 0..comp.process_count() {
-        out.push_str(&format!("  subgraph cluster_p{p} {{\n    label=\"p{p}\";\n"));
+        out.push_str(&format!(
+            "  subgraph cluster_p{p} {{\n    label=\"p{p}\";\n"
+        ));
         for &e in comp.events_of(p) {
             let name = format!("p{p}_{}", comp.local_index(e));
             let is_true = truth.is_some_and(|t| t.is_true_event(comp, e));

@@ -61,7 +61,7 @@ pub fn random_computation_with_receivers<R: Rng>(
     receivers: Option<&[usize]>,
 ) -> Computation {
     let mut schedule: Vec<usize> = (0..processes)
-        .flat_map(|p| std::iter::repeat(p).take(events_per_process))
+        .flat_map(|p| std::iter::repeat_n(p, events_per_process))
         .collect();
     schedule.shuffle(rng);
 
@@ -103,7 +103,8 @@ pub fn random_computation_with_receivers<R: Rng>(
             .expect("distinct processes checked above");
         added += 1;
     }
-    b.build().expect("forward-only messages cannot form a cycle")
+    b.build()
+        .expect("forward-only messages cannot form a cycle")
 }
 
 /// Generates a boolean variable per process that is true in each state
@@ -114,7 +115,11 @@ pub fn random_computation_with_receivers<R: Rng>(
 /// Panics if `density` is not within `[0, 1]`.
 pub fn random_bool_variable<R: Rng>(rng: &mut R, comp: &Computation, density: f64) -> BoolVariable {
     let values = (0..comp.process_count())
-        .map(|p| (0..=comp.events_on(p)).map(|_| rng.gen_bool(density)).collect())
+        .map(|p| {
+            (0..=comp.events_on(p))
+                .map(|_| rng.gen_bool(density))
+                .collect()
+        })
         .collect();
     BoolVariable::new(comp, values)
 }
@@ -145,11 +150,7 @@ pub fn random_unit_int_variable<R: Rng>(rng: &mut R, comp: &Computation) -> IntV
 /// # Panics
 ///
 /// Panics if `amplitude < 0`.
-pub fn random_int_variable<R: Rng>(
-    rng: &mut R,
-    comp: &Computation,
-    amplitude: i64,
-) -> IntVariable {
+pub fn random_int_variable<R: Rng>(rng: &mut R, comp: &Computation, amplitude: i64) -> IntVariable {
     assert!(amplitude >= 0, "amplitude must be nonnegative");
     let values = (0..comp.process_count())
         .map(|p| {
@@ -190,8 +191,7 @@ mod tests {
 
     #[test]
     fn receivers_are_respected() {
-        let comp =
-            random_computation_with_receivers(&mut rng(2), 6, 6, 15, Some(&[1, 4]));
+        let comp = random_computation_with_receivers(&mut rng(2), 6, 6, 15, Some(&[1, 4]));
         for &(_, r) in comp.messages() {
             let p = comp.process_of(r).index();
             assert!(p == 1 || p == 4, "message received on p{p}");

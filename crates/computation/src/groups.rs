@@ -324,7 +324,10 @@ mod tests {
             let events = g.events_of_group(&comp, gi);
             for (i, &e) in events.iter().enumerate() {
                 for &f in &events[i + 1..] {
-                    if comp.concurrent(e, f) && comp.kind(f).is_receive() && !comp.kind(e).is_receive() {
+                    if comp.concurrent(e, f)
+                        && comp.kind(f).is_receive()
+                        && !comp.kind(e).is_receive()
+                    {
                         assert!(lin.position(e) < lin.position(f));
                     }
                 }

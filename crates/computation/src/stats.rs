@@ -139,7 +139,10 @@ mod tests {
         b.append(1);
         let comp = b.build().unwrap();
         let profile = lattice_profile(&comp);
-        assert_eq!(profile.iter().sum::<usize>(), comp.consistent_cuts().count());
+        assert_eq!(
+            profile.iter().sum::<usize>(),
+            comp.consistent_cuts().count()
+        );
         assert_eq!(profile[0], 1, "one empty cut");
         assert_eq!(profile[3], 1, "one full cut");
         // Level 1: either first event of p0 or p1's event.

@@ -191,8 +191,10 @@ pub fn read_trace(input: &str) -> Result<Trace, TraceError> {
         if let Some(rest) = line.strip_prefix("message ") {
             let mut toks = rest.split_whitespace();
             let (from, to) = (
-                toks.next().ok_or_else(|| TraceError::new(i, "missing send endpoint"))?,
-                toks.next().ok_or_else(|| TraceError::new(i, "missing receive endpoint"))?,
+                toks.next()
+                    .ok_or_else(|| TraceError::new(i, "missing send endpoint"))?,
+                toks.next()
+                    .ok_or_else(|| TraceError::new(i, "missing receive endpoint"))?,
             );
             let (sp, sk) = parse_endpoint(from, i)?;
             let (rp, rk) = parse_endpoint(to, i)?;
@@ -224,7 +226,10 @@ pub fn read_trace(input: &str) -> Result<Trace, TraceError> {
             let (name, p, vals) = parse_var_line(rest, i)?;
             let track: Vec<i64> = vals
                 .iter()
-                .map(|t| t.parse().map_err(|_| TraceError::new(i, format!("bad int {t:?}"))))
+                .map(|t| {
+                    t.parse()
+                        .map_err(|_| TraceError::new(i, format!("bad int {t:?}")))
+                })
                 .collect::<Result<_, _>>()?;
             int_tracks
                 .entry(name)
@@ -240,9 +245,7 @@ pub fn read_trace(input: &str) -> Result<Trace, TraceError> {
         return Err(TraceError::new(0, "missing end marker"));
     }
 
-    let computation = b
-        .build()
-        .map_err(|e| TraceError::new(0, e.to_string()))?;
+    let computation = b.build().map_err(|e| TraceError::new(0, e.to_string()))?;
 
     let finish_bool = |(name, tracks): (String, Vec<Option<Vec<bool>>>)| {
         let tracks: Option<Vec<Vec<bool>>> = tracks.into_iter().collect();
@@ -274,7 +277,7 @@ pub fn read_trace(input: &str) -> Result<Trace, TraceError> {
     })
 }
 
-fn parse_var_line<'a>(rest: &'a str, i: usize) -> Result<(String, usize, Vec<&'a str>), TraceError> {
+fn parse_var_line(rest: &str, i: usize) -> Result<(String, usize, Vec<&str>), TraceError> {
     let (head, values) = rest
         .split_once(':')
         .ok_or_else(|| TraceError::new(i, "missing ':' in variable line"))?;

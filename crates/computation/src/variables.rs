@@ -230,7 +230,10 @@ mod tests {
     #[test]
     fn bool_variable_lookup() {
         let comp = comp_2x2();
-        let v = BoolVariable::new(&comp, vec![vec![false, true, false], vec![true, false, true]]);
+        let v = BoolVariable::new(
+            &comp,
+            vec![vec![false, true, false], vec![true, false, true]],
+        );
         assert!(!v.value_in_state(0, 0));
         assert!(v.value_in_state(0, 1));
         assert!(v.true_initially(1));
@@ -244,7 +247,10 @@ mod tests {
     #[test]
     fn true_events() {
         let comp = comp_2x2();
-        let v = BoolVariable::new(&comp, vec![vec![false, true, false], vec![false, false, true]]);
+        let v = BoolVariable::new(
+            &comp,
+            vec![vec![false, true, false], vec![false, false, true]],
+        );
         let e01 = comp.event_at(0, 1).unwrap();
         let e02 = comp.event_at(0, 2).unwrap();
         let e12 = comp.event_at(1, 2).unwrap();

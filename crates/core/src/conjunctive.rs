@@ -102,10 +102,7 @@ mod tests {
         let r = b.append(1);
         b.message(s, r).unwrap();
         let comp = b.build().unwrap();
-        let x = BoolVariable::new(
-            &comp,
-            vec![vec![false, true, false], vec![false, true]],
-        );
+        let x = BoolVariable::new(&comp, vec![vec![false, true, false], vec![false, true]]);
         assert_eq!(possibly_conjunctive(&comp, &x, &[0.into(), 1.into()]), None);
     }
 
@@ -144,9 +141,8 @@ mod tests {
         let comp = b.build().unwrap();
         let x = BoolVariable::new(&comp, vec![vec![false, true], vec![false, true]]);
         // x₀ ∧ ¬x₁ requires p0 after its event, p1 before its event.
-        let cut =
-            possibly_conjunctive_literals(&comp, &x, &[(0.into(), true), (1.into(), false)])
-                .unwrap();
+        let cut = possibly_conjunctive_literals(&comp, &x, &[(0.into(), true), (1.into(), false)])
+            .unwrap();
         assert_eq!(cut.frontier(), &[1, 0]);
     }
 
@@ -181,9 +177,8 @@ mod tests {
             let x = gen::random_bool_variable(&mut rng, &comp, 0.4);
             let processes: Vec<_> = (0..n).map(ProcessId::new).collect();
             let fast = possibly_conjunctive(&comp, &x, &processes);
-            let slow = possibly_by_enumeration(&comp, |cut: &Cut| {
-                (0..n).all(|p| x.value_at(cut, p))
-            });
+            let slow =
+                possibly_by_enumeration(&comp, |cut: &Cut| (0..n).all(|p| x.value_at(cut, p)));
             assert_eq!(fast.is_some(), slow.is_some(), "round {round}");
             if let Some(cut) = fast {
                 assert!((0..n).all(|p| x.value_at(&cut, p)), "round {round}");

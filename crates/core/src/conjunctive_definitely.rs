@@ -35,7 +35,7 @@ fn intervals_of(comp: &Computation, var: &BoolVariable, p: ProcessId) -> Vec<Int
             continue;
         }
         let start = state;
-        while state + 1 <= m && var.value_in_state(p, state + 1) {
+        while state < m && var.value_in_state(p, state + 1) {
             state += 1;
         }
         out.push(Interval {
@@ -240,9 +240,7 @@ mod tests {
             let comp = gen::random_computation(&mut rng, n, m, msgs);
             let x = gen::random_bool_variable(&mut rng, &comp, 0.5);
             let fast = definitely_conjunctive(&comp, &x, &all_processes(n));
-            let slow = definitely_by_enumeration(&comp, |cut| {
-                (0..n).all(|p| x.value_at(cut, p))
-            });
+            let slow = definitely_by_enumeration(&comp, |cut| (0..n).all(|p| x.value_at(cut, p)));
             assert_eq!(fast, slow, "round {round}");
         }
     }

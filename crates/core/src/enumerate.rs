@@ -7,6 +7,7 @@
 //! experiment measures the exponential gap against it.
 
 use std::collections::{HashSet, VecDeque};
+use std::sync::Mutex;
 
 use gpd_computation::{Computation, Cut};
 
@@ -30,6 +31,79 @@ where
     F: FnMut(&Cut) -> bool,
 {
     comp.consistent_cuts().find(|cut| predicate(cut))
+}
+
+/// [`possibly_by_enumeration`], level-synchronous and parallel: walks the
+/// lattice breadth-first one event-count level at a time, evaluating the
+/// predicate on each level's cuts across `threads` workers and expanding
+/// the next level through a sharded visited set (the lattice is graded,
+/// so deduplication only needs the level being built, never the history).
+///
+/// The returned witness lies on the **lowest** satisfying level at every
+/// thread count — the same level as the sequential baseline's first
+/// witness — though within that level the cut may differ; the `Some`/
+/// `None` verdict is identical. This keeps the exhaustive oracle usable
+/// for validating the parallel detectors at sizes where the sequential
+/// sweep falls behind.
+pub fn possibly_by_enumeration_par<F>(
+    comp: &Computation,
+    predicate: F,
+    threads: usize,
+) -> Option<Cut>
+where
+    F: Fn(&Cut) -> bool + Sync,
+{
+    use crate::par::{map_indexed, search_first};
+
+    let start = comp.initial_cut();
+    if predicate(&start) {
+        return Some(start);
+    }
+    let total = comp.final_cut().event_count();
+    let mut level: Vec<Cut> = vec![start];
+    // Shard count decoupled from the worker count to keep lock
+    // contention low while merging successor sets.
+    let shards = (threads.max(1) * 4).next_power_of_two();
+    for _k in 0..total {
+        // Expand: each worker dedups its cuts' successors into hashed
+        // shards; the graded lattice guarantees every successor is new
+        // to the walk, so only intra-level duplicates (diamonds) exist.
+        let sharded: Vec<Mutex<HashSet<Cut>>> =
+            (0..shards).map(|_| Mutex::new(HashSet::new())).collect();
+        map_indexed(threads, level.len(), |i| {
+            for succ in comp.cut_successors(&level[i]) {
+                let shard = shard_of(&succ, shards);
+                sharded[shard].lock().expect("shard mutex").insert(succ);
+            }
+        });
+        let next: Vec<Cut> = sharded
+            .into_iter()
+            .flat_map(|s| s.into_inner().expect("shard mutex"))
+            .collect();
+        if next.is_empty() {
+            return None;
+        }
+        // Probe the level in parallel; any hit is a lowest-level witness
+        // because no earlier level satisfied the predicate.
+        if let Some(witness) = search_first(threads, next.len(), |i| {
+            predicate(&next[i]).then(|| next[i].clone())
+        }) {
+            return Some(witness);
+        }
+        level = next;
+    }
+    None
+}
+
+/// Stable shard index for a cut, independent of hasher randomization.
+fn shard_of(cut: &Cut, shards: usize) -> usize {
+    // FNV-1a over the frontier; `shards` is a power of two.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &f in cut.frontier() {
+        h ^= f as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h as usize) & (shards - 1)
 }
 
 /// Decides `Definitely(Φ)` exactly: Φ definitely holds iff **no** run
@@ -217,6 +291,45 @@ mod tests {
             let a = definitely_by_enumeration(&comp, |c| c.event_count() >= threshold);
             let b = definitely_levelwise(&comp, |c| c.event_count() >= threshold);
             assert_eq!(a, b, "round {round} (threshold)");
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_matches_sequential_verdict_and_level() {
+        use gpd_computation::gen;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        for round in 0..40 {
+            let n = rng.gen_range(1..4);
+            let m = rng.gen_range(1..5);
+            let msgs = if n > 1 { rng.gen_range(0..n) } else { 0 };
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.4);
+            let phi = |c: &Cut| (0..n).all(|p| x.value_at(c, p));
+            let seq = possibly_by_enumeration(&comp, phi);
+            for threads in [0, 1, 2, 4] {
+                let par = possibly_by_enumeration_par(&comp, phi, threads);
+                assert_eq!(
+                    par.is_some(),
+                    seq.is_some(),
+                    "round {round}, threads {threads}"
+                );
+                if let (Some(p), Some(s)) = (&par, &seq) {
+                    // Level-synchronous walk finds a lowest-level witness.
+                    assert_eq!(p.event_count(), s.event_count(), "round {round}");
+                    assert!(phi(p), "round {round}: witness must satisfy Φ");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_initial_cut_and_unsatisfiable() {
+        let comp = two_by_two();
+        for threads in [0, 4] {
+            let w = possibly_by_enumeration_par(&comp, |_| true, threads).unwrap();
+            assert_eq!(w.event_count(), 0);
+            assert!(possibly_by_enumeration_par(&comp, |_| false, threads).is_none());
         }
     }
 

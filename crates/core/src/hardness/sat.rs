@@ -11,9 +11,7 @@
 //! cut satisfying the predicate therefore picks one non-conflicting
 //! literal per clause — a satisfying assignment — and vice versa.
 
-use gpd_computation::{
-    BoolVariable, ComputationBuilder, Computation, Cut, EventId, ProcessId,
-};
+use gpd_computation::{BoolVariable, Computation, ComputationBuilder, Cut, EventId, ProcessId};
 use gpd_sat::{Cnf, Lit};
 
 use crate::predicate::{CnfClause, SingularCnf};
@@ -132,10 +130,10 @@ pub fn reduce_sat(cnf: &Cnf) -> Result<SatReduction, NotNonMonotoneError> {
     // Appends "true event for `lit`, then a false event" on process `p`;
     // records the site.
     let emit_pair = |b: &mut ComputationBuilder,
-                         values: &mut Vec<Vec<bool>>,
-                         sites: &mut Vec<Site>,
-                         p: usize,
-                         lit: Lit| {
+                     values: &mut Vec<Vec<bool>>,
+                     sites: &mut Vec<Site>,
+                     p: usize,
+                     lit: Lit| {
         let t = b.append(p);
         let f = b.append(p);
         values[p].push(true);
@@ -177,7 +175,9 @@ pub fn reduce_sat(cnf: &Cnf) -> Result<SatReduction, NotNonMonotoneError> {
                     .iter()
                     .position(|l| !l.is_positive())
                     .expect("non-monotone 3-clause has a negative literal");
-                let rest = (0..3).find(|&j| j != pos && j != neg).expect("three literals");
+                let rest = (0..3)
+                    .find(|&j| j != pos && j != neg)
+                    .expect("three literals");
                 // Process A: true(l_pos), false, true(l_neg).
                 let t1 = b.append(pa);
                 let f1 = b.append(pa);
@@ -307,8 +307,10 @@ mod tests {
         // event both sends and receives.
         let cnf = Cnf::new(
             3,
-            vec![vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)].into(),
-                 vec![Lit::neg(0), Lit::pos(1)].into()],
+            vec![
+                vec![Lit::pos(0), Lit::neg(1), Lit::pos(2)].into(),
+                vec![Lit::neg(0), Lit::pos(1)].into(),
+            ],
         );
         let g = reduce_sat(&cnf).unwrap();
         for e in g.computation.events() {
@@ -344,10 +346,8 @@ mod tests {
             let detected = detectable(&g);
             assert_eq!(sat, detected.is_some(), "round {round}: {cnf:?}");
             // The general algorithms agree with enumeration on gadgets.
-            let via_subsets =
-                possibly_singular_subsets(&g.computation, &g.variable, &g.predicate);
-            let via_chains =
-                possibly_singular_chains(&g.computation, &g.variable, &g.predicate);
+            let via_subsets = possibly_singular_subsets(&g.computation, &g.variable, &g.predicate);
+            let via_chains = possibly_singular_chains(&g.computation, &g.variable, &g.predicate);
             assert_eq!(via_subsets.is_some(), sat, "round {round}");
             assert_eq!(via_chains.is_some(), sat, "round {round}");
             if let Some(cut) = detected {

@@ -59,10 +59,7 @@ pub fn reduce_subset_sum(sizes: &[i64], target: i64) -> SubsetSumReduction {
         b.append(p);
     }
     let computation = b.build().expect("no messages, trivially acyclic");
-    let variable = IntVariable::new(
-        &computation,
-        sizes.iter().map(|&s| vec![0, s]).collect(),
-    );
+    let variable = IntVariable::new(&computation, sizes.iter().map(|&s| vec![0, s]).collect());
     SubsetSumReduction {
         computation,
         variable,
@@ -103,9 +100,8 @@ mod tests {
     #[test]
     fn solvable_instance_detected() {
         let g = reduce_subset_sum(&[2, 3, 5], 8);
-        let cut =
-            possibly_by_enumeration(&g.computation, |c| g.variable.sum_at(c) == g.target)
-                .expect("3 + 5 = 8");
+        let cut = possibly_by_enumeration(&g.computation, |c| g.variable.sum_at(c) == g.target)
+            .expect("3 + 5 = 8");
         let subset = g.subset_from_cut(&cut);
         let sum: i64 = subset.iter().map(|&i| [2, 3, 5][i]).sum();
         assert_eq!(sum, 8);
@@ -115,8 +111,7 @@ mod tests {
     fn unsolvable_instance_not_detected() {
         let g = reduce_subset_sum(&[2, 4, 6], 5);
         assert!(
-            possibly_by_enumeration(&g.computation, |c| g.variable.sum_at(c) == g.target)
-                .is_none()
+            possibly_by_enumeration(&g.computation, |c| g.variable.sum_at(c) == g.target).is_none()
         );
     }
 
@@ -129,10 +124,13 @@ mod tests {
             let target = rng.gen_range(1..30);
             let g = reduce_subset_sum(&sizes, target);
             let oracle = brute_force_subset_sum(&sizes, target);
-            let detected = possibly_by_enumeration(&g.computation, |c| {
-                g.variable.sum_at(c) == g.target
-            });
-            assert_eq!(oracle.is_some(), detected.is_some(), "round {round}: {sizes:?} → {target}");
+            let detected =
+                possibly_by_enumeration(&g.computation, |c| g.variable.sum_at(c) == g.target);
+            assert_eq!(
+                oracle.is_some(),
+                detected.is_some(),
+                "round {round}: {sizes:?} → {target}"
+            );
             if let Some(cut) = detected {
                 let subset = g.subset_from_cut(&cut);
                 let sum: i64 = subset.iter().map(|&i| sizes[i]).sum();

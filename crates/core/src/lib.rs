@@ -50,6 +50,7 @@ pub mod enumerate;
 pub mod hardness;
 pub mod linear;
 pub mod online;
+pub mod par;
 mod predicate;
 pub mod relational;
 mod scan;

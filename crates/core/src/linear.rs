@@ -71,9 +71,9 @@ pub fn possibly_linear<P: LinearPredicate>(comp: &Computation, predicate: &P) ->
                 }
                 let e = comp.event_at(q, f).expect("frontier within range");
                 let vc = comp.clock(e);
-                for r in 0..comp.process_count() {
-                    if vc.get(r) > frontier[r] {
-                        frontier[r] = vc.get(r);
+                for (r, slot) in frontier.iter_mut().enumerate() {
+                    if vc.get(r) > *slot {
+                        *slot = vc.get(r);
                         changed = true;
                     }
                 }
@@ -126,7 +126,10 @@ impl<'a> ConjunctiveLinear<'a> {
     /// Panics if `processes` is empty (an empty conjunction is always
     /// true and has no forbidden process to name).
     pub fn new(var: &'a BoolVariable, processes: Vec<ProcessId>) -> Self {
-        assert!(!processes.is_empty(), "empty conjunctions are trivially true");
+        assert!(
+            !processes.is_empty(),
+            "empty conjunctions are trivially true"
+        );
         ConjunctiveLinear { var, processes }
     }
 }
@@ -193,7 +196,10 @@ mod tests {
             let phi = ConjunctiveLinear::new(&x, processes.clone());
             let via_linear = possibly_linear(&comp, &phi);
             let via_scan = possibly_conjunctive(&comp, &x, &processes);
-            assert_eq!(via_linear, via_scan, "round {round}: both find the least cut");
+            assert_eq!(
+                via_linear, via_scan,
+                "round {round}: both find the least cut"
+            );
         }
     }
 

@@ -134,12 +134,7 @@ impl ConjunctiveMonitor {
                 }
             }
             if !advanced {
-                self.witness = Some(
-                    self.queues
-                        .iter()
-                        .map(|q| q[0].clone())
-                        .collect(),
-                );
+                self.witness = Some(self.queues.iter().map(|q| q[0].clone()).collect());
                 return;
             }
         }
@@ -222,7 +217,7 @@ mod tests {
                 })
                 .collect();
             let mut order: Vec<usize> = (0..n)
-                .flat_map(|p| std::iter::repeat(p).take(streams[p].len()))
+                .flat_map(|p| std::iter::repeat_n(p, streams[p].len()))
                 .collect();
             order.shuffle(&mut rng);
             let mut idx = vec![0usize; n];
@@ -232,11 +227,8 @@ mod tests {
                 monitor.observe(p, clock);
             }
 
-            let offline = possibly_conjunctive(
-                &comp,
-                &x,
-                &(0..n).map(ProcessId::new).collect::<Vec<_>>(),
-            );
+            let offline =
+                possibly_conjunctive(&comp, &x, &(0..n).map(ProcessId::new).collect::<Vec<_>>());
             assert_eq!(
                 monitor.witness().is_some(),
                 offline.is_some(),

@@ -1,0 +1,282 @@
+//! Parallel execution layer for the combinatorially scheduled detectors.
+//!
+//! The §3.3 general algorithms ([`crate::singular::possibly_singular_subsets`],
+//! [`crate::singular::possibly_singular_chains`]) schedule `∏ᵢ kᵢ` (resp.
+//! `∏ᵢ cᵢ`) *independent* Garg–Waldecker scans — a textbook fan-out. This
+//! module provides the scheduling primitives:
+//!
+//! * [`search_first`] — run `n` independent trials across a scoped thread
+//!   pool, returning a witness as soon as any worker finds one; an
+//!   [`AtomicBool`] cancellation flag stops the remaining workers at
+//!   their next work-item boundary.
+//! * [`search_combinations`] — the same fan-out over the mixed-radix
+//!   combination space (one digit per clause) the §3.3 algorithms walk.
+//! * [`map_indexed`] — order-preserving parallel map, used for the
+//!   per-clause chain-cover construction (DAG build + transitive closure
+//!   + matching are independent per clause).
+//!
+//! # Threading model
+//!
+//! `threads = 0` and `threads = 1` run on the caller's thread with no
+//! pool, no atomics traffic and *identical iteration order* to the
+//! historical sequential code — default behavior is unchanged. For
+//! `threads ≥ 2`, workers pull work items from a shared atomic counter
+//! (dynamic self-scheduling, so uneven scan costs balance) on
+//! `std::thread::scope` threads; the crate deliberately has no
+//! dependency on an external thread-pool crate.
+//!
+//! # Determinism contract
+//!
+//! For a fixed input the **verdict** (`Some` vs `None`) is identical at
+//! every thread count: the searched space is the same finite set and
+//! workers only stop early once a witness is in hand. The *witness*
+//! returned by a parallel search may differ from the sequential one
+//! (whichever worker wins the race reports first), but every witness
+//! satisfies the predicate — callers that need the sequential witness run
+//! with `threads ≤ 1`. This contract is exercised by the
+//! `parallel_determinism` tests in `tests/parallel_agreement.rs`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Cooperative cancellation shared by one fan-out's workers.
+#[derive(Debug, Default)]
+pub struct Cancellation {
+    flag: AtomicBool,
+}
+
+impl Cancellation {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Signals every worker to stop at its next work-item boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Caps the requested worker count to the actual work and the machine.
+fn worker_count(threads: usize, work: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    threads.min(work).min(hw.max(1) * 2)
+}
+
+/// Searches `f(0), …, f(count - 1)` for the first `Some`, fanning the
+/// trials out over `threads` workers with first-witness cancellation.
+///
+/// With `threads ≤ 1` this is exactly the sequential in-order search. In
+/// parallel the returned witness is whichever one a worker finds first;
+/// the `Some`/`None` verdict is the same either way.
+pub fn search_first<T, F>(threads: usize, count: usize, f: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(usize) -> Option<T> + Sync,
+{
+    let workers = worker_count(threads, count);
+    if workers <= 1 {
+        return (0..count).find_map(f);
+    }
+    let cancel = Cancellation::new();
+    let next = AtomicUsize::new(0);
+    let found: Mutex<Option<T>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if cancel.is_cancelled() {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    return;
+                }
+                if let Some(witness) = f(i) {
+                    cancel.cancel();
+                    let mut slot = found.lock().expect("witness mutex");
+                    // First writer wins; later witnesses are equally
+                    // valid, so dropping them is fine.
+                    if slot.is_none() {
+                        *slot = Some(witness);
+                    }
+                    return;
+                }
+            });
+        }
+    });
+    found.into_inner().expect("witness mutex")
+}
+
+/// [`search_first`] over the mixed-radix space `{0..sizes[0]} × … ×
+/// {0..sizes[g-1]}` — the combination space of the §3.3 algorithms. Any
+/// zero-sized dimension means an empty space (`None`); an empty `sizes`
+/// visits the single empty combination once.
+///
+/// Combination `i` is decoded as the little-endian-odometer index
+/// sequence the sequential walk would visit `i`-th, so `threads ≤ 1`
+/// visits combinations in the historical order.
+pub fn search_combinations<T, F>(threads: usize, sizes: &[usize], f: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(&[usize]) -> Option<T> + Sync,
+{
+    let mut total: usize = 1;
+    for &s in sizes {
+        if s == 0 {
+            return None;
+        }
+        // A space too large to index cannot be searched exhaustively in
+        // any case; saturate and let the search run until cancelled or
+        // the caller's predicate is found.
+        total = total.saturating_mul(s);
+    }
+    search_first(threads, total, |i| {
+        let mut digits = vec![0usize; sizes.len()];
+        let mut rest = i;
+        // Most-significant digit first, matching the odometer order.
+        for (d, &s) in digits.iter_mut().zip(sizes).rev() {
+            *d = rest % s;
+            rest /= s;
+        }
+        f(&digits)
+    })
+}
+
+/// Order-preserving parallel map over `0..count`: returns
+/// `[g(0), …, g(count - 1)]` computed on up to `threads` workers.
+///
+/// Work items are pulled from a shared counter, so unevenly expensive
+/// items (e.g. one wide clause among narrow ones) balance across
+/// workers. With `threads ≤ 1` it is a plain sequential map.
+pub fn map_indexed<T, F>(threads: usize, count: usize, g: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count(threads, count);
+    if workers <= 1 {
+        return (0..count).map(g).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    return;
+                }
+                let value = g(i);
+                *slots[i].lock().expect("slot mutex") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot mutex")
+                .expect("every index was assigned to exactly one worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn sequential_search_matches_find_map() {
+        for threads in [0, 1] {
+            let visited = AtomicUsize::new(0);
+            let hit = search_first(threads, 10, |i| {
+                visited.fetch_add(1, Ordering::Relaxed);
+                (i == 3).then_some(i)
+            });
+            assert_eq!(hit, Some(3));
+            // Sequential mode short-circuits exactly like the old code.
+            assert_eq!(visited.load(Ordering::Relaxed), 4);
+        }
+    }
+
+    #[test]
+    fn parallel_search_finds_a_witness() {
+        for threads in [2, 4, 8] {
+            let hit = search_first(threads, 1000, |i| (i % 977 == 10).then_some(i));
+            assert_eq!(hit, Some(10), "threads = {threads}");
+            let miss: Option<usize> = search_first(threads, 1000, |_| None);
+            assert_eq!(miss, None, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_remaining_workers() {
+        // After a witness is found, the work counter must stop well
+        // short of the full space (the tail is cancelled).
+        let visited = AtomicUsize::new(0);
+        let hit = search_first(4, 1_000_000, |i| {
+            visited.fetch_add(1, Ordering::Relaxed);
+            (i < 4).then_some(i)
+        });
+        assert!(hit.is_some());
+        assert!(
+            visited.load(Ordering::Relaxed) < 100_000,
+            "cancellation should cut the sweep short, visited {}",
+            visited.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn combinations_agree_with_sequential_walk() {
+        // The parallel decode must cover exactly the odometer space.
+        let sizes = [3usize, 1, 4];
+        let seen: Mutex<Vec<Vec<usize>>> = Mutex::new(Vec::new());
+        let none: Option<()> = search_combinations(4, &sizes, |digits| {
+            seen.lock().unwrap().push(digits.to_vec());
+            None
+        });
+        assert_eq!(none, None);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 12);
+        for digits in &seen {
+            assert!(digits.iter().zip(&sizes).all(|(&d, &s)| d < s));
+        }
+    }
+
+    #[test]
+    fn combinations_empty_dimension_is_unsatisfiable() {
+        for threads in [0, 4] {
+            let hit: Option<()> =
+                search_combinations(threads, &[2, 0, 5], |_| panic!("must not visit"));
+            assert_eq!(hit, None);
+        }
+    }
+
+    #[test]
+    fn combinations_zero_dimensions_visit_once() {
+        for threads in [0, 4] {
+            let hit = search_combinations(threads, &[], |digits| {
+                assert!(digits.is_empty());
+                Some(42)
+            });
+            assert_eq!(hit, Some(42));
+        }
+    }
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for threads in [0, 1, 2, 4] {
+            let out = map_indexed(threads, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(map_indexed(4, 0, |i| i).is_empty());
+    }
+}

@@ -110,8 +110,7 @@ mod tests {
             for k in -4..=4 {
                 for relop in [Relop::Lt, Relop::Le, Relop::Gt, Relop::Ge] {
                     let fast = definitely_sum(&comp, &x, relop, k);
-                    let slow =
-                        definitely_by_enumeration(&comp, |c| relop.eval(x.sum_at(c), k));
+                    let slow = definitely_by_enumeration(&comp, |c| relop.eval(x.sum_at(c), k));
                     assert_eq!(fast, slow, "round {round}, {relop} {k}");
                 }
             }

@@ -69,8 +69,7 @@ fn walk_until(
                 .event_at(p, frontier[p] + 1)
                 .expect("goal frontier within range");
             let vc = comp.clock(e);
-            let enabled =
-                (0..comp.process_count()).all(|q| q == p || vc.get(q) <= frontier[q]);
+            let enabled = (0..comp.process_count()).all(|q| q == p || vc.get(q) <= frontier[q]);
             if !enabled {
                 continue;
             }

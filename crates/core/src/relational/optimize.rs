@@ -36,7 +36,9 @@ fn weights_and_edges(comp: &Computation, var: &IntVariable) -> (Vec<i64>, Vec<(u
 fn cut_of_members(comp: &Computation, members: &[usize]) -> Cut {
     let mut frontier = vec![0u32; comp.process_count()];
     for &e in members {
-        frontier[comp.process_of(gpd_computation::EventId::from_index(e)).index()] += 1;
+        frontier[comp
+            .process_of(gpd_computation::EventId::from_index(e))
+            .index()] += 1;
     }
     let cut = Cut::from_frontier(frontier);
     debug_assert!(comp.is_consistent(&cut), "closures are consistent cuts");
@@ -67,7 +69,10 @@ pub fn max_sum_cut(comp: &Computation, var: &IntVariable) -> (i64, Cut) {
         .sum();
     let (weights, edges) = weights_and_edges(comp, var);
     let closure = max_weight_closure(&weights, &edges);
-    (base + closure.weight, cut_of_members(comp, &closure.members))
+    (
+        base + closure.weight,
+        cut_of_members(comp, &closure.members),
+    )
 }
 
 /// The minimum of `Σxᵢ` over all consistent cuts, with a cut attaining
@@ -79,7 +84,10 @@ pub fn min_sum_cut(comp: &Computation, var: &IntVariable) -> (i64, Cut) {
     let (weights, edges) = weights_and_edges(comp, var);
     let negated: Vec<i64> = weights.iter().map(|&w| -w).collect();
     let closure = max_weight_closure(&negated, &edges);
-    (base - closure.weight, cut_of_members(comp, &closure.members))
+    (
+        base - closure.weight,
+        cut_of_members(comp, &closure.members),
+    )
 }
 
 /// Decides `Possibly(Σxᵢ relop K)` in polynomial time and returns a

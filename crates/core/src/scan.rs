@@ -88,12 +88,7 @@ pub(crate) fn scan(comp: &Computation, slots: &[Vec<Candidate>]) -> Option<Vec<C
             }
         }
         if !advanced {
-            return Some(
-                head.iter()
-                    .zip(slots)
-                    .map(|(&h, s)| s[h])
-                    .collect(),
-            );
+            return Some(head.iter().zip(slots).map(|(&h, s)| s[h]).collect());
         }
     }
 }
@@ -103,8 +98,8 @@ pub(crate) fn scan(comp: &Computation, slots: &[Vec<Candidate>]) -> Option<Vec<C
 pub(crate) fn cut_through(comp: &Computation, candidates: &[Candidate]) -> Cut {
     let mut frontier = vec![0u32; comp.process_count()];
     for c in candidates {
-        for q in 0..comp.process_count() {
-            frontier[q] = frontier[q].max(c.forces(comp, ProcessId::new(q)));
+        for (q, slot) in frontier.iter_mut().enumerate() {
+            *slot = (*slot).max(c.forces(comp, ProcessId::new(q)));
         }
     }
     let cut = Cut::from_frontier(frontier);

@@ -4,9 +4,10 @@
 use gpd_computation::{BoolVariable, Computation, Cut};
 use gpd_order::{min_chain_cover, Dag};
 
+use crate::par::{map_indexed, search_combinations};
 use crate::predicate::SingularCnf;
 use crate::scan::{cut_through, scan, Candidate};
-use crate::singular::{cartesian_product, literal_states};
+use crate::singular::literal_states;
 
 /// Builds, for one clause, the minimum chain cover of its literal-true
 /// states under the causal order on states (state `(p, k)` precedes
@@ -120,13 +121,27 @@ pub fn possibly_singular_chains(
     var: &BoolVariable,
     predicate: &SingularCnf,
 ) -> Option<Cut> {
-    let covers: Vec<Vec<Vec<Candidate>>> = predicate
-        .clauses()
-        .iter()
-        .map(|c| clause_chains(comp, var, c))
-        .collect();
+    possibly_singular_chains_par(comp, var, predicate, 0)
+}
+
+/// [`possibly_singular_chains`] parallelized over `threads` workers
+/// (`0`/`1` → the sequential walk; see [`crate::par`] for the scheduling
+/// and determinism contract). Both phases fan out: the per-clause cover
+/// construction (DAG + transitive closure + matching are independent per
+/// clause) and the `∏ᵢ cᵢ` combination scans, which stop at the first
+/// witness any worker finds.
+pub fn possibly_singular_chains_par(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+    threads: usize,
+) -> Option<Cut> {
+    let clauses = predicate.clauses();
+    let covers: Vec<Vec<Vec<Candidate>>> = map_indexed(threads, clauses.len(), |i| {
+        clause_chains(comp, var, &clauses[i])
+    });
     let sizes: Vec<usize> = covers.iter().map(Vec::len).collect();
-    cartesian_product(&sizes, |choice| {
+    search_combinations(threads, &sizes, |choice| {
         let slots: Vec<Vec<Candidate>> = covers
             .iter()
             .zip(choice)

@@ -25,9 +25,9 @@ mod chains;
 mod ordered;
 mod subsets;
 
-pub use chains::{chain_cover_sizes, possibly_singular_chains};
+pub use chains::{chain_cover_sizes, possibly_singular_chains, possibly_singular_chains_par};
 pub use ordered::{possibly_singular_ordered, NotOrderedError};
-pub use subsets::possibly_singular_subsets;
+pub use subsets::{possibly_singular_subsets, possibly_singular_subsets_par};
 
 use gpd_computation::{BoolVariable, Computation, Cut, ProcessId};
 
@@ -61,9 +61,22 @@ pub fn possibly_singular(
     var: &BoolVariable,
     predicate: &SingularCnf,
 ) -> Option<Cut> {
+    possibly_singular_par(comp, var, predicate, 0)
+}
+
+/// [`possibly_singular`] with the general-case fallback fanned out over
+/// `threads` workers (`0`/`1` → sequential). The §3.2 polynomial special
+/// case runs a single scan and stays sequential; only the combinatorial
+/// chain-cover fallback benefits from the fan-out.
+pub fn possibly_singular_par(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+    threads: usize,
+) -> Option<Cut> {
     match possibly_singular_ordered(comp, var, predicate) {
         Ok(result) => result,
-        Err(NotOrderedError) => possibly_singular_chains(comp, var, predicate),
+        Err(NotOrderedError) => possibly_singular_chains_par(comp, var, predicate, threads),
     }
 }
 
@@ -81,74 +94,57 @@ pub(crate) fn literal_states(
         .collect()
 }
 
-/// Iterates over all index combinations `[i₀, …, i_{g-1}]` with
-/// `iⱼ < sizes[j]`, invoking `visit`; stops early when `visit` returns
-/// `Some`.
-pub(crate) fn cartesian_product<T>(
-    sizes: &[usize],
-    mut visit: impl FnMut(&[usize]) -> Option<T>,
-) -> Option<T> {
-    if sizes.iter().any(|&s| s == 0) {
-        return None;
-    }
-    let mut idx = vec![0usize; sizes.len()];
-    loop {
-        if let Some(found) = visit(&idx) {
-            return Some(found);
-        }
-        // Odometer increment.
-        let mut pos = sizes.len();
-        loop {
-            if pos == 0 {
-                return None;
-            }
-            pos -= 1;
-            idx[pos] += 1;
-            if idx[pos] < sizes[pos] {
-                break;
-            }
-            idx[pos] = 0;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::par::search_combinations;
+    use std::sync::Mutex;
+
+    // The sequential (`threads = 0`) combination walk replaced the old
+    // `cartesian_product` odometer; these pin down that it still visits
+    // the same space in the same order.
 
     #[test]
-    fn cartesian_product_visits_all_combinations() {
-        let mut seen = Vec::new();
-        let result: Option<()> = cartesian_product(&[2, 3], |idx| {
-            seen.push(idx.to_vec());
+    fn sequential_combinations_visit_all_in_odometer_order() {
+        let seen: Mutex<Vec<Vec<usize>>> = Mutex::new(Vec::new());
+        let result: Option<()> = search_combinations(0, &[2, 3], |idx| {
+            seen.lock().unwrap().push(idx.to_vec());
             None
         });
         assert_eq!(result, None);
-        assert_eq!(seen.len(), 6);
-        assert!(seen.contains(&vec![1, 2]));
-        assert!(seen.contains(&vec![0, 0]));
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2],
+            ]
+        );
     }
 
     #[test]
-    fn cartesian_product_short_circuits() {
-        let mut count = 0;
-        let result = cartesian_product(&[5, 5], |idx| {
-            count += 1;
+    fn sequential_combinations_short_circuit() {
+        let count = Mutex::new(0);
+        let result = search_combinations(0, &[5, 5], |idx| {
+            *count.lock().unwrap() += 1;
             (idx == [0, 2]).then_some("hit")
         });
         assert_eq!(result, Some("hit"));
-        assert_eq!(count, 3);
+        assert_eq!(*count.lock().unwrap(), 3);
     }
 
     #[test]
     fn empty_dimension_yields_nothing() {
-        let result: Option<()> = cartesian_product(&[2, 0], |_| panic!("must not visit"));
+        let result: Option<()> = search_combinations(0, &[2, 0], |_| panic!("must not visit"));
         assert_eq!(result, None);
     }
 
     #[test]
     fn zero_dimensions_visits_once() {
-        let result = cartesian_product(&[], |idx| {
+        let result = search_combinations(0, &[], |idx| {
             assert!(idx.is_empty());
             Some(42)
         });

@@ -116,9 +116,7 @@ fn scan_receive_ordered(
                 if c.state == 0 {
                     0
                 } else {
-                    1 + lin.position(
-                        comp.event_at(c.process, c.state).expect("valid state"),
-                    )
+                    1 + lin.position(comp.event_at(c.process, c.state).expect("valid state"))
                 }
             });
             states
@@ -157,8 +155,7 @@ mod tests {
             let msgs = rng.gen_range(0..8);
             // Receives restricted to p1 and p3: each group's receives sit
             // on a single process → receive-ordered.
-            let comp =
-                gen::random_computation_with_receivers(&mut rng, 4, m, msgs, Some(&[1, 3]));
+            let comp = gen::random_computation_with_receivers(&mut rng, 4, m, msgs, Some(&[1, 3]));
             let x = gen::random_bool_variable(&mut rng, &comp, 0.35);
             let phi = two_clause_predicate(&mut rng);
             let fast = possibly_singular_ordered(&comp, &x, &phi)

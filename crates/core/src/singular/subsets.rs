@@ -3,9 +3,10 @@
 
 use gpd_computation::{BoolVariable, Computation, Cut};
 
+use crate::par::search_combinations;
 use crate::predicate::SingularCnf;
 use crate::scan::{cut_through, scan};
-use crate::singular::{cartesian_product, literal_states};
+use crate::singular::literal_states;
 
 /// Decides `Possibly(Φ)` for a singular CNF predicate by enumerating, for
 /// every clause, which of its literals will witness it, and running one
@@ -39,12 +40,25 @@ pub fn possibly_singular_subsets(
     var: &BoolVariable,
     predicate: &SingularCnf,
 ) -> Option<Cut> {
+    possibly_singular_subsets_par(comp, var, predicate, 0)
+}
+
+/// [`possibly_singular_subsets`] with its `∏ᵢ kᵢ` independent scans
+/// fanned out over `threads` workers (`0`/`1` → the sequential walk;
+/// see [`crate::par`] for the scheduling and determinism contract).
+/// A witness found by any worker cancels the remaining scans.
+pub fn possibly_singular_subsets_par(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+    threads: usize,
+) -> Option<Cut> {
     let sizes: Vec<usize> = predicate
         .clauses()
         .iter()
         .map(|c| c.literals().len())
         .collect();
-    cartesian_product(&sizes, |choice| {
+    search_combinations(threads, &sizes, |choice| {
         let slots: Vec<_> = predicate
             .clauses()
             .iter()

@@ -50,13 +50,8 @@ pub fn verify_stable<F>(comp: &Computation, mut predicate: F) -> bool
 where
     F: FnMut(&Cut) -> bool,
 {
-    comp.consistent_cuts().all(|cut| {
-        !predicate(&cut)
-            || comp
-                .cut_successors(&cut)
-                .iter()
-                .all(|next| predicate(next))
-    })
+    comp.consistent_cuts()
+        .all(|cut| !predicate(&cut) || comp.cut_successors(&cut).iter().all(&mut predicate))
 }
 
 #[cfg(test)]

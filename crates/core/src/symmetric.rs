@@ -56,7 +56,7 @@ impl SymmetricPredicate {
     /// (count exactly `n/2`); for odd `n` the predicate is unsatisfiable,
     /// mirroring the paper's "Σ = n/2, n even".
     pub fn absence_of_simple_majority(n: u32) -> Self {
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             SymmetricPredicate::new([n / 2])
         } else {
             SymmetricPredicate::new([])
@@ -65,7 +65,7 @@ impl SymmetricPredicate {
 
     /// *Absence of a two-thirds majority*: neither side reaches ⌈2n/3⌉.
     pub fn absence_of_two_thirds_majority(n: u32) -> Self {
-        let threshold = 2 * n / 3 + u32::from(2 * n % 3 != 0); // ⌈2n/3⌉
+        let threshold = 2 * n / 3 + u32::from(!(2 * n).is_multiple_of(3)); // ⌈2n/3⌉
         SymmetricPredicate::new((0..=n).filter(|&j| j < threshold && n - j < threshold))
     }
 
@@ -137,8 +137,7 @@ pub fn possibly_symmetric(
         .counts
         .iter()
         .find(|&&j| min <= j as i64 && j as i64 <= max)?;
-    possibly_exact_sum(comp, &indicator, *j as i64)
-        .expect("indicator variables are unit-step")
+    possibly_exact_sum(comp, &indicator, *j as i64).expect("indicator variables are unit-step")
 }
 
 /// Decides `Definitely(Φ)` for a symmetric predicate — exactly, via the
@@ -163,26 +162,48 @@ mod tests {
     #[test]
     fn named_constructors() {
         assert_eq!(
-            SymmetricPredicate::absence_of_simple_majority(4).counts().iter().copied().collect::<Vec<_>>(),
+            SymmetricPredicate::absence_of_simple_majority(4)
+                .counts()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![2]
         );
-        assert!(SymmetricPredicate::absence_of_simple_majority(5).counts().is_empty());
+        assert!(SymmetricPredicate::absence_of_simple_majority(5)
+            .counts()
+            .is_empty());
         assert_eq!(
-            SymmetricPredicate::exclusive_or(5).counts().iter().copied().collect::<Vec<_>>(),
+            SymmetricPredicate::exclusive_or(5)
+                .counts()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![1, 3, 5]
         );
         assert_eq!(
-            SymmetricPredicate::not_all_equal(3).counts().iter().copied().collect::<Vec<_>>(),
+            SymmetricPredicate::not_all_equal(3)
+                .counts()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![1, 2]
         );
         assert_eq!(
-            SymmetricPredicate::all_equal(3).counts().iter().copied().collect::<Vec<_>>(),
+            SymmetricPredicate::all_equal(3)
+                .counts()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![0, 3]
         );
         // n = 6: two-thirds threshold ⌈4⌉ = 4 → counts 3 only? j < 4 and
         // 6 − j < 4 → j ∈ {3}.
         assert_eq!(
-            SymmetricPredicate::absence_of_two_thirds_majority(6).counts().iter().copied().collect::<Vec<_>>(),
+            SymmetricPredicate::absence_of_two_thirds_majority(6)
+                .counts()
+                .iter()
+                .copied()
+                .collect::<Vec<_>>(),
             vec![3]
         );
     }

@@ -88,7 +88,9 @@ mod tests {
 
     fn is_closed(members: &[usize], edges: &[(usize, usize)]) -> bool {
         let set: std::collections::HashSet<usize> = members.iter().copied().collect();
-        edges.iter().all(|&(u, v)| !set.contains(&u) || set.contains(&v))
+        edges
+            .iter()
+            .all(|&(u, v)| !set.contains(&u) || set.contains(&v))
     }
 
     #[test]

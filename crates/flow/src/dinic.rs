@@ -59,8 +59,16 @@ impl FlowNetwork {
         assert!(u < n && v < n, "edge ({u}, {v}) out of range {n}");
         assert!(cap >= 0, "negative capacity {cap}");
         let e = self.edges.len() as u32;
-        self.edges.push(Edge { to: v as u32, cap, rev: e + 1 });
-        self.edges.push(Edge { to: u as u32, cap: 0, rev: e });
+        self.edges.push(Edge {
+            to: v as u32,
+            cap,
+            rev: e + 1,
+        });
+        self.edges.push(Edge {
+            to: u as u32,
+            cap: 0,
+            rev: e,
+        });
         self.adj[u].push(e);
         self.adj[v].push(e + 1);
     }
@@ -113,7 +121,14 @@ impl FlowNetwork {
         level
     }
 
-    fn dfs_push(&mut self, u: usize, t: usize, limit: i64, level: &[u32], iter: &mut [usize]) -> i64 {
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        limit: i64,
+        level: &[u32],
+        iter: &mut [usize],
+    ) -> i64 {
         if u == t {
             return limit;
         }
@@ -139,7 +154,9 @@ impl FlowNetwork {
     /// graph, in increasing order.
     pub fn min_cut(&self, s: usize) -> Vec<usize> {
         let level = self.bfs_levels(s);
-        (0..self.vertex_count()).filter(|&v| level[v] != u32::MAX).collect()
+        (0..self.vertex_count())
+            .filter(|&v| level[v] != u32::MAX)
+            .collect()
     }
 }
 

@@ -109,7 +109,10 @@ impl BitSet {
     /// Panics if the universes differ.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.len, other.len, "bitset universe mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the elements in increasing order.

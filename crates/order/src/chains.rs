@@ -60,7 +60,11 @@ pub fn min_chain_cover(closure: &TransitiveClosure, elements: &[usize]) -> Chain
     let k = elements.len();
     let mut seen = vec![false; closure.len()];
     for &e in elements {
-        assert!(e < closure.len(), "element {e} out of range {}", closure.len());
+        assert!(
+            e < closure.len(),
+            "element {e} out of range {}",
+            closure.len()
+        );
         assert!(!seen[e], "element {e} repeated");
         seen[e] = true;
     }
@@ -108,7 +112,11 @@ pub fn max_antichain(closure: &TransitiveClosure, elements: &[usize]) -> Vec<usi
     let k = elements.len();
     let mut seen = vec![false; closure.len()];
     for &e in elements {
-        assert!(e < closure.len(), "element {e} out of range {}", closure.len());
+        assert!(
+            e < closure.len(),
+            "element {e} out of range {}",
+            closure.len()
+        );
         assert!(!seen[e], "element {e} repeated");
         seen[e] = true;
     }
@@ -131,7 +139,9 @@ pub fn max_antichain(closure: &TransitiveClosure, elements: &[usize]) -> Vec<usi
     // the antichain {u : L_u ∈ Z and R_u ∉ Z}.
     let mut left_in_z = vec![false; k];
     let mut right_in_z = vec![false; k];
-    let mut stack: Vec<usize> = (0..k).filter(|&u| matching.pair_left[u].is_none()).collect();
+    let mut stack: Vec<usize> = (0..k)
+        .filter(|&u| matching.pair_left[u].is_none())
+        .collect();
     for &u in &stack {
         left_in_z[u] = true;
     }

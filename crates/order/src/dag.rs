@@ -162,9 +162,7 @@ impl Dag {
             direct.sort_unstable();
             direct.dedup();
             for &v in &direct {
-                let implied = direct
-                    .iter()
-                    .any(|&w| w != v && closure.precedes(w, v));
+                let implied = direct.iter().any(|&w| w != v && closure.precedes(w, v));
                 if !implied {
                     kept.push(v);
                 }

@@ -42,7 +42,10 @@ pub fn hopcroft_karp(left: usize, right: usize, adj: &[Vec<u32>]) -> Matching {
     assert_eq!(adj.len(), left, "adjacency list size must equal left count");
     for nbrs in adj {
         for &v in nbrs {
-            assert!((v as usize) < right, "right vertex {v} out of range {right}");
+            assert!(
+                (v as usize) < right,
+                "right vertex {v} out of range {right}"
+            );
         }
     }
 
@@ -201,7 +204,12 @@ mod tests {
         }
         for mask in 0u32..512 {
             let adj: Vec<Vec<u32>> = (0..3)
-                .map(|u| (0..3).filter(|v| mask >> (u * 3 + v) & 1 == 1).map(|v| v as u32).collect())
+                .map(|u| {
+                    (0..3)
+                        .filter(|v| mask >> (u * 3 + v) & 1 == 1)
+                        .map(|v| v as u32)
+                        .collect()
+                })
                 .collect();
             assert_eq!(
                 hopcroft_karp(3, 3, &adj).size(),

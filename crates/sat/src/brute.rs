@@ -41,10 +41,7 @@ mod tests {
 
     #[test]
     fn unsat_returns_none() {
-        let cnf = Cnf::new(
-            1,
-            vec![vec![Lit::pos(0)].into(), vec![Lit::neg(0)].into()],
-        );
+        let cnf = Cnf::new(1, vec![vec![Lit::pos(0)].into(), vec![Lit::neg(0)].into()]);
         assert_eq!(brute_force(&cnf), None);
     }
 

@@ -21,12 +21,18 @@ pub struct Lit {
 impl Lit {
     /// The positive literal of variable `var`.
     pub fn pos(var: u32) -> Self {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// The negative literal of variable `var`.
     pub fn neg(var: u32) -> Self {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 
     /// The underlying variable index.
@@ -260,10 +266,7 @@ mod tests {
 
     #[test]
     fn cnf_eval_is_conjunction() {
-        let cnf = Cnf::new(
-            2,
-            vec![vec![Lit::pos(0)].into(), vec![Lit::neg(1)].into()],
-        );
+        let cnf = Cnf::new(2, vec![vec![Lit::pos(0)].into(), vec![Lit::neg(1)].into()]);
         assert!(cnf.eval(&[true, false]));
         assert!(!cnf.eval(&[true, true]));
         assert!(!cnf.eval(&[false, false]));

@@ -94,7 +94,10 @@ fn dpll(cnf: &Cnf, assignment: &mut Vec<Option<bool>>) -> bool {
     let mut pos_seen = vec![false; n];
     let mut neg_seen = vec![false; n];
     for clause in cnf.clauses() {
-        if matches!(clause_state(clause.lits(), assignment), ClauseState::Satisfied) {
+        if matches!(
+            clause_state(clause.lits(), assignment),
+            ClauseState::Satisfied
+        ) {
             continue;
         }
         for &l in clause.lits() {

@@ -40,14 +40,17 @@ pub fn random_cnf<R: Rng>(
     let vars: Vec<u32> = (0..num_vars).collect();
     let clauses = (0..num_clauses)
         .map(|_| {
-            let chosen: Vec<u32> = vars
-                .choose_multiple(rng, clause_len)
-                .copied()
-                .collect();
+            let chosen: Vec<u32> = vars.choose_multiple(rng, clause_len).copied().collect();
             Clause::new(
                 chosen
                     .into_iter()
-                    .map(|v| if rng.gen_bool(0.5) { Lit::pos(v) } else { Lit::neg(v) })
+                    .map(|v| {
+                        if rng.gen_bool(0.5) {
+                            Lit::pos(v)
+                        } else {
+                            Lit::neg(v)
+                        }
+                    })
                     .collect(),
             )
         })

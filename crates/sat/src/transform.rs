@@ -131,10 +131,7 @@ mod tests {
 
     #[test]
     fn wide_clause_is_split() {
-        let f = Cnf::new(
-            5,
-            vec![(0..5).map(Lit::pos).collect::<Vec<_>>().into()],
-        );
+        let f = Cnf::new(5, vec![(0..5).map(Lit::pos).collect::<Vec<_>>().into()]);
         let t = to_three_cnf(&f);
         assert!(t.max_clause_len() <= 3);
         assert_eq!(t.clauses().len(), 3);

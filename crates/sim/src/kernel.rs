@@ -1,7 +1,7 @@
 //! The discrete-event simulation kernel and trace recorder.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use gpd_computation::{BoolVariable, Computation, ComputationBuilder, EventId, IntVariable};
 use rand::rngs::StdRng;
@@ -164,12 +164,18 @@ pub struct SimTrace {
 impl SimTrace {
     /// Looks up a recorded boolean variable by name.
     pub fn bool_var(&self, name: &str) -> Option<&BoolVariable> {
-        self.bool_vars.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.bool_vars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     /// Looks up a recorded integer variable by name.
     pub fn int_var(&self, name: &str) -> Option<&IntVariable> {
-        self.int_vars.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.int_vars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -215,17 +221,23 @@ impl<P: Process> Simulation<P> {
         let mut int_tracks: BTreeMap<&'static str, Vec<Vec<i64>>> = BTreeMap::new();
         for (p, proc) in self.processes.iter().enumerate() {
             for (name, v) in proc.bool_vars() {
-                bool_tracks.entry(name).or_insert_with(|| vec![Vec::new(); n])[p].push(v);
+                bool_tracks
+                    .entry(name)
+                    .or_insert_with(|| vec![Vec::new(); n])[p]
+                    .push(v);
             }
             for (name, v) in proc.int_vars() {
-                int_tracks.entry(name).or_insert_with(|| vec![Vec::new(); n])[p].push(v);
+                int_tracks
+                    .entry(name)
+                    .or_insert_with(|| vec![Vec::new(); n])[p]
+                    .push(v);
             }
         }
 
         let record = |p: usize,
-                          proc: &P,
-                          bool_tracks: &mut BTreeMap<&'static str, Vec<Vec<bool>>>,
-                          int_tracks: &mut BTreeMap<&'static str, Vec<Vec<i64>>>| {
+                      proc: &P,
+                      bool_tracks: &mut BTreeMap<&'static str, Vec<Vec<bool>>>,
+                      int_tracks: &mut BTreeMap<&'static str, Vec<Vec<i64>>>| {
             let bv = proc.bool_vars();
             let iv = proc.int_vars();
             assert_eq!(
@@ -252,41 +264,51 @@ impl<P: Process> Simulation<P> {
             }
         };
 
-        let dispatch = |p: usize,
-                            now: u64,
-                            trigger: Option<(usize, EventId, P::Msg)>,
-                            processes: &mut Vec<P>,
-                            builder: &mut ComputationBuilder,
-                            rng: &mut StdRng,
-                            queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-                            items: &mut Vec<Option<Item<P::Msg>>>,
-                            seq: &mut u64,
-                            bool_tracks: &mut BTreeMap<&'static str, Vec<Vec<bool>>>,
-                            int_tracks: &mut BTreeMap<&'static str, Vec<Vec<i64>>>| {
-            let event = builder.append(p);
-            let mut ctx = Context {
-                me: p,
-                now,
-                process_count: n,
-                rng,
-                outgoing: Vec::new(),
-                timers: Vec::new(),
+        let dispatch =
+            |p: usize,
+             now: u64,
+             trigger: Option<(usize, EventId, P::Msg)>,
+             processes: &mut Vec<P>,
+             builder: &mut ComputationBuilder,
+             rng: &mut StdRng,
+             queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+             items: &mut Vec<Option<Item<P::Msg>>>,
+             seq: &mut u64,
+             bool_tracks: &mut BTreeMap<&'static str, Vec<Vec<bool>>>,
+             int_tracks: &mut BTreeMap<&'static str, Vec<Vec<i64>>>| {
+                let event = builder.append(p);
+                let mut ctx = Context {
+                    me: p,
+                    now,
+                    process_count: n,
+                    rng,
+                    outgoing: Vec::new(),
+                    timers: Vec::new(),
+                };
+                if let Some((from, send_event, msg)) = trigger {
+                    builder
+                        .message(send_event, event)
+                        .expect("sender and receiver are distinct");
+                    processes[p].on_message(from, msg, &mut ctx);
+                } else if now == 0 {
+                    // Start events are the only triggerless dispatches at time
+                    // 0: timers are always scheduled at least one unit ahead.
+                    processes[p].on_start(&mut ctx);
+                } else {
+                    processes[p].on_timer(&mut ctx);
+                }
+                flush_ctx(
+                    ctx,
+                    p,
+                    now,
+                    event,
+                    queue,
+                    items,
+                    seq,
+                    self.config.delay_range,
+                );
+                record(p, &processes[p], bool_tracks, int_tracks);
             };
-            if let Some((from, send_event, msg)) = trigger {
-                builder
-                    .message(send_event, event)
-                    .expect("sender and receiver are distinct");
-                processes[p].on_message(from, msg, &mut ctx);
-            } else if now == 0 {
-                // Start events are the only triggerless dispatches at time
-                // 0: timers are always scheduled at least one unit ahead.
-                processes[p].on_start(&mut ctx);
-            } else {
-                processes[p].on_timer(&mut ctx);
-            }
-            flush_ctx(ctx, p, now, event, queue, items, seq, self.config.delay_range);
-            record(p, &processes[p], bool_tracks, int_tracks);
-        };
 
         // Start events, in process order at time 0.
         for p in 0..n {
@@ -352,15 +374,11 @@ impl<P: Process> Simulation<P> {
         let computation = builder.build().expect("deliveries follow sends in time");
         let bool_vars = bool_tracks
             .into_iter()
-            .map(|(name, tracks)| {
-                (name.to_string(), finish_tracks(&computation, tracks, false))
-            })
+            .map(|(name, tracks)| (name.to_string(), finish_tracks(&computation, tracks, false)))
             .collect();
         let int_vars = int_tracks
             .into_iter()
-            .map(|(name, tracks)| {
-                (name.to_string(), finish_int_tracks(&computation, tracks, 0))
-            })
+            .map(|(name, tracks)| (name.to_string(), finish_int_tracks(&computation, tracks, 0)))
             .collect();
 
         (
@@ -612,8 +630,14 @@ mod tests {
         let reordered = (0..20).any(|seed| {
             let sim = Simulation::new(
                 vec![
-                    Burst { sender: true, received: Vec::new() },
-                    Burst { sender: false, received: Vec::new() },
+                    Burst {
+                        sender: true,
+                        received: Vec::new(),
+                    },
+                    Burst {
+                        sender: false,
+                        received: Vec::new(),
+                    },
                 ],
                 SimConfig::new(seed),
             );

@@ -32,7 +32,12 @@ impl BankBranch {
     /// # Panics
     ///
     /// Panics if `initial_balance < 0` or `max_amount <= 0`.
-    pub fn network(n: usize, initial_balance: i64, transfers: u32, max_amount: i64) -> Vec<BankBranch> {
+    pub fn network(
+        n: usize,
+        initial_balance: i64,
+        transfers: u32,
+        max_amount: i64,
+    ) -> Vec<BankBranch> {
         assert!(initial_balance >= 0, "negative initial balance");
         assert!(max_amount > 0, "transfers need a positive maximum");
         (0..n)
@@ -144,8 +149,8 @@ mod tests {
 
     #[test]
     fn single_branch_stays_put() {
-        let (_, procs) =
-            Simulation::new(BankBranch::network(1, 10, 3, 5), SimConfig::new(0)).run_with_processes();
+        let (_, procs) = Simulation::new(BankBranch::network(1, 10, 3, 5), SimConfig::new(0))
+            .run_with_processes();
         assert_eq!(procs[0].balance(), 10);
     }
 }

@@ -12,4 +12,4 @@ pub use election::{ChangRoberts, ElectionMsg};
 pub use mutex::{MutexMsg, RicartAgrawala};
 pub use token_ring::{TokenMsg, TokenRing};
 pub use two_phase_commit::{CommitMsg, TwoPhaseCommit};
-pub use voting::{Voter, VoteMsg};
+pub use voting::{VoteMsg, Voter};

@@ -76,7 +76,12 @@ impl RicartAgrawala {
         self.replies_pending = ctx.process_count() - 1;
         for q in 0..ctx.process_count() {
             if q != ctx.me() {
-                ctx.send(q, MutexMsg::Request { ts: self.request_ts });
+                ctx.send(
+                    q,
+                    MutexMsg::Request {
+                        ts: self.request_ts,
+                    },
+                );
             }
         }
         if self.replies_pending == 0 {
@@ -131,8 +136,7 @@ impl Process for RicartAgrawala {
             MutexMsg::Request { ts } => {
                 self.clock = self.clock.max(ts) + 1;
                 let defer = !self.buggy
-                    && (self.in_cs
-                        || (self.requesting && self.has_priority(ts, from, ctx.me())));
+                    && (self.in_cs || (self.requesting && self.has_priority(ts, from, ctx.me())));
                 if defer {
                     self.deferred.push(from);
                 } else {

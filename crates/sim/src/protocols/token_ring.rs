@@ -65,7 +65,7 @@ impl TokenRing {
         let next = (ctx.me() + 1) % ctx.process_count();
         ctx.send(next, TokenMsg);
         self.forwards += 1;
-        if self.duplicate_every != 0 && self.forwards % self.duplicate_every == 0 {
+        if self.duplicate_every != 0 && self.forwards.is_multiple_of(self.duplicate_every) {
             // Injected bug: the token is also "kept".
             self.held += 1;
         }
@@ -122,8 +122,7 @@ mod tests {
 
     #[test]
     fn duplication_bug_inflates_the_sum() {
-        let trace =
-            Simulation::new(TokenRing::ring_with_bug(5, 2, 3), SimConfig::new(4)).run();
+        let trace = Simulation::new(TokenRing::ring_with_bug(5, 2, 3), SimConfig::new(4)).run();
         let tokens = trace.int_var("tokens").unwrap();
         assert!(
             tokens.sum_at(&trace.computation.final_cut()) > 2,
@@ -138,7 +137,10 @@ mod tests {
         let has = trace.bool_var("has_token").unwrap();
         for p in 0..3 {
             for s in 0..=trace.computation.events_on(p) {
-                assert_eq!(has.value_in_state(p, s as u32), held.value_in_state(p, s as u32) > 0);
+                assert_eq!(
+                    has.value_in_state(p, s as u32),
+                    held.value_in_state(p, s as u32) > 0
+                );
             }
         }
     }

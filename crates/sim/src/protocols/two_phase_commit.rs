@@ -49,7 +49,10 @@ impl TwoPhaseCommit {
     ///
     /// Panics if `n < 2` or the probability is outside `[0, 1]`.
     pub fn transaction(n: usize, abort_probability: f64) -> Vec<TwoPhaseCommit> {
-        assert!(n >= 2, "two-phase commit needs a coordinator and a participant");
+        assert!(
+            n >= 2,
+            "two-phase commit needs a coordinator and a participant"
+        );
         assert!(
             (0.0..=1.0).contains(&abort_probability),
             "probability {abort_probability} out of range"
@@ -163,8 +166,7 @@ mod tests {
     #[test]
     fn atomicity_holds_across_seeds() {
         for seed in 0..10 {
-            let sim =
-                Simulation::new(TwoPhaseCommit::transaction(5, 0.3), SimConfig::new(seed));
+            let sim = Simulation::new(TwoPhaseCommit::transaction(5, 0.3), SimConfig::new(seed));
             let (_, procs) = sim.run_with_processes();
             let committed = procs.iter().filter(|p| p.committed()).count();
             let aborted = procs.iter().filter(|p| p.aborted()).count();
@@ -182,9 +184,10 @@ mod tests {
         let sim = Simulation::new(TwoPhaseCommit::transaction(3, 0.0), SimConfig::new(3));
         let trace = sim.run();
         let prepared = trace.bool_var("prepared").unwrap();
-        let witness = trace.computation.consistent_cuts().any(|cut| {
-            (1..3).all(|p| prepared.value_at(&cut, p))
-        });
+        let witness = trace
+            .computation
+            .consistent_cuts()
+            .any(|cut| (1..3).all(|p| prepared.value_at(&cut, p)));
         assert!(witness);
     }
 }

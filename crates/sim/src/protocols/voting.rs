@@ -76,7 +76,12 @@ impl Process for Voter {
         self.votes_seen += 1;
         for q in 0..ctx.process_count() {
             if q != ctx.me() {
-                ctx.send(q, VoteMsg { yes: self.voted_yes });
+                ctx.send(
+                    q,
+                    VoteMsg {
+                        yes: self.voted_yes,
+                    },
+                );
             }
         }
     }
@@ -120,11 +125,11 @@ mod tests {
 
     #[test]
     fn extreme_probabilities_are_unanimous() {
-        let (_, yes) = Simulation::new(Voter::electorate(4, 1.0), SimConfig::new(3))
-            .run_with_processes();
+        let (_, yes) =
+            Simulation::new(Voter::electorate(4, 1.0), SimConfig::new(3)).run_with_processes();
         assert!(yes.iter().all(|v| v.ballot() == Some(true)));
-        let (_, no) = Simulation::new(Voter::electorate(4, 0.0), SimConfig::new(3))
-            .run_with_processes();
+        let (_, no) =
+            Simulation::new(Voter::electorate(4, 0.0), SimConfig::new(3)).run_with_processes();
         assert!(no.iter().all(|v| v.ballot() == Some(false)));
     }
 

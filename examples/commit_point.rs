@@ -21,17 +21,13 @@ fn main() {
 
     println!("--- committing transactions (everyone votes yes) ---");
     for seed in [1, 2, 3] {
-        let (trace, procs) = Simulation::new(
-            TwoPhaseCommit::transaction(n, 0.0),
-            SimConfig::new(seed),
-        )
-        .run_with_processes();
+        let (trace, procs) =
+            Simulation::new(TwoPhaseCommit::transaction(n, 0.0), SimConfig::new(seed))
+                .run_with_processes();
         assert!(procs.iter().all(|p| p.committed()));
         let prepared = trace.bool_var("prepared").unwrap();
         let definite = definitely_conjunctive(&trace.computation, prepared, &participants);
-        println!(
-            "seed {seed}: committed; Definitely(all participants prepared) = {definite}"
-        );
+        println!("seed {seed}: committed; Definitely(all participants prepared) = {definite}");
         assert!(
             definite,
             "a committed transaction must have an unavoidable commit point"
@@ -40,29 +36,25 @@ fn main() {
 
     println!("\n--- aborting transactions (everyone votes no) ---");
     for seed in [1, 2, 3] {
-        let (trace, procs) = Simulation::new(
-            TwoPhaseCommit::transaction(n, 1.0),
-            SimConfig::new(seed),
-        )
-        .run_with_processes();
+        let (trace, procs) =
+            Simulation::new(TwoPhaseCommit::transaction(n, 1.0), SimConfig::new(seed))
+                .run_with_processes();
         assert!(procs.iter().all(|p| p.aborted()));
         let prepared = trace.bool_var("prepared").unwrap();
-        let possible =
-            possibly_conjunctive(&trace.computation, prepared, &participants).is_some();
-        println!(
-            "seed {seed}: aborted; Possibly(all participants prepared) = {possible}"
+        let possible = possibly_conjunctive(&trace.computation, prepared, &participants).is_some();
+        println!("seed {seed}: aborted; Possibly(all participants prepared) = {possible}");
+        assert!(
+            !possible,
+            "an aborted transaction has no commit point at all"
         );
-        assert!(!possible, "an aborted transaction has no commit point at all");
     }
 
     println!("\n--- mixed votes ---");
     let mut outcomes = (0, 0);
     for seed in 0..12 {
-        let (trace, procs) = Simulation::new(
-            TwoPhaseCommit::transaction(n, 0.4),
-            SimConfig::new(seed),
-        )
-        .run_with_processes();
+        let (trace, procs) =
+            Simulation::new(TwoPhaseCommit::transaction(n, 0.4), SimConfig::new(seed))
+                .run_with_processes();
         let committed = procs.iter().all(|p| p.committed());
         let prepared = trace.bool_var("prepared").unwrap();
         let definite = definitely_conjunctive(&trace.computation, prepared, &participants);

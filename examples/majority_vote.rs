@@ -15,8 +15,7 @@ fn main() {
     let n: usize = 6;
     for seed in [1, 2, 3] {
         let (trace, voters) =
-            Simulation::new(Voter::electorate(n, 0.5), SimConfig::new(seed))
-                .run_with_processes();
+            Simulation::new(Voter::electorate(n, 0.5), SimConfig::new(seed)).run_with_processes();
         let yes: usize = voters.iter().filter(|v| v.ballot() == Some(true)).count();
         println!(
             "seed {seed}: final tally {yes} yes / {} no over {} recorded events",
@@ -34,9 +33,15 @@ fn main() {
                 "absence of two-thirds majority",
                 SymmetricPredicate::absence_of_two_thirds_majority(n as u32),
             ),
-            ("odd number of yes votes (xor)", SymmetricPredicate::exclusive_or(n as u32)),
+            (
+                "odd number of yes votes (xor)",
+                SymmetricPredicate::exclusive_or(n as u32),
+            ),
             ("not all equal", SymmetricPredicate::not_all_equal(n as u32)),
-            ("unanimity (all equal)", SymmetricPredicate::all_equal(n as u32)),
+            (
+                "unanimity (all equal)",
+                SymmetricPredicate::all_equal(n as u32),
+            ),
         ];
         for (name, phi) in &questions {
             let witness = possibly_symmetric(&trace.computation, voted_yes, phi);

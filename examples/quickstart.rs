@@ -28,7 +28,12 @@ fn main() {
     b.message(b2, c1).unwrap();
     let comp = b.build().unwrap();
 
-    println!("computation: {} processes, {} events, {} messages", comp.process_count(), comp.event_count(), comp.messages().len());
+    println!(
+        "computation: {} processes, {} events, {} messages",
+        comp.process_count(),
+        comp.event_count(),
+        comp.messages().len()
+    );
     println!("consistent cuts: {}", comp.consistent_cuts().count());
 
     // Per-process booleans: "phase flag" that flips at various events.
@@ -58,10 +63,7 @@ fn main() {
     }
 
     // An exact-sum question: tokens held per process, ±1 per event.
-    let tokens = IntVariable::new(
-        &comp,
-        vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 1]],
-    );
+    let tokens = IntVariable::new(&comp, vec![vec![1, 0, 0], vec![0, 1, 0], vec![0, 1]]);
     for k in 0..=2 {
         let witness = possibly_exact_sum(&comp, &tokens, k).expect("±1 steps");
         println!(
@@ -72,10 +74,12 @@ fn main() {
 
     // Definitely: must every run pass through a state with exactly one
     // token? (Exact check via the lattice.)
-    let definitely_one =
-        definitely_by_enumeration(&comp, |cut| tokens.sum_at(cut) == 1);
+    let definitely_one = definitely_by_enumeration(&comp, |cut| tokens.sum_at(cut) == 1);
     println!("Definitely(Σ tokens = 1): {definitely_one}");
 
     // Export the space-time diagram.
-    println!("\nGraphviz (pipe into `dot -Tsvg`):\n{}", to_dot(&comp, Some(&flag)));
+    println!(
+        "\nGraphviz (pipe into `dot -Tsvg`):\n{}",
+        to_dot(&comp, Some(&flag))
+    );
 }

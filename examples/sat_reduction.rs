@@ -55,25 +55,32 @@ fn demonstrate(label: &str, formula: &Cnf) {
     );
 
     let dpll = solve(formula);
-    let detected = possibly_singular_chains(
-        &gadget.computation,
-        &gadget.variable,
-        &gadget.predicate,
-    );
+    let detected =
+        possibly_singular_chains(&gadget.computation, &gadget.variable, &gadget.predicate);
     println!(
         "DPLL: {} | detection: {}",
         if dpll.is_some() { "SAT" } else { "UNSAT" },
-        if detected.is_some() { "Possibly" } else { "impossible" },
+        if detected.is_some() {
+            "Possibly"
+        } else {
+            "impossible"
+        },
     );
     assert_eq!(dpll.is_some(), detected.is_some(), "Theorem 1 equivalence");
 
     if let Some(cut) = detected {
         let assignment = gadget.assignment_from_cut(&cut);
-        println!("witness cut {:?} decodes to assignment {assignment:?}", cut.frontier());
+        println!(
+            "witness cut {:?} decodes to assignment {assignment:?}",
+            cut.frontier()
+        );
         assert!(formula.eval(&assignment));
     }
     if gadget.computation.event_count() <= 12 {
-        println!("space-time diagram:\n{}", to_dot(&gadget.computation, Some(&gadget.variable)));
+        println!(
+            "space-time diagram:\n{}",
+            to_dot(&gadget.computation, Some(&gadget.variable))
+        );
     }
     println!();
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agreement_conjunctive-123e2742a18514c7.d: crates/core/../../tests/agreement_conjunctive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagreement_conjunctive-123e2742a18514c7.rmeta: crates/core/../../tests/agreement_conjunctive.rs Cargo.toml
+
+crates/core/../../tests/agreement_conjunctive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

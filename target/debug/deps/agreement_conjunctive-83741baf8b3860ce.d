@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement_conjunctive-83741baf8b3860ce.d: crates/core/../../tests/agreement_conjunctive.rs
+
+/root/repo/target/debug/deps/agreement_conjunctive-83741baf8b3860ce: crates/core/../../tests/agreement_conjunctive.rs
+
+crates/core/../../tests/agreement_conjunctive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agreement_relational-30996cf123ebb605.d: crates/core/../../tests/agreement_relational.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagreement_relational-30996cf123ebb605.rmeta: crates/core/../../tests/agreement_relational.rs Cargo.toml
+
+crates/core/../../tests/agreement_relational.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement_relational-c469c5490208f220.d: crates/core/../../tests/agreement_relational.rs
+
+/root/repo/target/debug/deps/agreement_relational-c469c5490208f220: crates/core/../../tests/agreement_relational.rs
+
+crates/core/../../tests/agreement_relational.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agreement_singular-a876be69a21a6585.d: crates/core/../../tests/agreement_singular.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagreement_singular-a876be69a21a6585.rmeta: crates/core/../../tests/agreement_singular.rs Cargo.toml
+
+crates/core/../../tests/agreement_singular.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agreement_singular-b9088db880d6a611.d: crates/core/../../tests/agreement_singular.rs
+
+/root/repo/target/debug/deps/agreement_singular-b9088db880d6a611: crates/core/../../tests/agreement_singular.rs
+
+crates/core/../../tests/agreement_singular.rs:

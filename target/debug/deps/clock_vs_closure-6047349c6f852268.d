@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/clock_vs_closure-6047349c6f852268.d: crates/core/../../tests/clock_vs_closure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclock_vs_closure-6047349c6f852268.rmeta: crates/core/../../tests/clock_vs_closure.rs Cargo.toml
+
+crates/core/../../tests/clock_vs_closure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

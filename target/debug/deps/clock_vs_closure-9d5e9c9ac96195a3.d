@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/clock_vs_closure-9d5e9c9ac96195a3.d: crates/core/../../tests/clock_vs_closure.rs
+
+/root/repo/target/debug/deps/clock_vs_closure-9d5e9c9ac96195a3: crates/core/../../tests/clock_vs_closure.rs
+
+crates/core/../../tests/clock_vs_closure.rs:

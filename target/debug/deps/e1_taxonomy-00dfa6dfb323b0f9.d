@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_taxonomy-00dfa6dfb323b0f9.d: crates/bench/benches/e1_taxonomy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_taxonomy-00dfa6dfb323b0f9.rmeta: crates/bench/benches/e1_taxonomy.rs Cargo.toml
+
+crates/bench/benches/e1_taxonomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

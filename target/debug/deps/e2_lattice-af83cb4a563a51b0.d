@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_lattice-af83cb4a563a51b0.d: crates/bench/benches/e2_lattice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_lattice-af83cb4a563a51b0.rmeta: crates/bench/benches/e2_lattice.rs Cargo.toml
+
+crates/bench/benches/e2_lattice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_reduction-923f133618729c0b.d: crates/bench/benches/e3_reduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_reduction-923f133618729c0b.rmeta: crates/bench/benches/e3_reduction.rs Cargo.toml
+
+crates/bench/benches/e3_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_special_case-cb00cdc5d5b524fa.d: crates/bench/benches/e4_special_case.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_special_case-cb00cdc5d5b524fa.rmeta: crates/bench/benches/e4_special_case.rs Cargo.toml
+
+crates/bench/benches/e4_special_case.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_general-f444153495873526.d: crates/bench/benches/e5_general.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_general-f444153495873526.rmeta: crates/bench/benches/e5_general.rs Cargo.toml
+
+crates/bench/benches/e5_general.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_subset_sum-d006af304607da60.d: crates/bench/benches/e6_subset_sum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_subset_sum-d006af304607da60.rmeta: crates/bench/benches/e6_subset_sum.rs Cargo.toml
+
+crates/bench/benches/e6_subset_sum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e7_exact_sum-d22299ed2445fa79.d: crates/bench/benches/e7_exact_sum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe7_exact_sum-d22299ed2445fa79.rmeta: crates/bench/benches/e7_exact_sum.rs Cargo.toml
+
+crates/bench/benches/e7_exact_sum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e8_symmetric-2c59451847ce8a5d.d: crates/bench/benches/e8_symmetric.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe8_symmetric-2c59451847ce8a5d.rmeta: crates/bench/benches/e8_symmetric.rs Cargo.toml
+
+crates/bench/benches/e8_symmetric.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_sim-bcf7ef912524785a.d: crates/core/../../tests/end_to_end_sim.rs
+
+/root/repo/target/debug/deps/end_to_end_sim-bcf7ef912524785a: crates/core/../../tests/end_to_end_sim.rs
+
+crates/core/../../tests/end_to_end_sim.rs:

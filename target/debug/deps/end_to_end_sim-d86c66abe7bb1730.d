@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_sim-d86c66abe7bb1730.d: crates/core/../../tests/end_to_end_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_sim-d86c66abe7bb1730.rmeta: crates/core/../../tests/end_to_end_sim.rs Cargo.toml
+
+crates/core/../../tests/end_to_end_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

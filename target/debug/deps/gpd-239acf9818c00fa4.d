@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpd-239acf9818c00fa4.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/gpd-239acf9818c00fa4: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpd-9131697868892a24.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/gpd-9131697868892a24: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpd_bench-59718f449d38bd94.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgpd_bench-59718f449d38bd94.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libgpd_bench-59718f449d38bd94.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpd_bench-80ccb3d5c61f0504.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpd_bench-80ccb3d5c61f0504.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gpd_bench-a24f3d9ff3c2158e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/gpd_bench-a24f3d9ff3c2158e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpd_bench-ac98ce47b1f58557.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpd_bench-ac98ce47b1f58557.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

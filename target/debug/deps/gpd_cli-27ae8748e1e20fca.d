@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gpd_cli-27ae8748e1e20fca.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/predicate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpd_cli-27ae8748e1e20fca.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/predicate.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/predicate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpd_cli-6b3fcb29fbc93420.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/predicate.rs
+
+/root/repo/target/debug/deps/gpd_cli-6b3fcb29fbc93420: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/predicate.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/predicate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpd_cli-bf7f65f2730ed96d.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/predicate.rs
+
+/root/repo/target/debug/deps/libgpd_cli-bf7f65f2730ed96d.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/predicate.rs
+
+/root/repo/target/debug/deps/libgpd_cli-bf7f65f2730ed96d.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/predicate.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/predicate.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/gpd_computation-a86b107b2a509aff.d: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpd_computation-a86b107b2a509aff.rmeta: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs Cargo.toml
+
+crates/computation/src/lib.rs:
+crates/computation/src/builder.rs:
+crates/computation/src/computation.rs:
+crates/computation/src/cut.rs:
+crates/computation/src/dot.rs:
+crates/computation/src/event.rs:
+crates/computation/src/fixtures.rs:
+crates/computation/src/gen.rs:
+crates/computation/src/groups.rs:
+crates/computation/src/lattice.rs:
+crates/computation/src/stats.rs:
+crates/computation/src/trace.rs:
+crates/computation/src/variables.rs:
+crates/computation/src/vclock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

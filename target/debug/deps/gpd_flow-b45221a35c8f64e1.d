@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gpd_flow-b45221a35c8f64e1.d: crates/flow/src/lib.rs crates/flow/src/closure.rs crates/flow/src/dinic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpd_flow-b45221a35c8f64e1.rmeta: crates/flow/src/lib.rs crates/flow/src/closure.rs crates/flow/src/dinic.rs Cargo.toml
+
+crates/flow/src/lib.rs:
+crates/flow/src/closure.rs:
+crates/flow/src/dinic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

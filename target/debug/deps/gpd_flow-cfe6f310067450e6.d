@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gpd_flow-cfe6f310067450e6.d: crates/flow/src/lib.rs crates/flow/src/closure.rs crates/flow/src/dinic.rs
+
+/root/repo/target/debug/deps/libgpd_flow-cfe6f310067450e6.rlib: crates/flow/src/lib.rs crates/flow/src/closure.rs crates/flow/src/dinic.rs
+
+/root/repo/target/debug/deps/libgpd_flow-cfe6f310067450e6.rmeta: crates/flow/src/lib.rs crates/flow/src/closure.rs crates/flow/src/dinic.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/closure.rs:
+crates/flow/src/dinic.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gpd_flow-e4cd4fab35f0c256.d: crates/flow/src/lib.rs crates/flow/src/closure.rs crates/flow/src/dinic.rs
+
+/root/repo/target/debug/deps/gpd_flow-e4cd4fab35f0c256: crates/flow/src/lib.rs crates/flow/src/closure.rs crates/flow/src/dinic.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/closure.rs:
+crates/flow/src/dinic.rs:

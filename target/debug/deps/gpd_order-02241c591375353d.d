@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gpd_order-02241c591375353d.d: crates/order/src/lib.rs crates/order/src/bitset.rs crates/order/src/chains.rs crates/order/src/dag.rs crates/order/src/ideal.rs crates/order/src/levels.rs crates/order/src/matching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpd_order-02241c591375353d.rmeta: crates/order/src/lib.rs crates/order/src/bitset.rs crates/order/src/chains.rs crates/order/src/dag.rs crates/order/src/ideal.rs crates/order/src/levels.rs crates/order/src/matching.rs Cargo.toml
+
+crates/order/src/lib.rs:
+crates/order/src/bitset.rs:
+crates/order/src/chains.rs:
+crates/order/src/dag.rs:
+crates/order/src/ideal.rs:
+crates/order/src/levels.rs:
+crates/order/src/matching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gpd_order-253a6490fe617af3.d: crates/order/src/lib.rs crates/order/src/bitset.rs crates/order/src/chains.rs crates/order/src/dag.rs crates/order/src/ideal.rs crates/order/src/levels.rs crates/order/src/matching.rs
+
+/root/repo/target/debug/deps/gpd_order-253a6490fe617af3: crates/order/src/lib.rs crates/order/src/bitset.rs crates/order/src/chains.rs crates/order/src/dag.rs crates/order/src/ideal.rs crates/order/src/levels.rs crates/order/src/matching.rs
+
+crates/order/src/lib.rs:
+crates/order/src/bitset.rs:
+crates/order/src/chains.rs:
+crates/order/src/dag.rs:
+crates/order/src/ideal.rs:
+crates/order/src/levels.rs:
+crates/order/src/matching.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gpd_order-d09c8ead8b222cd2.d: crates/order/src/lib.rs crates/order/src/bitset.rs crates/order/src/chains.rs crates/order/src/dag.rs crates/order/src/ideal.rs crates/order/src/levels.rs crates/order/src/matching.rs
+
+/root/repo/target/debug/deps/libgpd_order-d09c8ead8b222cd2.rlib: crates/order/src/lib.rs crates/order/src/bitset.rs crates/order/src/chains.rs crates/order/src/dag.rs crates/order/src/ideal.rs crates/order/src/levels.rs crates/order/src/matching.rs
+
+/root/repo/target/debug/deps/libgpd_order-d09c8ead8b222cd2.rmeta: crates/order/src/lib.rs crates/order/src/bitset.rs crates/order/src/chains.rs crates/order/src/dag.rs crates/order/src/ideal.rs crates/order/src/levels.rs crates/order/src/matching.rs
+
+crates/order/src/lib.rs:
+crates/order/src/bitset.rs:
+crates/order/src/chains.rs:
+crates/order/src/dag.rs:
+crates/order/src/ideal.rs:
+crates/order/src/levels.rs:
+crates/order/src/matching.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gpd_sat-6a91064b8c2de747.d: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/dpll.rs crates/sat/src/gen.rs crates/sat/src/transform.rs
+
+/root/repo/target/debug/deps/gpd_sat-6a91064b8c2de747: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/dpll.rs crates/sat/src/gen.rs crates/sat/src/transform.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/brute.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/dimacs.rs:
+crates/sat/src/dpll.rs:
+crates/sat/src/gen.rs:
+crates/sat/src/transform.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gpd_sat-876e7b8486f4ee16.d: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/dpll.rs crates/sat/src/gen.rs crates/sat/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpd_sat-876e7b8486f4ee16.rmeta: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/dpll.rs crates/sat/src/gen.rs crates/sat/src/transform.rs Cargo.toml
+
+crates/sat/src/lib.rs:
+crates/sat/src/brute.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/dimacs.rs:
+crates/sat/src/dpll.rs:
+crates/sat/src/gen.rs:
+crates/sat/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

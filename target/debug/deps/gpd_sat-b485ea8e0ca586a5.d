@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gpd_sat-b485ea8e0ca586a5.d: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/dpll.rs crates/sat/src/gen.rs crates/sat/src/transform.rs
+
+/root/repo/target/debug/deps/libgpd_sat-b485ea8e0ca586a5.rlib: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/dpll.rs crates/sat/src/gen.rs crates/sat/src/transform.rs
+
+/root/repo/target/debug/deps/libgpd_sat-b485ea8e0ca586a5.rmeta: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/dpll.rs crates/sat/src/gen.rs crates/sat/src/transform.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/brute.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/dimacs.rs:
+crates/sat/src/dpll.rs:
+crates/sat/src/gen.rs:
+crates/sat/src/transform.rs:

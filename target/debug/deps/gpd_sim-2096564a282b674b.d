@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gpd_sim-2096564a282b674b.d: crates/sim/src/lib.rs crates/sim/src/kernel.rs crates/sim/src/protocols/mod.rs crates/sim/src/protocols/bank.rs crates/sim/src/protocols/election.rs crates/sim/src/protocols/mutex.rs crates/sim/src/protocols/token_ring.rs crates/sim/src/protocols/two_phase_commit.rs crates/sim/src/protocols/voting.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgpd_sim-2096564a282b674b.rmeta: crates/sim/src/lib.rs crates/sim/src/kernel.rs crates/sim/src/protocols/mod.rs crates/sim/src/protocols/bank.rs crates/sim/src/protocols/election.rs crates/sim/src/protocols/mutex.rs crates/sim/src/protocols/token_ring.rs crates/sim/src/protocols/two_phase_commit.rs crates/sim/src/protocols/voting.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/protocols/mod.rs:
+crates/sim/src/protocols/bank.rs:
+crates/sim/src/protocols/election.rs:
+crates/sim/src/protocols/mutex.rs:
+crates/sim/src/protocols/token_ring.rs:
+crates/sim/src/protocols/two_phase_commit.rs:
+crates/sim/src/protocols/voting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gpd_sim-d4e8f86d6f8d6393.d: crates/sim/src/lib.rs crates/sim/src/kernel.rs crates/sim/src/protocols/mod.rs crates/sim/src/protocols/bank.rs crates/sim/src/protocols/election.rs crates/sim/src/protocols/mutex.rs crates/sim/src/protocols/token_ring.rs crates/sim/src/protocols/two_phase_commit.rs crates/sim/src/protocols/voting.rs
+
+/root/repo/target/debug/deps/gpd_sim-d4e8f86d6f8d6393: crates/sim/src/lib.rs crates/sim/src/kernel.rs crates/sim/src/protocols/mod.rs crates/sim/src/protocols/bank.rs crates/sim/src/protocols/election.rs crates/sim/src/protocols/mutex.rs crates/sim/src/protocols/token_ring.rs crates/sim/src/protocols/two_phase_commit.rs crates/sim/src/protocols/voting.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/protocols/mod.rs:
+crates/sim/src/protocols/bank.rs:
+crates/sim/src/protocols/election.rs:
+crates/sim/src/protocols/mutex.rs:
+crates/sim/src/protocols/token_ring.rs:
+crates/sim/src/protocols/two_phase_commit.rs:
+crates/sim/src/protocols/voting.rs:

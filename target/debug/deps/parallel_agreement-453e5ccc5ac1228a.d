@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_agreement-453e5ccc5ac1228a.d: crates/core/../../tests/parallel_agreement.rs
+
+/root/repo/target/debug/deps/parallel_agreement-453e5ccc5ac1228a: crates/core/../../tests/parallel_agreement.rs
+
+crates/core/../../tests/parallel_agreement.rs:

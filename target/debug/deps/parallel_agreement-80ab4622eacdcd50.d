@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_agreement-80ab4622eacdcd50.d: crates/core/../../tests/parallel_agreement.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_agreement-80ab4622eacdcd50.rmeta: crates/core/../../tests/parallel_agreement.rs Cargo.toml
+
+crates/core/../../tests/parallel_agreement.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reductions-ca23221c453afba1.d: crates/core/../../tests/reductions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreductions-ca23221c453afba1.rmeta: crates/core/../../tests/reductions.rs Cargo.toml
+
+crates/core/../../tests/reductions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

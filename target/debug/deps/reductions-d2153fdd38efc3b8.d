@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reductions-d2153fdd38efc3b8.d: crates/core/../../tests/reductions.rs
+
+/root/repo/target/debug/deps/reductions-d2153fdd38efc3b8: crates/core/../../tests/reductions.rs
+
+crates/core/../../tests/reductions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-3f4802581359a4b0.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-3f4802581359a4b0: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-f856fc29f3acf8bb.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-f856fc29f3acf8bb: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

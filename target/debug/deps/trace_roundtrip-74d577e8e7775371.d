@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_roundtrip-74d577e8e7775371.d: crates/core/../../tests/trace_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_roundtrip-74d577e8e7775371.rmeta: crates/core/../../tests/trace_roundtrip.rs Cargo.toml
+
+crates/core/../../tests/trace_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

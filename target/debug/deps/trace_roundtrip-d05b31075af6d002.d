@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_roundtrip-d05b31075af6d002.d: crates/core/../../tests/trace_roundtrip.rs
+
+/root/repo/target/debug/deps/trace_roundtrip-d05b31075af6d002: crates/core/../../tests/trace_roundtrip.rs
+
+crates/core/../../tests/trace_roundtrip.rs:

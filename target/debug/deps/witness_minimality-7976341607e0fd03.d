@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/witness_minimality-7976341607e0fd03.d: crates/core/../../tests/witness_minimality.rs
+
+/root/repo/target/debug/deps/witness_minimality-7976341607e0fd03: crates/core/../../tests/witness_minimality.rs
+
+crates/core/../../tests/witness_minimality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/witness_minimality-b5f088a2a2acd011.d: crates/core/../../tests/witness_minimality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwitness_minimality-b5f088a2a2acd011.rmeta: crates/core/../../tests/witness_minimality.rs Cargo.toml
+
+crates/core/../../tests/witness_minimality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

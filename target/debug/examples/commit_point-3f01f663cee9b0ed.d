@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/commit_point-3f01f663cee9b0ed.d: crates/core/../../examples/commit_point.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcommit_point-3f01f663cee9b0ed.rmeta: crates/core/../../examples/commit_point.rs Cargo.toml
+
+crates/core/../../examples/commit_point.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/commit_point-9b7575151466e69d.d: crates/core/../../examples/commit_point.rs
+
+/root/repo/target/debug/examples/commit_point-9b7575151466e69d: crates/core/../../examples/commit_point.rs
+
+crates/core/../../examples/commit_point.rs:

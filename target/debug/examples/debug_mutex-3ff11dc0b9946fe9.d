@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/debug_mutex-3ff11dc0b9946fe9.d: crates/core/../../examples/debug_mutex.rs
+
+/root/repo/target/debug/examples/debug_mutex-3ff11dc0b9946fe9: crates/core/../../examples/debug_mutex.rs
+
+crates/core/../../examples/debug_mutex.rs:

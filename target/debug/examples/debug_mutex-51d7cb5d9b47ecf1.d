@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/debug_mutex-51d7cb5d9b47ecf1.d: crates/core/../../examples/debug_mutex.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdebug_mutex-51d7cb5d9b47ecf1.rmeta: crates/core/../../examples/debug_mutex.rs Cargo.toml
+
+crates/core/../../examples/debug_mutex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/majority_vote-7b33a3767f03bd2d.d: crates/core/../../examples/majority_vote.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmajority_vote-7b33a3767f03bd2d.rmeta: crates/core/../../examples/majority_vote.rs Cargo.toml
+
+crates/core/../../examples/majority_vote.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

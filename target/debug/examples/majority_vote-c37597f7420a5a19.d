@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/majority_vote-c37597f7420a5a19.d: crates/core/../../examples/majority_vote.rs
+
+/root/repo/target/debug/examples/majority_vote-c37597f7420a5a19: crates/core/../../examples/majority_vote.rs
+
+crates/core/../../examples/majority_vote.rs:

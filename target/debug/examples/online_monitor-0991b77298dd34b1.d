@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/online_monitor-0991b77298dd34b1.d: crates/core/../../examples/online_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libonline_monitor-0991b77298dd34b1.rmeta: crates/core/../../examples/online_monitor.rs Cargo.toml
+
+crates/core/../../examples/online_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_monitor-66b82c8e0eef6878.d: crates/core/../../examples/online_monitor.rs
+
+/root/repo/target/debug/examples/online_monitor-66b82c8e0eef6878: crates/core/../../examples/online_monitor.rs
+
+crates/core/../../examples/online_monitor.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ordered_pipeline-98b1be78a35aaed1.d: crates/core/../../examples/ordered_pipeline.rs
+
+/root/repo/target/debug/examples/ordered_pipeline-98b1be78a35aaed1: crates/core/../../examples/ordered_pipeline.rs
+
+crates/core/../../examples/ordered_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ordered_pipeline-c799a1d05c615c41.d: crates/core/../../examples/ordered_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libordered_pipeline-c799a1d05c615c41.rmeta: crates/core/../../examples/ordered_pipeline.rs Cargo.toml
+
+crates/core/../../examples/ordered_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

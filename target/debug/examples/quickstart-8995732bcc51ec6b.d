@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8995732bcc51ec6b.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8995732bcc51ec6b: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sat_reduction-32f873bfa853eacc.d: crates/core/../../examples/sat_reduction.rs
+
+/root/repo/target/debug/examples/sat_reduction-32f873bfa853eacc: crates/core/../../examples/sat_reduction.rs
+
+crates/core/../../examples/sat_reduction.rs:

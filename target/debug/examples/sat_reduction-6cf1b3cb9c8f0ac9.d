@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sat_reduction-6cf1b3cb9c8f0ac9.d: crates/core/../../examples/sat_reduction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsat_reduction-6cf1b3cb9c8f0ac9.rmeta: crates/core/../../examples/sat_reduction.rs Cargo.toml
+
+crates/core/../../examples/sat_reduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/token_count-37a45dd1e3596a59.d: crates/core/../../examples/token_count.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtoken_count-37a45dd1e3596a59.rmeta: crates/core/../../examples/token_count.rs Cargo.toml
+
+crates/core/../../examples/token_count.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

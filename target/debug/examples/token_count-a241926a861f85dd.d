@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/token_count-a241926a861f85dd.d: crates/core/../../examples/token_count.rs
+
+/root/repo/target/debug/examples/token_count-a241926a861f85dd: crates/core/../../examples/token_count.rs
+
+crates/core/../../examples/token_count.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gpd-732c98a93f6aea04.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/gpd-732c98a93f6aea04: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

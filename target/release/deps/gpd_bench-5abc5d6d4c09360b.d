@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gpd_bench-5abc5d6d4c09360b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgpd_bench-5abc5d6d4c09360b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgpd_bench-5abc5d6d4c09360b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

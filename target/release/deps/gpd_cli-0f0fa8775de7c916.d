@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gpd_cli-0f0fa8775de7c916.d: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/predicate.rs
+
+/root/repo/target/release/deps/libgpd_cli-0f0fa8775de7c916.rlib: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/predicate.rs
+
+/root/repo/target/release/deps/libgpd_cli-0f0fa8775de7c916.rmeta: crates/cli/src/lib.rs crates/cli/src/commands.rs crates/cli/src/predicate.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/predicate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gpd_flow-4e4e45d44cb2e010.d: crates/flow/src/lib.rs crates/flow/src/closure.rs crates/flow/src/dinic.rs
+
+/root/repo/target/release/deps/libgpd_flow-4e4e45d44cb2e010.rlib: crates/flow/src/lib.rs crates/flow/src/closure.rs crates/flow/src/dinic.rs
+
+/root/repo/target/release/deps/libgpd_flow-4e4e45d44cb2e010.rmeta: crates/flow/src/lib.rs crates/flow/src/closure.rs crates/flow/src/dinic.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/closure.rs:
+crates/flow/src/dinic.rs:

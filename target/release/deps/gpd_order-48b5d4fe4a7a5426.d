@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gpd_order-48b5d4fe4a7a5426.d: crates/order/src/lib.rs crates/order/src/bitset.rs crates/order/src/chains.rs crates/order/src/dag.rs crates/order/src/ideal.rs crates/order/src/levels.rs crates/order/src/matching.rs
+
+/root/repo/target/release/deps/libgpd_order-48b5d4fe4a7a5426.rlib: crates/order/src/lib.rs crates/order/src/bitset.rs crates/order/src/chains.rs crates/order/src/dag.rs crates/order/src/ideal.rs crates/order/src/levels.rs crates/order/src/matching.rs
+
+/root/repo/target/release/deps/libgpd_order-48b5d4fe4a7a5426.rmeta: crates/order/src/lib.rs crates/order/src/bitset.rs crates/order/src/chains.rs crates/order/src/dag.rs crates/order/src/ideal.rs crates/order/src/levels.rs crates/order/src/matching.rs
+
+crates/order/src/lib.rs:
+crates/order/src/bitset.rs:
+crates/order/src/chains.rs:
+crates/order/src/dag.rs:
+crates/order/src/ideal.rs:
+crates/order/src/levels.rs:
+crates/order/src/matching.rs:

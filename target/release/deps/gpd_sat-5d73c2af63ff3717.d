@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gpd_sat-5d73c2af63ff3717.d: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/dpll.rs crates/sat/src/gen.rs crates/sat/src/transform.rs
+
+/root/repo/target/release/deps/libgpd_sat-5d73c2af63ff3717.rlib: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/dpll.rs crates/sat/src/gen.rs crates/sat/src/transform.rs
+
+/root/repo/target/release/deps/libgpd_sat-5d73c2af63ff3717.rmeta: crates/sat/src/lib.rs crates/sat/src/brute.rs crates/sat/src/cnf.rs crates/sat/src/dimacs.rs crates/sat/src/dpll.rs crates/sat/src/gen.rs crates/sat/src/transform.rs
+
+crates/sat/src/lib.rs:
+crates/sat/src/brute.rs:
+crates/sat/src/cnf.rs:
+crates/sat/src/dimacs.rs:
+crates/sat/src/dpll.rs:
+crates/sat/src/gen.rs:
+crates/sat/src/transform.rs:

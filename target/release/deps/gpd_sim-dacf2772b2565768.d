@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/gpd_sim-dacf2772b2565768.d: crates/sim/src/lib.rs crates/sim/src/kernel.rs crates/sim/src/protocols/mod.rs crates/sim/src/protocols/bank.rs crates/sim/src/protocols/election.rs crates/sim/src/protocols/mutex.rs crates/sim/src/protocols/token_ring.rs crates/sim/src/protocols/two_phase_commit.rs crates/sim/src/protocols/voting.rs
+
+/root/repo/target/release/deps/libgpd_sim-dacf2772b2565768.rlib: crates/sim/src/lib.rs crates/sim/src/kernel.rs crates/sim/src/protocols/mod.rs crates/sim/src/protocols/bank.rs crates/sim/src/protocols/election.rs crates/sim/src/protocols/mutex.rs crates/sim/src/protocols/token_ring.rs crates/sim/src/protocols/two_phase_commit.rs crates/sim/src/protocols/voting.rs
+
+/root/repo/target/release/deps/libgpd_sim-dacf2772b2565768.rmeta: crates/sim/src/lib.rs crates/sim/src/kernel.rs crates/sim/src/protocols/mod.rs crates/sim/src/protocols/bank.rs crates/sim/src/protocols/election.rs crates/sim/src/protocols/mutex.rs crates/sim/src/protocols/token_ring.rs crates/sim/src/protocols/two_phase_commit.rs crates/sim/src/protocols/voting.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/kernel.rs:
+crates/sim/src/protocols/mod.rs:
+crates/sim/src/protocols/bank.rs:
+crates/sim/src/protocols/election.rs:
+crates/sim/src/protocols/mutex.rs:
+crates/sim/src/protocols/token_ring.rs:
+crates/sim/src/protocols/two_phase_commit.rs:
+crates/sim/src/protocols/voting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-fd05e0df7338b5e9.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-fd05e0df7338b5e9: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

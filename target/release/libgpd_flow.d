@@ -1,0 +1,1 @@
+/root/repo/target/release/libgpd_flow.rlib: /root/repo/crates/flow/src/closure.rs /root/repo/crates/flow/src/dinic.rs /root/repo/crates/flow/src/lib.rs

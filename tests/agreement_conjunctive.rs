@@ -9,13 +9,7 @@ use rand::SeedableRng;
 
 /// Parameters compact enough that the lattice stays enumerable.
 fn params() -> impl Strategy<Value = (u64, usize, usize, usize, f64)> {
-    (
-        any::<u64>(),
-        2usize..5,
-        1usize..6,
-        0usize..8,
-        0.2f64..0.7,
-    )
+    (any::<u64>(), 2usize..5, 1usize..6, 0usize..8, 0.2f64..0.7)
 }
 
 proptest! {

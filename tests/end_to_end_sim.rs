@@ -14,8 +14,7 @@ use gpd_sim::{SimConfig, Simulation};
 #[test]
 fn correct_mutex_has_no_possible_violation() {
     for seed in 0..5 {
-        let trace =
-            Simulation::new(RicartAgrawala::group(3, 2), SimConfig::new(seed)).run();
+        let trace = Simulation::new(RicartAgrawala::group(3, 2), SimConfig::new(seed)).run();
         let in_cs = trace.bool_var("in_cs").unwrap();
         // Check every pair of processes with the polynomial algorithm.
         for i in 0..3 {
@@ -60,7 +59,10 @@ fn buggy_mutex_violation_is_detected_and_witnessed() {
             }
         }
     }
-    assert!(found, "the injected bug never produced a detectable violation");
+    assert!(
+        found,
+        "the injected bug never produced a detectable violation"
+    );
 }
 
 #[test]
@@ -84,8 +86,7 @@ fn token_conservation_and_loss_detection() {
 
 #[test]
 fn duplication_bug_shows_up_as_excess_tokens() {
-    let trace =
-        Simulation::new(TokenRing::ring_with_bug(5, 2, 2), SimConfig::new(7)).run();
+    let trace = Simulation::new(TokenRing::ring_with_bug(5, 2, 2), SimConfig::new(7)).run();
     let tokens = trace.int_var("tokens").unwrap();
     // Conservation violated: some cut holds more than 2 tokens.
     assert!(
@@ -96,8 +97,7 @@ fn duplication_bug_shows_up_as_excess_tokens() {
 
 #[test]
 fn election_yields_exactly_one_leader() {
-    let trace =
-        Simulation::new(ChangRoberts::ring(&[4, 9, 2, 7, 5]), SimConfig::new(3)).run();
+    let trace = Simulation::new(ChangRoberts::ring(&[4, 9, 2, 7, 5]), SimConfig::new(3)).run();
     let leader = trace.bool_var("is_leader").unwrap();
     // "Exactly one leader" eventually holds.
     let one = possibly_symmetric(&trace.computation, leader, &SymmetricPredicate::exactly(1));
@@ -117,9 +117,11 @@ fn voting_majority_analysis_matches_ballots() {
 
     // The final tally is reachable as an exact sum.
     let indicator = indicator_variable(&trace.computation, voted_yes);
-    assert!(possibly_exact_sum(&trace.computation, &indicator, yes_total)
-        .unwrap()
-        .is_some());
+    assert!(
+        possibly_exact_sum(&trace.computation, &indicator, yes_total)
+            .unwrap()
+            .is_some()
+    );
 
     // Absence of simple majority (= exactly 2 of 4 yes) possible iff the
     // exhaustive baseline says so.

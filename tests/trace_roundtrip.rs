@@ -43,12 +43,7 @@ fn token_ring_trace_roundtrip_preserves_detection() {
     };
     assert_eq!(endpoints(&back.computation), endpoints(&trace.computation));
 
-    let tokens2 = &back
-        .int_vars
-        .iter()
-        .find(|(n, _)| n == "tokens")
-        .unwrap()
-        .1;
+    let tokens2 = &back.int_vars.iter().find(|(n, _)| n == "tokens").unwrap().1;
     assert_eq!(
         max_sum_cut(&back.computation, tokens2),
         max_sum_cut(&trace.computation, tokens)
@@ -144,10 +139,6 @@ fn double_roundtrip_is_identity() {
     let tokens = trace.int_var("tokens").unwrap();
     let text1 = write_trace(&trace.computation, &[], &[("tokens", tokens)]);
     let back1 = read_trace(&text1).unwrap();
-    let text2 = write_trace(
-        &back1.computation,
-        &[],
-        &[("tokens", &back1.int_vars[0].1)],
-    );
+    let text2 = write_trace(&back1.computation, &[], &[("tokens", &back1.int_vars[0].1)]);
     assert_eq!(text1, text2);
 }

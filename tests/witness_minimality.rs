@@ -1,0 +1,47 @@
+//! The witness-minimality contract of the scan engine: a conjunctive
+//! witness is built by `cut_through` — the least consistent cut through
+//! the scan's surviving candidates — so it must sit on the *minimum*
+//! satisfying level, the same level as the breadth-first enumeration's
+//! first witness, and lie pointwise below every other witness at that
+//! level.
+
+use gpd::conjunctive::possibly_conjunctive;
+use gpd::enumerate::possibly_by_enumeration;
+use gpd_computation::{gen, ProcessId};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conjunctive_witness_is_the_minimum_level_witness(
+        seed in any::<u64>(),
+        n in 1usize..5,
+        m in 1usize..5,
+        msgs in 0usize..8,
+        density in 0.2f64..0.7,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // A single process cannot exchange messages.
+        let msgs = if n > 1 { msgs } else { 0 };
+        let comp = gen::random_computation(&mut rng, n, m, msgs);
+        let x = gen::random_bool_variable(&mut rng, &comp, density);
+        let procs: Vec<ProcessId> = (0..n).map(ProcessId::new).collect();
+        let holds = |c: &gpd_computation::Cut| procs.iter().all(|&p| x.value_at(c, p.index()));
+
+        let fast = possibly_conjunctive(&comp, &x, &procs);
+        let slow = possibly_by_enumeration(&comp, holds);
+        prop_assert_eq!(fast.is_some(), slow.is_some());
+        if let (Some(w), Some(min)) = (fast, slow) {
+            prop_assert!(holds(&w));
+            // The scan's cut is the infimum of all satisfying cuts: its
+            // level equals the BFS minimum and its frontier is pointwise
+            // ≤ the minimum-level witness enumeration found.
+            prop_assert_eq!(w.event_count(), min.event_count());
+            for p in 0..n {
+                prop_assert!(w.state_of(ProcessId::new(p)) <= min.state_of(ProcessId::new(p)));
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the benchmark surface this workspace uses: `Criterion`,
+//! `benchmark_group`/`bench_function`/`bench_with_input`/`sample_size`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!`/
+//! `criterion_main!` macros. Instead of criterion's statistical engine it
+//! runs a warmup pass plus a bounded measurement loop and prints the mean
+//! wall-clock time per iteration, which is enough for the experiment
+//! harness to produce comparable numbers offline.
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs every benchmark
+//! body exactly once, as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Per-`iter` measurement budget in normal mode.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const MAX_SAMPLES: u64 = 1000;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            println!("  (test mode: 1 iteration)");
+            return;
+        }
+        // Warmup.
+        black_box(f());
+        let start = Instant::now();
+        let mut samples = 0u64;
+        while samples < MAX_SAMPLES && start.elapsed() < MEASURE_BUDGET {
+            black_box(f());
+            samples += 1;
+        }
+        let mean = start.elapsed() / samples.max(1) as u32;
+        println!("  time: {mean:>12.3?}  ({samples} samples)");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sampling is
+    /// budget-driven, so the count is ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{}/{id}", self.name);
+        f(&mut Bencher {
+            test_mode: self.criterion.test_mode,
+        });
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("{}/{id}", self.name);
+        f(
+            &mut Bencher {
+                test_mode: self.criterion.test_mode,
+            },
+            input,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{id}");
+        f(&mut Bencher {
+            test_mode: self.test_mode,
+        });
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion { test_mode: true };
+        sample_bench(&mut c);
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn generated_group_fn_exists() {
+        // criterion_group! expands to a callable that owns a Criterion;
+        // run it in whatever mode the test args imply.
+        benches();
+    }
+}

