@@ -2,10 +2,20 @@
 //! deterministic run of every experiment E1–E8, printed as markdown.
 //!
 //! Run with: `cargo run --release -p gpd-bench --bin report`
+//!
+//! Flags:
+//!
+//! * `--json PATH` — also write the incremental-scan comparison
+//!   (`BENCH_PR2.json`): per-workload median ns and scan-work counters
+//!   for the restart-loop reference vs the incremental engine.
+//! * `--quick` — CI smoke mode: skip the slow E1–E8 sweep, run the
+//!   comparison on downsized workloads, and keep the counter-ratio
+//!   assertions (which are size-independent facts about the algorithms).
 
 use std::time::{Duration, Instant};
 
 use gpd::conjunctive::possibly_conjunctive;
+use gpd::counters;
 use gpd::enumerate::possibly_by_enumeration;
 use gpd::hardness::{brute_force_subset_sum, reduce_sat, reduce_subset_sum};
 use gpd::relational::{
@@ -13,13 +23,13 @@ use gpd::relational::{
 };
 use gpd::singular::{
     chain_cover_sizes, possibly_singular_chains, possibly_singular_ordered,
-    possibly_singular_subsets, possibly_singular_subsets_par,
+    possibly_singular_subsets, possibly_singular_subsets_par, possibly_singular_subsets_reference,
 };
 use gpd::symmetric::{possibly_symmetric, SymmetricPredicate};
 use gpd::Relop;
 use gpd_bench::{
     boolean_workload, hard_formula, ordered_singular_workload, sat_gadget, singular_workload,
-    standard_computation, subset_sum_instance, unit_sum_workload,
+    standard_computation, subset_sum_instance, unit_sum_workload, wide_unsat_singular_workload,
 };
 use gpd_computation::ProcessId;
 use gpd_sat::solve;
@@ -41,17 +51,159 @@ fn us(d: Duration) -> String {
 }
 
 fn main() {
-    println!(
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json needs a path").clone());
+
+    if !quick {
+        println!(
         "# Experiment report (regenerate with `cargo run --release -p gpd-bench --bin report`)\n"
-    );
-    e1();
-    e2();
-    e3();
-    e4();
-    e5();
-    e6();
-    e7();
-    e8();
+        );
+        e1();
+        e2();
+        e3();
+        e4();
+        e5();
+        e6();
+        e7();
+        e8();
+    }
+    incremental_scan_comparison(quick, json_path.as_deref());
+}
+
+/// One side of the incremental-vs-reference comparison: median wall time
+/// over `reps` runs plus the scan-work counters of a single run.
+struct Measured {
+    median_ns: u128,
+    work: counters::ScanCounters,
+}
+
+fn measure(
+    reps: usize,
+    f: impl Fn() -> Option<gpd_computation::Cut>,
+) -> (Option<gpd_computation::Cut>, Measured) {
+    let before = counters::snapshot();
+    let result = f();
+    let work = counters::snapshot().since(&before);
+    let mut times: Vec<u128> = (0..reps).map(|_| time(&f).1.as_nanos()).collect();
+    times.sort_unstable();
+    let median_ns = times[times.len() / 2];
+    (result, Measured { median_ns, work })
+}
+
+fn json_side(m: &Measured) -> String {
+    format!(
+        "{{\"median_ns\": {}, \"forces_evals\": {}, \"pair_checks\": {}, \"scan_runs\": {}}}",
+        m.median_ns, m.work.forces_evals, m.work.pair_checks, m.work.scan_runs
+    )
+}
+
+/// The PR 2 measurement: the restart-from-scratch reference loop vs the
+/// queue-driven incremental scan with prefix sharing, on the E5
+/// workloads. Counter deltas are the load-bearing numbers (wall clock on
+/// a loaded host is noise); the wide unsatisfiable workloads must show
+/// the incremental engine doing **at most half** the `forces` work.
+fn incremental_scan_comparison(quick: bool, json_path: Option<&str>) {
+    println!("## Incremental scan vs restart reference (E5 workloads)\n");
+    println!("| workload | verdict | reference forces | incremental forces | ratio | reference median | incremental median |");
+    println!("|---|---|---|---|---|---|---|");
+
+    struct Workload {
+        name: &'static str,
+        input: (
+            gpd_computation::Computation,
+            gpd_computation::BoolVariable,
+            gpd::SingularCnf,
+        ),
+        /// Wide-clause unsat workloads must show ≥2× fewer forces evals.
+        expect_half: bool,
+    }
+    let workloads: Vec<Workload> = if quick {
+        vec![
+            Workload {
+                name: "e5_singular_g2w3",
+                input: singular_workload(5, 2, 3, 10, 0.3),
+                expect_half: false,
+            },
+            Workload {
+                name: "e5_wide_unsat_g2w4",
+                input: wide_unsat_singular_workload(10, 2, 4),
+                expect_half: true,
+            },
+        ]
+    } else {
+        vec![
+            Workload {
+                name: "e5_singular_g2w3",
+                input: singular_workload(5, 2, 3, 20, 0.3),
+                expect_half: false,
+            },
+            Workload {
+                name: "e5_singular_g4w3",
+                input: singular_workload(5, 4, 3, 20, 0.3),
+                expect_half: false,
+            },
+            Workload {
+                name: "e5_wide_unsat_g3w4",
+                input: wide_unsat_singular_workload(30, 3, 4),
+                expect_half: true,
+            },
+            Workload {
+                name: "e5_wide_unsat_g4w4",
+                input: wide_unsat_singular_workload(30, 4, 4),
+                expect_half: true,
+            },
+        ]
+    };
+    let reps = if quick { 3 } else { 5 };
+
+    let mut entries = Vec::new();
+    for w in &workloads {
+        let (comp, var, phi) = &w.input;
+        let (ref_result, reference) =
+            measure(reps, || possibly_singular_subsets_reference(comp, var, phi));
+        let (inc_result, incremental) = measure(reps, || possibly_singular_subsets(comp, var, phi));
+        // Byte-identical witnesses, not just matching verdicts.
+        assert_eq!(ref_result, inc_result, "{}: witness mismatch", w.name);
+        let ratio =
+            reference.work.forces_evals as f64 / (incremental.work.forces_evals.max(1)) as f64;
+        if w.expect_half {
+            assert!(
+                ratio >= 2.0,
+                "{}: expected ≥2× fewer forces evaluations, got {ratio:.2}×",
+                w.name
+            );
+        }
+        println!(
+            "| {} | {} | {} | {} | {ratio:.2}× | {} | {} |",
+            w.name,
+            if ref_result.is_some() { "sat" } else { "unsat" },
+            reference.work.forces_evals,
+            incremental.work.forces_evals,
+            us(Duration::from_nanos(reference.median_ns as u64)),
+            us(Duration::from_nanos(incremental.median_ns as u64)),
+        );
+        entries.push(format!(
+            "    {{\n      \"workload\": \"{}\", \"verdict\": \"{}\", \"witness_identical\": true,\n      \"reference\": {},\n      \"incremental\": {},\n      \"forces_ratio\": {ratio:.4}\n    }}",
+            w.name,
+            if ref_result.is_some() { "sat" } else { "unsat" },
+            json_side(&reference),
+            json_side(&incremental),
+        ));
+    }
+    println!();
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR2.json\",\n  \"quick\": {quick},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+            entries.join(",\n")
+        );
+        std::fs::write(path, json).expect("write json report");
+        println!("Wrote {path}.\n");
+    }
 }
 
 fn e1() {

@@ -328,12 +328,17 @@ fn guard_enumeration(comp: &Computation, enumerate: bool, what: &str) -> Result<
     Ok(())
 }
 
-/// `gpd detect <trace> --pred "EXPR" [--definitely] [--enumerate] [--threads N]`
+/// `gpd detect <trace> --pred "EXPR" [--definitely] [--enumerate] [--threads N] [--stats]`
 pub fn detect(args: &[String]) -> Result<String, CliError> {
-    let flags = parse_flags(args, &["pred", "threads"], &["definitely", "enumerate"])?;
+    let flags = parse_flags(
+        args,
+        &["pred", "threads"],
+        &["definitely", "enumerate", "stats"],
+    )?;
     let [path] = flags.positional.as_slice() else {
         return Err(CliError::Usage(
-            "detect <trace> --pred \"EXPR\" [--definitely] [--enumerate] [--threads N]".into(),
+            "detect <trace> --pred \"EXPR\" [--definitely] [--enumerate] [--threads N] [--stats]"
+                .into(),
         ));
     };
     let expr = flags
@@ -348,9 +353,11 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
     // 0 = sequential (the default); N ≥ 2 fans the combinatorial CNF
     // scans out over N workers with first-witness cancellation.
     let threads = flags.get_usize("threads", 0)?;
+    let stats = flags.has("stats");
     let modality = if definitely { "Definitely" } else { "Possibly" };
 
-    match spec {
+    let before = stats.then(gpd::counters::snapshot);
+    let mut out = match spec {
         PredicateSpec::Conjunction(lits) => {
             let truth = literal_truth_variable(&trace, &lits)?;
             let processes: Vec<ProcessId> =
@@ -488,7 +495,15 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
                 }
             }
         }
+    }?;
+    if let Some(before) = before {
+        let work = gpd::counters::snapshot().since(&before);
+        out.push_str(&format!(
+            "scan stats: {} scan runs, {} pair checks, {} forces evaluations\n",
+            work.scan_runs, work.pair_checks, work.forces_evals
+        ));
     }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -632,6 +647,23 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("Possibly"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detect_stats_flag_reports_scan_work() {
+        let path = temp_trace("stats", "token-ring", &["--n", "4", "--tokens", "1"]);
+        let pred = "cnf has_token@0 | has_token@1 & !has_token@2 | !has_token@3";
+        let out = detect(&args(&[&path, "--pred", pred, "--stats"])).unwrap();
+        let stats_line = out
+            .lines()
+            .find(|l| l.starts_with("scan stats:"))
+            .unwrap_or_else(|| panic!("no stats line in {out:?}"));
+        assert!(stats_line.contains("scan runs"), "{stats_line}");
+        assert!(stats_line.contains("forces evaluations"), "{stats_line}");
+        // Without the flag the line is absent.
+        let out = detect(&args(&[&path, "--pred", pred])).unwrap();
+        assert!(!out.contains("scan stats:"), "{out}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -94,5 +94,5 @@ gpd <command> ...
   stats <trace> [--cuts]
   lattice <trace> [--enumerate]
   dot <trace> [--var NAME]
-  detect <trace> --pred \"EXPR\" [--definitely] [--enumerate]
+  detect <trace> --pred \"EXPR\" [--definitely] [--enumerate] [--threads N] [--stats]
   help";

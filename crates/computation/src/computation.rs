@@ -167,10 +167,32 @@ impl Computation {
     /// Whether `e` and `f` are *consistent*: some consistent cut passes
     /// through both. Per the paper (§2.2), `e` and `f` are inconsistent
     /// iff `succ(e) ≤ f` or `succ(f) ≤ e`.
+    ///
+    /// A last event on its process has no successor and therefore can
+    /// never block its partner:
+    ///
+    /// ```
+    /// use gpd_computation::ComputationBuilder;
+    ///
+    /// let mut b = ComputationBuilder::new(2);
+    /// let e = b.append(0);
+    /// let f = b.append(1);
+    /// b.message(e, f).unwrap();
+    /// let comp = b.build().unwrap();
+    /// // e ≤ f via the message, yet both are final on their processes:
+    /// // the final cut passes through both, so they are consistent.
+    /// assert!(comp.consistent(e, f));
+    /// assert!(comp.consistent(e, e));
+    /// ```
     pub fn consistent(&self, e: EventId, f: EventId) -> bool {
-        let succ_e_leq_f = self.successor_on_process(e).is_some_and(|s| self.leq(s, f));
-        let succ_f_leq_e = self.successor_on_process(f).is_some_and(|s| self.leq(s, e));
-        !succ_e_leq_f && !succ_f_leq_e
+        // One successor lookup per argument, short-circuiting: the second
+        // direction is only examined when the first does not already rule
+        // the pair out.
+        let blocks = |x, y| match self.successor_on_process(x) {
+            Some(s) => self.leq(s, y),
+            None => false,
+        };
+        !blocks(e, f) && !blocks(f, e)
     }
 
     /// The initial consistent cut (only the implicit initial events).

@@ -67,6 +67,16 @@ impl Cut {
         self.frontier[process.into().index()]
     }
 
+    /// An order-stable FNV-1a hash of the frontier — identical across
+    /// runs and hasher seeds, unlike `std`'s randomized `Hash`. Used to
+    /// shard cuts across parallel visited sets; for bulk visited-set
+    /// probes prefer packing via
+    /// [`FrontierPacker`](crate::FrontierPacker), which precomputes the
+    /// same style of hash once.
+    pub fn fnv_hash(&self) -> u64 {
+        crate::packed::fnv1a(self.frontier.iter().map(|&f| f as u64))
+    }
+
     /// Whether `other` is reachable from `self` by executing zero or more
     /// events (i.e. `self ⊆ other`).
     ///

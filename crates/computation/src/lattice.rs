@@ -4,6 +4,7 @@ use std::collections::{HashSet, VecDeque};
 
 use crate::computation::Computation;
 use crate::cut::Cut;
+use crate::packed::{FrontierPacker, PackedFrontier};
 
 /// Iterator over every consistent cut of a computation, in breadth-first
 /// order from the initial cut (so cuts are yielded in nondecreasing event
@@ -29,17 +30,23 @@ use crate::cut::Cut;
 pub struct CutIter<'a> {
     comp: &'a Computation,
     queue: VecDeque<Cut>,
-    seen: HashSet<Cut>,
+    // Visited cuts are remembered packed (a few pre-hashed u64 words per
+    // frontier) instead of as Vec<u32> keys: the visited set is probed
+    // once per lattice edge, the hottest path of the sweep.
+    packer: FrontierPacker,
+    seen: HashSet<PackedFrontier>,
 }
 
 impl<'a> CutIter<'a> {
     pub(crate) fn new(comp: &'a Computation) -> Self {
         let initial = comp.initial_cut();
+        let packer = FrontierPacker::new(comp);
         let mut seen = HashSet::new();
-        seen.insert(initial.clone());
+        seen.insert(packer.pack_cut(&initial));
         CutIter {
             comp,
             queue: VecDeque::from([initial]),
+            packer,
             seen,
         }
     }
@@ -51,7 +58,7 @@ impl Iterator for CutIter<'_> {
     fn next(&mut self) -> Option<Cut> {
         let cut = self.queue.pop_front()?;
         for next in self.comp.cut_successors(&cut) {
-            if self.seen.insert(next.clone()) {
+            if self.seen.insert(self.packer.pack_cut(&next)) {
                 self.queue.push_back(next);
             }
         }

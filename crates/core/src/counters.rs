@@ -1,0 +1,92 @@
+//! Cheap always-on instrumentation for the scan engine.
+//!
+//! Wall-clock timing is useless for verifying algorithmic speedups on a
+//! loaded single-core container, so the scan engine counts its actual
+//! work in three process-global relaxed atomics:
+//!
+//! * **forces evaluations** — calls to `Candidate::forces`, the clock
+//!   lookup at the heart of every pairwise consistency check. This is
+//!   the unit the paper's complexity bounds are stated in.
+//! * **pair checks** — head-vs-head consistency tests (each costs two
+//!   forces evaluations).
+//! * **scan runs** — fixpoint (re)starts: one per full scan, one per
+//!   incremental resume of a shared prefix.
+//!
+//! The counters are cumulative over the process lifetime; measure a
+//! region by [`snapshot`]-ing before and after and taking
+//! [`ScanCounters::since`]. They are exact in single-threaded runs; in
+//! parallel runs concurrent detections add into the same totals, which
+//! is fine for the CLI's `--stats` display and the bench harness (both
+//! measure one detection at a time).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FORCES_EVALS: AtomicU64 = AtomicU64::new(0);
+static PAIR_CHECKS: AtomicU64 = AtomicU64::new(0);
+static SCAN_RUNS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn record_forces_eval() {
+    FORCES_EVALS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_pair_check() {
+    PAIR_CHECKS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_scan_run() {
+    SCAN_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A snapshot of the cumulative scan-work counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanCounters {
+    /// Calls to the candidate clock lookup (`forces`).
+    pub forces_evals: u64,
+    /// Head-vs-head pairwise consistency checks.
+    pub pair_checks: u64,
+    /// Scan fixpoint starts and incremental resumes.
+    pub scan_runs: u64,
+}
+
+impl ScanCounters {
+    /// The work done since an `earlier` snapshot.
+    pub fn since(&self, earlier: &ScanCounters) -> ScanCounters {
+        ScanCounters {
+            forces_evals: self.forces_evals.wrapping_sub(earlier.forces_evals),
+            pair_checks: self.pair_checks.wrapping_sub(earlier.pair_checks),
+            scan_runs: self.scan_runs.wrapping_sub(earlier.scan_runs),
+        }
+    }
+}
+
+/// Reads the current cumulative counters.
+pub fn snapshot() -> ScanCounters {
+    ScanCounters {
+        forces_evals: FORCES_EVALS.load(Ordering::Relaxed),
+        pair_checks: PAIR_CHECKS.load(Ordering::Relaxed),
+        scan_runs: SCAN_RUNS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_subtract() {
+        let before = snapshot();
+        record_forces_eval();
+        record_forces_eval();
+        record_pair_check();
+        record_scan_run();
+        let delta = snapshot().since(&before);
+        // Other tests run concurrently in this process, so the deltas
+        // are lower bounds rather than exact counts.
+        assert!(delta.forces_evals >= 2);
+        assert!(delta.pair_checks >= 1);
+        assert!(delta.scan_runs >= 1);
+    }
+}

@@ -9,7 +9,7 @@
 use std::collections::{HashSet, VecDeque};
 use std::sync::Mutex;
 
-use gpd_computation::{Computation, Cut};
+use gpd_computation::{Computation, Cut, FrontierPacker, PackedFrontier};
 
 /// Decides `Possibly(Φ)` by enumerating consistent cuts breadth-first;
 /// returns the first (smallest) witness cut.
@@ -60,6 +60,7 @@ where
         return Some(start);
     }
     let total = comp.final_cut().event_count();
+    let packer = FrontierPacker::new(comp);
     let mut level: Vec<Cut> = vec![start];
     // Shard count decoupled from the worker count to keep lock
     // contention low while merging successor sets.
@@ -68,17 +69,25 @@ where
         // Expand: each worker dedups its cuts' successors into hashed
         // shards; the graded lattice guarantees every successor is new
         // to the walk, so only intra-level duplicates (diamonds) exist.
-        let sharded: Vec<Mutex<HashSet<Cut>>> =
-            (0..shards).map(|_| Mutex::new(HashSet::new())).collect();
+        // Shard selection and membership both use the packed frontier's
+        // precomputed FNV-1a hash, so neither re-walks the `Vec<u32>`.
+        type Shard = (HashSet<PackedFrontier>, Vec<Cut>);
+        let sharded: Vec<Mutex<Shard>> = (0..shards)
+            .map(|_| Mutex::new((HashSet::new(), Vec::new())))
+            .collect();
         map_indexed(threads, level.len(), |i| {
             for succ in comp.cut_successors(&level[i]) {
-                let shard = shard_of(&succ, shards);
-                sharded[shard].lock().expect("shard mutex").insert(succ);
+                let packed = packer.pack_cut(&succ);
+                let shard = (packed.hash_value() as usize) & (shards - 1);
+                let mut guard = sharded[shard].lock().expect("shard mutex");
+                if guard.0.insert(packed) {
+                    guard.1.push(succ);
+                }
             }
         });
         let next: Vec<Cut> = sharded
             .into_iter()
-            .flat_map(|s| s.into_inner().expect("shard mutex"))
+            .flat_map(|s| s.into_inner().expect("shard mutex").1)
             .collect();
         if next.is_empty() {
             return None;
@@ -93,17 +102,6 @@ where
         level = next;
     }
     None
-}
-
-/// Stable shard index for a cut, independent of hasher randomization.
-fn shard_of(cut: &Cut, shards: usize) -> usize {
-    // FNV-1a over the frontier; `shards` is a power of two.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &f in cut.frontier() {
-        h ^= f as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    (h as usize) & (shards - 1)
 }
 
 /// Decides `Definitely(Φ)` exactly: Φ definitely holds iff **no** run
@@ -137,15 +135,16 @@ where
         return true;
     }
     let goal = comp.final_cut();
-    let mut seen: HashSet<Cut> = HashSet::new();
-    seen.insert(start.clone());
+    let packer = FrontierPacker::new(comp);
+    let mut seen: HashSet<PackedFrontier> = HashSet::new();
+    seen.insert(packer.pack_cut(&start));
     let mut queue = VecDeque::from([start]);
     while let Some(cut) = queue.pop_front() {
         if cut == goal {
             return false; // a run avoided Φ entirely
         }
         for next in comp.cut_successors(&cut) {
-            if !predicate(&next) && seen.insert(next.clone()) {
+            if !predicate(&next) && seen.insert(packer.pack_cut(&next)) {
                 queue.push_back(next);
             }
         }
@@ -182,22 +181,24 @@ where
         return true;
     }
     let total: usize = comp.final_cut().event_count();
+    let packer = FrontierPacker::new(comp);
     // Invariant: `level` holds the ¬Φ cuts with k events reachable from
     // the initial cut through ¬Φ cuts only.
     let mut level: Vec<Cut> = vec![start];
     for _k in 0..total {
-        let mut next: HashSet<Cut> = HashSet::new();
+        let mut dedup: HashSet<PackedFrontier> = HashSet::new();
+        let mut next: Vec<Cut> = Vec::new();
         for cut in &level {
             for succ in comp.cut_successors(cut) {
-                if !predicate(&succ) {
-                    next.insert(succ);
+                if !predicate(&succ) && dedup.insert(packer.pack_cut(&succ)) {
+                    next.push(succ);
                 }
             }
         }
         if next.is_empty() {
             return true; // every surviving run hit Φ
         }
-        level = next.into_iter().collect();
+        level = next;
     }
     // Some run reached the final level (k = total) avoiding Φ throughout.
     false

@@ -46,6 +46,7 @@
 
 pub mod conjunctive;
 mod conjunctive_definitely;
+pub mod counters;
 pub mod enumerate;
 pub mod hardness;
 pub mod linear;

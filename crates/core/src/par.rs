@@ -11,6 +11,11 @@
 //!   their next work-item boundary.
 //! * [`search_combinations`] — the same fan-out over the mixed-radix
 //!   combination space (one digit per clause) the §3.3 algorithms walk.
+//! * [`search_chunks`] — fan-out over *contiguous subranges* of a
+//!   linearized space, for searches that carry resumable state (the
+//!   prefix-sharing scan snapshots) across consecutive indices: each
+//!   worker owns whole chunks, so in-chunk state sharing survives the
+//!   parallel split.
 //! * [`map_indexed`] — order-preserving parallel map, used for the
 //!   per-clause chain-cover construction (DAG build + transitive closure
 //!   + matching are independent per clause).
@@ -147,6 +152,60 @@ where
     })
 }
 
+/// Searches `0..total` in contiguous chunks of `chunk` indices for the
+/// first range whose `f` returns `Some`, fanning the chunks out over
+/// `threads` workers with first-witness cancellation.
+///
+/// Unlike [`search_first`], which hands out single indices, this hands
+/// each worker a whole `Range` at a time — the shape needed by searches
+/// that carry resumable per-worker state (e.g. [`crate::singular`]'s
+/// prefix-sharing scan snapshots) from one index to the next. `f` must
+/// check the passed [`Cancellation`] at its own convenient boundaries
+/// within a range.
+///
+/// With `threads ≤ 1` this is exactly one call `f(0..total, _)` on the
+/// caller's thread: the historical sequential walk, state shared across
+/// the entire space. In parallel, chunks are pulled from a shared
+/// counter (dynamic self-scheduling), so the verdict is thread-count
+/// invariant while the witness may be whichever worker's.
+pub fn search_chunks<T, F>(threads: usize, total: usize, chunk: usize, f: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>, &Cancellation) -> Option<T> + Sync,
+{
+    let chunk = chunk.max(1);
+    let cancel = Cancellation::new();
+    let workers = worker_count(threads, total.div_ceil(chunk));
+    if workers <= 1 {
+        return f(0..total, &cancel);
+    }
+    let next = AtomicUsize::new(0);
+    let found: Mutex<Option<T>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if cancel.is_cancelled() {
+                    return;
+                }
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= total {
+                    return;
+                }
+                let end = (start + chunk).min(total);
+                if let Some(witness) = f(start..end, &cancel) {
+                    cancel.cancel();
+                    let mut slot = found.lock().expect("witness mutex");
+                    if slot.is_none() {
+                        *slot = Some(witness);
+                    }
+                    return;
+                }
+            });
+        }
+    });
+    found.into_inner().expect("witness mutex")
+}
+
 /// Order-preserving parallel map over `0..count`: returns
 /// `[g(0), …, g(count - 1)]` computed on up to `threads` workers.
 ///
@@ -268,6 +327,50 @@ mod tests {
                 Some(42)
             });
             assert_eq!(hit, Some(42));
+        }
+    }
+
+    #[test]
+    fn chunked_search_sequential_is_one_full_range() {
+        for threads in [0, 1] {
+            let calls = AtomicUsize::new(0);
+            let hit = search_chunks(threads, 10, 3, |range, _| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(range, 0..10);
+                range.into_iter().find(|&i| i == 7)
+            });
+            assert_eq!(hit, Some(7));
+            assert_eq!(calls.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn chunked_search_covers_the_space() {
+        for threads in [2, 4] {
+            let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            let miss: Option<usize> = search_chunks(threads, 100, 7, |range, _| {
+                seen.lock().unwrap().extend(range);
+                None
+            });
+            assert_eq!(miss, None, "threads = {threads}");
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..100).collect::<Vec<_>>(), "threads = {threads}");
+            let hit = search_chunks(threads, 100, 7, |range, _| {
+                range.into_iter().find(|&i| i == 42)
+            });
+            assert_eq!(hit, Some(42), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_search_empty_space_rejects() {
+        for threads in [0, 4] {
+            let miss: Option<()> = search_chunks(threads, 0, 5, |range, _| {
+                assert!(range.is_empty());
+                None
+            });
+            assert_eq!(miss, None);
         }
     }
 

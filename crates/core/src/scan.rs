@@ -17,8 +17,29 @@
 //! *domination property*: if a candidate forces `> l` events of `q`, so
 //! does every later candidate in its sequence. Process order, chain order
 //! and the §3.2 linearization (via Property P) all provide it.
+//!
+//! # The incremental fixpoint
+//!
+//! Eliminations are *confluent*: a head is only ever discarded when it
+//! pairs with no current-or-future head of some other slot, so it appears
+//! in no solution, and any order of sound eliminations terminates at the
+//! same unique least pairwise-consistent head vector. The engine exploits
+//! this with a queue-driven fixpoint ([`ScanState`]): only slots whose
+//! head just advanced are re-examined, instead of restarting the full
+//! O(m²) pairwise sweep after every advance as the original restart loop
+//! did (retained as [`scan_restart`], the differential-testing oracle).
+//! Confluence also makes [`ScanState`] *resumable*: a settled prefix of
+//! slots is a valid starting point for any extension, which
+//! [`PrefixScan`] uses to share scan work across the §3.3 combination
+//! space (see `docs/ALGORITHMS.md` §1a).
+
+use std::collections::VecDeque;
+use std::ops::Range;
 
 use gpd_computation::{Computation, Cut, ProcessId};
+
+use crate::counters;
+use crate::par::Cancellation;
 
 /// A local state `(process, executed-event count)` offered to the scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +52,7 @@ impl Candidate {
     /// How many events of `q` any cut through this candidate must
     /// contain.
     fn forces(&self, comp: &Computation, q: ProcessId) -> u32 {
+        counters::record_forces_eval();
         if self.state == 0 {
             0
         } else {
@@ -42,13 +64,162 @@ impl Candidate {
     }
 }
 
+/// Resumable state of the incremental scan over a slot list: the current
+/// head index per slot plus the queue of slots whose pairs still need
+/// (re)checking. Cloning a settled state checkpoints the fixpoint so a
+/// later extension can resume from it instead of rescanning — the
+/// snapshot primitive behind [`PrefixScan`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ScanState {
+    /// Current candidate index per slot.
+    heads: Vec<usize>,
+    /// Slots whose pairs must be (re)examined before fixpoint.
+    pending: VecDeque<usize>,
+    /// Membership flags for `pending` (no slot is queued twice).
+    queued: Vec<bool>,
+    /// Some slot ran dry: no solution exists for any extension.
+    dead: bool,
+}
+
+impl ScanState {
+    fn new() -> Self {
+        ScanState::default()
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Appends a slot starting at head 0 and queues it for checking.
+    fn add_slot(&mut self) {
+        let j = self.heads.len();
+        self.heads.push(0);
+        self.queued.push(false);
+        self.enqueue(j);
+    }
+
+    fn enqueue(&mut self, slot: usize) {
+        if !self.queued[slot] {
+            self.queued[slot] = true;
+            self.pending.push_back(slot);
+        }
+    }
+
+    fn mark_dead(&mut self) {
+        self.dead = true;
+        self.pending.clear();
+        self.queued.iter_mut().for_each(|q| *q = false);
+    }
+
+    /// Advances `slot`'s head past an eliminated candidate; returns
+    /// `false` when the slot runs dry.
+    fn advance(&mut self, slot: usize, len: usize) -> bool {
+        self.heads[slot] += 1;
+        if self.heads[slot] >= len {
+            self.mark_dead();
+            return false;
+        }
+        true
+    }
+
+    /// Runs the queue-driven elimination to fixpoint. Each popped slot
+    /// `j` is checked against every other slot's head; a kill of `j`
+    /// restarts only `j`'s sweep (the new head must face all pairs), a
+    /// kill of the partner `i` re-queues `i` — pairs not involving an
+    /// advanced head are never re-examined. At most `Σ|slotᵢ|` advances
+    /// can happen, each charging O(m) pair checks: O(m·Σ|slotᵢ|) total
+    /// versus the restart loop's O(m²·Σ|slotᵢ|) worst case.
+    ///
+    /// Invariant at every queue pop: a head pair can be stale only if
+    /// one of its endpoints is queued. An empty queue therefore means
+    /// every pair has been checked against the current heads.
+    fn settle(&mut self, comp: &Computation, slots: &[Vec<Candidate>]) {
+        debug_assert_eq!(self.heads.len(), slots.len());
+        if self.dead {
+            return;
+        }
+        if self.heads.iter().zip(slots).any(|(&h, s)| h >= s.len()) {
+            self.mark_dead();
+            return;
+        }
+        while let Some(j) = self.pending.pop_front() {
+            self.queued[j] = false;
+            let mut i = 0;
+            while i < slots.len() {
+                if i == j {
+                    i += 1;
+                    continue;
+                }
+                let cj = slots[j][self.heads[j]];
+                let ci = slots[i][self.heads[i]];
+                debug_assert_ne!(
+                    ci.process, cj.process,
+                    "slots must live on distinct processes"
+                );
+                counters::record_pair_check();
+                // ci forcing past cj means cj pairs with neither ci nor
+                // any later candidate of slot i (domination property):
+                // advance slot j. And symmetrically.
+                let kills_j = ci.forces(comp, cj.process) > cj.state;
+                let kills_i = cj.forces(comp, ci.process) > ci.state;
+                if kills_i {
+                    if !self.advance(i, slots[i].len()) {
+                        return;
+                    }
+                    // Pairs involving i's new head are re-examined when
+                    // i is popped.
+                    self.enqueue(i);
+                }
+                if kills_j {
+                    if !self.advance(j, slots[j].len()) {
+                        return;
+                    }
+                    // j's head moved: restart j's sweep from slot 0.
+                    i = 0;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// The pairwise-consistent heads at fixpoint, or `None` when dead.
+    fn solution(&self, slots: &[Vec<Candidate>]) -> Option<Vec<Candidate>> {
+        if self.dead {
+            return None;
+        }
+        debug_assert!(self.pending.is_empty(), "solution read before fixpoint");
+        Some(self.heads.iter().zip(slots).map(|(&h, s)| s[h]).collect())
+    }
+}
+
 /// Runs the scan and returns one pairwise-consistent candidate per slot,
 /// or `None` if some slot runs dry.
 ///
 /// Slots must host pairwise-distinct processes across slots and their
 /// sequences must satisfy the domination property described in the module
 /// docs; both are the caller's obligation.
+///
+/// Because sound eliminations are confluent (each only discards a head in
+/// no solution), this incremental engine, [`scan_restart`], and any
+/// prefix-resumed run all settle on the same least head vector — the
+/// returned witness is byte-identical across strategies.
 pub(crate) fn scan(comp: &Computation, slots: &[Vec<Candidate>]) -> Option<Vec<Candidate>> {
+    counters::record_scan_run();
+    let mut state = ScanState::new();
+    for _ in slots {
+        state.add_slot();
+    }
+    state.settle(comp, slots);
+    state.solution(slots)
+}
+
+/// The seed implementation of the scan: restart the full O(m²) pairwise
+/// sweep from slot 0 after *every* head advance. Retained as the
+/// differential-testing oracle for [`scan`] and as the bench baseline
+/// the incremental engine's counter reductions are measured against.
+pub(crate) fn scan_restart(comp: &Computation, slots: &[Vec<Candidate>]) -> Option<Vec<Candidate>> {
+    counters::record_scan_run();
     if slots.is_empty() {
         return Some(Vec::new());
     }
@@ -66,9 +237,7 @@ pub(crate) fn scan(comp: &Computation, slots: &[Vec<Candidate>]) -> Option<Vec<C
                     ci.process, cj.process,
                     "slots must live on distinct processes"
                 );
-                // ci forcing past cj means cj pairs with neither ci nor
-                // any later candidate of slot i (domination property):
-                // advance slot j. And symmetrically.
+                counters::record_pair_check();
                 let kills_j = ci.forces(comp, cj.process) > cj.state;
                 let kills_i = cj.forces(comp, ci.process) > ci.state;
                 if kills_j {
@@ -91,6 +260,161 @@ pub(crate) fn scan(comp: &Computation, slots: &[Vec<Candidate>]) -> Option<Vec<C
             return Some(head.iter().zip(slots).map(|(&h, s)| s[h]).collect());
         }
     }
+}
+
+/// A stack of scan checkpoints over a growing slot list: [`push`]
+/// settles one more slot on top of the previous fixpoint and snapshots
+/// the result; [`truncate`] pops back to a shared prefix. Driving the
+/// §3.3 combination space in odometer order through this engine makes
+/// consecutive combinations — which share all but their last few clause
+/// choices — resume from the deepest common snapshot instead of
+/// rescanning from scratch.
+///
+/// Soundness: a settled prefix is the least fixpoint of its slots, all
+/// of whose eliminations are sound for any extension (adding slots only
+/// adds elimination opportunities, never invalidates one), and
+/// confluence takes the extension to the same least fixpoint a fresh
+/// scan would reach. A dead prefix stays dead under every extension, so
+/// its whole odometer subtree can be skipped.
+///
+/// [`push`]: PrefixScan::push
+/// [`truncate`]: PrefixScan::truncate
+pub(crate) struct PrefixScan<'a> {
+    comp: &'a Computation,
+    slots: Vec<Vec<Candidate>>,
+    /// `snaps[d]` is the settled state of `slots[..d]`; index 0 is the
+    /// empty scan.
+    snaps: Vec<ScanState>,
+}
+
+impl<'a> PrefixScan<'a> {
+    pub(crate) fn new(comp: &'a Computation) -> Self {
+        PrefixScan {
+            comp,
+            slots: Vec::new(),
+            snaps: vec![ScanState::new()],
+        }
+    }
+
+    pub(crate) fn depth(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pops back to the first `depth` slots (their snapshot is reused
+    /// as-is — no rescan).
+    pub(crate) fn truncate(&mut self, depth: usize) {
+        debug_assert!(depth <= self.slots.len());
+        self.slots.truncate(depth);
+        self.snaps.truncate(depth + 1);
+    }
+
+    /// Pushes one more slot and settles the extended scan from the
+    /// previous snapshot; returns `false` when the new prefix is dead
+    /// (and every extension of it would be).
+    pub(crate) fn push(&mut self, candidates: Vec<Candidate>) -> bool {
+        counters::record_scan_run();
+        let mut state = self.snaps.last().expect("snapshot stack non-empty").clone();
+        self.slots.push(candidates);
+        state.add_slot();
+        state.settle(self.comp, &self.slots);
+        let alive = !state.is_dead();
+        self.snaps.push(state);
+        alive
+    }
+
+    /// The current prefix's solution (all pushed slots settled alive).
+    pub(crate) fn solution(&self) -> Option<Vec<Candidate>> {
+        self.snaps
+            .last()
+            .expect("snapshot stack non-empty")
+            .solution(&self.slots)
+    }
+}
+
+/// Searches the §3.3 combination space — one choice of candidate slot
+/// per clause, `choices[j]` listing clause `j`'s alternatives — for the
+/// first combination whose scan succeeds, sharing scan work between
+/// combinations that agree on a prefix of choices.
+///
+/// Sequential (`threads ≤ 1`) runs walk the whole odometer on the
+/// caller's thread and return the *same witness as the seed's
+/// from-scratch walk* (confluence, see [`scan`]). Parallel runs hand
+/// contiguous subranges of the odometer to workers (chunked at the
+/// innermost dimension so in-chunk prefix sharing survives), each worker
+/// owning its own [`PrefixScan`] snapshot stack; the first witness found
+/// cancels the rest, preserving the verdict-invariance contract of
+/// `tests/parallel_agreement.rs`.
+pub(crate) fn scan_combinations_shared(
+    comp: &Computation,
+    threads: usize,
+    choices: &[Vec<Vec<Candidate>>],
+) -> Option<Vec<Candidate>> {
+    let sizes: Vec<usize> = choices.iter().map(Vec::len).collect();
+    let mut total: usize = 1;
+    for &s in &sizes {
+        if s == 0 {
+            return None;
+        }
+        // Saturate like `par::search_combinations`: a space too large to
+        // index cannot be searched exhaustively in any case.
+        total = total.saturating_mul(s);
+    }
+    // strides[j] = combinations per step of digit j (odometer order:
+    // most-significant digit first, last digit fastest).
+    let mut strides = vec![1usize; sizes.len()];
+    for j in (0..sizes.len().saturating_sub(1)).rev() {
+        strides[j] = strides[j + 1].saturating_mul(sizes[j + 1]);
+    }
+    let chunk = sizes.last().copied().unwrap_or(1).max(1);
+    crate::par::search_chunks(threads, total, chunk, |range, cancel| {
+        walk_range(comp, choices, &sizes, &strides, range, cancel)
+    })
+}
+
+/// Walks one contiguous odometer subrange with a private snapshot stack.
+fn walk_range(
+    comp: &Computation,
+    choices: &[Vec<Vec<Candidate>>],
+    sizes: &[usize],
+    strides: &[usize],
+    range: Range<usize>,
+    cancel: &Cancellation,
+) -> Option<Vec<Candidate>> {
+    let g = sizes.len();
+    let mut engine = PrefixScan::new(comp);
+    // The digits currently pushed on the engine (a prefix of a decode).
+    let mut pushed: Vec<usize> = Vec::new();
+    let mut idx = range.start;
+    while idx < range.end {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        // Resume from the deepest snapshot whose digits match this
+        // combination's decode.
+        let mut depth = 0;
+        while depth < pushed.len() && pushed[depth] == (idx / strides[depth]) % sizes[depth] {
+            depth += 1;
+        }
+        engine.truncate(depth);
+        pushed.truncate(depth);
+        let mut dead_at = None;
+        for j in engine.depth()..g {
+            let digit = (idx / strides[j]) % sizes[j];
+            pushed.push(digit);
+            if !engine.push(choices[j][digit].clone()) {
+                dead_at = Some(j);
+                break;
+            }
+        }
+        match dead_at {
+            // A dead prefix is dead under every extension: skip the
+            // whole subtree by stepping digit j (with carry).
+            Some(j) => idx = (idx - idx % strides[j]).saturating_add(strides[j]),
+            // All slots settled alive: the heads are the witness.
+            None => return engine.solution(),
+        }
+    }
+    None
 }
 
 /// The least consistent cut passing through all the (pairwise consistent)
@@ -116,7 +440,10 @@ pub(crate) fn cut_through(comp: &Computation, candidates: &[Candidate]) -> Cut {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpd_computation::ComputationBuilder;
+    use gpd_computation::{gen, ComputationBuilder};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn cand(p: usize, k: u32) -> Candidate {
         Candidate {
@@ -200,5 +527,172 @@ mod tests {
         let slots = vec![vec![cand(0, 0)], vec![cand(1, 0)], vec![cand(2, 0)]];
         let found = scan(&comp, &slots).unwrap();
         assert_eq!(cut_through(&comp, &found), comp.initial_cut());
+    }
+
+    /// Random slots on distinct processes. Per-process states are kept in
+    /// increasing order, which provides the domination property. Slots
+    /// may come out empty — the scan must reject those cleanly.
+    fn random_slots(rng: &mut StdRng, comp: &gpd_computation::Computation) -> Vec<Vec<Candidate>> {
+        let n = comp.process_count();
+        let mut procs: Vec<usize> = (0..n).collect();
+        for i in (1..procs.len()).rev() {
+            procs.swap(i, rng.gen_range(0..=i));
+        }
+        procs.truncate(rng.gen_range(1..=n));
+        procs
+            .iter()
+            .map(|&p| {
+                (0..=comp.events_on(p) as u32)
+                    .filter(|_| rng.gen_bool(0.6))
+                    .map(|state| cand(p, state))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The seed odometer walk: from-scratch restart scan per combination.
+    fn first_witness_from_scratch(
+        comp: &gpd_computation::Computation,
+        choices: &[Vec<Vec<Candidate>>],
+    ) -> Option<Vec<Candidate>> {
+        let sizes: Vec<usize> = choices.iter().map(Vec::len).collect();
+        if sizes.contains(&0) {
+            return None;
+        }
+        let total: usize = sizes.iter().product();
+        (0..total).find_map(|idx| {
+            let mut digits = vec![0usize; sizes.len()];
+            let mut rest = idx;
+            for (d, &s) in digits.iter_mut().zip(&sizes).rev() {
+                *d = rest % s;
+                rest /= s;
+            }
+            let slots: Vec<Vec<Candidate>> = digits
+                .iter()
+                .zip(choices)
+                .map(|(&d, c)| c[d].clone())
+                .collect();
+            scan_restart(comp, &slots)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The incremental fixpoint and the seed restart loop settle on
+        /// the same (least) head vector — witnesses are byte-identical.
+        #[test]
+        fn incremental_scan_matches_restart_oracle(
+            seed in any::<u64>(),
+            n in 2usize..6,
+            m in 1usize..6,
+            msgs in 0usize..8,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let slots = random_slots(&mut rng, &comp);
+            prop_assert_eq!(scan(&comp, &slots), scan_restart(&comp, &slots));
+        }
+
+        /// The prefix-sharing odometer walk returns the exact witness of
+        /// the seed's from-scratch walk sequentially, and an identical
+        /// verdict at higher thread counts.
+        #[test]
+        fn prefix_shared_walk_matches_from_scratch_walk(
+            seed in any::<u64>(),
+            n in 2usize..6,
+            m in 1usize..5,
+            msgs in 0usize..6,
+            clauses in 1usize..4,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            // Disjoint process sets per clause so every combination's
+            // slots live on distinct processes.
+            let mut procs: Vec<usize> = (0..n).collect();
+            for i in (1..procs.len()).rev() {
+                procs.swap(i, rng.gen_range(0..=i));
+            }
+            let per = (n / clauses).max(1);
+            let choices: Vec<Vec<Vec<Candidate>>> = procs
+                .chunks(per)
+                .take(clauses)
+                .map(|ps| {
+                    (0..rng.gen_range(1..=3))
+                        .map(|_| {
+                            let p = ps[rng.gen_range(0..ps.len())];
+                            (0..=comp.events_on(p) as u32)
+                                .filter(|_| rng.gen_bool(0.5))
+                                .map(|state| cand(p, state))
+                                .collect()
+                        })
+                        .collect()
+                })
+                .collect();
+            let expected = first_witness_from_scratch(&comp, &choices);
+            let shared = scan_combinations_shared(&comp, 0, &choices);
+            prop_assert_eq!(&shared, &expected, "sequential witness must be byte-identical");
+            for threads in [2usize, 4] {
+                let par = scan_combinations_shared(&comp, threads, &choices);
+                prop_assert_eq!(par.is_some(), expected.is_some(), "threads = {}", threads);
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_scan_truncate_resumes_exactly() {
+        // Push A,B,C; truncate back to depth 1; push B',C' — the result
+        // must equal a fresh scan of [A, B', C'].
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..50 {
+            let comp = gen::random_computation(&mut rng, 5, 4, 6);
+            let a = random_slots(&mut rng, &comp);
+            if a.len() < 3 {
+                continue;
+            }
+            let (s0, s1, s2) = (a[0].clone(), a[1].clone(), a[2].clone());
+            let b = random_slots(&mut rng, &comp);
+            // Replacement slots on processes distinct from s0's.
+            let p0 = s0.first().map(|c| c.process);
+            let replacements: Vec<Vec<Candidate>> = b
+                .into_iter()
+                .filter(|s| s.first().map(|c| c.process) != p0 || p0.is_none())
+                .take(2)
+                .collect();
+            let mut engine = PrefixScan::new(&comp);
+            engine.push(s0.clone());
+            engine.push(s1);
+            engine.push(s2);
+            engine.truncate(1);
+            let mut fresh_slots = vec![s0];
+            for r in &replacements {
+                engine.push(r.clone());
+                fresh_slots.push(r.clone());
+            }
+            assert_eq!(
+                engine.solution(),
+                scan(&comp, &fresh_slots),
+                "round {round}: resumed prefix must match a fresh scan"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_prefix_skips_whole_subtree() {
+        // First clause has only an empty slot: the walker must reject
+        // without ever pushing the second clause's choices.
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        b.append(1);
+        let comp = b.build().unwrap();
+        let choices = vec![
+            vec![Vec::new(), Vec::new()],
+            vec![vec![cand(1, 0)], vec![cand(1, 1)]],
+        ];
+        let before = crate::counters::snapshot();
+        assert_eq!(scan_combinations_shared(&comp, 0, &choices), None);
+        let delta = crate::counters::snapshot().since(&before);
+        // 2 dead pushes of clause 0's empty slots; clause 1 never runs.
+        assert!(delta.scan_runs <= 4, "subtree not skipped: {delta:?}");
     }
 }

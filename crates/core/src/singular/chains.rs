@@ -4,9 +4,9 @@
 use gpd_computation::{BoolVariable, Computation, Cut};
 use gpd_order::{min_chain_cover, Dag};
 
-use crate::par::{map_indexed, search_combinations};
+use crate::par::map_indexed;
 use crate::predicate::SingularCnf;
-use crate::scan::{cut_through, scan, Candidate};
+use crate::scan::{cut_through, scan_combinations_shared, Candidate};
 use crate::singular::literal_states;
 
 /// Builds, for one clause, the minimum chain cover of its literal-true
@@ -140,15 +140,11 @@ pub fn possibly_singular_chains_par(
     let covers: Vec<Vec<Vec<Candidate>>> = map_indexed(threads, clauses.len(), |i| {
         clause_chains(comp, var, &clauses[i])
     });
-    let sizes: Vec<usize> = covers.iter().map(Vec::len).collect();
-    search_combinations(threads, &sizes, |choice| {
-        let slots: Vec<Vec<Candidate>> = covers
-            .iter()
-            .zip(choice)
-            .map(|(cover, &i)| cover[i].clone())
-            .collect();
-        scan(comp, &slots).map(|found| cut_through(comp, &found))
-    })
+    // Odometer walk with prefix-shared scan snapshots (see
+    // `crate::scan::PrefixScan`): combinations agreeing on their first j
+    // chain choices resume from the j-th checkpoint. An empty cover
+    // (clause with no true states) is a zero-sized dimension → `None`.
+    scan_combinations_shared(comp, threads, &covers).map(|found| cut_through(comp, &found))
 }
 
 #[cfg(test)]

@@ -27,7 +27,9 @@ mod subsets;
 
 pub use chains::{chain_cover_sizes, possibly_singular_chains, possibly_singular_chains_par};
 pub use ordered::{possibly_singular_ordered, NotOrderedError};
-pub use subsets::{possibly_singular_subsets, possibly_singular_subsets_par};
+pub use subsets::{
+    possibly_singular_subsets, possibly_singular_subsets_par, possibly_singular_subsets_reference,
+};
 
 use gpd_computation::{BoolVariable, Computation, Cut, ProcessId};
 

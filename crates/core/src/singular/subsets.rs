@@ -1,12 +1,33 @@
 //! The §3.3 process-subset algorithm: one CPDHB scan per choice of one
-//! literal per clause.
+//! literal per clause — with consecutive choices sharing scan prefixes.
 
 use gpd_computation::{BoolVariable, Computation, Cut};
 
 use crate::par::search_combinations;
 use crate::predicate::SingularCnf;
-use crate::scan::{cut_through, scan};
+use crate::scan::{cut_through, scan_combinations_shared, scan_restart, Candidate};
 use crate::singular::literal_states;
+
+/// Builds each clause's alternatives once: `choices[j][i]` is the state
+/// sequence of clause `j`'s `i`-th literal. The seed rebuilt these per
+/// combination; hoisting them is part of the prefix-sharing win.
+fn literal_choices(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+) -> Vec<Vec<Vec<Candidate>>> {
+    predicate
+        .clauses()
+        .iter()
+        .map(|clause| {
+            clause
+                .literals()
+                .iter()
+                .map(|&(p, positive)| literal_states(comp, var, p, positive))
+                .collect()
+        })
+        .collect()
+}
 
 /// Decides `Possibly(Φ)` for a singular CNF predicate by enumerating, for
 /// every clause, which of its literals will witness it, and running one
@@ -15,6 +36,17 @@ use crate::singular::literal_states;
 /// polynomial: for computations whose lattice is large this is already an
 /// exponential improvement over enumeration (the E5 experiment measures
 /// the gap).
+///
+/// Combinations are walked in odometer order through a snapshot stack
+/// ([`crate::scan`]'s `PrefixScan`): a combination sharing its first `j`
+/// clause choices with its predecessor resumes from the `j`-th scan
+/// checkpoint instead of rescanning, and a clause prefix whose scan runs
+/// dry prunes its whole subtree. By confluence of the scan's
+/// eliminations this returns the **same witness cut** as the seed's
+/// from-scratch walk (which [`possibly_singular_subsets_reference`]
+/// retains), just with ≥2× fewer `forces` evaluations on wide-clause
+/// workloads — `gpd detect --stats` and `BENCH_PR2.json` make the
+/// reduction visible.
 ///
 /// Returns the first witness cut found.
 ///
@@ -43,22 +75,38 @@ pub fn possibly_singular_subsets(
     possibly_singular_subsets_par(comp, var, predicate, 0)
 }
 
-/// [`possibly_singular_subsets`] with its `∏ᵢ kᵢ` independent scans
-/// fanned out over `threads` workers (`0`/`1` → the sequential walk;
-/// see [`crate::par`] for the scheduling and determinism contract).
-/// A witness found by any worker cancels the remaining scans.
+/// [`possibly_singular_subsets`] with its `∏ᵢ kᵢ` scans fanned out over
+/// `threads` workers (`0`/`1` → the sequential walk; see [`crate::par`]
+/// for the scheduling and determinism contract). Workers own contiguous
+/// odometer subranges with private snapshot stacks, so prefix sharing
+/// survives the split; a witness found by any worker cancels the rest.
 pub fn possibly_singular_subsets_par(
     comp: &Computation,
     var: &BoolVariable,
     predicate: &SingularCnf,
     threads: usize,
 ) -> Option<Cut> {
+    let choices = literal_choices(comp, var, predicate);
+    scan_combinations_shared(comp, threads, &choices).map(|found| cut_through(comp, &found))
+}
+
+/// The seed implementation of [`possibly_singular_subsets`], retained as
+/// the differential-testing oracle and bench baseline: every combination
+/// rebuilds its slots from scratch and runs the restart-loop scan. Same
+/// verdict and witness cut as the incremental walk, with none of the
+/// prefix sharing — the counter gap between the two is the speedup
+/// recorded in `BENCH_PR2.json`.
+pub fn possibly_singular_subsets_reference(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+) -> Option<Cut> {
     let sizes: Vec<usize> = predicate
         .clauses()
         .iter()
         .map(|c| c.literals().len())
         .collect();
-    search_combinations(threads, &sizes, |choice| {
+    search_combinations(0, &sizes, |choice| {
         let slots: Vec<_> = predicate
             .clauses()
             .iter()
@@ -68,7 +116,7 @@ pub fn possibly_singular_subsets_par(
                 literal_states(comp, var, p, positive)
             })
             .collect();
-        scan(comp, &slots).map(|found| cut_through(comp, &found))
+        scan_restart(comp, &slots).map(|found| cut_through(comp, &found))
     })
 }
 
@@ -123,6 +171,24 @@ mod tests {
     }
 
     #[test]
+    fn matches_the_reference_witness_byte_for_byte() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+        for round in 0..120 {
+            let n = rng.gen_range(2..7);
+            let m = rng.gen_range(1..5);
+            let msgs = rng.gen_range(0..2 * n);
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.35);
+            let phi = random_predicate(&mut rng, n);
+            assert_eq!(
+                possibly_singular_subsets(&comp, &x, &phi),
+                possibly_singular_subsets_reference(&comp, &x, &phi),
+                "round {round}: {phi:?}"
+            );
+        }
+    }
+
+    #[test]
     fn unsatisfiable_when_no_literal_state_exists() {
         let mut b = gpd_computation::ComputationBuilder::new(2);
         b.append(0);
@@ -133,6 +199,7 @@ mod tests {
             (1.into(), true),
         ])]);
         assert_eq!(possibly_singular_subsets(&comp, &x, &phi), None);
+        assert_eq!(possibly_singular_subsets_reference(&comp, &x, &phi), None);
     }
 
     #[test]
@@ -141,5 +208,6 @@ mod tests {
         let x = BoolVariable::new(&comp, vec![vec![false]]);
         let phi = SingularCnf::new(vec![]);
         assert!(possibly_singular_subsets(&comp, &x, &phi).is_some());
+        assert!(possibly_singular_subsets_reference(&comp, &x, &phi).is_some());
     }
 }

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/gpd-242b97ab229987f0.d: crates/core/src/lib.rs crates/core/src/conjunctive.rs crates/core/src/conjunctive_definitely.rs crates/core/src/enumerate.rs crates/core/src/hardness/mod.rs crates/core/src/hardness/sat.rs crates/core/src/hardness/subset_sum.rs crates/core/src/linear.rs crates/core/src/online.rs crates/core/src/par.rs crates/core/src/predicate.rs crates/core/src/relational/mod.rs crates/core/src/relational/definitely.rs crates/core/src/relational/exact.rs crates/core/src/relational/optimize.rs crates/core/src/scan.rs crates/core/src/singular/mod.rs crates/core/src/singular/chains.rs crates/core/src/singular/ordered.rs crates/core/src/singular/subsets.rs crates/core/src/stable.rs crates/core/src/symmetric.rs
+/root/repo/target/debug/deps/gpd-242b97ab229987f0.d: crates/core/src/lib.rs crates/core/src/conjunctive.rs crates/core/src/conjunctive_definitely.rs crates/core/src/counters.rs crates/core/src/enumerate.rs crates/core/src/hardness/mod.rs crates/core/src/hardness/sat.rs crates/core/src/hardness/subset_sum.rs crates/core/src/linear.rs crates/core/src/online.rs crates/core/src/par.rs crates/core/src/predicate.rs crates/core/src/relational/mod.rs crates/core/src/relational/definitely.rs crates/core/src/relational/exact.rs crates/core/src/relational/optimize.rs crates/core/src/scan.rs crates/core/src/singular/mod.rs crates/core/src/singular/chains.rs crates/core/src/singular/ordered.rs crates/core/src/singular/subsets.rs crates/core/src/stable.rs crates/core/src/symmetric.rs
 
-/root/repo/target/debug/deps/gpd-242b97ab229987f0: crates/core/src/lib.rs crates/core/src/conjunctive.rs crates/core/src/conjunctive_definitely.rs crates/core/src/enumerate.rs crates/core/src/hardness/mod.rs crates/core/src/hardness/sat.rs crates/core/src/hardness/subset_sum.rs crates/core/src/linear.rs crates/core/src/online.rs crates/core/src/par.rs crates/core/src/predicate.rs crates/core/src/relational/mod.rs crates/core/src/relational/definitely.rs crates/core/src/relational/exact.rs crates/core/src/relational/optimize.rs crates/core/src/scan.rs crates/core/src/singular/mod.rs crates/core/src/singular/chains.rs crates/core/src/singular/ordered.rs crates/core/src/singular/subsets.rs crates/core/src/stable.rs crates/core/src/symmetric.rs
+/root/repo/target/debug/deps/gpd-242b97ab229987f0: crates/core/src/lib.rs crates/core/src/conjunctive.rs crates/core/src/conjunctive_definitely.rs crates/core/src/counters.rs crates/core/src/enumerate.rs crates/core/src/hardness/mod.rs crates/core/src/hardness/sat.rs crates/core/src/hardness/subset_sum.rs crates/core/src/linear.rs crates/core/src/online.rs crates/core/src/par.rs crates/core/src/predicate.rs crates/core/src/relational/mod.rs crates/core/src/relational/definitely.rs crates/core/src/relational/exact.rs crates/core/src/relational/optimize.rs crates/core/src/scan.rs crates/core/src/singular/mod.rs crates/core/src/singular/chains.rs crates/core/src/singular/ordered.rs crates/core/src/singular/subsets.rs crates/core/src/stable.rs crates/core/src/symmetric.rs
 
 crates/core/src/lib.rs:
 crates/core/src/conjunctive.rs:
 crates/core/src/conjunctive_definitely.rs:
+crates/core/src/counters.rs:
 crates/core/src/enumerate.rs:
 crates/core/src/hardness/mod.rs:
 crates/core/src/hardness/sat.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/gpd_computation-6c91ee0610ac8198.d: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs
+/root/repo/target/debug/deps/gpd_computation-6c91ee0610ac8198.d: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/packed.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs
 
-/root/repo/target/debug/deps/libgpd_computation-6c91ee0610ac8198.rlib: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs
+/root/repo/target/debug/deps/libgpd_computation-6c91ee0610ac8198.rlib: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/packed.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs
 
-/root/repo/target/debug/deps/libgpd_computation-6c91ee0610ac8198.rmeta: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs
+/root/repo/target/debug/deps/libgpd_computation-6c91ee0610ac8198.rmeta: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/packed.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs
 
 crates/computation/src/lib.rs:
 crates/computation/src/builder.rs:
@@ -14,6 +14,7 @@ crates/computation/src/fixtures.rs:
 crates/computation/src/gen.rs:
 crates/computation/src/groups.rs:
 crates/computation/src/lattice.rs:
+crates/computation/src/packed.rs:
 crates/computation/src/stats.rs:
 crates/computation/src/trace.rs:
 crates/computation/src/variables.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/gpd_computation-78a1916173abedae.d: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs Cargo.toml
+/root/repo/target/debug/deps/gpd_computation-78a1916173abedae.d: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/packed.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs Cargo.toml
 
-/root/repo/target/debug/deps/libgpd_computation-78a1916173abedae.rmeta: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs Cargo.toml
+/root/repo/target/debug/deps/libgpd_computation-78a1916173abedae.rmeta: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/packed.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs Cargo.toml
 
 crates/computation/src/lib.rs:
 crates/computation/src/builder.rs:
@@ -12,6 +12,7 @@ crates/computation/src/fixtures.rs:
 crates/computation/src/gen.rs:
 crates/computation/src/groups.rs:
 crates/computation/src/lattice.rs:
+crates/computation/src/packed.rs:
 crates/computation/src/stats.rs:
 crates/computation/src/trace.rs:
 crates/computation/src/variables.rs:

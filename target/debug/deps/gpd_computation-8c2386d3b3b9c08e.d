@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/gpd_computation-8c2386d3b3b9c08e.d: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs
+/root/repo/target/debug/deps/gpd_computation-8c2386d3b3b9c08e.d: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/packed.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs
 
-/root/repo/target/debug/deps/gpd_computation-8c2386d3b3b9c08e: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs
+/root/repo/target/debug/deps/gpd_computation-8c2386d3b3b9c08e: crates/computation/src/lib.rs crates/computation/src/builder.rs crates/computation/src/computation.rs crates/computation/src/cut.rs crates/computation/src/dot.rs crates/computation/src/event.rs crates/computation/src/fixtures.rs crates/computation/src/gen.rs crates/computation/src/groups.rs crates/computation/src/lattice.rs crates/computation/src/packed.rs crates/computation/src/stats.rs crates/computation/src/trace.rs crates/computation/src/variables.rs crates/computation/src/vclock.rs
 
 crates/computation/src/lib.rs:
 crates/computation/src/builder.rs:
@@ -12,6 +12,7 @@ crates/computation/src/fixtures.rs:
 crates/computation/src/gen.rs:
 crates/computation/src/groups.rs:
 crates/computation/src/lattice.rs:
+crates/computation/src/packed.rs:
 crates/computation/src/stats.rs:
 crates/computation/src/trace.rs:
 crates/computation/src/variables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scan_equivalence-53e6a2549a357ae3.d: crates/core/../../tests/scan_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscan_equivalence-53e6a2549a357ae3.rmeta: crates/core/../../tests/scan_equivalence.rs Cargo.toml
+
+crates/core/../../tests/scan_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scan_equivalence-99441b4398ad83e0.d: crates/core/../../tests/scan_equivalence.rs
+
+/root/repo/target/debug/deps/scan_equivalence-99441b4398ad83e0: crates/core/../../tests/scan_equivalence.rs
+
+crates/core/../../tests/scan_equivalence.rs:
