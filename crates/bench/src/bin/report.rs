@@ -5,12 +5,16 @@
 //!
 //! Flags:
 //!
-//! * `--json PATH` — also write the incremental-scan comparison
-//!   (`BENCH_PR2.json`): per-workload median ns and scan-work counters
-//!   for the restart-loop reference vs the incremental engine.
+//! * `--json PATH` — also write the comparison report (`BENCH_PR3.json`):
+//!   the incremental-scan comparison (restart-loop reference vs the
+//!   incremental engine, per-workload median ns and scan-work counters)
+//!   plus the flat-kernel comparison (PR 2 nested-vector layout vs the
+//!   CSR + row-major clock-matrix kernel, with kernel counters).
 //! * `--quick` — CI smoke mode: skip the slow E1–E8 sweep, run the
-//!   comparison on downsized workloads, and keep the counter-ratio
-//!   assertions (which are size-independent facts about the algorithms).
+//!   comparisons on downsized workloads, and keep the counter-ratio and
+//!   result-identity assertions (which are size-independent facts about
+//!   the algorithms); the ≥1.3× flat-kernel speedup floor is asserted
+//!   only in full mode, where the workloads are large enough to measure.
 
 use std::time::{Duration, Instant};
 
@@ -18,20 +22,20 @@ use gpd::conjunctive::possibly_conjunctive;
 use gpd::counters;
 use gpd::enumerate::possibly_by_enumeration;
 use gpd::hardness::{brute_force_subset_sum, reduce_sat, reduce_subset_sum};
-use gpd::relational::{
-    definitely_exact_sum, max_sum_cut, min_sum_cut, possibly_exact_sum, possibly_sum,
-};
+use gpd::relational::{definitely_exact_sum, possibly_exact_sum, possibly_sum, sum_extremes};
 use gpd::singular::{
     chain_cover_sizes, possibly_singular_chains, possibly_singular_ordered,
     possibly_singular_subsets, possibly_singular_subsets_par, possibly_singular_subsets_reference,
 };
 use gpd::symmetric::{possibly_symmetric, SymmetricPredicate};
 use gpd::Relop;
+use gpd_bench::legacy::LegacyComputation;
 use gpd_bench::{
     boolean_workload, hard_formula, ordered_singular_workload, sat_gadget, singular_workload,
-    standard_computation, subset_sum_instance, unit_sum_workload, wide_unsat_singular_workload,
+    standard_computation, subset_sum_instance, unit_sum_workload, unsat_singular_workload,
+    wide_unsat_singular_workload,
 };
-use gpd_computation::ProcessId;
+use gpd_computation::{fnv1a, ProcessId};
 use gpd_sat::solve;
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
@@ -71,7 +75,15 @@ fn main() {
         e7();
         e8();
     }
-    incremental_scan_comparison(quick, json_path.as_deref());
+    let scan_section = incremental_scan_comparison(quick);
+    let kernel_section = flat_kernel_comparison(quick);
+    if let Some(path) = json_path.as_deref() {
+        let json = format!(
+            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR3.json\",\n  \"quick\": {quick},\n  \"incremental_scan\": [\n{scan_section}\n  ],\n  \"flat_kernel\": [\n{kernel_section}\n  ]\n}}\n",
+        );
+        std::fs::write(path, json).expect("write json report");
+        println!("Wrote {path}.\n");
+    }
 }
 
 /// One side of the incremental-vs-reference comparison: median wall time
@@ -106,7 +118,7 @@ fn json_side(m: &Measured) -> String {
 /// workloads. Counter deltas are the load-bearing numbers (wall clock on
 /// a loaded host is noise); the wide unsatisfiable workloads must show
 /// the incremental engine doing **at most half** the `forces` work.
-fn incremental_scan_comparison(quick: bool, json_path: Option<&str>) {
+fn incremental_scan_comparison(quick: bool) -> String {
     println!("## Incremental scan vs restart reference (E5 workloads)\n");
     println!("| workload | verdict | reference forces | incremental forces | ratio | reference median | incremental median |");
     println!("|---|---|---|---|---|---|---|");
@@ -195,15 +207,156 @@ fn incremental_scan_comparison(quick: bool, json_path: Option<&str>) {
         ));
     }
     println!();
+    entries.join(",\n")
+}
 
-    if let Some(path) = json_path {
-        let json = format!(
-            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR2.json\",\n  \"quick\": {quick},\n  \"workloads\": [\n{}\n  ]\n}}\n",
-            entries.join(",\n")
-        );
-        std::fs::write(path, json).expect("write json report");
-        println!("Wrote {path}.\n");
+/// The PR 3 measurement: the PR 2 nested-vector layout (replicated in
+/// `gpd_bench::legacy`) vs the flat CSR + row-major clock-matrix kernel,
+/// on enumeration-heavy workloads where successor generation and
+/// frontier-dominance checks dominate. Results must be identical — same
+/// cut sequence digest for sweeps, byte-identical first witnesses for
+/// detections — and in full mode the e2 sweep and the E5 unsat row must
+/// show at least the 1.3× median speedup the flat layout is for.
+fn flat_kernel_comparison(quick: bool) -> String {
+    println!("## Flat kernel vs PR 2 layout (lattice workloads)\n");
+    println!("| workload | result | legacy median | flat median | speedup | flat row reads | cut-succ allocs |");
+    println!("|---|---|---|---|---|---|---|");
+
+    fn measure_ns<T>(reps: usize, f: impl Fn() -> T) -> (T, u128) {
+        let result = f();
+        let mut times: Vec<u128> = (0..reps).map(|_| time(&f).1.as_nanos()).collect();
+        times.sort_unstable();
+        (result, times[times.len() / 2])
     }
+
+    /// Order-sensitive digest of a cut sequence: count + FNV-1a over
+    /// every yielded frontier word.
+    fn sweep_digest<'a>(cuts: impl Iterator<Item = gpd_computation::Cut> + 'a) -> (usize, u64) {
+        let mut count = 0usize;
+        let hash = fnv1a(cuts.flat_map(|c| {
+            count += 1;
+            c.frontier().iter().map(|&x| x as u64).collect::<Vec<u64>>()
+        }));
+        (count, hash)
+    }
+
+    struct Row {
+        name: &'static str,
+        result: String,
+        legacy_ns: u128,
+        flat_ns: u128,
+        work: gpd_computation::KernelCounters,
+        /// Full-mode speedup floor (the acceptance criterion's 1.3×).
+        floor: Option<f64>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let reps = if quick { 3 } else { 5 };
+
+    // e2 lattice sweep: count + digest over the yielded frontier sequence.
+    let (n, m) = if quick { (4usize, 5usize) } else { (6, 6) };
+    let comp = standard_computation(20 + n as u64, n, m);
+    let legacy = LegacyComputation::replicate(&comp);
+    let (old_digest, legacy_ns) = measure_ns(reps, || sweep_digest(legacy.consistent_cuts()));
+    let before = gpd_computation::kernel_counters();
+    let (new_digest, flat_ns) = measure_ns(reps, || sweep_digest(comp.consistent_cuts()));
+    let work = gpd_computation::kernel_counters().since(&before);
+    assert_eq!(old_digest, new_digest, "e2 sweep: digest mismatch");
+    rows.push(Row {
+        name: "e2_lattice_sweep",
+        result: format!("{} cuts", new_digest.0),
+        legacy_ns,
+        flat_ns,
+        work,
+        floor: (!quick).then_some(1.3),
+    });
+
+    // E5 general-case rows: the unsatisfiable sweep (full lattice, no
+    // lucky witness) and a satisfiable first-witness search.
+    let pad = if quick { 8 } else { 24 };
+    let (ucomp, uvar, uphi) = unsat_singular_workload(pad);
+    let ulegacy = LegacyComputation::replicate(&ucomp);
+    let (old_w, legacy_ns) = measure_ns(reps, || {
+        ulegacy.possibly_by_enumeration(|c| uphi.eval(&uvar, c))
+    });
+    let before = gpd_computation::kernel_counters();
+    let (new_w, flat_ns) = measure_ns(reps, || {
+        possibly_by_enumeration(&ucomp, |c| uphi.eval(&uvar, c))
+    });
+    let work = gpd_computation::kernel_counters().since(&before);
+    assert_eq!(old_w, new_w, "e5 unsat: verdict mismatch");
+    assert!(new_w.is_none());
+    rows.push(Row {
+        name: "e5_unsat_enumeration",
+        result: "unsat".into(),
+        legacy_ns,
+        flat_ns,
+        work,
+        floor: (!quick).then_some(1.3),
+    });
+
+    let (scomp, svar, sphi) = if quick {
+        singular_workload(5, 2, 3, 8, 0.3)
+    } else {
+        singular_workload(5, 3, 3, 12, 0.3)
+    };
+    let slegacy = LegacyComputation::replicate(&scomp);
+    let (old_w, legacy_ns) = measure_ns(reps, || {
+        slegacy.possibly_by_enumeration(|c| sphi.eval(&svar, c))
+    });
+    let before = gpd_computation::kernel_counters();
+    let (new_w, flat_ns) = measure_ns(reps, || {
+        possibly_by_enumeration(&scomp, |c| sphi.eval(&svar, c))
+    });
+    let work = gpd_computation::kernel_counters().since(&before);
+    // Byte-identical witness cut, not just a matching verdict.
+    assert_eq!(old_w, new_w, "e5 sat: witness mismatch");
+    rows.push(Row {
+        name: "e5_sat_first_witness",
+        result: if new_w.is_some() { "sat" } else { "unsat" }.into(),
+        legacy_ns,
+        flat_ns,
+        work,
+        floor: None,
+    });
+
+    let mut entries = Vec::new();
+    for r in &rows {
+        let speedup = r.legacy_ns as f64 / (r.flat_ns.max(1)) as f64;
+        if let Some(floor) = r.floor {
+            assert!(
+                speedup >= floor,
+                "{}: expected ≥{floor}× flat-kernel speedup, got {speedup:.2}×",
+                r.name
+            );
+        }
+        // The flat sweeps must never fall back to owned clock rows.
+        assert_eq!(
+            r.work.vclock_allocs, 0,
+            "{}: owned VectorClock allocated",
+            r.name
+        );
+        println!(
+            "| {} | {} | {} | {} | {speedup:.2}× | {} | {} |",
+            r.name,
+            r.result,
+            us(Duration::from_nanos(r.legacy_ns as u64)),
+            us(Duration::from_nanos(r.flat_ns as u64)),
+            r.work.clock_row_reads,
+            r.work.cut_successor_allocs,
+        );
+        entries.push(format!(
+            "    {{\n      \"workload\": \"{}\", \"result\": \"{}\", \"identical\": true,\n      \"legacy\": {{\"median_ns\": {}}},\n      \"flat\": {{\"median_ns\": {}, \"clock_row_reads\": {}, \"cut_successor_allocs\": {}, \"vclock_allocs\": {}}},\n      \"speedup\": {speedup:.4}\n    }}",
+            r.name,
+            r.result,
+            r.legacy_ns,
+            r.flat_ns,
+            r.work.clock_row_reads,
+            r.work.cut_successor_allocs,
+            r.work.vclock_allocs,
+        ));
+    }
+    println!();
+    entries.join(",\n")
 }
 
 fn e1() {
@@ -413,10 +566,9 @@ fn e6() {
         let gadget = reduce_subset_sum(&sizes, target);
         let (exact, t_exact) = time(|| brute_force_subset_sum(&sizes, target).is_some());
         let (bounds, t_flow) = time(|| {
-            (
-                min_sum_cut(&gadget.computation, &gadget.variable).0,
-                max_sum_cut(&gadget.computation, &gadget.variable).0,
-            )
+            // One shared flow network for both extremes (PR 3).
+            let ((min, _), (max, _)) = sum_extremes(&gadget.computation, &gadget.variable);
+            (min, max)
         });
         // Exact detection on the gadget (only at small n — it *is* 2^n).
         let agree = if n <= 14 {

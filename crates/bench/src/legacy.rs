@@ -1,0 +1,141 @@
+//! A replica of the pre-flat-kernel (PR 2) storage layout, kept as the
+//! measured baseline for the flat-kernel comparison in `report`.
+//!
+//! The old `Computation` stored one heap-allocated vector clock per event
+//! (`Vec<VectorClock>`), per-process event lists as `Vec<Vec<EventId>>`,
+//! and allocated a fresh `Vec<Cut>` for every lattice expansion. The
+//! methods below reproduce that layout and the exact short-circuiting
+//! loops the old kernels compiled to, so `report` can measure the same
+//! sweep on both layouts over identical inputs. The BFS replica yields
+//! cuts in the same order as [`gpd_computation::CutIter`], which is what
+//! makes first-witness comparisons byte-identical.
+
+use std::collections::{HashSet, VecDeque};
+
+use gpd_computation::{Computation, Cut, FrontierPacker, PackedFrontier};
+
+/// The PR 2 storage layout: nested heap vectors instead of CSR rows and a
+/// flat clock matrix.
+pub struct LegacyComputation {
+    process_count: usize,
+    /// `proc_events[p][i]` — index of the `i`-th event on process `p`.
+    proc_events: Vec<Vec<usize>>,
+    /// One independently heap-allocated clock row per event, as the old
+    /// `Vec<VectorClock>` held them.
+    clocks: Vec<Vec<u32>>,
+    packer: FrontierPacker,
+}
+
+impl LegacyComputation {
+    /// Copies `comp` into the old layout.
+    pub fn replicate(comp: &Computation) -> Self {
+        let clocks = comp
+            .events()
+            .map(|e| comp.clock(e).as_slice().to_vec())
+            .collect();
+        let proc_events = (0..comp.process_count())
+            .map(|p| comp.events_of(p).iter().map(|e| e.index()).collect())
+            .collect();
+        LegacyComputation {
+            process_count: comp.process_count(),
+            proc_events,
+            clocks,
+            packer: FrontierPacker::new(comp),
+        }
+    }
+
+    /// The empty cut.
+    pub fn initial_cut(&self) -> Cut {
+        Cut::from_frontier(vec![0; self.process_count])
+    }
+
+    /// Verbatim PR 2 successor generation: per-process short-circuiting
+    /// clock scan through the nested vectors, one fresh `Vec<Cut>` per
+    /// call.
+    pub fn cut_successors(&self, cut: &Cut) -> Vec<Cut> {
+        let mut out = Vec::new();
+        for p in 0..self.process_count {
+            let f = cut.frontier()[p];
+            if (f as usize) < self.proc_events[p].len() {
+                let e = self.proc_events[p][f as usize];
+                let vc = &self.clocks[e];
+                let enabled = (0..self.process_count).all(|q| q == p || vc[q] <= cut.frontier()[q]);
+                if enabled {
+                    let mut next = cut.frontier().to_vec();
+                    next[p] += 1;
+                    out.push(Cut::from_frontier(next));
+                }
+            }
+        }
+        out
+    }
+
+    /// Verbatim PR 2 lattice BFS: packed visited keys, but every
+    /// successor allocated before the visited-set probe.
+    pub fn consistent_cuts(&self) -> LegacyCutIter<'_> {
+        let initial = self.initial_cut();
+        let mut seen = HashSet::new();
+        seen.insert(self.packer.pack_cut(&initial));
+        LegacyCutIter {
+            comp: self,
+            queue: VecDeque::from([initial]),
+            seen,
+        }
+    }
+
+    /// PR 2's sequential enumeration detector: first cut of the BFS sweep
+    /// satisfying `predicate`.
+    pub fn possibly_by_enumeration(&self, mut predicate: impl FnMut(&Cut) -> bool) -> Option<Cut> {
+        self.consistent_cuts().find(|cut| predicate(cut))
+    }
+}
+
+/// Breadth-first lattice sweep over the legacy layout.
+pub struct LegacyCutIter<'a> {
+    comp: &'a LegacyComputation,
+    queue: VecDeque<Cut>,
+    seen: HashSet<PackedFrontier>,
+}
+
+impl Iterator for LegacyCutIter<'_> {
+    type Item = Cut;
+
+    fn next(&mut self) -> Option<Cut> {
+        let cut = self.queue.pop_front()?;
+        for next in self.comp.cut_successors(&cut) {
+            if self.seen.insert(self.comp.packer.pack_cut(&next)) {
+                self.queue.push_back(next);
+            }
+        }
+        Some(cut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpd_computation::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn legacy_sweep_matches_flat_sweep_cut_for_cut() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for _ in 0..15 {
+            let comp = gen::random_computation(&mut rng, 4, 4, 5);
+            let legacy = LegacyComputation::replicate(&comp);
+            let old: Vec<Cut> = legacy.consistent_cuts().collect();
+            let new: Vec<Cut> = comp.consistent_cuts().collect();
+            assert_eq!(old, new, "BFS order must be identical across layouts");
+        }
+    }
+
+    #[test]
+    fn legacy_successors_match_flat_successors() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let comp = gen::random_computation(&mut rng, 5, 5, 8);
+        let legacy = LegacyComputation::replicate(&comp);
+        for cut in comp.consistent_cuts() {
+            assert_eq!(legacy.cut_successors(&cut), comp.cut_successors(&cut));
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //! inputs here so the workloads are identical and reproducible — all
 //! generators are seeded.
 
+pub mod legacy;
+
 use gpd::hardness::{reduce_sat, SatReduction};
 use gpd::{CnfClause, SingularCnf};
 use gpd_computation::{gen, BoolVariable, Computation, IntVariable, ProcessId};

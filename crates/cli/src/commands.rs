@@ -502,6 +502,10 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
             "scan stats: {} scan runs, {} pair checks, {} forces evaluations\n",
             work.scan_runs, work.pair_checks, work.forces_evals
         ));
+        out.push_str(&format!(
+            "kernel stats: {} clock-row reads, {} cut-successor allocations, {} vector-clock allocations\n",
+            work.clock_row_reads, work.cut_successor_allocs, work.vclock_allocs
+        ));
     }
     Ok(out)
 }
@@ -661,9 +665,19 @@ mod tests {
             .unwrap_or_else(|| panic!("no stats line in {out:?}"));
         assert!(stats_line.contains("scan runs"), "{stats_line}");
         assert!(stats_line.contains("forces evaluations"), "{stats_line}");
-        // Without the flag the line is absent.
+        let kernel_line = out
+            .lines()
+            .find(|l| l.starts_with("kernel stats:"))
+            .unwrap_or_else(|| panic!("no kernel stats line in {out:?}"));
+        assert!(kernel_line.contains("clock-row reads"), "{kernel_line}");
+        assert!(
+            kernel_line.contains("0 vector-clock allocations"),
+            "the flat kernel must answer detection without owned clocks: {kernel_line}"
+        );
+        // Without the flag the lines are absent.
         let out = detect(&args(&[&path, "--pred", pred])).unwrap();
         assert!(!out.contains("scan stats:"), "{out}");
+        assert!(!out.contains("kernel stats:"), "{out}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -4,7 +4,6 @@ use gpd_order::Dag;
 
 use crate::computation::Computation;
 use crate::event::{EventId, EventKind, ProcessId};
-use crate::vclock::VectorClock;
 
 /// Error produced while building a computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -138,7 +137,9 @@ impl ComputationBuilder {
     }
 
     /// Finalizes the computation: checks acyclicity and computes
-    /// Fidge–Mattern vector clocks for every event.
+    /// Fidge–Mattern vector clocks for every event, filled directly into
+    /// the flat row-major clock matrix — no per-event `VectorClock`
+    /// allocation (the kernel counters can verify this).
     ///
     /// # Errors
     ///
@@ -159,32 +160,31 @@ impl ComputationBuilder {
 
         let n = self.proc_events.len();
         let mut msg_preds: Vec<Vec<EventId>> = vec![Vec::new(); event_count];
-        let mut msg_succs: Vec<Vec<EventId>> = vec![Vec::new(); event_count];
         for &(s, r) in &self.messages {
             msg_preds[r.index()].push(s);
-            msg_succs[s.index()].push(r);
         }
 
-        let mut clocks: Vec<VectorClock> = vec![VectorClock::zero(n); event_count];
+        // Row e of the matrix is vc(e). Topological order guarantees
+        // every predecessor row is final before it is merged, so each
+        // row is one copy_within + a max-merge per message predecessor.
+        let mut matrix = vec![0u32; event_count * n];
         for &e in &order {
             let p = self.event_proc[e].index();
             let local = self.event_local[e];
-            let mut clock = if local > 1 {
-                clocks[self.proc_events[p][local as usize - 2].index()].clone()
-            } else {
-                VectorClock::zero(n)
-            };
-            // Clone sender clocks first to appease the borrow checker;
-            // fan-in is small in practice.
-            let preds: Vec<VectorClock> = msg_preds[e]
-                .iter()
-                .map(|s| clocks[s.index()].clone())
-                .collect();
-            for pc in &preds {
-                clock.merge(pc);
+            let row = e * n;
+            if local > 1 {
+                let prev = self.proc_events[p][local as usize - 2].index() * n;
+                matrix.copy_within(prev..prev + n, row);
             }
-            clock.set(p, local);
-            clocks[e] = clock;
+            for s in &msg_preds[e] {
+                let pred = s.index() * n;
+                for q in 0..n {
+                    if matrix[pred + q] > matrix[row + q] {
+                        matrix[row + q] = matrix[pred + q];
+                    }
+                }
+            }
+            matrix[row + p] = local;
         }
 
         Ok(Computation::from_parts(
@@ -193,9 +193,7 @@ impl ComputationBuilder {
             self.event_local,
             self.kinds,
             self.messages,
-            msg_preds,
-            msg_succs,
-            clocks,
+            matrix,
         ))
     }
 }

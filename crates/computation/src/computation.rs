@@ -1,9 +1,26 @@
 //! The computation type: an event poset with order queries.
+//!
+//! Storage is a *flat causality kernel*: all per-event data lives in
+//! contiguous boxed slices instead of nested `Vec`s —
+//!
+//! * a row-major clock matrix (`event_count × process_count` `u32`s,
+//!   row `e` = `vc(e)`), so order queries stream one cache-resident row
+//!   instead of chasing a `Vec<VectorClock>` pointer per event;
+//! * CSR (offset + flat array) adjacency for the per-process event
+//!   sequences and the message predecessor/successor lists;
+//! * branch-free word-parallel row kernels (see `kernel`) for the hot
+//!   predicates: frontier dominance, enablement, and `Cut::leq`.
+//!
+//! The public API is unchanged from the nested layout except that
+//! [`Computation::clock`] returns a borrowing [`ClockRef`] view rather
+//! than `&VectorClock` — no owned clock exists to reference.
 
+use crate::counters;
 use crate::cut::Cut;
 use crate::event::{EventId, EventKind, ProcessId};
+use crate::kernel;
 use crate::lattice::CutIter;
-use crate::vclock::VectorClock;
+use crate::vclock::ClockRef;
 
 /// A distributed computation: a finite set of events, totally ordered
 /// within each process and partially ordered across processes by message
@@ -11,7 +28,8 @@ use crate::vclock::VectorClock;
 ///
 /// Constructed with [`ComputationBuilder`](crate::ComputationBuilder);
 /// immutable afterwards. All order queries are answered from precomputed
-/// Fidge–Mattern vector clocks in O(1) or O(n).
+/// Fidge–Mattern vector clocks in O(1) or O(n), read straight out of a
+/// flat row-major clock matrix.
 ///
 /// # Example
 ///
@@ -27,43 +45,82 @@ use crate::vclock::VectorClock;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Computation {
-    proc_events: Vec<Vec<EventId>>,
-    event_proc: Vec<ProcessId>,
-    event_local: Vec<u32>,
-    kinds: Vec<EventKind>,
-    messages: Vec<(EventId, EventId)>,
-    msg_preds: Vec<Vec<EventId>>,
-    msg_succs: Vec<Vec<EventId>>,
-    clocks: Vec<VectorClock>,
+    process_count: usize,
+    /// CSR offsets into `proc_flat`: process `p`'s events occupy
+    /// `proc_flat[proc_off[p] .. proc_off[p + 1]]` in program order.
+    proc_off: Box<[u32]>,
+    proc_flat: Box<[EventId]>,
+    event_proc: Box<[ProcessId]>,
+    event_local: Box<[u32]>,
+    kinds: Box<[EventKind]>,
+    messages: Box<[(EventId, EventId)]>,
+    /// CSR offsets/arrays for message adjacency: event `e`'s message
+    /// predecessors occupy `pred_flat[pred_off[e] .. pred_off[e + 1]]`.
+    pred_off: Box<[u32]>,
+    pred_flat: Box<[EventId]>,
+    succ_off: Box<[u32]>,
+    succ_flat: Box<[EventId]>,
+    /// Row-major clock matrix: `vc(e)[q] = clock_matrix[e·n + q]`.
+    clock_matrix: Box<[u32]>,
+}
+
+/// Converts per-key lists into a CSR (offsets + flat array) pair.
+fn csr_from_lists(lists: &[Vec<EventId>]) -> (Box<[u32]>, Box<[EventId]>) {
+    let mut off = Vec::with_capacity(lists.len() + 1);
+    let mut total = 0u32;
+    off.push(0);
+    for list in lists {
+        total += u32::try_from(list.len()).expect("event count fits in u32");
+        off.push(total);
+    }
+    let mut flat = Vec::with_capacity(total as usize);
+    for list in lists {
+        flat.extend_from_slice(list);
+    }
+    (off.into_boxed_slice(), flat.into_boxed_slice())
 }
 
 impl Computation {
-    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         proc_events: Vec<Vec<EventId>>,
         event_proc: Vec<ProcessId>,
         event_local: Vec<u32>,
         kinds: Vec<EventKind>,
         messages: Vec<(EventId, EventId)>,
-        msg_preds: Vec<Vec<EventId>>,
-        msg_succs: Vec<Vec<EventId>>,
-        clocks: Vec<VectorClock>,
+        clock_matrix: Vec<u32>,
     ) -> Self {
+        let process_count = proc_events.len();
+        let event_count = event_proc.len();
+        debug_assert_eq!(clock_matrix.len(), event_count * process_count);
+        let (proc_off, proc_flat) = csr_from_lists(&proc_events);
+        // Message adjacency CSR via counting sort over the edge list.
+        let mut pred_lists = vec![Vec::new(); event_count];
+        let mut succ_lists = vec![Vec::new(); event_count];
+        for &(s, r) in &messages {
+            pred_lists[r.index()].push(s);
+            succ_lists[s.index()].push(r);
+        }
+        let (pred_off, pred_flat) = csr_from_lists(&pred_lists);
+        let (succ_off, succ_flat) = csr_from_lists(&succ_lists);
         Computation {
-            proc_events,
-            event_proc,
-            event_local,
-            kinds,
-            messages,
-            msg_preds,
-            msg_succs,
-            clocks,
+            process_count,
+            proc_off,
+            proc_flat,
+            event_proc: event_proc.into_boxed_slice(),
+            event_local: event_local.into_boxed_slice(),
+            kinds: kinds.into_boxed_slice(),
+            messages: messages.into_boxed_slice(),
+            pred_off,
+            pred_flat,
+            succ_off,
+            succ_flat,
+            clock_matrix: clock_matrix.into_boxed_slice(),
         }
     }
 
     /// The number of processes.
     pub fn process_count(&self) -> usize {
-        self.proc_events.len()
+        self.process_count
     }
 
     /// The total number of (non-initial) events.
@@ -77,12 +134,15 @@ impl Computation {
     ///
     /// Panics if the process is out of range.
     pub fn events_on(&self, process: impl Into<ProcessId>) -> usize {
-        self.proc_events[process.into().index()].len()
+        let p = process.into().index();
+        (self.proc_off[p + 1] - self.proc_off[p]) as usize
     }
 
-    /// The events of `process` in program order.
+    /// The events of `process` in program order (a slice of the CSR
+    /// event array).
     pub fn events_of(&self, process: impl Into<ProcessId>) -> &[EventId] {
-        &self.proc_events[process.into().index()]
+        let p = process.into().index();
+        &self.proc_flat[self.proc_off[p] as usize..self.proc_off[p + 1] as usize]
     }
 
     /// Iterates over all events in id order.
@@ -106,9 +166,7 @@ impl Computation {
         if local == 0 {
             return None;
         }
-        self.proc_events[process.into().index()]
-            .get(local as usize - 1)
-            .copied()
+        self.events_of(process).get(local as usize - 1).copied()
     }
 
     /// The send/receive/internal kind of an event.
@@ -123,17 +181,39 @@ impl Computation {
 
     /// The send events whose messages `e` receives.
     pub fn message_predecessors(&self, e: EventId) -> &[EventId] {
-        &self.msg_preds[e.index()]
+        let i = e.index();
+        &self.pred_flat[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
     }
 
     /// The receive events of the messages `e` sends.
     pub fn message_successors(&self, e: EventId) -> &[EventId] {
-        &self.msg_succs[e.index()]
+        let i = e.index();
+        &self.succ_flat[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
-    /// The Fidge–Mattern vector clock of an event.
-    pub fn clock(&self, e: EventId) -> &VectorClock {
-        &self.clocks[e.index()]
+    /// The raw clock-matrix row of `e` (uncounted; internal fast path).
+    #[inline]
+    fn clock_row(&self, e: EventId) -> &[u32] {
+        let start = e.index() * self.process_count;
+        &self.clock_matrix[start..start + self.process_count]
+    }
+
+    /// The Fidge–Mattern vector clock of an event, as a zero-allocation
+    /// view borrowing the event's clock-matrix row.
+    pub fn clock(&self, e: EventId) -> ClockRef<'_> {
+        counters::add_clock_row_reads(1);
+        ClockRef::new(self.clock_row(e))
+    }
+
+    /// One clock component — `vc(e)[q]` — without materializing a row
+    /// view. O(1): a single matrix load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn clock_component(&self, e: EventId, q: usize) -> u32 {
+        assert!(q < self.process_count, "process {q} out of range");
+        self.clock_matrix[e.index() * self.process_count + q]
     }
 
     /// The event preceding `e` on its process, if any.
@@ -151,7 +231,7 @@ impl Computation {
     pub fn leq(&self, e: EventId, f: EventId) -> bool {
         // vc(e) ≤ vc(f) componentwise characterizes e ≤ f, but the single
         // component at e's own process suffices and is O(1).
-        self.clocks[f.index()].get(self.process_of(e).index()) >= self.local_index(e)
+        self.clock_component(f, self.process_of(e).index()) >= self.local_index(e)
     }
 
     /// Whether `e` happened strictly before `f` (Lamport's `e → f`).
@@ -197,48 +277,57 @@ impl Computation {
 
     /// The initial consistent cut (only the implicit initial events).
     pub fn initial_cut(&self) -> Cut {
-        Cut::from_frontier(vec![0; self.process_count()])
+        Cut::from_frontier(vec![0; self.process_count])
     }
 
     /// The final consistent cut (all events).
     pub fn final_cut(&self) -> Cut {
-        Cut::from_frontier(self.proc_events.iter().map(|v| v.len() as u32).collect())
+        Cut::from_frontier(
+            (0..self.process_count)
+                .map(|p| self.proc_off[p + 1] - self.proc_off[p])
+                .collect(),
+        )
     }
 
     /// Whether `cut` (which must have one frontier entry per process, each
     /// within range) is consistent: it contains every causal predecessor
     /// of every contained event.
     ///
+    /// One branch-free row scan per nonempty frontier entry: the cut is
+    /// consistent iff each frontier event's clock row is dominated by
+    /// the frontier itself.
+    ///
     /// # Panics
     ///
     /// Panics if the cut's shape does not match the computation.
     pub fn is_consistent(&self, cut: &Cut) -> bool {
         self.check_shape(cut);
-        (0..self.process_count()).all(|p| {
-            let f = cut.frontier()[p];
+        let frontier = cut.frontier();
+        let mut rows = 0u64;
+        let ok = (0..self.process_count).all(|p| {
+            let f = frontier[p];
             if f == 0 {
                 return true;
             }
-            let e = self.proc_events[p][f as usize - 1];
-            let vc = &self.clocks[e.index()];
-            (0..self.process_count()).all(|q| vc.get(q) <= cut.frontier()[q])
-        })
+            let e = self.proc_flat[self.proc_off[p] as usize + f as usize - 1];
+            rows += 1;
+            kernel::dominated(self.clock_row(e), frontier)
+        });
+        counters::add_clock_row_reads(rows);
+        ok
     }
 
     pub(crate) fn check_shape(&self, cut: &Cut) {
         assert_eq!(
             cut.frontier().len(),
-            self.process_count(),
+            self.process_count,
             "cut has {} entries for {} processes",
             cut.frontier().len(),
-            self.process_count()
+            self.process_count
         );
         for (p, &f) in cut.frontier().iter().enumerate() {
-            assert!(
-                f as usize <= self.proc_events[p].len(),
-                "cut frontier {f} exceeds {} events on p{p}",
-                self.proc_events[p].len()
-            );
+            let on_p = self.proc_off[p + 1] - self.proc_off[p];
+            assert!(f <= on_p, "cut frontier {f} exceeds {on_p} events on p{p}");
         }
     }
 
@@ -259,15 +348,15 @@ impl Computation {
     /// receive-ordered one. The event at local position `k` on process `p`
     /// in the result is the event at position `mₚ + 1 − k` here.
     pub fn reversed(&self) -> Computation {
-        let mut b = crate::builder::ComputationBuilder::new(self.process_count());
+        let mut b = crate::builder::ComputationBuilder::new(self.process_count);
         // Mapping from original event id to reversed event id.
         let mut map = vec![EventId::new(0); self.event_count()];
-        for p in 0..self.process_count() {
-            for &e in self.proc_events[p].iter().rev() {
+        for p in 0..self.process_count {
+            for &e in self.events_of(p).iter().rev() {
                 map[e.index()] = b.append(p);
             }
         }
-        for &(s, r) in &self.messages {
+        for &(s, r) in self.messages.iter() {
             b.message(map[r.index()], map[s.index()])
                 .expect("flipped message endpoints stay on distinct processes");
         }
@@ -275,29 +364,64 @@ impl Computation {
             .expect("the reverse of a partial order is a partial order")
     }
 
+    /// Calls `visit(p)` for every process whose next event beyond `cut`
+    /// is *enabled* (executing it keeps the cut consistent). This is the
+    /// allocation-free core of successor generation: one branch-free
+    /// clock-row scan per process with a pending event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cut's shape does not match the computation.
+    pub fn for_each_enabled(&self, cut: &Cut, mut visit: impl FnMut(usize)) {
+        self.check_shape(cut);
+        let frontier = cut.frontier();
+        let mut rows = 0u64;
+        for p in 0..self.process_count {
+            let next = self.proc_off[p] as usize + frontier[p] as usize;
+            if next < self.proc_off[p + 1] as usize {
+                let e = self.proc_flat[next];
+                rows += 1;
+                // vc(e)[p] = frontier[p] + 1 always exceeds the frontier,
+                // so e is enabled iff its own component is the sole
+                // violation.
+                if kernel::violations(self.clock_row(e), frontier) == 1 {
+                    visit(p);
+                }
+            }
+        }
+        counters::add_clock_row_reads(rows);
+    }
+
+    /// Writes the consistent cuts reachable from `cut` by executing
+    /// exactly one event into `out` (cleared first). Reusing one buffer
+    /// across calls keeps BFS expansion allocation-free apart from the
+    /// frontier vectors of genuinely new cuts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cut's shape does not match the computation.
+    pub fn cut_successors_into(&self, cut: &Cut, out: &mut Vec<Cut>) {
+        out.clear();
+        self.for_each_enabled(cut, |p| {
+            let mut next = cut.frontier().to_vec();
+            next[p] += 1;
+            out.push(Cut::from_frontier(next));
+        });
+    }
+
     /// The consistent cuts that can be reached from `cut` by executing
-    /// exactly one event.
+    /// exactly one event. Convenience wrapper around
+    /// [`cut_successors_into`](Self::cut_successors_into) that allocates
+    /// a fresh `Vec` per call (metered by the kernel counters; hot loops
+    /// should reuse a buffer instead).
     ///
     /// # Panics
     ///
     /// Panics if the cut's shape does not match the computation.
     pub fn cut_successors(&self, cut: &Cut) -> Vec<Cut> {
-        self.check_shape(cut);
+        counters::record_cut_successor_alloc();
         let mut out = Vec::new();
-        for p in 0..self.process_count() {
-            let f = cut.frontier()[p];
-            if (f as usize) < self.proc_events[p].len() {
-                let e = self.proc_events[p][f as usize];
-                let vc = &self.clocks[e.index()];
-                let enabled =
-                    (0..self.process_count()).all(|q| q == p || vc.get(q) <= cut.frontier()[q]);
-                if enabled {
-                    let mut next = cut.frontier().to_vec();
-                    next[p] += 1;
-                    out.push(Cut::from_frontier(next));
-                }
-            }
-        }
+        self.cut_successors_into(cut, &mut out);
         out
     }
 }
@@ -408,6 +532,16 @@ mod tests {
     }
 
     #[test]
+    fn cut_successors_into_reuses_buffer() {
+        let (c, _) = sample();
+        let mut buf = vec![Cut::from_frontier(vec![9, 9])]; // stale content
+        c.cut_successors_into(&c.initial_cut(), &mut buf);
+        assert_eq!(buf.len(), 2, "buffer must be cleared before refill");
+        c.cut_successors_into(&c.final_cut(), &mut buf);
+        assert!(buf.is_empty(), "final cut has no successors");
+    }
+
+    #[test]
     fn event_navigation() {
         let (c, [a1, a2, b1, b2]) = sample();
         assert_eq!(c.successor_on_process(a1), Some(a2));
@@ -429,6 +563,16 @@ mod tests {
         assert_eq!(c.message_predecessors(b2), &[a1]);
         assert_eq!(c.message_successors(a1), &[b2]);
         assert_eq!(c.messages(), &[(a1, b2)]);
+    }
+
+    #[test]
+    fn clock_component_matches_row_view() {
+        let (c, [a1, _, _, b2]) = sample();
+        for e in [a1, b2] {
+            for q in 0..c.process_count() {
+                assert_eq!(c.clock_component(e, q), c.clock(e).get(q));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Process-global work counters for the flat causality kernel.
+//!
+//! Three relaxed atomics make the PR 3 layout wins observable without a
+//! profiler: how many clock-matrix rows the dominance kernels touched,
+//! how many times `cut_successors` fell back to its allocating
+//! convenience path, and how many owned [`VectorClock`]s were
+//! materialized on the heap (the flat layout should build and query a
+//! computation with **zero** of these). The `gpd` crate folds this
+//! snapshot into its `ScanCounters` and the CLI prints it under
+//! `gpd detect --stats`.
+//!
+//! Counters are cumulative per process; diff two [`snapshot`]s via
+//! [`KernelCounters::since`] to meter one region. Relaxed ordering is
+//! deliberate: the numbers are telemetry, not synchronization.
+//!
+//! [`VectorClock`]: crate::VectorClock
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CLOCK_ROW_READS: AtomicU64 = AtomicU64::new(0);
+static CUT_SUCCESSOR_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static VCLOCK_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Batches `n` clock-matrix row reads into one atomic add — the
+/// dominance kernels call this once per query, not once per row.
+#[inline]
+pub(crate) fn add_clock_row_reads(n: u64) {
+    if n > 0 {
+        CLOCK_ROW_READS.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Records one call to the allocating `cut_successors` wrapper.
+#[inline]
+pub(crate) fn record_cut_successor_alloc() {
+    CUT_SUCCESSOR_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one owned `VectorClock` materialized on the heap.
+#[inline]
+pub(crate) fn record_vclock_alloc() {
+    VCLOCK_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time reading of the kernel counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Clock-matrix rows scanned by the dominance/enablement kernels
+    /// (including single-row [`Computation::clock`] borrows).
+    ///
+    /// [`Computation::clock`]: crate::Computation::clock
+    pub clock_row_reads: u64,
+    /// Calls to the allocating `cut_successors` convenience wrapper; the
+    /// buffer-reusing enumerators keep this at zero.
+    pub cut_successor_allocs: u64,
+    /// Owned `VectorClock` heap allocations. Building and querying a
+    /// computation through the flat layout performs none.
+    pub vclock_allocs: u64,
+}
+
+impl KernelCounters {
+    /// Counter deltas since an `earlier` snapshot (saturating, so a
+    /// stale snapshot never underflows).
+    pub fn since(&self, earlier: &KernelCounters) -> KernelCounters {
+        KernelCounters {
+            clock_row_reads: self.clock_row_reads.saturating_sub(earlier.clock_row_reads),
+            cut_successor_allocs: self
+                .cut_successor_allocs
+                .saturating_sub(earlier.cut_successor_allocs),
+            vclock_allocs: self.vclock_allocs.saturating_sub(earlier.vclock_allocs),
+        }
+    }
+}
+
+/// Reads the cumulative kernel counters for this process.
+pub fn kernel_counters() -> KernelCounters {
+    KernelCounters {
+        clock_row_reads: CLOCK_ROW_READS.load(Ordering::Relaxed),
+        cut_successor_allocs: CUT_SUCCESSOR_ALLOCS.load(Ordering::Relaxed),
+        vclock_allocs: VCLOCK_ALLOCS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_and_saturates() {
+        let a = KernelCounters {
+            clock_row_reads: 10,
+            cut_successor_allocs: 3,
+            vclock_allocs: 1,
+        };
+        let b = KernelCounters {
+            clock_row_reads: 25,
+            cut_successor_allocs: 3,
+            vclock_allocs: 2,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.clock_row_reads, 15);
+        assert_eq!(d.cut_successor_allocs, 0);
+        assert_eq!(d.vclock_allocs, 1);
+        // Stale (future) snapshot saturates to zero instead of wrapping.
+        assert_eq!(a.since(&b).clock_row_reads, 0);
+    }
+
+    #[test]
+    fn recording_is_monotone() {
+        let before = kernel_counters();
+        add_clock_row_reads(4);
+        record_cut_successor_alloc();
+        record_vclock_alloc();
+        let after = kernel_counters();
+        // Other tests run concurrently in this process, so assert lower
+        // bounds rather than exact deltas.
+        assert!(after.clock_row_reads >= before.clock_row_reads + 4);
+        assert!(after.cut_successor_allocs > before.cut_successor_allocs);
+        assert!(after.vclock_allocs > before.vclock_allocs);
+    }
+}

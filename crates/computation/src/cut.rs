@@ -89,10 +89,7 @@ impl Cut {
             other.frontier.len(),
             "cut shape mismatch"
         );
-        self.frontier
-            .iter()
-            .zip(&other.frontier)
-            .all(|(a, b)| a <= b)
+        crate::kernel::dominated(&self.frontier, &other.frontier)
     }
 }
 

@@ -1,0 +1,74 @@
+//! Word-parallel row kernels for the flat clock matrix.
+//!
+//! The hot predicates of every detector — frontier dominance
+//! (`is_consistent`), clock-vs-frontier enablement (`cut_successors`,
+//! the lattice sweep, the §4 exact-sum walk), and `Cut::leq` — reduce to
+//! one pass over a contiguous `u32` row compared against a frontier
+//! slice. These helpers keep that pass *branch-free*: instead of
+//! short-circuiting `all(..)` chains, they accumulate `(a > b) as u32`
+//! across the whole row with `|=` / `+=`, which LLVM autovectorizes into
+//! packed compares (SSE/AVX `pcmpgtd` + movemask-style reductions). For
+//! the short rows typical of a computation (`n` processes, usually ≤ 64)
+//! a predictable straight-line loop beats a branchy early exit: there is
+//! no misprediction, one load stream, and the row is a single cache line
+//! or two.
+
+/// Whether `row ≤ bound` componentwise (no component of `row` exceeds
+/// `bound`). Branch-free over the whole row.
+#[inline]
+pub(crate) fn dominated(row: &[u32], bound: &[u32]) -> bool {
+    debug_assert_eq!(row.len(), bound.len(), "row/bound length mismatch");
+    let mut exceeds = 0u32;
+    for (&a, &b) in row.iter().zip(bound) {
+        exceeds |= u32::from(a > b);
+    }
+    exceeds == 0
+}
+
+/// The number of components where `row` exceeds `bound`. Branch-free.
+///
+/// Used for enablement: the next event `e` on process `p` beyond a
+/// consistent frontier `f` has `vc(e)[p] = f[p] + 1`, so its own
+/// component always counts as one violation. `e` is *enabled* (its
+/// execution keeps the cut consistent) iff that is the only one:
+/// `violations(vc(e), f) == 1`.
+#[inline]
+pub(crate) fn violations(row: &[u32], bound: &[u32]) -> u32 {
+    debug_assert_eq!(row.len(), bound.len(), "row/bound length mismatch");
+    let mut count = 0u32;
+    for (&a, &b) in row.iter().zip(bound) {
+        count += u32::from(a > b);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_matches_pointwise_leq() {
+        assert!(dominated(&[1, 2, 3], &[1, 2, 3]));
+        assert!(dominated(&[0, 0, 0], &[1, 2, 3]));
+        assert!(!dominated(&[1, 3, 3], &[1, 2, 3]));
+        assert!(!dominated(&[2, 0], &[1, 9]));
+        assert!(dominated(&[], &[]));
+    }
+
+    #[test]
+    fn violations_counts_exceeding_components() {
+        assert_eq!(violations(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(violations(&[2, 2, 3], &[1, 2, 3]), 1);
+        assert_eq!(violations(&[2, 3, 4], &[1, 2, 3]), 3);
+        assert_eq!(violations(&[], &[]), 0);
+    }
+
+    #[test]
+    fn violations_zero_iff_dominated() {
+        let rows: &[&[u32]] = &[&[0, 5, 2], &[3, 3, 3], &[4, 0, 0], &[3, 5, 9]];
+        let bound = &[3, 5, 2];
+        for row in rows {
+            assert_eq!(violations(row, bound) == 0, dominated(row, bound));
+        }
+    }
+}

@@ -29,25 +29,37 @@ use crate::packed::{FrontierPacker, PackedFrontier};
 /// ```
 pub struct CutIter<'a> {
     comp: &'a Computation,
-    queue: VecDeque<Cut>,
+    // Cuts of the current lattice level still to be yielded, in
+    // generation order, and the next level being accumulated. The walk
+    // is level-synchronous so the visited set below can stay small.
+    level: VecDeque<Cut>,
+    next_level: Vec<Cut>,
     // Visited cuts are remembered packed (a few pre-hashed u64 words per
     // frontier) instead of as Vec<u32> keys: the visited set is probed
-    // once per lattice edge, the hottest path of the sweep.
+    // once per lattice edge, the hottest path of the sweep. The lattice
+    // is graded — every successor of a k-event cut has k+1 events — so
+    // duplicates only arise within the level being built and the set is
+    // cleared at each level boundary, keeping it one level wide (and
+    // cache-resident) instead of history-wide.
     packer: FrontierPacker,
     seen: HashSet<PackedFrontier>,
+    // Scratch frontier for candidate successors: each expansion bumps
+    // one entry in place, packs, probes the visited set, and only
+    // allocates a `Cut` for genuinely new cuts. Duplicate lattice edges
+    // (the common case — every cut has up to n predecessors) cost no
+    // allocation at all.
+    scratch: Vec<u32>,
 }
 
 impl<'a> CutIter<'a> {
     pub(crate) fn new(comp: &'a Computation) -> Self {
-        let initial = comp.initial_cut();
-        let packer = FrontierPacker::new(comp);
-        let mut seen = HashSet::new();
-        seen.insert(packer.pack_cut(&initial));
         CutIter {
             comp,
-            queue: VecDeque::from([initial]),
-            packer,
-            seen,
+            level: VecDeque::from([comp.initial_cut()]),
+            next_level: Vec::new(),
+            packer: FrontierPacker::new(comp),
+            seen: HashSet::new(),
+            scratch: vec![0; comp.process_count()],
         }
     }
 }
@@ -56,12 +68,31 @@ impl Iterator for CutIter<'_> {
     type Item = Cut;
 
     fn next(&mut self) -> Option<Cut> {
-        let cut = self.queue.pop_front()?;
-        for next in self.comp.cut_successors(&cut) {
-            if self.seen.insert(self.packer.pack_cut(&next)) {
-                self.queue.push_back(next);
+        if self.level.is_empty() {
+            if self.next_level.is_empty() {
+                return None;
             }
+            self.level.extend(self.next_level.drain(..));
+            self.seen.clear();
         }
+        let cut = self.level.pop_front()?;
+        let comp = self.comp;
+        let CutIter {
+            packer,
+            seen,
+            next_level,
+            scratch,
+            ..
+        } = self;
+        scratch.clear();
+        scratch.extend_from_slice(cut.frontier());
+        comp.for_each_enabled(&cut, |p| {
+            scratch[p] += 1;
+            if seen.insert(packer.pack(scratch)) {
+                next_level.push(Cut::from_frontier(scratch.clone()));
+            }
+            scratch[p] -= 1;
+        });
         Some(cut)
     }
 }

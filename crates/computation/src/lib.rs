@@ -42,12 +42,14 @@
 
 mod builder;
 mod computation;
+mod counters;
 mod cut;
 mod dot;
 mod event;
 pub mod fixtures;
 pub mod gen;
 mod groups;
+mod kernel;
 mod lattice;
 mod packed;
 mod stats;
@@ -57,6 +59,7 @@ mod vclock;
 
 pub use builder::{BuildError, ComputationBuilder};
 pub use computation::Computation;
+pub use counters::{kernel_counters, KernelCounters};
 pub use cut::Cut;
 pub use dot::to_dot;
 pub use event::{EventId, EventKind, ProcessId};
@@ -65,4 +68,4 @@ pub use lattice::CutIter;
 pub use packed::{fnv1a, FrontierPacker, PackedFrontier};
 pub use stats::{lattice_profile, stats, Stats};
 pub use variables::{BoolVariable, IntVariable};
-pub use vclock::VectorClock;
+pub use vclock::{ClockRef, VectorClock};

@@ -1,4 +1,15 @@
 //! Fidge–Mattern vector clocks.
+//!
+//! Two representations share the same semantics: [`VectorClock`] owns
+//! its components on the heap, while [`ClockRef`] borrows one row of a
+//! [`Computation`](crate::Computation)'s flat clock matrix. Order
+//! queries go through `ClockRef`; owned clocks remain for callers that
+//! must outlive the computation (e.g. online monitors). Every owned
+//! allocation is metered by [`kernel_counters`](crate::kernel_counters)
+//! so the flat layout's zero-allocation claim is checkable.
+
+use crate::counters;
+use crate::kernel;
 
 /// A vector timestamp: component `i` counts the events of process `i`
 /// that causally precede (or are) the stamped event.
@@ -16,7 +27,7 @@
 /// assert!(a.dominated_by(&b));
 /// assert!(!b.dominated_by(&a));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash)]
 pub struct VectorClock {
     components: Vec<u32>,
 }
@@ -24,9 +35,7 @@ pub struct VectorClock {
 impl VectorClock {
     /// The all-zero clock over `n` processes (the initial state).
     pub fn zero(n: usize) -> Self {
-        VectorClock {
-            components: vec![0; n],
-        }
+        VectorClock::from(vec![0; n])
     }
 
     /// The number of processes.
@@ -53,10 +62,6 @@ impl VectorClock {
         &self.components
     }
 
-    pub(crate) fn set(&mut self, i: usize, v: u32) {
-        self.components[i] = v;
-    }
-
     /// Componentwise maximum with `other`, in place (the receive rule).
     ///
     /// # Panics
@@ -69,23 +74,119 @@ impl VectorClock {
         }
     }
 
-    /// Whether `self ≤ other` componentwise.
+    /// Whether `self ≤ other` componentwise (branch-free row kernel).
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn dominated_by(&self, other: &VectorClock) -> bool {
         assert_eq!(self.len(), other.len(), "vector clock length mismatch");
-        self.components
-            .iter()
-            .zip(&other.components)
-            .all(|(a, b)| a <= b)
+        kernel::dominated(&self.components, &other.components)
+    }
+
+    /// A borrowing view of this clock, for mixing owned clocks into
+    /// [`ClockRef`]-based comparisons.
+    pub fn view(&self) -> ClockRef<'_> {
+        ClockRef::new(&self.components)
+    }
+}
+
+impl Clone for VectorClock {
+    fn clone(&self) -> Self {
+        VectorClock::from(self.components.clone())
     }
 }
 
 impl From<Vec<u32>> for VectorClock {
     fn from(components: Vec<u32>) -> Self {
+        counters::record_vclock_alloc();
         VectorClock { components }
+    }
+}
+
+/// A vector clock *view* borrowing one row of a computation's flat
+/// clock matrix — the zero-allocation counterpart of [`VectorClock`].
+///
+/// Returned by [`Computation::clock`](crate::Computation::clock); offers
+/// the same read API (`get`, `as_slice`, `dominated_by`) without owning
+/// the components, so per-event clock access never touches the heap.
+/// Call [`to_owned`](ClockRef::to_owned) for a detached copy.
+#[derive(Clone, Copy)]
+pub struct ClockRef<'a> {
+    components: &'a [u32],
+}
+
+impl<'a> ClockRef<'a> {
+    pub(crate) fn new(components: &'a [u32]) -> Self {
+        ClockRef { components }
+    }
+
+    /// The number of processes.
+    pub fn len(self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the clock has no components (degenerate zero-process case).
+    pub fn is_empty(self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Component `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(self, i: usize) -> u32 {
+        self.components[i]
+    }
+
+    /// The raw components — the borrowed matrix row itself.
+    pub fn as_slice(self) -> &'a [u32] {
+        self.components
+    }
+
+    /// Whether `self ≤ other` componentwise (branch-free row kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dominated_by(self, other: ClockRef<'_>) -> bool {
+        assert_eq!(self.len(), other.len(), "vector clock length mismatch");
+        kernel::dominated(self.components, other.components)
+    }
+
+    /// Copies the row into an owned [`VectorClock`] (heap-allocating,
+    /// and metered as such).
+    #[allow(clippy::wrong_self_convention)]
+    pub fn to_owned(self) -> VectorClock {
+        VectorClock::from(self.components.to_vec())
+    }
+}
+
+impl PartialEq for ClockRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.components == other.components
+    }
+}
+
+impl Eq for ClockRef<'_> {}
+
+impl PartialEq<VectorClock> for ClockRef<'_> {
+    fn eq(&self, other: &VectorClock) -> bool {
+        self.components == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for ClockRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
     }
 }
 
@@ -139,5 +240,33 @@ mod tests {
     #[test]
     fn debug_format() {
         assert_eq!(format!("{:?}", VectorClock::from(vec![1, 2])), "⟨1,2⟩");
+    }
+
+    #[test]
+    fn clock_ref_views_match_owned_semantics() {
+        let a = VectorClock::from(vec![1, 0, 2]);
+        let b = VectorClock::from(vec![1, 1, 2]);
+        let (ra, rb) = (a.view(), b.view());
+        assert_eq!(ra.len(), 3);
+        assert!(!ra.is_empty());
+        assert_eq!(ra.get(2), 2);
+        assert_eq!(ra.as_slice(), &[1, 0, 2]);
+        assert!(ra.dominated_by(rb));
+        assert!(!rb.dominated_by(ra));
+        assert_eq!(ra, a);
+        assert_eq!(ra, a.view());
+        assert_ne!(ra, rb);
+        assert_eq!(format!("{ra:?}"), "⟨1,0,2⟩");
+        assert_eq!(ra.to_owned(), a);
+    }
+
+    #[test]
+    fn owned_clock_construction_is_metered() {
+        let before = crate::kernel_counters();
+        let a = VectorClock::zero(4);
+        let _b = a.clone();
+        let _c = VectorClock::from(vec![1, 2, 3, 4]);
+        let after = crate::kernel_counters();
+        assert!(after.vclock_allocs >= before.vclock_allocs + 3);
     }
 }

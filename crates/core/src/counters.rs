@@ -12,6 +12,12 @@
 //! * **scan runs** — fixpoint (re)starts: one per full scan, one per
 //!   incremental resume of a shared prefix.
 //!
+//! Since PR 3 a snapshot also folds in the `gpd_computation` *kernel
+//! counters* — clock-matrix row reads, allocating `cut_successors`
+//! calls, and owned `VectorClock` materializations — so one
+//! [`snapshot`]/[`ScanCounters::since`] pair meters both the scan
+//! engine's algorithmic work and the storage layer's memory traffic.
+//!
 //! The counters are cumulative over the process lifetime; measure a
 //! region by [`snapshot`]-ing before and after and taking
 //! [`ScanCounters::since`]. They are exact in single-threaded runs; in
@@ -19,6 +25,7 @@
 //! is fine for the CLI's `--stats` display and the bench harness (both
 //! measure one detection at a time).
 
+use gpd_computation::kernel_counters;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static FORCES_EVALS: AtomicU64 = AtomicU64::new(0);
@@ -49,6 +56,14 @@ pub struct ScanCounters {
     pub pair_checks: u64,
     /// Scan fixpoint starts and incremental resumes.
     pub scan_runs: u64,
+    /// Clock-matrix rows streamed by the dominance/enablement kernels.
+    pub clock_row_reads: u64,
+    /// Calls to the allocating `cut_successors` wrapper (buffer-reusing
+    /// enumerators keep this at zero).
+    pub cut_successor_allocs: u64,
+    /// Owned `VectorClock` heap allocations (zero across flat-layout
+    /// builds and queries).
+    pub vclock_allocs: u64,
 }
 
 impl ScanCounters {
@@ -58,16 +73,26 @@ impl ScanCounters {
             forces_evals: self.forces_evals.wrapping_sub(earlier.forces_evals),
             pair_checks: self.pair_checks.wrapping_sub(earlier.pair_checks),
             scan_runs: self.scan_runs.wrapping_sub(earlier.scan_runs),
+            clock_row_reads: self.clock_row_reads.wrapping_sub(earlier.clock_row_reads),
+            cut_successor_allocs: self
+                .cut_successor_allocs
+                .wrapping_sub(earlier.cut_successor_allocs),
+            vclock_allocs: self.vclock_allocs.wrapping_sub(earlier.vclock_allocs),
         }
     }
 }
 
-/// Reads the current cumulative counters.
+/// Reads the current cumulative counters, merging the storage-layer
+/// kernel counters from `gpd_computation`.
 pub fn snapshot() -> ScanCounters {
+    let kernel = kernel_counters();
     ScanCounters {
         forces_evals: FORCES_EVALS.load(Ordering::Relaxed),
         pair_checks: PAIR_CHECKS.load(Ordering::Relaxed),
         scan_runs: SCAN_RUNS.load(Ordering::Relaxed),
+        clock_row_reads: kernel.clock_row_reads,
+        cut_successor_allocs: kernel.cut_successor_allocs,
+        vclock_allocs: kernel.vclock_allocs,
     }
 }
 

@@ -139,11 +139,15 @@ where
     let mut seen: HashSet<PackedFrontier> = HashSet::new();
     seen.insert(packer.pack_cut(&start));
     let mut queue = VecDeque::from([start]);
+    // One successor buffer for the whole walk: expansion allocates only
+    // for cuts that actually enter the queue.
+    let mut succs: Vec<Cut> = Vec::new();
     while let Some(cut) = queue.pop_front() {
         if cut == goal {
             return false; // a run avoided Φ entirely
         }
-        for next in comp.cut_successors(&cut) {
+        comp.cut_successors_into(&cut, &mut succs);
+        for next in succs.drain(..) {
             if !predicate(&next) && seen.insert(packer.pack_cut(&next)) {
                 queue.push_back(next);
             }
@@ -185,11 +189,13 @@ where
     // Invariant: `level` holds the ¬Φ cuts with k events reachable from
     // the initial cut through ¬Φ cuts only.
     let mut level: Vec<Cut> = vec![start];
+    let mut succs: Vec<Cut> = Vec::new();
     for _k in 0..total {
         let mut dedup: HashSet<PackedFrontier> = HashSet::new();
         let mut next: Vec<Cut> = Vec::new();
         for cut in &level {
-            for succ in comp.cut_successors(cut) {
+            comp.cut_successors_into(cut, &mut succs);
+            for succ in succs.drain(..) {
                 if !predicate(&succ) && dedup.insert(packer.pack_cut(&succ)) {
                     next.push(succ);
                 }

@@ -212,7 +212,7 @@ mod tests {
                     x.true_states(p)
                         .into_iter()
                         .filter(|&k| k > 0)
-                        .map(|k| comp.clock(comp.event_at(p, k).unwrap()).clone())
+                        .map(|k| comp.clock(comp.event_at(p, k).unwrap()).to_owned())
                         .collect()
                 })
                 .collect();

@@ -13,6 +13,31 @@ use crate::enumerate::definitely_levelwise;
 use crate::predicate::Relop;
 use crate::relational::optimize::{max_sum_cut, min_sum_cut};
 
+/// [`definitely_sum`] with the relevant extreme of `Σxᵢ` already in
+/// hand, so a caller that needs both inequality directions (exact-sum
+/// `Definitely`, via [`sum_extremes`]) pays for one shared flow network
+/// instead of two.
+///
+/// [`sum_extremes`]: crate::relational::sum_extremes
+pub(crate) fn definitely_sum_with_extreme(
+    comp: &Computation,
+    var: &IntVariable,
+    relop: Relop,
+    k: i64,
+    extreme: i64,
+) -> bool {
+    let initial = var.sum_at(&comp.initial_cut());
+    let final_sum = var.sum_at(&comp.final_cut());
+    if relop.eval(initial, k) || relop.eval(final_sum, k) {
+        return true;
+    }
+    // If the predicate holds at no cut at all, it is not definite.
+    if !relop.eval(extreme, k) {
+        return false;
+    }
+    definitely_levelwise(comp, |cut| relop.eval(var.sum_at(cut), k))
+}
+
 /// Decides `Definitely(Σxᵢ relop K)` exactly.
 ///
 /// Cheap short-circuits first: if the initial or the final cut satisfies
@@ -43,15 +68,13 @@ pub fn definitely_sum(comp: &Computation, var: &IntVariable, relop: Relop, k: i6
     if relop.eval(initial, k) || relop.eval(final_sum, k) {
         return true;
     }
-    // If the predicate holds at no cut at all, it is not definite.
-    let attainable = match relop {
-        Relop::Lt | Relop::Le => relop.eval(min_sum_cut(comp, var).0, k),
-        Relop::Gt | Relop::Ge => relop.eval(max_sum_cut(comp, var).0, k),
+    // Only now pay for the single-sided max-flow the attainability check
+    // needs (the endpoint short-circuits above skip it entirely).
+    let extreme = match relop {
+        Relop::Lt | Relop::Le => min_sum_cut(comp, var).0,
+        Relop::Gt | Relop::Ge => max_sum_cut(comp, var).0,
     };
-    if !attainable {
-        return false;
-    }
-    definitely_levelwise(comp, |cut| relop.eval(var.sum_at(cut), k))
+    definitely_sum_with_extreme(comp, var, relop, k, extreme)
 }
 
 #[cfg(test)]

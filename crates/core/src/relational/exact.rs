@@ -4,8 +4,8 @@
 use gpd_computation::{Computation, Cut, IntVariable};
 
 use crate::predicate::Relop;
-use crate::relational::definitely::definitely_sum;
-use crate::relational::optimize::{max_sum_cut, min_sum_cut};
+use crate::relational::definitely::definitely_sum_with_extreme;
+use crate::relational::optimize::{max_sum_cut, min_sum_cut, sum_extremes};
 
 /// Error: some event changes its variable by more than one, so the
 /// polynomial exact-sum algorithms do not apply (Theorem 2 makes the
@@ -68,8 +68,20 @@ fn walk_until(
             let e = comp
                 .event_at(p, frontier[p] + 1)
                 .expect("goal frontier within range");
-            let vc = comp.clock(e);
-            let enabled = (0..comp.process_count()).all(|q| q == p || vc.get(q) <= frontier[q]);
+            // On a consistent frontier, e's program-order predecessor is
+            // already inside (it sits at frontier[p]), so enablement
+            // reduces to e's direct message predecessors — O(in-degree)
+            // instead of the O(p) full clock-row scan.
+            let enabled = comp
+                .message_predecessors(e)
+                .iter()
+                .all(|&s| comp.local_index(s) <= frontier[comp.process_of(s).index()]);
+            debug_assert_eq!(
+                enabled,
+                (0..comp.process_count())
+                    .all(|q| q == p || comp.clock_component(e, q) <= frontier[q]),
+                "in-degree enablement must agree with the clock-row check"
+            );
             if !enabled {
                 continue;
             }
@@ -153,7 +165,11 @@ pub fn definitely_exact_sum(
     k: i64,
 ) -> Result<bool, NotUnitStepError> {
     require_unit_step(var)?;
-    Ok(definitely_sum(comp, var, Relop::Ge, k) && definitely_sum(comp, var, Relop::Le, k))
+    // Both inequality directions need an extreme of Σ; compute the pair
+    // from one shared flow network instead of two independent builds.
+    let ((min, _), (max, _)) = sum_extremes(comp, var);
+    Ok(definitely_sum_with_extreme(comp, var, Relop::Ge, k, max)
+        && definitely_sum_with_extreme(comp, var, Relop::Le, k, min))
 }
 
 #[cfg(test)]

@@ -6,7 +6,8 @@
 //!   in polynomial time via one maximum-weight-closure (max-flow)
 //!   computation, for **arbitrary** per-event increments.
 //! * [`min_sum_cut`] / [`max_sum_cut`] — the extreme sums over all
-//!   consistent cuts, with witnessing cuts.
+//!   consistent cuts, with witnessing cuts; [`sum_extremes`] answers
+//!   both at once from one shared flow network.
 //! * [`possibly_exact_sum`] / [`definitely_exact_sum`] — `Σxᵢ = K` under
 //!   the ±1-step restriction: the paper's Theorem 7 reductions, with the
 //!   Theorem 4 path walk producing the witness cut.
@@ -23,4 +24,4 @@ mod optimize;
 
 pub use definitely::definitely_sum;
 pub use exact::{definitely_exact_sum, possibly_exact_sum, NotUnitStepError};
-pub use optimize::{max_sum_cut, min_sum_cut, possibly_sum};
+pub use optimize::{max_sum_cut, min_sum_cut, possibly_sum, sum_extremes};

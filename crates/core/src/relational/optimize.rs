@@ -8,7 +8,7 @@
 //! increments; this is the engine behind every `Σ relop K` answer.
 
 use gpd_computation::{Computation, Cut, IntVariable};
-use gpd_flow::max_weight_closure;
+use gpd_flow::{max_weight_closure, weight_closure_extremes};
 
 use crate::predicate::Relop;
 
@@ -87,6 +87,48 @@ pub fn min_sum_cut(comp: &Computation, var: &IntVariable) -> (i64, Cut) {
     (
         base - closure.weight,
         cut_of_members(comp, &closure.members),
+    )
+}
+
+/// Both extremes of `Σxᵢ` over all consistent cuts — `((min, cut_min),
+/// (max, cut_max))` — from **one** weights-and-edges construction and
+/// one shared flow network solved twice (see
+/// [`weight_closure_extremes`]). Callers that need both bounds (exact
+/// `Definitely(Σ = K)`, min/max bench sweeps) should use this instead
+/// of pairing [`min_sum_cut`] with [`max_sum_cut`], which would rebuild
+/// the event-DAG network from scratch for each side.
+///
+/// # Example
+///
+/// ```
+/// use gpd::relational::sum_extremes;
+/// use gpd_computation::{ComputationBuilder, IntVariable};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// b.append(0);
+/// b.append(1);
+/// let comp = b.build().unwrap();
+/// let x = IntVariable::new(&comp, vec![vec![0, 5], vec![0, -3]]);
+/// let ((min, _), (max, cut_max)) = sum_extremes(&comp, &x);
+/// assert_eq!(min, -3);
+/// assert_eq!(max, 5);
+/// assert_eq!(cut_max.frontier(), &[1, 0]);
+/// ```
+pub fn sum_extremes(comp: &Computation, var: &IntVariable) -> ((i64, Cut), (i64, Cut)) {
+    let base: i64 = (0..comp.process_count())
+        .map(|p| var.value_in_state(p, 0))
+        .sum();
+    let (weights, edges) = weights_and_edges(comp, var);
+    let (max_closure, neg_closure) = weight_closure_extremes(&weights, &edges);
+    (
+        (
+            base - neg_closure.weight,
+            cut_of_members(comp, &neg_closure.members),
+        ),
+        (
+            base + max_closure.weight,
+            cut_of_members(comp, &max_closure.members),
+        ),
     )
 }
 
@@ -198,5 +240,25 @@ mod tests {
         let x = IntVariable::new(&comp, vec![vec![3], vec![4]]);
         assert_eq!(max_sum_cut(&comp, &x).0, 7);
         assert_eq!(min_sum_cut(&comp, &x).0, 7);
+        let ((min, _), (max, _)) = sum_extremes(&comp, &x);
+        assert_eq!((min, max), (7, 7));
+    }
+
+    #[test]
+    fn sum_extremes_agrees_with_single_sided_solves() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5150);
+        for round in 0..60 {
+            let n = rng.gen_range(1..5);
+            let m = rng.gen_range(1..6);
+            let msgs = if n > 1 { rng.gen_range(0..2 * n) } else { 0 };
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_int_variable(&mut rng, &comp, 5);
+            let ((min, cmin), (max, cmax)) = sum_extremes(&comp, &x);
+            assert_eq!(min, min_sum_cut(&comp, &x).0, "round {round}");
+            assert_eq!(max, max_sum_cut(&comp, &x).0, "round {round}");
+            // The shared-network cuts must attain their extremes.
+            assert_eq!(x.sum_at(&cmin), min, "round {round}");
+            assert_eq!(x.sum_at(&cmax), max, "round {round}");
+        }
     }
 }

@@ -59,7 +59,8 @@ impl Candidate {
             let e = comp
                 .event_at(self.process, self.state)
                 .expect("candidate state within range");
-            comp.clock(e).get(q.index())
+            // One O(1) matrix load — no row view materialized.
+            comp.clock_component(e, q.index())
         }
     }
 }

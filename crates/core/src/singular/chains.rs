@@ -34,7 +34,7 @@ fn clause_chains(
             0
         } else {
             let e = comp.event_at(c.process, c.state).expect("valid state");
-            comp.clock(e).get(q)
+            comp.clock_component(e, q)
         }
     };
     // a strictly precedes b iff a's state clock is pointwise ≤ b's and

@@ -50,8 +50,14 @@ pub fn verify_stable<F>(comp: &Computation, mut predicate: F) -> bool
 where
     F: FnMut(&Cut) -> bool,
 {
-    comp.consistent_cuts()
-        .all(|cut| !predicate(&cut) || comp.cut_successors(&cut).iter().all(&mut predicate))
+    let mut succs = Vec::new();
+    comp.consistent_cuts().all(|cut| {
+        if !predicate(&cut) {
+            return true;
+        }
+        comp.cut_successors_into(&cut, &mut succs);
+        succs.iter().all(&mut predicate)
+    })
 }
 
 #[cfg(test)]

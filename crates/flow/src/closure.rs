@@ -82,6 +82,91 @@ pub fn max_weight_closure(weights: &[i64], edges: &[(usize, usize)]) -> Closure 
     Closure { weight, members }
 }
 
+/// Computes a maximum-weight closure for `weights` **and** for the
+/// negated weights — i.e. both extremes of the weighted-closure problem
+/// — sharing one flow network between the two Dinic runs.
+///
+/// The callers that need both extremes (exact-sum `Definitely`, the
+/// min/max sweep of a bench row) previously built the project-selection
+/// network twice; the vertex set and the infinite constraint edges are
+/// identical in both orientations, so this builds them once with two
+/// terminal pairs, solves `s⁺-t⁺`, rewinds the residual capacities, and
+/// solves `s⁻-t⁻`. Each run's unused terminal pair is flow-inert: its
+/// source has no incoming residual arcs and its sink no outgoing ones.
+///
+/// Returns `(max_closure, negated_max_closure)`; the second member is
+/// the maximum-weight closure of `-weights` (whose `weight` is the
+/// negated minimum achievable by any closure of `weights`).
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is out of range.
+///
+/// # Example
+///
+/// ```
+/// use gpd_flow::weight_closure_extremes;
+///
+/// let (max, neg) = weight_closure_extremes(&[5, -2], &[(0, 1)]);
+/// assert_eq!(max.weight, 3); // take both vertices
+/// assert_eq!(neg.weight, 2); // closure {1} minimizes at −2
+/// assert_eq!(neg.members, vec![1]);
+/// ```
+pub fn weight_closure_extremes(weights: &[i64], edges: &[(usize, usize)]) -> (Closure, Closure) {
+    let n = weights.len();
+    for &(u, v) in edges {
+        assert!(u < n && v < n, "edge ({u}, {v}) out of range {n}");
+    }
+
+    // Vertices 0..n plus two terminal pairs: (s⁺, t⁺) solve the weights
+    // as given, (s⁻, t⁻) solve their negation.
+    let (s_max, t_max, s_min, t_min) = (n, n + 1, n + 2, n + 3);
+    let mut net = FlowNetwork::new(n + 4);
+    let mut positive_total = 0i64;
+    let mut negative_total = 0i64;
+    for (v, &w) in weights.iter().enumerate() {
+        if w > 0 {
+            net.add_edge(s_max, v, w);
+            net.add_edge(v, t_min, w);
+            positive_total += w;
+        } else if w < 0 {
+            net.add_edge(v, t_max, -w);
+            net.add_edge(s_min, v, -w);
+            negative_total += -w;
+        }
+    }
+    for &(u, v) in edges {
+        net.add_infinite_edge(u, v);
+    }
+
+    if n == 0 {
+        let empty = Closure {
+            weight: 0,
+            members: Vec::new(),
+        };
+        return (empty.clone(), empty);
+    }
+
+    let extract = |net: &mut FlowNetwork, s: usize, t: usize, total: i64, ws: &[i64]| {
+        let cut_value = net.max_flow(s, t);
+        let members: Vec<usize> = net.min_cut(s).into_iter().filter(|&v| v < n).collect();
+        let weight = total - cut_value;
+        debug_assert_eq!(
+            members.iter().map(|&v| ws[v]).sum::<i64>(),
+            weight,
+            "closure weight mismatch"
+        );
+        Closure { weight, members }
+    };
+
+    let saved = net.capacities();
+    let max = extract(&mut net, s_max, t_max, positive_total, weights);
+    net.restore_capacities(&saved);
+    let negated: Vec<i64> = weights.iter().map(|&w| -w).collect();
+    let neg = extract(&mut net, s_min, t_min, negative_total, &negated);
+    (max, neg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +258,50 @@ mod tests {
             let c = max_weight_closure(&weights, &edges);
             assert_eq!(c.weight, best, "weights {weights:?} edges {edges:?}");
             assert!(is_closed(&c.members, &edges));
+        }
+    }
+
+    #[test]
+    fn extremes_empty_graph() {
+        let (max, neg) = weight_closure_extremes(&[], &[]);
+        assert_eq!(max.weight, 0);
+        assert_eq!(neg.weight, 0);
+        assert!(max.members.is_empty() && neg.members.is_empty());
+    }
+
+    #[test]
+    fn extremes_match_two_single_sided_solves() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(424242);
+        for _ in 0..80 {
+            let n = rng.gen_range(0..10);
+            let weights: Vec<i64> = (0..n).map(|_| rng.gen_range(-7..=7)).collect();
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.gen_bool(0.3) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let (max, neg) = weight_closure_extremes(&weights, &edges);
+            let negated: Vec<i64> = weights.iter().map(|&w| -w).collect();
+            let max_ref = max_weight_closure(&weights, &edges);
+            let neg_ref = max_weight_closure(&negated, &edges);
+            // Optimal weights must agree exactly; the members are some
+            // optimal closure each, independently valid.
+            assert_eq!(max.weight, max_ref.weight, "weights {weights:?}");
+            assert_eq!(neg.weight, neg_ref.weight, "weights {weights:?}");
+            assert!(is_closed(&max.members, &edges));
+            assert!(is_closed(&neg.members, &edges));
+            assert_eq!(
+                max.members.iter().map(|&v| weights[v]).sum::<i64>(),
+                max.weight
+            );
+            assert_eq!(
+                neg.members.iter().map(|&v| negated[v]).sum::<i64>(),
+                neg.weight
+            );
         }
     }
 }

@@ -149,6 +149,32 @@ impl FlowNetwork {
         0
     }
 
+    /// Snapshots every edge's residual capacity, so the network can be
+    /// rewound with [`restore_capacities`](Self::restore_capacities) and
+    /// solved again for different terminals without rebuilding the
+    /// adjacency structure.
+    pub fn capacities(&self) -> Vec<i64> {
+        self.edges.iter().map(|e| e.cap).collect()
+    }
+
+    /// Restores residual capacities saved by
+    /// [`capacities`](Self::capacities). The edge set must be unchanged
+    /// since the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length does not match the edge count.
+    pub fn restore_capacities(&mut self, saved: &[i64]) {
+        assert_eq!(
+            saved.len(),
+            self.edges.len(),
+            "capacity snapshot does not match edge count"
+        );
+        for (e, &cap) in self.edges.iter_mut().zip(saved) {
+            e.cap = cap;
+        }
+    }
+
     /// After [`max_flow`](Self::max_flow), returns the source side of a
     /// minimum cut: every vertex still reachable from `s` in the residual
     /// graph, in increasing order.

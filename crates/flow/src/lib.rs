@@ -9,8 +9,11 @@
 //! with Dinic's algorithm.
 //!
 //! * [`FlowNetwork`] — capacity graph with [`FlowNetwork::max_flow`] (Dinic)
-//!   and [`FlowNetwork::min_cut`].
+//!   and [`FlowNetwork::min_cut`], plus capacity snapshot/restore for
+//!   re-solving one network with different terminals.
 //! * [`max_weight_closure`] — maximum-weight closed subset of a DAG.
+//! * [`weight_closure_extremes`] — both extremes (the weights and their
+//!   negation) from one shared network, two Dinic runs.
 //!
 //! # Example
 //!
@@ -30,5 +33,5 @@
 mod closure;
 mod dinic;
 
-pub use closure::{max_weight_closure, Closure};
+pub use closure::{max_weight_closure, weight_closure_extremes, Closure};
 pub use dinic::FlowNetwork;

@@ -51,6 +51,66 @@ proptest! {
     }
 
     #[test]
+    fn leq_equals_reflexive_reachability(
+        seed in any::<u64>(),
+        n in 1usize..6,
+        m in 1usize..8,
+        msgs in 0usize..12,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let msgs = if n > 1 { msgs } else { 0 };
+        let comp = gen::random_computation(&mut rng, n, m, msgs);
+        let closure = closure_of(&comp);
+        for e in comp.events() {
+            for f in comp.events() {
+                prop_assert_eq!(
+                    comp.leq(e, f),
+                    e == f || closure.precedes(e.index(), f.index()),
+                    "{:?} ≤ {:?}", e, f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn is_consistent_equals_down_closedness_on_arbitrary_frontiers(
+        seed in any::<u64>(),
+        n in 1usize..5,
+        m in 1usize..5,
+        msgs in 0usize..8,
+    ) {
+        use gpd_computation::Cut;
+        use rand::Rng;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let msgs = if n > 1 { msgs } else { 0 };
+        let comp = gen::random_computation(&mut rng, n, m, msgs);
+        let closure = closure_of(&comp);
+        // Sample arbitrary frontiers — consistent or not — and check the
+        // flat dominance kernel against independent down-closedness.
+        for _ in 0..40 {
+            let frontier: Vec<u32> = (0..comp.process_count())
+                .map(|p| rng.gen_range(0..=comp.events_on(p) as u32))
+                .collect();
+            let cut = Cut::from_frontier(frontier);
+            let members: Vec<EventId> = comp
+                .events()
+                .filter(|&e| cut.contains(&comp, e))
+                .collect();
+            let down_closed = members.iter().all(|&e| {
+                comp.events()
+                    .filter(|&g| closure.precedes(g.index(), e.index()))
+                    .all(|g| cut.contains(&comp, g))
+            });
+            prop_assert_eq!(
+                comp.is_consistent(&cut),
+                down_closed,
+                "frontier {:?}", cut.frontier()
+            );
+        }
+    }
+
+    #[test]
     fn cut_consistency_equals_down_closedness(
         seed in any::<u64>(),
         n in 1usize..5,
