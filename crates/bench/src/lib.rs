@@ -360,4 +360,63 @@ mod tests {
             );
         }
     }
+
+    /// The benched engines and their budgeted twins must agree on the
+    /// benchmark inputs, so timing the budgeted paths measures overhead
+    /// rather than a different search. An unlimited budget decides in
+    /// one leg; a node-capped chain of resumed legs must converge to
+    /// the same rejection with every combination eliminated.
+    #[test]
+    fn budgeted_engines_match_the_benched_engines_on_e5() {
+        use gpd::{Budget, BudgetMeter, Verdict};
+        let (comp, var, phi) = wide_unsat_singular_workload(3, 2, 3);
+        let unlimited = gpd::singular::possibly_singular_subsets_budgeted(
+            &comp,
+            &var,
+            &phi,
+            2,
+            &Budget::unlimited(),
+            &BudgetMeter::new(),
+            None,
+        )
+        .expect("benchmark predicate never panics");
+        match unlimited {
+            Verdict::Decided(witness, progress) => {
+                assert!(witness.is_none());
+                assert_eq!(
+                    progress.combinations_eliminated,
+                    progress.combinations_total
+                );
+            }
+            Verdict::Unknown(_) => panic!("an unlimited budget cannot run out"),
+        }
+
+        let capped = Budget::unlimited().with_max_nodes(4);
+        let mut resume = None;
+        let mut legs = 0usize;
+        loop {
+            legs += 1;
+            assert!(legs <= 10_000, "resume chain failed to terminate");
+            let verdict = gpd::singular::possibly_singular_subsets_budgeted(
+                &comp,
+                &var,
+                &phi,
+                2,
+                &capped,
+                &BudgetMeter::new(),
+                resume.as_ref(),
+            )
+            .expect("benchmark predicate never panics");
+            match verdict {
+                Verdict::Decided(witness, _) => {
+                    assert!(witness.is_none());
+                    break;
+                }
+                Verdict::Unknown(partial) => {
+                    resume = Some(partial.checkpoint.clone());
+                }
+            }
+        }
+        assert!(legs > 1, "the cap should interrupt at least once");
+    }
 }

@@ -3,11 +3,18 @@
 use std::collections::HashMap;
 
 use gpd::conjunctive::{definitely_conjunctive, possibly_conjunctive};
-use gpd::enumerate::{definitely_by_enumeration, possibly_by_enumeration};
-use gpd::relational::{definitely_exact_sum, definitely_sum, possibly_exact_sum, possibly_sum};
-use gpd::singular::possibly_singular_par;
+use gpd::enumerate::{
+    definitely_by_enumeration, definitely_levelwise_budgeted, possibly_by_enumeration,
+};
+use gpd::relational::{
+    definitely_exact_sum, definitely_exact_sum_budgeted, definitely_sum, definitely_sum_budgeted,
+    possibly_exact_sum, possibly_exact_sum_budgeted, possibly_sum,
+};
+use gpd::singular::{possibly_singular_budgeted, possibly_singular_par};
 use gpd::symmetric::{definitely_symmetric, possibly_symmetric, SymmetricPredicate};
-use gpd::{CnfClause, Relop, SingularCnf};
+use gpd::{
+    Budget, BudgetMeter, Checkpoint, CnfClause, DetectError, Progress, Relop, SingularCnf, Verdict,
+};
 use gpd_computation::trace::{read_trace, write_trace, Trace};
 use gpd_computation::{to_dot, BoolVariable, Computation, Cut, ProcessId};
 use gpd_sim::protocols::{BankBranch, ChangRoberts, RicartAgrawala, TokenRing, Voter};
@@ -328,16 +335,158 @@ fn guard_enumeration(comp: &Computation, enumerate: bool, what: &str) -> Result<
     Ok(())
 }
 
-/// `gpd detect <trace> --pred "EXPR" [--definitely] [--enumerate] [--threads N] [--stats]`
+/// Budget options for `detect`: what bounds the search, where to resume
+/// from, and where to drop the checkpoint if the budget runs out.
+struct BudgetOpts {
+    budget: Budget,
+    /// Any budget flag or `--resume` present: route to the budgeted,
+    /// checkpoint-carrying engines.
+    active: bool,
+    resume: Option<Checkpoint>,
+    /// Checkpoint destination on an Unknown verdict.
+    checkpoint_path: String,
+}
+
+fn parse_budget(flags: &Flags, trace_path: &str, expr: &str) -> Result<BudgetOpts, CliError> {
+    let mut budget = Budget::unlimited();
+    let mut active = false;
+    if let Some(ms) = flags.values.get("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|_| {
+            CliError::Usage(format!("--deadline-ms expects milliseconds, got {ms:?}"))
+        })?;
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+        active = true;
+    }
+    if flags.values.contains_key("max-nodes") {
+        budget = budget.with_max_nodes(flags.get_u64("max-nodes", 0)?);
+        active = true;
+    }
+    if flags.values.contains_key("max-width") {
+        budget = budget.with_max_width(flags.get_usize("max-width", 0)?);
+        active = true;
+    }
+    let resume = match flags.values.get("resume") {
+        None => None,
+        Some(ckpt_path) => {
+            let text = std::fs::read_to_string(ckpt_path)
+                .map_err(|e| CliError::Io(format!("{ckpt_path}: {e}")))?;
+            let cp = Checkpoint::from_text(&text)
+                .map_err(|e| CliError::Trace(format!("{ckpt_path}: {e}")))?;
+            // The label pins the predicate the checkpoint was taken for:
+            // resuming a different question would silently answer the
+            // wrong one (the engine only fingerprints the computation).
+            if !cp.label().is_empty() && cp.label() != expr {
+                return Err(CliError::Usage(format!(
+                    "checkpoint {ckpt_path} was taken for predicate {:?}, not {expr:?}",
+                    cp.label()
+                )));
+            }
+            active = true;
+            Some(cp)
+        }
+    };
+    let checkpoint_path = flags
+        .values
+        .get("checkpoint")
+        .cloned()
+        .unwrap_or_else(|| format!("{trace_path}.ckpt"));
+    Ok(BudgetOpts {
+        budget,
+        active,
+        resume,
+        checkpoint_path,
+    })
+}
+
+/// One-line summary of the sound partial bounds a budgeted run settled.
+fn progress_summary(p: &Progress) -> String {
+    let mut parts = vec![format!("{} nodes explored", p.nodes_explored)];
+    if let Some(l) = p.levels_swept {
+        parts.push(format!("{l} lattice levels swept witness-free"));
+    }
+    match (p.combinations_eliminated, p.combinations_total) {
+        (Some(e), Some(t)) => parts.push(format!("{e}/{t} combinations eliminated")),
+        (Some(e), None) => parts.push(format!("{e} combinations eliminated")),
+        _ => {}
+    }
+    if let Some((lo, hi)) = p.sum_interval {
+        parts.push(format!("attainable sums lie in [{lo}, {hi}]"));
+    }
+    parts.join(", ")
+}
+
+fn detect_error(err: DetectError) -> CliError {
+    CliError::Trace(err.to_string())
+}
+
+/// Turns an exhausted budget into the `Unknown` outcome: persist the
+/// checkpoint (labelled with the predicate expression, so a resume for a
+/// different question is refused) and surface reason + bounds.
+fn budget_exhausted(
+    partial: &gpd::Partial,
+    opts: &BudgetOpts,
+    expr: &str,
+) -> Result<String, CliError> {
+    let mut cp = partial.checkpoint.clone();
+    cp.set_label(expr);
+    let path = &opts.checkpoint_path;
+    std::fs::write(path, cp.to_text()).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    Err(CliError::Unknown(format!(
+        "{}; {}; checkpoint written to {path} (resume with --resume {path})",
+        partial.reason,
+        progress_summary(&partial.progress),
+    )))
+}
+
+fn render_witness_verdict(
+    comp: &Computation,
+    modality: &str,
+    expr: &str,
+    verdict: Verdict<Option<Cut>>,
+    opts: &BudgetOpts,
+) -> Result<String, CliError> {
+    match verdict {
+        Verdict::Decided(Some(cut), _) => Ok(format!(
+            "{modality}({expr}): true\n{}\n",
+            describe_cut(comp, &cut)
+        )),
+        Verdict::Decided(None, _) => Ok(format!("{modality}({expr}): false\n")),
+        Verdict::Unknown(partial) => budget_exhausted(&partial, opts, expr),
+    }
+}
+
+fn render_bool_verdict(
+    modality: &str,
+    expr: &str,
+    verdict: Verdict<bool>,
+    opts: &BudgetOpts,
+) -> Result<String, CliError> {
+    match verdict {
+        Verdict::Decided(answer, _) => Ok(format!("{modality}({expr}): {answer}\n")),
+        Verdict::Unknown(partial) => budget_exhausted(&partial, opts, expr),
+    }
+}
+
+/// `gpd detect <trace> --pred "EXPR" [--definitely] [--enumerate] [--threads N] [--stats]
+///  [--deadline-ms N] [--max-nodes N] [--max-width N] [--resume CKPT] [--checkpoint FILE]`
 pub fn detect(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(
         args,
-        &["pred", "threads"],
+        &[
+            "pred",
+            "threads",
+            "deadline-ms",
+            "max-nodes",
+            "max-width",
+            "resume",
+            "checkpoint",
+        ],
         &["definitely", "enumerate", "stats"],
     )?;
     let [path] = flags.positional.as_slice() else {
         return Err(CliError::Usage(
-            "detect <trace> --pred \"EXPR\" [--definitely] [--enumerate] [--threads N] [--stats]"
+            "detect <trace> --pred \"EXPR\" [--definitely] [--enumerate] [--threads N] [--stats] \
+             [--deadline-ms N] [--max-nodes N] [--max-width N] [--resume CKPT] [--checkpoint FILE]"
                 .into(),
         ));
     };
@@ -355,10 +504,24 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
     let threads = flags.get_usize("threads", 0)?;
     let stats = flags.has("stats");
     let modality = if definitely { "Definitely" } else { "Possibly" };
+    let opts = parse_budget(&flags, path, expr)?;
+    let meter = BudgetMeter::new();
+    // A polynomial question decides within any budget; only `--resume`
+    // is meaningless there (nothing was ever interrupted).
+    let reject_resume = |question: &str| {
+        if opts.resume.is_some() {
+            Err(CliError::Usage(format!(
+                "--resume does not apply to {question}: it is polynomial and never checkpoints"
+            )))
+        } else {
+            Ok(())
+        }
+    };
 
     let before = stats.then(gpd::counters::snapshot);
     let mut out = match spec {
         PredicateSpec::Conjunction(lits) => {
+            reject_resume("a conjunction")?;
             let truth = literal_truth_variable(&trace, &lits)?;
             let processes: Vec<ProcessId> =
                 lits.iter().map(|l| ProcessId::new(l.process)).collect();
@@ -391,9 +554,36 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
                     .collect(),
             );
             if definitely {
-                guard_enumeration(comp, enumerate, "Definitely(cnf)")?;
-                let verdict = definitely_by_enumeration(comp, |cut| phi.eval(&truth, cut));
-                Ok(format!("{modality}({expr}): {verdict}\n"))
+                if opts.active {
+                    // The budget *is* the guard: the sweep stops at the
+                    // deadline/cap instead of running away.
+                    let verdict = definitely_levelwise_budgeted(
+                        comp,
+                        |cut| phi.eval(&truth, cut),
+                        threads,
+                        &opts.budget,
+                        &meter,
+                        opts.resume.as_ref(),
+                    )
+                    .map_err(detect_error)?;
+                    render_bool_verdict(modality, expr, verdict, &opts)
+                } else {
+                    guard_enumeration(comp, enumerate, "Definitely(cnf)")?;
+                    let verdict = definitely_by_enumeration(comp, |cut| phi.eval(&truth, cut));
+                    Ok(format!("{modality}({expr}): {verdict}\n"))
+                }
+            } else if opts.active {
+                let verdict = possibly_singular_budgeted(
+                    comp,
+                    &truth,
+                    &phi,
+                    threads,
+                    &opts.budget,
+                    &meter,
+                    opts.resume.as_ref(),
+                )
+                .map_err(detect_error)?;
+                render_witness_verdict(comp, modality, expr, verdict, &opts)
             } else {
                 match possibly_singular_par(comp, &truth, &phi, threads) {
                     Some(cut) => Ok(format!(
@@ -407,6 +597,32 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
         PredicateSpec::Sum { name, op, k } => {
             let var = find_int(&trace, &name)?;
             match (op, definitely) {
+                (SumOp::Eq, false) if opts.active => {
+                    let verdict = possibly_exact_sum_budgeted(
+                        comp,
+                        var,
+                        k,
+                        threads,
+                        &opts.budget,
+                        &meter,
+                        opts.resume.as_ref(),
+                    )
+                    .map_err(detect_error)?;
+                    render_witness_verdict(comp, modality, expr, verdict, &opts)
+                }
+                (SumOp::Eq, true) if opts.active => {
+                    let verdict = definitely_exact_sum_budgeted(
+                        comp,
+                        var,
+                        k,
+                        threads,
+                        &opts.budget,
+                        &meter,
+                        opts.resume.as_ref(),
+                    )
+                    .map_err(detect_error)?;
+                    render_bool_verdict(modality, expr, verdict, &opts)
+                }
                 (SumOp::Eq, false) => match possibly_exact_sum(comp, var, k) {
                     Ok(Some(cut)) => Ok(format!(
                         "{modality}({expr}): true\n{}\n",
@@ -437,6 +653,7 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
                     }
                 },
                 (op, false) => {
+                    reject_resume("Possibly(sum relop)")?;
                     let relop = match op {
                         SumOp::Lt => Relop::Lt,
                         SumOp::Le => Relop::Le,
@@ -461,11 +678,26 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
                         SumOp::Ge => Relop::Ge,
                         SumOp::Eq => unreachable!("handled above"),
                     };
-                    // definitely_sum short-circuits where it can but may
-                    // enumerate: guard.
-                    guard_enumeration(comp, enumerate, "Definitely(sum relop)")?;
-                    let verdict = definitely_sum(comp, var, relop, k);
-                    Ok(format!("{modality}({expr}): {verdict}\n"))
+                    if opts.active {
+                        let verdict = definitely_sum_budgeted(
+                            comp,
+                            var,
+                            relop,
+                            k,
+                            threads,
+                            &opts.budget,
+                            &meter,
+                            opts.resume.as_ref(),
+                        )
+                        .map_err(detect_error)?;
+                        render_bool_verdict(modality, expr, verdict, &opts)
+                    } else {
+                        // definitely_sum short-circuits where it can but
+                        // may enumerate: guard.
+                        guard_enumeration(comp, enumerate, "Definitely(sum relop)")?;
+                        let verdict = definitely_sum(comp, var, relop, k);
+                        Ok(format!("{modality}({expr}): {verdict}\n"))
+                    }
                 }
             }
         }
@@ -482,10 +714,24 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
                 CountSpec::Exactly(k) => SymmetricPredicate::exactly(k),
             };
             if definitely {
-                guard_enumeration(comp, enumerate, "Definitely(count)")?;
-                let verdict = definitely_symmetric(comp, var, &phi);
-                Ok(format!("{modality}({expr}): {verdict}\n"))
+                if opts.active {
+                    let verdict = definitely_levelwise_budgeted(
+                        comp,
+                        |cut| phi.eval(comp, var, cut),
+                        threads,
+                        &opts.budget,
+                        &meter,
+                        opts.resume.as_ref(),
+                    )
+                    .map_err(detect_error)?;
+                    render_bool_verdict(modality, expr, verdict, &opts)
+                } else {
+                    guard_enumeration(comp, enumerate, "Definitely(count)")?;
+                    let verdict = definitely_symmetric(comp, var, &phi);
+                    Ok(format!("{modality}({expr}): {verdict}\n"))
+                }
             } else {
+                reject_resume("Possibly(count)")?;
                 match possibly_symmetric(comp, var, &phi) {
                     Some(cut) => Ok(format!(
                         "{modality}({expr}): true\n{}\n",
@@ -506,6 +752,16 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
             "kernel stats: {} clock-row reads, {} cut-successor allocations, {} vector-clock allocations\n",
             work.clock_row_reads, work.cut_successor_allocs, work.vclock_allocs
         ));
+        if opts.active {
+            let remaining = match opts.budget.remaining_time() {
+                Some(d) => format!(", {}ms of deadline left", d.as_millis()),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "budget stats: {} nodes explored{remaining}\n",
+                meter.nodes()
+            ));
+        }
     }
     Ok(out)
 }
@@ -727,6 +983,127 @@ mod tests {
         assert!(matches!(
             detect(&args(&[&path, "--pred", "conj voted@9"])),
             Err(CliError::Trace(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn budgeted_detect_interrupts_checkpoints_and_resumes() {
+        let path = temp_trace("budget", "bank", &["--n", "3"]);
+        let ckpt = format!("{path}.ckpt");
+        // Money in flight makes Σ < 300 attainable mid-transfer, so the
+        // Definitely question needs the exponential lattice sweep.
+        let pred = "sum balance < 300";
+        let reference = detect(&args(&[
+            &path,
+            "--pred",
+            pred,
+            "--definitely",
+            "--enumerate",
+        ]))
+        .unwrap()
+        .lines()
+        .next()
+        .unwrap()
+        .to_string();
+
+        // A 3-node cap cannot finish the sweep: Unknown, bounds, ckpt.
+        let err = detect(&args(&[
+            &path,
+            "--pred",
+            pred,
+            "--definitely",
+            "--max-nodes",
+            "3",
+        ]))
+        .unwrap_err();
+        let CliError::Unknown(msg) = err else {
+            panic!("expected Unknown, got {err:?}");
+        };
+        assert!(msg.contains("node cap"), "{msg}");
+        assert!(msg.contains("nodes explored"), "{msg}");
+        assert!(msg.contains(&ckpt), "{msg}");
+        assert!(std::path::Path::new(&ckpt).exists());
+
+        // A checkpoint is pinned to its predicate.
+        let err = detect(&args(&[
+            &path,
+            "--pred",
+            "sum balance < 299",
+            "--definitely",
+            "--resume",
+            &ckpt,
+        ]))
+        .unwrap_err();
+        assert!(
+            matches!(&err, CliError::Usage(m) if m.contains("was taken for predicate")),
+            "{err:?}"
+        );
+
+        // Resuming with room to spare reproduces the reference verdict.
+        let resumed = detect(&args(&[
+            &path,
+            "--pred",
+            pred,
+            "--definitely",
+            "--resume",
+            &ckpt,
+            "--max-nodes",
+            "100000000",
+        ]))
+        .unwrap();
+        assert_eq!(resumed.lines().next().unwrap(), reference);
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn budget_stats_and_polynomial_resume_rejection() {
+        let path = temp_trace("budget-stats", "voting", &["--n", "3"]);
+        let out = detect(&args(&[
+            &path,
+            "--pred",
+            "count voted in {0}",
+            "--definitely",
+            "--max-nodes",
+            "100000000",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(out.contains("budget stats:"), "{out}");
+        assert!(out.contains("nodes explored"), "{out}");
+        // Without budget flags no budget line appears.
+        let out = detect(&args(&[
+            &path,
+            "--pred",
+            "count voted in {0}",
+            "--definitely",
+            "--enumerate",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(!out.contains("budget stats:"), "{out}");
+        // Deadline flag parses and reports remaining time under --stats.
+        let out = detect(&args(&[
+            &path,
+            "--pred",
+            "conj !voted@0 !voted@1",
+            "--deadline-ms",
+            "60000",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(out.contains("deadline left"), "{out}");
+        assert!(matches!(
+            detect(&args(&[
+                &path,
+                "--pred",
+                "conj voted@0",
+                "--deadline-ms",
+                "x"
+            ])),
+            Err(CliError::Usage(_))
         ));
         std::fs::remove_file(&path).ok();
     }

@@ -38,6 +38,12 @@ pub enum CliError {
     /// The question is outside the polynomial algorithms and the caller
     /// did not opt into exhaustive enumeration.
     Intractable(String),
+    /// A budgeted run exhausted its deadline, node or width cap before
+    /// deciding: the message carries the partial bounds and the path of
+    /// the checkpoint to resume from. Exits with code 3, distinct from
+    /// ordinary errors, so scripts can tell "don't know yet" from
+    /// "failed".
+    Unknown(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -48,6 +54,7 @@ impl std::fmt::Display for CliError {
             CliError::Io(m) => write!(f, "io: {m}"),
             CliError::Trace(m) => write!(f, "trace: {m}"),
             CliError::Intractable(m) => write!(f, "{m}"),
+            CliError::Unknown(m) => write!(f, "verdict unknown: {m}"),
         }
     }
 }
@@ -95,4 +102,10 @@ gpd <command> ...
   lattice <trace> [--enumerate]
   dot <trace> [--var NAME]
   detect <trace> --pred \"EXPR\" [--definitely] [--enumerate] [--threads N] [--stats]
-  help";
+         [--deadline-ms N] [--max-nodes N] [--max-width N] [--resume CKPT] [--checkpoint FILE]
+  help
+
+detect budget flags bound the NP-hard engines: an exhausted budget exits
+with code 3 (verdict unknown), prints sound partial bounds, and writes a
+checkpoint (default <trace>.ckpt) from which --resume continues the very
+same search.";

@@ -6,7 +6,13 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(err) => {
             eprintln!("gpd: {err}");
-            std::process::exit(1);
+            // Unknown is not a failure: the budget ran out first. The
+            // distinct code lets scripts branch on "resume later".
+            let code = match err {
+                gpd_cli::CliError::Unknown(_) => 3,
+                _ => 1,
+            };
+            std::process::exit(code);
         }
     }
 }

@@ -60,6 +60,14 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// Hard cap on `processes` — a parser resource bound, far above any real
+/// trace, so a hostile header cannot force huge allocations.
+pub const MAX_TRACE_PROCESSES: usize = 1 << 20;
+
+/// Hard cap on the total event count (`Σ counts`), checked with overflow
+/// detection before any per-event allocation happens.
+pub const MAX_TRACE_EVENTS: usize = 1 << 24;
+
 /// Serializes a computation and its variables to the trace format.
 ///
 /// # Example
@@ -153,6 +161,12 @@ pub fn read_trace(input: &str) -> Result<Trace, TraceError> {
         .strip_prefix("processes ")
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| TraceError::new(i, format!("bad processes line {procs_line:?}")))?;
+    if processes > MAX_TRACE_PROCESSES {
+        return Err(TraceError::new(
+            i,
+            format!("{processes} processes exceeds the cap of {MAX_TRACE_PROCESSES}"),
+        ));
+    }
     let (i, counts_line) = lines
         .next()
         .ok_or_else(|| TraceError::new(i, "missing counts line"))?;
@@ -169,6 +183,16 @@ pub fn read_trace(input: &str) -> Result<Trace, TraceError> {
             format!("{} counts for {processes} processes", counts.len()),
         ));
     }
+    counts
+        .iter()
+        .try_fold(0usize, |acc, &c| acc.checked_add(c))
+        .filter(|&t| t <= MAX_TRACE_EVENTS)
+        .ok_or_else(|| {
+            TraceError::new(
+                i,
+                format!("declared event count exceeds the cap of {MAX_TRACE_EVENTS}"),
+            )
+        })?;
 
     let mut b = ComputationBuilder::new(processes);
     let mut ids = Vec::with_capacity(processes);
@@ -216,12 +240,17 @@ pub fn read_trace(input: &str) -> Result<Trace, TraceError> {
                     other => Err(TraceError::new(i, format!("bad bool {other:?}"))),
                 })
                 .collect::<Result<_, _>>()?;
-            bool_tracks
-                .entry(name)
+            let slot = bool_tracks
+                .entry(name.clone())
                 .or_insert_with(|| vec![None; processes])
                 .get_mut(p)
-                .ok_or_else(|| TraceError::new(i, format!("process {p} out of range")))?
-                .replace(track);
+                .ok_or_else(|| TraceError::new(i, format!("process {p} out of range")))?;
+            if slot.replace(track).is_some() {
+                return Err(TraceError::new(
+                    i,
+                    format!("duplicate boolvar line for {name:?} p{p}"),
+                ));
+            }
         } else if let Some(rest) = line.strip_prefix("intvar ") {
             let (name, p, vals) = parse_var_line(rest, i)?;
             let track: Vec<i64> = vals
@@ -231,12 +260,17 @@ pub fn read_trace(input: &str) -> Result<Trace, TraceError> {
                         .map_err(|_| TraceError::new(i, format!("bad int {t:?}")))
                 })
                 .collect::<Result<_, _>>()?;
-            int_tracks
-                .entry(name)
+            let slot = int_tracks
+                .entry(name.clone())
                 .or_insert_with(|| vec![None; processes])
                 .get_mut(p)
-                .ok_or_else(|| TraceError::new(i, format!("process {p} out of range")))?
-                .replace(track);
+                .ok_or_else(|| TraceError::new(i, format!("process {p} out of range")))?;
+            if slot.replace(track).is_some() {
+                return Err(TraceError::new(
+                    i,
+                    format!("duplicate intvar line for {name:?} p{p}"),
+                ));
+            }
         } else {
             return Err(TraceError::new(i, format!("unrecognized line {line:?}")));
         }
@@ -370,6 +404,38 @@ mod tests {
         assert!(read_trace(&format!("{base}boolvar f 0 0 1\nend\n")).is_err());
         assert!(read_trace(&format!("{base}intvar x 0: 1\nend\n")).is_err()); // wrong length
         assert!(read_trace(&format!("{base}weird line\nend\n")).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_variable_tracks() {
+        let base = "gpd-trace 1\nprocesses 1\ncounts 1\n";
+        let dup_bool = format!("{base}boolvar f 0: 0 1\nboolvar f 0: 1 0\nend\n");
+        let err = read_trace(&dup_bool).unwrap_err();
+        assert!(err.to_string().contains("duplicate boolvar"), "{err}");
+        let dup_int = format!("{base}intvar x 0: 1 2\nintvar x 0: 3 4\nend\n");
+        let err = read_trace(&dup_int).unwrap_err();
+        assert!(err.to_string().contains("duplicate intvar"), "{err}");
+        // Same name on *different* processes is fine.
+        let ok = "gpd-trace 1\nprocesses 2\ncounts 1 1\nboolvar f 0: 0 1\nboolvar f 1: 1 0\nend\n";
+        assert!(read_trace(ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_oversized_declarations_before_allocating() {
+        // A hostile header must fail fast, not exhaust memory.
+        let huge_counts = "gpd-trace 1\nprocesses 1\ncounts 99999999999999\nend\n";
+        assert!(read_trace(huge_counts).is_err());
+        let overflow = format!(
+            "gpd-trace 1\nprocesses 2\ncounts {} {}\nend\n",
+            usize::MAX,
+            usize::MAX
+        );
+        assert!(read_trace(&overflow).is_err());
+        let huge_procs = format!(
+            "gpd-trace 1\nprocesses {}\ncounts\nend\n",
+            MAX_TRACE_PROCESSES + 1
+        );
+        assert!(read_trace(&huge_procs).is_err());
     }
 
     #[test]

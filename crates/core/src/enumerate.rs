@@ -79,7 +79,7 @@ where
             for succ in comp.cut_successors(&level[i]) {
                 let packed = packer.pack_cut(&succ);
                 let shard = (packed.hash_value() as usize) & (shards - 1);
-                let mut guard = sharded[shard].lock().expect("shard mutex");
+                let mut guard = crate::par::lock_unpoisoned(&sharded[shard]);
                 if guard.0.insert(packed) {
                     guard.1.push(succ);
                 }
@@ -87,7 +87,7 @@ where
         });
         let next: Vec<Cut> = sharded
             .into_iter()
-            .flat_map(|s| s.into_inner().expect("shard mutex").1)
+            .flat_map(|s| crate::par::into_inner_unpoisoned(s).1)
             .collect();
         if next.is_empty() {
             return None;
@@ -208,6 +208,339 @@ where
     }
     // Some run reached the final level (k = total) avoiding Φ throughout.
     false
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted variants: deadline/node/width governed, resumable, panic-isolated
+// ---------------------------------------------------------------------------
+
+use crate::budget::{
+    catch_detect, problem_fingerprint, Budget, BudgetMeter, Checkpoint, DetectError, ExhaustReason,
+    Partial, Progress, Verdict,
+};
+
+/// Engine name embedded in [`possibly_by_enumeration_budgeted`]'s
+/// checkpoints.
+pub const POSSIBLY_ENUMERATE: &str = "possibly-enumerate";
+/// Engine name embedded in [`definitely_levelwise_budgeted`]'s
+/// checkpoints.
+pub const DEFINITELY_LEVELWISE: &str = "definitely-levelwise";
+
+/// Work-item granularity of the budgeted level sweeps: budget checks and
+/// witness aggregation happen between waves of `LEVEL_BLOCK × workers`
+/// cuts.
+const LEVEL_BLOCK: usize = 256;
+
+/// Probes a (canonically sorted) level for its **lowest-index** witness,
+/// wave-synchronously: each wave's blocks are evaluated in parallel,
+/// then the minimum hit wins. The winning index is independent of the
+/// thread count, which is what makes budgeted witnesses byte-identical
+/// across 1/2/4 threads (unlike the racy [`possibly_by_enumeration_par`]).
+fn probe_level_budgeted<F>(
+    predicate: &F,
+    threads: usize,
+    level: &[Cut],
+    budget: &Budget,
+    meter: &BudgetMeter,
+) -> Result<Option<Cut>, ExhaustReason>
+where
+    F: Fn(&Cut) -> bool + Sync,
+{
+    let wave = LEVEL_BLOCK * threads.max(1);
+    let mut start = 0usize;
+    while start < level.len() {
+        if budget.deadline_exceeded() {
+            return Err(ExhaustReason::Deadline);
+        }
+        if budget.nodes_exceeded(meter.nodes()) {
+            return Err(ExhaustReason::Nodes);
+        }
+        let end = (start + wave).min(level.len());
+        let blocks = (end - start).div_ceil(LEVEL_BLOCK);
+        let hits = crate::par::map_indexed(threads, blocks, |b| {
+            let lo = start + b * LEVEL_BLOCK;
+            let hi = (lo + LEVEL_BLOCK).min(end);
+            (lo..hi).find(|&i| predicate(&level[i]))
+        });
+        meter.charge((end - start) as u64);
+        if let Some(i) = hits.into_iter().flatten().next() {
+            return Ok(Some(level[i].clone()));
+        }
+        start = end;
+    }
+    Ok(None)
+}
+
+/// One budget-governed expansion of `level` into the next lattice level,
+/// keeping successors that pass `keep`, deduplicated through hashed
+/// shards and **canonically sorted** (frontier-lexicographic). Interrupts
+/// only between waves, so an `Err` means the partially built next level
+/// was discarded whole — the caller's current level stays the valid
+/// checkpoint boundary.
+fn expand_level_budgeted<K>(
+    comp: &Computation,
+    packer: &FrontierPacker,
+    threads: usize,
+    level: &[Cut],
+    keep: &K,
+    budget: &Budget,
+    meter: &BudgetMeter,
+) -> Result<Vec<Cut>, ExhaustReason>
+where
+    K: Fn(&Cut) -> bool + Sync,
+{
+    let shards = (threads.max(1) * 4).next_power_of_two();
+    type Shard = (HashSet<PackedFrontier>, Vec<Cut>);
+    let sharded: Vec<Mutex<Shard>> = (0..shards)
+        .map(|_| Mutex::new((HashSet::new(), Vec::new())))
+        .collect();
+    let wave = LEVEL_BLOCK * threads.max(1);
+    let mut kept = 0usize;
+    let mut start = 0usize;
+    while start < level.len() {
+        if budget.deadline_exceeded() {
+            return Err(ExhaustReason::Deadline);
+        }
+        if budget.nodes_exceeded(meter.nodes()) {
+            return Err(ExhaustReason::Nodes);
+        }
+        // The width cap bounds the materialized sets: the level being
+        // expanded and the one being built.
+        if budget.width_exceeded(kept.max(level.len())) {
+            return Err(ExhaustReason::Width);
+        }
+        let end = (start + wave).min(level.len());
+        let blocks = (end - start).div_ceil(LEVEL_BLOCK);
+        let explored = crate::par::map_indexed(threads, blocks, |b| {
+            let lo = start + b * LEVEL_BLOCK;
+            let hi = (lo + LEVEL_BLOCK).min(end);
+            let mut count = 0u64;
+            let mut succs: Vec<Cut> = Vec::new();
+            for cut in &level[lo..hi] {
+                comp.cut_successors_into(cut, &mut succs);
+                for succ in succs.drain(..) {
+                    count += 1;
+                    if !keep(&succ) {
+                        continue;
+                    }
+                    let packed = packer.pack_cut(&succ);
+                    let shard = (packed.hash_value() as usize) & (shards - 1);
+                    let mut guard = crate::par::lock_unpoisoned(&sharded[shard]);
+                    if guard.0.insert(packed) {
+                        guard.1.push(succ);
+                    }
+                }
+            }
+            count
+        });
+        meter.charge(explored.iter().sum());
+        kept = sharded
+            .iter()
+            .map(|s| crate::par::lock_unpoisoned(s).1.len())
+            .sum();
+        start = end;
+    }
+    if budget.width_exceeded(kept) {
+        return Err(ExhaustReason::Width);
+    }
+    let mut next: Vec<Cut> = sharded
+        .into_iter()
+        .flat_map(|s| crate::par::into_inner_unpoisoned(s).1)
+        .collect();
+    next.sort_unstable();
+    Ok(next)
+}
+
+/// Builds the `Unknown` verdict for a level sweep stopped at `level`
+/// (index `level_index`, not yet fully processed). `swept` is the sound
+/// bound: levels `0..swept` were fully probed witness-free.
+fn unknown_at_level<T>(
+    detector: &str,
+    problem: u64,
+    reason: ExhaustReason,
+    meter: &BudgetMeter,
+    level_index: u32,
+    swept: u32,
+    level: &[Cut],
+) -> Verdict<T> {
+    let frontiers = level.iter().map(|c| c.frontier().to_vec()).collect();
+    Verdict::Unknown(Partial {
+        reason,
+        progress: Progress {
+            nodes_explored: meter.nodes(),
+            levels_swept: Some(swept),
+            ..Progress::default()
+        },
+        checkpoint: Checkpoint::level(detector, problem, level_index, frontiers),
+    })
+}
+
+/// [`possibly_by_enumeration`] under a [`Budget`]: level-synchronous,
+/// deterministic, resumable.
+///
+/// Differences from the unbudgeted walks, by design:
+///
+/// * Every level is kept canonically sorted and probed for its
+///   lowest-index witness, so for a fixed input the verdict **and the
+///   witness** are byte-identical at every thread count — and an
+///   interrupted run resumed from its checkpoint reproduces exactly the
+///   uninterrupted outcome (`tests/budget_resume.rs` asserts both).
+/// * An exhausted budget returns [`Verdict::Unknown`] carrying the
+///   levels swept so far and a [`Checkpoint`] of the current level.
+///   Checkpoints sit on level boundaries: work inside an interrupted
+///   level is discarded, never resumed mid-way.
+/// * A panicking `predicate` surfaces as
+///   [`DetectError::PredicatePanicked`] instead of unwinding.
+///
+/// # Errors
+///
+/// [`DetectError::CheckpointMismatch`] if `resume` belongs to another
+/// engine or computation; [`DetectError::PredicatePanicked`] if the
+/// predicate panics.
+pub fn possibly_by_enumeration_budgeted<F>(
+    comp: &Computation,
+    predicate: F,
+    threads: usize,
+    budget: &Budget,
+    meter: &BudgetMeter,
+    resume: Option<&Checkpoint>,
+) -> Result<Verdict<Option<Cut>>, DetectError>
+where
+    F: Fn(&Cut) -> bool + Sync,
+{
+    let problem = problem_fingerprint(comp);
+    let (k0, level0) = match resume {
+        None => (0u32, vec![comp.initial_cut()]),
+        Some(cp) => cp.restore_level(POSSIBLY_ENUMERATE, problem, comp)?,
+    };
+    catch_detect(move || {
+        let total = comp.final_cut().event_count() as u32;
+        let packer = FrontierPacker::new(comp);
+        let mut k = k0;
+        let mut level = level0;
+        loop {
+            match probe_level_budgeted(&predicate, threads, &level, budget, meter) {
+                Ok(Some(witness)) => {
+                    return Verdict::Decided(Some(witness), Progress::with_nodes(meter))
+                }
+                Ok(None) => {}
+                Err(reason) => {
+                    return unknown_at_level(
+                        POSSIBLY_ENUMERATE,
+                        problem,
+                        reason,
+                        meter,
+                        k,
+                        k,
+                        &level,
+                    )
+                }
+            }
+            if k >= total {
+                return Verdict::Decided(None, Progress::with_nodes(meter));
+            }
+            match expand_level_budgeted(comp, &packer, threads, &level, &|_| true, budget, meter) {
+                Ok(next) => {
+                    debug_assert!(!next.is_empty(), "non-final levels always have successors");
+                    k += 1;
+                    level = next;
+                }
+                // Level k is fully probed (hence swept = k + 1) but the
+                // next level was discarded: resume re-probes level k —
+                // harmlessly, it is witness-free — then re-expands.
+                Err(reason) => {
+                    return unknown_at_level(
+                        POSSIBLY_ENUMERATE,
+                        problem,
+                        reason,
+                        meter,
+                        k,
+                        k + 1,
+                        &level,
+                    )
+                }
+            }
+        }
+    })
+}
+
+/// [`definitely_levelwise`] under a [`Budget`]: the same one-level-wide
+/// `¬Φ` reachability sweep, budget-governed and resumable. The stored
+/// checkpoint level is the set of reachable `¬Φ` cuts with `level`
+/// events; `levels_swept` counts levels fully processed. Semantics of
+/// budgets, determinism and panic containment match
+/// [`possibly_by_enumeration_budgeted`].
+///
+/// # Errors
+///
+/// [`DetectError::CheckpointMismatch`] on a foreign `resume`;
+/// [`DetectError::PredicatePanicked`] if the predicate panics.
+pub fn definitely_levelwise_budgeted<F>(
+    comp: &Computation,
+    predicate: F,
+    threads: usize,
+    budget: &Budget,
+    meter: &BudgetMeter,
+    resume: Option<&Checkpoint>,
+) -> Result<Verdict<bool>, DetectError>
+where
+    F: Fn(&Cut) -> bool + Sync,
+{
+    let problem = problem_fingerprint(comp);
+    let resumed = match resume {
+        None => None,
+        Some(cp) => Some(cp.restore_level(DEFINITELY_LEVELWISE, problem, comp)?),
+    };
+    catch_detect(move || {
+        let total = comp.final_cut().event_count() as u32;
+        let packer = FrontierPacker::new(comp);
+        let (mut k, mut level) = match resumed {
+            Some(state) => state,
+            None => {
+                let start = comp.initial_cut();
+                meter.charge(1);
+                if predicate(&start) {
+                    return Verdict::Decided(true, Progress::with_nodes(meter));
+                }
+                (0u32, vec![start])
+            }
+        };
+        // Invariant: `level` holds the ¬Φ cuts with k events reachable
+        // from the initial cut through ¬Φ cuts only.
+        while k < total {
+            match expand_level_budgeted(
+                comp,
+                &packer,
+                threads,
+                &level,
+                &|c| !predicate(c),
+                budget,
+                meter,
+            ) {
+                Ok(next) if next.is_empty() => {
+                    // Every surviving run hit Φ.
+                    return Verdict::Decided(true, Progress::with_nodes(meter));
+                }
+                Ok(next) => {
+                    k += 1;
+                    level = next;
+                }
+                Err(reason) => {
+                    return unknown_at_level(
+                        DEFINITELY_LEVELWISE,
+                        problem,
+                        reason,
+                        meter,
+                        k,
+                        k,
+                        &level,
+                    )
+                }
+            }
+        }
+        // Some run reached the final level avoiding Φ throughout.
+        Verdict::Decided(false, Progress::with_nodes(meter))
+    })
 }
 
 #[cfg(test)]

@@ -44,6 +44,7 @@
 //! assert!(phi.eval(&x, &witness));
 //! ```
 
+pub mod budget;
 pub mod conjunctive;
 mod conjunctive_definitely;
 pub mod counters;
@@ -59,6 +60,10 @@ pub mod singular;
 pub mod stable;
 pub mod symmetric;
 
+pub use budget::{
+    problem_fingerprint, Budget, BudgetMeter, Checkpoint, CheckpointError, DetectError,
+    ExhaustReason, Partial, Progress, Verdict,
+};
 pub use predicate::{CnfClause, Relop, SingularCnf};
 pub use relational::NotUnitStepError;
 pub use symmetric::SymmetricPredicate;

@@ -14,6 +14,23 @@ use std::collections::VecDeque;
 
 use gpd_computation::VectorClock;
 
+/// How [`ConjunctiveMonitor::observe`] classified one delivery. The
+/// monitor's verdict is unaffected by `Duplicate` and `Stale`
+/// deliveries — an at-least-once, reordering channel between the
+/// application and the checker degrades into redundant traffic, never
+/// into corrupted queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observation {
+    /// A new true state, enqueued and scanned.
+    Accepted,
+    /// A redelivery of the newest state already observed from this
+    /// process (same local component); dropped.
+    Duplicate,
+    /// An observation older than one already accepted from this process
+    /// (a reordered or replayed delivery); dropped.
+    Stale,
+}
+
 /// Streaming detector for `Possibly(x₀ ∧ … ∧ x_{n−1})`.
 ///
 /// # Example
@@ -33,6 +50,11 @@ use gpd_computation::VectorClock;
 pub struct ConjunctiveMonitor {
     /// Per process: pending true-state clocks, oldest first.
     queues: Vec<VecDeque<VectorClock>>,
+    /// Per process: the local component of the newest observation ever
+    /// accepted — the high-water mark duplicates and stale redeliveries
+    /// are screened against. Survives queue pops (an eliminated head
+    /// must not reopen the door for its own redelivery).
+    latest: Vec<Option<u32>>,
     /// Found witness (sticky once set).
     witness: Option<Vec<VectorClock>>,
 }
@@ -42,6 +64,7 @@ impl ConjunctiveMonitor {
     pub fn new(n: usize) -> Self {
         ConjunctiveMonitor {
             queues: vec![VecDeque::new(); n],
+            latest: vec![None; n],
             witness: None,
         }
     }
@@ -54,6 +77,7 @@ impl ConjunctiveMonitor {
         for (p, &true_initially) in initial.iter().enumerate() {
             if true_initially {
                 monitor.queues[p].push_back(VectorClock::zero(initial.len()));
+                monitor.latest[p] = Some(0);
             }
         }
         monitor.scan();
@@ -67,30 +91,39 @@ impl ConjunctiveMonitor {
 
     /// Reports that process `p` entered a local state in which its
     /// variable is **true**, stamped with the state's vector clock
-    /// (the clock of the event that produced the state). States must
-    /// arrive in per-process order; interleaving across processes is
-    /// arbitrary.
+    /// (the clock of the event that produced the state). Interleaving
+    /// across processes is arbitrary, and the channel from each process
+    /// need not be reliable: a redelivery of the newest accepted state
+    /// is reported as [`Observation::Duplicate`], anything older than
+    /// the high-water mark as [`Observation::Stale`] — both are dropped
+    /// without touching the queues, so duplication and reordering can
+    /// never corrupt the verdict (states are identified by their local
+    /// clock component, which increases strictly along a process).
     ///
     /// False states need not be reported.
     ///
     /// # Panics
     ///
-    /// Panics if `p` is out of range, the clock has the wrong length, or
-    /// the clock regresses within `p`'s stream.
-    pub fn observe(&mut self, p: usize, clock: VectorClock) {
+    /// Panics if `p` is out of range or the clock has the wrong length
+    /// (malformed input, not a fault-tolerance concern).
+    pub fn observe(&mut self, p: usize, clock: VectorClock) -> Observation {
         assert!(p < self.queues.len(), "process {p} out of range");
         assert_eq!(clock.len(), self.queues.len(), "clock length mismatch");
-        if let Some(last) = self.queues[p].back() {
-            assert!(
-                last.get(p) < clock.get(p),
-                "states of p{p} must arrive in order"
-            );
+        let local = clock.get(p);
+        if let Some(high_water) = self.latest[p] {
+            if local == high_water {
+                return Observation::Duplicate;
+            }
+            if local < high_water {
+                return Observation::Stale;
+            }
         }
-        if self.witness.is_some() {
-            return;
+        self.latest[p] = Some(local);
+        if self.witness.is_none() {
+            self.queues[p].push_back(clock);
+            self.scan();
         }
-        self.queues[p].push_back(clock);
-        self.scan();
+        Observation::Accepted
     }
 
     /// The witness — one true-state clock per process, pairwise
@@ -186,11 +219,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must arrive in order")]
-    fn out_of_order_stream_panics() {
-        let mut m = ConjunctiveMonitor::new(1);
-        m.observe(0, VectorClock::from(vec![2]));
-        m.observe(0, VectorClock::from(vec![1]));
+    fn duplicate_and_stale_deliveries_are_screened() {
+        let mut m = ConjunctiveMonitor::new(2);
+        assert_eq!(
+            m.observe(0, VectorClock::from(vec![2, 0])),
+            Observation::Accepted
+        );
+        // Redelivery of the newest state: dropped.
+        assert_eq!(
+            m.observe(0, VectorClock::from(vec![2, 0])),
+            Observation::Duplicate
+        );
+        // A reordered older state: dropped, queues untouched.
+        assert_eq!(
+            m.observe(0, VectorClock::from(vec![1, 0])),
+            Observation::Stale
+        );
+        assert!(m.witness().is_none());
+        assert_eq!(
+            m.observe(1, VectorClock::from(vec![0, 1])),
+            Observation::Accepted
+        );
+        assert!(m.witness().is_some());
+    }
+
+    #[test]
+    fn eliminated_states_stay_stale_after_pops() {
+        // p1's state saw two events of p0, eliminating p0's first state
+        // from the queue. Its redelivery must still be screened even
+        // though the queue no longer holds it.
+        let mut m = ConjunctiveMonitor::new(2);
+        m.observe(0, VectorClock::from(vec![1, 0]));
+        m.observe(1, VectorClock::from(vec![2, 1]));
+        assert!(m.witness().is_none());
+        assert_eq!(
+            m.observe(0, VectorClock::from(vec![1, 0])),
+            Observation::Duplicate
+        );
+        assert!(m.witness().is_none());
+        m.observe(0, VectorClock::from(vec![3, 0]));
+        assert!(m.witness().is_some());
+    }
+
+    #[test]
+    fn initial_truths_screen_their_own_redelivery() {
+        let mut m = ConjunctiveMonitor::with_initial(&[true, false]);
+        assert_eq!(m.observe(0, VectorClock::zero(2)), Observation::Duplicate);
     }
 
     #[test]
@@ -224,7 +298,17 @@ mod tests {
             for p in order {
                 let clock = streams[p][idx[p]].clone();
                 idx[p] += 1;
-                monitor.observe(p, clock);
+                monitor.observe(p, clock.clone());
+                // An unreliable channel: sometimes redeliver the newest
+                // state, sometimes replay an older one. Neither may
+                // change the verdict.
+                if rng.gen_bool(0.3) {
+                    assert_eq!(monitor.observe(p, clock), Observation::Duplicate);
+                }
+                if idx[p] > 1 && rng.gen_bool(0.3) {
+                    let old = streams[p][rng.gen_range(0..idx[p] - 1)].clone();
+                    assert_eq!(monitor.observe(p, old), Observation::Stale);
+                }
             }
 
             let offline =

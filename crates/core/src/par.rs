@@ -40,9 +40,22 @@
 //! satisfies the predicate — callers that need the sequential witness run
 //! with `threads ≤ 1`. This contract is exercised by the
 //! `parallel_determinism` tests in `tests/parallel_agreement.rs`.
+//!
+//! # Panic isolation
+//!
+//! A worker whose closure panics can never cascade into a process abort:
+//! every closure call runs under `catch_unwind`, the first panic payload
+//! is stashed (cancelling the remaining workers), and the payload is
+//! re-raised **once, on the calling thread** after the scope joins. No
+//! shared lock is ever acquired with `.expect` — all lock handling is
+//! poison-recovering ([`lock_unpoisoned`]), so even a panic at an
+//! unfortunate instant leaves the witness slot readable. Callers that
+//! want a structured error instead of a propagated panic wrap the call in
+//! `crate::budget::catch_detect` (every budgeted engine does).
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Cooperative cancellation shared by one fan-out's workers.
 #[derive(Debug, Default)]
@@ -73,6 +86,45 @@ fn worker_count(threads: usize, work: usize) -> usize {
     threads.min(work).min(hw.max(1) * 2)
 }
 
+/// Locks a mutex, recovering the data if a previous holder panicked.
+/// Sound here because every shared slot in this module holds plain data
+/// (an `Option` witness) whose every individual write is atomic from the
+/// lock's perspective — a panicked worker cannot leave it half-updated.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_unpoisoned`] for consuming a mutex after the scope joined.
+pub(crate) fn into_inner_unpoisoned<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// First panic payload raised by any worker of one fan-out. Workers
+/// store the payload instead of unwinding through `thread::scope` (which
+/// would re-panic on join with a poisoned witness slot left behind);
+/// after the scope, [`PanicSlot::rethrow`] re-raises it exactly once on
+/// the calling thread.
+#[derive(Default)]
+struct PanicSlot {
+    payload: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl PanicSlot {
+    fn capture(&self, payload: Box<dyn std::any::Any + Send + 'static>) {
+        let mut slot = lock_unpoisoned(&self.payload);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Re-raises the captured panic (if any) on the current thread.
+    fn rethrow(self) {
+        if let Some(payload) = into_inner_unpoisoned(self.payload) {
+            resume_unwind(payload);
+        }
+    }
+}
+
 /// Searches `f(0), …, f(count - 1)` for the first `Some`, fanning the
 /// trials out over `threads` workers with first-witness cancellation.
 ///
@@ -91,6 +143,7 @@ where
     let cancel = Cancellation::new();
     let next = AtomicUsize::new(0);
     let found: Mutex<Option<T>> = Mutex::new(None);
+    let panics = PanicSlot::default();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -101,20 +154,29 @@ where
                 if i >= count {
                     return;
                 }
-                if let Some(witness) = f(i) {
-                    cancel.cancel();
-                    let mut slot = found.lock().expect("witness mutex");
-                    // First writer wins; later witnesses are equally
-                    // valid, so dropping them is fine.
-                    if slot.is_none() {
-                        *slot = Some(witness);
+                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(Some(witness)) => {
+                        cancel.cancel();
+                        let mut slot = lock_unpoisoned(&found);
+                        // First writer wins; later witnesses are equally
+                        // valid, so dropping them is fine.
+                        if slot.is_none() {
+                            *slot = Some(witness);
+                        }
+                        return;
                     }
-                    return;
+                    Ok(None) => {}
+                    Err(payload) => {
+                        cancel.cancel();
+                        panics.capture(payload);
+                        return;
+                    }
                 }
             });
         }
     });
-    found.into_inner().expect("witness mutex")
+    panics.rethrow();
+    into_inner_unpoisoned(found)
 }
 
 /// [`search_first`] over the mixed-radix space `{0..sizes[0]} × … ×
@@ -181,6 +243,7 @@ where
     }
     let next = AtomicUsize::new(0);
     let found: Mutex<Option<T>> = Mutex::new(None);
+    let panics = PanicSlot::default();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -192,18 +255,27 @@ where
                     return;
                 }
                 let end = (start + chunk).min(total);
-                if let Some(witness) = f(start..end, &cancel) {
-                    cancel.cancel();
-                    let mut slot = found.lock().expect("witness mutex");
-                    if slot.is_none() {
-                        *slot = Some(witness);
+                match catch_unwind(AssertUnwindSafe(|| f(start..end, &cancel))) {
+                    Ok(Some(witness)) => {
+                        cancel.cancel();
+                        let mut slot = lock_unpoisoned(&found);
+                        if slot.is_none() {
+                            *slot = Some(witness);
+                        }
+                        return;
                     }
-                    return;
+                    Ok(None) => {}
+                    Err(payload) => {
+                        cancel.cancel();
+                        panics.capture(payload);
+                        return;
+                    }
                 }
             });
         }
     });
-    found.into_inner().expect("witness mutex")
+    panics.rethrow();
+    into_inner_unpoisoned(found)
 }
 
 /// Order-preserving parallel map over `0..count`: returns
@@ -222,25 +294,37 @@ where
         return (0..count).map(g).collect();
     }
     let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let panics = PanicSlot::default();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= count {
                     return;
                 }
-                let value = g(i);
-                *slots[i].lock().expect("slot mutex") = Some(value);
+                match catch_unwind(AssertUnwindSafe(|| g(i))) {
+                    Ok(value) => *lock_unpoisoned(&slots[i]) = Some(value),
+                    Err(payload) => {
+                        stop.store(true, Ordering::Release);
+                        panics.capture(payload);
+                        return;
+                    }
+                }
             });
         }
     });
+    // Re-raising first: on a panic the slots are legitimately incomplete
+    // and must not be read.
+    panics.rethrow();
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("slot mutex")
-                .expect("every index was assigned to exactly one worker")
+            into_inner_unpoisoned(slot).expect("every index was assigned to exactly one worker")
         })
         .collect()
 }
@@ -381,5 +465,60 @@ mod tests {
             assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
         }
         assert!(map_indexed(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn worker_panics_propagate_once_and_leave_the_pool_reusable() {
+        for threads in [0, 1, 2, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                search_first(threads, 100, |i| -> Option<usize> {
+                    if i == 13 {
+                        panic!("bad predicate");
+                    }
+                    None
+                })
+            });
+            assert!(caught.is_err(), "search_first, threads = {threads}");
+
+            let caught = std::panic::catch_unwind(|| {
+                search_chunks(threads, 100, 7, |range, _| -> Option<usize> {
+                    if range.contains(&42) {
+                        panic!("bad range");
+                    }
+                    None
+                })
+            });
+            assert!(caught.is_err(), "search_chunks, threads = {threads}");
+
+            let caught = std::panic::catch_unwind(|| {
+                map_indexed(threads, 50, |i| {
+                    if i == 17 {
+                        panic!("bad item");
+                    }
+                    i
+                })
+            });
+            assert!(caught.is_err(), "map_indexed, threads = {threads}");
+        }
+        // Nothing global was poisoned: fresh fan-outs still work.
+        assert_eq!(search_first(4, 10, |i| (i == 3).then_some(i)), Some(3));
+        assert_eq!(map_indexed(4, 4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn panic_beats_witness_when_both_happen() {
+        // A worker that panics after another found a witness must still
+        // surface the panic (the caller cannot trust a partial sweep).
+        for threads in [2, 4] {
+            let caught = std::panic::catch_unwind(|| {
+                search_first(threads, 1000, |i| {
+                    if i == 1 {
+                        panic!("early panic");
+                    }
+                    (i == 999).then_some(i)
+                })
+            });
+            assert!(caught.is_err(), "threads = {threads}");
+        }
     }
 }

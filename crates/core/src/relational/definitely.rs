@@ -9,7 +9,8 @@
 
 use gpd_computation::{Computation, IntVariable};
 
-use crate::enumerate::definitely_levelwise;
+use crate::budget::{Budget, BudgetMeter, Checkpoint, DetectError, Progress, Verdict};
+use crate::enumerate::{definitely_levelwise, definitely_levelwise_budgeted};
 use crate::predicate::Relop;
 use crate::relational::optimize::{max_sum_cut, min_sum_cut};
 
@@ -75,6 +76,48 @@ pub fn definitely_sum(comp: &Computation, var: &IntVariable, relop: Relop, k: i6
         Relop::Gt | Relop::Ge => max_sum_cut(comp, var).0,
     };
     definitely_sum_with_extreme(comp, var, relop, k, extreme)
+}
+
+/// [`definitely_sum`] under a [`Budget`]: the polynomial short-circuits
+/// (endpoint cuts, one-sided max-flow attainability) always run to
+/// completion — they are cheap and give the same answer interrupted or
+/// not — and only the exponential lattice search is budget-governed via
+/// [`definitely_levelwise_budgeted`], whose checkpoint this resumes.
+///
+/// # Errors
+///
+/// [`DetectError::CheckpointMismatch`] on a foreign `resume`.
+#[allow(clippy::too_many_arguments)]
+pub fn definitely_sum_budgeted(
+    comp: &Computation,
+    var: &IntVariable,
+    relop: Relop,
+    k: i64,
+    threads: usize,
+    budget: &Budget,
+    meter: &BudgetMeter,
+    resume: Option<&Checkpoint>,
+) -> Result<Verdict<bool>, DetectError> {
+    let initial = var.sum_at(&comp.initial_cut());
+    let final_sum = var.sum_at(&comp.final_cut());
+    if relop.eval(initial, k) || relop.eval(final_sum, k) {
+        return Ok(Verdict::Decided(true, Progress::with_nodes(meter)));
+    }
+    let extreme = match relop {
+        Relop::Lt | Relop::Le => min_sum_cut(comp, var).0,
+        Relop::Gt | Relop::Ge => max_sum_cut(comp, var).0,
+    };
+    if !relop.eval(extreme, k) {
+        return Ok(Verdict::Decided(false, Progress::with_nodes(meter)));
+    }
+    definitely_levelwise_budgeted(
+        comp,
+        |cut| relop.eval(var.sum_at(cut), k),
+        threads,
+        budget,
+        meter,
+        resume,
+    )
 }
 
 #[cfg(test)]

@@ -3,6 +3,8 @@
 
 use gpd_computation::{Computation, Cut, IntVariable};
 
+use crate::budget::{Budget, BudgetMeter, Checkpoint, DetectError, Progress, Verdict};
+use crate::enumerate::{definitely_levelwise_budgeted, possibly_by_enumeration_budgeted};
 use crate::predicate::Relop;
 use crate::relational::definitely::definitely_sum_with_extreme;
 use crate::relational::optimize::{max_sum_cut, min_sum_cut, sum_extremes};
@@ -170,6 +172,118 @@ pub fn definitely_exact_sum(
     let ((min, _), (max, _)) = sum_extremes(comp, var);
     Ok(definitely_sum_with_extreme(comp, var, Relop::Ge, k, max)
         && definitely_sum_with_extreme(comp, var, Relop::Le, k, min))
+}
+
+/// `Possibly(Σxᵢ = K)` under a [`Budget`], for **arbitrary** step sizes.
+///
+/// The ±1-step case is decided outright by the polynomial Theorem 7
+/// reduction — no budget needed. With larger steps (where the problem is
+/// NP-complete, Theorem 2) the Dinic network still prunes for free: any
+/// cut's sum lies in `[min Σ, max Σ]`, so `K` outside that interval is
+/// `Decided(None)` immediately, the interval reported as
+/// [`Progress::sum_interval`]. Only `K` strictly inside the interval
+/// falls through to the budgeted lattice enumeration, whose `Unknown`
+/// verdicts also carry the interval as the best-known bound.
+///
+/// # Errors
+///
+/// [`DetectError::CheckpointMismatch`] on a foreign `resume`.
+pub fn possibly_exact_sum_budgeted(
+    comp: &Computation,
+    var: &IntVariable,
+    k: i64,
+    threads: usize,
+    budget: &Budget,
+    meter: &BudgetMeter,
+    resume: Option<&Checkpoint>,
+) -> Result<Verdict<Option<Cut>>, DetectError> {
+    match possibly_exact_sum(comp, var, k) {
+        Ok(result) => Ok(Verdict::Decided(result, Progress::with_nodes(meter))),
+        Err(NotUnitStepError { .. }) => {
+            let ((min, _), (max, _)) = sum_extremes(comp, var);
+            if k < min || k > max {
+                return Ok(Verdict::Decided(
+                    None,
+                    Progress {
+                        nodes_explored: meter.nodes(),
+                        sum_interval: Some((min, max)),
+                        ..Progress::default()
+                    },
+                ));
+            }
+            let verdict = possibly_by_enumeration_budgeted(
+                comp,
+                |c| var.sum_at(c) == k,
+                threads,
+                budget,
+                meter,
+                resume,
+            )?;
+            Ok(match verdict {
+                Verdict::Unknown(mut partial) => {
+                    partial.progress.sum_interval = Some((min, max));
+                    Verdict::Unknown(partial)
+                }
+                decided => decided,
+            })
+        }
+    }
+}
+
+/// `Definitely(Σxᵢ = K)` under a [`Budget`], for arbitrary step sizes.
+///
+/// The endpoint and attainability short-circuits always complete
+/// (initial/final sums, one shared Dinic network for both extremes of
+/// Σ). Past them the exact decision runs as one budgeted `¬(Σ = K)`
+/// path-avoidance sweep ([`definitely_levelwise_budgeted`]) rather than
+/// Theorem 7's two inequality sub-queries — a single engine means a
+/// single unambiguous checkpoint to resume, and it stays exact without
+/// the ±1-step hypothesis.
+///
+/// # Errors
+///
+/// [`DetectError::CheckpointMismatch`] on a foreign `resume`.
+pub fn definitely_exact_sum_budgeted(
+    comp: &Computation,
+    var: &IntVariable,
+    k: i64,
+    threads: usize,
+    budget: &Budget,
+    meter: &BudgetMeter,
+    resume: Option<&Checkpoint>,
+) -> Result<Verdict<bool>, DetectError> {
+    let initial = var.sum_at(&comp.initial_cut());
+    let final_sum = var.sum_at(&comp.final_cut());
+    if initial == k || final_sum == k {
+        return Ok(Verdict::Decided(true, Progress::with_nodes(meter)));
+    }
+    let ((min, _), (max, _)) = sum_extremes(comp, var);
+    if k < min || k > max {
+        // No cut attains K at all, so no run passes through it.
+        return Ok(Verdict::Decided(
+            false,
+            Progress {
+                nodes_explored: meter.nodes(),
+                sum_interval: Some((min, max)),
+                ..Progress::default()
+            },
+        ));
+    }
+    let verdict = definitely_levelwise_budgeted(
+        comp,
+        |c| var.sum_at(c) == k,
+        threads,
+        budget,
+        meter,
+        resume,
+    )?;
+    Ok(match verdict {
+        Verdict::Unknown(mut partial) => {
+            partial.progress.sum_interval = Some((min, max));
+            Verdict::Unknown(partial)
+        }
+        decided => decided,
+    })
 }
 
 #[cfg(test)]

@@ -22,6 +22,9 @@ mod definitely;
 mod exact;
 mod optimize;
 
-pub use definitely::definitely_sum;
-pub use exact::{definitely_exact_sum, possibly_exact_sum, NotUnitStepError};
+pub use definitely::{definitely_sum, definitely_sum_budgeted};
+pub use exact::{
+    definitely_exact_sum, definitely_exact_sum_budgeted, possibly_exact_sum,
+    possibly_exact_sum_budgeted, NotUnitStepError,
+};
 pub use optimize::{max_sum_cut, min_sum_cut, possibly_sum, sum_extremes};

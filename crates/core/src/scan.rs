@@ -35,9 +35,14 @@
 
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use gpd_computation::{Computation, Cut, ProcessId};
 
+use crate::budget::{
+    catch_detect, odometer_fingerprint, Budget, BudgetMeter, Checkpoint, DetectError,
+    ExhaustReason, Partial, Progress, Verdict,
+};
 use crate::counters;
 use crate::par::Cancellation;
 
@@ -416,6 +421,252 @@ fn walk_range(
         }
     }
     None
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted odometer: deadline/node governed, resumable, deterministic
+// ---------------------------------------------------------------------------
+
+/// Outcome of one budgeted pass over the §3.3 combination odometer.
+pub(crate) enum OdometerOutcome {
+    /// The **lowest-index** live combination's settled heads.
+    Found { solution: Vec<Candidate> },
+    /// Every combination was scanned or pruned; no witness exists.
+    Exhausted,
+    /// A budget tripped. All combinations below `next` are eliminated
+    /// (scanned witness-free or inside a dead-prefix subtree); nothing
+    /// at or above `next` may be assumed.
+    Interrupted { next: u64, reason: ExhaustReason },
+}
+
+/// Per-block result of [`walk_block`].
+struct BlockResult {
+    visited: u64,
+    found: Option<(usize, Vec<Candidate>)>,
+    interrupted: bool,
+}
+
+/// [`scan_combinations_shared`] under a [`Budget`], resumable from an
+/// odometer position.
+///
+/// The walk is **wave-synchronous**: combinations are consumed in waves
+/// of `chunk × workers × 4` indices, each wave's blocks settled in
+/// parallel and their lowest-index witness aggregated before the next
+/// wave starts. Budgets are decided at wave boundaries (plus a
+/// fine-grained in-wave deadline probe that discards the whole wave when
+/// it fires), so an interrupted run resumes on exactly the boundary an
+/// uninterrupted run would also have crossed — which is why
+/// interrupted-then-resumed verdicts and witnesses are byte-identical to
+/// uninterrupted ones at every thread count. The node cap is only
+/// checked *between* waves, so every resumed call completes at least one
+/// wave: chained tiny-budget resumes always terminate.
+pub(crate) fn scan_combinations_budgeted(
+    comp: &Computation,
+    threads: usize,
+    choices: &[Vec<Vec<Candidate>>],
+    budget: &Budget,
+    meter: &BudgetMeter,
+    start: u64,
+) -> OdometerOutcome {
+    let sizes: Vec<usize> = choices.iter().map(Vec::len).collect();
+    if sizes.contains(&0) {
+        return OdometerOutcome::Exhausted;
+    }
+    let mut total: usize = 1;
+    for &s in &sizes {
+        total = total.saturating_mul(s);
+    }
+    let mut strides = vec![1usize; sizes.len()];
+    for j in (0..sizes.len().saturating_sub(1)).rev() {
+        strides[j] = strides[j + 1].saturating_mul(sizes[j + 1]);
+    }
+    let workers = threads.max(1);
+    let chunk = sizes.last().copied().unwrap_or(1).max(1);
+    let wave = chunk.saturating_mul(workers).saturating_mul(4);
+    let mut at = start.min(total as u64) as usize;
+    while at < total {
+        if budget.deadline_exceeded() {
+            return OdometerOutcome::Interrupted {
+                next: at as u64,
+                reason: ExhaustReason::Deadline,
+            };
+        }
+        if budget.nodes_exceeded(meter.nodes()) {
+            return OdometerOutcome::Interrupted {
+                next: at as u64,
+                reason: ExhaustReason::Nodes,
+            };
+        }
+        let end = at.saturating_add(wave).min(total);
+        let blocks = (end - at).div_ceil(chunk);
+        let best = AtomicU64::new(u64::MAX);
+        let abort = AtomicBool::new(false);
+        let results = crate::par::map_indexed(threads, blocks, |b| {
+            let lo = at + b * chunk;
+            let hi = (lo + chunk).min(end);
+            walk_block(
+                comp,
+                choices,
+                &sizes,
+                &strides,
+                lo..hi,
+                budget,
+                &best,
+                &abort,
+            )
+        });
+        meter.charge(results.iter().map(|r| r.visited).sum());
+        if results.iter().any(|r| r.interrupted) {
+            // The deadline fired mid-wave: discard the wave's findings
+            // wholesale so the checkpoint stays on a deterministic
+            // boundary (the resumed run redoes the wave in full).
+            return OdometerOutcome::Interrupted {
+                next: at as u64,
+                reason: ExhaustReason::Deadline,
+            };
+        }
+        let found = results
+            .into_iter()
+            .filter_map(|r| r.found)
+            .min_by_key(|&(i, _)| i);
+        if let Some((_, solution)) = found {
+            return OdometerOutcome::Found { solution };
+        }
+        at = end;
+    }
+    OdometerOutcome::Exhausted
+}
+
+/// Walks one contiguous block of a wave with a private snapshot stack,
+/// stopping early when another block published a smaller witness index
+/// (`best`) or the shared deadline `abort` flag rose. Mirrors
+/// [`walk_range`] exactly in decode, prefix resume and dead-prefix
+/// skipping, so the set of combinations it eliminates is identical.
+#[allow(clippy::too_many_arguments)]
+fn walk_block(
+    comp: &Computation,
+    choices: &[Vec<Vec<Candidate>>],
+    sizes: &[usize],
+    strides: &[usize],
+    range: Range<usize>,
+    budget: &Budget,
+    best: &AtomicU64,
+    abort: &AtomicBool,
+) -> BlockResult {
+    let g = sizes.len();
+    let mut res = BlockResult {
+        visited: 0,
+        found: None,
+        interrupted: false,
+    };
+    let mut engine = PrefixScan::new(comp);
+    let mut pushed: Vec<usize> = Vec::new();
+    let mut idx = range.start;
+    while idx < range.end {
+        if abort.load(Ordering::Acquire) {
+            res.interrupted = true;
+            return res;
+        }
+        // A strictly smaller witness index already exists: nothing in
+        // the rest of this block can beat it.
+        if idx as u64 > best.load(Ordering::Acquire) {
+            return res;
+        }
+        if res.visited.is_multiple_of(16) && budget.deadline_exceeded() {
+            abort.store(true, Ordering::Release);
+            res.interrupted = true;
+            return res;
+        }
+        res.visited += 1;
+        let mut depth = 0;
+        while depth < pushed.len() && pushed[depth] == (idx / strides[depth]) % sizes[depth] {
+            depth += 1;
+        }
+        engine.truncate(depth);
+        pushed.truncate(depth);
+        let mut dead_at = None;
+        for j in engine.depth()..g {
+            let digit = (idx / strides[j]) % sizes[j];
+            pushed.push(digit);
+            if !engine.push(choices[j][digit].clone()) {
+                dead_at = Some(j);
+                break;
+            }
+        }
+        match dead_at {
+            Some(j) => idx = (idx - idx % strides[j]).saturating_add(strides[j]),
+            None => {
+                best.fetch_min(idx as u64, Ordering::AcqRel);
+                res.found = engine.solution().map(|s| (idx, s));
+                return res;
+            }
+        }
+    }
+    res
+}
+
+/// Shared budgeted entry point for the §3.3 engines: validates/decodes a
+/// resume [`Checkpoint`] against this odometer's shape, runs
+/// [`scan_combinations_budgeted`] with panics contained, and maps the
+/// outcome onto [`Verdict`] — `Found` becomes the least cut through the
+/// winning candidates, `Interrupted` becomes `Unknown` with sound
+/// `combinations_eliminated`/`combinations_total` bounds and a
+/// checkpoint at the interrupted wave's start.
+pub(crate) fn run_odometer(
+    detector: &'static str,
+    comp: &Computation,
+    threads: usize,
+    choices: &[Vec<Vec<Candidate>>],
+    budget: &Budget,
+    meter: &BudgetMeter,
+    resume: Option<&Checkpoint>,
+) -> Result<Verdict<Option<Cut>>, DetectError> {
+    let sizes: Vec<usize> = choices.iter().map(Vec::len).collect();
+    let problem = odometer_fingerprint(comp, &sizes);
+    let total = if sizes.contains(&0) {
+        0
+    } else {
+        let mut t: usize = 1;
+        for &s in &sizes {
+            t = t.saturating_mul(s);
+        }
+        t as u64
+    };
+    let start = match resume {
+        None => 0u64,
+        Some(cp) => cp.restore_odometer(detector, problem, total)?,
+    };
+    catch_detect(move || {
+        match scan_combinations_budgeted(comp, threads, choices, budget, meter, start) {
+            OdometerOutcome::Found { solution } => Verdict::Decided(
+                Some(cut_through(comp, &solution)),
+                Progress {
+                    nodes_explored: meter.nodes(),
+                    combinations_total: Some(total),
+                    ..Progress::default()
+                },
+            ),
+            OdometerOutcome::Exhausted => Verdict::Decided(
+                None,
+                Progress {
+                    nodes_explored: meter.nodes(),
+                    combinations_eliminated: Some(total),
+                    combinations_total: Some(total),
+                    ..Progress::default()
+                },
+            ),
+            OdometerOutcome::Interrupted { next, reason } => Verdict::Unknown(Partial {
+                reason,
+                progress: Progress {
+                    nodes_explored: meter.nodes(),
+                    combinations_eliminated: Some(next),
+                    combinations_total: Some(total),
+                    ..Progress::default()
+                },
+                checkpoint: Checkpoint::odometer(detector, problem, next, total),
+            }),
+        }
+    })
 }
 
 /// The least consistent cut passing through all the (pairwise consistent)

@@ -4,10 +4,15 @@
 use gpd_computation::{BoolVariable, Computation, Cut};
 use gpd_order::{min_chain_cover, Dag};
 
+use crate::budget::{Budget, BudgetMeter, Checkpoint, DetectError, Verdict};
 use crate::par::map_indexed;
 use crate::predicate::SingularCnf;
-use crate::scan::{cut_through, scan_combinations_shared, Candidate};
+use crate::scan::{cut_through, run_odometer, scan_combinations_shared, Candidate};
 use crate::singular::literal_states;
+
+/// Engine name embedded in [`possibly_singular_chains_budgeted`]'s
+/// checkpoints.
+pub const SINGULAR_CHAINS: &str = "singular-chains";
 
 /// Builds, for one clause, the minimum chain cover of its literal-true
 /// states under the causal order on states (state `(p, k)` precedes
@@ -145,6 +150,41 @@ pub fn possibly_singular_chains_par(
     // chain choices resume from the j-th checkpoint. An empty cover
     // (clause with no true states) is a zero-sized dimension → `None`.
     scan_combinations_shared(comp, threads, &covers).map(|found| cut_through(comp, &found))
+}
+
+/// [`possibly_singular_chains`] under a [`Budget`]: covers are still
+/// built eagerly (polynomial, uncharged), then the `∏ᵢ cᵢ` combination
+/// walk runs wave-synchronously, resumable from a checkpoint (see
+/// [`crate::scan::scan_combinations_budgeted`] for the determinism
+/// contract). Panicking predicates surface as
+/// [`DetectError::PredicatePanicked`].
+///
+/// # Errors
+///
+/// [`DetectError::CheckpointMismatch`] if `resume` belongs to another
+/// engine, computation, or cover shape.
+pub fn possibly_singular_chains_budgeted(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+    threads: usize,
+    budget: &Budget,
+    meter: &BudgetMeter,
+    resume: Option<&Checkpoint>,
+) -> Result<Verdict<Option<Cut>>, DetectError> {
+    let clauses = predicate.clauses();
+    let covers: Vec<Vec<Vec<Candidate>>> = map_indexed(threads, clauses.len(), |i| {
+        clause_chains(comp, var, &clauses[i])
+    });
+    run_odometer(
+        SINGULAR_CHAINS,
+        comp,
+        threads,
+        &covers,
+        budget,
+        meter,
+        resume,
+    )
 }
 
 #[cfg(test)]

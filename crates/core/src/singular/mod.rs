@@ -25,14 +25,19 @@ mod chains;
 mod ordered;
 mod subsets;
 
-pub use chains::{chain_cover_sizes, possibly_singular_chains, possibly_singular_chains_par};
+pub use chains::{
+    chain_cover_sizes, possibly_singular_chains, possibly_singular_chains_budgeted,
+    possibly_singular_chains_par, SINGULAR_CHAINS,
+};
 pub use ordered::{possibly_singular_ordered, NotOrderedError};
 pub use subsets::{
-    possibly_singular_subsets, possibly_singular_subsets_par, possibly_singular_subsets_reference,
+    possibly_singular_subsets, possibly_singular_subsets_budgeted, possibly_singular_subsets_par,
+    possibly_singular_subsets_reference, SINGULAR_SUBSETS,
 };
 
 use gpd_computation::{BoolVariable, Computation, Cut, ProcessId};
 
+use crate::budget::{Budget, BudgetMeter, Checkpoint, DetectError, Progress, Verdict};
 use crate::predicate::SingularCnf;
 use crate::scan::Candidate;
 
@@ -79,6 +84,41 @@ pub fn possibly_singular_par(
     match possibly_singular_ordered(comp, var, predicate) {
         Ok(result) => result,
         Err(NotOrderedError) => possibly_singular_chains_par(comp, var, predicate, threads),
+    }
+}
+
+/// [`possibly_singular_par`] under a [`Budget`]: the §3.2 polynomial
+/// special case still short-circuits (it cannot meaningfully exhaust a
+/// budget), and the combinatorial fallback runs as
+/// [`possibly_singular_chains_budgeted`]. A `resume` checkpoint routes
+/// by its recorded engine name, so a run interrupted inside the subsets
+/// engine resumes there even through this dispatcher.
+///
+/// # Errors
+///
+/// [`DetectError::CheckpointMismatch`] on a foreign `resume`;
+/// [`DetectError::PredicatePanicked`] if a scan panics.
+pub fn possibly_singular_budgeted(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+    threads: usize,
+    budget: &Budget,
+    meter: &BudgetMeter,
+    resume: Option<&Checkpoint>,
+) -> Result<Verdict<Option<Cut>>, DetectError> {
+    if let Some(cp) = resume {
+        return if cp.detector() == SINGULAR_SUBSETS {
+            possibly_singular_subsets_budgeted(comp, var, predicate, threads, budget, meter, resume)
+        } else {
+            possibly_singular_chains_budgeted(comp, var, predicate, threads, budget, meter, resume)
+        };
+    }
+    match possibly_singular_ordered(comp, var, predicate) {
+        Ok(result) => Ok(Verdict::Decided(result, Progress::with_nodes(meter))),
+        Err(NotOrderedError) => {
+            possibly_singular_chains_budgeted(comp, var, predicate, threads, budget, meter, None)
+        }
     }
 }
 

@@ -3,10 +3,15 @@
 
 use gpd_computation::{BoolVariable, Computation, Cut};
 
+use crate::budget::{Budget, BudgetMeter, Checkpoint, DetectError, Verdict};
 use crate::par::search_combinations;
 use crate::predicate::SingularCnf;
-use crate::scan::{cut_through, scan_combinations_shared, scan_restart, Candidate};
+use crate::scan::{cut_through, run_odometer, scan_combinations_shared, scan_restart, Candidate};
 use crate::singular::literal_states;
+
+/// Engine name embedded in [`possibly_singular_subsets_budgeted`]'s
+/// checkpoints.
+pub const SINGULAR_SUBSETS: &str = "singular-subsets";
 
 /// Builds each clause's alternatives once: `choices[j][i]` is the state
 /// sequence of clause `j`'s `i`-th literal. The seed rebuilt these per
@@ -88,6 +93,39 @@ pub fn possibly_singular_subsets_par(
 ) -> Option<Cut> {
     let choices = literal_choices(comp, var, predicate);
     scan_combinations_shared(comp, threads, &choices).map(|found| cut_through(comp, &found))
+}
+
+/// [`possibly_singular_subsets`] under a [`Budget`]: the same `∏ᵢ kᵢ`
+/// odometer walk, wave-synchronous and resumable (see
+/// [`crate::scan::scan_combinations_budgeted`] for the determinism
+/// contract). An exhausted budget returns [`Verdict::Unknown`] with the
+/// count of combinations soundly eliminated and a checkpoint at the
+/// interrupted wave's start; panicking predicates surface as
+/// [`DetectError::PredicatePanicked`].
+///
+/// # Errors
+///
+/// [`DetectError::CheckpointMismatch`] if `resume` belongs to another
+/// engine, computation, or clause shape.
+pub fn possibly_singular_subsets_budgeted(
+    comp: &Computation,
+    var: &BoolVariable,
+    predicate: &SingularCnf,
+    threads: usize,
+    budget: &Budget,
+    meter: &BudgetMeter,
+    resume: Option<&Checkpoint>,
+) -> Result<Verdict<Option<Cut>>, DetectError> {
+    let choices = literal_choices(comp, var, predicate);
+    run_odometer(
+        SINGULAR_SUBSETS,
+        comp,
+        threads,
+        &choices,
+        budget,
+        meter,
+        resume,
+    )
 }
 
 /// The seed implementation of [`possibly_singular_subsets`], retained as

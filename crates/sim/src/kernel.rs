@@ -96,26 +96,110 @@ impl<M> Context<'_, M> {
     }
 }
 
+/// Fault injection for the simulated network and processes.
+///
+/// Every roll draws from the kernel's seeded RNG, so a faulty run is
+/// exactly as reproducible as a fault-free one — same seed, same faults,
+/// same trace. A default plan (`FaultPlan::default()`) injects nothing
+/// and consumes **no** randomness, so fault-free runs stay byte-identical
+/// to the pre-fault-injection kernel.
+///
+/// Faults model the channel between application and trace, not a change
+/// of the paper's system model: a dropped message leaves its send event
+/// (and no causal edge) in the computation, a duplicated message yields
+/// two receive events off one send, jitter just widens the reordering
+/// window, and a crashed process simply executes no further events.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Probability that a sent message is silently lost.
+    pub drop_prob: f64,
+    /// Probability that a sent message is delivered twice (each copy
+    /// draws its own delay, so the duplicate usually arrives reordered).
+    pub duplicate_prob: f64,
+    /// Probability that a delivery suffers extra delay from
+    /// `jitter_range`.
+    pub jitter_prob: f64,
+    /// Inclusive range of the extra delay added by a jitter hit.
+    pub jitter_range: (u64, u64),
+    /// Crash schedule: `(process, time)` — from `time` onward (inclusive)
+    /// the process executes no further events; deliveries and timers
+    /// addressed to it are discarded.
+    pub crashes: Vec<(usize, u64)>,
+}
+
+impl FaultPlan {
+    /// No faults — the reliable kernel, bit for bit.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the message-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn with_message_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the message-duplication probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Adds `min..=max` extra delay to each delivery with probability
+    /// `p` (aggravates non-FIFO reordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1` and `min ≤ max`.
+    pub fn with_jitter(mut self, p: f64, min: u64, max: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        assert!(min <= max, "empty jitter range");
+        self.jitter_prob = p;
+        self.jitter_range = (min, max);
+        self
+    }
+
+    /// Crashes `process` at `time` (its start event only happens if
+    /// `time > 0`).
+    pub fn with_crash(mut self, process: usize, time: u64) -> Self {
+        self.crashes.push((process, time));
+        self
+    }
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Seed for all randomness (delays and protocol decisions).
+    /// Seed for all randomness (delays, protocol decisions, fault rolls).
     pub seed: u64,
     /// Inclusive range of message delays.
     pub delay_range: (u64, u64),
     /// Stop after recording this many events (in-flight messages at the
     /// cutoff are dropped; their send events remain in the computation).
     pub max_events: usize,
+    /// Injected faults (none by default).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
     /// A default configuration with the given seed: delays in `1..=10`,
-    /// at most 10 000 events.
+    /// at most 10 000 events, no faults.
     pub fn new(seed: u64) -> Self {
         SimConfig {
             seed,
             delay_range: (1, 10),
             max_events: 10_000,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -133,6 +217,12 @@ impl SimConfig {
     /// Sets the event budget.
     pub fn with_max_events(mut self, max_events: usize) -> Self {
         self.max_events = max_events;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -306,14 +396,25 @@ impl<P: Process> Simulation<P> {
                     items,
                     seq,
                     self.config.delay_range,
+                    &self.config.faults,
                 );
                 record(p, &processes[p], bool_tracks, int_tracks);
             };
 
+        // Earliest crash instant per process (u64::MAX = never).
+        let mut crash_time = vec![u64::MAX; n];
+        for &(p, t) in &self.config.faults.crashes {
+            assert!(p < n, "crashed process {p} out of range");
+            crash_time[p] = crash_time[p].min(t);
+        }
+
         // Start events, in process order at time 0.
-        for p in 0..n {
+        for (p, &crash_at) in crash_time.iter().enumerate() {
             if builder.event_count() >= self.config.max_events {
                 break;
+            }
+            if crash_at == 0 {
+                continue; // crashed before it ever ran
             }
             dispatch(
                 p,
@@ -336,6 +437,12 @@ impl<P: Process> Simulation<P> {
                 break;
             }
             let item = items[idx].take().expect("items are consumed once");
+            let to = match &item {
+                Item::Deliver { to, .. } | Item::Timer { to } => *to,
+            };
+            if crash_time[to] <= time {
+                continue; // addressed to a crashed process: discarded
+            }
             match item {
                 Item::Deliver {
                     to,
@@ -392,9 +499,12 @@ impl<P: Process> Simulation<P> {
     }
 }
 
-/// Schedules a context's outgoing messages and timers.
+/// Schedules a context's outgoing messages and timers, applying the
+/// fault plan's network rolls. A no-fault plan takes the exact pre-fault
+/// code path — zero extra RNG draws — so fault-free traces stay
+/// byte-identical across this feature's introduction.
 #[allow(clippy::too_many_arguments)]
-fn flush_ctx<M>(
+fn flush_ctx<M: Clone>(
     ctx: Context<'_, M>,
     from: usize,
     now: u64,
@@ -403,6 +513,7 @@ fn flush_ctx<M>(
     items: &mut Vec<Option<Item<M>>>,
     seq: &mut u64,
     delay_range: (u64, u64),
+    faults: &FaultPlan,
 ) {
     let Context {
         outgoing,
@@ -411,16 +522,29 @@ fn flush_ctx<M>(
         ..
     } = ctx;
     for (to, msg) in outgoing {
-        let delay = rng.gen_range(delay_range.0..=delay_range.1);
-        let idx = items.len();
-        items.push(Some(Item::Deliver {
-            to,
-            from,
-            send_event: event,
-            msg,
-        }));
-        *seq += 1;
-        queue.push(Reverse((now + delay, *seq, idx)));
+        if faults.drop_prob > 0.0 && rng.gen_bool(faults.drop_prob) {
+            continue; // lost in transit; the send event stays recorded
+        }
+        let copies = if faults.duplicate_prob > 0.0 && rng.gen_bool(faults.duplicate_prob) {
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let mut delay = rng.gen_range(delay_range.0..=delay_range.1);
+            if faults.jitter_prob > 0.0 && rng.gen_bool(faults.jitter_prob) {
+                delay += rng.gen_range(faults.jitter_range.0..=faults.jitter_range.1);
+            }
+            let idx = items.len();
+            items.push(Some(Item::Deliver {
+                to,
+                from,
+                send_event: event,
+                msg: msg.clone(),
+            }));
+            *seq += 1;
+            queue.push(Reverse((now + delay, *seq, idx)));
+        }
     }
     for delay in timers {
         let idx = items.len();
@@ -646,6 +770,100 @@ mod tests {
             procs[1].received.windows(2).any(|w| w[0] > w[1])
         });
         assert!(reordered, "no seed reordered a message burst");
+    }
+
+    fn burst_pair() -> Vec<Burst> {
+        vec![
+            Burst {
+                sender: true,
+                received: Vec::new(),
+            },
+            Burst {
+                sender: false,
+                received: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn certain_loss_delivers_nothing() {
+        let config = SimConfig::new(5).with_faults(FaultPlan::none().with_message_loss(1.0));
+        let (trace, procs) = Simulation::new(burst_pair(), config).run_with_processes();
+        assert!(procs[1].received.is_empty());
+        // The sends still happened and are recorded as events…
+        assert_eq!(trace.computation.event_count(), 2);
+        // …but no causal edge exists.
+        assert!(trace.computation.messages().is_empty());
+    }
+
+    #[test]
+    fn certain_duplication_doubles_deliveries() {
+        let config = SimConfig::new(5).with_faults(FaultPlan::none().with_duplication(1.0));
+        let (trace, procs) = Simulation::new(burst_pair(), config).run_with_processes();
+        assert_eq!(procs[1].received.len(), 16, "each of 8 messages twice");
+        // Two receive events per send: 2 starts + 16 deliveries.
+        assert_eq!(trace.computation.event_count(), 18);
+        assert_eq!(trace.computation.messages().len(), 16);
+        // Both copies share their send event; causality still holds.
+        for &(s, r) in trace.computation.messages() {
+            assert!(trace.computation.happened_before(s, r));
+        }
+    }
+
+    #[test]
+    fn crashed_process_executes_nothing_after_its_instant() {
+        // Receiver crashes at time 0: not even a start event.
+        let config = SimConfig::new(5).with_faults(FaultPlan::none().with_crash(1, 0));
+        let (trace, procs) = Simulation::new(burst_pair(), config).run_with_processes();
+        assert!(procs[1].received.is_empty());
+        assert_eq!(trace.computation.events_on(1), 0);
+        assert_eq!(trace.computation.events_on(0), 1);
+
+        // Crashing later keeps the prefix: the start event survives, all
+        // deliveries (earliest possible arrival: time 1) are discarded.
+        let config = SimConfig::new(5).with_faults(FaultPlan::none().with_crash(1, 1));
+        let (trace, procs) = Simulation::new(burst_pair(), config).run_with_processes();
+        assert!(procs[1].received.is_empty());
+        assert_eq!(trace.computation.events_on(1), 1);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_under_seed() {
+        let faulty = || {
+            SimConfig::new(77).with_faults(
+                FaultPlan::none()
+                    .with_message_loss(0.3)
+                    .with_duplication(0.3)
+                    .with_jitter(0.5, 5, 50)
+                    .with_crash(0, 40),
+            )
+        };
+        let t1 = Simulation::new(pingpong(40), faulty()).run();
+        let t2 = Simulation::new(pingpong(40), faulty()).run();
+        assert_eq!(t1.computation.messages(), t2.computation.messages());
+        assert_eq!(t1.computation.event_count(), t2.computation.event_count());
+    }
+
+    #[test]
+    fn default_plan_changes_nothing() {
+        // Installing an empty fault plan consumes no randomness: the
+        // trace is byte-identical to the plain configuration's.
+        let plain = Simulation::new(pingpong(6), SimConfig::new(9)).run();
+        let faultless = Simulation::new(
+            pingpong(6),
+            SimConfig::new(9).with_faults(FaultPlan::none()),
+        )
+        .run();
+        assert_eq!(
+            plain.computation.messages(),
+            faultless.computation.messages()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bad_fault_probability_panics() {
+        let _ = FaultPlan::none().with_message_loss(1.5);
     }
 
     #[test]

@@ -7,6 +7,11 @@
 //! paper assumes. The simulator implements exactly the paper's model:
 //! processes with no shared memory or clock, reliable but **non-FIFO**
 //! channels, and unbounded (randomized, seeded) message delays.
+//! A [`FaultPlan`] optionally degrades the channel below the paper's
+//! model — seeded message loss, duplication, jitter-aggravated
+//! reordering, and process crashes — to exercise how the detection
+//! pipeline (trace parsing, online monitoring) tolerates adversarial
+//! input; faulty runs are exactly as reproducible as fault-free ones.
 //!
 //! Every handler invocation becomes one event in the recorded
 //! [`Computation`](gpd_computation::Computation); message deliveries add
@@ -42,4 +47,4 @@
 mod kernel;
 pub mod protocols;
 
-pub use kernel::{Context, Process, SimConfig, SimTrace, Simulation};
+pub use kernel::{Context, FaultPlan, Process, SimConfig, SimTrace, Simulation};

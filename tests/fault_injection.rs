@@ -1,0 +1,125 @@
+//! Detection under degraded channels, end-to-end: the simulator's
+//! [`FaultPlan`] injects loss, duplication, jitter-aggravated reordering
+//! and crashes; the resulting computations still persist through the
+//! trace format and still yield consistent verdicts, and the online
+//! monitor shrugs off the duplicated/reordered deliveries a lossy
+//! monitoring channel would produce.
+
+use gpd::conjunctive::possibly_conjunctive;
+use gpd::online::{ConjunctiveMonitor, Observation};
+use gpd_computation::trace::{read_trace, write_trace};
+use gpd_computation::{ProcessId, VectorClock};
+use gpd_sim::protocols::{RicartAgrawala, TokenRing};
+use gpd_sim::{FaultPlan, SimConfig, Simulation};
+
+fn faulty_config(seed: u64) -> SimConfig {
+    SimConfig::new(seed).with_faults(
+        FaultPlan::none()
+            .with_message_loss(0.2)
+            .with_duplication(0.2)
+            .with_jitter(0.5, 1, 40)
+            .with_crash(1, 30),
+    )
+}
+
+#[test]
+fn faulty_traces_survive_the_text_format() {
+    for seed in [3u64, 11, 42] {
+        let trace = Simulation::new(TokenRing::ring(4, 2), faulty_config(seed)).run();
+        let tokens = trace.int_var("tokens").unwrap();
+        let has = trace.bool_var("has_token").unwrap();
+        let text = write_trace(
+            &trace.computation,
+            &[("has_token", has)],
+            &[("tokens", tokens)],
+        );
+        let back = read_trace(&text).expect("faulty trace parses");
+        assert_eq!(
+            back.computation.event_count(),
+            trace.computation.event_count(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            back.computation.messages().len(),
+            trace.computation.messages().len(),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn fault_injection_is_reproducible() {
+    let run = |seed| {
+        let trace = Simulation::new(TokenRing::ring(4, 2), faulty_config(seed)).run();
+        let tokens = trace.int_var("tokens").unwrap();
+        write_trace(&trace.computation, &[], &[("tokens", tokens)])
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9), run(10), "different seeds take different paths");
+}
+
+#[test]
+fn crashed_process_cannot_witness_conjunctive_truth() {
+    // Crash p1 at time zero: it never executes, so its `in_cs` stays
+    // false and no pair involving p1 can possibly be in the critical
+    // section together — even with the safety bug armed.
+    let config = SimConfig::new(21).with_faults(FaultPlan::none().with_crash(1, 0));
+    let trace = Simulation::new(RicartAgrawala::group_with_bug(3, 2, true), config).run();
+    let in_cs = trace.bool_var("in_cs").unwrap();
+    for other in [0usize, 2] {
+        let procs = [ProcessId::new(1), ProcessId::new(other)];
+        assert!(
+            possibly_conjunctive(&trace.computation, in_cs, &procs).is_none(),
+            "crashed p1 paired with p{other}"
+        );
+    }
+}
+
+#[test]
+fn monitor_verdict_survives_an_at_least_once_channel() {
+    // Stream every true state to the monitor twice (duplication) and
+    // replay an old one after each (reordering): the verdict must equal
+    // the offline answer on a fault-free delivery of the same states.
+    let trace = Simulation::new(
+        RicartAgrawala::group_with_bug(3, 1, true),
+        SimConfig::new(4),
+    )
+    .run();
+    let comp = &trace.computation;
+    let in_cs = trace.bool_var("in_cs").unwrap();
+    let n = comp.process_count();
+
+    let initial: Vec<bool> = (0..n).map(|p| in_cs.true_initially(p)).collect();
+    let mut monitor = ConjunctiveMonitor::with_initial(&initial);
+    let mut delivered: Vec<Vec<VectorClock>> = vec![Vec::new(); n];
+    for (p, seen) in delivered.iter_mut().enumerate() {
+        for k in in_cs.true_states(p) {
+            if k == 0 {
+                continue;
+            }
+            let clock = comp.clock(comp.event_at(p, k).unwrap()).to_owned();
+            assert_eq!(monitor.observe(p, clock.clone()), Observation::Accepted);
+            assert_eq!(monitor.observe(p, clock.clone()), Observation::Duplicate);
+            if let Some(old) = seen.last() {
+                assert_eq!(monitor.observe(p, old.clone()), Observation::Stale);
+            }
+            seen.push(clock);
+        }
+    }
+
+    let procs: Vec<ProcessId> = (0..n).map(ProcessId::new).collect();
+    let offline = possibly_conjunctive(comp, in_cs, &procs);
+    assert_eq!(monitor.witness().is_some(), offline.is_some());
+}
+
+#[test]
+fn total_loss_still_yields_a_detectable_computation() {
+    // With every message dropped the ring degenerates to isolated
+    // processes; detection still runs and the trace format still holds.
+    let config = SimConfig::new(7).with_faults(FaultPlan::none().with_message_loss(1.0));
+    let trace = Simulation::new(TokenRing::ring(3, 1), config).run();
+    assert!(trace.computation.messages().is_empty());
+    let tokens = trace.int_var("tokens").unwrap();
+    let text = write_trace(&trace.computation, &[], &[("tokens", tokens)]);
+    assert!(read_trace(&text).is_ok());
+}

@@ -1,0 +1,168 @@
+//! Adversarial trace-parser fuzzing: no input — truncated, duplicated,
+//! reordered, or garbage — may panic, abort, or exhaust memory. Every
+//! failure must surface as a `TraceError`.
+//!
+//! A committed regression corpus under `tests/corpus/trace/` pins inputs
+//! that once exposed (or guard against) parser weaknesses; file names
+//! encode the expected outcome (`ok_*` parses, `err_*` is rejected).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use gpd_computation::trace::read_trace;
+
+/// Runs the parser under a panic guard; a panic is a test failure no
+/// matter what the input looked like.
+fn parse_must_not_panic(input: &str) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| read_trace(input))) {
+        Ok(Ok(_)) => Ok(()),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(_) => panic!("parser panicked on input:\n{input}"),
+    }
+}
+
+#[test]
+fn regression_corpus_parses_or_errors_as_named() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus/trace");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus directory exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "trace"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus must not be empty");
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let outcome = parse_must_not_panic(&text);
+        if name.starts_with("ok_") {
+            assert!(outcome.is_ok(), "{name} should parse: {outcome:?}");
+        } else if name.starts_with("err_") {
+            assert!(outcome.is_err(), "{name} should be rejected");
+        } else {
+            panic!("corpus file {name} must start with ok_ or err_");
+        }
+    }
+}
+
+mod property {
+    use super::*;
+    use gpd_computation::gen;
+    use gpd_computation::trace::write_trace;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    /// A structurally valid trace to mutate, with shape drawn from the
+    /// same generator the roundtrip tests use.
+    fn seed_trace(seed: u64, n: usize, m: usize, msgs: usize) -> String {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let msgs = if n > 1 && m > 0 { msgs } else { 0 };
+        let comp = gen::random_computation(&mut rng, n, m, msgs);
+        let bv = gen::random_bool_variable(&mut rng, &comp, 0.5);
+        let iv = gen::random_unit_int_variable(&mut rng, &comp);
+        write_trace(&comp, &[("b", &bv)], &[("x", &iv)])
+    }
+
+    /// A run of printable ASCII noise (the vendored proptest has no
+    /// regex strategies, so garbage is drawn from a seeded rng).
+    fn garbage(seed: u64, len: usize) -> String {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|_| char::from(rng.gen_range(0x20u8..0x7f)))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Truncating a valid trace anywhere never panics.
+        #[test]
+        fn truncation_never_panics(
+            seed in any::<u64>(),
+            n in 1usize..5,
+            m in 0usize..6,
+            msgs in 0usize..8,
+            frac in 0.0f64..1.0,
+        ) {
+            let text = seed_trace(seed, n, m, msgs);
+            let cut = ((text.len() as f64) * frac) as usize;
+            let cut = (0..=cut).rev().find(|&c| text.is_char_boundary(c)).unwrap_or(0);
+            let _ = parse_must_not_panic(&text[..cut]);
+        }
+
+        /// Duplicating, deleting, or swapping whole lines never panics,
+        /// and duplicated variable lines are *rejected*, not merged.
+        #[test]
+        fn line_shuffles_never_panic(
+            seed in any::<u64>(),
+            n in 1usize..5,
+            m in 0usize..6,
+            msgs in 0usize..8,
+            op in 0usize..3,
+            ai in 0usize..1024,
+            bi in 0usize..1024,
+        ) {
+            let text = seed_trace(seed, n, m, msgs);
+            let mut lines: Vec<&str> = text.lines().collect();
+            let (a, b) = (ai % lines.len(), bi % lines.len());
+            match op {
+                0 => lines.insert(a, lines[b]),
+                1 => { lines.remove(a); }
+                _ => lines.swap(a, b),
+            }
+            let mutated = lines.join("\n");
+            let outcome = parse_must_not_panic(&mutated);
+            let end_pos = lines.iter().position(|l| *l == "end").unwrap_or(0);
+            if op == 0 && a < end_pos && lines[a].starts_with("boolvar") {
+                prop_assert!(outcome.is_err(), "duplicate boolvar must be rejected");
+            }
+        }
+
+        /// Splicing arbitrary garbage into a valid trace never panics.
+        #[test]
+        fn garbage_splices_never_panic(
+            seed in any::<u64>(),
+            n in 1usize..5,
+            m in 0usize..6,
+            noise_seed in any::<u64>(),
+            noise_len in 0usize..40,
+            at in 0usize..1024,
+        ) {
+            let text = seed_trace(seed, n, m, 4);
+            let noise = garbage(noise_seed, noise_len);
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.insert(at % lines.len(), &noise);
+            let _ = parse_must_not_panic(&lines.join("\n"));
+        }
+
+        /// Whole-cloth adversarial documents: printable noise (with
+        /// newlines sprinkled in) wrapped in just enough header to reach
+        /// the body parser.
+        #[test]
+        fn arbitrary_bodies_never_panic(
+            noise_seed in any::<u64>(),
+            noise_len in 0usize..300,
+        ) {
+            let mut body = garbage(noise_seed, noise_len);
+            // Turn some noise into line structure.
+            body = body.replace('|', "\n");
+            let _ = parse_must_not_panic(&body);
+            let framed = format!("gpd-trace 1\nprocesses 2\ncounts 1 1\n{body}\nend\n");
+            let _ = parse_must_not_panic(&framed);
+        }
+
+        /// Numeric fields at the extremes (u64/usize boundaries) must be
+        /// rejected by arithmetic checks, never overflow.
+        #[test]
+        fn extreme_numbers_never_overflow(
+            procs in any::<u64>(),
+            c1 in any::<u64>(),
+            c2 in any::<u64>(),
+            k in any::<u32>(),
+        ) {
+            let doc = format!(
+                "gpd-trace 1\nprocesses {procs}\ncounts {c1} {c2}\nmessage 0.{k} 1.{k}\nend\n"
+            );
+            let _ = parse_must_not_panic(&doc);
+        }
+    }
+}
