@@ -27,13 +27,13 @@ use crate::CliError;
 const ENUMERATION_GUARD: usize = 64;
 
 /// Parsed flags: `--name value` pairs, bare `--switch`es, and positionals.
-struct Flags {
-    positional: Vec<String>,
-    values: HashMap<String, String>,
-    switches: Vec<String>,
+pub(crate) struct Flags {
+    pub(crate) positional: Vec<String>,
+    pub(crate) values: HashMap<String, String>,
+    pub(crate) switches: Vec<String>,
 }
 
-fn parse_flags(
+pub(crate) fn parse_flags(
     args: &[String],
     value_flags: &[&str],
     switch_flags: &[&str],
@@ -64,7 +64,7 @@ fn parse_flags(
 }
 
 impl Flags {
-    fn get_usize(&self, name: &str, default: usize) -> Result<usize, CliError> {
+    pub(crate) fn get_usize(&self, name: &str, default: usize) -> Result<usize, CliError> {
         match self.values.get(name) {
             None => Ok(default),
             Some(v) => v
@@ -73,7 +73,7 @@ impl Flags {
         }
     }
 
-    fn get_u64(&self, name: &str, default: u64) -> Result<u64, CliError> {
+    pub(crate) fn get_u64(&self, name: &str, default: u64) -> Result<u64, CliError> {
         match self.values.get(name) {
             None => Ok(default),
             Some(v) => v
@@ -82,12 +82,21 @@ impl Flags {
         }
     }
 
-    fn has(&self, name: &str) -> bool {
+    pub(crate) fn get_f64(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} expects a number, got {v:?}"))),
+        }
+    }
+
+    pub(crate) fn has(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
     }
 }
 
-fn load_trace(path: &str) -> Result<Trace, CliError> {
+pub(crate) fn load_trace(path: &str) -> Result<Trace, CliError> {
     let text = std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
     read_trace(&text).map_err(|e| CliError::Trace(e.to_string()))
 }
@@ -255,7 +264,7 @@ pub fn dot(args: &[String]) -> Result<String, CliError> {
     Ok(to_dot(&trace.computation, var))
 }
 
-fn find_bool<'a>(trace: &'a Trace, name: &str) -> Result<&'a BoolVariable, CliError> {
+pub(crate) fn find_bool<'a>(trace: &'a Trace, name: &str) -> Result<&'a BoolVariable, CliError> {
     trace
         .bool_vars
         .iter()
@@ -270,7 +279,7 @@ fn find_bool<'a>(trace: &'a Trace, name: &str) -> Result<&'a BoolVariable, CliEr
         })
 }
 
-fn find_int<'a>(
+pub(crate) fn find_int<'a>(
     trace: &'a Trace,
     name: &str,
 ) -> Result<&'a gpd_computation::IntVariable, CliError> {
@@ -751,6 +760,13 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
         out.push_str(&format!(
             "kernel stats: {} clock-row reads, {} cut-successor allocations, {} vector-clock allocations\n",
             work.clock_row_reads, work.cut_successor_allocs, work.vclock_allocs
+        ));
+        out.push_str(&format!(
+            "monitor stats: {} observed, {} duplicate, {} stale deliveries, peak queue depth {}\n",
+            work.monitor_observed,
+            work.monitor_duplicates,
+            work.monitor_stale,
+            work.monitor_queue_peak
         ));
         if opts.active {
             let remaining = match opts.budget.remaining_time() {

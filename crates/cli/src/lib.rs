@@ -23,6 +23,7 @@
 
 pub mod commands;
 pub mod predicate;
+pub mod serve;
 
 /// Error surfaced to the terminal with a non-zero exit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +88,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "lattice" => commands::lattice(rest),
         "dot" => commands::dot(rest),
         "detect" => commands::detect(rest),
+        "serve" => serve::serve(rest),
+        "feed" => serve::feed(rest),
+        "chaos" => serve::chaos(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n{USAGE}"
@@ -103,9 +107,23 @@ gpd <command> ...
   dot <trace> [--var NAME]
   detect <trace> --pred \"EXPR\" [--definitely] [--enumerate] [--threads N] [--stats]
          [--deadline-ms N] [--max-nodes N] [--max-width N] [--resume CKPT] [--checkpoint FILE]
+  serve [--addr A] [--wal-dir DIR] [--fsync always|interval] [--fsync-interval-ms N]
+        [--max-inflight N] [--workers N] [--queue-cap N] [--addr-file FILE]
+  feed <trace> --addr A (--var NAME | --int NAME --below K | --at-least K)
+        [--io-timeout-ms N] [--retries N] [--backoff-ms N] [--backoff-cap-ms N]
+        [--seed S] [--window N] [--shutdown]
+  chaos --upstream A [--listen B] [--drop P] [--duplicate P] [--jitter P]
+        [--jitter-lo-ms N] [--jitter-hi-ms N] [--reset-after N] [--seed S] [--addr-file FILE]
   help
 
 detect budget flags bound the NP-hard engines: an exhausted budget exits
 with code 3 (verdict unknown), prints sound partial bounds, and writes a
 checkpoint (default <trace>.ckpt) from which --resume continues the very
-same search.";
+same search.
+
+serve hosts the durable online monitor: events stream in over TCP, every
+accepted event is fsynced to the write-ahead log before it is acked, and
+a restart over the same --wal-dir replays the log so the verdict survives
+kill -9. feed replays a recorded trace as a live stream with retry,
+backoff, and reconnect-with-resume; chaos interposes a fault-injecting
+proxy (frame loss, duplication, delay, connection resets) for drills.";

@@ -1,0 +1,556 @@
+//! The networked-monitoring subcommands: `gpd serve`, `gpd feed`, and
+//! `gpd chaos`.
+//!
+//! `serve` hosts the durable [`ConjunctiveMonitor`](gpd::online)
+//! behind the WAL-backed TCP service from `gpd-server`; `feed` replays
+//! a recorded `.trace` file into it as a live, retrying event stream;
+//! `chaos` interposes a fault-injecting proxy for drills. Together
+//! they make the crash/recovery path drivable from a shell:
+//!
+//! ```text
+//! gpd serve --wal-dir wal --addr 127.0.0.1:0 --addr-file addr.txt &
+//! gpd feed trace.gpd --addr "$(cat addr.txt)" --var in_cs --shutdown
+//! ```
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use gpd_server::chaos::{self, ChaosConfig};
+use gpd_server::client::{ClientConfig, FeedClient};
+use gpd_server::server::{self, ServerConfig};
+use gpd_server::wal::{FsyncPolicy, WalConfig};
+use gpd_sim::FaultPlan;
+
+use crate::commands::{find_bool, find_int, load_trace, parse_flags, Flags};
+use crate::CliError;
+
+/// Announces a bound address: printed immediately (and flushed, so
+/// scripts piping stdout see it before the command blocks) and written
+/// to `--addr-file` when given.
+fn announce(addr: std::net::SocketAddr, flags: &Flags) -> Result<(), CliError> {
+    println!("listening on {addr}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    if let Some(path) = flags.values.get("addr-file") {
+        std::fs::write(path, format!("{addr}\n"))
+            .map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+    }
+    Ok(())
+}
+
+fn render_witness(witness: &Option<Vec<Vec<u32>>>) -> String {
+    match witness {
+        Some(cut) => format!("verdict: true\nwitness clocks: {cut:?}\n"),
+        None => "verdict: false\n".to_string(),
+    }
+}
+
+/// `gpd serve [--addr A] [--wal-dir DIR] [--fsync always|interval]
+///  [--fsync-interval-ms N] [--max-inflight N] [--workers N]
+///  [--queue-cap N] [--addr-file FILE]`
+///
+/// Blocks until a client sends the shutdown command (`gpd feed
+/// --shutdown`), then reports the final verdict and counters.
+pub fn serve(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(
+        args,
+        &[
+            "addr",
+            "wal-dir",
+            "fsync",
+            "fsync-interval-ms",
+            "max-inflight",
+            "workers",
+            "queue-cap",
+            "addr-file",
+        ],
+        &[],
+    )?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::Usage(
+            "serve [--addr A] [--wal-dir DIR] [--fsync always|interval] [flags]".into(),
+        ));
+    }
+    let addr = flags
+        .values
+        .get("addr")
+        .map_or("127.0.0.1:7878", String::as_str);
+    let wal_dir = flags
+        .values
+        .get("wal-dir")
+        .map_or("gpd-wal", String::as_str);
+    let fsync = match flags.values.get("fsync").map(String::as_str) {
+        None | Some("always") => FsyncPolicy::Always,
+        Some("interval") => FsyncPolicy::Interval(Duration::from_millis(
+            flags.get_u64("fsync-interval-ms", 200)?,
+        )),
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--fsync expects always or interval, got {other:?}"
+            )))
+        }
+    };
+
+    let mut config = ServerConfig::new(WalConfig::new(wal_dir).with_fsync(fsync));
+    config.max_inflight = flags.get_usize("max-inflight", 16)?;
+    config.workers = flags.get_usize("workers", 2)?;
+    config.queue_cap = match flags.get_usize("queue-cap", 0)? {
+        0 => None,
+        cap => Some(cap),
+    };
+
+    let before = gpd::counters::snapshot();
+    let handle = server::start(addr, config).map_err(|e| CliError::Io(format!("{addr}: {e}")))?;
+    announce(handle.local_addr(), &flags)?;
+    let summary = handle.wait();
+
+    let monitor = gpd::counters::snapshot().since(&before);
+    let stats = summary.stats;
+    let mut out = render_witness(&summary.witness);
+    out.push_str(&format!(
+        "server stats: {} observed, {} duplicate, {} stale, {} rejected, {} logged, {} resumes, {} wal segments\n",
+        stats.observed,
+        stats.duplicates,
+        stats.stale,
+        stats.rejected,
+        stats.events_logged,
+        stats.resumes,
+        stats.wal_segments,
+    ));
+    out.push_str(&format!(
+        "monitor stats: {} observed, {} duplicate, {} stale deliveries, peak queue depth {}\n",
+        monitor.monitor_observed,
+        monitor.monitor_duplicates,
+        monitor.monitor_stale,
+        monitor.monitor_queue_peak,
+    ));
+    Ok(out)
+}
+
+/// Derives the per-process truth tracks the feed streams: either a
+/// recorded boolean variable, or a threshold over a recorded integer
+/// variable (`--int balance --below 100` / `--at-least 100`).
+fn truth_tracks(
+    trace: &gpd_computation::trace::Trace,
+    flags: &Flags,
+) -> Result<Vec<Vec<bool>>, CliError> {
+    match (flags.values.get("var"), flags.values.get("int")) {
+        (Some(name), None) => Ok(find_bool(trace, name)?.tracks().to_vec()),
+        (None, Some(name)) => {
+            let var = find_int(trace, name)?;
+            let (threshold, below) = match (flags.values.get("below"), flags.values.get("at-least"))
+            {
+                (Some(v), None) => (parse_i64("below", v)?, true),
+                (None, Some(v)) => (parse_i64("at-least", v)?, false),
+                _ => {
+                    return Err(CliError::Usage(
+                        "--int needs exactly one of --below K / --at-least K".into(),
+                    ))
+                }
+            };
+            Ok(var
+                .tracks()
+                .iter()
+                .map(|values| {
+                    values
+                        .iter()
+                        .map(|&v| if below { v < threshold } else { v >= threshold })
+                        .collect()
+                })
+                .collect())
+        }
+        _ => Err(CliError::Usage(
+            "feed needs exactly one of --var NAME / --int NAME".into(),
+        )),
+    }
+}
+
+fn parse_i64(flag: &str, v: &str) -> Result<i64, CliError> {
+    v.parse()
+        .map_err(|_| CliError::Usage(format!("--{flag} expects an integer, got {v:?}")))
+}
+
+/// Converts truth tracks into the wire stream: the initial-state truth
+/// vector plus every true state's vector clock, in the canonical merge
+/// order (ascending local index, then process) — per-process FIFO, so
+/// any interleaving the server sees is a valid delivery order.
+fn stream_events(
+    comp: &gpd_computation::Computation,
+    tracks: &[Vec<bool>],
+) -> (Vec<bool>, Vec<(usize, Vec<u32>)>) {
+    let initial: Vec<bool> = tracks
+        .iter()
+        .map(|t| t.first().copied().unwrap_or(false))
+        .collect();
+    let mut events: Vec<(u32, usize)> = Vec::new(); // (local state index, process)
+    for (p, track) in tracks.iter().enumerate() {
+        for (k, &is_true) in track.iter().enumerate().skip(1) {
+            if is_true {
+                events.push((k as u32, p));
+            }
+        }
+    }
+    events.sort_unstable();
+    let stream = events
+        .into_iter()
+        .map(|(k, p)| {
+            let e = comp.event_at(p, k).expect("true state beyond the trace");
+            (p, comp.clock(e).as_slice().to_vec())
+        })
+        .collect();
+    (initial, stream)
+}
+
+/// `gpd feed <trace> --addr A (--var NAME | --int NAME --below K | --at-least K)
+///  [--io-timeout-ms N] [--retries N] [--backoff-ms N] [--backoff-cap-ms N]
+///  [--seed S] [--window N] [--shutdown]`
+pub fn feed(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(
+        args,
+        &[
+            "addr",
+            "var",
+            "int",
+            "below",
+            "at-least",
+            "io-timeout-ms",
+            "retries",
+            "backoff-ms",
+            "backoff-cap-ms",
+            "seed",
+            "window",
+        ],
+        &["shutdown"],
+    )?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(
+            "feed <trace> --addr A (--var NAME | --int NAME --below K) [flags]".into(),
+        ));
+    };
+    let Some(addr) = flags.values.get("addr") else {
+        return Err(CliError::Usage("feed needs --addr HOST:PORT".into()));
+    };
+    if flags.values.contains_key("var") == flags.values.contains_key("int") {
+        return Err(CliError::Usage(
+            "feed needs exactly one of --var NAME / --int NAME".into(),
+        ));
+    }
+    let trace = load_trace(path)?;
+    let tracks = truth_tracks(&trace, &flags)?;
+    let (initial, events) = stream_events(&trace.computation, &tracks);
+
+    let mut config = ClientConfig::new(addr.clone());
+    config.io_timeout = Duration::from_millis(flags.get_u64("io-timeout-ms", 2000)?);
+    config.max_retries = flags.get_u64("retries", 10)? as u32;
+    config.backoff_base = Duration::from_millis(flags.get_u64("backoff-ms", 25)?);
+    config.backoff_cap = Duration::from_millis(flags.get_u64("backoff-cap-ms", 1000)?);
+    config.jitter_seed = flags.get_u64("seed", 0)?;
+    config.max_inflight = flags.get_usize("window", 8)?;
+    let client = FeedClient::new(config);
+
+    let report = client
+        .feed(&initial, &events)
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    let mut out = format!(
+        "fed {} events: {} accepted, {} duplicate, {} stale, {} skipped at resume\n\
+         {} reconnects, {} backpressure retries\n",
+        events.len(),
+        report.accepted,
+        report.duplicates,
+        report.stale,
+        report.resumed_past,
+        report.reconnects,
+        report.rejected_retries,
+    );
+    out.push_str(&render_witness(&report.witness));
+    if flags.has("shutdown") {
+        let final_witness = client.shutdown().map_err(|e| CliError::Io(e.to_string()))?;
+        out.push_str(&format!(
+            "server drained and stopped\nfinal {}",
+            render_witness(&final_witness)
+        ));
+    }
+    Ok(out)
+}
+
+/// `gpd chaos --upstream A [--listen B] [--drop P] [--duplicate P]
+///  [--jitter P] [--jitter-lo-ms N] [--jitter-hi-ms N] [--reset-after N]
+///  [--seed S] [--addr-file FILE]`
+///
+/// Blocks forever (kill the process to stop it); meant for drills and
+/// the CI chaos smoke job.
+pub fn chaos(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(
+        args,
+        &[
+            "upstream",
+            "listen",
+            "drop",
+            "duplicate",
+            "jitter",
+            "jitter-lo-ms",
+            "jitter-hi-ms",
+            "reset-after",
+            "seed",
+            "addr-file",
+        ],
+        &[],
+    )?;
+    if !flags.positional.is_empty() {
+        return Err(CliError::Usage(
+            "chaos --upstream HOST:PORT [--listen A] [--drop P] [flags]".into(),
+        ));
+    }
+    let Some(upstream) = flags.values.get("upstream") else {
+        return Err(CliError::Usage("chaos needs --upstream HOST:PORT".into()));
+    };
+    let listen = flags
+        .values
+        .get("listen")
+        .map_or("127.0.0.1:0", String::as_str);
+    let mut config = ChaosConfig::new(upstream.clone());
+    config.faults = FaultPlan {
+        drop_prob: flags.get_f64("drop", 0.0)?,
+        duplicate_prob: flags.get_f64("duplicate", 0.0)?,
+        jitter_prob: flags.get_f64("jitter", 0.0)?,
+        jitter_range: (
+            flags.get_u64("jitter-lo-ms", 1)?,
+            flags.get_u64("jitter-hi-ms", 5)?,
+        ),
+        crashes: Vec::new(),
+    };
+    config.reset_after = match flags.get_u64("reset-after", 0)? {
+        0 => None,
+        n => Some(n),
+    };
+    config.seed = flags.get_u64("seed", 0)?;
+
+    let handle =
+        chaos::start(listen, config).map_err(|e| CliError::Io(format!("{listen}: {e}")))?;
+    announce(handle.local_addr(), &flags)?;
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::simulate;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_path(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("gpd-serve-{name}-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    fn temp_trace(name: &str, protocol: &str, extra: &[&str]) -> String {
+        let path = temp_path(&format!("{name}.trace"));
+        let mut a = vec![protocol, "-o", &path];
+        a.extend_from_slice(extra);
+        simulate(&args(&a)).unwrap();
+        path
+    }
+
+    /// Runs `serve` in a thread, waits for its address file, and
+    /// returns (address, join handle for the summary output).
+    fn spawn_serve(
+        tag: &str,
+        extra: &[&str],
+    ) -> (String, std::thread::JoinHandle<Result<String, CliError>>) {
+        let wal_dir = temp_path(&format!("{tag}-wal"));
+        let addr_file = temp_path(&format!("{tag}.addr"));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let _ = std::fs::remove_file(&addr_file);
+        let mut a = vec![
+            "--addr",
+            "127.0.0.1:0",
+            "--wal-dir",
+            &wal_dir,
+            "--addr-file",
+            &addr_file,
+        ];
+        a.extend_from_slice(extra);
+        let argv = args(&a);
+        let handle = std::thread::spawn(move || serve(&argv));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.ends_with('\n') {
+                    break text.trim().to_string();
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve never announced its address"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        (addr, handle)
+    }
+
+    #[test]
+    fn serve_and_feed_bool_variable_end_to_end() {
+        let trace = temp_trace("bool", "mutex", &["--n", "3", "--buggy", "--seed", "5"]);
+        let (addr, serve_thread) = spawn_serve("bool", &[]);
+        let out = feed(&args(&[
+            &trace,
+            "--addr",
+            &addr,
+            "--var",
+            "in_cs",
+            "--shutdown",
+        ]))
+        .unwrap();
+        assert!(out.contains("fed "), "{out}");
+        assert!(out.contains("0 reconnects"), "{out}");
+        let summary = serve_thread.join().unwrap().unwrap();
+        assert!(summary.contains("verdict:"), "{summary}");
+        assert!(summary.contains("server stats:"), "{summary}");
+        assert!(summary.contains("monitor stats:"), "{summary}");
+        // The offline detector must agree with the online service.
+        let offline =
+            crate::commands::detect(&args(&[&trace, "--pred", "conj in_cs@0 in_cs@1 in_cs@2"]))
+                .unwrap();
+        let offline_true = offline.contains("true");
+        assert_eq!(
+            out.contains("verdict: true"),
+            offline_true,
+            "online {out:?} vs offline {offline:?}"
+        );
+    }
+
+    #[test]
+    fn feed_int_threshold_derivation_works() {
+        let trace = temp_trace("int", "bank", &["--n", "3", "--seed", "2"]);
+        let (addr, serve_thread) = spawn_serve("int", &[]);
+        let out = feed(&args(&[
+            &trace,
+            "--addr",
+            &addr,
+            "--int",
+            "balance",
+            "--at-least",
+            "1",
+            "--shutdown",
+        ]))
+        .unwrap();
+        assert!(out.contains("verdict:"), "{out}");
+        serve_thread.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn wal_survives_a_server_restart() {
+        let trace = temp_trace("restart", "mutex", &["--n", "3", "--buggy", "--seed", "5"]);
+        let wal_dir = temp_path("restart-wal-shared");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+
+        // First server: feed, stop (without crashing).
+        let addr_file = temp_path("restart1.addr");
+        let _ = std::fs::remove_file(&addr_file);
+        let argv = args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--wal-dir",
+            &wal_dir,
+            "--addr-file",
+            &addr_file,
+        ]);
+        let t1 = std::thread::spawn(move || serve(&argv));
+        let addr = wait_addr(&addr_file);
+        let first = feed(&args(&[
+            &trace,
+            "--addr",
+            &addr,
+            "--var",
+            "in_cs",
+            "--shutdown",
+        ]))
+        .unwrap();
+        t1.join().unwrap().unwrap();
+
+        // Second server over the same WAL: the verdict is already
+        // recovered before any event arrives.
+        let addr_file = temp_path("restart2.addr");
+        let _ = std::fs::remove_file(&addr_file);
+        let argv = args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--wal-dir",
+            &wal_dir,
+            "--addr-file",
+            &addr_file,
+        ]);
+        let t2 = std::thread::spawn(move || serve(&argv));
+        let addr = wait_addr(&addr_file);
+        let again = feed(&args(&[
+            &trace,
+            "--addr",
+            &addr,
+            "--var",
+            "in_cs",
+            "--shutdown",
+        ]))
+        .unwrap();
+        let summary = t2.join().unwrap().unwrap();
+        let verdict = |s: &str| s.contains("verdict: true");
+        assert_eq!(verdict(&first), verdict(&again));
+        assert_eq!(verdict(&first), verdict(&summary));
+        // Redelivery is screened, not double-applied.
+        assert!(
+            again.contains("0 accepted") || again.contains("skipped at resume"),
+            "{again}"
+        );
+        let _ = std::fs::remove_dir_all(&wal_dir);
+    }
+
+    fn wait_addr(addr_file: &str) -> String {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Ok(text) = std::fs::read_to_string(addr_file) {
+                if text.ends_with('\n') {
+                    return text.trim().to_string();
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "serve never announced its address"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn usage_errors_are_caught() {
+        assert!(matches!(
+            feed(&args(&["nonexistent.trace"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            feed(&args(&["x.trace", "--addr", "127.0.0.1:1"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(chaos(&args(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            serve(&args(&["--fsync", "sometimes"])),
+            Err(CliError::Usage(_))
+        ));
+        let trace = temp_trace("usage", "bank", &["--n", "2"]);
+        assert!(matches!(
+            feed(&args(&[
+                &trace,
+                "--addr",
+                "127.0.0.1:1",
+                "--int",
+                "balance"
+            ])),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

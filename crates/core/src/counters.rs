@@ -18,6 +18,12 @@
 //! [`snapshot`]/[`ScanCounters::since`] pair meters both the scan
 //! engine's algorithmic work and the storage layer's memory traffic.
 //!
+//! The online [`ConjunctiveMonitor`](crate::online::ConjunctiveMonitor)
+//! adds its own pressure gauges: accepted / duplicate / stale delivery
+//! counts and the peak pending-queue depth, so `gpd detect --stats` and
+//! the `gpd serve` service can report how hard the monitoring channel is
+//! being worked without instrumenting each call site.
+//!
 //! The counters are cumulative over the process lifetime; measure a
 //! region by [`snapshot`]-ing before and after and taking
 //! [`ScanCounters::since`]. They are exact in single-threaded runs; in
@@ -31,6 +37,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static FORCES_EVALS: AtomicU64 = AtomicU64::new(0);
 static PAIR_CHECKS: AtomicU64 = AtomicU64::new(0);
 static SCAN_RUNS: AtomicU64 = AtomicU64::new(0);
+static MONITOR_OBSERVED: AtomicU64 = AtomicU64::new(0);
+static MONITOR_DUPLICATES: AtomicU64 = AtomicU64::new(0);
+static MONITOR_STALE: AtomicU64 = AtomicU64::new(0);
+static MONITOR_QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 pub(crate) fn record_forces_eval() {
@@ -45,6 +55,26 @@ pub(crate) fn record_pair_check() {
 #[inline]
 pub(crate) fn record_scan_run() {
     SCAN_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_monitor_observed() {
+    MONITOR_OBSERVED.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_monitor_duplicate() {
+    MONITOR_DUPLICATES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_monitor_stale() {
+    MONITOR_STALE.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn record_monitor_queue_depth(depth: u64) {
+    MONITOR_QUEUE_PEAK.fetch_max(depth, Ordering::Relaxed);
 }
 
 /// A snapshot of the cumulative scan-work counters.
@@ -64,6 +94,16 @@ pub struct ScanCounters {
     /// Owned `VectorClock` heap allocations (zero across flat-layout
     /// builds and queries).
     pub vclock_allocs: u64,
+    /// Deliveries the online monitor accepted (new true states).
+    pub monitor_observed: u64,
+    /// Deliveries screened as redeliveries of the newest accepted state.
+    pub monitor_duplicates: u64,
+    /// Deliveries screened as reordered/replayed older states.
+    pub monitor_stale: u64,
+    /// Peak total pending true states across the monitor's per-process
+    /// queues (a monotone high-water gauge, not a count; `since` on it
+    /// reports how much the peak *rose* during the window).
+    pub monitor_queue_peak: u64,
 }
 
 impl ScanCounters {
@@ -78,6 +118,14 @@ impl ScanCounters {
                 .cut_successor_allocs
                 .wrapping_sub(earlier.cut_successor_allocs),
             vclock_allocs: self.vclock_allocs.wrapping_sub(earlier.vclock_allocs),
+            monitor_observed: self.monitor_observed.wrapping_sub(earlier.monitor_observed),
+            monitor_duplicates: self
+                .monitor_duplicates
+                .wrapping_sub(earlier.monitor_duplicates),
+            monitor_stale: self.monitor_stale.wrapping_sub(earlier.monitor_stale),
+            monitor_queue_peak: self
+                .monitor_queue_peak
+                .saturating_sub(earlier.monitor_queue_peak),
         }
     }
 }
@@ -93,6 +141,10 @@ pub fn snapshot() -> ScanCounters {
         clock_row_reads: kernel.clock_row_reads,
         cut_successor_allocs: kernel.cut_successor_allocs,
         vclock_allocs: kernel.vclock_allocs,
+        monitor_observed: MONITOR_OBSERVED.load(Ordering::Relaxed),
+        monitor_duplicates: MONITOR_DUPLICATES.load(Ordering::Relaxed),
+        monitor_stale: MONITOR_STALE.load(Ordering::Relaxed),
+        monitor_queue_peak: MONITOR_QUEUE_PEAK.load(Ordering::Relaxed),
     }
 }
 
@@ -113,5 +165,19 @@ mod tests {
         assert!(delta.forces_evals >= 2);
         assert!(delta.pair_checks >= 1);
         assert!(delta.scan_runs >= 1);
+    }
+
+    #[test]
+    fn monitor_counters_accumulate() {
+        let before = snapshot();
+        record_monitor_observed();
+        record_monitor_duplicate();
+        record_monitor_stale();
+        record_monitor_queue_depth(1 << 40);
+        let delta = snapshot().since(&before);
+        assert!(delta.monitor_observed >= 1);
+        assert!(delta.monitor_duplicates >= 1);
+        assert!(delta.monitor_stale >= 1);
+        assert!(snapshot().monitor_queue_peak >= 1 << 40, "peak is a max");
     }
 }

@@ -31,6 +31,31 @@ pub enum Observation {
     Stale,
 }
 
+/// The explicit overflow error from [`ConjunctiveMonitor::try_observe`]
+/// when a per-process queue configured with
+/// [`with_queue_cap`](ConjunctiveMonitor::with_queue_cap) is full: the
+/// observation was **not** enqueued and the caller should apply
+/// backpressure (retry later) instead of dropping the event silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueOverflow {
+    /// The process whose queue is full.
+    pub process: usize,
+    /// The configured cap.
+    pub cap: usize,
+}
+
+impl std::fmt::Display for QueueOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "monitor queue for process {} is full (cap {})",
+            self.process, self.cap
+        )
+    }
+}
+
+impl std::error::Error for QueueOverflow {}
+
 /// Streaming detector for `Possibly(x₀ ∧ … ∧ x_{n−1})`.
 ///
 /// # Example
@@ -57,6 +82,8 @@ pub struct ConjunctiveMonitor {
     latest: Vec<Option<u32>>,
     /// Found witness (sticky once set).
     witness: Option<Vec<VectorClock>>,
+    /// Optional cap on each per-process queue (None = unbounded).
+    queue_cap: Option<usize>,
 }
 
 impl ConjunctiveMonitor {
@@ -66,7 +93,24 @@ impl ConjunctiveMonitor {
             queues: vec![VecDeque::new(); n],
             latest: vec![None; n],
             witness: None,
+            queue_cap: None,
         }
+    }
+
+    /// Caps each per-process queue at `cap` pending true states.
+    /// [`try_observe`](Self::try_observe) then reports a full queue as a
+    /// [`QueueOverflow`] error instead of growing without bound — the
+    /// backpressure hook a long-lived monitoring service needs when one
+    /// process streams much faster than its peers eliminate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero (a monitor that can hold nothing can
+    /// never detect anything).
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "queue cap must be positive");
+        self.queue_cap = cap.into();
+        self
     }
 
     /// A monitor over `n` processes with the given initial variable
@@ -89,6 +133,26 @@ impl ConjunctiveMonitor {
         self.queues.len()
     }
 
+    /// How [`observe`](Self::observe) *would* classify this delivery,
+    /// without mutating the monitor. A durable server uses this to
+    /// decide whether an incoming event needs to be logged before it is
+    /// applied: `Duplicate`/`Stale` redeliveries are acked without
+    /// touching the write-ahead log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or the clock has the wrong length.
+    pub fn classify(&self, p: usize, clock: &VectorClock) -> Observation {
+        assert!(p < self.queues.len(), "process {p} out of range");
+        assert_eq!(clock.len(), self.queues.len(), "clock length mismatch");
+        let local = clock.get(p);
+        match self.latest[p] {
+            Some(high_water) if local == high_water => Observation::Duplicate,
+            Some(high_water) if local < high_water => Observation::Stale,
+            _ => Observation::Accepted,
+        }
+    }
+
     /// Reports that process `p` entered a local state in which its
     /// variable is **true**, stamped with the state's vector clock
     /// (the clock of the event that produced the state). Interleaving
@@ -102,28 +166,84 @@ impl ConjunctiveMonitor {
     ///
     /// False states need not be reported.
     ///
+    /// # Errors
+    ///
+    /// Returns [`QueueOverflow`] — and enqueues nothing, leaving the
+    /// high-water mark untouched so a later retry is still `Accepted` —
+    /// if a [`with_queue_cap`](Self::with_queue_cap) bound is configured
+    /// and `p`'s queue is full.
+    ///
     /// # Panics
     ///
     /// Panics if `p` is out of range or the clock has the wrong length
     /// (malformed input, not a fault-tolerance concern).
+    pub fn try_observe(
+        &mut self,
+        p: usize,
+        clock: VectorClock,
+    ) -> Result<Observation, QueueOverflow> {
+        let classified = self.classify(p, &clock);
+        match classified {
+            Observation::Duplicate => crate::counters::record_monitor_duplicate(),
+            Observation::Stale => crate::counters::record_monitor_stale(),
+            Observation::Accepted => {
+                if self.witness.is_none() {
+                    if let Some(cap) = self.queue_cap {
+                        if self.queues[p].len() >= cap {
+                            return Err(QueueOverflow { process: p, cap });
+                        }
+                    }
+                }
+                crate::counters::record_monitor_observed();
+                self.latest[p] = Some(clock.get(p));
+                if self.witness.is_none() {
+                    self.queues[p].push_back(clock);
+                    crate::counters::record_monitor_queue_depth(self.queue_depth() as u64);
+                    self.scan();
+                }
+            }
+        }
+        Ok(classified)
+    }
+
+    /// Infallible [`try_observe`](Self::try_observe) for unbounded
+    /// monitors (the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`QueueOverflow`] — only possible after
+    /// [`with_queue_cap`](Self::with_queue_cap); bounded callers should
+    /// use `try_observe` and apply backpressure instead.
     pub fn observe(&mut self, p: usize, clock: VectorClock) -> Observation {
-        assert!(p < self.queues.len(), "process {p} out of range");
-        assert_eq!(clock.len(), self.queues.len(), "clock length mismatch");
-        let local = clock.get(p);
-        if let Some(high_water) = self.latest[p] {
-            if local == high_water {
-                return Observation::Duplicate;
-            }
-            if local < high_water {
-                return Observation::Stale;
-            }
-        }
-        self.latest[p] = Some(local);
-        if self.witness.is_none() {
-            self.queues[p].push_back(clock);
-            self.scan();
-        }
-        Observation::Accepted
+        self.try_observe(p, clock)
+            .expect("unbounded monitor cannot overflow")
+    }
+
+    /// The high-water mark of process `p`: the local clock component of
+    /// the newest observation ever accepted from it (`None` before the
+    /// first). Redeliveries at or below this mark are screened; a
+    /// resuming client can skip everything up to and including it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn high_water(&self, p: usize) -> Option<u32> {
+        self.latest[p]
+    }
+
+    /// Total number of pending true states across all per-process
+    /// queues — the monitor-pressure gauge a serving layer reports.
+    pub fn queue_depth(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Pending true states queued for process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn queue_depth_of(&self, p: usize) -> usize {
+        self.queues[p].len()
     }
 
     /// The witness — one true-state clock per process, pairwise
@@ -265,6 +385,73 @@ mod tests {
     fn initial_truths_screen_their_own_redelivery() {
         let mut m = ConjunctiveMonitor::with_initial(&[true, false]);
         assert_eq!(m.observe(0, VectorClock::zero(2)), Observation::Duplicate);
+    }
+
+    #[test]
+    fn classify_is_pure_and_agrees_with_observe() {
+        let mut m = ConjunctiveMonitor::new(2);
+        let c = VectorClock::from(vec![2, 0]);
+        assert_eq!(m.classify(0, &c), Observation::Accepted);
+        // Classifying repeatedly changes nothing.
+        assert_eq!(m.classify(0, &c), Observation::Accepted);
+        assert_eq!(m.observe(0, c.clone()), Observation::Accepted);
+        assert_eq!(m.classify(0, &c), Observation::Duplicate);
+        assert_eq!(
+            m.classify(0, &VectorClock::from(vec![1, 0])),
+            Observation::Stale
+        );
+        assert_eq!(
+            m.classify(0, &VectorClock::from(vec![3, 0])),
+            Observation::Accepted
+        );
+    }
+
+    #[test]
+    fn bounded_queue_overflows_explicitly_and_recovers() {
+        let mut m = ConjunctiveMonitor::new(2).with_queue_cap(2);
+        // p1's states all saw p0's 9th event, so nothing eliminates and
+        // p1's queue fills up.
+        for k in 1..=2 {
+            assert_eq!(
+                m.try_observe(1, VectorClock::from(vec![9, k])),
+                Ok(Observation::Accepted)
+            );
+        }
+        let err = m.try_observe(1, VectorClock::from(vec![9, 3])).unwrap_err();
+        assert_eq!(err, QueueOverflow { process: 1, cap: 2 });
+        assert_eq!(
+            err.to_string(),
+            "monitor queue for process 1 is full (cap 2)"
+        );
+        // The rejected state left no trace: the high-water mark still
+        // points at the last *accepted* state, so a later retry of the
+        // same delivery is not screened as a duplicate.
+        assert_eq!(m.high_water(1), Some(2));
+        assert_eq!(m.queue_depth_of(1), 2);
+        assert_eq!(m.queue_depth(), 2);
+        // p0 catches up to the 9 events p1's states force: the heads
+        // [9,0] / [9,1] are consistent, a witness forms, queues freeze.
+        assert_eq!(
+            m.try_observe(0, VectorClock::from(vec![9, 0])),
+            Ok(Observation::Accepted)
+        );
+        assert!(m.witness().is_some());
+        // Post-witness, the cap no longer rejects (nothing queues).
+        assert_eq!(
+            m.try_observe(1, VectorClock::from(vec![9, 3])),
+            Ok(Observation::Accepted)
+        );
+    }
+
+    #[test]
+    fn high_water_marks_track_accepted_components() {
+        let mut m = ConjunctiveMonitor::new(2);
+        assert_eq!(m.high_water(0), None);
+        m.observe(0, VectorClock::from(vec![3, 0]));
+        assert_eq!(m.high_water(0), Some(3));
+        assert_eq!(m.high_water(1), None);
+        m.observe(0, VectorClock::from(vec![1, 0])); // stale
+        assert_eq!(m.high_water(0), Some(3));
     }
 
     #[test]

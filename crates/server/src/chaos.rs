@@ -1,0 +1,223 @@
+//! A fault-injecting TCP proxy: sits between a feed client and the
+//! server and applies [`FaultPlan`](gpd_sim::FaultPlan) semantics to
+//! real sockets — frame loss, frame duplication, delivery jitter, and
+//! forced connection resets.
+//!
+//! Faults are applied at frame granularity on the client → server
+//! direction (dropping half a frame would just desynchronize the
+//! stream; the interesting failures are whole lost or repeated
+//! messages). The server → client direction is forwarded verbatim.
+//! All randomness comes from a seeded [`StdRng`], so a chaos run's
+//! fault schedule is reproducible.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gpd_sim::FaultPlan;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::protocol::{read_frame, write_frame};
+
+/// Proxy tunables.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Address to forward to (the real server).
+    pub upstream: String,
+    /// Frame-level faults: `drop_prob`, `duplicate_prob`, `jitter_prob`
+    /// and `jitter_range` (milliseconds) apply per client → server
+    /// frame. (`crashes` does not apply to a proxy.)
+    pub faults: FaultPlan,
+    /// After forwarding this many client frames, reset both sockets
+    /// once — forcing the client through its reconnect path. Later
+    /// connections are spared further resets.
+    pub reset_after: Option<u64>,
+    /// Seed for the fault rolls.
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// A transparent proxy to `upstream` (no faults) with seed 0.
+    pub fn new(upstream: impl Into<String>) -> Self {
+        ChaosConfig {
+            upstream: upstream.into(),
+            faults: FaultPlan::default(),
+            reset_after: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Counters of what the proxy did to the stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosReport {
+    /// Client frames forwarded upstream.
+    pub forwarded: u64,
+    /// Client frames silently dropped.
+    pub dropped: u64,
+    /// Client frames sent twice.
+    pub duplicated: u64,
+    /// Forced connection resets performed.
+    pub resets: u64,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    resets: AtomicU64,
+}
+
+/// A running proxy.
+pub struct ChaosHandle {
+    addr: SocketAddr,
+    thread: Option<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ChaosHandle {
+    /// The proxy's listening address — point the client here.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// What the proxy has done so far.
+    pub fn report(&self) -> ChaosReport {
+        ChaosReport {
+            forwarded: self.shared.forwarded.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            duplicated: self.shared.duplicated.load(Ordering::Relaxed),
+            resets: self.shared.resets.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting and joins the proxy thread.
+    pub fn stop(mut self) -> ChaosReport {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr); // wake the acceptor
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        self.report()
+    }
+}
+
+/// Starts the proxy on `addr` (use port 0 for ephemeral). Connections
+/// are served one at a time — a feed session is a single connection,
+/// and serving serially keeps the fault schedule deterministic.
+///
+/// # Errors
+///
+/// Any I/O error binding the listener.
+pub fn start(addr: &str, config: ChaosConfig) -> std::io::Result<ChaosHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        forwarded: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
+        duplicated: AtomicU64::new(0),
+        resets: AtomicU64::new(0),
+    });
+    let thread = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            loop {
+                let Ok((client, _)) = listener.accept() else {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                };
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let _ = pump_connection(client, &config, &shared, &mut rng);
+            }
+        })
+    };
+    Ok(ChaosHandle {
+        addr: local,
+        thread: Some(thread),
+        shared,
+    })
+}
+
+/// Forwards one client connection until EOF, fault, or reset.
+fn pump_connection(
+    mut client: TcpStream,
+    config: &ChaosConfig,
+    shared: &Shared,
+    rng: &mut StdRng,
+) -> std::io::Result<()> {
+    let mut upstream = TcpStream::connect(&config.upstream)?;
+    client.set_nodelay(true)?;
+    upstream.set_nodelay(true)?;
+
+    // Server → client: verbatim byte pump in its own thread; ends when
+    // either socket dies.
+    let downstream = {
+        let mut up = upstream.try_clone()?;
+        let mut down = client.try_clone()?;
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 4096];
+            loop {
+                match up.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(k) => {
+                        if down.write_all(&buf[..k]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = down.shutdown(Shutdown::Write);
+        })
+    };
+
+    // Client → server: frame-granular with faults.
+    // Runs until the client hangs up (EOF) or sends garbage.
+    while let Ok(frame) = read_frame(&mut client) {
+        if let Some(limit) = config.reset_after {
+            let already_reset = shared.resets.load(Ordering::SeqCst) > 0;
+            if !already_reset && shared.forwarded.load(Ordering::SeqCst) >= limit {
+                shared.resets.fetch_add(1, Ordering::SeqCst);
+                let _ = client.shutdown(Shutdown::Both);
+                let _ = upstream.shutdown(Shutdown::Both);
+                break;
+            }
+        }
+        if config.faults.drop_prob > 0.0 && rng.gen_bool(config.faults.drop_prob) {
+            shared.dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if config.faults.jitter_prob > 0.0 && rng.gen_bool(config.faults.jitter_prob) {
+            let (lo, hi) = config.faults.jitter_range;
+            let ms = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let duplicate =
+            config.faults.duplicate_prob > 0.0 && rng.gen_bool(config.faults.duplicate_prob);
+        if write_frame(&mut upstream, &frame).is_err() {
+            break;
+        }
+        shared.forwarded.fetch_add(1, Ordering::SeqCst);
+        if duplicate {
+            if write_frame(&mut upstream, &frame).is_err() {
+                break;
+            }
+            shared.duplicated.fetch_add(1, Ordering::Relaxed);
+            shared.forwarded.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    let _ = upstream.shutdown(Shutdown::Both);
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = downstream.join();
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Durable online monitoring service for conjunctive predicate
+//! detection.
+//!
+//! This crate turns the streaming [`ConjunctiveMonitor`](gpd::online)
+//! into a crash-recoverable network service:
+//!
+//! - [`wal`] — a CRC-framed write-ahead log in rotating segment files.
+//!   Recovery truncates a torn tail and replays the survivors into a
+//!   fresh monitor; combined with at-least-once redelivery the verdict
+//!   is byte-for-byte the one an uninterrupted run produces.
+//! - [`protocol`] — the std-only, length-prefixed TCP wire protocol
+//!   with per-process sequence numbers and durable acks.
+//! - [`server`] — the listener: bounded connection queue
+//!   (`max_inflight` backpressure), worker pool, log-before-apply,
+//!   graceful shutdown that drains the WAL.
+//! - [`client`] — the feeding client: timeouts, bounded retries,
+//!   exponential backoff with deterministic jitter, and
+//!   reconnect-with-resume driven by the server's high-water marks.
+//! - [`chaos`] — a fault-injecting proxy that applies
+//!   [`FaultPlan`](gpd_sim::FaultPlan) semantics (loss, duplication,
+//!   jitter, forced resets) to real sockets, for end-to-end fault
+//!   drills.
+//!
+//! See `docs/ALGORITHMS.md` §11 for the recovery-determinism argument.
+
+#![warn(missing_docs)]
+
+mod crc32;
+
+pub mod chaos;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod wal;
+
+pub use chaos::{ChaosConfig, ChaosHandle, ChaosReport};
+pub use client::{ClientConfig, ClientError, FeedClient, FeedReport};
+pub use protocol::{AckStatus, Message, ServerStats};
+pub use server::{ServerConfig, ServerHandle, ServerSummary};
+pub use wal::{FsyncPolicy, Recovery, Wal, WalConfig, WalRecord};

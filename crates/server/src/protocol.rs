@@ -1,0 +1,541 @@
+//! The length-prefixed TCP wire protocol between `gpd feed` clients,
+//! the chaos proxy, and `gpd serve`.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! +-------------+--------------+
+//! | len: u32 LE | body: len B  |
+//! +-------------+--------------+
+//! ```
+//!
+//! The body's first byte is the message tag. Integers are `u32` LE.
+//! The protocol is deliberately std-only — no serialization crate — so
+//! the server adds nothing to the dependency closure.
+//!
+//! ## Delivery contract
+//!
+//! A client's events for process `p` carry strictly increasing local
+//! components `clock[p]`; that component doubles as the per-process
+//! sequence number. The server acks every event with its `(process,
+//! seq)` and a status. Under `--fsync always` an [`AckStatus::Accepted`]
+//! ack means the event is durable on disk. After a reconnect the
+//! [`Message::HelloAck`] carries per-process high-water marks so the
+//! client resumes exactly past what the server already has —
+//! at-least-once delivery with server-side dedup.
+
+use std::io::{Read, Write};
+
+/// Largest accepted frame body. A clock over the trace-format process
+/// cap fits comfortably; anything larger is a framing error.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// How the server classified one delivered event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckStatus {
+    /// New, logged durably (under `fsync always`), and applied.
+    Accepted = 0,
+    /// Same local component as one already applied — redelivery.
+    Duplicate = 1,
+    /// Older than the process's high-water mark — late redelivery.
+    Stale = 2,
+    /// Monitor queue full (backpressure): not logged, not applied.
+    /// The client should back off and retransmit.
+    Rejected = 3,
+}
+
+impl AckStatus {
+    fn from_u8(byte: u8) -> Option<AckStatus> {
+        match byte {
+            0 => Some(AckStatus::Accepted),
+            1 => Some(AckStatus::Duplicate),
+            2 => Some(AckStatus::Stale),
+            3 => Some(AckStatus::Rejected),
+            _ => None,
+        }
+    }
+}
+
+/// A server-side counter snapshot, queryable over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Events accepted and applied to the monitor.
+    pub observed: u64,
+    /// Redeliveries screened out as duplicates.
+    pub duplicates: u64,
+    /// Redeliveries screened out as stale.
+    pub stale: u64,
+    /// Events rejected for backpressure (monitor queue full).
+    pub rejected: u64,
+    /// Records appended to the WAL (including the `Init` header).
+    pub events_logged: u64,
+    /// `Hello` messages on an already-initialized session — i.e.
+    /// reconnects that resumed.
+    pub resumes: u64,
+    /// Current total queued states across all processes.
+    pub queue_depth: u64,
+    /// WAL segment files written so far.
+    pub wal_segments: u64,
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Client → server: open (or resume) a session over `initial.len()`
+    /// processes whose variables start true/false as given.
+    Hello {
+        /// Per-process initial truth of the local variable.
+        initial: Vec<bool>,
+    },
+    /// Server → client: session open. `high_water[p]` is the largest
+    /// local component already applied for process `p` (`None` when the
+    /// server has seen nothing from `p`) — resume strictly after it.
+    HelloAck {
+        /// Per-process high-water marks.
+        high_water: Vec<Option<u32>>,
+    },
+    /// Client → server: process `process` entered a true state with
+    /// vector clock `clock`. Its sequence number is `clock[process]`.
+    Event {
+        /// The reporting process.
+        process: u32,
+        /// The state's vector clock.
+        clock: Vec<u32>,
+    },
+    /// Server → client: disposition of the event `(process, seq)`.
+    Ack {
+        /// The event's process.
+        process: u32,
+        /// The event's local component.
+        seq: u32,
+        /// How the server classified it.
+        status: AckStatus,
+    },
+    /// Client → server: report the current verdict.
+    VerdictQuery,
+    /// Server → client: `Some(witness)` once the conjunction has held —
+    /// one vector clock per process, the componentwise-minimal witness.
+    Verdict {
+        /// The witness cut, if detected.
+        witness: Option<Vec<Vec<u32>>>,
+    },
+    /// Client → server: report counters.
+    StatsQuery,
+    /// Server → client: counter snapshot.
+    Stats(ServerStats),
+    /// Client → server: drain the WAL, stop accepting connections, and
+    /// shut down once in-flight connections finish.
+    Shutdown,
+    /// Server → client: shutdown acknowledged; carries the final
+    /// verdict like [`Message::Verdict`].
+    ShutdownAck {
+        /// The final witness cut, if detected.
+        witness: Option<Vec<Vec<u32>>>,
+    },
+    /// Server → client: the request could not be honored. The
+    /// connection closes after this.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_EVENT: u8 = 3;
+const TAG_ACK: u8 = 4;
+const TAG_VERDICT_QUERY: u8 = 5;
+const TAG_VERDICT: u8 = 6;
+const TAG_STATS_QUERY: u8 = 7;
+const TAG_STATS: u8 = 8;
+const TAG_SHUTDOWN: u8 = 9;
+const TAG_SHUTDOWN_ACK: u8 = 10;
+const TAG_ERROR: u8 = 11;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_clock(out: &mut Vec<u8>, clock: &[u32]) {
+    put_u32(out, clock.len() as u32);
+    for &c in clock {
+        put_u32(out, c);
+    }
+}
+
+fn put_witness(out: &mut Vec<u8>, witness: &Option<Vec<Vec<u32>>>) {
+    match witness {
+        None => out.push(0),
+        Some(cut) => {
+            out.push(1);
+            put_u32(out, cut.len() as u32);
+            for clock in cut {
+                put_clock(out, clock);
+            }
+        }
+    }
+}
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let (&head, rest) = self.bytes.split_first()?;
+        self.bytes = rest;
+        Some(head)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let (head, rest) = self.bytes.split_first_chunk::<4>()?;
+        self.bytes = rest;
+        Some(u32::from_le_bytes(*head))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.bytes.split_first_chunk::<8>()?;
+        self.bytes = rest;
+        Some(u64::from_le_bytes(*head))
+    }
+
+    fn clock(&mut self) -> Option<Vec<u32>> {
+        let len = self.u32()? as usize;
+        if len > self.bytes.len() / 4 + 1 {
+            return None;
+        }
+        (0..len).map(|_| self.u32()).collect()
+    }
+
+    fn witness(&mut self) -> Option<Option<Vec<Vec<u32>>>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => {
+                let n = self.u32()? as usize;
+                if n > MAX_FRAME as usize / 4 {
+                    return None;
+                }
+                let cut = (0..n).map(|_| self.clock()).collect::<Option<Vec<_>>>()?;
+                Some(Some(cut))
+            }
+            _ => None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+impl Message {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Message::Hello { initial } => {
+                out.push(TAG_HELLO);
+                put_u32(&mut out, initial.len() as u32);
+                out.extend(initial.iter().map(|&b| b as u8));
+            }
+            Message::HelloAck { high_water } => {
+                out.push(TAG_HELLO_ACK);
+                put_u32(&mut out, high_water.len() as u32);
+                for hw in high_water {
+                    // 0 = nothing seen; k+1 = high-water k. Avoids a
+                    // separate presence byte per process.
+                    put_u64(&mut out, hw.map_or(0, |k| k as u64 + 1));
+                }
+            }
+            Message::Event { process, clock } => {
+                out.push(TAG_EVENT);
+                put_u32(&mut out, *process);
+                put_clock(&mut out, clock);
+            }
+            Message::Ack {
+                process,
+                seq,
+                status,
+            } => {
+                out.push(TAG_ACK);
+                put_u32(&mut out, *process);
+                put_u32(&mut out, *seq);
+                out.push(*status as u8);
+            }
+            Message::VerdictQuery => out.push(TAG_VERDICT_QUERY),
+            Message::Verdict { witness } => {
+                out.push(TAG_VERDICT);
+                put_witness(&mut out, witness);
+            }
+            Message::StatsQuery => out.push(TAG_STATS_QUERY),
+            Message::Stats(stats) => {
+                out.push(TAG_STATS);
+                put_u64(&mut out, stats.observed);
+                put_u64(&mut out, stats.duplicates);
+                put_u64(&mut out, stats.stale);
+                put_u64(&mut out, stats.rejected);
+                put_u64(&mut out, stats.events_logged);
+                put_u64(&mut out, stats.resumes);
+                put_u64(&mut out, stats.queue_depth);
+                put_u64(&mut out, stats.wal_segments);
+            }
+            Message::Shutdown => out.push(TAG_SHUTDOWN),
+            Message::ShutdownAck { witness } => {
+                out.push(TAG_SHUTDOWN_ACK);
+                put_witness(&mut out, witness);
+            }
+            Message::Error { message } => {
+                out.push(TAG_ERROR);
+                let bytes = message.as_bytes();
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+        }
+        out
+    }
+
+    fn decode(body: &[u8]) -> Option<Message> {
+        let mut d = Decoder { bytes: body };
+        let message = match d.u8()? {
+            TAG_HELLO => {
+                let n = d.u32()? as usize;
+                if n > d.bytes.len() {
+                    return None;
+                }
+                let initial = (0..n)
+                    .map(|_| match d.u8()? {
+                        0 => Some(false),
+                        1 => Some(true),
+                        _ => None,
+                    })
+                    .collect::<Option<Vec<bool>>>()?;
+                Message::Hello { initial }
+            }
+            TAG_HELLO_ACK => {
+                let n = d.u32()? as usize;
+                if n > d.bytes.len() / 8 + 1 {
+                    return None;
+                }
+                let high_water = (0..n)
+                    .map(|_| {
+                        let raw = d.u64()?;
+                        Some(if raw == 0 {
+                            None
+                        } else {
+                            Some((raw - 1) as u32)
+                        })
+                    })
+                    .collect::<Option<Vec<Option<u32>>>>()?;
+                Message::HelloAck { high_water }
+            }
+            TAG_EVENT => Message::Event {
+                process: d.u32()?,
+                clock: d.clock()?,
+            },
+            TAG_ACK => Message::Ack {
+                process: d.u32()?,
+                seq: d.u32()?,
+                status: AckStatus::from_u8(d.u8()?)?,
+            },
+            TAG_VERDICT_QUERY => Message::VerdictQuery,
+            TAG_VERDICT => Message::Verdict {
+                witness: d.witness()?,
+            },
+            TAG_STATS_QUERY => Message::StatsQuery,
+            TAG_STATS => Message::Stats(ServerStats {
+                observed: d.u64()?,
+                duplicates: d.u64()?,
+                stale: d.u64()?,
+                rejected: d.u64()?,
+                events_logged: d.u64()?,
+                resumes: d.u64()?,
+                queue_depth: d.u64()?,
+                wal_segments: d.u64()?,
+            }),
+            TAG_SHUTDOWN => Message::Shutdown,
+            TAG_SHUTDOWN_ACK => Message::ShutdownAck {
+                witness: d.witness()?,
+            },
+            TAG_ERROR => {
+                let len = d.u32()? as usize;
+                if len != d.bytes.len() {
+                    return None;
+                }
+                let message = String::from_utf8(d.bytes.to_vec()).ok()?;
+                d.bytes = &[];
+                Message::Error { message }
+            }
+            _ => return None,
+        };
+        if !d.done() {
+            return None;
+        }
+        Some(message)
+    }
+}
+
+/// Reads one raw frame body (without the length prefix).
+///
+/// # Errors
+///
+/// `UnexpectedEof` on a closed peer, `InvalidData` on an oversized or
+/// zero-length frame, or any underlying I/O error (including timeouts).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Writes one raw frame body with its length prefix.
+///
+/// # Errors
+///
+/// Any underlying I/O error.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> std::io::Result<()> {
+    debug_assert!(!body.is_empty() && body.len() <= MAX_FRAME as usize);
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(body);
+    w.write_all(&frame)
+}
+
+/// Writes one message as a frame.
+///
+/// # Errors
+///
+/// Any underlying I/O error.
+pub fn write_message(w: &mut impl Write, message: &Message) -> std::io::Result<()> {
+    write_frame(w, &message.encode())
+}
+
+/// Reads one message.
+///
+/// # Errors
+///
+/// As [`read_frame`], plus `InvalidData` when the body does not decode.
+pub fn read_message(r: &mut impl Read) -> std::io::Result<Message> {
+    let body = read_frame(r)?;
+    Message::decode(&body)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "undecodable message"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(message: Message) {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &message).unwrap();
+        let decoded = read_message(&mut buf.as_slice()).unwrap();
+        assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Message::Hello {
+            initial: vec![true, false, true],
+        });
+        roundtrip(Message::HelloAck {
+            high_water: vec![None, Some(0), Some(41)],
+        });
+        roundtrip(Message::Event {
+            process: 2,
+            clock: vec![0, 7, 3],
+        });
+        for status in [
+            AckStatus::Accepted,
+            AckStatus::Duplicate,
+            AckStatus::Stale,
+            AckStatus::Rejected,
+        ] {
+            roundtrip(Message::Ack {
+                process: 1,
+                seq: 9,
+                status,
+            });
+        }
+        roundtrip(Message::VerdictQuery);
+        roundtrip(Message::Verdict { witness: None });
+        roundtrip(Message::Verdict {
+            witness: Some(vec![vec![1, 0], vec![1, 2]]),
+        });
+        roundtrip(Message::StatsQuery);
+        roundtrip(Message::Stats(ServerStats {
+            observed: 10,
+            duplicates: 2,
+            stale: 1,
+            rejected: 3,
+            events_logged: 11,
+            resumes: 4,
+            queue_depth: 5,
+            wal_segments: 2,
+        }));
+        roundtrip(Message::Shutdown);
+        roundtrip(Message::ShutdownAck { witness: None });
+        roundtrip(Message::ShutdownAck {
+            witness: Some(vec![vec![3], vec![]]),
+        });
+        roundtrip(Message::Error {
+            message: "process 9 out of range".into(),
+        });
+    }
+
+    #[test]
+    fn truncated_bodies_do_not_decode() {
+        let mut buf = Vec::new();
+        write_message(
+            &mut buf,
+            &Message::Event {
+                process: 0,
+                clock: vec![1, 2, 3],
+            },
+        )
+        .unwrap();
+        // Shorten the body but fix up the length prefix so only the
+        // decoder (not the framer) can notice.
+        let body = &buf[4..buf.len() - 2];
+        assert!(Message::decode(body).is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut body = Message::VerdictQuery.encode();
+        body.push(0);
+        assert!(Message::decode(&body).is_none());
+    }
+
+    #[test]
+    fn oversized_and_empty_frames_error() {
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(
+            read_frame(&mut huge.as_slice()).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+        let zero = 0u32.to_le_bytes();
+        assert_eq!(
+            read_frame(&mut zero.as_slice()).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn closed_peer_reads_as_eof() {
+        let empty: &[u8] = &[];
+        assert_eq!(
+            read_message(&mut &*empty).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+    }
+}

@@ -1,0 +1,456 @@
+//! The monitoring service: a TCP listener that logs every accepted
+//! event to the WAL before applying it to a [`ConjunctiveMonitor`] and
+//! acking the client.
+//!
+//! ## Ordering and determinism
+//!
+//! Connections are handed to a fixed worker pool over a bounded queue
+//! (`max_inflight` — when full, `accept` stops draining and the kernel
+//! backlog applies backpressure to clients). Each connection is served
+//! sequentially by one worker, and the WAL + monitor live behind a
+//! single mutex, so events from one connection apply in the order sent
+//! — per-process FIFO is preserved no matter how many workers run.
+//! Combined with the monitor's unique-minimal-witness property
+//! (`docs/ALGORITHMS.md` §11), the verdict and witness are identical at
+//! 1, 2, or 4 workers, and identical across crash/recover/redeliver
+//! runs.
+//!
+//! ## Crash windows
+//!
+//! The append-then-apply-then-ack order makes every crash window safe
+//! under `fsync always`:
+//!
+//! - crash before the append is durable → the client never got an ack
+//!   and retransmits after reconnect; recovery replays the prefix.
+//! - crash after the append, before the ack → recovery replays the
+//!   event; the client retransmits it and the monitor screens it as a
+//!   duplicate.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gpd::online::{ConjunctiveMonitor, Observation};
+use gpd_computation::VectorClock;
+
+use crate::protocol::{read_message, write_message, AckStatus, Message, ServerStats};
+use crate::wal::{Wal, WalConfig, WalRecord};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// WAL location and durability policy.
+    pub wal: WalConfig,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bound on connections queued for a worker; beyond it the accept
+    /// loop stops draining and TCP backpressure applies.
+    pub max_inflight: usize,
+    /// Per-connection read timeout; an idle connection past it is
+    /// dropped (the client reconnects and resumes).
+    pub io_timeout: Duration,
+    /// Optional cap on the monitor's per-process queues; overflow is
+    /// acked as [`AckStatus::Rejected`] so clients back off.
+    pub queue_cap: Option<usize>,
+}
+
+impl ServerConfig {
+    /// Defaults: 2 workers, 16 queued connections, 30 s idle timeout,
+    /// unbounded monitor queues.
+    pub fn new(wal: WalConfig) -> Self {
+        ServerConfig {
+            wal,
+            workers: 2,
+            max_inflight: 16,
+            io_timeout: Duration::from_secs(30),
+            queue_cap: None,
+        }
+    }
+}
+
+/// Cross-thread counters, mirrored into [`ServerStats`] on demand.
+#[derive(Debug, Default)]
+struct Counters {
+    observed: AtomicU64,
+    duplicates: AtomicU64,
+    stale: AtomicU64,
+    rejected: AtomicU64,
+    events_logged: AtomicU64,
+    resumes: AtomicU64,
+}
+
+/// The WAL and monitor, guarded together so log order equals apply
+/// order.
+struct Inner {
+    wal: Wal,
+    /// `None` until the first `Hello` (or WAL `Init` replay) declares
+    /// the process count.
+    monitor: Option<ConjunctiveMonitor>,
+    initial: Option<Vec<bool>>,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    queue_cap: Option<usize>,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        let inner = self.inner.lock().expect("server state poisoned");
+        ServerStats {
+            observed: self.counters.observed.load(Ordering::Relaxed),
+            duplicates: self.counters.duplicates.load(Ordering::Relaxed),
+            stale: self.counters.stale.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            events_logged: self.counters.events_logged.load(Ordering::Relaxed),
+            resumes: self.counters.resumes.load(Ordering::Relaxed),
+            queue_depth: inner.monitor.as_ref().map_or(0, |m| m.queue_depth() as u64),
+            wal_segments: inner.wal.segment_count(),
+        }
+    }
+
+    fn witness(inner: &Inner) -> Option<Vec<Vec<u32>>> {
+        inner.monitor.as_ref().and_then(|m| {
+            m.witness()
+                .map(|cut| cut.iter().map(|c| c.as_slice().to_vec()).collect())
+        })
+    }
+}
+
+/// A running server; dropped handles do **not** stop it — send
+/// [`Message::Shutdown`] (e.g. via
+/// [`FeedClient::shutdown`](crate::client::FeedClient::shutdown)) and
+/// then [`ServerHandle::wait`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+/// What the server knew when it stopped.
+#[derive(Debug, Clone)]
+pub struct ServerSummary {
+    /// The final witness cut, if the conjunction ever held.
+    pub witness: Option<Vec<Vec<u32>>>,
+    /// Final counters.
+    pub stats: ServerStats,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Blocks until a client-initiated shutdown completes, then reports
+    /// the final verdict and counters.
+    pub fn wait(self) -> ServerSummary {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        let stats = self.shared.stats();
+        let inner = self.shared.inner.lock().expect("server state poisoned");
+        ServerSummary {
+            witness: Shared::witness(&inner),
+            stats,
+        }
+    }
+}
+
+/// Starts the service on `addr` (use `"127.0.0.1:0"` for an ephemeral
+/// port), recovering state from the WAL directory first.
+///
+/// # Errors
+///
+/// Any I/O error binding the listener or opening/recovering the WAL.
+pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let (wal, recovery) = Wal::open(config.wal.clone())?;
+
+    // Deterministic replay: the WAL records every accepted observation
+    // in apply order, so replaying it rebuilds the exact monitor state
+    // (same witness, same high-water marks) the crashed server had at
+    // its last durable append.
+    let mut monitor = None;
+    let mut initial = None;
+    for record in &recovery.records {
+        match record {
+            WalRecord::Init { initial: init } => {
+                monitor = Some(match config.queue_cap {
+                    Some(cap) => ConjunctiveMonitor::with_initial(init).with_queue_cap(cap),
+                    None => ConjunctiveMonitor::with_initial(init),
+                });
+                initial = Some(init.clone());
+            }
+            WalRecord::Event { process, clock } => {
+                if let Some(m) = monitor.as_mut() {
+                    // Logged events were accepted once; replay cannot
+                    // overflow a queue that held them before.
+                    let _ = m.try_observe(*process as usize, VectorClock::from(clock.clone()));
+                }
+            }
+        }
+    }
+
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            wal,
+            monitor,
+            initial,
+        }),
+        counters: Counters::default(),
+        shutdown: AtomicBool::new(false),
+        queue_cap: config.queue_cap,
+    });
+
+    let (tx, rx) = sync_channel::<TcpStream>(config.max_inflight.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let mut threads = Vec::new();
+    for _ in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let shared = Arc::clone(&shared);
+        let io_timeout = config.io_timeout;
+        threads.push(std::thread::spawn(move || {
+            worker_loop(&rx, &shared, io_timeout);
+        }));
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(&listener, &tx, &shared);
+        }));
+    }
+
+    Ok(ServerHandle {
+        addr: local,
+        threads,
+        shared,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shared: &Shared) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late client); closing
+                    // the socket tells the peer we are gone.
+                    break;
+                }
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    // Dropping `tx` unblocks idle workers.
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Shared, io_timeout: Duration) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("connection queue poisoned");
+            guard.recv()
+        };
+        let Ok(stream) = stream else {
+            return; // acceptor gone: shutdown
+        };
+        let _ = serve_connection(stream, shared, io_timeout);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Serves one connection to completion. Returns `Err` only on I/O
+/// failure; protocol violations send [`Message::Error`] and close.
+fn serve_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    io_timeout: Duration,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    stream.set_nodelay(true)?;
+    loop {
+        let message = match read_message(&mut stream) {
+            Ok(m) => m,
+            Err(_) => return Ok(()), // EOF, timeout, or garbage: drop the connection
+        };
+        match message {
+            Message::Hello { initial } => {
+                let mut inner = shared.inner.lock().expect("server state poisoned");
+                match (&inner.initial, inner.monitor.is_some()) {
+                    (Some(existing), true) => {
+                        if *existing != initial {
+                            drop(inner);
+                            let reason =
+                                "session mismatch: server already monitors a different computation"
+                                    .to_string();
+                            write_message(&mut stream, &Message::Error { message: reason })?;
+                            return Ok(());
+                        }
+                        shared.counters.resumes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        // First contact ever: log the session header
+                        // before building the monitor, so recovery can
+                        // rebuild it.
+                        inner.wal.append(&WalRecord::Init {
+                            initial: initial.clone(),
+                        })?;
+                        shared
+                            .counters
+                            .events_logged
+                            .fetch_add(1, Ordering::Relaxed);
+                        inner.monitor = Some(match shared.queue_cap {
+                            Some(cap) => {
+                                ConjunctiveMonitor::with_initial(&initial).with_queue_cap(cap)
+                            }
+                            None => ConjunctiveMonitor::with_initial(&initial),
+                        });
+                        inner.initial = Some(initial);
+                    }
+                }
+                let monitor = inner.monitor.as_ref().expect("just initialized");
+                let high_water = (0..monitor.process_count())
+                    .map(|p| monitor.high_water(p))
+                    .collect();
+                drop(inner);
+                write_message(&mut stream, &Message::HelloAck { high_water })?;
+            }
+            Message::Event { process, clock } => {
+                let mut inner = shared.inner.lock().expect("server state poisoned");
+                let Some(monitor) = inner.monitor.as_ref() else {
+                    drop(inner);
+                    let reason = "no session: send Hello first".to_string();
+                    write_message(&mut stream, &Message::Error { message: reason })?;
+                    return Ok(());
+                };
+                let n = monitor.process_count();
+                if process as usize >= n || clock.len() != n {
+                    drop(inner);
+                    let reason = format!(
+                        "malformed event: process {process}, clock length {}",
+                        clock.len()
+                    );
+                    write_message(&mut stream, &Message::Error { message: reason })?;
+                    return Ok(());
+                }
+                let p = process as usize;
+                let vc = VectorClock::from(clock.clone());
+                let seq = clock[p];
+                // Classify first so only genuinely new events hit the
+                // log; then append (durable under `fsync always`);
+                // then apply; then ack. See the module docs for why
+                // each crash window is safe.
+                let status = match inner.monitor.as_ref().expect("checked").classify(p, &vc) {
+                    Observation::Duplicate => {
+                        shared.counters.duplicates.fetch_add(1, Ordering::Relaxed);
+                        AckStatus::Duplicate
+                    }
+                    Observation::Stale => {
+                        shared.counters.stale.fetch_add(1, Ordering::Relaxed);
+                        AckStatus::Stale
+                    }
+                    Observation::Accepted => {
+                        let over = shared.queue_cap.is_some_and(|cap| {
+                            let m = inner.monitor.as_ref().expect("checked");
+                            m.witness().is_none() && m.queue_depth_of(p) >= cap
+                        });
+                        if over {
+                            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                            AckStatus::Rejected
+                        } else {
+                            inner.wal.append(&WalRecord::Event {
+                                process,
+                                clock: clock.clone(),
+                            })?;
+                            shared
+                                .counters
+                                .events_logged
+                                .fetch_add(1, Ordering::Relaxed);
+                            let observed = inner
+                                .monitor
+                                .as_mut()
+                                .expect("checked")
+                                .try_observe(p, vc)
+                                .expect("overflow checked before logging");
+                            debug_assert_eq!(observed, Observation::Accepted);
+                            shared.counters.observed.fetch_add(1, Ordering::Relaxed);
+                            AckStatus::Accepted
+                        }
+                    }
+                };
+                drop(inner);
+                write_message(
+                    &mut stream,
+                    &Message::Ack {
+                        process,
+                        seq,
+                        status,
+                    },
+                )?;
+            }
+            Message::VerdictQuery => {
+                let inner = shared.inner.lock().expect("server state poisoned");
+                let witness = Shared::witness(&inner);
+                drop(inner);
+                write_message(&mut stream, &Message::Verdict { witness })?;
+            }
+            Message::StatsQuery => {
+                let stats = shared.stats();
+                write_message(&mut stream, &Message::Stats(stats))?;
+            }
+            Message::Shutdown => {
+                let mut inner = shared.inner.lock().expect("server state poisoned");
+                inner.wal.sync()?; // drain Interval-mode buffers
+                let witness = Shared::witness(&inner);
+                drop(inner);
+                shared.shutdown.store(true, Ordering::SeqCst);
+                // Wake the acceptor so it observes the flag.
+                let _ = TcpStream::connect(shared_addr(&stream));
+                write_message(&mut stream, &Message::ShutdownAck { witness })?;
+                stream.flush()?;
+                return Ok(());
+            }
+            // Server-bound connections should not send server-role
+            // messages; answer with an error and close.
+            Message::HelloAck { .. }
+            | Message::Ack { .. }
+            | Message::Verdict { .. }
+            | Message::Stats(_)
+            | Message::ShutdownAck { .. }
+            | Message::Error { .. } => {
+                let reason = "unexpected server-role message".to_string();
+                write_message(&mut stream, &Message::Error { message: reason })?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// The server's own listening address, reconstructed from the accepted
+/// connection's local endpoint (same IP and port as the listener).
+fn shared_addr(stream: &TcpStream) -> SocketAddr {
+    stream
+        .local_addr()
+        .expect("accepted socket has a local address")
+}

@@ -251,6 +251,34 @@ pub struct SimTrace {
     pub int_vars: Vec<(String, IntVariable)>,
 }
 
+/// A required variable is absent from a trace — returned by
+/// [`SimTrace::require_bool_var`] / [`SimTrace::require_int_var`] so
+/// protocol-level consumers get a diagnosable error (with the names that
+/// *do* exist) instead of an `unwrap` panic deep in a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MissingVariable {
+    /// The requested variable name.
+    pub name: String,
+    /// `"bool"` or `"int"`.
+    pub kind: &'static str,
+    /// The names the trace actually recorded, for the error message.
+    pub known: Vec<String>,
+}
+
+impl std::fmt::Display for MissingVariable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace has no {} variable {:?} (known: {})",
+            self.kind,
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for MissingVariable {}
+
 impl SimTrace {
     /// Looks up a recorded boolean variable by name.
     pub fn bool_var(&self, name: &str) -> Option<&BoolVariable> {
@@ -266,6 +294,36 @@ impl SimTrace {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v)
+    }
+
+    /// Like [`bool_var`](Self::bool_var), but a missing variable is a
+    /// proper [`MissingVariable`] error naming the known variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingVariable`] if no boolean variable `name` was
+    /// recorded.
+    pub fn require_bool_var(&self, name: &str) -> Result<&BoolVariable, MissingVariable> {
+        self.bool_var(name).ok_or_else(|| MissingVariable {
+            name: name.to_string(),
+            kind: "bool",
+            known: self.bool_vars.iter().map(|(n, _)| n.clone()).collect(),
+        })
+    }
+
+    /// Like [`int_var`](Self::int_var), but a missing variable is a
+    /// proper [`MissingVariable`] error naming the known variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MissingVariable`] if no integer variable `name` was
+    /// recorded.
+    pub fn require_int_var(&self, name: &str) -> Result<&IntVariable, MissingVariable> {
+        self.int_var(name).ok_or_else(|| MissingVariable {
+            name: name.to_string(),
+            kind: "int",
+            known: self.int_vars.iter().map(|(n, _)| n.clone()).collect(),
+        })
     }
 }
 
@@ -659,17 +717,33 @@ mod tests {
     }
 
     #[test]
-    fn variables_are_recorded_per_state() {
+    fn variables_are_recorded_per_state() -> Result<(), MissingVariable> {
         let sim = Simulation::new(pingpong(2), SimConfig::new(1));
         let trace = sim.run();
-        let received = trace.int_var("received").unwrap();
+        let received = trace.require_int_var("received")?;
         // Final cut: each side received once.
         assert_eq!(received.sum_at(&trace.computation.final_cut()), 2);
         assert_eq!(received.sum_at(&trace.computation.initial_cut()), 0);
-        let active = trace.bool_var("active").unwrap();
+        let active = trace.require_bool_var("active")?;
         assert!(active.value_in_state(0, 0));
         assert!(!active.value_in_state(1, 0));
         assert!(trace.bool_var("nonexistent").is_none());
+        Ok(())
+    }
+
+    #[test]
+    fn missing_variables_are_proper_errors() {
+        let trace = Simulation::new(pingpong(2), SimConfig::new(1)).run();
+        let err = trace.require_bool_var("no_such_flag").unwrap_err();
+        assert_eq!(err.kind, "bool");
+        assert!(err.to_string().contains("no_such_flag"), "{err}");
+        assert!(
+            err.to_string().contains("active"),
+            "message names the known variables: {err}"
+        );
+        let err = trace.require_int_var("no_such_count").unwrap_err();
+        assert_eq!(err.kind, "int");
+        assert!(err.to_string().contains("received"), "{err}");
     }
 
     #[test]
@@ -714,15 +788,16 @@ mod tests {
     }
 
     #[test]
-    fn timers_fire_and_record_internal_events() {
+    fn timers_fire_and_record_internal_events() -> Result<(), MissingVariable> {
         let sim = Simulation::new(vec![Ticker { ticks: 0, limit: 3 }], SimConfig::new(3));
         let trace = sim.run();
         // 1 start + 3 timer events, no messages.
         assert_eq!(trace.computation.event_count(), 4);
         assert!(trace.computation.messages().is_empty());
-        let ticks = trace.int_var("ticks").unwrap();
+        let ticks = trace.require_int_var("ticks")?;
         assert_eq!(ticks.value_in_state(0, 4), 3);
         assert!(ticks.is_unit_step());
+        Ok(())
     }
 
     /// Sends a burst of numbered messages to one receiver.

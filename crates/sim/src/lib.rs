@@ -47,4 +47,4 @@
 mod kernel;
 pub mod protocols;
 
-pub use kernel::{Context, FaultPlan, Process, SimConfig, SimTrace, Simulation};
+pub use kernel::{Context, FaultPlan, MissingVariable, Process, SimConfig, SimTrace, Simulation};

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end drill for the online monitoring service, from the shell:
+#
+#   1. record a buggy-mutex trace;
+#   2. start `gpd serve` with a write-ahead log;
+#   3. replay the trace into it with `gpd feed --shutdown` and keep the
+#      verdict;
+#   4. repeat the run through `gpd chaos` — frame loss, duplication,
+#      delay, and one forced connection reset — and require the same
+#      verdict, proving the retry/resume machinery absorbs the faults.
+#
+# Usage: examples/online_service.sh [path-to-gpd-binary]
+set -euo pipefail
+
+GPD=${1:-target/release/gpd}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+"$GPD" simulate mutex --n 3 --buggy --seed 5 -o "$WORK/mutex.trace"
+
+wait_addr() { # file -> prints the address once the server wrote it
+    for _ in $(seq 1 200); do
+        if [ -s "$1" ]; then cat "$1"; return 0; fi
+        sleep 0.05
+    done
+    echo "timed out waiting for $1" >&2
+    return 1
+}
+
+verdict_of() { grep '^final verdict:' "$1" || grep '^verdict:' "$1"; }
+
+# --- Fault-free leg -------------------------------------------------
+"$GPD" serve --addr 127.0.0.1:0 --wal-dir "$WORK/wal-clean" \
+    --addr-file "$WORK/clean.addr" >"$WORK/serve-clean.out" &
+ADDR=$(wait_addr "$WORK/clean.addr")
+"$GPD" feed "$WORK/mutex.trace" --addr "$ADDR" --var in_cs --shutdown \
+    >"$WORK/feed-clean.out"
+wait # for serve to drain and exit
+CLEAN=$(verdict_of "$WORK/feed-clean.out" | tail -n 1)
+echo "fault-free: $CLEAN"
+
+# --- Chaos leg ------------------------------------------------------
+"$GPD" serve --addr 127.0.0.1:0 --wal-dir "$WORK/wal-chaos" \
+    --addr-file "$WORK/chaos-srv.addr" >"$WORK/serve-chaos.out" &
+SERVE_PID=$!
+UPSTREAM=$(wait_addr "$WORK/chaos-srv.addr")
+"$GPD" chaos --upstream "$UPSTREAM" --listen 127.0.0.1:0 \
+    --drop 0.12 --duplicate 0.25 --jitter 0.2 --reset-after 5 --seed 42 \
+    --addr-file "$WORK/chaos.addr" >"$WORK/chaos.out" &
+CHAOS_PID=$!
+PROXY=$(wait_addr "$WORK/chaos.addr")
+
+# Short timeouts + a deep retry budget: the client must out-stubborn
+# the fault plan. --shutdown goes through the proxy too.
+"$GPD" feed "$WORK/mutex.trace" --addr "$PROXY" --var in_cs \
+    --io-timeout-ms 300 --retries 100 --backoff-ms 2 --backoff-cap-ms 50 \
+    --seed 7 --shutdown >"$WORK/feed-chaos.out"
+wait "$SERVE_PID"
+kill "$CHAOS_PID" 2>/dev/null || true
+CHAOS=$(verdict_of "$WORK/feed-chaos.out" | tail -n 1)
+echo "through chaos proxy: $CHAOS"
+
+if [ "$CLEAN" != "$CHAOS" ]; then
+    echo "FAIL: chaos verdict diverged from the fault-free verdict" >&2
+    exit 1
+fi
+grep -E '^server stats:' "$WORK/serve-chaos.out"
+grep -E 'reconnects' "$WORK/feed-chaos.out"
+# The forced reset must actually have driven the client through a
+# reconnect-with-resume, visible on both sides of the wire.
+grep -qE '[1-9][0-9]* reconnects' "$WORK/feed-chaos.out" || {
+    echo "FAIL: the forced reset never drove a reconnect" >&2
+    exit 1
+}
+grep -qE '[1-9][0-9]* resumes' "$WORK/serve-chaos.out" || {
+    echo "FAIL: the server never saw a session resume" >&2
+    exit 1
+}
+echo "OK: verdicts agree through loss, duplication, delay, and a reset"

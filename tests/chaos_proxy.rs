@@ -1,0 +1,161 @@
+//! End-to-end fault drill: a feed through the chaos proxy — frame
+//! loss, duplication, and one forced connection reset — must reach the
+//! same verdict as a fault-free feed, with the retries and resumes
+//! observable in the server's counters.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gpd_server::chaos::{self, ChaosConfig};
+use gpd_server::client::{ClientConfig, FeedClient};
+use gpd_server::server::{self, ServerConfig};
+use gpd_server::wal::{FsyncPolicy, WalConfig};
+use gpd_sim::FaultPlan;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 3;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let k = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gpd-chaos-{tag}-{}-{k}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Same deterministic event stream as `tests/crash_recovery.rs`.
+fn generated_events() -> Vec<(usize, Vec<u32>)> {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let mut clocks = vec![vec![0u32; N]; N];
+    let mut events = Vec::new();
+    for round in 0..12 {
+        for p in 0..N {
+            if round > 0 && rng.gen_bool(0.4) {
+                let q = rng.gen_range(0..N - 1);
+                let q = if q >= p { q + 1 } else { q };
+                let other = clocks[q].clone();
+                for (mine, theirs) in clocks[p].iter_mut().zip(other) {
+                    *mine = (*mine).max(theirs);
+                }
+            }
+            clocks[p][p] += 1;
+            events.push((p, clocks[p].clone()));
+        }
+    }
+    events
+}
+
+fn start_server(dir: &PathBuf) -> gpd_server::ServerHandle {
+    let mut config = ServerConfig::new(WalConfig::new(dir).with_fsync(FsyncPolicy::Always));
+    config.workers = 2;
+    config.io_timeout = Duration::from_secs(5);
+    server::start("127.0.0.1:0", config).unwrap()
+}
+
+fn chaos_client(addr: std::net::SocketAddr) -> FeedClient {
+    let mut config = ClientConfig::new(addr.to_string());
+    // Short timeouts so a lost ack is detected quickly; a generous
+    // retry budget so the fault rate cannot outlast the client.
+    config.io_timeout = Duration::from_millis(300);
+    config.max_retries = 100;
+    config.backoff_base = Duration::from_millis(2);
+    config.backoff_cap = Duration::from_millis(50);
+    config.jitter_seed = 7;
+    FeedClient::new(config)
+}
+
+#[test]
+fn lossy_duplicating_resetting_path_matches_fault_free_verdict() {
+    let events = generated_events();
+
+    // Fault-free reference run.
+    let clean_dir = tmp_dir("clean");
+    let clean_server = start_server(&clean_dir);
+    let clean_client = chaos_client(clean_server.local_addr());
+    let clean = clean_client.feed(&[false; N], &events).unwrap();
+    clean_client.shutdown().unwrap();
+    clean_server.wait();
+    assert!(clean.witness.is_some(), "reference run must find a witness");
+
+    // Chaos run: loss + duplication + jitter + one forced reset.
+    let chaos_dir = tmp_dir("faulty");
+    let chaos_server = start_server(&chaos_dir);
+    let mut chaos_config = ChaosConfig::new(chaos_server.local_addr().to_string());
+    chaos_config.faults = FaultPlan {
+        drop_prob: 0.12,
+        duplicate_prob: 0.25,
+        jitter_prob: 0.2,
+        jitter_range: (1, 5),
+        crashes: Vec::new(),
+    };
+    chaos_config.reset_after = Some(15);
+    chaos_config.seed = 42;
+    let proxy = chaos::start("127.0.0.1:0", chaos_config).unwrap();
+
+    let client = chaos_client(proxy.local_addr());
+    let report = client
+        .feed(&[false; N], &events)
+        .expect("retry budget must outlast the fault plan");
+
+    assert_eq!(
+        report.witness, clean.witness,
+        "chaos path diverged from the fault-free verdict"
+    );
+
+    // The faults actually bit, and the machinery visibly absorbed them.
+    let proxy_report = proxy.stop();
+    assert!(proxy_report.dropped >= 1, "{proxy_report:?}");
+    assert!(proxy_report.duplicated >= 1, "{proxy_report:?}");
+    assert_eq!(proxy_report.resets, 1, "{proxy_report:?}");
+    assert!(
+        report.reconnects >= 1,
+        "the forced reset must drive the client through reconnect: {report:?}"
+    );
+
+    // Server-side counters tell the same story (query directly, past
+    // the now-stopped proxy).
+    let direct = chaos_client(chaos_server.local_addr());
+    let stats = direct.query_stats().unwrap();
+    assert!(
+        stats.resumes >= 1,
+        "reconnects must resume the session: {stats:?}"
+    );
+    assert!(
+        stats.duplicates + stats.stale >= 1,
+        "duplicated/replayed frames must be screened: {stats:?}"
+    );
+    assert_eq!(
+        stats.observed,
+        events.len() as u64,
+        "every distinct event applied exactly once: {stats:?}"
+    );
+
+    direct.shutdown().unwrap();
+    chaos_server.wait();
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+}
+
+#[test]
+fn transparent_proxy_is_invisible() {
+    let events = generated_events();
+    let dir = tmp_dir("transparent");
+    let server = start_server(&dir);
+    let proxy = chaos::start(
+        "127.0.0.1:0",
+        ChaosConfig::new(server.local_addr().to_string()),
+    )
+    .unwrap();
+    let client = chaos_client(proxy.local_addr());
+    let report = client.feed(&[false; N], &events).unwrap();
+    assert_eq!(report.reconnects, 0);
+    assert_eq!(report.accepted, events.len() as u64);
+    let proxy_report = proxy.stop();
+    assert_eq!(proxy_report.dropped, 0);
+    assert_eq!(proxy_report.duplicated, 0);
+    let direct = chaos_client(server.local_addr());
+    direct.shutdown().unwrap();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

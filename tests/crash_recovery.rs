@@ -1,0 +1,245 @@
+//! Crash-recovery determinism for the online monitoring service.
+//!
+//! The contract under test (ISSUE 5, `docs/ALGORITHMS.md` §11): kill
+//! the server at **any byte offset** of its write-ahead log, recover,
+//! let the client re-deliver everything (at-least-once), and the final
+//! verdict and witness are byte-for-byte the ones an uninterrupted run
+//! produces — at 1, 2, or 4 worker threads alike.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use gpd_server::client::{ClientConfig, FeedClient};
+use gpd_server::server::{self, ServerConfig};
+use gpd_server::wal::{self, FsyncPolicy, Wal, WalConfig, WalRecord};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of processes in the generated computation.
+const N: usize = 3;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let k = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gpd-crash-{tag}-{}-{k}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic stream of true states: per-process vector-clock
+/// chains with occasional cross-process merges, in a fixed interleaved
+/// delivery order. Every state is "true", so the conjunction holds and
+/// the unique minimal witness is nontrivial.
+fn generated_events() -> Vec<(usize, Vec<u32>)> {
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let mut clocks = vec![vec![0u32; N]; N];
+    let mut events = Vec::new();
+    for round in 0..12 {
+        for p in 0..N {
+            // Occasionally learn another process's clock (message
+            // receipt) before ticking.
+            if round > 0 && rng.gen_bool(0.4) {
+                let q = rng.gen_range(0..N - 1);
+                let q = if q >= p { q + 1 } else { q };
+                let other = clocks[q].clone();
+                for (mine, theirs) in clocks[p].iter_mut().zip(other) {
+                    *mine = (*mine).max(theirs);
+                }
+            }
+            clocks[p][p] += 1;
+            events.push((p, clocks[p].clone()));
+        }
+    }
+    events
+}
+
+fn server_config(dir: &PathBuf, workers: usize) -> ServerConfig {
+    let mut config = ServerConfig::new(
+        WalConfig::new(dir)
+            // Small segments so truncation offsets cross rotation
+            // boundaries.
+            .with_segment_bytes(256)
+            .with_fsync(FsyncPolicy::Always),
+    );
+    config.workers = workers;
+    config.io_timeout = Duration::from_secs(5);
+    config
+}
+
+fn client_config(addr: std::net::SocketAddr) -> ClientConfig {
+    let mut config = ClientConfig::new(addr.to_string());
+    config.io_timeout = Duration::from_secs(5);
+    config.max_retries = 5;
+    config.backoff_base = Duration::from_millis(2);
+    config.backoff_cap = Duration::from_millis(50);
+    config
+}
+
+/// Runs the full feed against a fresh server over `dir` and returns
+/// (witness, concatenated WAL bytes).
+fn run_feed(dir: &PathBuf, workers: usize) -> (Option<Vec<Vec<u32>>>, Vec<u8>) {
+    let handle = server::start("127.0.0.1:0", server_config(dir, workers)).unwrap();
+    let client = FeedClient::new(client_config(handle.local_addr()));
+    let report = client
+        .feed(&[false; N], &generated_events())
+        .expect("fault-free feed succeeds");
+    let witness = client.shutdown().expect("shutdown succeeds");
+    assert_eq!(report.witness, witness, "feed and shutdown verdicts agree");
+    let summary = handle.wait();
+    assert_eq!(summary.witness, witness);
+    let bytes = wal::concatenated_bytes(dir).unwrap();
+    (witness, bytes)
+}
+
+struct Baseline {
+    witness: Option<Vec<Vec<u32>>>,
+    wal_bytes: Vec<u8>,
+}
+
+fn baseline() -> &'static Baseline {
+    static BASELINE: OnceLock<Baseline> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let dir = tmp_dir("baseline");
+        let (witness, wal_bytes) = run_feed(&dir, 1);
+        assert!(
+            witness.is_some(),
+            "the all-true stream must produce a witness"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        Baseline { witness, wal_bytes }
+    })
+}
+
+#[test]
+fn uninterrupted_verdict_is_worker_count_invariant() {
+    let expected = &baseline().witness;
+    for workers in [2, 4] {
+        let dir = tmp_dir("workers");
+        let (witness, _) = run_feed(&dir, workers);
+        assert_eq!(
+            &witness, expected,
+            "witness differs at {workers} worker threads"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Simulates `kill -9` after `keep` bytes of the baseline WAL reached
+/// disk, restarts, re-delivers everything, and checks the verdict.
+fn crash_recover_redeliver(keep: usize, workers: usize) {
+    let base = baseline();
+    let dir = tmp_dir("recover");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("00000000.wal"), &base.wal_bytes[..keep]).unwrap();
+
+    let handle = server::start("127.0.0.1:0", server_config(&dir, workers)).unwrap();
+    let client = FeedClient::new(client_config(handle.local_addr()));
+    let report = client
+        .feed(&[false; N], &generated_events())
+        .expect("redelivery feed succeeds");
+    let witness = client.shutdown().expect("shutdown succeeds");
+    let summary = handle.wait();
+
+    assert_eq!(
+        witness, base.witness,
+        "recovered verdict diverges (keep={keep}, workers={workers})"
+    );
+    assert_eq!(summary.witness, base.witness);
+    // Redelivered events the recovered log already held are screened,
+    // not re-applied: the monitor saw each state exactly once.
+    let total = generated_events().len() as u64;
+    assert_eq!(
+        report.accepted + report.duplicates + report.stale + report.resumed_past,
+        total,
+        "every event is accounted for exactly once (keep={keep})"
+    );
+    // The server's live counters mirror the client's view: events the
+    // resume marks skipped were never sent at all.
+    assert_eq!(summary.stats.observed, report.accepted);
+    assert_eq!(summary.stats.duplicates, report.duplicates);
+    assert_eq!(summary.stats.stale, report.stale);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_truncation_offset_recovers_the_uninterrupted_verdict(
+        offset_seed in any::<u64>(),
+        worker_pick in 0usize..3,
+    ) {
+        let wal_len = baseline().wal_bytes.len();
+        let keep = (offset_seed % (wal_len as u64 + 1)) as usize;
+        let workers = [1, 2, 4][worker_pick];
+        crash_recover_redeliver(keep, workers);
+    }
+}
+
+#[test]
+fn edge_truncations_recover() {
+    let wal_len = baseline().wal_bytes.len();
+    // Empty log, one byte (torn length header), everything-but-one-byte
+    // (torn final record), and the complete log.
+    for keep in [0, 1, wal_len - 1, wal_len] {
+        crash_recover_redeliver(keep, 2);
+    }
+}
+
+/// The committed regression corpus: hand-torn logs that recovery must
+/// cut at exactly the right byte.
+#[test]
+fn fixed_corpus_recovers_expected_prefixes() {
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus/wal");
+    let init = WalRecord::Init {
+        initial: vec![false, false],
+    };
+    let event = WalRecord::Event {
+        process: 1,
+        clock: vec![0, 1],
+    };
+
+    let torn_header = {
+        let mut bytes = wal::frame(&init);
+        bytes.extend_from_slice(&[0x11, 0x22, 0x33]); // half a length field
+        bytes
+    };
+    let torn_payload = {
+        let mut bytes = wal::frame(&init);
+        let whole = wal::frame(&event);
+        bytes.extend_from_slice(&whole[..whole.len() - 4]); // payload cut short
+        bytes
+    };
+    let bad_crc = {
+        let mut bytes = wal::frame(&init);
+        let mut corrupt = wal::frame(&event);
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01; // bit rot in the payload
+        bytes.extend_from_slice(&corrupt);
+        bytes
+    };
+    let cases: [(&str, &[u8], usize); 3] = [
+        ("torn_header.wal", &torn_header, 1),
+        ("torn_payload.wal", &torn_payload, 1),
+        ("bad_crc.wal", &bad_crc, 1),
+    ];
+
+    for (name, expected_bytes, expected_records) in cases {
+        let committed = std::fs::read(corpus.join(name))
+            .unwrap_or_else(|e| panic!("missing corpus file {name}: {e}"));
+        assert_eq!(
+            committed, expected_bytes,
+            "{name} drifted from the generator — regenerate deliberately or fix the framing"
+        );
+        let dir = tmp_dir("corpus");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("00000000.wal"), &committed).unwrap();
+        let (_, recovery) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(recovery.records.len(), expected_records, "{name}");
+        assert_eq!(recovery.records[0], init, "{name}");
+        assert!(recovery.truncated_bytes > 0, "{name} must report a cut");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
