@@ -20,20 +20,22 @@ use std::time::{Duration, Instant};
 
 use gpd::conjunctive::possibly_conjunctive;
 use gpd::counters;
-use gpd::enumerate::possibly_by_enumeration;
+use gpd::enumerate::{possibly_by_enumeration, possibly_by_enumeration_budgeted};
 use gpd::hardness::{brute_force_subset_sum, reduce_sat, reduce_subset_sum};
 use gpd::relational::{definitely_exact_sum, possibly_exact_sum, possibly_sum, sum_extremes};
 use gpd::singular::{
     chain_cover_sizes, possibly_singular_chains, possibly_singular_ordered,
     possibly_singular_subsets, possibly_singular_subsets_par, possibly_singular_subsets_reference,
 };
+use gpd::slice::{cnf_envelope, possibly_by_enumeration_sliced_budgeted, Slice};
 use gpd::symmetric::{possibly_symmetric, SymmetricPredicate};
 use gpd::Relop;
+use gpd::{Budget, BudgetMeter};
 use gpd_bench::legacy::LegacyComputation;
 use gpd_bench::{
     boolean_workload, hard_formula, ordered_singular_workload, sat_gadget, singular_workload,
-    standard_computation, subset_sum_instance, unit_sum_workload, unsat_singular_workload,
-    wide_unsat_singular_workload,
+    sliced_unsat_workload, standard_computation, subset_sum_instance, unit_sum_workload,
+    unsat_singular_workload, wide_unsat_singular_workload,
 };
 use gpd_computation::{fnv1a, ProcessId};
 use gpd_sat::solve;
@@ -77,9 +79,10 @@ fn main() {
     }
     let scan_section = incremental_scan_comparison(quick);
     let kernel_section = flat_kernel_comparison(quick);
+    let slicing_section = slicing_comparison(quick);
     if let Some(path) = json_path.as_deref() {
         let json = format!(
-            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR3.json\",\n  \"quick\": {quick},\n  \"incremental_scan\": [\n{scan_section}\n  ],\n  \"flat_kernel\": [\n{kernel_section}\n  ]\n}}\n",
+            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR6.json\",\n  \"quick\": {quick},\n  \"incremental_scan\": [\n{scan_section}\n  ],\n  \"flat_kernel\": [\n{kernel_section}\n  ],\n  \"slicing\": [\n{slicing_section}\n  ]\n}}\n",
         );
         std::fs::write(path, json).expect("write json report");
         println!("Wrote {path}.\n");
@@ -204,6 +207,99 @@ fn incremental_scan_comparison(quick: bool) -> String {
             if ref_result.is_some() { "sat" } else { "unsat" },
             json_side(&reference),
             json_side(&incremental),
+        ));
+    }
+    println!();
+    entries.join(",\n")
+}
+
+/// The PR 6 measurement: the SliceReduce pre-pass in front of canonical
+/// lattice enumeration on the padded unsat gadget. The unit-clause
+/// envelope's slice pins every padding process to its initial state, so
+/// the sliced sweep walks only the gadget's handful of cuts while the
+/// unsliced sweep rejects through the full `O((pad+1)^pads)` lattice.
+/// Verdicts and witnesses must be byte-identical; the unsat row must
+/// show a **≥4×** enumerated-node reduction, and slicing must shrink
+/// the event graph (`slice_nodes_after < slice_nodes_before`). All of
+/// these are size-independent facts, so they are asserted in `--quick`
+/// mode too.
+fn slicing_comparison(quick: bool) -> String {
+    println!("## SliceReduce pre-pass vs plain enumeration (padded unsat gadget)\n");
+    println!(
+        "| workload | verdict | unsliced nodes | sliced nodes | ratio | event graph before → after |"
+    );
+    println!("|---|---|---|---|---|---|");
+
+    let (pad, pads) = if quick { (2usize, 4usize) } else { (4, 6) };
+    let (comp, var, unsat, sat) = sliced_unsat_workload(pad, pads);
+
+    let mut entries = Vec::new();
+    for (name, phi, must_quadruple) in [
+        (format!("slice_unsat_p{pad}x{pads}"), &unsat, true),
+        (format!("slice_sat_p{pad}x{pads}"), &sat, false),
+    ] {
+        let env = cnf_envelope(&comp, &var, phi).expect("unit clauses present");
+        let before = counters::snapshot();
+        let slice = Slice::build(&comp, &env);
+        let slice_work = counters::snapshot().since(&before);
+        assert!(
+            slice_work.slice_nodes_after < slice_work.slice_nodes_before,
+            "{name}: the reduced event graph must shrink, got {} -> {}",
+            slice_work.slice_nodes_before,
+            slice_work.slice_nodes_after
+        );
+
+        let plain_meter = BudgetMeter::new();
+        let plain = possibly_by_enumeration_budgeted(
+            &comp,
+            |c| phi.eval(&var, c),
+            0,
+            &Budget::unlimited(),
+            &plain_meter,
+            None,
+        )
+        .expect("no resume checkpoint");
+        let sliced_meter = BudgetMeter::new();
+        let sliced = possibly_by_enumeration_sliced_budgeted(
+            &comp,
+            &slice,
+            |c| phi.eval(&var, c),
+            0,
+            &Budget::unlimited(),
+            &sliced_meter,
+            None,
+        )
+        .expect("no resume checkpoint");
+        let witness = plain.value().expect("unlimited budgets decide");
+        assert_eq!(
+            witness,
+            sliced.value().expect("unlimited budgets decide"),
+            "{name}: sliced witness must be byte-identical"
+        );
+        let ratio = plain_meter.nodes() as f64 / sliced_meter.nodes().max(1) as f64;
+        if must_quadruple {
+            assert!(
+                ratio >= 4.0,
+                "{name}: expected >=4x fewer enumerated nodes, got {ratio:.2}x"
+            );
+        }
+        println!(
+            "| {} | {} | {} | {} | {ratio:.2}× | {} → {} |",
+            name,
+            if witness.is_some() { "sat" } else { "unsat" },
+            plain_meter.nodes(),
+            sliced_meter.nodes(),
+            slice_work.slice_nodes_before,
+            slice_work.slice_nodes_after,
+        );
+        entries.push(format!(
+            "    {{\n      \"workload\": \"{}\", \"verdict\": \"{}\", \"witness_identical\": true,\n      \"unsliced_nodes\": {}, \"sliced_nodes\": {}, \"node_ratio\": {ratio:.4},\n      \"slice_nodes_before\": {}, \"slice_nodes_after\": {}\n    }}",
+            name,
+            if witness.is_some() { "sat" } else { "unsat" },
+            plain_meter.nodes(),
+            sliced_meter.nodes(),
+            slice_work.slice_nodes_before,
+            slice_work.slice_nodes_after,
         ));
     }
     println!();

@@ -227,6 +227,58 @@ pub fn wide_unsat_singular_workload(
     (comp, var, predicate)
 }
 
+/// The E-row workload for the slicing pre-pass: the 4-process conflict
+/// gadget of [`unsat_singular_workload`] (no padding events on the
+/// gadget processes) plus `pads` padding processes with `pad` internal
+/// events each, whose variable is true **only in the initial state**.
+/// The predicate conjoins the two gadget clauses with one *unit clause*
+/// per padding process.
+///
+/// The unit clauses are a regular envelope whose slice collapses every
+/// padding dimension to state 0: unsliced enumeration sweeps the full
+/// `O((pad+1)^pads)` lattice to reject, the sliced sweep only the
+/// gadget's ~10 cuts. Dropping `sat_variant` of the clauses keeps the
+/// question satisfiable for the witness-identity check.
+pub fn sliced_unsat_workload(
+    pad: usize,
+    pads: usize,
+) -> (Computation, BoolVariable, SingularCnf, SingularCnf) {
+    let n = 4 + pads;
+    let mut b = gpd_computation::ComputationBuilder::new(n);
+    let _u1 = b.append(2);
+    let u2 = b.append(2);
+    let _e01 = b.append(0);
+    let e02 = b.append(0);
+    b.message(u2, e02).expect("distinct processes");
+    for p in 4..n {
+        for _ in 0..pad {
+            b.append(p);
+        }
+    }
+    let comp = b.build().expect("single forward message");
+    let mut tracks: Vec<Vec<bool>> = (0..n).map(|p| vec![false; comp.events_on(p) + 1]).collect();
+    tracks[0][2] = true; // after e02
+    tracks[2][1] = true; // after u1
+    for track in tracks.iter_mut().skip(4) {
+        track[0] = true; // padding processes: true only initially
+    }
+    let var = BoolVariable::new(&comp, tracks);
+    let gadget = vec![
+        CnfClause::new(vec![(ProcessId::new(0), true), (ProcessId::new(1), true)]),
+        CnfClause::new(vec![(ProcessId::new(2), true), (ProcessId::new(3), true)]),
+    ];
+    let units: Vec<CnfClause> = (4..n)
+        .map(|p| CnfClause::new(vec![(ProcessId::new(p), true)]))
+        .collect();
+    let mut unsat = gadget.clone();
+    unsat.extend(units.iter().cloned());
+    // Without the second gadget clause the predicate is satisfiable at
+    // the least cut containing e02 with all padding still initial.
+    let mut sat = vec![gadget[0].clone()];
+    sat.extend(units);
+    (comp, var, SingularCnf::new(unsat), SingularCnf::new(sat))
+}
+
 /// A random non-monotone 3-CNF formula near the hard density
 /// (`clauses ≈ 4.27 · vars` before non-monotonization).
 pub fn hard_formula(seed: u64, vars: u32) -> Cnf {
@@ -346,6 +398,17 @@ mod tests {
         let (comp, var, phi) = unsat_singular_workload(3);
         assert!(gpd::singular::possibly_singular_subsets(&comp, &var, &phi).is_none());
         assert!(gpd::enumerate::possibly_by_enumeration(&comp, |c| phi.eval(&var, c)).is_none());
+    }
+
+    #[test]
+    fn sliced_workload_has_an_envelope_and_the_right_verdicts() {
+        let (comp, var, unsat, sat) = sliced_unsat_workload(2, 3);
+        assert!(gpd::slice::cnf_envelope(&comp, &var, &unsat).is_some());
+        assert!(gpd::slice::cnf_envelope(&comp, &var, &sat).is_some());
+        assert!(gpd::enumerate::possibly_by_enumeration(&comp, |c| unsat.eval(&var, c)).is_none());
+        let witness = gpd::enumerate::possibly_by_enumeration(&comp, |c| sat.eval(&var, c))
+            .expect("one gadget clause alone is satisfiable");
+        assert!(sat.eval(&var, &witness));
     }
 
     #[test]

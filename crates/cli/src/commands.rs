@@ -11,6 +11,11 @@ use gpd::relational::{
     possibly_exact_sum, possibly_exact_sum_budgeted, possibly_sum,
 };
 use gpd::singular::{possibly_singular_budgeted, possibly_singular_par};
+use gpd::slice::{
+    cnf_envelope, definitely_levelwise_sliced_budgeted, definitely_slice,
+    possibly_singular_sliced_budgeted, possibly_slice, RegularPredicate, Slice,
+    DEFINITELY_LEVELWISE_SLICED,
+};
 use gpd::symmetric::{definitely_symmetric, possibly_symmetric, SymmetricPredicate};
 use gpd::{
     Budget, BudgetMeter, Checkpoint, CnfClause, DetectError, Progress, Relop, SingularCnf, Verdict,
@@ -476,8 +481,20 @@ fn render_bool_verdict(
     }
 }
 
+/// How the SliceReduce pre-pass is applied by `detect`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SliceMode {
+    /// Never slice.
+    Off,
+    /// Slice whenever a regular envelope exists (the default).
+    Auto,
+    /// Require slicing; error out where no regular envelope exists.
+    Force,
+}
+
 /// `gpd detect <trace> --pred "EXPR" [--definitely] [--enumerate] [--threads N] [--stats]
-///  [--deadline-ms N] [--max-nodes N] [--max-width N] [--resume CKPT] [--checkpoint FILE]`
+///  [--slice off|auto|force] [--deadline-ms N] [--max-nodes N] [--max-width N]
+///  [--resume CKPT] [--checkpoint FILE]`
 pub fn detect(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(
         args,
@@ -489,15 +506,27 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
             "max-width",
             "resume",
             "checkpoint",
+            "slice",
         ],
         &["definitely", "enumerate", "stats"],
     )?;
     let [path] = flags.positional.as_slice() else {
         return Err(CliError::Usage(
             "detect <trace> --pred \"EXPR\" [--definitely] [--enumerate] [--threads N] [--stats] \
-             [--deadline-ms N] [--max-nodes N] [--max-width N] [--resume CKPT] [--checkpoint FILE]"
+             [--slice off|auto|force] [--deadline-ms N] [--max-nodes N] [--max-width N] \
+             [--resume CKPT] [--checkpoint FILE]"
                 .into(),
         ));
+    };
+    let slice_mode = match flags.values.get("slice").map(String::as_str) {
+        None | Some("auto") => SliceMode::Auto,
+        Some("off") => SliceMode::Off,
+        Some("force") => SliceMode::Force,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--slice expects off, auto, or force, got {other:?}"
+            )))
+        }
     };
     let expr = flags
         .values
@@ -534,7 +563,26 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
             let truth = literal_truth_variable(&trace, &lits)?;
             let processes: Vec<ProcessId> =
                 lits.iter().map(|l| ProcessId::new(l.process)).collect();
-            if definitely {
+            if slice_mode == SliceMode::Force {
+                // A conjunction is its own regular envelope; `truth`
+                // already encodes each literal's polarity, so every
+                // constrained process wants `truth` positive.
+                let literals: Vec<(ProcessId, bool)> =
+                    processes.iter().map(|&p| (p, true)).collect();
+                let pred = RegularPredicate::conjunction(comp, &truth, &literals);
+                if definitely {
+                    let verdict = definitely_slice(comp, &pred);
+                    Ok(format!("{modality}({expr}): {verdict}\n"))
+                } else {
+                    match possibly_slice(comp, &pred) {
+                        Some(cut) => Ok(format!(
+                            "{modality}({expr}): true\n{}\n",
+                            describe_cut(comp, &cut)
+                        )),
+                        None => Ok(format!("{modality}({expr}): false\n")),
+                    }
+                }
+            } else if definitely {
                 let verdict = definitely_conjunctive(comp, &truth, &processes);
                 Ok(format!("{modality}({expr}): {verdict}\n"))
             } else {
@@ -562,34 +610,115 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
                     })
                     .collect(),
             );
+            // SliceReduce pre-pass: the conjunction of Φ's unit clauses
+            // is a regular envelope implied by Φ, and its slice window
+            // bounds every Φ-cut.
+            let envelope = match slice_mode {
+                SliceMode::Off => None,
+                SliceMode::Auto | SliceMode::Force => cnf_envelope(comp, &truth, &phi),
+            };
+            if slice_mode == SliceMode::Force && envelope.is_none() {
+                return Err(CliError::Usage(
+                    "--slice force needs a regular envelope, but the CNF has no unit clause \
+                     (nothing regular to slice on)"
+                        .into(),
+                ));
+            }
+            // Slicing competes for the same budget as the engine it
+            // feeds; if it exhausts the budget, fall back to the
+            // unsliced engine, which will checkpoint as usual.
+            let slice = match &envelope {
+                None => None,
+                Some(env) if opts.active => {
+                    Slice::build_budgeted(comp, env, &opts.budget, &meter).ok()
+                }
+                Some(env) => Some(Slice::build(comp, env)),
+            };
             if definitely {
+                // Checkpoints pin their engine name: resume through the
+                // sliced sweep only if it was taken there.
+                let sliced = match (&slice, opts.resume.as_ref()) {
+                    (Some(_), Some(cp)) => cp.detector() == DEFINITELY_LEVELWISE_SLICED,
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
                 if opts.active {
                     // The budget *is* the guard: the sweep stops at the
                     // deadline/cap instead of running away.
-                    let verdict = definitely_levelwise_budgeted(
-                        comp,
-                        |cut| phi.eval(&truth, cut),
-                        threads,
-                        &opts.budget,
-                        &meter,
-                        opts.resume.as_ref(),
-                    )
+                    let verdict = if let (true, Some(sl)) = (sliced, &slice) {
+                        definitely_levelwise_sliced_budgeted(
+                            comp,
+                            sl,
+                            |cut| phi.eval(&truth, cut),
+                            threads,
+                            &opts.budget,
+                            &meter,
+                            opts.resume.as_ref(),
+                        )
+                    } else {
+                        definitely_levelwise_budgeted(
+                            comp,
+                            |cut| phi.eval(&truth, cut),
+                            threads,
+                            &opts.budget,
+                            &meter,
+                            opts.resume.as_ref(),
+                        )
+                    }
                     .map_err(detect_error)?;
                     render_bool_verdict(modality, expr, verdict, &opts)
+                } else if let Some(sl) = &slice {
+                    guard_enumeration(comp, enumerate, "Definitely(cnf)")?;
+                    let verdict = gpd::slice::definitely_levelwise_sliced(
+                        comp,
+                        sl,
+                        |cut| phi.eval(&truth, cut),
+                        threads,
+                    );
+                    Ok(format!("{modality}({expr}): {verdict}\n"))
                 } else {
                     guard_enumeration(comp, enumerate, "Definitely(cnf)")?;
                     let verdict = definitely_by_enumeration(comp, |cut| phi.eval(&truth, cut));
                     Ok(format!("{modality}({expr}): {verdict}\n"))
                 }
             } else if opts.active {
-                let verdict = possibly_singular_budgeted(
+                // The sliced odometer engines keep the unsliced engine
+                // names (the window prune preserves the combination
+                // shape), so checkpoints stay interchangeable.
+                let verdict = if let Some(sl) = &slice {
+                    possibly_singular_sliced_budgeted(
+                        comp,
+                        &truth,
+                        &phi,
+                        sl,
+                        threads,
+                        &opts.budget,
+                        &meter,
+                        opts.resume.as_ref(),
+                    )
+                } else {
+                    possibly_singular_budgeted(
+                        comp,
+                        &truth,
+                        &phi,
+                        threads,
+                        &opts.budget,
+                        &meter,
+                        opts.resume.as_ref(),
+                    )
+                }
+                .map_err(detect_error)?;
+                render_witness_verdict(comp, modality, expr, verdict, &opts)
+            } else if let Some(sl) = &slice {
+                let verdict = possibly_singular_sliced_budgeted(
                     comp,
                     &truth,
                     &phi,
+                    sl,
                     threads,
-                    &opts.budget,
+                    &Budget::unlimited(),
                     &meter,
-                    opts.resume.as_ref(),
+                    None,
                 )
                 .map_err(detect_error)?;
                 render_witness_verdict(comp, modality, expr, verdict, &opts)
@@ -604,6 +733,13 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
             }
         }
         PredicateSpec::Sum { name, op, k } => {
+            if slice_mode == SliceMode::Force {
+                return Err(CliError::Usage(
+                    "--slice force applies only to conjunction and cnf predicates; \
+                     sum predicates are not regular"
+                        .into(),
+                ));
+            }
             let var = find_int(&trace, &name)?;
             match (op, definitely) {
                 (SumOp::Eq, false) if opts.active => {
@@ -711,6 +847,13 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
             }
         }
         PredicateSpec::Count { name, spec } => {
+            if slice_mode == SliceMode::Force {
+                return Err(CliError::Usage(
+                    "--slice force applies only to conjunction and cnf predicates; \
+                     count predicates are not regular"
+                        .into(),
+                ));
+            }
             let var = find_bool(&trace, &name)?;
             let n = comp.process_count() as u32;
             let phi = match spec {
@@ -760,6 +903,10 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
         out.push_str(&format!(
             "kernel stats: {} clock-row reads, {} cut-successor allocations, {} vector-clock allocations\n",
             work.clock_row_reads, work.cut_successor_allocs, work.vclock_allocs
+        ));
+        out.push_str(&format!(
+            "slice stats: {} nodes before, {} after\n",
+            work.slice_nodes_before, work.slice_nodes_after
         ));
         out.push_str(&format!(
             "monitor stats: {} observed, {} duplicate, {} stale deliveries, peak queue depth {}\n",
@@ -972,6 +1119,96 @@ mod tests {
             detect(&args(&[&path, "--pred", pred, "--threads", "x"])),
             Err(CliError::Usage(_))
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detect_slice_modes_agree_on_cnf() {
+        let path = temp_trace("slice-cnf", "token-ring", &["--n", "4", "--tokens", "1"]);
+        // (has_token@0) ∧ (has_token@1 ∨ ¬has_token@2): the unit clause
+        // gives the pre-pass a regular envelope to slice on.
+        let pred = "cnf has_token@0 & has_token@1 | !has_token@2";
+        let off = detect(&args(&[&path, "--pred", pred, "--slice", "off"])).unwrap();
+        let auto = detect(&args(&[&path, "--pred", pred])).unwrap();
+        let force = detect(&args(&[&path, "--pred", pred, "--slice", "force"])).unwrap();
+        assert_eq!(off, auto, "sliced witness must be byte-identical");
+        assert_eq!(off, force);
+        let definitely: Vec<String> = ["off", "auto", "force"]
+            .iter()
+            .map(|mode| {
+                detect(&args(&[
+                    &path,
+                    "--pred",
+                    pred,
+                    "--definitely",
+                    "--slice",
+                    mode,
+                    "--max-nodes",
+                    "100000",
+                ]))
+                .unwrap()
+            })
+            .collect();
+        assert_eq!(definitely[0], definitely[1]);
+        assert_eq!(definitely[0], definitely[2]);
+        // --stats surfaces the event-graph compression of the pre-pass.
+        let out = detect(&args(&[&path, "--pred", pred, "--stats"])).unwrap();
+        let line = out
+            .lines()
+            .find(|l| l.starts_with("slice stats:"))
+            .unwrap_or_else(|| panic!("no slice stats line in {out:?}"));
+        assert!(line.contains("nodes before"), "{line}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detect_slice_force_is_exact_on_conjunctions() {
+        let path = temp_trace("slice-conj", "token-ring", &["--n", "3", "--tokens", "1"]);
+        let pred = "conj has_token@0 !has_token@1";
+        let plain = detect(&args(&[&path, "--pred", pred])).unwrap();
+        let forced = detect(&args(&[&path, "--pred", pred, "--slice", "force"])).unwrap();
+        assert_eq!(plain, forced, "least B-cut must match the GW scan witness");
+        let plain = detect(&args(&[&path, "--pred", pred, "--definitely"])).unwrap();
+        let forced = detect(&args(&[
+            &path,
+            "--pred",
+            pred,
+            "--definitely",
+            "--slice",
+            "force",
+        ]))
+        .unwrap();
+        assert_eq!(plain, forced);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detect_slice_force_rejects_inapplicable_predicates() {
+        let path = temp_trace("slice-bad", "token-ring", &["--n", "3", "--tokens", "1"]);
+        for pred in ["sum tokens == 1", "count has_token exactly 1"] {
+            let err = detect(&args(&[&path, "--pred", pred, "--slice", "force"])).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{pred}: {err:?}");
+        }
+        // A CNF with no unit clause has no regular envelope.
+        let err = detect(&args(&[
+            &path,
+            "--pred",
+            "cnf has_token@0 | has_token@1",
+            "--slice",
+            "force",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+        // And an unknown mode is rejected up front.
+        let err = detect(&args(&[
+            &path,
+            "--pred",
+            "conj has_token@0",
+            "--slice",
+            "sometimes",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
         std::fs::remove_file(&path).ok();
     }
 

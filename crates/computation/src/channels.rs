@@ -1,0 +1,231 @@
+//! Per-channel message-position indexes.
+//!
+//! Channel predicates — bounds on the number of in-flight messages from
+//! one process to another — are evaluated by counting, at a cut, how
+//! many sends the sender has executed minus how many receives the
+//! receiver has executed on that channel. A [`ChannelIndex`] extracts,
+//! once per computation, the sorted local positions of every channel's
+//! sends and receives, so those counts become binary searches instead of
+//! message-list walks. The slicing engine in the `gpd` crate leans on
+//! the positions directly: "the k-th receive on this channel" is one
+//! array lookup, which is what makes its least-cut repair steps cheap.
+
+use std::collections::HashMap;
+
+use crate::computation::Computation;
+use crate::event::ProcessId;
+
+const NO_POSITIONS: &[u32] = &[];
+
+/// Sorted send/receive positions for every channel of one computation.
+///
+/// A *channel* is an ordered process pair `(from, to)` with at least one
+/// message; pairs that never exchanged a message report empty position
+/// lists and zero counts.
+///
+/// # Example
+///
+/// ```
+/// use gpd_computation::{ChannelIndex, ComputationBuilder};
+///
+/// let mut b = ComputationBuilder::new(2);
+/// let s1 = b.append(0);
+/// let s2 = b.append(0);
+/// let r1 = b.append(1);
+/// let r2 = b.append(1);
+/// b.message(s1, r1).unwrap();
+/// b.message(s2, r2).unwrap();
+/// let comp = b.build().unwrap();
+/// let idx = ChannelIndex::new(&comp);
+/// assert_eq!(idx.send_positions(0, 1), &[1, 2]);
+/// // After s1 and s2 but before any receive, two messages are in flight.
+/// assert_eq!(idx.in_flight(0, 1, &[2, 0]), 2);
+/// assert_eq!(idx.in_flight(0, 1, &[2, 1]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChannelIndex {
+    /// `(sender, receiver)` → slot in the position lists.
+    map: HashMap<(usize, usize), usize>,
+    /// Per channel: sorted local positions of its sends on the sender.
+    sends: Vec<Vec<u32>>,
+    /// Per channel: sorted local positions of its receives on the
+    /// receiver. Same length as the channel's send list — every message
+    /// has exactly one of each.
+    recvs: Vec<Vec<u32>>,
+}
+
+impl ChannelIndex {
+    /// Indexes every channel of `comp`.
+    pub fn new(comp: &Computation) -> Self {
+        let mut map = HashMap::new();
+        let mut sends: Vec<Vec<u32>> = Vec::new();
+        let mut recvs: Vec<Vec<u32>> = Vec::new();
+        for &(s, r) in comp.messages() {
+            let key = (comp.process_of(s).index(), comp.process_of(r).index());
+            let slot = *map.entry(key).or_insert_with(|| {
+                sends.push(Vec::new());
+                recvs.push(Vec::new());
+                sends.len() - 1
+            });
+            sends[slot].push(comp.local_index(s));
+            recvs[slot].push(comp.local_index(r));
+        }
+        // Messages arrive in insertion order, not position order.
+        for list in sends.iter_mut().chain(recvs.iter_mut()) {
+            list.sort_unstable();
+        }
+        ChannelIndex { map, sends, recvs }
+    }
+
+    fn slot(&self, from: ProcessId, to: ProcessId) -> Option<usize> {
+        self.map.get(&(from.index(), to.index())).copied()
+    }
+
+    /// The sorted local positions (on `from`) of the sends on channel
+    /// `from → to`; empty if the channel carried no messages.
+    pub fn send_positions(&self, from: impl Into<ProcessId>, to: impl Into<ProcessId>) -> &[u32] {
+        match self.slot(from.into(), to.into()) {
+            Some(i) => &self.sends[i],
+            None => NO_POSITIONS,
+        }
+    }
+
+    /// The sorted local positions (on `to`) of the receives on channel
+    /// `from → to`; empty if the channel carried no messages.
+    pub fn receive_positions(
+        &self,
+        from: impl Into<ProcessId>,
+        to: impl Into<ProcessId>,
+    ) -> &[u32] {
+        match self.slot(from.into(), to.into()) {
+            Some(i) => &self.recvs[i],
+            None => NO_POSITIONS,
+        }
+    }
+
+    /// How many `from → to` sends a frontier with `frontier_at_from`
+    /// events on `from` has executed. One binary search.
+    pub fn sent_until(
+        &self,
+        from: impl Into<ProcessId>,
+        to: impl Into<ProcessId>,
+        frontier_at_from: u32,
+    ) -> u32 {
+        count_le(self.send_positions(from, to), frontier_at_from)
+    }
+
+    /// How many `from → to` receives a frontier with `frontier_at_to`
+    /// events on `to` has executed. One binary search.
+    pub fn received_until(
+        &self,
+        from: impl Into<ProcessId>,
+        to: impl Into<ProcessId>,
+        frontier_at_to: u32,
+    ) -> u32 {
+        count_le(self.receive_positions(from, to), frontier_at_to)
+    }
+
+    /// Messages in flight on `from → to` at `frontier`: sends executed
+    /// minus receives executed. Negative on frontiers that include a
+    /// receive without its send — consistent cuts never do, but the
+    /// slicing fixpoints probe inconsistent frontiers on the way to a
+    /// consistent one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a frontier entry for either endpoint is missing.
+    pub fn in_flight(
+        &self,
+        from: impl Into<ProcessId>,
+        to: impl Into<ProcessId>,
+        frontier: &[u32],
+    ) -> i64 {
+        let (from, to) = (from.into(), to.into());
+        let sent = self.sent_until(from, to, frontier[from.index()]);
+        let received = self.received_until(from, to, frontier[to.index()]);
+        i64::from(sent) - i64::from(received)
+    }
+}
+
+/// How many entries of the sorted `positions` are ≤ `bound`.
+fn count_le(positions: &[u32], bound: u32) -> u32 {
+    positions.partition_point(|&p| p <= bound) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ComputationBuilder;
+
+    /// p0 sends twice to p1 and once to p2; p2 sends once back to p0.
+    fn sample() -> Computation {
+        let mut b = ComputationBuilder::new(3);
+        let s1 = b.append(0);
+        let s2 = b.append(0);
+        let s3 = b.append(0);
+        let r1 = b.append(1);
+        let r2 = b.append(1);
+        let r3 = b.append(2);
+        let back = b.append(2);
+        let recv_back = b.append(0);
+        b.message(s1, r1).unwrap();
+        b.message(s2, r2).unwrap();
+        b.message(s3, r3).unwrap();
+        b.message(back, recv_back).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn positions_are_sorted_per_channel() {
+        let comp = sample();
+        let idx = ChannelIndex::new(&comp);
+        assert_eq!(idx.send_positions(0, 1), &[1, 2]);
+        assert_eq!(idx.receive_positions(0, 1), &[1, 2]);
+        assert_eq!(idx.send_positions(0, 2), &[3]);
+        assert_eq!(idx.receive_positions(0, 2), &[1]);
+        assert_eq!(idx.send_positions(2, 0), &[2]);
+        assert_eq!(idx.receive_positions(2, 0), &[4]);
+    }
+
+    #[test]
+    fn absent_channels_are_empty() {
+        let comp = sample();
+        let idx = ChannelIndex::new(&comp);
+        assert_eq!(idx.send_positions(1, 0), NO_POSITIONS);
+        assert_eq!(idx.in_flight(1, 0, &[0, 2, 0]), 0);
+    }
+
+    #[test]
+    fn in_flight_counts_sends_minus_receives() {
+        let comp = sample();
+        let idx = ChannelIndex::new(&comp);
+        assert_eq!(idx.in_flight(0, 1, &[0, 0, 0]), 0);
+        assert_eq!(idx.in_flight(0, 1, &[1, 0, 0]), 1);
+        assert_eq!(idx.in_flight(0, 1, &[2, 0, 0]), 2);
+        assert_eq!(idx.in_flight(0, 1, &[2, 1, 0]), 1);
+        assert_eq!(idx.in_flight(0, 1, &[2, 2, 0]), 0);
+        // Frontier that took the receive but not the send: negative.
+        assert_eq!(idx.in_flight(2, 0, &[4, 0, 0]), -1);
+    }
+
+    #[test]
+    fn counts_match_brute_force_over_all_frontiers() {
+        let comp = sample();
+        let idx = ChannelIndex::new(&comp);
+        for f0 in 0..=comp.events_on(0) as u32 {
+            for f1 in 0..=comp.events_on(1) as u32 {
+                let brute: i64 = comp
+                    .messages()
+                    .iter()
+                    .filter(|&&(s, r)| {
+                        comp.process_of(s).index() == 0 && comp.process_of(r).index() == 1
+                    })
+                    .map(|&(s, r)| {
+                        i64::from(comp.local_index(s) <= f0) - i64::from(comp.local_index(r) <= f1)
+                    })
+                    .sum();
+                assert_eq!(idx.in_flight(0, 1, &[f0, f1, 0]), brute);
+            }
+        }
+    }
+}

@@ -275,6 +275,15 @@ impl Computation {
         !blocks(e, f) && !blocks(f, e)
     }
 
+    /// The least consistent cut containing `e`: exactly `e`'s causal
+    /// past, whose frontier is `e`'s clock row. One metered matrix-row
+    /// copy — the slicing engine calls this once per event to seed its
+    /// least-satisfying-cut fixpoints.
+    pub fn least_cut_containing(&self, e: EventId) -> Cut {
+        counters::add_clock_row_reads(1);
+        Cut::from_frontier(self.clock_row(e).to_vec())
+    }
+
     /// The initial consistent cut (only the implicit initial events).
     pub fn initial_cut(&self) -> Cut {
         Cut::from_frontier(vec![0; self.process_count])
@@ -563,6 +572,19 @@ mod tests {
         assert_eq!(c.message_predecessors(b2), &[a1]);
         assert_eq!(c.message_successors(a1), &[b2]);
         assert_eq!(c.messages(), &[(a1, b2)]);
+    }
+
+    #[test]
+    fn least_cut_containing_is_the_causal_past() {
+        let (c, [a1, a2, b1, b2]) = sample();
+        assert_eq!(c.least_cut_containing(a1).frontier(), &[1, 0]);
+        assert_eq!(c.least_cut_containing(a2).frontier(), &[2, 0]);
+        assert_eq!(c.least_cut_containing(b1).frontier(), &[0, 1]);
+        // b2 receives from a1, so its least cut pulls a1 in.
+        assert_eq!(c.least_cut_containing(b2).frontier(), &[1, 2]);
+        for e in [a1, a2, b1, b2] {
+            assert!(c.is_consistent(&c.least_cut_containing(e)));
+        }
     }
 
     #[test]

@@ -59,15 +59,26 @@ pub struct KernelCounters {
 }
 
 impl KernelCounters {
-    /// Counter deltas since an `earlier` snapshot (saturating, so a
-    /// stale snapshot never underflows).
+    /// Counter deltas since an `earlier` snapshot.
+    ///
+    /// The counters are cumulative and never reset, so `earlier` must
+    /// genuinely be earlier; a later snapshot indicates a mixed-up pair
+    /// (debug-asserted). Release builds subtract with wraparound — a
+    /// bogus pair yields a conspicuously huge delta instead of a silent
+    /// 0 that would hide the inconsistency.
     pub fn since(&self, earlier: &KernelCounters) -> KernelCounters {
+        debug_assert!(
+            self.clock_row_reads >= earlier.clock_row_reads
+                && self.cut_successor_allocs >= earlier.cut_successor_allocs
+                && self.vclock_allocs >= earlier.vclock_allocs,
+            "non-monotone counter snapshots: {self:?}.since({earlier:?})"
+        );
         KernelCounters {
-            clock_row_reads: self.clock_row_reads.saturating_sub(earlier.clock_row_reads),
+            clock_row_reads: self.clock_row_reads.wrapping_sub(earlier.clock_row_reads),
             cut_successor_allocs: self
                 .cut_successor_allocs
-                .saturating_sub(earlier.cut_successor_allocs),
-            vclock_allocs: self.vclock_allocs.saturating_sub(earlier.vclock_allocs),
+                .wrapping_sub(earlier.cut_successor_allocs),
+            vclock_allocs: self.vclock_allocs.wrapping_sub(earlier.vclock_allocs),
         }
     }
 }
@@ -86,7 +97,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn since_subtracts_and_saturates() {
+    fn since_subtracts_ordered_snapshots() {
         let a = KernelCounters {
             clock_row_reads: 10,
             cut_successor_allocs: 3,
@@ -101,8 +112,24 @@ mod tests {
         assert_eq!(d.clock_row_reads, 15);
         assert_eq!(d.cut_successor_allocs, 0);
         assert_eq!(d.vclock_allocs, 1);
-        // Stale (future) snapshot saturates to zero instead of wrapping.
-        assert_eq!(a.since(&b).clock_row_reads, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone")]
+    #[cfg(debug_assertions)]
+    fn mixed_up_snapshot_pair_is_detected() {
+        let a = KernelCounters {
+            clock_row_reads: 10,
+            cut_successor_allocs: 3,
+            vclock_allocs: 1,
+        };
+        let b = KernelCounters {
+            clock_row_reads: 25,
+            cut_successor_allocs: 3,
+            vclock_allocs: 2,
+        };
+        // `since` with the arguments swapped is a bug, not a zero delta.
+        let _ = a.since(&b);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //! ```
 
 mod builder;
+mod channels;
 mod computation;
 mod counters;
 mod cut;
@@ -58,6 +59,7 @@ mod variables;
 mod vclock;
 
 pub use builder::{BuildError, ComputationBuilder};
+pub use channels::ChannelIndex;
 pub use computation::Computation;
 pub use counters::{kernel_counters, KernelCounters};
 pub use cut::Cut;

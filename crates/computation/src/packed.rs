@@ -79,13 +79,20 @@ impl FrontierPacker {
         }
     }
 
-    /// Packs a frontier vector. Entries must be valid for the packer's
-    /// computation (debug-asserted).
+    /// Packs a frontier vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frontier's length differs from the packer's, or if
+    /// an entry exceeds the packer's bit width. The width check is a hard
+    /// assert (not debug-only): a truncated entry would collide with a
+    /// different frontier, silently corrupting any visited set keyed on
+    /// the packing.
     pub fn pack(&self, frontier: &[u32]) -> PackedFrontier {
         assert_eq!(frontier.len(), self.len, "frontier shape mismatch");
         let mut words = vec![0u64; self.words];
         for (i, &f) in frontier.iter().enumerate() {
-            debug_assert!(
+            assert!(
                 (f as u64) < (1u64 << self.bits),
                 "frontier entry {f} exceeds {} bits",
                 self.bits
@@ -193,6 +200,25 @@ mod tests {
     }
 
     #[test]
+    fn all_zero_event_processes_pack_injectively() {
+        // Every process has zero events: only the all-zero frontier is
+        // valid, bits = 1 by construction, and the packing still works.
+        let comp = comp_with(&[0, 0, 0]);
+        let packer = FrontierPacker::new(&comp);
+        assert_eq!(packer.pack(&[0, 0, 0]), packer.pack(&[0, 0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_entry_panics_instead_of_colliding() {
+        // events_on = 1 everywhere → 1 bit per entry; entry 2 would
+        // truncate to 0 and collide with a distinct frontier. The packer
+        // must refuse it even in release builds.
+        let comp = comp_with(&[1, 1]);
+        FrontierPacker::new(&comp).pack(&[2, 0]);
+    }
+
+    #[test]
     fn equal_frontiers_share_hash_and_differ_otherwise() {
         let comp = comp_with(&[4, 4]);
         let packer = FrontierPacker::new(&comp);
@@ -202,5 +228,44 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.hash_value(), b.hash_value());
         assert_ne!(a, c);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::{Rng, SeedableRng};
+
+        /// A frontier valid for `lens` (each entry in `0..=events_on(p)`).
+        fn random_frontier<R: Rng>(rng: &mut R, lens: &[usize]) -> Vec<u32> {
+            lens.iter().map(|&m| rng.gen_range(0..=m as u32)).collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Packing is injective: packed equality ⇔ frontier equality,
+            /// and equal frontiers agree on the cached hash. Shapes mix
+            /// zero-event processes with widths where `len * bits`
+            /// regularly exceeds one 64-bit word.
+            #[test]
+            fn packed_equality_is_frontier_equality(
+                seed in any::<u64>(),
+                n in 1usize..40,
+                equal in any::<bool>(),
+            ) {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let lens: Vec<usize> = (0..n).map(|_| rng.gen_range(0..=9)).collect();
+                let a = random_frontier(&mut rng, &lens);
+                let b = if equal { a.clone() } else { random_frontier(&mut rng, &lens) };
+                let comp = comp_with(&lens);
+                let packer = FrontierPacker::new(&comp);
+                let pa = packer.pack(&a);
+                let pb = packer.pack(&b);
+                prop_assert_eq!(pa == pb, a == b);
+                if a == b {
+                    prop_assert_eq!(pa.hash_value(), pb.hash_value());
+                }
+            }
+        }
     }
 }

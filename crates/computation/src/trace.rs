@@ -223,8 +223,13 @@ pub fn read_trace(input: &str) -> Result<Trace, TraceError> {
             let (sp, sk) = parse_endpoint(from, i)?;
             let (rp, rk) = parse_endpoint(to, i)?;
             let get = |p: usize, k: u32| -> Result<crate::EventId, TraceError> {
+                // Endpoints are 1-based; position 0 is the implicit
+                // initial event, which cannot send or receive.
+                let k1 = k.checked_sub(1).ok_or_else(|| {
+                    TraceError::new(i, format!("endpoint {p}.{k}: event index must be >= 1"))
+                })?;
                 ids.get(p)
-                    .and_then(|v| v.get(k.checked_sub(1).map(|x| x as usize).unwrap_or(usize::MAX)))
+                    .and_then(|v| v.get(k1 as usize))
                     .copied()
                     .ok_or_else(|| TraceError::new(i, format!("no event {p}.{k}")))
             };
@@ -436,6 +441,26 @@ mod tests {
             MAX_TRACE_PROCESSES + 1
         );
         assert!(read_trace(&huge_procs).is_err());
+    }
+
+    #[test]
+    fn zero_based_endpoints_error_explicitly() {
+        // Send-position `p.0`.
+        let send0 = "gpd-trace 1\nprocesses 2\ncounts 1 1\nmessage 0.0 1.1\nend\n";
+        let err = read_trace(send0).unwrap_err();
+        assert!(
+            err.to_string().contains("event index must be >= 1"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("line 4"), "{err}");
+        // Receive-position `q.0`.
+        let recv0 = "gpd-trace 1\nprocesses 2\ncounts 1 1\nmessage 0.1 1.0\nend\n";
+        let err = read_trace(recv0).unwrap_err();
+        assert!(
+            err.to_string().contains("event index must be >= 1"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("1.0"), "{err}");
     }
 
     #[test]

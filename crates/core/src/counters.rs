@@ -41,6 +41,8 @@ static MONITOR_OBSERVED: AtomicU64 = AtomicU64::new(0);
 static MONITOR_DUPLICATES: AtomicU64 = AtomicU64::new(0);
 static MONITOR_STALE: AtomicU64 = AtomicU64::new(0);
 static MONITOR_QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
+static SLICE_NODES_BEFORE: AtomicU64 = AtomicU64::new(0);
+static SLICE_NODES_AFTER: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 pub(crate) fn record_forces_eval() {
@@ -77,6 +79,14 @@ pub(crate) fn record_monitor_queue_depth(depth: u64) {
     MONITOR_QUEUE_PEAK.fetch_max(depth, Ordering::Relaxed);
 }
 
+/// Records one slicing invocation: `before` original event-graph nodes
+/// collapsed into `after` surviving slice classes.
+#[inline]
+pub(crate) fn record_slice(before: u64, after: u64) {
+    SLICE_NODES_BEFORE.fetch_add(before, Ordering::Relaxed);
+    SLICE_NODES_AFTER.fetch_add(after, Ordering::Relaxed);
+}
+
 /// A snapshot of the cumulative scan-work counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ScanCounters {
@@ -104,6 +114,13 @@ pub struct ScanCounters {
     /// queues (a monotone high-water gauge, not a count; `since` on it
     /// reports how much the peak *rose* during the window).
     pub monitor_queue_peak: u64,
+    /// Event-graph nodes fed into [`crate::slice::Slice`] construction
+    /// (summed over slicing invocations).
+    pub slice_nodes_before: u64,
+    /// Slice classes surviving those constructions — events whose least
+    /// satisfying cut exists, merged by equal J(e). The gap to
+    /// `slice_nodes_before` is the lattice compression the pre-pass buys.
+    pub slice_nodes_after: u64,
 }
 
 impl ScanCounters {
@@ -126,6 +143,12 @@ impl ScanCounters {
             monitor_queue_peak: self
                 .monitor_queue_peak
                 .saturating_sub(earlier.monitor_queue_peak),
+            slice_nodes_before: self
+                .slice_nodes_before
+                .wrapping_sub(earlier.slice_nodes_before),
+            slice_nodes_after: self
+                .slice_nodes_after
+                .wrapping_sub(earlier.slice_nodes_after),
         }
     }
 }
@@ -145,6 +168,8 @@ pub fn snapshot() -> ScanCounters {
         monitor_duplicates: MONITOR_DUPLICATES.load(Ordering::Relaxed),
         monitor_stale: MONITOR_STALE.load(Ordering::Relaxed),
         monitor_queue_peak: MONITOR_QUEUE_PEAK.load(Ordering::Relaxed),
+        slice_nodes_before: SLICE_NODES_BEFORE.load(Ordering::Relaxed),
+        slice_nodes_after: SLICE_NODES_AFTER.load(Ordering::Relaxed),
     }
 }
 
@@ -179,5 +204,14 @@ mod tests {
         assert!(delta.monitor_duplicates >= 1);
         assert!(delta.monitor_stale >= 1);
         assert!(snapshot().monitor_queue_peak >= 1 << 40, "peak is a max");
+    }
+
+    #[test]
+    fn slice_counters_accumulate() {
+        let before = snapshot();
+        record_slice(100, 7);
+        let delta = snapshot().since(&before);
+        assert!(delta.slice_nodes_before >= 100);
+        assert!(delta.slice_nodes_after >= 7);
     }
 }

@@ -236,7 +236,7 @@ const LEVEL_BLOCK: usize = 256;
 /// then the minimum hit wins. The winning index is independent of the
 /// thread count, which is what makes budgeted witnesses byte-identical
 /// across 1/2/4 threads (unlike the racy [`possibly_by_enumeration_par`]).
-fn probe_level_budgeted<F>(
+pub(crate) fn probe_level_budgeted<F>(
     predicate: &F,
     threads: usize,
     level: &[Cut],
@@ -277,7 +277,7 @@ where
 /// only between waves, so an `Err` means the partially built next level
 /// was discarded whole — the caller's current level stays the valid
 /// checkpoint boundary.
-fn expand_level_budgeted<K>(
+pub(crate) fn expand_level_budgeted<K>(
     comp: &Computation,
     packer: &FrontierPacker,
     threads: usize,
@@ -354,7 +354,7 @@ where
 /// Builds the `Unknown` verdict for a level sweep stopped at `level`
 /// (index `level_index`, not yet fully processed). `swept` is the sound
 /// bound: levels `0..swept` were fully probed witness-free.
-fn unknown_at_level<T>(
+pub(crate) fn unknown_at_level<T>(
     detector: &str,
     problem: u64,
     reason: ExhaustReason,

@@ -17,7 +17,7 @@ pub const SINGULAR_CHAINS: &str = "singular-chains";
 /// Builds, for one clause, the minimum chain cover of its literal-true
 /// states under the causal order on states (state `(p, k)` precedes
 /// `(q, l)` when every cut through `(q, l)` contains `(p, k)`'s past).
-fn clause_chains(
+pub(crate) fn clause_chains(
     comp: &Computation,
     var: &BoolVariable,
     clause: &crate::predicate::CnfClause,

@@ -25,11 +25,13 @@ mod chains;
 mod ordered;
 mod subsets;
 
+pub(crate) use chains::clause_chains;
 pub use chains::{
     chain_cover_sizes, possibly_singular_chains, possibly_singular_chains_budgeted,
     possibly_singular_chains_par, SINGULAR_CHAINS,
 };
 pub use ordered::{possibly_singular_ordered, NotOrderedError};
+pub(crate) use subsets::literal_choices;
 pub use subsets::{
     possibly_singular_subsets, possibly_singular_subsets_budgeted, possibly_singular_subsets_par,
     possibly_singular_subsets_reference, SINGULAR_SUBSETS,

@@ -16,7 +16,7 @@ pub const SINGULAR_SUBSETS: &str = "singular-subsets";
 /// Builds each clause's alternatives once: `choices[j][i]` is the state
 /// sequence of clause `j`'s `i`-th literal. The seed rebuilt these per
 /// combination; hoisting them is part of the prefix-sharing win.
-fn literal_choices(
+pub(crate) fn literal_choices(
     comp: &Computation,
     var: &BoolVariable,
     predicate: &SingularCnf,
