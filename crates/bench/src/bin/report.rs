@@ -31,7 +31,7 @@ use gpd::slice::{cnf_envelope, possibly_by_enumeration_sliced_budgeted, Slice};
 use gpd::symmetric::{possibly_symmetric, SymmetricPredicate};
 use gpd::Relop;
 use gpd::{Budget, BudgetMeter};
-use gpd_bench::legacy::LegacyComputation;
+use gpd_bench::legacy::{possibly_level_sync, LegacyComputation};
 use gpd_bench::{
     boolean_workload, hard_formula, ordered_singular_workload, sat_gadget, singular_workload,
     sliced_unsat_workload, standard_computation, subset_sum_instance, unit_sum_workload,
@@ -80,9 +80,11 @@ fn main() {
     let scan_section = incremental_scan_comparison(quick);
     let kernel_section = flat_kernel_comparison(quick);
     let slicing_section = slicing_comparison(quick);
+    let sweep_section = parallel_sweep_comparison(quick);
+    let batch_section = batched_kernel_comparison(quick);
     if let Some(path) = json_path.as_deref() {
         let json = format!(
-            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR6.json\",\n  \"quick\": {quick},\n  \"incremental_scan\": [\n{scan_section}\n  ],\n  \"flat_kernel\": [\n{kernel_section}\n  ],\n  \"slicing\": [\n{slicing_section}\n  ]\n}}\n",
+            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR7.json\",\n  \"quick\": {quick},\n  \"incremental_scan\": [\n{scan_section}\n  ],\n  \"flat_kernel\": [\n{kernel_section}\n  ],\n  \"slicing\": [\n{slicing_section}\n  ],\n  \"parallel_sweep\": [\n{sweep_section}\n  ],\n  \"batched_kernel\": [\n{batch_section}\n  ]\n}}\n",
         );
         std::fs::write(path, json).expect("write json report");
         println!("Wrote {path}.\n");
@@ -453,6 +455,203 @@ fn flat_kernel_comparison(quick: bool) -> String {
     }
     println!();
     entries.join(",\n")
+}
+
+/// Median wall time of `f` over `reps` runs (after one untimed warm-up
+/// run whose result is returned).
+fn bench_median<T>(reps: usize, f: impl Fn() -> T) -> (T, u128) {
+    let result = f();
+    let mut times: Vec<u128> = (0..reps).map(|_| time(&f).1.as_nanos()).collect();
+    times.sort_unstable();
+    (result, times[times.len() / 2])
+}
+
+/// The PR 7 measurement: the persistent-pool work-stealing sweeps as a
+/// 1/2/4/8-thread curve, against the superseded scheduling as baseline —
+/// the per-wave `thread::scope` level-synchronous walk for the lattice
+/// sweep, the sequential engine for the subset scans. Both workloads are
+/// **unsatisfiable**, so every node must be visited and the curve
+/// measures guaranteed work division, not a lucky early witness.
+///
+/// The load-bearing assertion is **work-optimality**: the work counters
+/// (expanded lattice nodes / scheduled scan runs) are identical at every
+/// thread count — parallelism divides the work, it must not inflate it.
+/// That is size-independent, so it is asserted in `--quick` mode too.
+/// Wall-clock speedup is bounded by the host's hardware parallelism and
+/// is reported, not asserted.
+fn parallel_sweep_comparison(quick: bool) -> String {
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("## Work-stealing parallel core: thread curve (PR 7)\n");
+    println!("Hardware parallelism on this host: {hw} — the curve flattens there.\n");
+    println!("| workload | verdict | baseline | 1 thread | 2 threads | 4 threads | 8 threads | speedup ×4 | work (all thread counts) |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let reps = if quick { 3 } else { 5 };
+    let mut entries = Vec::new();
+
+    // Lattice sweep: deterministic budgeted enumeration over the padded
+    // unsat gadget, vs the PR 6 per-wave scopes at 4 threads.
+    let pad = if quick { 8 } else { 20 };
+    let (comp, var, phi) = unsat_singular_workload(pad);
+    let pred = |c: &gpd_computation::Cut| phi.eval(&var, c);
+    let (legacy_w, legacy_ns) = bench_median(reps, || possibly_level_sync(&comp, &pred, 4));
+    assert!(legacy_w.is_none(), "workload must be unsatisfiable");
+    let mut medians: Vec<u128> = Vec::new();
+    let mut work: Vec<u64> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (nodes, ns) = bench_median(reps, || {
+            let meter = BudgetMeter::new();
+            let verdict = possibly_by_enumeration_budgeted(
+                &comp,
+                pred,
+                threads,
+                &Budget::unlimited(),
+                &meter,
+                None,
+            )
+            .expect("no resume checkpoint");
+            let witness = verdict.value().expect("unlimited budgets decide");
+            assert!(witness.is_none(), "workload must be unsatisfiable");
+            meter.nodes()
+        });
+        medians.push(ns);
+        work.push(nodes);
+    }
+    assert!(
+        work.iter().all(|&n| n == work[0]),
+        "work-optimality: expanded nodes must be thread-count invariant, got {work:?}"
+    );
+    let speedup = medians[0] as f64 / medians[2].max(1) as f64;
+    println!(
+        "| lattice_sweep_unsat_p{pad} | unsat | {} | {} | {} | {} | {} | {speedup:.2}× | {} nodes |",
+        us(Duration::from_nanos(legacy_ns as u64)),
+        us(Duration::from_nanos(medians[0] as u64)),
+        us(Duration::from_nanos(medians[1] as u64)),
+        us(Duration::from_nanos(medians[2] as u64)),
+        us(Duration::from_nanos(medians[3] as u64)),
+        work[0],
+    );
+    entries.push(format!(
+        "    {{\n      \"workload\": \"lattice_sweep_unsat_p{pad}\", \"verdict\": \"unsat\",\n      \"baseline\": {{\"kind\": \"level_sync_scopes_4t\", \"median_ns\": {legacy_ns}}},\n      \"threads\": {{\"1\": {}, \"2\": {}, \"4\": {}, \"8\": {}}},\n      \"work_per_thread_count\": {work:?}, \"work_invariant\": true,\n      \"speedup_4t\": {speedup:.4}\n    }}",
+        medians[0], medians[1], medians[2], medians[3],
+    ));
+
+    // Wide-unsat subset scans: every ∏kᵢ combination must be rejected.
+    // Scheduled scan runs are *not* thread-count invariant for this
+    // engine — the sequential scan shares prefixes between neighbouring
+    // combinations, which independent workers give up by design — so
+    // the asserted invariant is that one worker reproduces the
+    // sequential engine's work exactly.
+    let (groups, width) = if quick { (2usize, 4usize) } else { (3, 4) };
+    let wpad = if quick { 10 } else { 30 };
+    let (wcomp, wvar, wphi) = wide_unsat_singular_workload(wpad, groups, width);
+    let before = counters::snapshot();
+    let (seq_w, seq_ns) = bench_median(reps, || possibly_singular_subsets(&wcomp, &wvar, &wphi));
+    assert!(seq_w.is_none(), "workload must be unsatisfiable");
+    let seq_runs = counters::snapshot().since(&before).scan_runs / (reps as u64 + 1);
+    let mut medians: Vec<u128> = Vec::new();
+    let mut work: Vec<u64> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (runs, ns) = bench_median(reps, || {
+            let before = counters::snapshot();
+            let witness = possibly_singular_subsets_par(&wcomp, &wvar, &wphi, threads);
+            assert!(witness.is_none(), "workload must be unsatisfiable");
+            counters::snapshot().since(&before).scan_runs
+        });
+        medians.push(ns);
+        work.push(runs);
+    }
+    assert_eq!(
+        work[0], seq_runs,
+        "one worker must reproduce the sequential engine's scan schedule"
+    );
+    let speedup = medians[0] as f64 / medians[2].max(1) as f64;
+    println!(
+        "| wide_unsat_g{groups}w{width} | unsat | {} | {} | {} | {} | {} | {speedup:.2}× | {} scans |",
+        us(Duration::from_nanos(seq_ns as u64)),
+        us(Duration::from_nanos(medians[0] as u64)),
+        us(Duration::from_nanos(medians[1] as u64)),
+        us(Duration::from_nanos(medians[2] as u64)),
+        us(Duration::from_nanos(medians[3] as u64)),
+        work[0],
+    );
+    entries.push(format!(
+        "    {{\n      \"workload\": \"wide_unsat_g{groups}w{width}\", \"verdict\": \"unsat\",\n      \"baseline\": {{\"kind\": \"sequential_subsets\", \"median_ns\": {seq_ns}, \"scan_runs\": {seq_runs}}},\n      \"threads\": {{\"1\": {}, \"2\": {}, \"4\": {}, \"8\": {}}},\n      \"scan_runs_per_thread_count\": {work:?}, \"one_worker_matches_sequential\": true,\n      \"speedup_4t\": {speedup:.4}\n    }}",
+        medians[0], medians[1], medians[2], medians[3],
+    ));
+    println!();
+    entries.join(",\n")
+}
+
+/// The PR 7 dominance microbench: scalar row-at-a-time
+/// `kernel::violations` vs the column-major batched
+/// `kernel::violations_batch` over identical candidate matrices. The
+/// rows are deliberately *short* (width 4): a row is one frontier and
+/// its width is the process count, so single-digit widths are the
+/// representative case — and the short-row regime is exactly where
+/// batching pays, because the per-row loop overhead that the
+/// column-major layout amortises across `BATCH` frontiers dominates
+/// there (long rows auto-vectorise well even scalar). The checksums
+/// must agree exactly (the batched kernels are drop-in); in full mode
+/// the batched pass must clear the ≥1.3× single-thread floor the
+/// batching is for.
+fn batched_kernel_comparison(quick: bool) -> String {
+    use gpd_computation::kernel;
+    use rand::Rng;
+
+    println!("## Batched dominance kernel vs scalar (PR 7 microbench)\n");
+    println!("| rows × width | checksum | scalar median | batched median | speedup |");
+    println!("|---|---|---|---|---|");
+    let (nrows, width) = if quick {
+        (4096usize, 4usize)
+    } else {
+        (16384, 4)
+    };
+    // Each rep is tens of microseconds, so a large rep count is cheap
+    // and keeps the median stable on a loaded host.
+    let reps = if quick { 25 } else { 101 };
+    let mut rng = gpd_bench::rng(4711);
+    let matrix: Vec<u32> = (0..nrows * width).map(|_| rng.gen_range(0..64)).collect();
+    let rows: Vec<&[u32]> = matrix.chunks(width).collect();
+    let bound: Vec<u32> = (0..width).map(|_| rng.gen_range(0..64)).collect();
+
+    let (scalar_sum, scalar_ns) = bench_median(reps, || {
+        let mut acc = 0u64;
+        for row in &rows {
+            acc += u64::from(kernel::violations(row, &bound));
+        }
+        acc
+    });
+    let (batched_sum, batched_ns) = bench_median(reps, || {
+        let mut acc = 0u64;
+        let mut out = [0u32; kernel::BATCH];
+        for group in rows.chunks(kernel::BATCH) {
+            kernel::violations_batch(group, &bound, &mut out[..group.len()]);
+            acc += out[..group.len()]
+                .iter()
+                .map(|&v| u64::from(v))
+                .sum::<u64>();
+        }
+        acc
+    });
+    assert_eq!(
+        scalar_sum, batched_sum,
+        "batched kernels must agree exactly with scalar"
+    );
+    let speedup = scalar_ns as f64 / (batched_ns.max(1)) as f64;
+    if !quick {
+        assert!(
+            speedup >= 1.3,
+            "expected ≥1.3× batched-dominance speedup, got {speedup:.2}×"
+        );
+    }
+    println!(
+        "| {nrows} × {width} | {scalar_sum} | {} | {} | {speedup:.2}× |\n",
+        us(Duration::from_nanos(scalar_ns as u64)),
+        us(Duration::from_nanos(batched_ns as u64)),
+    );
+    format!(
+        "    {{\n      \"workload\": \"dominance_{nrows}x{width}\", \"checksum_identical\": true,\n      \"scalar\": {{\"median_ns\": {scalar_ns}}},\n      \"batched\": {{\"median_ns\": {batched_ns}}},\n      \"speedup\": {speedup:.4}\n    }}"
+    )
 }
 
 fn e1() {

@@ -905,6 +905,10 @@ pub fn detect(args: &[String]) -> Result<String, CliError> {
             work.clock_row_reads, work.cut_successor_allocs, work.vclock_allocs
         ));
         out.push_str(&format!(
+            "parallel stats: {} pool waves, {} steals, {} threads spawned, {} batched dominance passes\n",
+            work.par_waves, work.par_steals, work.par_threads_spawned, work.dominance_batches
+        ));
+        out.push_str(&format!(
             "slice stats: {} nodes before, {} after\n",
             work.slice_nodes_before, work.slice_nodes_after
         ));
@@ -1093,10 +1097,18 @@ mod tests {
             kernel_line.contains("0 vector-clock allocations"),
             "the flat kernel must answer detection without owned clocks: {kernel_line}"
         );
+        let par_line = out
+            .lines()
+            .find(|l| l.starts_with("parallel stats:"))
+            .unwrap_or_else(|| panic!("no parallel stats line in {out:?}"));
+        assert!(par_line.contains("pool waves"), "{par_line}");
+        assert!(par_line.contains("threads spawned"), "{par_line}");
+        assert!(par_line.contains("batched dominance passes"), "{par_line}");
         // Without the flag the lines are absent.
         let out = detect(&args(&[&path, "--pred", pred])).unwrap();
         assert!(!out.contains("scan stats:"), "{out}");
         assert!(!out.contains("kernel stats:"), "{out}");
+        assert!(!out.contains("parallel stats:"), "{out}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -302,9 +302,11 @@ impl Computation {
     /// within range) is consistent: it contains every causal predecessor
     /// of every contained event.
     ///
-    /// One branch-free row scan per nonempty frontier entry: the cut is
-    /// consistent iff each frontier event's clock row is dominated by
-    /// the frontier itself.
+    /// The cut is consistent iff each frontier event's clock row is
+    /// dominated by the frontier itself. The nonempty frontier entries
+    /// are checked in batches of up to [`kernel::BATCH`] rows per
+    /// column-major kernel pass; a failing batch stops the scan (batch
+    /// granularity replaces the old per-row short-circuit).
     ///
     /// # Panics
     ///
@@ -313,16 +315,32 @@ impl Computation {
         self.check_shape(cut);
         let frontier = cut.frontier();
         let mut rows = 0u64;
-        let ok = (0..self.process_count).all(|p| {
-            let f = frontier[p];
-            if f == 0 {
-                return true;
+        let mut batches = 0u64;
+        let mut ok = true;
+        let mut p = 0;
+        while ok && p < self.process_count {
+            let mut group: [&[u32]; kernel::BATCH] = [&[]; kernel::BATCH];
+            let mut filled = 0;
+            while p < self.process_count && filled < kernel::BATCH {
+                let f = frontier[p];
+                if f != 0 {
+                    let e = self.proc_flat[self.proc_off[p] as usize + f as usize - 1];
+                    group[filled] = self.clock_row(e);
+                    filled += 1;
+                }
+                p += 1;
             }
-            let e = self.proc_flat[self.proc_off[p] as usize + f as usize - 1];
-            rows += 1;
-            kernel::dominated(self.clock_row(e), frontier)
-        });
+            if filled == 0 {
+                break;
+            }
+            rows += filled as u64;
+            batches += 1;
+            let mut dom = [false; kernel::BATCH];
+            kernel::dominated_batch(&group[..filled], frontier, &mut dom[..filled]);
+            ok = dom[..filled].iter().all(|&d| d);
+        }
         counters::add_clock_row_reads(rows);
+        counters::add_dominance_batches(batches);
         ok
     }
 
@@ -374,9 +392,11 @@ impl Computation {
     }
 
     /// Calls `visit(p)` for every process whose next event beyond `cut`
-    /// is *enabled* (executing it keeps the cut consistent). This is the
-    /// allocation-free core of successor generation: one branch-free
-    /// clock-row scan per process with a pending event.
+    /// is *enabled* (executing it keeps the cut consistent), in
+    /// increasing process order. This is the allocation-free core of
+    /// successor generation: the pending-event clock rows are fed
+    /// through the batched enablement kernel, up to [`kernel::BATCH`]
+    /// rows per column-major pass over the frontier.
     ///
     /// # Panics
     ///
@@ -385,20 +405,39 @@ impl Computation {
         self.check_shape(cut);
         let frontier = cut.frontier();
         let mut rows = 0u64;
-        for p in 0..self.process_count {
-            let next = self.proc_off[p] as usize + frontier[p] as usize;
-            if next < self.proc_off[p + 1] as usize {
-                let e = self.proc_flat[next];
-                rows += 1;
+        let mut batches = 0u64;
+        let mut p = 0;
+        while p < self.process_count {
+            let mut group: [&[u32]; kernel::BATCH] = [&[]; kernel::BATCH];
+            let mut procs = [0usize; kernel::BATCH];
+            let mut filled = 0;
+            while p < self.process_count && filled < kernel::BATCH {
+                let next = self.proc_off[p] as usize + frontier[p] as usize;
+                if next < self.proc_off[p + 1] as usize {
+                    group[filled] = self.clock_row(self.proc_flat[next]);
+                    procs[filled] = p;
+                    filled += 1;
+                }
+                p += 1;
+            }
+            if filled == 0 {
+                break;
+            }
+            rows += filled as u64;
+            batches += 1;
+            let mut viol = [0u32; kernel::BATCH];
+            kernel::violations_batch(&group[..filled], frontier, &mut viol[..filled]);
+            for k in 0..filled {
                 // vc(e)[p] = frontier[p] + 1 always exceeds the frontier,
                 // so e is enabled iff its own component is the sole
                 // violation.
-                if kernel::violations(self.clock_row(e), frontier) == 1 {
-                    visit(p);
+                if viol[k] == 1 {
+                    visit(procs[k]);
                 }
             }
         }
         counters::add_clock_row_reads(rows);
+        counters::add_dominance_batches(batches);
     }
 
     /// Writes the consistent cuts reachable from `cut` by executing

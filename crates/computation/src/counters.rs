@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static CLOCK_ROW_READS: AtomicU64 = AtomicU64::new(0);
 static CUT_SUCCESSOR_ALLOCS: AtomicU64 = AtomicU64::new(0);
 static VCLOCK_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DOMINANCE_BATCHES: AtomicU64 = AtomicU64::new(0);
 
 /// Batches `n` clock-matrix row reads into one atomic add — the
 /// dominance kernels call this once per query, not once per row.
@@ -42,6 +43,16 @@ pub(crate) fn record_vclock_alloc() {
     VCLOCK_ALLOCS.fetch_add(1, Ordering::Relaxed);
 }
 
+/// Batches `n` batched-dominance kernel passes into one atomic add —
+/// the routing call sites (`is_consistent`, `for_each_enabled`) call
+/// this once per query, not once per batch.
+#[inline]
+pub(crate) fn add_dominance_batches(n: u64) {
+    if n > 0 {
+        DOMINANCE_BATCHES.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 /// A point-in-time reading of the kernel counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KernelCounters {
@@ -56,6 +67,9 @@ pub struct KernelCounters {
     /// Owned `VectorClock` heap allocations. Building and querying a
     /// computation through the flat layout performs none.
     pub vclock_allocs: u64,
+    /// Column-major batched dominance/enablement kernel passes — each
+    /// covers up to `kernel::BATCH` clock rows against one shared bound.
+    pub dominance_batches: u64,
 }
 
 impl KernelCounters {
@@ -70,7 +84,8 @@ impl KernelCounters {
         debug_assert!(
             self.clock_row_reads >= earlier.clock_row_reads
                 && self.cut_successor_allocs >= earlier.cut_successor_allocs
-                && self.vclock_allocs >= earlier.vclock_allocs,
+                && self.vclock_allocs >= earlier.vclock_allocs
+                && self.dominance_batches >= earlier.dominance_batches,
             "non-monotone counter snapshots: {self:?}.since({earlier:?})"
         );
         KernelCounters {
@@ -79,6 +94,9 @@ impl KernelCounters {
                 .cut_successor_allocs
                 .wrapping_sub(earlier.cut_successor_allocs),
             vclock_allocs: self.vclock_allocs.wrapping_sub(earlier.vclock_allocs),
+            dominance_batches: self
+                .dominance_batches
+                .wrapping_sub(earlier.dominance_batches),
         }
     }
 }
@@ -89,6 +107,7 @@ pub fn kernel_counters() -> KernelCounters {
         clock_row_reads: CLOCK_ROW_READS.load(Ordering::Relaxed),
         cut_successor_allocs: CUT_SUCCESSOR_ALLOCS.load(Ordering::Relaxed),
         vclock_allocs: VCLOCK_ALLOCS.load(Ordering::Relaxed),
+        dominance_batches: DOMINANCE_BATCHES.load(Ordering::Relaxed),
     }
 }
 
@@ -102,16 +121,19 @@ mod tests {
             clock_row_reads: 10,
             cut_successor_allocs: 3,
             vclock_allocs: 1,
+            dominance_batches: 2,
         };
         let b = KernelCounters {
             clock_row_reads: 25,
             cut_successor_allocs: 3,
             vclock_allocs: 2,
+            dominance_batches: 5,
         };
         let d = b.since(&a);
         assert_eq!(d.clock_row_reads, 15);
         assert_eq!(d.cut_successor_allocs, 0);
         assert_eq!(d.vclock_allocs, 1);
+        assert_eq!(d.dominance_batches, 3);
     }
 
     #[test]
@@ -122,11 +144,13 @@ mod tests {
             clock_row_reads: 10,
             cut_successor_allocs: 3,
             vclock_allocs: 1,
+            dominance_batches: 2,
         };
         let b = KernelCounters {
             clock_row_reads: 25,
             cut_successor_allocs: 3,
             vclock_allocs: 2,
+            dominance_batches: 5,
         };
         // `since` with the arguments swapped is a bug, not a zero delta.
         let _ = a.since(&b);
@@ -138,11 +162,13 @@ mod tests {
         add_clock_row_reads(4);
         record_cut_successor_alloc();
         record_vclock_alloc();
+        add_dominance_batches(2);
         let after = kernel_counters();
         // Other tests run concurrently in this process, so assert lower
         // bounds rather than exact deltas.
         assert!(after.clock_row_reads >= before.clock_row_reads + 4);
         assert!(after.cut_successor_allocs > before.cut_successor_allocs);
         assert!(after.vclock_allocs > before.vclock_allocs);
+        assert!(after.dominance_batches >= before.dominance_batches + 2);
     }
 }

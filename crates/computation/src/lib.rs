@@ -50,7 +50,7 @@ mod event;
 pub mod fixtures;
 pub mod gen;
 mod groups;
-mod kernel;
+pub mod kernel;
 mod lattice;
 mod packed;
 mod stats;

@@ -43,6 +43,9 @@ static MONITOR_STALE: AtomicU64 = AtomicU64::new(0);
 static MONITOR_QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
 static SLICE_NODES_BEFORE: AtomicU64 = AtomicU64::new(0);
 static SLICE_NODES_AFTER: AtomicU64 = AtomicU64::new(0);
+static PAR_WAVES: AtomicU64 = AtomicU64::new(0);
+static PAR_STEALS: AtomicU64 = AtomicU64::new(0);
+static PAR_THREADS_SPAWNED: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 pub(crate) fn record_forces_eval() {
@@ -77,6 +80,28 @@ pub(crate) fn record_monitor_stale() {
 #[inline]
 pub(crate) fn record_monitor_queue_depth(depth: u64) {
     MONITOR_QUEUE_PEAK.fetch_max(depth, Ordering::Relaxed);
+}
+
+/// Records one pooled parallel fan-out (a wave handed to the worker
+/// pool; sequential fast paths don't count).
+#[inline]
+pub(crate) fn record_par_wave() {
+    PAR_WAVES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one successful steal of a chunk span from another worker's
+/// deque.
+#[inline]
+pub(crate) fn record_par_steal() {
+    PAR_STEALS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one OS thread spawned into the persistent worker pool. The
+/// pool is process-global and spawns lazily up to the hardware cap, so
+/// this stays O(1) per process no matter how many detections run.
+#[inline]
+pub(crate) fn record_par_thread_spawned() {
+    PAR_THREADS_SPAWNED.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Records one slicing invocation: `before` original event-graph nodes
@@ -121,6 +146,17 @@ pub struct ScanCounters {
     /// satisfying cut exists, merged by equal J(e). The gap to
     /// `slice_nodes_before` is the lattice compression the pre-pass buys.
     pub slice_nodes_after: u64,
+    /// Parallel fan-outs handed to the persistent worker pool (one per
+    /// pooled wave; `threads ≤ 1` fast paths don't count).
+    pub par_waves: u64,
+    /// Chunk spans stolen from another worker's deque by an idle worker.
+    pub par_steals: u64,
+    /// OS threads ever spawned into the persistent pool — bounded by the
+    /// hardware cap per process, however many detections run.
+    pub par_threads_spawned: u64,
+    /// Column-major batched dominance/enablement kernel passes (each
+    /// covers up to `kernel::BATCH` clock rows), from `gpd_computation`.
+    pub dominance_batches: u64,
 }
 
 impl ScanCounters {
@@ -149,6 +185,14 @@ impl ScanCounters {
             slice_nodes_after: self
                 .slice_nodes_after
                 .wrapping_sub(earlier.slice_nodes_after),
+            par_waves: self.par_waves.wrapping_sub(earlier.par_waves),
+            par_steals: self.par_steals.wrapping_sub(earlier.par_steals),
+            par_threads_spawned: self
+                .par_threads_spawned
+                .wrapping_sub(earlier.par_threads_spawned),
+            dominance_batches: self
+                .dominance_batches
+                .wrapping_sub(earlier.dominance_batches),
         }
     }
 }
@@ -170,6 +214,10 @@ pub fn snapshot() -> ScanCounters {
         monitor_queue_peak: MONITOR_QUEUE_PEAK.load(Ordering::Relaxed),
         slice_nodes_before: SLICE_NODES_BEFORE.load(Ordering::Relaxed),
         slice_nodes_after: SLICE_NODES_AFTER.load(Ordering::Relaxed),
+        par_waves: PAR_WAVES.load(Ordering::Relaxed),
+        par_steals: PAR_STEALS.load(Ordering::Relaxed),
+        par_threads_spawned: PAR_THREADS_SPAWNED.load(Ordering::Relaxed),
+        dominance_batches: kernel.dominance_batches,
     }
 }
 
@@ -204,6 +252,18 @@ mod tests {
         assert!(delta.monitor_duplicates >= 1);
         assert!(delta.monitor_stale >= 1);
         assert!(snapshot().monitor_queue_peak >= 1 << 40, "peak is a max");
+    }
+
+    #[test]
+    fn par_counters_accumulate() {
+        let before = snapshot();
+        record_par_wave();
+        record_par_steal();
+        record_par_thread_spawned();
+        let delta = snapshot().since(&before);
+        assert!(delta.par_waves >= 1);
+        assert!(delta.par_steals >= 1);
+        assert!(delta.par_threads_spawned >= 1);
     }
 
     #[test]

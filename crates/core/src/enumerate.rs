@@ -11,6 +11,8 @@ use std::sync::Mutex;
 
 use gpd_computation::{Computation, Cut, FrontierPacker, PackedFrontier};
 
+use crate::striped::StripedCutSet;
+
 /// Decides `Possibly(Φ)` by enumerating consistent cuts breadth-first;
 /// returns the first (smallest) witness cut.
 ///
@@ -33,18 +35,19 @@ where
     comp.consistent_cuts().find(|cut| predicate(cut))
 }
 
-/// [`possibly_by_enumeration`], level-synchronous and parallel: walks the
-/// lattice breadth-first one event-count level at a time, evaluating the
-/// predicate on each level's cuts across `threads` workers and expanding
-/// the next level through a sharded visited set (the lattice is graded,
-/// so deduplication only needs the level being built, never the history).
+/// [`possibly_by_enumeration`], parallel and **deterministic**: walks
+/// the lattice one event-count level at a time on the work-stealing
+/// sweeps of [`probe_level_budgeted`] / [`expand_level_budgeted`] (with
+/// an unlimited budget), keeping every level canonically sorted and
+/// probing it for its lowest-index witness.
 ///
-/// The returned witness lies on the **lowest** satisfying level at every
-/// thread count — the same level as the sequential baseline's first
-/// witness — though within that level the cut may differ; the `Some`/
-/// `None` verdict is identical. This keeps the exhaustive oracle usable
-/// for validating the parallel detectors at sizes where the sequential
-/// sweep falls behind.
+/// The returned witness is therefore **byte-identical at every thread
+/// count**: the lowest cut (frontier-lexicographic) on the lowest
+/// satisfying level. Earlier revisions returned whichever same-level
+/// witness won the race; that racy level-synchronous walk survives only
+/// as a benchmark baseline (`gpd-bench`'s legacy module). Determinism
+/// keeps the exhaustive oracle usable for validating the parallel
+/// detectors at sizes where the sequential sweep falls behind.
 pub fn possibly_by_enumeration_par<F>(
     comp: &Computation,
     predicate: F,
@@ -53,55 +56,30 @@ pub fn possibly_by_enumeration_par<F>(
 where
     F: Fn(&Cut) -> bool + Sync,
 {
-    use crate::par::{map_indexed, search_first};
-
-    let start = comp.initial_cut();
-    if predicate(&start) {
-        return Some(start);
-    }
-    let total = comp.final_cut().event_count();
+    let budget = Budget::unlimited();
+    let meter = BudgetMeter::new();
     let packer = FrontierPacker::new(comp);
-    let mut level: Vec<Cut> = vec![start];
-    // Shard count decoupled from the worker count to keep lock
-    // contention low while merging successor sets.
-    let shards = (threads.max(1) * 4).next_power_of_two();
-    for _k in 0..total {
-        // Expand: each worker dedups its cuts' successors into hashed
-        // shards; the graded lattice guarantees every successor is new
-        // to the walk, so only intra-level duplicates (diamonds) exist.
-        // Shard selection and membership both use the packed frontier's
-        // precomputed FNV-1a hash, so neither re-walks the `Vec<u32>`.
-        type Shard = (HashSet<PackedFrontier>, Vec<Cut>);
-        let sharded: Vec<Mutex<Shard>> = (0..shards)
-            .map(|_| Mutex::new((HashSet::new(), Vec::new())))
-            .collect();
-        map_indexed(threads, level.len(), |i| {
-            for succ in comp.cut_successors(&level[i]) {
-                let packed = packer.pack_cut(&succ);
-                let shard = (packed.hash_value() as usize) & (shards - 1);
-                let mut guard = crate::par::lock_unpoisoned(&sharded[shard]);
-                if guard.0.insert(packed) {
-                    guard.1.push(succ);
-                }
-            }
-        });
-        let next: Vec<Cut> = sharded
-            .into_iter()
-            .flat_map(|s| crate::par::into_inner_unpoisoned(s).1)
-            .collect();
-        if next.is_empty() {
+    let total = comp.final_cut().event_count();
+    let mut k = 0usize;
+    let mut level: Vec<Cut> = vec![comp.initial_cut()];
+    loop {
+        match probe_level_budgeted(&predicate, threads, &level, &budget, &meter) {
+            Ok(hit @ Some(_)) => return hit,
+            Ok(None) => {}
+            Err(_) => unreachable!("unlimited budgets never exhaust"),
+        }
+        if k >= total {
             return None;
         }
-        // Probe the level in parallel; any hit is a lowest-level witness
-        // because no earlier level satisfied the predicate.
-        if let Some(witness) = search_first(threads, next.len(), |i| {
-            predicate(&next[i]).then(|| next[i].clone())
-        }) {
-            return Some(witness);
+        match expand_level_budgeted(comp, &packer, threads, &level, &|_| true, &budget, &meter) {
+            Ok(next) => {
+                debug_assert!(!next.is_empty(), "non-final levels always have successors");
+                k += 1;
+                level = next;
+            }
+            Err(_) => unreachable!("unlimited budgets never exhaust"),
         }
-        level = next;
     }
-    None
 }
 
 /// Decides `Definitely(Φ)` exactly: Φ definitely holds iff **no** run
@@ -226,16 +204,33 @@ pub const POSSIBLY_ENUMERATE: &str = "possibly-enumerate";
 /// checkpoints.
 pub const DEFINITELY_LEVELWISE: &str = "definitely-levelwise";
 
-/// Work-item granularity of the budgeted level sweeps: budget checks and
-/// witness aggregation happen between waves of `LEVEL_BLOCK × workers`
-/// cuts.
+/// Work-item granularity of the budgeted level sweeps: one work-stealing
+/// chunk — budget gates, witness aggregation and visited-set flushes all
+/// happen on chunk boundaries.
 const LEVEL_BLOCK: usize = 256;
 
-/// Probes a (canonically sorted) level for its **lowest-index** witness,
-/// wave-synchronously: each wave's blocks are evaluated in parallel,
-/// then the minimum hit wins. The winning index is independent of the
-/// thread count, which is what makes budgeted witnesses byte-identical
-/// across 1/2/4 threads (unlike the racy [`possibly_by_enumeration_par`]).
+/// Records `reason` as the sweep's halt cause (first writer wins) and
+/// cancels the fan-out so the other workers drain out.
+fn halt_fanout(
+    halt: &Mutex<Option<ExhaustReason>>,
+    reason: ExhaustReason,
+    src: &crate::par::WorkSource,
+) {
+    let mut guard = crate::par::lock_unpoisoned(halt);
+    guard.get_or_insert(reason);
+    src.cancel();
+}
+
+/// Probes a (canonically sorted) level for its **lowest-index** witness.
+///
+/// Workers drain [`LEVEL_BLOCK`]-sized chunks from rooted work-stealing
+/// spans (no level-wide barrier; see [`crate::par`]) and race the lowest
+/// hit index into an atomic `fetch_min`. A chunk is *pruned* — skipped
+/// without probing or budget-gating — when it starts past the current
+/// best hit: it cannot lower the minimum, and gating it could discard an
+/// already-found witness on a budget trip. The winning index is the
+/// global minimum at every thread count, which is what makes budgeted
+/// witnesses byte-identical across 1/2/4 threads.
 pub(crate) fn probe_level_budgeted<F>(
     predicate: &F,
     threads: usize,
@@ -246,37 +241,66 @@ pub(crate) fn probe_level_budgeted<F>(
 where
     F: Fn(&Cut) -> bool + Sync,
 {
-    let wave = LEVEL_BLOCK * threads.max(1);
-    let mut start = 0usize;
-    while start < level.len() {
-        if budget.deadline_exceeded() {
-            return Err(ExhaustReason::Deadline);
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let best = AtomicUsize::new(usize::MAX);
+    let halt: Mutex<Option<ExhaustReason>> = Mutex::new(None);
+    crate::par::fanout_chunks(threads, level.len(), LEVEL_BLOCK, &|w, src| {
+        while let Some(r) = src.next(w) {
+            // Prune before gating: once a hit at a lower index exists,
+            // later chunks are no-ops and must not trip the budget.
+            if r.start > best.load(Ordering::Acquire) {
+                continue;
+            }
+            if budget.deadline_exceeded() {
+                halt_fanout(&halt, ExhaustReason::Deadline, src);
+                return;
+            }
+            if budget.nodes_exceeded(meter.nodes()) {
+                halt_fanout(&halt, ExhaustReason::Nodes, src);
+                return;
+            }
+            let mut probed = 0u64;
+            for i in r {
+                probed += 1;
+                if predicate(&level[i]) {
+                    best.fetch_min(i, Ordering::AcqRel);
+                    break;
+                }
+            }
+            meter.charge(probed);
         }
-        if budget.nodes_exceeded(meter.nodes()) {
-            return Err(ExhaustReason::Nodes);
-        }
-        let end = (start + wave).min(level.len());
-        let blocks = (end - start).div_ceil(LEVEL_BLOCK);
-        let hits = crate::par::map_indexed(threads, blocks, |b| {
-            let lo = start + b * LEVEL_BLOCK;
-            let hi = (lo + LEVEL_BLOCK).min(end);
-            (lo..hi).find(|&i| predicate(&level[i]))
-        });
-        meter.charge((end - start) as u64);
-        if let Some(i) = hits.into_iter().flatten().next() {
-            return Ok(Some(level[i].clone()));
-        }
-        start = end;
+    });
+    // A found witness outranks a concurrent budget trip: sequentially
+    // the hit is reached before any later gate, so the parallel runs
+    // must agree.
+    match best.load(Ordering::Acquire) {
+        usize::MAX => match crate::par::into_inner_unpoisoned(halt) {
+            Some(reason) => Err(reason),
+            None => Ok(None),
+        },
+        i => Ok(Some(level[i].clone())),
     }
-    Ok(None)
 }
 
+/// Number of stripes in the expanders' shared visited set. Fixed (not
+/// scaled by `threads`) so the dedup structure is identical at every
+/// thread count.
+const EXPAND_STRIPES: usize = 64;
+
 /// One budget-governed expansion of `level` into the next lattice level,
-/// keeping successors that pass `keep`, deduplicated through hashed
-/// shards and **canonically sorted** (frontier-lexicographic). Interrupts
-/// only between waves, so an `Err` means the partially built next level
-/// was discarded whole — the caller's current level stays the valid
-/// checkpoint boundary.
+/// keeping successors that pass `keep`, deduplicated through the striped
+/// CAS-locked visited set ([`StripedCutSet`]) and **canonically sorted**
+/// (frontier-lexicographic).
+///
+/// Workers drain [`LEVEL_BLOCK`]-sized chunks from rooted work-stealing
+/// spans; each chunk's successors are bucketed worker-locally by stripe
+/// and flushed with one lock acquisition per non-empty stripe, so every
+/// successor is expanded exactly once regardless of thread count —
+/// `meter` observes the same total at 1 and at N threads. Budget gates
+/// sit on chunk boundaries; an `Err` means the partially built next
+/// level was discarded whole, so the caller's current level stays the
+/// valid checkpoint boundary.
 pub(crate) fn expand_level_budgeted<K>(
     comp: &Computation,
     packer: &FrontierPacker,
@@ -289,64 +313,52 @@ pub(crate) fn expand_level_budgeted<K>(
 where
     K: Fn(&Cut) -> bool + Sync,
 {
-    let shards = (threads.max(1) * 4).next_power_of_two();
-    type Shard = (HashSet<PackedFrontier>, Vec<Cut>);
-    let sharded: Vec<Mutex<Shard>> = (0..shards)
-        .map(|_| Mutex::new((HashSet::new(), Vec::new())))
-        .collect();
-    let wave = LEVEL_BLOCK * threads.max(1);
-    let mut kept = 0usize;
-    let mut start = 0usize;
-    while start < level.len() {
-        if budget.deadline_exceeded() {
-            return Err(ExhaustReason::Deadline);
-        }
-        if budget.nodes_exceeded(meter.nodes()) {
-            return Err(ExhaustReason::Nodes);
-        }
-        // The width cap bounds the materialized sets: the level being
-        // expanded and the one being built.
-        if budget.width_exceeded(kept.max(level.len())) {
-            return Err(ExhaustReason::Width);
-        }
-        let end = (start + wave).min(level.len());
-        let blocks = (end - start).div_ceil(LEVEL_BLOCK);
-        let explored = crate::par::map_indexed(threads, blocks, |b| {
-            let lo = start + b * LEVEL_BLOCK;
-            let hi = (lo + LEVEL_BLOCK).min(end);
-            let mut count = 0u64;
-            let mut succs: Vec<Cut> = Vec::new();
-            for cut in &level[lo..hi] {
+    let set = StripedCutSet::new(EXPAND_STRIPES);
+    let halt: Mutex<Option<ExhaustReason>> = Mutex::new(None);
+    crate::par::fanout_chunks(threads, level.len(), LEVEL_BLOCK, &|w, src| {
+        let mut succs: Vec<Cut> = Vec::new();
+        let mut groups: Vec<Vec<(PackedFrontier, Cut)>> =
+            (0..set.stripe_count()).map(|_| Vec::new()).collect();
+        while let Some(r) = src.next(w) {
+            if budget.deadline_exceeded() {
+                halt_fanout(&halt, ExhaustReason::Deadline, src);
+                return;
+            }
+            if budget.nodes_exceeded(meter.nodes()) {
+                halt_fanout(&halt, ExhaustReason::Nodes, src);
+                return;
+            }
+            // The width cap bounds the materialized sets: the level
+            // being expanded and the one being built.
+            if budget.width_exceeded(set.kept().max(level.len())) {
+                halt_fanout(&halt, ExhaustReason::Width, src);
+                return;
+            }
+            let mut explored = 0u64;
+            for cut in &level[r] {
                 comp.cut_successors_into(cut, &mut succs);
                 for succ in succs.drain(..) {
-                    count += 1;
+                    explored += 1;
                     if !keep(&succ) {
                         continue;
                     }
                     let packed = packer.pack_cut(&succ);
-                    let shard = (packed.hash_value() as usize) & (shards - 1);
-                    let mut guard = crate::par::lock_unpoisoned(&sharded[shard]);
-                    if guard.0.insert(packed) {
-                        guard.1.push(succ);
-                    }
+                    groups[set.stripe_of(packed.hash_value())].push((packed, succ));
                 }
             }
-            count
-        });
-        meter.charge(explored.iter().sum());
-        kept = sharded
-            .iter()
-            .map(|s| crate::par::lock_unpoisoned(s).1.len())
-            .sum();
-        start = end;
+            for (s, group) in groups.iter_mut().enumerate() {
+                set.insert_group(s, group);
+            }
+            meter.charge(explored);
+        }
+    });
+    if let Some(reason) = crate::par::into_inner_unpoisoned(halt) {
+        return Err(reason);
     }
-    if budget.width_exceeded(kept) {
+    if budget.width_exceeded(set.kept()) {
         return Err(ExhaustReason::Width);
     }
-    let mut next: Vec<Cut> = sharded
-        .into_iter()
-        .flat_map(|s| crate::par::into_inner_unpoisoned(s).1)
-        .collect();
+    let mut next = set.into_cuts();
     next.sort_unstable();
     Ok(next)
 }
@@ -647,18 +659,20 @@ mod tests {
             let x = gen::random_bool_variable(&mut rng, &comp, 0.4);
             let phi = |c: &Cut| (0..n).all(|p| x.value_at(c, p));
             let seq = possibly_by_enumeration(&comp, phi);
-            for threads in [0, 1, 2, 4] {
+            // Thread count 1 is the deterministic reference: the sweeps
+            // run in exact sequential order there.
+            let reference = possibly_by_enumeration_par(&comp, phi, 1);
+            assert_eq!(reference.is_some(), seq.is_some(), "round {round}");
+            if let (Some(p), Some(s)) = (&reference, &seq) {
+                // The deterministic walk finds a lowest-level witness.
+                assert_eq!(p.event_count(), s.event_count(), "round {round}");
+                assert!(phi(p), "round {round}: witness must satisfy Φ");
+            }
+            for threads in [0, 2, 4] {
                 let par = possibly_by_enumeration_par(&comp, phi, threads);
-                assert_eq!(
-                    par.is_some(),
-                    seq.is_some(),
-                    "round {round}, threads {threads}"
-                );
-                if let (Some(p), Some(s)) = (&par, &seq) {
-                    // Level-synchronous walk finds a lowest-level witness.
-                    assert_eq!(p.event_count(), s.event_count(), "round {round}");
-                    assert!(phi(p), "round {round}: witness must satisfy Φ");
-                }
+                // Byte-identical witness at every thread count — the
+                // lowest sorted cut on the lowest satisfying level.
+                assert_eq!(par, reference, "round {round}, threads {threads}");
             }
         }
     }

@@ -54,12 +54,14 @@ pub mod hardness;
 pub mod linear;
 pub mod online;
 pub mod par;
+mod pool;
 mod predicate;
 pub mod relational;
 mod scan;
 pub mod singular;
 pub mod slice;
 pub mod stable;
+mod striped;
 pub mod symmetric;
 
 pub use budget::{

@@ -1,0 +1,221 @@
+//! A striped concurrent visited set for the lattice level sweeps.
+//!
+//! The level expanders deduplicate successor cuts of one lattice level
+//! (the graded lattice means only *intra*-level duplicates — diamonds —
+//! exist). They used to merge through `Mutex<HashSet>` shards; this
+//! module replaces those with [`StripedCutSet`]: a fixed power-of-two
+//! array of stripes, each a tiny CAS spin-lock over a `HashSet` of
+//! [`PackedFrontier`] keys plus the kept [`Cut`]s.
+//!
+//! Two properties matter to the sweeps:
+//!
+//! * **Group insertion.** Workers don't take a lock per successor; they
+//!   bucket a whole work chunk's successors by stripe locally and flush
+//!   each non-empty bucket with one lock acquisition
+//!   ([`StripedCutSet::insert_group`]). Lock traffic is O(stripes) per
+//!   chunk instead of O(successors).
+//! * **Exact size.** [`StripedCutSet::kept`] is an exact count of cuts
+//!   retained so far (maintained with one atomic add per group flush),
+//!   because the budgeted sweeps gate on it for the width cap — an
+//!   approximate count could trip [`crate::budget::ExhaustReason::Width`]
+//!   on one thread count but not another, breaking the determinism
+//!   contract.
+//!
+//! Stripe selection uses the packed frontier's precomputed FNV-1a hash,
+//! so neither membership nor placement re-walks the frontier vector.
+
+use std::cell::UnsafeCell;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use gpd_computation::{Cut, PackedFrontier};
+
+/// One stripe: a spin-locked `(seen keys, kept cuts)` pair.
+struct Stripe {
+    locked: AtomicBool,
+    data: UnsafeCell<(HashSet<PackedFrontier>, Vec<Cut>)>,
+}
+
+// SAFETY: `data` is only accessed through `StripeGuard`, which holds the
+// `locked` flag for the duration of the access (acquire on lock, release
+// on drop), so references never alias across threads.
+unsafe impl Sync for Stripe {}
+
+/// RAII access to one stripe's data; releases the spin-lock on drop.
+struct StripeGuard<'a> {
+    stripe: &'a Stripe,
+}
+
+impl Stripe {
+    fn new() -> Self {
+        Stripe {
+            locked: AtomicBool::new(false),
+            data: UnsafeCell::new((HashSet::new(), Vec::new())),
+        }
+    }
+
+    fn lock(&self) -> StripeGuard<'_> {
+        let mut spins = 0u32;
+        while self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            // Short critical sections: spin briefly, then be polite.
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        StripeGuard { stripe: self }
+    }
+}
+
+impl StripeGuard<'_> {
+    fn data(&mut self) -> &mut (HashSet<PackedFrontier>, Vec<Cut>) {
+        // SAFETY: the guard holds the stripe's lock, so this is the only
+        // live reference (see `unsafe impl Sync for Stripe`).
+        unsafe { &mut *self.stripe.data.get() }
+    }
+}
+
+impl Drop for StripeGuard<'_> {
+    fn drop(&mut self) {
+        self.stripe.locked.store(false, Ordering::Release);
+    }
+}
+
+/// A concurrent deduplicating set of cuts, striped by frontier hash.
+pub(crate) struct StripedCutSet {
+    stripes: Vec<Stripe>,
+    mask: usize,
+    kept: AtomicUsize,
+}
+
+impl StripedCutSet {
+    /// Creates a set with `stripes` stripes (rounded up to a power of
+    /// two so placement is a mask, not a division).
+    pub(crate) fn new(stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        StripedCutSet {
+            stripes: (0..n).map(|_| Stripe::new()).collect(),
+            mask: n - 1,
+            kept: AtomicUsize::new(0),
+        }
+    }
+
+    pub(crate) fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// The stripe a frontier with this hash belongs to.
+    #[inline]
+    pub(crate) fn stripe_of(&self, hash: u64) -> usize {
+        (hash as usize) & self.mask
+    }
+
+    /// Inserts a locally-bucketed group of candidates into one stripe
+    /// under a single lock acquisition, draining `group`. Every candidate
+    /// must belong to `stripe` (i.e. `stripe_of(key.hash_value())`).
+    pub(crate) fn insert_group(&self, stripe: usize, group: &mut Vec<(PackedFrontier, Cut)>) {
+        if group.is_empty() {
+            return;
+        }
+        let mut inserted = 0usize;
+        {
+            let mut guard = self.stripes[stripe].lock();
+            let (seen, cuts) = guard.data();
+            for (key, cut) in group.drain(..) {
+                debug_assert_eq!(self.stripe_of(key.hash_value()), stripe);
+                if seen.insert(key) {
+                    cuts.push(cut);
+                    inserted += 1;
+                }
+            }
+        }
+        if inserted > 0 {
+            self.kept.fetch_add(inserted, Ordering::Relaxed);
+        }
+    }
+
+    /// Exact number of cuts kept so far (deduplicated).
+    pub(crate) fn kept(&self) -> usize {
+        self.kept.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the set, returning the kept cuts in unspecified order
+    /// (callers sort for canonical output).
+    pub(crate) fn into_cuts(self) -> Vec<Cut> {
+        let mut out = Vec::with_capacity(self.kept());
+        for stripe in self.stripes {
+            out.extend(stripe.data.into_inner().1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpd_computation::{ComputationBuilder, FrontierPacker};
+
+    fn sample_cuts() -> (Vec<Cut>, FrontierPacker) {
+        let mut b = ComputationBuilder::new(2);
+        b.append(0);
+        b.append(0);
+        b.append(1);
+        b.append(1);
+        let comp = b.build().unwrap();
+        let packer = FrontierPacker::new(&comp);
+        let cuts: Vec<Cut> = comp.consistent_cuts().collect();
+        (cuts, packer)
+    }
+
+    #[test]
+    fn stripe_count_rounds_to_power_of_two() {
+        assert_eq!(StripedCutSet::new(0).stripe_count(), 1);
+        assert_eq!(StripedCutSet::new(3).stripe_count(), 4);
+        assert_eq!(StripedCutSet::new(64).stripe_count(), 64);
+    }
+
+    #[test]
+    fn concurrent_duplicate_inserts_keep_each_cut_once() {
+        let (cuts, packer) = sample_cuts();
+        let set = StripedCutSet::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut groups: Vec<Vec<(PackedFrontier, Cut)>> =
+                        (0..set.stripe_count()).map(|_| Vec::new()).collect();
+                    // Every thread offers the full cut set, twice.
+                    for _ in 0..2 {
+                        for cut in &cuts {
+                            let key = packer.pack_cut(cut);
+                            groups[set.stripe_of(key.hash_value())].push((key, cut.clone()));
+                        }
+                        for (s, group) in groups.iter_mut().enumerate() {
+                            set.insert_group(s, group);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(set.kept(), cuts.len());
+        let mut kept = set.into_cuts();
+        kept.sort_unstable();
+        let mut expect = cuts;
+        expect.sort_unstable();
+        assert_eq!(kept, expect);
+    }
+
+    #[test]
+    fn empty_groups_are_free_and_kept_starts_at_zero() {
+        let set = StripedCutSet::new(4);
+        assert_eq!(set.kept(), 0);
+        set.insert_group(0, &mut Vec::new());
+        assert_eq!(set.kept(), 0);
+        assert!(set.into_cuts().is_empty());
+    }
+}
