@@ -82,13 +82,200 @@ fn main() {
     let slicing_section = slicing_comparison(quick);
     let sweep_section = parallel_sweep_comparison(quick);
     let batch_section = batched_kernel_comparison(quick);
+    let server_section = server_throughput_comparison(quick);
     if let Some(path) = json_path.as_deref() {
         let json = format!(
-            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR7.json\",\n  \"quick\": {quick},\n  \"incremental_scan\": [\n{scan_section}\n  ],\n  \"flat_kernel\": [\n{kernel_section}\n  ],\n  \"slicing\": [\n{slicing_section}\n  ],\n  \"parallel_sweep\": [\n{sweep_section}\n  ],\n  \"batched_kernel\": [\n{batch_section}\n  ]\n}}\n",
+            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR8.json\",\n  \"quick\": {quick},\n  \"incremental_scan\": [\n{scan_section}\n  ],\n  \"flat_kernel\": [\n{kernel_section}\n  ],\n  \"slicing\": [\n{slicing_section}\n  ],\n  \"parallel_sweep\": [\n{sweep_section}\n  ],\n  \"batched_kernel\": [\n{batch_section}\n  ],\n  \"server_throughput\": {server_section}\n}}\n",
         );
         std::fs::write(path, json).expect("write json report");
         println!("Wrote {path}.\n");
     }
+}
+
+/// One row of the service-throughput sweep: `sessions` concurrent feed
+/// clients pushing `events_per_session` events each through the
+/// sharded server under one fsync policy, wall-clocked end to end.
+struct ServedRow {
+    topology: &'static str,
+    tenants: usize,
+    sessions: usize,
+    events: u64,
+    events_per_sec: f64,
+    elapsed_ms: f64,
+}
+
+/// Runs one topology × policy combination against a fresh server and
+/// returns sustained events/sec (total accepted events over total feed
+/// wall time, all sessions concurrent).
+fn serve_throughput(
+    topology: &'static str,
+    tenants: usize,
+    sessions_per_tenant: usize,
+    events_per_session: u32,
+    fsync: gpd_server::FsyncPolicy,
+) -> ServedRow {
+    use gpd_server::client::{ClientConfig, FeedClient};
+    use gpd_server::server::{self, ServerConfig};
+    use gpd_server::wal::WalConfig;
+
+    static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let k = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gpd-bench-serve-{}-{k}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut config = ServerConfig::new(WalConfig::new(&dir).with_fsync(fsync));
+    config.shards = 4;
+    config.io_timeout = Duration::from_secs(10);
+    let handle = server::start("127.0.0.1:0", config).expect("bench server starts");
+    let addr = handle.local_addr();
+
+    // Single-tenant topology: one computation with n = sessions
+    // processes, each session feeding its own process's events — the
+    // per-process true states are mutually concurrent, so the monitor
+    // settles fast and the WAL/fsync path dominates (which is what
+    // this benchmark is about). Multi-tenant topology: n = 1 per
+    // tenant, one session each.
+    let n = sessions_per_tenant;
+    let sessions = tenants * sessions_per_tenant;
+    let total_events = sessions as u64 * u64::from(events_per_session);
+
+    let t0 = Instant::now();
+    let feeds: Vec<std::thread::JoinHandle<()>> = (0..tenants)
+        .flat_map(|t| (0..sessions_per_tenant).map(move |p| (t, p)))
+        .map(|(t, p)| {
+            std::thread::spawn(move || {
+                let mut config =
+                    ClientConfig::new(addr.to_string()).with_tenant(format!("bench-{t:03}"));
+                config.io_timeout = Duration::from_secs(10);
+                config.max_retries = 5;
+                let events: Vec<(usize, Vec<u32>)> = (1..=events_per_session)
+                    .map(|k| {
+                        let mut clock = vec![0u32; n];
+                        clock[p] = k;
+                        (p, clock)
+                    })
+                    .collect();
+                let report = FeedClient::new(config)
+                    .feed(&vec![false; n], &events)
+                    .expect("bench feed succeeds");
+                assert_eq!(
+                    report.accepted,
+                    u64::from(events_per_session),
+                    "bench feed must accept every event"
+                );
+            })
+        })
+        .collect();
+    for feed in feeds {
+        feed.join().expect("bench feed thread");
+    }
+    let elapsed = t0.elapsed();
+
+    let client = FeedClient::new(ClientConfig::new(addr.to_string()));
+    client.shutdown().expect("bench server stops");
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ServedRow {
+        topology,
+        tenants,
+        sessions,
+        events: total_events,
+        events_per_sec: total_events as f64 / elapsed.as_secs_f64(),
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+    }
+}
+
+/// The PR 8 measurement: sustained events/sec through the sharded
+/// multi-tenant server, single-tenant (8 sessions, one computation)
+/// vs 64-tenant (one session each), per fsync policy. The load-bearing
+/// floor: group commit must beat per-event `Always` fsync by ≥2× at
+/// ≥8 concurrent sessions, because that is the entire point of
+/// batching the log-before-ack fsyncs at the sweep boundary.
+fn server_throughput_comparison(quick: bool) -> String {
+    use gpd_server::FsyncPolicy;
+
+    println!("## Service throughput: sharded multi-tenant server (PR 8)\n");
+    println!("| topology | tenants | sessions | fsync | events | events/sec | elapsed |");
+    println!("|---|---|---|---|---|---|---|");
+
+    // Quick mode downsizes the event counts (CI smoke), not the
+    // session counts — the ≥8-session concurrency the floor speaks
+    // about is preserved.
+    let (single_events, multi_tenants, multi_events) = if quick {
+        (150u32, 16usize, 40u32)
+    } else {
+        (600, 64, 75)
+    };
+    let policies = [
+        ("always", FsyncPolicy::Always),
+        (
+            "interval_5ms",
+            FsyncPolicy::Interval(Duration::from_millis(5)),
+        ),
+        ("group", FsyncPolicy::Group),
+    ];
+
+    let mut rows: Vec<ServedRow> = Vec::new();
+    for (_, policy) in &policies {
+        rows.push(serve_throughput(
+            "single_tenant",
+            1,
+            8,
+            single_events,
+            *policy,
+        ));
+    }
+    for (_, policy) in &policies {
+        rows.push(serve_throughput(
+            "multi_tenant",
+            multi_tenants,
+            1,
+            multi_events,
+            *policy,
+        ));
+    }
+
+    let mut json_rows = Vec::new();
+    for (row, (policy_name, _)) in rows.iter().zip(policies.iter().cycle()) {
+        println!(
+            "| {} | {} | {} | {policy_name} | {} | {:.0} | {} |",
+            row.topology,
+            row.tenants,
+            row.sessions,
+            row.events,
+            row.events_per_sec,
+            us(Duration::from_secs_f64(row.elapsed_ms / 1e3)),
+        );
+        json_rows.push(format!(
+            "    {{\"topology\": \"{}\", \"tenants\": {}, \"sessions\": {}, \"fsync\": \"{policy_name}\", \"events\": {}, \"events_per_sec\": {:.1}, \"elapsed_ms\": {:.1}}}",
+            row.topology, row.tenants, row.sessions, row.events, row.events_per_sec, row.elapsed_ms
+        ));
+    }
+
+    // The programmatic floor, asserted in quick (CI smoke) and full
+    // mode alike: group commit ≥2× Always at 8 concurrent sessions.
+    let always = rows[0].events_per_sec;
+    let group = rows[2].events_per_sec;
+    let ratio = group / always;
+    assert!(
+        rows[0].sessions >= 8,
+        "the floor is defined at ≥8 concurrent sessions"
+    );
+    assert!(
+        ratio >= 2.0,
+        "group commit must sustain ≥2× the per-event-fsync throughput \
+         at {} sessions: always {always:.0} events/s vs group {group:.0} events/s ({ratio:.2}×)",
+        rows[0].sessions,
+    );
+    println!(
+        "\nGroup-commit floor: {group:.0} events/s vs {always:.0} events/s under `fsync always` — {ratio:.2}× (floor: ≥2× at ≥8 sessions).\n"
+    );
+
+    format!(
+        "{{\n    \"floor\": \"group >= 2x always at >= 8 concurrent sessions\",\n    \"always_events_per_sec\": {always:.1},\n    \"group_events_per_sec\": {group:.1},\n    \"ratio\": {ratio:.4},\n    \"rows\": [\n{}\n    ]\n  }}",
+        json_rows.join(",\n")
+    )
 }
 
 /// One side of the incremental-vs-reference comparison: median wall time
@@ -604,6 +791,11 @@ fn batched_kernel_comparison(quick: bool) -> String {
     let (nrows, width) = if quick {
         (4096usize, 4usize)
     } else {
+        // The preceding sections saturate every core; measuring this
+        // single-thread microbench immediately afterwards compresses
+        // the scalar/batched ratio (frequency/scheduler settle), so
+        // let the host quiesce before asserting the floor.
+        std::thread::sleep(Duration::from_secs(10));
         (16384, 4)
     };
     // Each rep is tens of microseconds, so a large rep count is cheap

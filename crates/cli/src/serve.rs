@@ -46,12 +46,14 @@ fn render_witness(witness: &Option<Vec<Vec<u32>>>) -> String {
     }
 }
 
-/// `gpd serve [--addr A] [--wal-dir DIR] [--fsync always|interval]
-///  [--fsync-interval-ms N] [--max-inflight N] [--workers N]
-///  [--queue-cap N] [--addr-file FILE]`
+/// `gpd serve [--addr A] [--wal-dir DIR] [--fsync always|interval|group]
+///  [--fsync-interval-ms N] [--shards N] [--queue-cap N] [--max-tenants N]
+///  [--snapshot-every N] [--quota-frames N] [--stats] [--addr-file FILE]`
 ///
 /// Blocks until a client sends the shutdown command (`gpd feed
-/// --shutdown`), then reports the final verdict and counters.
+/// --shutdown`), then reports the final verdict and counters —
+/// per-tenant rows when `--stats` is given or more than one tenant
+/// connected. (`--workers` is accepted as an alias for `--shards`.)
 pub fn serve(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(
         args,
@@ -60,16 +62,19 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
             "wal-dir",
             "fsync",
             "fsync-interval-ms",
-            "max-inflight",
+            "shards",
             "workers",
             "queue-cap",
+            "max-tenants",
+            "snapshot-every",
+            "quota-frames",
             "addr-file",
         ],
-        &[],
+        &["stats"],
     )?;
     if !flags.positional.is_empty() {
         return Err(CliError::Usage(
-            "serve [--addr A] [--wal-dir DIR] [--fsync always|interval] [flags]".into(),
+            "serve [--addr A] [--wal-dir DIR] [--fsync always|interval|group] [flags]".into(),
         ));
     }
     let addr = flags
@@ -82,23 +87,33 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
         .map_or("gpd-wal", String::as_str);
     let fsync = match flags.values.get("fsync").map(String::as_str) {
         None | Some("always") => FsyncPolicy::Always,
+        Some("group") => FsyncPolicy::Group,
         Some("interval") => FsyncPolicy::Interval(Duration::from_millis(
             flags.get_u64("fsync-interval-ms", 200)?,
         )),
         Some(other) => {
             return Err(CliError::Usage(format!(
-                "--fsync expects always or interval, got {other:?}"
+                "--fsync expects always, interval, or group, got {other:?}"
             )))
         }
     };
 
     let mut config = ServerConfig::new(WalConfig::new(wal_dir).with_fsync(fsync));
-    config.max_inflight = flags.get_usize("max-inflight", 16)?;
-    config.workers = flags.get_usize("workers", 2)?;
+    config.shards = match flags.values.get("shards") {
+        Some(_) => flags.get_usize("shards", 2)?,
+        None => flags.get_usize("workers", 2)?,
+    };
     config.queue_cap = match flags.get_usize("queue-cap", 0)? {
         0 => None,
         cap => Some(cap),
     };
+    config.max_tenants = flags.get_usize("max-tenants", 1024)?;
+    config.snapshot_every = match flags.get_u64("snapshot-every", 0)? {
+        0 => None,
+        n => Some(n),
+    };
+    config.quota_frames = flags.get_usize("quota-frames", 64)?;
+    let per_tenant = flags.has("stats");
 
     let before = gpd::counters::snapshot();
     let handle = server::start(addr, config).map_err(|e| CliError::Io(format!("{addr}: {e}")))?;
@@ -125,6 +140,24 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
         monitor.monitor_stale,
         monitor.monitor_queue_peak,
     ));
+    if per_tenant || summary.tenants.len() > 1 {
+        for row in &summary.tenants {
+            out.push_str(&format!(
+                "tenant {}: {} observed, {} duplicate, {} stale, {} rejected, queue peak {}, {} wal bytes, {} snapshots, {} resumes{}{}\n",
+                row.tenant,
+                row.observed,
+                row.duplicates,
+                row.stale,
+                row.rejected,
+                row.queue_peak,
+                row.wal_bytes,
+                row.snapshots,
+                row.resumes,
+                if row.witness_found { ", witness found" } else { "" },
+                if row.quarantined { ", QUARANTINED" } else { "" },
+            ));
+        }
+    }
     Ok(out)
 }
 
@@ -203,13 +236,14 @@ fn stream_events(
 }
 
 /// `gpd feed <trace> --addr A (--var NAME | --int NAME --below K | --at-least K)
-///  [--io-timeout-ms N] [--retries N] [--backoff-ms N] [--backoff-cap-ms N]
-///  [--seed S] [--window N] [--shutdown]`
+///  [--tenant T] [--io-timeout-ms N] [--retries N] [--backoff-ms N]
+///  [--backoff-cap-ms N] [--seed S] [--window N] [--shutdown]`
 pub fn feed(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(
         args,
         &[
             "addr",
+            "tenant",
             "var",
             "int",
             "below",
@@ -241,6 +275,9 @@ pub fn feed(args: &[String]) -> Result<String, CliError> {
     let (initial, events) = stream_events(&trace.computation, &tracks);
 
     let mut config = ClientConfig::new(addr.clone());
+    if let Some(tenant) = flags.values.get("tenant") {
+        config = config.with_tenant(tenant.clone());
+    }
     config.io_timeout = Duration::from_millis(flags.get_u64("io-timeout-ms", 2000)?);
     config.max_retries = flags.get_u64("retries", 10)? as u32;
     config.backoff_base = Duration::from_millis(flags.get_u64("backoff-ms", 25)?);
@@ -276,10 +313,13 @@ pub fn feed(args: &[String]) -> Result<String, CliError> {
 
 /// `gpd chaos --upstream A [--listen B] [--drop P] [--duplicate P]
 ///  [--jitter P] [--jitter-lo-ms N] [--jitter-hi-ms N] [--reset-after N]
-///  [--seed S] [--addr-file FILE]`
+///  [--reset-every N] [--reset-limit N] [--seed S] [--addr-file FILE]`
 ///
 /// Blocks forever (kill the process to stop it); meant for drills and
-/// the CI chaos smoke job.
+/// the CI chaos smoke job. `--reset-after N` forces the first
+/// connection reset after N forwarded frames; `--reset-every M`
+/// repeats it every M further frames (a reconnect storm), bounded by
+/// `--reset-limit K` (0 = unlimited).
 pub fn chaos(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(
         args,
@@ -292,6 +332,8 @@ pub fn chaos(args: &[String]) -> Result<String, CliError> {
             "jitter-lo-ms",
             "jitter-hi-ms",
             "reset-after",
+            "reset-every",
+            "reset-limit",
             "seed",
             "addr-file",
         ],
@@ -324,6 +366,11 @@ pub fn chaos(args: &[String]) -> Result<String, CliError> {
         0 => None,
         n => Some(n),
     };
+    config.reset_every = match flags.get_u64("reset-every", 0)? {
+        0 => None,
+        n => Some(n),
+    };
+    config.reset_limit = flags.get_u64("reset-limit", 0)?;
     config.seed = flags.get_u64("seed", 0)?;
 
     let handle =

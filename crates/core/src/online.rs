@@ -56,6 +56,34 @@ impl std::fmt::Display for QueueOverflow {
 
 impl std::error::Error for QueueOverflow {}
 
+/// A point-in-time image of a [`ConjunctiveMonitor`]'s **live state** —
+/// everything a durability layer must persist to rebuild the monitor
+/// without replaying its event history. Its size is O(live state):
+/// the pending queues plus one high-water mark per process, independent
+/// of how many events the monitor has ever screened or eliminated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorSnapshot {
+    /// Per process: the local component of the newest accepted
+    /// observation (`None` before the first).
+    pub latest: Vec<Option<u32>>,
+    /// Per process: the pending true-state clocks, oldest first.
+    pub queues: Vec<Vec<VectorClock>>,
+    /// The witness, if detection already succeeded.
+    pub witness: Option<Vec<VectorClock>>,
+}
+
+impl MonitorSnapshot {
+    /// Number of monitored processes.
+    pub fn process_count(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Total clocks held — the snapshot's O(live state) footprint.
+    pub fn live_states(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum::<usize>() + self.witness.as_ref().map_or(0, Vec::len)
+    }
+}
+
 /// Streaming detector for `Possibly(x₀ ∧ … ∧ x_{n−1})`.
 ///
 /// # Example
@@ -250,6 +278,38 @@ impl ConjunctiveMonitor {
     /// consistent — once detection has succeeded. Sticky.
     pub fn witness(&self) -> Option<&[VectorClock]> {
         self.witness.as_deref()
+    }
+
+    /// Exports the monitor's live state as a [`MonitorSnapshot`]. The
+    /// snapshot captures everything future verdicts depend on — pending
+    /// queues, per-process high-water marks, and the witness — so
+    /// `restore(monitor.snapshot())` behaves identically to `monitor`
+    /// on every subsequent observation. The queue cap is a host policy,
+    /// not monitor state, and is not part of the snapshot.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            latest: self.latest.clone(),
+            queues: self
+                .queues
+                .iter()
+                .map(|q| q.iter().cloned().collect())
+                .collect(),
+            witness: self.witness.clone(),
+        }
+    }
+
+    /// Rebuilds a monitor from a [`MonitorSnapshot`] in O(live state),
+    /// without re-running any elimination scan — the snapshot's queues
+    /// are already scan-stable by construction. Chain
+    /// [`with_queue_cap`](Self::with_queue_cap) afterwards to reapply a
+    /// bound.
+    pub fn restore(snapshot: MonitorSnapshot) -> Self {
+        ConjunctiveMonitor {
+            queues: snapshot.queues.into_iter().map(VecDeque::from).collect(),
+            latest: snapshot.latest,
+            witness: snapshot.witness,
+            queue_cap: None,
+        }
     }
 
     /// Runs eliminations on the queue heads; records a witness when all
@@ -452,6 +512,85 @@ mod tests {
         assert_eq!(m.high_water(1), None);
         m.observe(0, VectorClock::from(vec![1, 0])); // stale
         assert_eq!(m.high_water(0), Some(3));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_monitor_behaviour() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(27182);
+        for round in 0..60 {
+            let n = rng.gen_range(2..5);
+            let m = rng.gen_range(1..6);
+            let msgs = rng.gen_range(0..2 * n);
+            let comp = gen::random_computation(&mut rng, n, m, msgs);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.4);
+
+            let initial: Vec<bool> = (0..n).map(|p| x.true_initially(p)).collect();
+            let mut live = ConjunctiveMonitor::with_initial(&initial);
+            let per_proc: Vec<Vec<VectorClock>> = (0..n)
+                .map(|p| {
+                    x.true_states(p)
+                        .into_iter()
+                        .filter(|&k| k > 0)
+                        .map(|k| comp.clock(comp.event_at(p, k).unwrap()).to_owned())
+                        .collect()
+                })
+                .collect();
+            let mut order: Vec<usize> = (0..n)
+                .flat_map(|p| std::iter::repeat_n(p, per_proc[p].len()))
+                .collect();
+            order.shuffle(&mut rng);
+            let cut = rng.gen_range(0..=order.len());
+            let mut idx = vec![0usize; n];
+            for &p in &order[..cut] {
+                let clock = per_proc[p][idx[p]].clone();
+                idx[p] += 1;
+                live.observe(p, clock);
+            }
+
+            // Snapshot mid-stream, restore, and feed the rest to both.
+            let snap = live.snapshot();
+            assert_eq!(snap.process_count(), n);
+            assert_eq!(
+                snap.live_states(),
+                live.queue_depth() + live.witness().map_or(0, <[_]>::len),
+                "round {round}"
+            );
+            let mut restored = ConjunctiveMonitor::restore(snap.clone());
+            assert_eq!(
+                ConjunctiveMonitor::restore(snap).snapshot(),
+                live.snapshot()
+            );
+            for &p in &order[cut..] {
+                let clock = per_proc[p][idx[p]].clone();
+                idx[p] += 1;
+                assert_eq!(
+                    live.observe(p, clock.clone()),
+                    restored.observe(p, clock),
+                    "round {round}"
+                );
+            }
+            assert_eq!(live.witness(), restored.witness(), "round {round}");
+            for p in 0..n {
+                assert_eq!(live.high_water(p), restored.high_water(p), "round {round}");
+                assert_eq!(
+                    live.queue_depth_of(p),
+                    restored.queue_depth_of(p),
+                    "round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn restore_composes_with_queue_cap() {
+        let mut m = ConjunctiveMonitor::new(2).with_queue_cap(2);
+        m.observe(1, VectorClock::from(vec![9, 1]));
+        m.observe(1, VectorClock::from(vec![9, 2]));
+        let mut r = ConjunctiveMonitor::restore(m.snapshot()).with_queue_cap(2);
+        assert_eq!(
+            r.try_observe(1, VectorClock::from(vec![9, 3])).unwrap_err(),
+            QueueOverflow { process: 1, cap: 2 }
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! A fault-injecting TCP proxy: sits between a feed client and the
+//! A fault-injecting TCP proxy: sits between feed clients and the
 //! server and applies [`FaultPlan`](gpd_sim::FaultPlan) semantics to
 //! real sockets — frame loss, frame duplication, delivery jitter, and
 //! forced connection resets.
@@ -7,8 +7,18 @@
 //! direction (dropping half a frame would just desynchronize the
 //! stream; the interesting failures are whole lost or repeated
 //! messages). The server → client direction is forwarded verbatim.
-//! All randomness comes from a seeded [`StdRng`], so a chaos run's
-//! fault schedule is reproducible.
+//!
+//! Connections are served concurrently (one pump thread each), so a
+//! multi-tenant fleet can storm the proxy at once. Each connection's
+//! fault rolls come from its own [`StdRng`] seeded `seed + connection
+//! index`, so any single connection's fault schedule is reproducible
+//! regardless of how connections interleave.
+//!
+//! Forced resets are schedulable and repeatable: the first fires after
+//! [`reset_after`](ChaosConfig::reset_after) forwarded frames, then
+//! every [`reset_every`](ChaosConfig::reset_every) frames, up to
+//! [`reset_limit`](ChaosConfig::reset_limit) — so a reconnect storm
+//! (every session forced through resume, repeatedly) is one flag away.
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -32,11 +42,18 @@ pub struct ChaosConfig {
     /// and `jitter_range` (milliseconds) apply per client → server
     /// frame. (`crashes` does not apply to a proxy.)
     pub faults: FaultPlan,
-    /// After forwarding this many client frames, reset both sockets
-    /// once — forcing the client through its reconnect path. Later
-    /// connections are spared further resets.
+    /// Fire the first forced reset once this many client frames have
+    /// been forwarded (counted across all connections). `None`
+    /// disables resets.
     pub reset_after: Option<u64>,
-    /// Seed for the fault rolls.
+    /// Fire another reset every additional N forwarded frames. `None`
+    /// keeps the pre-existing one-shot behaviour: exactly one reset.
+    pub reset_every: Option<u64>,
+    /// Stop after this many resets; `0` means unlimited (only
+    /// meaningful with `reset_every`).
+    pub reset_limit: u64,
+    /// Base seed for the fault rolls; connection `i` rolls from
+    /// `seed + i`.
     pub seed: u64,
 }
 
@@ -47,6 +64,8 @@ impl ChaosConfig {
             upstream: upstream.into(),
             faults: FaultPlan::default(),
             reset_after: None,
+            reset_every: None,
+            reset_limit: 0,
             seed: 0,
         }
     }
@@ -63,6 +82,8 @@ pub struct ChaosReport {
     pub duplicated: u64,
     /// Forced connection resets performed.
     pub resets: u64,
+    /// Connections accepted.
+    pub connections: u64,
 }
 
 struct Shared {
@@ -71,6 +92,40 @@ struct Shared {
     dropped: AtomicU64,
     duplicated: AtomicU64,
     resets: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl Shared {
+    /// Claims the next scheduled reset if the forwarded-frame count
+    /// has crossed its threshold. Lock-free: racing connections agree
+    /// on who fires via the CAS on the reset counter.
+    fn claim_reset(&self, config: &ChaosConfig) -> bool {
+        let Some(after) = config.reset_after else {
+            return false;
+        };
+        loop {
+            let fired = self.resets.load(Ordering::SeqCst);
+            if config.reset_limit != 0 && fired >= config.reset_limit {
+                return false;
+            }
+            let threshold = match (fired, config.reset_every) {
+                (0, _) => after,
+                (k, Some(every)) => after.saturating_add(k.saturating_mul(every)),
+                // One-shot (no repeat interval) and it already fired.
+                (_, None) => return false,
+            };
+            if self.forwarded.load(Ordering::SeqCst) < threshold {
+                return false;
+            }
+            if self
+                .resets
+                .compare_exchange(fired, fired + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
 }
 
 /// A running proxy.
@@ -81,7 +136,7 @@ pub struct ChaosHandle {
 }
 
 impl ChaosHandle {
-    /// The proxy's listening address — point the client here.
+    /// The proxy's listening address — point the clients here.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
     }
@@ -93,10 +148,12 @@ impl ChaosHandle {
             dropped: self.shared.dropped.load(Ordering::Relaxed),
             duplicated: self.shared.duplicated.load(Ordering::Relaxed),
             resets: self.shared.resets.load(Ordering::Relaxed),
+            connections: self.shared.connections.load(Ordering::Relaxed),
         }
     }
 
-    /// Stops accepting and joins the proxy thread.
+    /// Stops accepting, joins the acceptor (which joins every pump
+    /// thread), and reports.
     pub fn stop(mut self) -> ChaosReport {
         self.shared.stop.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.addr); // wake the acceptor
@@ -107,9 +164,10 @@ impl ChaosHandle {
     }
 }
 
-/// Starts the proxy on `addr` (use port 0 for ephemeral). Connections
-/// are served one at a time — a feed session is a single connection,
-/// and serving serially keeps the fault schedule deterministic.
+/// Starts the proxy on `addr` (use port 0 for ephemeral). Each
+/// accepted connection gets its own pump thread and its own seeded
+/// RNG, so concurrent sessions do not perturb each other's fault
+/// schedules.
 ///
 /// # Errors
 ///
@@ -123,22 +181,35 @@ pub fn start(addr: &str, config: ChaosConfig) -> std::io::Result<ChaosHandle> {
         dropped: AtomicU64::new(0),
         duplicated: AtomicU64::new(0),
         resets: AtomicU64::new(0),
+        connections: AtomicU64::new(0),
     });
     let thread = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || {
-            let mut rng = StdRng::seed_from_u64(config.seed);
+            let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+            let mut next_conn = 0u64;
             loop {
                 let Ok((client, _)) = listener.accept() else {
                     if shared.stop.load(Ordering::SeqCst) {
-                        return;
+                        break;
                     }
                     continue;
                 };
                 if shared.stop.load(Ordering::SeqCst) {
-                    return;
+                    break;
                 }
-                let _ = pump_connection(client, &config, &shared, &mut rng);
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_seed = config.seed.wrapping_add(next_conn);
+                next_conn += 1;
+                let config = config.clone();
+                let shared = Arc::clone(&shared);
+                pumps.push(std::thread::spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(conn_seed);
+                    let _ = pump_connection(client, &config, &shared, &mut rng);
+                }));
+            }
+            for pump in pumps {
+                let _ = pump.join();
             }
         })
     };
@@ -184,14 +255,10 @@ fn pump_connection(
     // Client → server: frame-granular with faults.
     // Runs until the client hangs up (EOF) or sends garbage.
     while let Ok(frame) = read_frame(&mut client) {
-        if let Some(limit) = config.reset_after {
-            let already_reset = shared.resets.load(Ordering::SeqCst) > 0;
-            if !already_reset && shared.forwarded.load(Ordering::SeqCst) >= limit {
-                shared.resets.fetch_add(1, Ordering::SeqCst);
-                let _ = client.shutdown(Shutdown::Both);
-                let _ = upstream.shutdown(Shutdown::Both);
-                break;
-            }
+        if shared.claim_reset(config) {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = upstream.shutdown(Shutdown::Both);
+            break;
         }
         if config.faults.drop_prob > 0.0 && rng.gen_bool(config.faults.drop_prob) {
             shared.dropped.fetch_add(1, Ordering::Relaxed);

@@ -22,13 +22,17 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::protocol::{read_message, write_message, AckStatus, Message, ServerStats};
+use crate::protocol::{
+    read_message, write_message, AckStatus, Message, ServerStats, TenantStatsRow, DEFAULT_TENANT,
+};
 
 /// Client tunables.
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
     /// Server address, e.g. `"127.0.0.1:7878"`.
     pub addr: String,
+    /// The tenant this client's session belongs to.
+    pub tenant: String,
     /// Read/write timeout per socket operation; a missing ack past it
     /// triggers a reconnect.
     pub io_timeout: Duration,
@@ -45,11 +49,12 @@ pub struct ClientConfig {
 }
 
 impl ClientConfig {
-    /// Defaults: 2 s I/O timeout, 10 retries, 25 ms base / 1 s cap
-    /// backoff, seed 0, window 8.
+    /// Defaults: the `"default"` tenant, 2 s I/O timeout, 10 retries,
+    /// 25 ms base / 1 s cap backoff, seed 0, window 8.
     pub fn new(addr: impl Into<String>) -> Self {
         ClientConfig {
             addr: addr.into(),
+            tenant: DEFAULT_TENANT.into(),
             io_timeout: Duration::from_secs(2),
             max_retries: 10,
             backoff_base: Duration::from_millis(25),
@@ -57,6 +62,12 @@ impl ClientConfig {
             jitter_seed: 0,
             max_inflight: 8,
         }
+    }
+
+    /// Selects the tenant the session belongs to.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = tenant.into();
+        self
     }
 }
 
@@ -166,6 +177,7 @@ impl FeedClient {
                 write_message(
                     &mut stream,
                     &Message::Hello {
+                        tenant: self.config.tenant.clone(),
                         initial: initial.to_vec(),
                     },
                 )?;
@@ -318,7 +330,20 @@ impl FeedClient {
                             }
                             AckStatus::Rejected => {
                                 // Backpressure: back off, then retry the
-                                // same event on this connection.
+                                // same event on this connection — up to
+                                // the same budget as reconnects, so a
+                                // permanently full queue (e.g. a capped
+                                // tenant that never drains) surfaces as
+                                // an error instead of spinning forever.
+                                if round >= self.config.max_retries {
+                                    return Err(ClientError::RetriesExhausted {
+                                        attempts: round,
+                                        last: format!(
+                                            "event for process {process} rejected \
+                                             (backpressure) {round} times",
+                                        ),
+                                    });
+                                }
                                 report.rejected_retries += 1;
                                 std::thread::sleep(self.backoff(round));
                                 let _ = inflight.insert(key, round + 1);
@@ -356,7 +381,14 @@ impl FeedClient {
             }
 
             // All acked: fetch the verdict on the same connection.
-            if write_message(&mut stream, &Message::VerdictQuery).is_err() {
+            if write_message(
+                &mut stream,
+                &Message::VerdictQuery {
+                    tenant: String::new(),
+                },
+            )
+            .is_err()
+            {
                 failures += 1;
                 continue 'session;
             }
@@ -391,7 +423,9 @@ impl FeedClient {
     /// I/O mapped to [`ClientError::RetriesExhausted`] (single
     /// attempt), or a server/protocol error.
     pub fn query_verdict(&self) -> Result<Option<Vec<Vec<u32>>>, ClientError> {
-        match self.roundtrip(&Message::VerdictQuery)? {
+        match self.roundtrip(&Message::VerdictQuery {
+            tenant: self.config.tenant.clone(),
+        })? {
             Message::Verdict { witness } => Ok(witness),
             Message::Error { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::Protocol(format!(
@@ -415,13 +449,30 @@ impl FeedClient {
         }
     }
 
+    /// One-shot per-tenant stats query.
+    ///
+    /// # Errors
+    ///
+    /// As [`FeedClient::query_verdict`].
+    pub fn query_tenant_stats(&self) -> Result<Vec<TenantStatsRow>, ClientError> {
+        match self.roundtrip(&Message::TenantStatsQuery)? {
+            Message::TenantStats { rows } => Ok(rows),
+            Message::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected TenantStats, got {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the server to drain and stop; returns its final verdict.
     ///
     /// # Errors
     ///
     /// As [`FeedClient::query_verdict`].
     pub fn shutdown(&self) -> Result<Option<Vec<Vec<u32>>>, ClientError> {
-        match self.roundtrip(&Message::Shutdown)? {
+        match self.roundtrip(&Message::Shutdown {
+            tenant: self.config.tenant.clone(),
+        })? {
             Message::ShutdownAck { witness } => Ok(witness),
             Message::Error { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::Protocol(format!(

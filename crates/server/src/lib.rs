@@ -10,9 +10,10 @@
 //!   is byte-for-byte the one an uninterrupted run produces.
 //! - [`protocol`] — the std-only, length-prefixed TCP wire protocol
 //!   with per-process sequence numbers and durable acks.
-//! - [`server`] — the listener: bounded connection queue
-//!   (`max_inflight` backpressure), worker pool, log-before-apply,
-//!   graceful shutdown that drains the WAL.
+//! - [`server`] — the sharded, event-driven listener: nonblocking
+//!   sweeps over tenant-pinned connections, per-tenant monitors and
+//!   WAL namespaces, group-commit fsync batching, snapshot compaction,
+//!   log-before-ack, graceful shutdown that drains every WAL.
 //! - [`client`] — the feeding client: timeouts, bounded retries,
 //!   exponential backoff with deterministic jitter, and
 //!   reconnect-with-resume driven by the server's high-water marks.
@@ -35,6 +36,6 @@ pub mod wal;
 
 pub use chaos::{ChaosConfig, ChaosHandle, ChaosReport};
 pub use client::{ClientConfig, ClientError, FeedClient, FeedReport};
-pub use protocol::{AckStatus, Message, ServerStats};
+pub use protocol::{AckStatus, Message, ServerStats, TenantStatsRow, DEFAULT_TENANT};
 pub use server::{ServerConfig, ServerHandle, ServerSummary};
 pub use wal::{FsyncPolicy, Recovery, Wal, WalConfig, WalRecord};

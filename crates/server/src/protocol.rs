@@ -56,7 +56,9 @@ impl AckStatus {
     }
 }
 
-/// A server-side counter snapshot, queryable over the wire.
+/// A server-side counter snapshot, queryable over the wire. Aggregated
+/// across all tenants; per-tenant rows travel in
+/// [`Message::TenantStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Events accepted and applied to the monitor.
@@ -74,16 +76,76 @@ pub struct ServerStats {
     pub resumes: u64,
     /// Current total queued states across all processes.
     pub queue_depth: u64,
-    /// WAL segment files written so far.
+    /// Live WAL segment files.
     pub wal_segments: u64,
+    /// Tenants with live state on this server.
+    pub tenants: u64,
+    /// Live WAL bytes on disk across all tenants.
+    pub wal_bytes: u64,
+    /// Snapshot+compaction cycles performed.
+    pub snapshots: u64,
 }
+
+/// One tenant's counter row in a [`Message::TenantStats`] reply.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantStatsRow {
+    /// The tenant id (as given in `Hello`).
+    pub tenant: String,
+    /// Events accepted and applied to this tenant's monitor.
+    pub observed: u64,
+    /// Redeliveries screened out as duplicates.
+    pub duplicates: u64,
+    /// Redeliveries screened out as stale.
+    pub stale: u64,
+    /// Events rejected for backpressure.
+    pub rejected: u64,
+    /// Records appended to this tenant's WAL.
+    pub events_logged: u64,
+    /// Session resumes.
+    pub resumes: u64,
+    /// Current queued states across this tenant's processes.
+    pub queue_depth: u64,
+    /// High-water mark of `queue_depth` over the tenant's lifetime.
+    pub queue_peak: u64,
+    /// Live WAL segment files in this tenant's namespace.
+    pub wal_segments: u64,
+    /// Live WAL bytes in this tenant's namespace.
+    pub wal_bytes: u64,
+    /// Snapshot+compaction cycles for this tenant.
+    pub snapshots: u64,
+    /// Whether the tenant is quarantined (its predicate machinery
+    /// panicked; sessions are refused until restart).
+    pub quarantined: bool,
+    /// Whether the tenant's conjunction has been detected.
+    pub witness_found: bool,
+}
+
+/// Whether `name` is a usable tenant id: 1–64 bytes of
+/// `[A-Za-z0-9._-]`, not starting with a dot. Tenant ids become WAL
+/// subdirectory names, so path separators and empty/hidden names are
+/// refused at the protocol layer.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// The tenant every pre-multi-tenant client lands in.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
-    /// Client → server: open (or resume) a session over `initial.len()`
-    /// processes whose variables start true/false as given.
+    /// Client → server: open (or resume) a session for `tenant` over
+    /// `initial.len()` processes whose variables start true/false as
+    /// given. The first `Hello` for a tenant fixes its predicate shape;
+    /// later sessions must match it exactly or are refused.
     Hello {
+        /// The tenant id (see [`valid_tenant_name`]).
+        tenant: String,
         /// Per-process initial truth of the local variable.
         initial: Vec<bool>,
     },
@@ -111,8 +173,13 @@ pub enum Message {
         /// How the server classified it.
         status: AckStatus,
     },
-    /// Client → server: report the current verdict.
-    VerdictQuery,
+    /// Client → server: report the current verdict for `tenant`. An
+    /// empty tenant means "this connection's session tenant", falling
+    /// back to [`DEFAULT_TENANT`] on a sessionless connection.
+    VerdictQuery {
+        /// The tenant whose verdict is wanted ("" = session's).
+        tenant: String,
+    },
     /// Server → client: `Some(witness)` once the conjunction has held —
     /// one vector clock per process, the componentwise-minimal witness.
     Verdict {
@@ -123,9 +190,14 @@ pub enum Message {
     StatsQuery,
     /// Server → client: counter snapshot.
     Stats(ServerStats),
-    /// Client → server: drain the WAL, stop accepting connections, and
-    /// shut down once in-flight connections finish.
-    Shutdown,
+    /// Client → server: drain the WALs, stop accepting connections, and
+    /// shut down once in-flight connections finish. The ack carries the
+    /// final verdict of `tenant` ("" = session's tenant, falling back
+    /// to [`DEFAULT_TENANT`]).
+    Shutdown {
+        /// The tenant whose final verdict the ack should carry.
+        tenant: String,
+    },
     /// Server → client: shutdown acknowledged; carries the final
     /// verdict like [`Message::Verdict`].
     ShutdownAck {
@@ -137,6 +209,14 @@ pub enum Message {
     Error {
         /// Human-readable reason.
         message: String,
+    },
+    /// Client → server: report per-tenant counters.
+    TenantStatsQuery,
+    /// Server → client: one counter row per live tenant, sorted by
+    /// tenant id.
+    TenantStats {
+        /// The per-tenant rows.
+        rows: Vec<TenantStatsRow>,
     },
 }
 
@@ -151,6 +231,8 @@ const TAG_STATS: u8 = 8;
 const TAG_SHUTDOWN: u8 = 9;
 const TAG_SHUTDOWN_ACK: u8 = 10;
 const TAG_ERROR: u8 = 11;
+const TAG_TENANT_STATS_QUERY: u8 = 12;
+const TAG_TENANT_STATS: u8 = 13;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -211,6 +293,16 @@ impl<'a> Decoder<'a> {
         (0..len).map(|_| self.u32()).collect()
     }
 
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        if len > self.bytes.len() {
+            return None;
+        }
+        let (head, rest) = self.bytes.split_at(len);
+        self.bytes = rest;
+        String::from_utf8(head.to_vec()).ok()
+    }
+
     fn witness(&mut self) -> Option<Option<Vec<Vec<u32>>>> {
         match self.u8()? {
             0 => Some(None),
@@ -235,8 +327,11 @@ impl Message {
     fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Message::Hello { initial } => {
+            Message::Hello { tenant, initial } => {
                 out.push(TAG_HELLO);
+                let name = tenant.as_bytes();
+                put_u32(&mut out, name.len() as u32);
+                out.extend_from_slice(name);
                 put_u32(&mut out, initial.len() as u32);
                 out.extend(initial.iter().map(|&b| b as u8));
             }
@@ -264,7 +359,12 @@ impl Message {
                 put_u32(&mut out, *seq);
                 out.push(*status as u8);
             }
-            Message::VerdictQuery => out.push(TAG_VERDICT_QUERY),
+            Message::VerdictQuery { tenant } => {
+                out.push(TAG_VERDICT_QUERY);
+                let name = tenant.as_bytes();
+                put_u32(&mut out, name.len() as u32);
+                out.extend_from_slice(name);
+            }
             Message::Verdict { witness } => {
                 out.push(TAG_VERDICT);
                 put_witness(&mut out, witness);
@@ -280,8 +380,16 @@ impl Message {
                 put_u64(&mut out, stats.resumes);
                 put_u64(&mut out, stats.queue_depth);
                 put_u64(&mut out, stats.wal_segments);
+                put_u64(&mut out, stats.tenants);
+                put_u64(&mut out, stats.wal_bytes);
+                put_u64(&mut out, stats.snapshots);
             }
-            Message::Shutdown => out.push(TAG_SHUTDOWN),
+            Message::Shutdown { tenant } => {
+                out.push(TAG_SHUTDOWN);
+                let name = tenant.as_bytes();
+                put_u32(&mut out, name.len() as u32);
+                out.extend_from_slice(name);
+            }
             Message::ShutdownAck { witness } => {
                 out.push(TAG_SHUTDOWN_ACK);
                 put_witness(&mut out, witness);
@@ -292,6 +400,29 @@ impl Message {
                 put_u32(&mut out, bytes.len() as u32);
                 out.extend_from_slice(bytes);
             }
+            Message::TenantStatsQuery => out.push(TAG_TENANT_STATS_QUERY),
+            Message::TenantStats { rows } => {
+                out.push(TAG_TENANT_STATS);
+                put_u32(&mut out, rows.len() as u32);
+                for row in rows {
+                    let name = row.tenant.as_bytes();
+                    put_u32(&mut out, name.len() as u32);
+                    out.extend_from_slice(name);
+                    put_u64(&mut out, row.observed);
+                    put_u64(&mut out, row.duplicates);
+                    put_u64(&mut out, row.stale);
+                    put_u64(&mut out, row.rejected);
+                    put_u64(&mut out, row.events_logged);
+                    put_u64(&mut out, row.resumes);
+                    put_u64(&mut out, row.queue_depth);
+                    put_u64(&mut out, row.queue_peak);
+                    put_u64(&mut out, row.wal_segments);
+                    put_u64(&mut out, row.wal_bytes);
+                    put_u64(&mut out, row.snapshots);
+                    out.push(row.quarantined as u8);
+                    out.push(row.witness_found as u8);
+                }
+            }
         }
         out
     }
@@ -300,6 +431,7 @@ impl Message {
         let mut d = Decoder { bytes: body };
         let message = match d.u8()? {
             TAG_HELLO => {
+                let tenant = d.string()?;
                 let n = d.u32()? as usize;
                 if n > d.bytes.len() {
                     return None;
@@ -311,7 +443,7 @@ impl Message {
                         _ => None,
                     })
                     .collect::<Option<Vec<bool>>>()?;
-                Message::Hello { initial }
+                Message::Hello { tenant, initial }
             }
             TAG_HELLO_ACK => {
                 let n = d.u32()? as usize;
@@ -339,7 +471,9 @@ impl Message {
                 seq: d.u32()?,
                 status: AckStatus::from_u8(d.u8()?)?,
             },
-            TAG_VERDICT_QUERY => Message::VerdictQuery,
+            TAG_VERDICT_QUERY => Message::VerdictQuery {
+                tenant: d.string()?,
+            },
             TAG_VERDICT => Message::Verdict {
                 witness: d.witness()?,
             },
@@ -353,8 +487,13 @@ impl Message {
                 resumes: d.u64()?,
                 queue_depth: d.u64()?,
                 wal_segments: d.u64()?,
+                tenants: d.u64()?,
+                wal_bytes: d.u64()?,
+                snapshots: d.u64()?,
             }),
-            TAG_SHUTDOWN => Message::Shutdown,
+            TAG_SHUTDOWN => Message::Shutdown {
+                tenant: d.string()?,
+            },
             TAG_SHUTDOWN_ACK => Message::ShutdownAck {
                 witness: d.witness()?,
             },
@@ -366,6 +505,43 @@ impl Message {
                 let message = String::from_utf8(d.bytes.to_vec()).ok()?;
                 d.bytes = &[];
                 Message::Error { message }
+            }
+            TAG_TENANT_STATS_QUERY => Message::TenantStatsQuery,
+            TAG_TENANT_STATS => {
+                let count = d.u32()? as usize;
+                // Each row is at least its 11 counters plus two flags.
+                if count > d.bytes.len() / 90 + 1 {
+                    return None;
+                }
+                let rows = (0..count)
+                    .map(|_| {
+                        Some(TenantStatsRow {
+                            tenant: d.string()?,
+                            observed: d.u64()?,
+                            duplicates: d.u64()?,
+                            stale: d.u64()?,
+                            rejected: d.u64()?,
+                            events_logged: d.u64()?,
+                            resumes: d.u64()?,
+                            queue_depth: d.u64()?,
+                            queue_peak: d.u64()?,
+                            wal_segments: d.u64()?,
+                            wal_bytes: d.u64()?,
+                            snapshots: d.u64()?,
+                            quarantined: match d.u8()? {
+                                0 => false,
+                                1 => true,
+                                _ => return None,
+                            },
+                            witness_found: match d.u8()? {
+                                0 => false,
+                                1 => true,
+                                _ => return None,
+                            },
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Message::TenantStats { rows }
             }
             _ => return None,
         };
@@ -430,6 +606,36 @@ pub fn read_message(r: &mut impl Read) -> std::io::Result<Message> {
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "undecodable message"))
 }
 
+/// Tries to split one complete message off the front of `buf` without
+/// blocking: `Ok(None)` when more bytes are needed, otherwise the
+/// decoded message and the total bytes consumed (length prefix +
+/// body). The event-driven server calls this on a connection's receive
+/// buffer after every nonblocking read.
+///
+/// # Errors
+///
+/// `InvalidData` on a zero/oversized frame length or an undecodable
+/// body — the connection should be dropped.
+pub fn parse_message(buf: &[u8]) -> std::io::Result<Option<(Message, usize)>> {
+    let Some((head, rest)) = buf.split_first_chunk::<4>() else {
+        return Ok(None);
+    };
+    let len = u32::from_le_bytes(*head);
+    if len == 0 || len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    if rest.len() < len as usize {
+        return Ok(None);
+    }
+    let message = Message::decode(&rest[..len as usize]).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "undecodable message")
+    })?;
+    Ok(Some((message, 4 + len as usize)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,7 +650,12 @@ mod tests {
     #[test]
     fn all_messages_roundtrip() {
         roundtrip(Message::Hello {
+            tenant: "default".into(),
             initial: vec![true, false, true],
+        });
+        roundtrip(Message::Hello {
+            tenant: "team-7.prod".into(),
+            initial: vec![],
         });
         roundtrip(Message::HelloAck {
             high_water: vec![None, Some(0), Some(41)],
@@ -465,7 +676,10 @@ mod tests {
                 status,
             });
         }
-        roundtrip(Message::VerdictQuery);
+        roundtrip(Message::VerdictQuery { tenant: "".into() });
+        roundtrip(Message::VerdictQuery {
+            tenant: "team-7".into(),
+        });
         roundtrip(Message::Verdict { witness: None });
         roundtrip(Message::Verdict {
             witness: Some(vec![vec![1, 0], vec![1, 2]]),
@@ -480,8 +694,33 @@ mod tests {
             resumes: 4,
             queue_depth: 5,
             wal_segments: 2,
+            tenants: 6,
+            wal_bytes: 1234,
+            snapshots: 1,
         }));
-        roundtrip(Message::Shutdown);
+        roundtrip(Message::TenantStatsQuery);
+        roundtrip(Message::TenantStats { rows: vec![] });
+        roundtrip(Message::TenantStats {
+            rows: vec![
+                TenantStatsRow {
+                    tenant: "a".into(),
+                    observed: 1,
+                    queue_peak: 7,
+                    wal_bytes: 99,
+                    witness_found: true,
+                    ..TenantStatsRow::default()
+                },
+                TenantStatsRow {
+                    tenant: "b".into(),
+                    quarantined: true,
+                    ..TenantStatsRow::default()
+                },
+            ],
+        });
+        roundtrip(Message::Shutdown { tenant: "".into() });
+        roundtrip(Message::Shutdown {
+            tenant: "default".into(),
+        });
         roundtrip(Message::ShutdownAck { witness: None });
         roundtrip(Message::ShutdownAck {
             witness: Some(vec![vec![3], vec![]]),
@@ -510,7 +749,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_is_rejected() {
-        let mut body = Message::VerdictQuery.encode();
+        let mut body = Message::StatsQuery.encode();
         body.push(0);
         assert!(Message::decode(&body).is_none());
     }
@@ -528,6 +767,55 @@ mod tests {
             read_frame(&mut zero.as_slice()).unwrap_err().kind(),
             std::io::ErrorKind::InvalidData
         );
+    }
+
+    #[test]
+    fn parse_message_is_incremental() {
+        let mut buf = Vec::new();
+        let first = Message::Event {
+            process: 1,
+            clock: vec![4, 5],
+        };
+        write_message(&mut buf, &first).unwrap();
+        write_message(&mut buf, &Message::StatsQuery).unwrap();
+        // Nothing decodes until the first frame is complete...
+        for cut in 0..buf.len() {
+            let parsed = parse_message(&buf[..cut]).unwrap();
+            if cut < 4 + first.encode().len() {
+                assert!(parsed.is_none(), "cut={cut}");
+            } else {
+                let (m, used) = parsed.unwrap();
+                assert_eq!(m, first, "cut={cut}");
+                assert_eq!(used, 4 + first.encode().len());
+            }
+        }
+        // ...and consuming it exposes the second.
+        let (_, used) = parse_message(&buf).unwrap().unwrap();
+        let (second, used2) = parse_message(&buf[used..]).unwrap().unwrap();
+        assert_eq!(second, Message::StatsQuery);
+        assert_eq!(used + used2, buf.len());
+        // Bad lengths are hard errors, not "wait for more".
+        assert!(parse_message(&[0, 0, 0, 0, 9]).is_err());
+        assert!(parse_message(&(MAX_FRAME + 1).to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn tenant_names_are_vetted() {
+        for good in ["default", "a", "team-7.prod", "X_1", &"t".repeat(64)] {
+            assert!(valid_tenant_name(good), "{good:?}");
+        }
+        for bad in [
+            "",
+            ".hidden",
+            "a/b",
+            "a\\b",
+            "..",
+            "white space",
+            "naïve",
+            &"t".repeat(65),
+        ] {
+            assert!(!valid_tenant_name(bad), "{bad:?}");
+        }
     }
 
     #[test]

@@ -1,125 +1,377 @@
-//! The monitoring service: a TCP listener that logs every accepted
-//! event to the WAL before applying it to a [`ConjunctiveMonitor`] and
-//! acking the client.
+//! The monitoring service: a sharded, event-driven TCP server that
+//! logs every accepted event to a per-tenant WAL before applying it to
+//! that tenant's [`ConjunctiveMonitor`] and acking the client.
+//!
+//! ## Shard model
+//!
+//! `shards` worker threads each run a readiness sweep over the
+//! nonblocking connections assigned to them: drain newly accepted
+//! connections from the shard's inbox, read whatever bytes each socket
+//! has, process up to `quota_frames` frames per connection (fairness —
+//! one hot session cannot monopolize a sweep), stage all replies in
+//! per-connection write buffers, fsync the write-ahead logs the sweep
+//! dirtied (the **group-commit boundary** under
+//! [`FsyncPolicy::Group`](crate::wal::FsyncPolicy::Group)), and only
+//! then flush the staged replies to the sockets. A shard with no work
+//! parks on its inbox condvar until the acceptor or a peer wakes it.
+//!
+//! Sessions are pinned to shards by tenant hash: the acceptor deals
+//! connections round-robin, and the first `Hello` names the tenant —
+//! if its home shard is elsewhere, the connection migrates (carrying
+//! its unconsumed bytes) *before* the `Hello` is consumed, so a
+//! tenant's WAL and monitor are only ever touched by its home shard's
+//! thread plus brief read-only peeks from queries elsewhere. That is
+//! what makes the per-tenant mutex uncontended in steady state and the
+//! sweep the natural fsync batch.
 //!
 //! ## Ordering and determinism
 //!
-//! Connections are handed to a fixed worker pool over a bounded queue
-//! (`max_inflight` — when full, `accept` stops draining and the kernel
-//! backlog applies backpressure to clients). Each connection is served
-//! sequentially by one worker, and the WAL + monitor live behind a
-//! single mutex, so events from one connection apply in the order sent
-//! — per-process FIFO is preserved no matter how many workers run.
-//! Combined with the monitor's unique-minimal-witness property
-//! (`docs/ALGORITHMS.md` §11), the verdict and witness are identical at
-//! 1, 2, or 4 workers, and identical across crash/recover/redeliver
-//! runs.
+//! A connection's frames are processed sequentially by one shard, and
+//! each tenant's WAL + monitor live behind one mutex, so events apply
+//! in the order sent — per-process FIFO is preserved at any shard
+//! count. Combined with the monitor's unique-minimal-witness property
+//! (`docs/ALGORITHMS.md` §11), verdict and witness are identical at 1,
+//! 2, or 8 shards, and identical across crash/recover/redeliver runs.
 //!
 //! ## Crash windows
 //!
-//! The append-then-apply-then-ack order makes every crash window safe
-//! under `fsync always`:
+//! The classify → append → apply → ack order makes every crash window
+//! safe under `fsync always`, and under group commit because no ack
+//! leaves the server before the sweep-end fsync covers its append:
 //!
 //! - crash before the append is durable → the client never got an ack
 //!   and retransmits after reconnect; recovery replays the prefix.
 //! - crash after the append, before the ack → recovery replays the
 //!   event; the client retransmits it and the monitor screens it as a
 //!   duplicate.
+//!
+//! ## Tenant namespaces
+//!
+//! Each tenant's segments live under `<wal-dir>/tenants/<name>/`;
+//! pre-multi-tenant logs found at the WAL root are migrated into
+//! `tenants/default/` at startup. Snapshot compaction rewrites a
+//! tenant's log as one [`WalRecord::Snapshot`] plus the events since,
+//! so recovery replay is O(live monitor state), not O(event history).
 
-use std::io::Write as _;
+use std::collections::{HashMap, HashSet};
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use gpd::online::{ConjunctiveMonitor, Observation};
+use gpd::online::{ConjunctiveMonitor, MonitorSnapshot, Observation};
 use gpd_computation::VectorClock;
 
-use crate::protocol::{read_message, write_message, AckStatus, Message, ServerStats};
-use crate::wal::{Wal, WalConfig, WalRecord};
+use crate::protocol::{
+    parse_message, valid_tenant_name, AckStatus, Message, ServerStats, TenantStatsRow,
+    DEFAULT_TENANT, MAX_FRAME,
+};
+use crate::wal::{FsyncPolicy, Wal, WalConfig, WalRecord};
 
 /// Server tunables.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// WAL location and durability policy.
+    /// WAL root and durability policy. Tenant logs live in
+    /// `<dir>/tenants/<name>/`.
     pub wal: WalConfig,
-    /// Worker threads serving connections.
-    pub workers: usize,
-    /// Bound on connections queued for a worker; beyond it the accept
-    /// loop stops draining and TCP backpressure applies.
-    pub max_inflight: usize,
-    /// Per-connection read timeout; an idle connection past it is
+    /// Shard (worker) threads. Sessions are pinned by tenant hash.
+    pub shards: usize,
+    /// Per-connection idle timeout; a silent connection past it is
     /// dropped (the client reconnects and resumes).
     pub io_timeout: Duration,
-    /// Optional cap on the monitor's per-process queues; overflow is
+    /// Optional cap on each monitor's per-process queues; overflow is
     /// acked as [`AckStatus::Rejected`] so clients back off.
     pub queue_cap: Option<usize>,
+    /// Max tenants with live state; a `Hello` for a new tenant beyond
+    /// it is refused.
+    pub max_tenants: usize,
+    /// Frames processed per connection per sweep — the fairness quota
+    /// that keeps one hot tenant from starving its shard's peers.
+    pub quota_frames: usize,
+    /// Compact a tenant's WAL after this many logged events
+    /// (`None` = never).
+    pub snapshot_every: Option<u64>,
+    /// Test hook: called with the tenant name while that tenant's
+    /// event is applied (inside the panic isolation boundary). A panic
+    /// here models a crashing predicate and quarantines the tenant.
+    pub fault_injection: Option<fn(&str)>,
 }
 
 impl ServerConfig {
-    /// Defaults: 2 workers, 16 queued connections, 30 s idle timeout,
-    /// unbounded monitor queues.
+    /// Defaults: 2 shards, 30 s idle timeout, unbounded monitor
+    /// queues, 1024 tenants, 64-frame sweep quota, no auto-compaction.
     pub fn new(wal: WalConfig) -> Self {
         ServerConfig {
             wal,
-            workers: 2,
-            max_inflight: 16,
+            shards: 2,
             io_timeout: Duration::from_secs(30),
             queue_cap: None,
+            max_tenants: 1024,
+            quota_frames: 64,
+            snapshot_every: None,
+            fault_injection: None,
         }
     }
 }
 
-/// Cross-thread counters, mirrored into [`ServerStats`] on demand.
-#[derive(Debug, Default)]
-struct Counters {
-    observed: AtomicU64,
-    duplicates: AtomicU64,
-    stale: AtomicU64,
-    rejected: AtomicU64,
-    events_logged: AtomicU64,
-    resumes: AtomicU64,
-}
-
-/// The WAL and monitor, guarded together so log order equals apply
-/// order.
-struct Inner {
+/// One tenant's monitor, WAL, and counters. Owned by its home shard in
+/// steady state; the mutex also admits brief read-only peeks from
+/// queries landing on other shards.
+struct Tenant {
+    name: String,
     wal: Wal,
-    /// `None` until the first `Hello` (or WAL `Init` replay) declares
-    /// the process count.
+    /// `None` until the first `Hello` (or WAL replay) declares the
+    /// process count.
     monitor: Option<ConjunctiveMonitor>,
     initial: Option<Vec<bool>>,
+    observed: u64,
+    duplicates: u64,
+    stale: u64,
+    rejected: u64,
+    events_logged: u64,
+    resumes: u64,
+    queue_peak: u64,
+    snapshots: u64,
+    events_since_snapshot: u64,
+    quarantined: bool,
+    /// Records replayed when this tenant's WAL was opened — the
+    /// O(live state) gauge the recovery tests assert on.
+    replayed: u64,
+}
+
+impl Tenant {
+    /// Opens (or creates) the tenant's WAL namespace and replays it.
+    fn open(name: &str, template: &WalConfig, queue_cap: Option<usize>) -> std::io::Result<Tenant> {
+        let mut config = template.clone();
+        config.dir = tenant_dir(&template.dir, name);
+        let (wal, recovery) = Wal::open(config)?;
+        let mut tenant = Tenant {
+            name: name.to_string(),
+            wal,
+            monitor: None,
+            initial: None,
+            observed: 0,
+            duplicates: 0,
+            stale: 0,
+            rejected: 0,
+            events_logged: 0,
+            resumes: 0,
+            queue_peak: 0,
+            snapshots: 0,
+            events_since_snapshot: 0,
+            quarantined: false,
+            replayed: recovery.records.len() as u64,
+        };
+        // Deterministic replay: the log records every accepted
+        // observation in apply order (with snapshots as reset points),
+        // so replaying rebuilds the exact monitor the crashed server
+        // had at its last durable append.
+        for record in &recovery.records {
+            match record {
+                WalRecord::Init { initial } => {
+                    tenant.monitor = Some(with_cap(
+                        ConjunctiveMonitor::with_initial(initial),
+                        queue_cap,
+                    ));
+                    tenant.initial = Some(initial.clone());
+                }
+                WalRecord::Event { process, clock } => {
+                    if let Some(m) = tenant.monitor.as_mut() {
+                        // Logged events were accepted once; replay
+                        // cannot overflow a queue that held them.
+                        let _ = m.try_observe(*process as usize, VectorClock::from(clock.clone()));
+                    }
+                }
+                WalRecord::Snapshot {
+                    initial,
+                    latest,
+                    queues,
+                    witness,
+                } => {
+                    let snapshot = MonitorSnapshot {
+                        latest: latest.clone(),
+                        queues: queues
+                            .iter()
+                            .map(|q| q.iter().cloned().map(VectorClock::from).collect())
+                            .collect(),
+                        witness: witness
+                            .as_ref()
+                            .map(|w| w.iter().cloned().map(VectorClock::from).collect()),
+                    };
+                    tenant.monitor =
+                        Some(with_cap(ConjunctiveMonitor::restore(snapshot), queue_cap));
+                    tenant.initial = Some(initial.clone());
+                }
+            }
+        }
+        Ok(tenant)
+    }
+
+    fn witness(&self) -> Option<Vec<Vec<u32>>> {
+        self.monitor.as_ref().and_then(|m| {
+            m.witness()
+                .map(|cut| cut.iter().map(|c| c.as_slice().to_vec()).collect())
+        })
+    }
+
+    fn row(&self) -> TenantStatsRow {
+        TenantStatsRow {
+            tenant: self.name.clone(),
+            observed: self.observed,
+            duplicates: self.duplicates,
+            stale: self.stale,
+            rejected: self.rejected,
+            events_logged: self.events_logged,
+            resumes: self.resumes,
+            queue_depth: self.monitor.as_ref().map_or(0, |m| m.queue_depth() as u64),
+            queue_peak: self.queue_peak,
+            wal_segments: self.wal.segment_count(),
+            wal_bytes: self.wal.bytes(),
+            snapshots: self.snapshots,
+            quarantined: self.quarantined,
+            witness_found: self.monitor.as_ref().is_some_and(|m| m.witness().is_some()),
+        }
+    }
+
+    /// Writes a snapshot of the live monitor state and compacts the
+    /// log down to it.
+    fn compact(&mut self) -> std::io::Result<()> {
+        let (Some(monitor), Some(initial)) = (self.monitor.as_ref(), self.initial.as_ref()) else {
+            return Ok(());
+        };
+        let snapshot = monitor.snapshot();
+        let record = WalRecord::Snapshot {
+            initial: initial.clone(),
+            latest: snapshot.latest,
+            queues: snapshot
+                .queues
+                .into_iter()
+                .map(|q| q.into_iter().map(|c| c.as_slice().to_vec()).collect())
+                .collect(),
+            witness: snapshot
+                .witness
+                .map(|w| w.into_iter().map(|c| c.as_slice().to_vec()).collect()),
+        };
+        self.wal.compact(&record)?;
+        self.snapshots += 1;
+        self.events_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+fn with_cap(monitor: ConjunctiveMonitor, cap: Option<usize>) -> ConjunctiveMonitor {
+    match cap {
+        Some(cap) => monitor.with_queue_cap(cap),
+        None => monitor,
+    }
+}
+
+/// `<root>/tenants/<name>`.
+fn tenant_dir(root: &std::path::Path, name: &str) -> std::path::PathBuf {
+    root.join("tenants").join(name)
+}
+
+/// The home shard of a tenant: a deterministic hash, so every shard
+/// (and every restart) agrees.
+fn shard_of(tenant: &str, shards: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    tenant.hash(&mut hasher);
+    (hasher.finish() % shards.max(1) as u64) as usize
+}
+
+type TenantRef = Arc<Mutex<Tenant>>;
+
+/// A shard's inbox: connections dealt by the acceptor or migrated by
+/// peers, plus the condvar the shard parks on when idle.
+#[derive(Default)]
+struct Mailbox {
+    inbox: Mutex<Vec<Conn>>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    fn push(&self, conn: Conn) {
+        self.inbox.lock().expect("shard inbox poisoned").push(conn);
+        self.cv.notify_all();
+    }
+
+    fn wake(&self) {
+        self.cv.notify_all();
+    }
 }
 
 struct Shared {
-    inner: Mutex<Inner>,
-    counters: Counters,
+    tenants: Mutex<HashMap<String, TenantRef>>,
+    mailboxes: Vec<Mailbox>,
     shutdown: AtomicBool,
-    queue_cap: Option<usize>,
+    config: ServerConfig,
 }
 
 impl Shared {
     fn stats(&self) -> ServerStats {
-        let inner = self.inner.lock().expect("server state poisoned");
-        ServerStats {
-            observed: self.counters.observed.load(Ordering::Relaxed),
-            duplicates: self.counters.duplicates.load(Ordering::Relaxed),
-            stale: self.counters.stale.load(Ordering::Relaxed),
-            rejected: self.counters.rejected.load(Ordering::Relaxed),
-            events_logged: self.counters.events_logged.load(Ordering::Relaxed),
-            resumes: self.counters.resumes.load(Ordering::Relaxed),
-            queue_depth: inner.monitor.as_ref().map_or(0, |m| m.queue_depth() as u64),
-            wal_segments: inner.wal.segment_count(),
+        let mut stats = ServerStats::default();
+        for tenant in self.tenant_refs() {
+            let t = tenant.lock().expect("tenant poisoned");
+            let row = t.row();
+            stats.observed += row.observed;
+            stats.duplicates += row.duplicates;
+            stats.stale += row.stale;
+            stats.rejected += row.rejected;
+            stats.events_logged += row.events_logged;
+            stats.resumes += row.resumes;
+            stats.queue_depth += row.queue_depth;
+            stats.wal_segments += row.wal_segments;
+            stats.wal_bytes += row.wal_bytes;
+            stats.snapshots += row.snapshots;
+            stats.tenants += 1;
+        }
+        stats
+    }
+
+    fn tenant_rows(&self) -> Vec<TenantStatsRow> {
+        let mut rows: Vec<TenantStatsRow> = self
+            .tenant_refs()
+            .iter()
+            .map(|t| t.lock().expect("tenant poisoned").row())
+            .collect();
+        rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        rows
+    }
+
+    fn tenant_refs(&self) -> Vec<TenantRef> {
+        self.tenants
+            .lock()
+            .expect("tenant map poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    fn lookup(&self, name: &str) -> Option<TenantRef> {
+        self.tenants
+            .lock()
+            .expect("tenant map poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Flushes every tenant's WAL buffers (shutdown and group-commit
+    /// stragglers).
+    fn sync_all(&self) {
+        for tenant in self.tenant_refs() {
+            let mut t = tenant.lock().expect("tenant poisoned");
+            let _ = t.wal.sync();
         }
     }
 
-    fn witness(inner: &Inner) -> Option<Vec<Vec<u32>>> {
-        inner.monitor.as_ref().and_then(|m| {
-            m.witness()
-                .map(|cut| cut.iter().map(|c| c.as_slice().to_vec()).collect())
-        })
+    fn wake_all(&self) {
+        for mailbox in &self.mailboxes {
+            mailbox.wake();
+        }
     }
 }
 
@@ -136,10 +388,13 @@ pub struct ServerHandle {
 /// What the server knew when it stopped.
 #[derive(Debug, Clone)]
 pub struct ServerSummary {
-    /// The final witness cut, if the conjunction ever held.
+    /// The final witness cut of the [`DEFAULT_TENANT`], if its
+    /// conjunction ever held.
     pub witness: Option<Vec<Vec<u32>>>,
-    /// Final counters.
+    /// Final aggregate counters.
     pub stats: ServerStats,
+    /// Final per-tenant counters, sorted by tenant id.
+    pub tenants: Vec<TenantStatsRow>,
 }
 
 impl ServerHandle {
@@ -148,9 +403,31 @@ impl ServerHandle {
         self.addr
     }
 
-    /// A point-in-time counter snapshot.
+    /// A point-in-time aggregate counter snapshot.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats()
+    }
+
+    /// Point-in-time per-tenant counters, sorted by tenant id.
+    pub fn tenant_stats(&self) -> Vec<TenantStatsRow> {
+        self.shared.tenant_rows()
+    }
+
+    /// Per-tenant WAL records replayed at startup — the recovery-work
+    /// gauge: after compaction this is O(live monitor state), not
+    /// O(event history).
+    pub fn replayed_records(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .shared
+            .tenant_refs()
+            .iter()
+            .map(|t| {
+                let t = t.lock().expect("tenant poisoned");
+                (t.name.clone(), t.replayed)
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     /// Blocks until a client-initiated shutdown completes, then reports
@@ -160,77 +437,63 @@ impl ServerHandle {
             let _ = t.join();
         }
         let stats = self.shared.stats();
-        let inner = self.shared.inner.lock().expect("server state poisoned");
+        let witness = self
+            .shared
+            .lookup(DEFAULT_TENANT)
+            .and_then(|t| t.lock().expect("tenant poisoned").witness());
         ServerSummary {
-            witness: Shared::witness(&inner),
+            witness,
             stats,
+            tenants: self.shared.tenant_rows(),
         }
     }
 }
 
 /// Starts the service on `addr` (use `"127.0.0.1:0"` for an ephemeral
-/// port), recovering state from the WAL directory first.
+/// port), recovering every tenant found under the WAL root first.
 ///
 /// # Errors
 ///
-/// Any I/O error binding the listener or opening/recovering the WAL.
+/// Any I/O error binding the listener or opening/recovering a WAL.
 pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    let (wal, recovery) = Wal::open(config.wal.clone())?;
 
-    // Deterministic replay: the WAL records every accepted observation
-    // in apply order, so replaying it rebuilds the exact monitor state
-    // (same witness, same high-water marks) the crashed server had at
-    // its last durable append.
-    let mut monitor = None;
-    let mut initial = None;
-    for record in &recovery.records {
-        match record {
-            WalRecord::Init { initial: init } => {
-                monitor = Some(match config.queue_cap {
-                    Some(cap) => ConjunctiveMonitor::with_initial(init).with_queue_cap(cap),
-                    None => ConjunctiveMonitor::with_initial(init),
-                });
-                initial = Some(init.clone());
-            }
-            WalRecord::Event { process, clock } => {
-                if let Some(m) = monitor.as_mut() {
-                    // Logged events were accepted once; replay cannot
-                    // overflow a queue that held them before.
-                    let _ = m.try_observe(*process as usize, VectorClock::from(clock.clone()));
-                }
-            }
+    let root = config.wal.dir.clone();
+    std::fs::create_dir_all(root.join("tenants"))?;
+    migrate_legacy_layout(&root)?;
+
+    // Eagerly recover every tenant namespace, so stats and verdicts
+    // are correct before any client reconnects.
+    let mut tenants = HashMap::new();
+    for entry in std::fs::read_dir(root.join("tenants"))? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
         }
+        let Some(name) = entry.file_name().to_str().map(str::to_string) else {
+            continue;
+        };
+        let tenant = Tenant::open(&name, &config.wal, config.queue_cap)?;
+        tenants.insert(name, Arc::new(Mutex::new(tenant)));
     }
 
+    let shard_count = config.shards.max(1);
     let shared = Arc::new(Shared {
-        inner: Mutex::new(Inner {
-            wal,
-            monitor,
-            initial,
-        }),
-        counters: Counters::default(),
+        tenants: Mutex::new(tenants),
+        mailboxes: (0..shard_count).map(|_| Mailbox::default()).collect(),
         shutdown: AtomicBool::new(false),
-        queue_cap: config.queue_cap,
+        config,
     });
 
-    let (tx, rx) = sync_channel::<TcpStream>(config.max_inflight.max(1));
-    let rx = Arc::new(Mutex::new(rx));
     let mut threads = Vec::new();
-    for _ in 0..config.workers.max(1) {
-        let rx = Arc::clone(&rx);
+    for shard in 0..shard_count {
         let shared = Arc::clone(&shared);
-        let io_timeout = config.io_timeout;
-        threads.push(std::thread::spawn(move || {
-            worker_loop(&rx, &shared, io_timeout);
-        }));
+        threads.push(std::thread::spawn(move || shard_loop(shard, &shared)));
     }
     {
         let shared = Arc::clone(&shared);
-        threads.push(std::thread::spawn(move || {
-            accept_loop(&listener, &tx, &shared);
-        }));
+        threads.push(std::thread::spawn(move || accept_loop(&listener, &shared)));
     }
 
     Ok(ServerHandle {
@@ -240,18 +503,40 @@ pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
     })
 }
 
-fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shared: &Shared) {
+/// Moves pre-multi-tenant segments (`<root>/*.wal`) into the default
+/// tenant's namespace, so old logs keep working.
+fn migrate_legacy_layout(root: &std::path::Path) -> std::io::Result<()> {
+    let default_dir = tenant_dir(root, DEFAULT_TENANT);
+    for entry in std::fs::read_dir(root)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if entry.file_type()?.is_file() && name.ends_with(".wal") {
+            std::fs::create_dir_all(&default_dir)?;
+            std::fs::rename(entry.path(), default_dir.join(name))?;
+        }
+    }
+    Ok(())
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    let mut next = 0usize;
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    // The wake-up connection (or a late client); closing
-                    // the socket tells the peer we are gone.
+                    // The wake-up connection (or a late client);
+                    // closing the socket tells the peer we are gone.
                     break;
                 }
-                if tx.send(stream).is_err() {
-                    break;
+                if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
                 }
+                // Deal round-robin; the first Hello re-homes the
+                // connection to its tenant's shard.
+                let shard = next % shared.mailboxes.len();
+                next = next.wrapping_add(1);
+                shared.mailboxes[shard].push(Conn::new(stream));
             }
             Err(_) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -260,197 +545,578 @@ fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, shared: &Shar
             }
         }
     }
-    // Dropping `tx` unblocks idle workers.
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, shared: &Shared, io_timeout: Duration) {
+/// Why a connection is done.
+enum ConnFate {
+    Alive,
+    /// Close after the write buffer drains.
+    Closing,
+    /// Drop immediately, discarding any unflushed output.
+    Dead,
+}
+
+/// One nonblocking connection and its buffers.
+struct Conn {
+    stream: TcpStream,
+    /// Received, not yet parsed bytes.
+    rbuf: Vec<u8>,
+    /// Staged, not yet flushed replies. Only flushed after the sweep's
+    /// group-commit fsync — that is the log-before-ack gate.
+    wbuf: Vec<u8>,
+    /// The session tenant, set by the first processed `Hello`.
+    tenant: Option<TenantRef>,
+    tenant_name: Option<String>,
+    last_activity: Instant,
+    fate: ConnFate,
+    /// Target shard when a `Hello` named a tenant homed elsewhere.
+    migrate_to: Option<usize>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            tenant: None,
+            tenant_name: None,
+            last_activity: Instant::now(),
+            fate: ConnFate::Alive,
+            migrate_to: None,
+        }
+    }
+
+    /// Nonblocking read of everything currently available. Returns
+    /// whether any bytes arrived.
+    fn read_some(&mut self) -> bool {
+        // Cap buffered input: a peer that streams faster than its
+        // quota drains is left in the kernel buffer (TCP backpressure).
+        const RBUF_CAP: usize = 2 * (MAX_FRAME as usize + 4);
+        let mut chunk = [0u8; 8192];
+        let mut any = false;
+        while self.rbuf.len() < RBUF_CAP {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed: process what we have, then close.
+                    if !matches!(self.fate, ConnFate::Dead) {
+                        self.fate = ConnFate::Closing;
+                    }
+                    break;
+                }
+                Ok(k) => {
+                    self.rbuf.extend_from_slice(&chunk[..k]);
+                    any = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.fate = ConnFate::Dead;
+                    break;
+                }
+            }
+        }
+        if any {
+            self.last_activity = Instant::now();
+        }
+        any
+    }
+
+    /// Nonblocking flush of staged replies. Returns whether any bytes
+    /// left.
+    fn flush_some(&mut self) -> bool {
+        let mut written = 0usize;
+        while written < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[written..]) {
+                Ok(0) => {
+                    self.fate = ConnFate::Dead;
+                    break;
+                }
+                Ok(k) => written += k,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.fate = ConnFate::Dead;
+                    break;
+                }
+            }
+        }
+        self.wbuf.drain(..written);
+        if written > 0 {
+            self.last_activity = Instant::now();
+        }
+        written > 0
+    }
+
+    fn stage(&mut self, message: &Message) {
+        // Writing into a Vec cannot fail.
+        let _ = crate::protocol::write_message(&mut self.wbuf, message);
+    }
+}
+
+/// One sweep's bookkeeping: which tenants were dirtied (need the
+/// group-commit fsync) and which crossed their snapshot threshold.
+#[derive(Default)]
+struct SweepState {
+    dirty: Vec<TenantRef>,
+    dirty_names: HashSet<String>,
+    compact: Vec<TenantRef>,
+    compact_names: HashSet<String>,
+}
+
+impl SweepState {
+    fn mark_dirty(&mut self, name: &str, tenant: &TenantRef) {
+        if self.dirty_names.insert(name.to_string()) {
+            self.dirty.push(Arc::clone(tenant));
+        }
+    }
+
+    fn mark_compact(&mut self, name: &str, tenant: &TenantRef) {
+        if self.compact_names.insert(name.to_string()) {
+            self.compact.push(Arc::clone(tenant));
+        }
+    }
+}
+
+fn shard_loop(shard: usize, shared: &Shared) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let io_timeout = shared.config.io_timeout;
+    // Sweeps without progress before the shard parks: a short yield
+    // phase keeps ack latency in the microseconds while clients are
+    // mid-round-trip, without burning CPU when genuinely idle.
+    const IDLE_SPINS: u32 = 64;
+    let mut idle = 0u32;
     loop {
-        let stream = {
-            let guard = rx.lock().expect("connection queue poisoned");
-            guard.recv()
-        };
-        let Ok(stream) = stream else {
-            return; // acceptor gone: shutdown
-        };
-        let _ = serve_connection(stream, shared, io_timeout);
-        if shared.shutdown.load(Ordering::SeqCst) {
+        let mut progress = false;
+
+        // Adopt newly dealt or migrated connections.
+        {
+            let mut inbox = shared.mailboxes[shard]
+                .inbox
+                .lock()
+                .expect("shard inbox poisoned");
+            if !inbox.is_empty() {
+                progress = true;
+                conns.append(&mut inbox);
+            }
+        }
+
+        let mut sweep = SweepState::default();
+        for conn in &mut conns {
+            if !matches!(conn.fate, ConnFate::Alive) {
+                continue;
+            }
+            if conn.read_some() {
+                progress = true;
+            }
+            if process_frames(shard, shared, conn, &mut sweep) {
+                progress = true;
+            }
+        }
+
+        // Group-commit boundary: everything this sweep appended
+        // becomes durable in one fsync per dirtied tenant — before any
+        // staged ack reaches a socket.
+        if matches!(shared.config.wal.fsync, FsyncPolicy::Group) {
+            for tenant in &sweep.dirty {
+                let mut t = tenant.lock().expect("tenant poisoned");
+                if t.wal.sync().is_err() {
+                    // The appends this sweep acked may not be durable:
+                    // quarantine the tenant and drop its connections
+                    // unflushed, so no unlogged ack escapes. Clients
+                    // will retransmit elsewhere.
+                    t.quarantined = true;
+                    let name = t.name.clone();
+                    drop(t);
+                    for conn in &mut conns {
+                        if conn.tenant_name.as_deref() == Some(&name) {
+                            conn.fate = ConnFate::Dead;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Snapshot + compaction for tenants past their threshold. The
+        // snapshot fsyncs before old segments are deleted, so this is
+        // crash-safe anywhere; failures leave the full history behind
+        // and retry on the next threshold crossing.
+        for tenant in &sweep.compact {
+            let mut t = tenant.lock().expect("tenant poisoned");
+            let _ = t.compact();
+        }
+
+        // Flush staged replies; retire finished connections.
+        for conn in &mut conns {
+            if matches!(conn.fate, ConnFate::Dead) {
+                continue;
+            }
+            if conn.flush_some() {
+                progress = true;
+            }
+        }
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        conns.retain_mut(|conn| match conn.fate {
+            ConnFate::Dead => false,
+            ConnFate::Closing => !conn.wbuf.is_empty(),
+            ConnFate::Alive => {
+                if let Some(target) = conn.migrate_to.take() {
+                    let mut moved = Conn::new_migrated(conn);
+                    moved.last_activity = Instant::now();
+                    shared.mailboxes[target].push(moved);
+                    return false;
+                }
+                conn.last_activity.elapsed() < io_timeout && !shutting_down
+            }
+        });
+
+        if shutting_down && conns.is_empty() {
             return;
         }
-    }
-}
-
-/// Serves one connection to completion. Returns `Err` only on I/O
-/// failure; protocol violations send [`Message::Error`] and close.
-fn serve_connection(
-    mut stream: TcpStream,
-    shared: &Shared,
-    io_timeout: Duration,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(io_timeout))?;
-    stream.set_write_timeout(Some(io_timeout))?;
-    stream.set_nodelay(true)?;
-    loop {
-        let message = match read_message(&mut stream) {
-            Ok(m) => m,
-            Err(_) => return Ok(()), // EOF, timeout, or garbage: drop the connection
-        };
-        match message {
-            Message::Hello { initial } => {
-                let mut inner = shared.inner.lock().expect("server state poisoned");
-                match (&inner.initial, inner.monitor.is_some()) {
-                    (Some(existing), true) => {
-                        if *existing != initial {
-                            drop(inner);
-                            let reason =
-                                "session mismatch: server already monitors a different computation"
-                                    .to_string();
-                            write_message(&mut stream, &Message::Error { message: reason })?;
-                            return Ok(());
-                        }
-                        shared.counters.resumes.fetch_add(1, Ordering::Relaxed);
-                    }
-                    _ => {
-                        // First contact ever: log the session header
-                        // before building the monitor, so recovery can
-                        // rebuild it.
-                        inner.wal.append(&WalRecord::Init {
-                            initial: initial.clone(),
-                        })?;
-                        shared
-                            .counters
-                            .events_logged
-                            .fetch_add(1, Ordering::Relaxed);
-                        inner.monitor = Some(match shared.queue_cap {
-                            Some(cap) => {
-                                ConjunctiveMonitor::with_initial(&initial).with_queue_cap(cap)
-                            }
-                            None => ConjunctiveMonitor::with_initial(&initial),
-                        });
-                        inner.initial = Some(initial);
-                    }
-                }
-                let monitor = inner.monitor.as_ref().expect("just initialized");
-                let high_water = (0..monitor.process_count())
-                    .map(|p| monitor.high_water(p))
-                    .collect();
-                drop(inner);
-                write_message(&mut stream, &Message::HelloAck { high_water })?;
-            }
-            Message::Event { process, clock } => {
-                let mut inner = shared.inner.lock().expect("server state poisoned");
-                let Some(monitor) = inner.monitor.as_ref() else {
-                    drop(inner);
-                    let reason = "no session: send Hello first".to_string();
-                    write_message(&mut stream, &Message::Error { message: reason })?;
-                    return Ok(());
-                };
-                let n = monitor.process_count();
-                if process as usize >= n || clock.len() != n {
-                    drop(inner);
-                    let reason = format!(
-                        "malformed event: process {process}, clock length {}",
-                        clock.len()
-                    );
-                    write_message(&mut stream, &Message::Error { message: reason })?;
-                    return Ok(());
-                }
-                let p = process as usize;
-                let vc = VectorClock::from(clock.clone());
-                let seq = clock[p];
-                // Classify first so only genuinely new events hit the
-                // log; then append (durable under `fsync always`);
-                // then apply; then ack. See the module docs for why
-                // each crash window is safe.
-                let status = match inner.monitor.as_ref().expect("checked").classify(p, &vc) {
-                    Observation::Duplicate => {
-                        shared.counters.duplicates.fetch_add(1, Ordering::Relaxed);
-                        AckStatus::Duplicate
-                    }
-                    Observation::Stale => {
-                        shared.counters.stale.fetch_add(1, Ordering::Relaxed);
-                        AckStatus::Stale
-                    }
-                    Observation::Accepted => {
-                        let over = shared.queue_cap.is_some_and(|cap| {
-                            let m = inner.monitor.as_ref().expect("checked");
-                            m.witness().is_none() && m.queue_depth_of(p) >= cap
-                        });
-                        if over {
-                            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                            AckStatus::Rejected
-                        } else {
-                            inner.wal.append(&WalRecord::Event {
-                                process,
-                                clock: clock.clone(),
-                            })?;
-                            shared
-                                .counters
-                                .events_logged
-                                .fetch_add(1, Ordering::Relaxed);
-                            let observed = inner
-                                .monitor
-                                .as_mut()
-                                .expect("checked")
-                                .try_observe(p, vc)
-                                .expect("overflow checked before logging");
-                            debug_assert_eq!(observed, Observation::Accepted);
-                            shared.counters.observed.fetch_add(1, Ordering::Relaxed);
-                            AckStatus::Accepted
-                        }
-                    }
-                };
-                drop(inner);
-                write_message(
-                    &mut stream,
-                    &Message::Ack {
-                        process,
-                        seq,
-                        status,
-                    },
-                )?;
-            }
-            Message::VerdictQuery => {
-                let inner = shared.inner.lock().expect("server state poisoned");
-                let witness = Shared::witness(&inner);
-                drop(inner);
-                write_message(&mut stream, &Message::Verdict { witness })?;
-            }
-            Message::StatsQuery => {
-                let stats = shared.stats();
-                write_message(&mut stream, &Message::Stats(stats))?;
-            }
-            Message::Shutdown => {
-                let mut inner = shared.inner.lock().expect("server state poisoned");
-                inner.wal.sync()?; // drain Interval-mode buffers
-                let witness = Shared::witness(&inner);
-                drop(inner);
-                shared.shutdown.store(true, Ordering::SeqCst);
-                // Wake the acceptor so it observes the flag.
-                let _ = TcpStream::connect(shared_addr(&stream));
-                write_message(&mut stream, &Message::ShutdownAck { witness })?;
-                stream.flush()?;
-                return Ok(());
-            }
-            // Server-bound connections should not send server-role
-            // messages; answer with an error and close.
-            Message::HelloAck { .. }
-            | Message::Ack { .. }
-            | Message::Verdict { .. }
-            | Message::Stats(_)
-            | Message::ShutdownAck { .. }
-            | Message::Error { .. } => {
-                let reason = "unexpected server-role message".to_string();
-                write_message(&mut stream, &Message::Error { message: reason })?;
-                return Ok(());
+        if progress {
+            idle = 0;
+        } else {
+            idle += 1;
+            if idle < IDLE_SPINS {
+                std::thread::yield_now();
+            } else {
+                // Nothing moved for a while: park until the acceptor,
+                // a migration, or shutdown wakes this shard (bounded,
+                // so idle timeouts and the shutdown flag are still
+                // observed).
+                let guard = shared.mailboxes[shard]
+                    .inbox
+                    .lock()
+                    .expect("shard inbox poisoned");
+                let _ = shared.mailboxes[shard]
+                    .cv
+                    .wait_timeout(guard, Duration::from_millis(1));
             }
         }
     }
 }
 
-/// The server's own listening address, reconstructed from the accepted
-/// connection's local endpoint (same IP and port as the listener).
-fn shared_addr(stream: &TcpStream) -> SocketAddr {
-    stream
-        .local_addr()
-        .expect("accepted socket has a local address")
+impl Conn {
+    /// Rebuilds a connection object for migration to another shard,
+    /// carrying the socket and both buffers.
+    fn new_migrated(conn: &mut Conn) -> Conn {
+        Conn {
+            stream: conn.stream.try_clone().expect("clone migrating socket"),
+            rbuf: std::mem::take(&mut conn.rbuf),
+            wbuf: std::mem::take(&mut conn.wbuf),
+            tenant: conn.tenant.take(),
+            tenant_name: conn.tenant_name.take(),
+            last_activity: conn.last_activity,
+            fate: ConnFate::Alive,
+            migrate_to: None,
+        }
+    }
+}
+
+/// Parses and handles up to the fairness quota of frames from `conn`.
+/// Returns whether any frame was consumed.
+fn process_frames(shard: usize, shared: &Shared, conn: &mut Conn, sweep: &mut SweepState) -> bool {
+    let mut consumed_total = 0usize;
+    let mut any = false;
+    for _ in 0..shared.config.quota_frames.max(1) {
+        if !matches!(conn.fate, ConnFate::Alive) {
+            break;
+        }
+        match parse_message(&conn.rbuf[consumed_total..]) {
+            Ok(None) => break,
+            Err(_) => {
+                // Garbage framing: answer nothing (we cannot trust the
+                // stream) and drop.
+                conn.fate = ConnFate::Dead;
+                break;
+            }
+            Ok(Some((message, used))) => {
+                // Tenant pinning: a Hello homed elsewhere migrates the
+                // connection *before* the frame is consumed, so only
+                // the home shard ever drives this tenant's WAL.
+                if let Message::Hello { tenant, .. } = &message {
+                    let home = shard_of(tenant, shared.mailboxes.len());
+                    if home != shard && valid_tenant_name(tenant) {
+                        conn.migrate_to = Some(home);
+                        break;
+                    }
+                }
+                consumed_total += used;
+                any = true;
+                handle_message(shared, conn, message, sweep);
+            }
+        }
+    }
+    conn.rbuf.drain(..consumed_total);
+    any
+}
+
+fn handle_message(shared: &Shared, conn: &mut Conn, message: Message, sweep: &mut SweepState) {
+    match message {
+        Message::Hello { tenant, initial } => handle_hello(shared, conn, &tenant, initial, sweep),
+        Message::Event { process, clock } => handle_event(shared, conn, process, clock, sweep),
+        Message::VerdictQuery { tenant } => {
+            let witness = resolve_tenant(shared, conn, &tenant)
+                .and_then(|t| t.lock().expect("tenant poisoned").witness());
+            conn.stage(&Message::Verdict { witness });
+        }
+        Message::StatsQuery => {
+            let stats = shared.stats();
+            conn.stage(&Message::Stats(stats));
+        }
+        Message::TenantStatsQuery => {
+            let rows = shared.tenant_rows();
+            conn.stage(&Message::TenantStats { rows });
+        }
+        Message::Shutdown { tenant } => {
+            // Drain every tenant's buffers (Interval/Group stragglers)
+            // before acknowledging.
+            shared.sync_all();
+            let witness = resolve_tenant(shared, conn, &tenant)
+                .and_then(|t| t.lock().expect("tenant poisoned").witness());
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.wake_all();
+            // Wake the blocking acceptor so it observes the flag.
+            if let Ok(addr) = conn.stream.local_addr() {
+                let _ = TcpStream::connect(addr);
+            }
+            conn.stage(&Message::ShutdownAck { witness });
+            conn.fate = ConnFate::Closing;
+        }
+        // Server-bound connections should not send server-role
+        // messages; answer with an error and close.
+        Message::HelloAck { .. }
+        | Message::Ack { .. }
+        | Message::Verdict { .. }
+        | Message::Stats(_)
+        | Message::ShutdownAck { .. }
+        | Message::TenantStats { .. }
+        | Message::Error { .. } => {
+            fail(conn, "unexpected server-role message".to_string());
+        }
+    }
+}
+
+/// Stages an error reply and closes the connection after it drains.
+fn fail(conn: &mut Conn, message: String) {
+    conn.stage(&Message::Error { message });
+    conn.fate = ConnFate::Closing;
+}
+
+/// `""` → the session's tenant, falling back to the default tenant.
+fn resolve_tenant(shared: &Shared, conn: &Conn, tenant: &str) -> Option<TenantRef> {
+    if !tenant.is_empty() {
+        return shared.lookup(tenant);
+    }
+    if let Some(t) = &conn.tenant {
+        return Some(Arc::clone(t));
+    }
+    shared.lookup(DEFAULT_TENANT)
+}
+
+fn handle_hello(
+    shared: &Shared,
+    conn: &mut Conn,
+    tenant: &str,
+    initial: Vec<bool>,
+    sweep: &mut SweepState,
+) {
+    if !valid_tenant_name(tenant) {
+        return fail(conn, format!("invalid tenant name {tenant:?}"));
+    }
+    // Find or admit the tenant under the map lock; heavy work (WAL
+    // open) happens under the tenant's own lock.
+    let tenant_ref = {
+        let mut map = shared.tenants.lock().expect("tenant map poisoned");
+        match map.get(tenant) {
+            Some(t) => Arc::clone(t),
+            None => {
+                if map.len() >= shared.config.max_tenants {
+                    drop(map);
+                    return fail(
+                        conn,
+                        format!(
+                            "tenant quota exceeded ({} tenants)",
+                            shared.config.max_tenants
+                        ),
+                    );
+                }
+                match Tenant::open(tenant, &shared.config.wal, shared.config.queue_cap) {
+                    Ok(t) => {
+                        let t = Arc::new(Mutex::new(t));
+                        map.insert(tenant.to_string(), Arc::clone(&t));
+                        t
+                    }
+                    Err(e) => {
+                        drop(map);
+                        return fail(conn, format!("tenant WAL unavailable: {e}"));
+                    }
+                }
+            }
+        }
+    };
+
+    let mut t = tenant_ref.lock().expect("tenant poisoned");
+    if t.quarantined {
+        drop(t);
+        return fail(conn, format!("tenant {tenant:?} is quarantined"));
+    }
+    match (&t.initial, t.monitor.is_some()) {
+        (Some(existing), true) => {
+            if *existing != initial {
+                drop(t);
+                return fail(
+                    conn,
+                    "session mismatch: tenant already monitors a different computation".to_string(),
+                );
+            }
+            t.resumes += 1;
+        }
+        _ => {
+            // First contact: log the session header before building
+            // the monitor, so recovery can rebuild it.
+            if t.wal
+                .append(&WalRecord::Init {
+                    initial: initial.clone(),
+                })
+                .is_err()
+            {
+                drop(t);
+                return fail(conn, "wal append failed".to_string());
+            }
+            t.events_logged += 1;
+            t.monitor = Some(with_cap(
+                ConjunctiveMonitor::with_initial(&initial),
+                shared.config.queue_cap,
+            ));
+            t.initial = Some(initial);
+            sweep.mark_dirty(tenant, &tenant_ref);
+        }
+    }
+    let monitor = t.monitor.as_ref().expect("just initialized");
+    let high_water = (0..monitor.process_count())
+        .map(|p| monitor.high_water(p))
+        .collect();
+    drop(t);
+    conn.tenant = Some(Arc::clone(&tenant_ref));
+    conn.tenant_name = Some(tenant.to_string());
+    conn.stage(&Message::HelloAck { high_water });
+}
+
+fn handle_event(
+    shared: &Shared,
+    conn: &mut Conn,
+    process: u32,
+    clock: Vec<u32>,
+    sweep: &mut SweepState,
+) {
+    let Some(tenant_ref) = conn.tenant.clone() else {
+        return fail(conn, "no session: send Hello first".to_string());
+    };
+    let name = conn.tenant_name.clone().unwrap_or_default();
+    let mut t = tenant_ref.lock().expect("tenant poisoned");
+    if t.quarantined {
+        drop(t);
+        return fail(conn, format!("tenant {name:?} is quarantined"));
+    }
+    let Some(monitor) = t.monitor.as_ref() else {
+        drop(t);
+        return fail(conn, "no session: send Hello first".to_string());
+    };
+    let n = monitor.process_count();
+    if process as usize >= n || clock.len() != n {
+        drop(t);
+        return fail(
+            conn,
+            format!(
+                "malformed event: process {process}, clock length {}",
+                clock.len()
+            ),
+        );
+    }
+    let p = process as usize;
+    let vc = VectorClock::from(clock.clone());
+    let seq = clock[p];
+    // Classify first so only genuinely new events hit the log; then
+    // append (durable at the group-commit boundary, or immediately
+    // under `fsync always`); then apply; then ack at sweep end. See
+    // the module docs for why each crash window is safe.
+    let status = match t.monitor.as_ref().expect("checked").classify(p, &vc) {
+        Observation::Duplicate => {
+            t.duplicates += 1;
+            AckStatus::Duplicate
+        }
+        Observation::Stale => {
+            t.stale += 1;
+            AckStatus::Stale
+        }
+        Observation::Accepted => {
+            let over = shared.config.queue_cap.is_some_and(|cap| {
+                let m = t.monitor.as_ref().expect("checked");
+                m.witness().is_none() && m.queue_depth_of(p) >= cap
+            });
+            if over {
+                t.rejected += 1;
+                AckStatus::Rejected
+            } else {
+                if t.wal
+                    .append(&WalRecord::Event {
+                        process,
+                        clock: clock.clone(),
+                    })
+                    .is_err()
+                {
+                    drop(t);
+                    return fail(conn, "wal append failed".to_string());
+                }
+                t.events_logged += 1;
+                t.events_since_snapshot += 1;
+                // Panic isolation: a crashing predicate (modeled by
+                // the fault-injection hook) quarantines this tenant
+                // only — the monitor is not trusted afterwards, but no
+                // other tenant shares it, and the catch keeps the
+                // tenant mutex unpoisoned.
+                let fault = shared.config.fault_injection;
+                let applied = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(hook) = fault {
+                        hook(&name);
+                    }
+                    t.monitor
+                        .as_mut()
+                        .expect("checked")
+                        .try_observe(p, vc)
+                        .expect("overflow checked before logging")
+                }));
+                match applied {
+                    Ok(observed) => {
+                        debug_assert_eq!(observed, Observation::Accepted);
+                        t.observed += 1;
+                        let depth = t.monitor.as_ref().expect("checked").queue_depth() as u64;
+                        t.queue_peak = t.queue_peak.max(depth);
+                        if shared
+                            .config
+                            .snapshot_every
+                            .is_some_and(|every| t.events_since_snapshot >= every)
+                        {
+                            sweep.mark_compact(&name, &tenant_ref);
+                        }
+                        sweep.mark_dirty(&name, &tenant_ref);
+                        AckStatus::Accepted
+                    }
+                    Err(_) => {
+                        t.quarantined = true;
+                        drop(t);
+                        sweep.mark_dirty(&name, &tenant_ref);
+                        return fail(conn, format!("tenant {name:?} is quarantined"));
+                    }
+                }
+            }
+        }
+    };
+    drop(t);
+    conn.stage(&Message::Ack {
+        process,
+        seq,
+        status,
+    });
 }

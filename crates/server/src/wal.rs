@@ -27,7 +27,13 @@
 //! `crc` is the CRC-32 (IEEE) of the payload. The payload's first byte
 //! is the record kind: `1` = `Init` (`u32` process count, then that many
 //! `0`/`1` bytes for the initially-true variables), `2` = `Event`
-//! (`u32` process, `u32` clock length, then the clock components).
+//! (`u32` process, `u32` clock length, then the clock components), `3` =
+//! `Snapshot` (`u32` process count `n`, `n` initial bytes, `n` `u64`
+//! high-water marks with `0` = none and `k+1` = `k`, then per process a
+//! `u32` queue length followed by that many `n × u32` clocks, then a
+//! witness flag byte followed — when `1` — by `n` clocks). A `Snapshot`
+//! *resets* replay to the recorded state; [`Wal::compact`] uses it to
+//! shrink recovery from O(event history) to O(live monitor state).
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -49,6 +55,14 @@ pub enum FsyncPolicy {
     /// their unacked suffix cannot fill that gap. Use when the feed can
     /// be replayed from its own durable source.
     Interval(Duration),
+    /// Group commit: `append` never syncs; the host calls
+    /// [`Wal::sync`] once per batch, after appending every record in
+    /// the batch and *before* releasing any of the batch's acks. Many
+    /// sessions' log-before-ack writes then share one fsync, and the
+    /// acked-is-durable guarantee of [`Always`](Self::Always) still
+    /// holds — durability is delayed only until the batch boundary,
+    /// never past an ack.
+    Group,
 }
 
 /// Where and how the log is written.
@@ -107,10 +121,31 @@ pub enum WalRecord {
         /// The state's vector clock.
         clock: Vec<u32>,
     },
+    /// A monitor snapshot: the complete live state of the monitor at
+    /// the moment it was taken. Replay semantics: a `Snapshot` record
+    /// **resets** the monitor to exactly this state, discarding
+    /// whatever earlier records rebuilt — so a compacted log (one
+    /// snapshot followed by the events since) and a full-history log
+    /// recover byte-identical monitors.
+    Snapshot {
+        /// Per process: whether its variable is true initially (the
+        /// `Init` information, folded in so a compacted log is
+        /// self-contained).
+        initial: Vec<bool>,
+        /// Per process: the high-water mark (`None` before the first
+        /// accepted observation).
+        latest: Vec<Option<u32>>,
+        /// Per process: the pending true-state clocks, oldest first.
+        /// Every clock has one component per process.
+        queues: Vec<Vec<Vec<u32>>>,
+        /// The witness, if detection already succeeded.
+        witness: Option<Vec<Vec<u32>>>,
+    },
 }
 
 const KIND_INIT: u8 = 1;
 const KIND_EVENT: u8 = 2;
+const KIND_SNAPSHOT: u8 = 3;
 
 /// Frame header bytes (`len` + `crc`).
 pub const FRAME_HEADER: usize = 8;
@@ -137,6 +172,44 @@ impl WalRecord {
                 out.extend_from_slice(&(clock.len() as u32).to_le_bytes());
                 for &c in clock {
                     out.extend_from_slice(&c.to_le_bytes());
+                }
+                out
+            }
+            WalRecord::Snapshot {
+                initial,
+                latest,
+                queues,
+                witness,
+            } => {
+                let n = initial.len();
+                let mut out = Vec::new();
+                out.push(KIND_SNAPSHOT);
+                out.extend_from_slice(&(n as u32).to_le_bytes());
+                out.extend(initial.iter().map(|&b| b as u8));
+                for &hw in latest {
+                    // 0 = None, k+1 = Some(k) — same convention as the
+                    // protocol's HelloAck high-water field.
+                    let enc: u64 = hw.map_or(0, |k| u64::from(k) + 1);
+                    out.extend_from_slice(&enc.to_le_bytes());
+                }
+                for queue in queues {
+                    out.extend_from_slice(&(queue.len() as u32).to_le_bytes());
+                    for clock in queue {
+                        for &c in clock {
+                            out.extend_from_slice(&c.to_le_bytes());
+                        }
+                    }
+                }
+                match witness {
+                    None => out.push(0),
+                    Some(w) => {
+                        out.push(1);
+                        for clock in w {
+                            for &c in clock {
+                                out.extend_from_slice(&c.to_le_bytes());
+                            }
+                        }
+                    }
                 }
                 out
             }
@@ -173,6 +246,80 @@ impl WalRecord {
                     .collect();
                 Some(WalRecord::Event { process, clock })
             }
+            KIND_SNAPSHOT => {
+                let (n, mut rest) = take_u32(rest)?;
+                let n = n as usize;
+                if rest.len() < n {
+                    return None;
+                }
+                let (flags, tail) = rest.split_at(n);
+                let initial = flags
+                    .iter()
+                    .map(|&b| match b {
+                        0 => Some(false),
+                        1 => Some(true),
+                        _ => None,
+                    })
+                    .collect::<Option<Vec<bool>>>()?;
+                rest = tail;
+                let mut latest = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (head, tail) = rest.split_first_chunk::<8>()?;
+                    let enc = u64::from_le_bytes(*head);
+                    latest.push(match enc {
+                        0 => None,
+                        k => Some(u32::try_from(k - 1).ok()?),
+                    });
+                    rest = tail;
+                }
+                let take_clock = |rest: &mut &[u8]| -> Option<Vec<u32>> {
+                    if rest.len() < 4 * n {
+                        return None;
+                    }
+                    let (raw, tail) = rest.split_at(4 * n);
+                    *rest = tail;
+                    Some(
+                        raw.chunks_exact(4)
+                            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+                            .collect(),
+                    )
+                };
+                let mut queues = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (qlen, tail) = take_u32(rest)?;
+                    rest = tail;
+                    // A corrupt count cannot out-allocate the payload.
+                    if (qlen as usize).checked_mul(4 * n)? > rest.len() {
+                        return None;
+                    }
+                    let mut queue = Vec::with_capacity(qlen as usize);
+                    for _ in 0..qlen {
+                        queue.push(take_clock(&mut rest)?);
+                    }
+                    queues.push(queue);
+                }
+                let (&flag, mut rest) = rest.split_first()?;
+                let witness = match flag {
+                    0 => None,
+                    1 => {
+                        let mut w = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            w.push(take_clock(&mut rest)?);
+                        }
+                        Some(w)
+                    }
+                    _ => return None,
+                };
+                if !rest.is_empty() {
+                    return None;
+                }
+                Some(WalRecord::Snapshot {
+                    initial,
+                    latest,
+                    queues,
+                    witness,
+                })
+            }
             _ => None,
         }
     }
@@ -196,16 +343,20 @@ pub struct Recovery {
     pub dropped_segments: u64,
 }
 
-/// An append-only, CRC-framed, rotating write-ahead log.
+/// An append-only, CRC-framed, rotating write-ahead log with
+/// snapshot-based compaction.
 #[derive(Debug)]
 pub struct Wal {
     config: WalConfig,
     file: File,
     seg_index: u64,
     seg_len: u64,
-    segments: u64,
+    /// Live (on-disk) segment files, by index. Compaction shrinks this.
+    live: Vec<u64>,
     last_sync: Instant,
     dirty: bool,
+    /// Bytes across all live segments (recovered + appended).
+    total_bytes: u64,
 }
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
@@ -235,11 +386,16 @@ impl Wal {
         indices.sort_unstable();
 
         let mut recovery = Recovery::default();
+        let mut live: Vec<u64> = Vec::new();
+        let mut total_bytes = 0u64;
         let mut tail: Option<(u64, u64)> = None; // (segment index, clean length)
         for (pos, &index) in indices.iter().enumerate() {
             let path = segment_path(&config.dir, index);
             let bytes = fs::read(&path)?;
             let clean = scan_segment(&bytes, &mut recovery.records);
+            live.push(index);
+            total_bytes += clean;
+            tail = Some((index, clean));
             if clean < bytes.len() as u64 {
                 // Torn tail: truncate this segment and drop the rest.
                 recovery.truncated_bytes += bytes.len() as u64 - clean;
@@ -250,13 +406,14 @@ impl Wal {
                     recovery.dropped_segments += 1;
                     fs::remove_file(later_path)?;
                 }
-                tail = Some((index, clean));
                 break;
             }
-            tail = Some((index, clean));
         }
 
         let (seg_index, seg_len) = tail.unwrap_or((0, 0));
+        if live.is_empty() {
+            live.push(seg_index);
+        }
         let mut file = OpenOptions::new()
             .create(true)
             // The recovered prefix must survive the reopen; the torn
@@ -267,16 +424,16 @@ impl Wal {
             .write(true)
             .open(segment_path(&config.dir, seg_index))?;
         file.seek(SeekFrom::Start(seg_len))?;
-        let segments = seg_index + 1;
         Ok((
             Wal {
                 config,
                 file,
                 seg_index,
                 seg_len,
-                segments,
+                live,
                 last_sync: Instant::now(),
                 dirty: false,
+                total_bytes,
             },
             recovery,
         ))
@@ -292,12 +449,21 @@ impl Wal {
     /// as not logged (do not ack it).
     pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
         let bytes = frame(record);
+        if bytes.len() - FRAME_HEADER > MAX_PAYLOAD as usize {
+            // A frame recovery would refuse to read must never be
+            // written (only reachable via an absurdly large snapshot).
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "wal record exceeds MAX_PAYLOAD",
+            ));
+        }
         let frame_len = bytes.len() as u64;
         if self.seg_len > 0 && self.seg_len + frame_len > self.config.segment_bytes {
             self.rotate()?;
         }
         self.file.write_all(&bytes)?;
         self.seg_len += frame_len;
+        self.total_bytes += frame_len;
         self.dirty = true;
         match self.config.fsync {
             FsyncPolicy::Always => self.sync()?,
@@ -306,6 +472,8 @@ impl Wal {
                     self.sync()?;
                 }
             }
+            // The host owns the batch boundary.
+            FsyncPolicy::Group => {}
         }
         Ok(())
     }
@@ -327,7 +495,7 @@ impl Wal {
     fn rotate(&mut self) -> std::io::Result<()> {
         self.sync()?;
         self.seg_index += 1;
-        self.segments += 1;
+        self.live.push(self.seg_index);
         self.file = OpenOptions::new()
             .create_new(true)
             .write(true)
@@ -336,10 +504,63 @@ impl Wal {
         Ok(())
     }
 
-    /// The number of segment files written so far (including recovered
-    /// ones).
+    /// Compacts the log down to (almost) O(live state): rotates to a
+    /// fresh segment, writes `snapshot` as its first record, fsyncs it
+    /// durable — and only then deletes every older segment. Recovery of
+    /// the compacted log replays the snapshot plus whatever events were
+    /// appended after it, never the full event history.
+    ///
+    /// Crash-safe at any byte: until the deletions happen the old
+    /// segments are still on disk, so a torn or missing snapshot frame
+    /// degrades to the ordinary full-history replay (the scanner cuts
+    /// the torn frame and, per the mid-stream rule, drops nothing
+    /// before it).
+    ///
+    /// Returns the number of segments deleted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error. If the error struck after the
+    /// snapshot was durable, a retry simply compacts again.
+    pub fn compact(&mut self, snapshot: &WalRecord) -> std::io::Result<u64> {
+        self.rotate()?;
+        self.append(snapshot)?;
+        self.sync()?; // durable before anything is deleted
+        let old: Vec<u64> = self
+            .live
+            .iter()
+            .copied()
+            .filter(|&index| index != self.seg_index)
+            .collect();
+        let mut removed = 0u64;
+        for index in &old {
+            let path = segment_path(&self.config.dir, *index);
+            self.total_bytes = self.total_bytes.saturating_sub(fs::metadata(&path)?.len());
+            fs::remove_file(path)?;
+            removed += 1;
+        }
+        self.live.retain(|&index| index == self.seg_index);
+        Ok(removed)
+    }
+
+    /// The number of live segment files on disk (compaction shrinks
+    /// this back down; rotation grows it).
     pub fn segment_count(&self) -> u64 {
-        self.segments
+        self.live.len() as u64
+    }
+
+    /// Total bytes across all live segments — recovered plus appended,
+    /// minus what compaction deleted. The per-tenant disk-footprint
+    /// gauge the stats report.
+    pub fn bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Whether buffered appends are awaiting a [`sync`](Self::sync) —
+    /// under [`FsyncPolicy::Group`], the host checks this at its batch
+    /// boundary.
+    pub fn needs_sync(&self) -> bool {
+        self.dirty
     }
 
     /// The log directory.
@@ -644,6 +865,134 @@ mod tests {
         drop(wal);
         let (_, rec) = Wal::open(config).unwrap();
         assert_eq!(rec.records.len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn sample_snapshot() -> WalRecord {
+        WalRecord::Snapshot {
+            initial: vec![true, false],
+            latest: vec![Some(4), None],
+            queues: vec![vec![vec![3, 0], vec![4, 1]], vec![]],
+            witness: None,
+        }
+    }
+
+    #[test]
+    fn snapshot_record_roundtrips() {
+        for snap in [
+            sample_snapshot(),
+            WalRecord::Snapshot {
+                initial: vec![],
+                latest: vec![],
+                queues: vec![],
+                witness: Some(vec![]),
+            },
+            WalRecord::Snapshot {
+                initial: vec![true, true],
+                latest: vec![Some(0), Some(2)],
+                queues: vec![vec![], vec![]],
+                witness: Some(vec![vec![0, 0], vec![0, 2]]),
+            },
+        ] {
+            assert_eq!(WalRecord::decode(&snap.encode()), Some(snap));
+        }
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_trailing_or_short_payloads() {
+        let good = sample_snapshot().encode();
+        let mut long = good.clone();
+        long.push(0);
+        assert_eq!(WalRecord::decode(&long), None, "trailing byte");
+        for cut in 1..good.len() {
+            assert_eq!(WalRecord::decode(&good[..cut]), None, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn compaction_shrinks_recovery_to_live_state() {
+        let dir = tmp_dir("compact");
+        let config = WalConfig::new(&dir).with_segment_bytes(64);
+        let (mut wal, _) = Wal::open(config.clone()).unwrap();
+        for k in 1..=20u32 {
+            wal.append(&event(0, &[k, k])).unwrap();
+        }
+        assert!(wal.segment_count() > 1);
+        let bytes_before = wal.bytes();
+        let removed = wal.compact(&sample_snapshot()).unwrap();
+        assert!(removed > 1, "old segments deleted");
+        assert_eq!(wal.segment_count(), 1, "only the snapshot segment lives");
+        assert!(wal.bytes() < bytes_before);
+        // Post-compaction appends land after the snapshot.
+        wal.append(&event(0, &[21, 21])).unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(config).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![sample_snapshot(), event(0, &[21, 21])],
+            "replay is snapshot + suffix, not 20 events"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_offset_across_a_compaction_recovers() {
+        // Build a log whose history crosses a compaction boundary, then
+        // verify the scanner yields a meaningful prefix at every tear
+        // point of the *surviving* bytes.
+        let dir = tmp_dir("compact-tear");
+        let config = WalConfig::new(&dir).with_segment_bytes(128);
+        let (mut wal, _) = Wal::open(config.clone()).unwrap();
+        for k in 1..=6u32 {
+            wal.append(&event(0, &[k, k])).unwrap();
+        }
+        wal.compact(&sample_snapshot()).unwrap();
+        wal.append(&event(0, &[5, 5])).unwrap();
+        wal.append(&event(0, &[6, 6])).unwrap();
+        drop(wal);
+        let backup = concatenated_bytes(&dir).unwrap();
+        let first_index = 1; // segment 0 was compacted away
+        let expect = [sample_snapshot(), event(0, &[5, 5]), event(0, &[6, 6])];
+        for keep in 0..=backup.len() as u64 {
+            let _ = fs::remove_dir_all(&dir);
+            fs::create_dir_all(&dir).unwrap();
+            fs::write(segment_path(&dir, first_index), &backup).unwrap();
+            truncate_at(&dir, &[], keep).unwrap();
+            let (_, rec) = Wal::open(config.clone()).unwrap();
+            assert!(rec.records.len() <= expect.len());
+            assert_eq!(rec.records[..], expect[..rec.records.len()], "keep={keep}");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_policy_defers_sync_to_the_host() {
+        let dir = tmp_dir("group");
+        let config = WalConfig::new(&dir).with_fsync(FsyncPolicy::Group);
+        let (mut wal, _) = Wal::open(config.clone()).unwrap();
+        assert!(!wal.needs_sync());
+        wal.append(&event(0, &[1])).unwrap();
+        wal.append(&event(0, &[2])).unwrap();
+        assert!(wal.needs_sync(), "appends stay buffered");
+        wal.sync().unwrap();
+        assert!(!wal.needs_sync());
+        drop(wal);
+        let (_, rec) = Wal::open(config).unwrap();
+        assert_eq!(rec.records.len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bytes_tracks_live_footprint() {
+        let dir = tmp_dir("bytes");
+        let (mut wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(wal.bytes(), 0);
+        wal.append(&event(0, &[1])).unwrap();
+        let one = wal.bytes();
+        assert!(one > 0);
+        drop(wal);
+        let (wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(wal.bytes(), one, "recovered bytes counted");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -48,7 +48,7 @@ fn generated_events() -> Vec<(usize, Vec<u32>)> {
 
 fn start_server(dir: &PathBuf) -> gpd_server::ServerHandle {
     let mut config = ServerConfig::new(WalConfig::new(dir).with_fsync(FsyncPolicy::Always));
-    config.workers = 2;
+    config.shards = 2;
     config.io_timeout = Duration::from_secs(5);
     server::start("127.0.0.1:0", config).unwrap()
 }
@@ -135,6 +135,127 @@ fn lossy_duplicating_resetting_path_matches_fault_free_verdict() {
     chaos_server.wait();
     let _ = std::fs::remove_dir_all(&clean_dir);
     let _ = std::fs::remove_dir_all(&chaos_dir);
+}
+
+/// Resets are schedulable and repeatable: first after 5 forwarded
+/// frames, then every 10, capped at 3 — and the client out-stubborns
+/// all of them.
+#[test]
+fn scheduled_repeating_resets_are_all_absorbed() {
+    let events = generated_events();
+    let dir = tmp_dir("resets");
+    let server = start_server(&dir);
+    let mut config = ChaosConfig::new(server.local_addr().to_string());
+    config.reset_after = Some(5);
+    config.reset_every = Some(10);
+    config.reset_limit = 3;
+    let proxy = chaos::start("127.0.0.1:0", config).unwrap();
+
+    let client = chaos_client(proxy.local_addr());
+    let report = client
+        .feed(&[false; N], &events)
+        .expect("the retry budget must outlast the reset storm");
+    let proxy_report = proxy.stop();
+    assert_eq!(proxy_report.resets, 3, "{proxy_report:?}");
+    assert!(
+        report.reconnects >= 3,
+        "every reset must force a reconnect: {report:?}"
+    );
+
+    let direct = chaos_client(server.local_addr());
+    let stats = direct.query_stats().unwrap();
+    assert!(stats.resumes >= 3, "{stats:?}");
+    assert_eq!(stats.observed, events.len() as u64, "{stats:?}");
+    direct.shutdown().unwrap();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The multi-tenant chaos smoke: 16 tenants storm one proxy
+/// concurrently — loss, duplication, jitter, and repeating resets —
+/// and every tenant's verdict matches its fault-free leg.
+#[test]
+fn sixteen_tenants_through_chaos_match_fault_free_verdicts() {
+    let events = generated_events();
+
+    // Fault-free reference: one tenant, one clean run. Every tenant
+    // feeds the same stream, so the expected witness is shared.
+    let clean_dir = tmp_dir("mt-clean");
+    let clean_server = start_server(&clean_dir);
+    let clean_client = chaos_client(clean_server.local_addr());
+    let expected = clean_client.feed(&[false; N], &events).unwrap().witness;
+    clean_client.shutdown().unwrap();
+    clean_server.wait();
+    assert!(expected.is_some());
+
+    // Chaos leg: sharded server under group commit, faulty proxy with
+    // a repeating reset schedule shared by all connections.
+    let dir = tmp_dir("mt-chaos");
+    let mut server_config = ServerConfig::new(WalConfig::new(&dir).with_fsync(FsyncPolicy::Group));
+    server_config.shards = 4;
+    server_config.io_timeout = Duration::from_secs(5);
+    server_config.snapshot_every = Some(16);
+    let server = server::start("127.0.0.1:0", server_config).unwrap();
+
+    let mut chaos_config = ChaosConfig::new(server.local_addr().to_string());
+    chaos_config.faults = FaultPlan {
+        drop_prob: 0.08,
+        duplicate_prob: 0.15,
+        jitter_prob: 0.1,
+        jitter_range: (1, 3),
+        crashes: Vec::new(),
+    };
+    chaos_config.reset_after = Some(40);
+    chaos_config.reset_every = Some(120);
+    chaos_config.reset_limit = 4;
+    chaos_config.seed = 42;
+    let proxy = chaos::start("127.0.0.1:0", chaos_config).unwrap();
+    let proxy_addr = proxy.local_addr();
+
+    let feeds: Vec<_> = (0..16)
+        .map(|i| {
+            let events = events.clone();
+            std::thread::spawn(move || {
+                let mut config =
+                    ClientConfig::new(proxy_addr.to_string()).with_tenant(format!("tenant-{i:02}"));
+                config.io_timeout = Duration::from_millis(500);
+                config.max_retries = 100;
+                config.backoff_base = Duration::from_millis(2);
+                config.backoff_cap = Duration::from_millis(50);
+                config.jitter_seed = 7 + i;
+                FeedClient::new(config)
+                    .feed(&[false; N], &events)
+                    .expect("retry budget must outlast the fault plan")
+            })
+        })
+        .collect();
+    for (i, feed) in feeds.into_iter().enumerate() {
+        let report = feed.join().unwrap();
+        assert_eq!(
+            report.witness, expected,
+            "tenant-{i:02} diverged from the fault-free verdict"
+        );
+    }
+
+    let proxy_report = proxy.stop();
+    assert!(proxy_report.dropped >= 1, "{proxy_report:?}");
+    assert!(proxy_report.resets >= 1, "{proxy_report:?}");
+    assert!(proxy_report.connections >= 16, "{proxy_report:?}");
+
+    // Per-tenant counters: every tenant applied every event exactly
+    // once, duplicates screened, despite sharing the fault schedule.
+    let direct = chaos_client(server.local_addr());
+    let rows = direct.query_tenant_stats().unwrap();
+    assert_eq!(rows.len(), 16, "{rows:?}");
+    for row in &rows {
+        assert_eq!(row.observed, events.len() as u64, "{row:?}");
+        assert!(row.witness_found, "{row:?}");
+        assert!(!row.quarantined, "{row:?}");
+    }
+    direct.shutdown().unwrap();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

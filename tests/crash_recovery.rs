@@ -63,7 +63,7 @@ fn server_config(dir: &PathBuf, workers: usize) -> ServerConfig {
             .with_segment_bytes(256)
             .with_fsync(FsyncPolicy::Always),
     );
-    config.workers = workers;
+    config.shards = workers;
     config.io_timeout = Duration::from_secs(5);
     config
 }
@@ -89,7 +89,9 @@ fn run_feed(dir: &PathBuf, workers: usize) -> (Option<Vec<Vec<u32>>>, Vec<u8>) {
     assert_eq!(report.witness, witness, "feed and shutdown verdicts agree");
     let summary = handle.wait();
     assert_eq!(summary.witness, witness);
-    let bytes = wal::concatenated_bytes(dir).unwrap();
+    // Tenant logs live under `tenants/<name>/`; the fault-free feed
+    // uses the default tenant.
+    let bytes = wal::concatenated_bytes(&dir.join("tenants").join("default")).unwrap();
     (witness, bytes)
 }
 

@@ -1,0 +1,222 @@
+//! Snapshot + compaction recovery: replay work is O(live monitor
+//! state) rather than O(event history), and the kill-at-any-byte
+//! recovery invariant survives the snapshot boundary — truncating the
+//! log anywhere (including mid-snapshot-frame), restarting, and
+//! redelivering always converges to the uninterrupted verdict.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use gpd_server::client::{ClientConfig, FeedClient};
+use gpd_server::server::{self, ServerConfig};
+use gpd_server::wal::{self, FsyncPolicy, WalConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 3;
+/// Compact after this many logged records.
+const SNAPSHOT_EVERY: u64 = 8;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let k = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gpd-snap-{tag}-{}-{k}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Same deterministic stream shape as `tests/crash_recovery.rs`, but
+/// longer, so several compactions fire mid-feed.
+fn generated_events() -> Vec<(usize, Vec<u32>)> {
+    let mut rng = StdRng::seed_from_u64(0xc0ffee);
+    let mut clocks = vec![vec![0u32; N]; N];
+    let mut events = Vec::new();
+    for round in 0..16 {
+        for p in 0..N {
+            if round > 0 && rng.gen_bool(0.4) {
+                let q = rng.gen_range(0..N - 1);
+                let q = if q >= p { q + 1 } else { q };
+                let other = clocks[q].clone();
+                for (mine, theirs) in clocks[p].iter_mut().zip(other) {
+                    *mine = (*mine).max(theirs);
+                }
+            }
+            clocks[p][p] += 1;
+            events.push((p, clocks[p].clone()));
+        }
+    }
+    events
+}
+
+fn server_config(dir: &PathBuf, fsync: FsyncPolicy) -> ServerConfig {
+    let mut config = ServerConfig::new(
+        WalConfig::new(dir)
+            // Small segments so compaction spans several files.
+            .with_segment_bytes(256)
+            .with_fsync(fsync),
+    );
+    config.shards = 2;
+    config.io_timeout = Duration::from_secs(5);
+    config.snapshot_every = Some(SNAPSHOT_EVERY);
+    config
+}
+
+fn client_config(addr: std::net::SocketAddr) -> ClientConfig {
+    let mut config = ClientConfig::new(addr.to_string());
+    config.io_timeout = Duration::from_secs(5);
+    config.max_retries = 5;
+    config.backoff_base = Duration::from_millis(2);
+    config.backoff_cap = Duration::from_millis(50);
+    config
+}
+
+struct Baseline {
+    witness: Option<Vec<Vec<u32>>>,
+    /// The default tenant's compacted log: snapshot frame first, then
+    /// the post-snapshot suffix.
+    wal_bytes: Vec<u8>,
+    snapshots: u64,
+}
+
+fn baseline() -> &'static Baseline {
+    static BASELINE: OnceLock<Baseline> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let dir = tmp_dir("baseline");
+        let handle =
+            server::start("127.0.0.1:0", server_config(&dir, FsyncPolicy::Always)).unwrap();
+        let client = FeedClient::new(client_config(handle.local_addr()));
+        let report = client.feed(&[false; N], &generated_events()).unwrap();
+        let witness = client.shutdown().unwrap();
+        assert_eq!(report.witness, witness);
+        assert!(witness.is_some(), "the all-true stream must find a witness");
+        let summary = handle.wait();
+        let row = &summary.tenants[0];
+        assert!(
+            row.snapshots >= 2,
+            "48 events at snapshot-every={SNAPSHOT_EVERY} must compact repeatedly: {row:?}"
+        );
+        let wal_bytes = wal::concatenated_bytes(&dir.join("tenants").join("default")).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        Baseline {
+            witness,
+            wal_bytes,
+            snapshots: row.snapshots,
+        }
+    })
+}
+
+/// Restarting over a compacted log replays O(live state): the snapshot
+/// record plus the short post-compaction suffix — not the 48-event
+/// history.
+#[test]
+fn post_compaction_replay_is_bounded_by_live_state() {
+    let base = baseline();
+    let total = generated_events().len() as u64;
+
+    let dir = tmp_dir("replay");
+    let tenant_dir = dir.join("tenants").join("default");
+    std::fs::create_dir_all(&tenant_dir).unwrap();
+    std::fs::write(tenant_dir.join("00000000.wal"), &base.wal_bytes).unwrap();
+
+    let handle = server::start("127.0.0.1:0", server_config(&dir, FsyncPolicy::Always)).unwrap();
+    let replayed = handle.replayed_records();
+    let (_, records) = replayed
+        .iter()
+        .find(|(name, _)| name == "default")
+        .expect("default tenant recovered");
+    assert!(
+        *records < total / 2,
+        "replay must be proportional to live state, not history: \
+         {records} records replayed for {total} events fed ({} snapshots)",
+        base.snapshots
+    );
+
+    // The recovered verdict is immediately correct, before any client
+    // reconnects or redelivers.
+    let client = FeedClient::new(client_config(handle.local_addr()));
+    assert_eq!(client.query_verdict().unwrap(), base.witness);
+    client.shutdown().unwrap();
+    handle.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kills the server after `keep` bytes of the compacted baseline log
+/// reached disk, restarts, redelivers everything, and requires the
+/// uninterrupted verdict.
+fn crash_recover_redeliver(keep: usize) {
+    let base = baseline();
+    let dir = tmp_dir("kill");
+    let tenant_dir = dir.join("tenants").join("default");
+    std::fs::create_dir_all(&tenant_dir).unwrap();
+    std::fs::write(tenant_dir.join("00000000.wal"), &base.wal_bytes[..keep]).unwrap();
+
+    let handle = server::start("127.0.0.1:0", server_config(&dir, FsyncPolicy::Always)).unwrap();
+    let client = FeedClient::new(client_config(handle.local_addr()));
+    let report = client
+        .feed(&[false; N], &generated_events())
+        .expect("redelivery feed succeeds");
+    let witness = client.shutdown().expect("shutdown succeeds");
+    let summary = handle.wait();
+
+    assert_eq!(
+        witness, base.witness,
+        "recovered verdict diverges (keep={keep})"
+    );
+    assert_eq!(summary.witness, base.witness);
+    // At-least-once accounting: every event is applied exactly once,
+    // whether it survived in the log, was redelivered, or was skipped
+    // by the resume high-water marks.
+    let total = generated_events().len() as u64;
+    assert_eq!(
+        report.accepted + report.duplicates + report.stale + report.resumed_past,
+        total,
+        "event accounting broken at keep={keep}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every truncation offset across the head of the log — which is the
+/// snapshot frame itself — recovers. A torn snapshot must degrade to
+/// an empty (or shorter) replay, never to a wrong verdict.
+#[test]
+fn every_offset_through_the_snapshot_frame_recovers() {
+    let len = baseline().wal_bytes.len();
+    // The snapshot frame sits at byte 0; 64 bytes comfortably covers
+    // its header and the start of its payload, plus edges.
+    for keep in (0..64.min(len)).chain([len - 1, len]) {
+        crash_recover_redeliver(keep);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sampled offsets over the whole compacted log (snapshot frame,
+    /// suffix events, segment boundaries).
+    #[test]
+    fn any_truncation_offset_across_compaction_recovers(offset_seed in any::<u64>()) {
+        let wal_len = baseline().wal_bytes.len();
+        let keep = (offset_seed % (wal_len as u64 + 1)) as usize;
+        crash_recover_redeliver(keep);
+    }
+}
+
+/// Group-commit fsync batching is a durability/performance policy, not
+/// a semantics change: the verdict matches the `Always` policy run,
+/// and compaction keeps working under it.
+#[test]
+fn group_commit_policy_preserves_the_verdict() {
+    let base = baseline();
+    let dir = tmp_dir("group");
+    let handle = server::start("127.0.0.1:0", server_config(&dir, FsyncPolicy::Group)).unwrap();
+    let client = FeedClient::new(client_config(handle.local_addr()));
+    let report = client.feed(&[false; N], &generated_events()).unwrap();
+    assert_eq!(report.witness, base.witness);
+    client.shutdown().unwrap();
+    let summary = handle.wait();
+    assert_eq!(summary.witness, base.witness);
+    assert!(summary.tenants[0].snapshots >= 1, "{:?}", summary.tenants);
+    let _ = std::fs::remove_dir_all(&dir);
+}
