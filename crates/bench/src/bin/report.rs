@@ -83,9 +83,10 @@ fn main() {
     let sweep_section = parallel_sweep_comparison(quick);
     let batch_section = batched_kernel_comparison(quick);
     let server_section = server_throughput_comparison(quick);
+    let decentralized_section = decentralized_abstraction_comparison(quick);
     if let Some(path) = json_path.as_deref() {
         let json = format!(
-            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR8.json\",\n  \"quick\": {quick},\n  \"incremental_scan\": [\n{scan_section}\n  ],\n  \"flat_kernel\": [\n{kernel_section}\n  ],\n  \"slicing\": [\n{slicing_section}\n  ],\n  \"parallel_sweep\": [\n{sweep_section}\n  ],\n  \"batched_kernel\": [\n{batch_section}\n  ],\n  \"server_throughput\": {server_section}\n}}\n",
+            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR9.json\",\n  \"quick\": {quick},\n  \"incremental_scan\": [\n{scan_section}\n  ],\n  \"flat_kernel\": [\n{kernel_section}\n  ],\n  \"slicing\": [\n{slicing_section}\n  ],\n  \"parallel_sweep\": [\n{sweep_section}\n  ],\n  \"batched_kernel\": [\n{batch_section}\n  ],\n  \"server_throughput\": {server_section},\n  \"decentralized_abstraction\": {decentralized_section}\n}}\n",
         );
         std::fs::write(path, json).expect("write json report");
         println!("Wrote {path}.\n");
@@ -274,6 +275,157 @@ fn server_throughput_comparison(quick: bool) -> String {
 
     format!(
         "{{\n    \"floor\": \"group >= 2x always at >= 8 concurrent sessions\",\n    \"always_events_per_sec\": {always:.1},\n    \"group_events_per_sec\": {group:.1},\n    \"ratio\": {ratio:.4},\n    \"rows\": [\n{}\n    ]\n  }}",
+        json_rows.join(",\n")
+    )
+}
+
+/// One row of the decentralized message-complexity sweep.
+struct AbstractionRow {
+    processes: usize,
+    states: u64,
+    forwarded: u64,
+    summaries: u64,
+    messages: u64,
+    reduction: f64,
+}
+
+/// Runs the local-slicer relevance machine over every process's
+/// stream, feeds only the forwarded events to a fresh monitor, and
+/// checks the verdict (and witness) against the full centralized
+/// reference. Returns the message-complexity row.
+fn decentralized_abstraction_row(
+    seed: u64,
+    n: usize,
+    events_per_process: usize,
+    density: f64,
+) -> AbstractionRow {
+    use gpd::abstraction::{Decision, LocalSlicer};
+    use gpd::online::ConjunctiveMonitor;
+    use gpd_computation::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let events = n * events_per_process;
+    let comp = gen::random_computation(&mut rng, n, events, events / 2);
+    let x = gen::random_bool_variable(&mut rng, &comp, density);
+    let streams = gpd_sim::local_streams(&comp, &x);
+
+    // Centralized reference: every true state, canonical order.
+    let mut reference = ConjunctiveMonitor::with_initial(&streams.initial);
+    let mut trues: Vec<(u32, usize)> = Vec::new();
+    for (p, stream) in streams.streams.iter().enumerate() {
+        for (clock, is_true) in stream {
+            if *is_true {
+                trues.push((clock[p], p));
+            }
+        }
+    }
+    trues.sort_unstable();
+    for &(k, p) in &trues {
+        let e = comp.event_at(p, k).expect("true state beyond the trace");
+        reference.observe(p, comp.clock(e).to_owned());
+    }
+
+    // Decentralized: one local slicer per process decides relevance;
+    // the merged monitor sees only the forwarded events.
+    let mut merged = ConjunctiveMonitor::with_initial(&streams.initial);
+    let mut states = 0u64;
+    let mut forwarded = 0u64;
+    let mut summaries = 0u64;
+    let mut forwards: Vec<(u32, usize)> = Vec::new();
+    for (p, stream) in streams.streams.iter().enumerate() {
+        let mut slicer = LocalSlicer::new(p, 64);
+        for (clock, is_true) in stream {
+            let vc = gpd_computation::VectorClock::from(clock.clone());
+            match slicer.admit(&vc, *is_true) {
+                Decision::Forward => forwards.push((clock[p], p)),
+                Decision::Summarize => summaries += 1,
+                Decision::Skip => {}
+            }
+        }
+        let stats = slicer.stats();
+        states += stats.observed;
+        forwarded += stats.forwarded;
+    }
+    forwards.sort_unstable();
+    for &(k, p) in &forwards {
+        let e = comp
+            .event_at(p, k)
+            .expect("forwarded state beyond the trace");
+        merged.observe(p, comp.clock(e).to_owned());
+    }
+
+    assert_eq!(
+        merged.witness().map(|w| w.to_vec()),
+        reference.witness().map(|w| w.to_vec()),
+        "sliced verdict diverged from the centralized reference at n = {n}"
+    );
+
+    let messages = forwarded + summaries;
+    AbstractionRow {
+        processes: n,
+        states,
+        forwarded,
+        summaries,
+        messages,
+        reduction: if messages == 0 {
+            states as f64
+        } else {
+            states as f64 / messages as f64
+        },
+    }
+}
+
+/// The PR 9 measurement: message complexity of the decentralized
+/// abstraction — local states generated vs messages actually sent
+/// (forwarded relevant events + causal summaries) — on sparse
+/// predicates, with a 256-process scaling row. The load-bearing floor:
+/// ≥4× reduction on the 64-process sparse workload, asserted in quick
+/// and full mode alike (the ratio is a property of the relevance rule,
+/// not the workload size). Verdict identity with the centralized
+/// reference is asserted inside every row.
+fn decentralized_abstraction_comparison(quick: bool) -> String {
+    println!("## Decentralized abstraction: message complexity (PR 9)\n");
+    println!("| processes | local states | forwarded | summaries | messages | reduction |");
+    println!("|---|---|---|---|---|---|");
+
+    let events_per_process = if quick { 12 } else { 40 };
+    let rows = [
+        decentralized_abstraction_row(0x9a11, 64, events_per_process, 0.05),
+        decentralized_abstraction_row(0x9a12, 256, events_per_process, 0.05),
+    ];
+
+    let mut json_rows = Vec::new();
+    for row in &rows {
+        println!(
+            "| {} | {} | {} | {} | {} | {:.1}× |",
+            row.processes, row.states, row.forwarded, row.summaries, row.messages, row.reduction,
+        );
+        json_rows.push(format!(
+            "    {{\"processes\": {}, \"local_states\": {}, \"forwarded\": {}, \"summaries\": {}, \"messages\": {}, \"reduction\": {:.2}}}",
+            row.processes, row.states, row.forwarded, row.summaries, row.messages, row.reduction
+        ));
+    }
+
+    let sparse = &rows[0];
+    assert!(
+        sparse.reduction >= 4.0,
+        "the decentralized abstraction must send ≥4× fewer messages than \
+         local states generated on the 64-process sparse workload: \
+         {} states vs {} messages ({:.2}×)",
+        sparse.states,
+        sparse.messages,
+        sparse.reduction,
+    );
+    println!(
+        "\nAbstraction floor: {} local states collapse to {} messages at 64 processes — {:.1}× (floor: ≥4× on sparse predicates).\n",
+        sparse.states, sparse.messages, sparse.reduction
+    );
+
+    format!(
+        "{{\n    \"floor\": \"messages <= local_states / 4 on the 64-process sparse workload\",\n    \"sparse_reduction\": {:.4},\n    \"rows\": [\n{}\n    ]\n  }}",
+        sparse.reduction,
         json_rows.join(",\n")
     )
 }

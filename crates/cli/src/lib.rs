@@ -90,6 +90,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "detect" => commands::detect(rest),
         "serve" => serve::serve(rest),
         "feed" => serve::feed(rest),
+        "slicer" => serve::slicer(rest),
         "chaos" => serve::chaos(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!(
@@ -108,12 +109,18 @@ gpd <command> ...
   detect <trace> --pred \"EXPR\" [--definitely] [--enumerate] [--threads N] [--stats]
          [--deadline-ms N] [--max-nodes N] [--max-width N] [--resume CKPT] [--checkpoint FILE]
   serve [--addr A] [--wal-dir DIR] [--fsync always|interval] [--fsync-interval-ms N]
-        [--max-inflight N] [--workers N] [--queue-cap N] [--addr-file FILE]
+        [--max-inflight N] [--workers N] [--queue-cap N] [--heartbeat-timeout-ms N]
+        [--decentralized] [--addr-file FILE]
   feed <trace> --addr A (--var NAME | --int NAME --below K | --at-least K)
         [--io-timeout-ms N] [--retries N] [--backoff-ms N] [--backoff-cap-ms N]
         [--seed S] [--window N] [--shutdown]
+  slicer <trace> --addr A (--var NAME | --int NAME --below K | --at-least K)
+        (--process P | --all) [--tenant T] [--summary-every N] [--heartbeat-ms N]
+        [--seed S] [--status] [--shutdown]
   chaos --upstream A [--listen B] [--drop P] [--duplicate P] [--jitter P]
-        [--jitter-lo-ms N] [--jitter-hi-ms N] [--reset-after N] [--seed S] [--addr-file FILE]
+        [--jitter-lo-ms N] [--jitter-hi-ms N] [--reset-after N]
+        [--partition-after N] [--partition-frames N] [--partition-direction D]
+        [--seed S] [--addr-file FILE]
   help
 
 detect budget flags bound the NP-hard engines: an exhausted budget exits
@@ -125,5 +132,8 @@ serve hosts the durable online monitor: events stream in over TCP, every
 accepted event is fsynced to the write-ahead log before it is acked, and
 a restart over the same --wal-dir replays the log so the verdict survives
 kill -9. feed replays a recorded trace as a live stream with retry,
-backoff, and reconnect-with-resume; chaos interposes a fault-injecting
-proxy (frame loss, duplication, delay, connection resets) for drills.";
+backoff, and reconnect-with-resume; slicer replays it decentralized (one
+crash-tolerant agent per process, forwarding only relevant events plus
+heartbeats, with epoch-numbered resync); chaos interposes a
+fault-injecting proxy (frame loss, duplication, delay, connection
+resets, asymmetric partitions) for drills.";

@@ -1,15 +1,20 @@
-//! The networked-monitoring subcommands: `gpd serve`, `gpd feed`, and
-//! `gpd chaos`.
+//! The networked-monitoring subcommands: `gpd serve`, `gpd feed`,
+//! `gpd slicer`, and `gpd chaos`.
 //!
 //! `serve` hosts the durable [`ConjunctiveMonitor`](gpd::online)
 //! behind the WAL-backed TCP service from `gpd-server`; `feed` replays
 //! a recorded `.trace` file into it as a live, retrying event stream;
-//! `chaos` interposes a fault-injecting proxy for drills. Together
-//! they make the crash/recovery path drivable from a shell:
+//! `slicer` replays it **decentralized** — one crash-tolerant slicer
+//! agent per process, each forwarding only abstraction-relevant events
+//! plus heartbeats; `chaos` interposes a fault-injecting proxy for
+//! drills. Together they make the crash/recovery path drivable from a
+//! shell:
 //!
 //! ```text
 //! gpd serve --wal-dir wal --addr 127.0.0.1:0 --addr-file addr.txt &
 //! gpd feed trace.gpd --addr "$(cat addr.txt)" --var in_cs --shutdown
+//! # or, decentralized:
+//! gpd slicer trace.gpd --addr "$(cat addr.txt)" --var in_cs --all --status --shutdown
 //! ```
 
 use std::io::Write as _;
@@ -17,7 +22,8 @@ use std::time::Duration;
 
 use gpd_server::chaos::{self, ChaosConfig};
 use gpd_server::client::{ClientConfig, FeedClient};
-use gpd_server::server::{self, ServerConfig};
+use gpd_server::server::{self, ServerConfig, ServerSummary};
+use gpd_server::slicer::SlicerAgent;
 use gpd_server::wal::{FsyncPolicy, WalConfig};
 use gpd_sim::FaultPlan;
 
@@ -48,12 +54,21 @@ fn render_witness(witness: &Option<Vec<Vec<u32>>>) -> String {
 
 /// `gpd serve [--addr A] [--wal-dir DIR] [--fsync always|interval|group]
 ///  [--fsync-interval-ms N] [--shards N] [--queue-cap N] [--max-tenants N]
-///  [--snapshot-every N] [--quota-frames N] [--stats] [--addr-file FILE]`
+///  [--snapshot-every N] [--quota-frames N] [--heartbeat-timeout-ms N]
+///  [--decentralized] [--stats] [--addr-file FILE]`
 ///
 /// Blocks until a client sends the shutdown command (`gpd feed
 /// --shutdown`), then reports the final verdict and counters —
 /// per-tenant rows when `--stats` is given or more than one tenant
 /// connected. (`--workers` is accepted as an alias for `--shards`.)
+///
+/// Decentralized slicer sessions are always accepted;
+/// `--heartbeat-timeout-ms` tunes how long a silent slicer stays
+/// "live" before its tenant degrades to `Unknown`, and
+/// `--decentralized` adds the slicer census (live/dead/done, DEGRADED)
+/// to the per-tenant summary rows. A quarantined tenant is still
+/// drained at shutdown and its last-known verdict plus the quarantine
+/// reason are printed.
 pub fn serve(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(
         args,
@@ -68,9 +83,10 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
             "max-tenants",
             "snapshot-every",
             "quota-frames",
+            "heartbeat-timeout-ms",
             "addr-file",
         ],
-        &["stats"],
+        &["stats", "decentralized"],
     )?;
     if !flags.positional.is_empty() {
         return Err(CliError::Usage(
@@ -113,7 +129,9 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
         n => Some(n),
     };
     config.quota_frames = flags.get_usize("quota-frames", 64)?;
+    config.heartbeat_timeout = Duration::from_millis(flags.get_u64("heartbeat-timeout-ms", 2000)?);
     let per_tenant = flags.has("stats");
+    let decentralized = flags.has("decentralized");
 
     let before = gpd::counters::snapshot();
     let handle = server::start(addr, config).map_err(|e| CliError::Io(format!("{addr}: {e}")))?;
@@ -121,7 +139,25 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
     let summary = handle.wait();
 
     let monitor = gpd::counters::snapshot().since(&before);
-    let stats = summary.stats;
+    Ok(render_summary(
+        &summary,
+        &monitor,
+        per_tenant,
+        decentralized,
+    ))
+}
+
+/// Formats the shutdown summary: verdict, counters, per-tenant rows,
+/// and — always, whatever the row flags — a line per quarantined
+/// tenant with its last-known verdict and the quarantine reason (a
+/// quarantined tenant is drained, not dropped).
+fn render_summary(
+    summary: &ServerSummary,
+    monitor: &gpd::counters::ScanCounters,
+    per_tenant: bool,
+    decentralized: bool,
+) -> String {
+    let stats = &summary.stats;
     let mut out = render_witness(&summary.witness);
     out.push_str(&format!(
         "server stats: {} observed, {} duplicate, {} stale, {} rejected, {} logged, {} resumes, {} wal segments\n",
@@ -140,10 +176,21 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
         monitor.monitor_stale,
         monitor.monitor_queue_peak,
     ));
-    if per_tenant || summary.tenants.len() > 1 {
+    if per_tenant || decentralized || summary.tenants.len() > 1 {
         for row in &summary.tenants {
+            let slicers = if decentralized {
+                format!(
+                    ", slicers {} live / {} dead / {} done{}",
+                    row.slicers_live,
+                    row.slicers_dead,
+                    row.slicers_done,
+                    if row.degraded { ", DEGRADED" } else { "" },
+                )
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "tenant {}: {} observed, {} duplicate, {} stale, {} rejected, queue peak {}, {} wal bytes, {} snapshots, {} resumes{}{}\n",
+                "tenant {}: {} observed, {} duplicate, {} stale, {} rejected, queue peak {}, {} wal bytes, {} snapshots, {} resumes{}{}{}\n",
                 row.tenant,
                 row.observed,
                 row.duplicates,
@@ -154,11 +201,24 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
                 row.snapshots,
                 row.resumes,
                 if row.witness_found { ", witness found" } else { "" },
+                slicers,
                 if row.quarantined { ", QUARANTINED" } else { "" },
             ));
         }
     }
-    Ok(out)
+    for row in summary.tenants.iter().filter(|r| r.quarantined) {
+        out.push_str(&format!(
+            "tenant {} quarantined: {}; last-known verdict: {}\n",
+            row.tenant,
+            if row.quarantine_reason.is_empty() {
+                "unknown reason"
+            } else {
+                &row.quarantine_reason
+            },
+            if row.witness_found { "true" } else { "false" },
+        ));
+    }
+    out
 }
 
 /// Derives the per-process truth tracks the feed streams: either a
@@ -311,15 +371,199 @@ pub fn feed(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Converts truth tracks into per-process slicer replay streams: the
+/// initial-state truth vector plus, for each process, its non-initial
+/// local states in local order as `(vector clock, local truth)`.
+fn local_replay_streams(
+    comp: &gpd_computation::Computation,
+    tracks: &[Vec<bool>],
+) -> gpd_sim::LocalStreams {
+    let initial: Vec<bool> = tracks
+        .iter()
+        .map(|t| t.first().copied().unwrap_or(false))
+        .collect();
+    let streams = tracks
+        .iter()
+        .enumerate()
+        .map(|(p, track)| {
+            track
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(k, &is_true)| {
+                    let e = comp.event_at(p, k as u32).expect("state beyond the trace");
+                    (comp.clock(e).as_slice().to_vec(), is_true)
+                })
+                .collect()
+        })
+        .collect();
+    gpd_sim::LocalStreams { initial, streams }
+}
+
+/// `gpd slicer <trace> --addr A (--var NAME | --int NAME --below K | --at-least K)
+///  (--process P | --all) [--tenant T] [--summary-every N] [--heartbeat-ms N]
+///  [--io-timeout-ms N] [--retries N] [--backoff-ms N] [--backoff-cap-ms N]
+///  [--seed S] [--status] [--shutdown]`
+///
+/// Replays the trace **decentralized**: one slicer agent per process
+/// (`--all`, threads) or a single process (`--process P`, so a shell
+/// can run each agent as its own OS process and `kill`/restart them
+/// independently). Each agent forwards only abstraction-relevant
+/// events plus causal summaries and heartbeats, resyncing through the
+/// epoch handshake after any crash or reconnect. `--status` queries
+/// the server's decentralized verdict afterwards; `--shutdown` then
+/// stops the server.
+pub fn slicer(args: &[String]) -> Result<String, CliError> {
+    let flags = parse_flags(
+        args,
+        &[
+            "addr",
+            "tenant",
+            "var",
+            "int",
+            "below",
+            "at-least",
+            "process",
+            "summary-every",
+            "heartbeat-ms",
+            "io-timeout-ms",
+            "retries",
+            "backoff-ms",
+            "backoff-cap-ms",
+            "seed",
+        ],
+        &["all", "status", "shutdown"],
+    )?;
+    let [path] = flags.positional.as_slice() else {
+        return Err(CliError::Usage(
+            "slicer <trace> --addr A (--var NAME | --int NAME --below K) (--process P | --all) [flags]"
+                .into(),
+        ));
+    };
+    let Some(addr) = flags.values.get("addr") else {
+        return Err(CliError::Usage("slicer needs --addr HOST:PORT".into()));
+    };
+    if flags.values.contains_key("var") == flags.values.contains_key("int") {
+        return Err(CliError::Usage(
+            "slicer needs exactly one of --var NAME / --int NAME".into(),
+        ));
+    }
+    if flags.has("all") == flags.values.contains_key("process") {
+        return Err(CliError::Usage(
+            "slicer needs exactly one of --process P / --all".into(),
+        ));
+    }
+    let trace = load_trace(path)?;
+    let tracks = truth_tracks(&trace, &flags)?;
+    let gpd_sim::LocalStreams { initial, streams } =
+        local_replay_streams(&trace.computation, &tracks);
+
+    let mut config = ClientConfig::new(addr.clone());
+    if let Some(tenant) = flags.values.get("tenant") {
+        config = config.with_tenant(tenant.clone());
+    }
+    config.io_timeout = Duration::from_millis(flags.get_u64("io-timeout-ms", 2000)?);
+    config.max_retries = flags.get_u64("retries", 10)? as u32;
+    config.backoff_base = Duration::from_millis(flags.get_u64("backoff-ms", 25)?);
+    config.backoff_cap = Duration::from_millis(flags.get_u64("backoff-cap-ms", 1000)?);
+    config.jitter_seed = flags.get_u64("seed", 0)?;
+    let summary_every = flags.get_usize("summary-every", 64)?;
+    let heartbeat = Duration::from_millis(flags.get_u64("heartbeat-ms", 100)?);
+
+    let processes: Vec<u32> = if flags.has("all") {
+        (0..initial.len() as u32).collect()
+    } else {
+        let p = flags.get_usize("process", 0)? as u32;
+        if p as usize >= initial.len() {
+            return Err(CliError::Usage(format!(
+                "--process {p} out of range for {} processes",
+                initial.len()
+            )));
+        }
+        vec![p]
+    };
+
+    let run_one = |p: u32| {
+        let mut agent_config = config.clone();
+        // Decorrelate the agents' backoff schedules.
+        agent_config.jitter_seed = config.jitter_seed.wrapping_add(u64::from(p));
+        let agent = SlicerAgent::new(
+            agent_config,
+            p,
+            gpd::abstraction::LocalRelevance::Conjunctive,
+        )
+        .with_summary_every(summary_every)
+        .with_heartbeat_interval(heartbeat);
+        agent.run(&initial, &streams[p as usize])
+    };
+    let reports: Vec<_> = if processes.len() == 1 {
+        vec![(processes[0], run_one(processes[0]))]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = processes
+                .iter()
+                .map(|&p| (p, scope.spawn(move || run_one(p))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|(p, h)| (p, h.join().expect("slicer thread panicked")))
+                .collect()
+        })
+    };
+
+    let mut out = String::new();
+    for (p, report) in reports {
+        let report = report.map_err(|e| CliError::Io(format!("slicer {p}: {e}")))?;
+        let stats = &report.stats;
+        out.push_str(&format!(
+            "slicer {p}: {} observed, {} forwarded, {} summarized, reduction {:.1}x, {} heartbeats, {} reconnects, {} retransmits, epoch {}\n",
+            stats.observed,
+            stats.forwarded,
+            stats.summarized,
+            stats.reduction_ratio(),
+            report.heartbeats,
+            report.reconnects,
+            report.retransmits,
+            report.epoch,
+        ));
+    }
+    let client = FeedClient::new(config);
+    if flags.has("status") {
+        let verdict = client
+            .query_slicer_status()
+            .map_err(|e| CliError::Io(e.to_string()))?;
+        out.push_str(&render_witness(&verdict.witness));
+        if verdict.degraded {
+            out.push_str(&format!(
+                "DEGRADED: verdict is Unknown below the progress frontier; dead slicers: {:?}\n",
+                verdict.dead
+            ));
+        }
+    }
+    if flags.has("shutdown") {
+        let final_witness = client.shutdown().map_err(|e| CliError::Io(e.to_string()))?;
+        out.push_str(&format!(
+            "server drained and stopped\nfinal {}",
+            render_witness(&final_witness)
+        ));
+    }
+    Ok(out)
+}
+
 /// `gpd chaos --upstream A [--listen B] [--drop P] [--duplicate P]
 ///  [--jitter P] [--jitter-lo-ms N] [--jitter-hi-ms N] [--reset-after N]
-///  [--reset-every N] [--reset-limit N] [--seed S] [--addr-file FILE]`
+///  [--reset-every N] [--reset-limit N] [--partition-after N]
+///  [--partition-frames N] [--partition-direction to-server|to-client]
+///  [--seed S] [--addr-file FILE]`
 ///
 /// Blocks forever (kill the process to stop it); meant for drills and
 /// the CI chaos smoke job. `--reset-after N` forces the first
 /// connection reset after N forwarded frames; `--reset-every M`
 /// repeats it every M further frames (a reconnect storm), bounded by
-/// `--reset-limit K` (0 = unlimited).
+/// `--reset-limit K` (0 = unlimited). `--partition-after N` starts an
+/// asymmetric partition per connection after N frames in the chosen
+/// direction, swallowing the next `--partition-frames` frames before
+/// the link heals.
 pub fn chaos(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(
         args,
@@ -334,6 +578,9 @@ pub fn chaos(args: &[String]) -> Result<String, CliError> {
             "reset-after",
             "reset-every",
             "reset-limit",
+            "partition-after",
+            "partition-frames",
+            "partition-direction",
             "seed",
             "addr-file",
         ],
@@ -371,6 +618,20 @@ pub fn chaos(args: &[String]) -> Result<String, CliError> {
         n => Some(n),
     };
     config.reset_limit = flags.get_u64("reset-limit", 0)?;
+    config.partition_after = match flags.get_u64("partition-after", 0)? {
+        0 => None,
+        n => Some(n),
+    };
+    config.partition_frames = flags.get_u64("partition-frames", 0)?;
+    config.partition_direction = match flags.values.get("partition-direction").map(String::as_str) {
+        None | Some("to-server") => gpd_server::chaos::PartitionDirection::ToServer,
+        Some("to-client") => gpd_server::chaos::PartitionDirection::ToClient,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--partition-direction expects to-server or to-client, got {other:?}"
+            )))
+        }
+    };
     config.seed = flags.get_u64("seed", 0)?;
 
     let handle =
@@ -574,6 +835,60 @@ mod tests {
     }
 
     #[test]
+    fn slicer_all_reaches_the_centralized_verdict() {
+        let trace = temp_trace("slicer", "mutex", &["--n", "3", "--buggy", "--seed", "5"]);
+        let (addr, serve_thread) = spawn_serve("slicer", &["--decentralized"]);
+        let out = slicer(&args(&[
+            &trace,
+            "--addr",
+            &addr,
+            "--var",
+            "in_cs",
+            "--all",
+            "--status",
+            "--shutdown",
+        ]))
+        .unwrap();
+        assert!(out.contains("slicer 0:"), "{out}");
+        assert!(out.contains("slicer 2:"), "{out}");
+        assert!(out.contains("verdict:"), "{out}");
+        assert!(!out.contains("DEGRADED"), "{out}");
+        let summary = serve_thread.join().unwrap().unwrap();
+        assert!(summary.contains("slicers"), "{summary}");
+        // The decentralized verdict must agree with the offline detector.
+        let offline =
+            crate::commands::detect(&args(&[&trace, "--pred", "conj in_cs@0 in_cs@1 in_cs@2"]))
+                .unwrap();
+        assert_eq!(
+            out.contains("verdict: true"),
+            offline.contains("true"),
+            "decentralized {out:?} vs offline {offline:?}"
+        );
+    }
+
+    #[test]
+    fn quarantined_tenants_print_reason_and_last_verdict() {
+        use gpd_server::protocol::{ServerStats, TenantStatsRow};
+        let summary = ServerSummary {
+            witness: None,
+            stats: ServerStats::default(),
+            tenants: vec![TenantStatsRow {
+                tenant: "acme".into(),
+                quarantined: true,
+                quarantine_reason: "wal fsync failed".into(),
+                witness_found: true,
+                ..TenantStatsRow::default()
+            }],
+        };
+        let monitor = gpd::counters::ScanCounters::default();
+        let out = render_summary(&summary, &monitor, false, false);
+        assert!(
+            out.contains("tenant acme quarantined: wal fsync failed; last-known verdict: true"),
+            "{out}"
+        );
+    }
+
+    #[test]
     fn usage_errors_are_caught() {
         assert!(matches!(
             feed(&args(&["nonexistent.trace"])),
@@ -584,6 +899,23 @@ mod tests {
             Err(CliError::Usage(_))
         ));
         assert!(matches!(chaos(&args(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            slicer(&args(&["x.trace", "--addr", "127.0.0.1:1", "--var", "v"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            slicer(&args(&[
+                "x.trace",
+                "--addr",
+                "127.0.0.1:1",
+                "--var",
+                "v",
+                "--all",
+                "--process",
+                "0"
+            ])),
+            Err(CliError::Usage(_))
+        ));
         assert!(matches!(
             serve(&args(&["--fsync", "sometimes"])),
             Err(CliError::Usage(_))

@@ -1,0 +1,363 @@
+//! Local slicers for decentralized online detection.
+//!
+//! The central-monitor architecture of [`online`](crate::online) funnels
+//! *every* local state of every process into one checker. Chauhan & Garg's
+//! distributed abstraction observation is that each process can decide
+//! **locally** whether a state can possibly matter to the verdict and
+//! forward only those — for a conjunctive predicate `x₀ ∧ … ∧ x_{n−1}`
+//! the states in which the local conjunct is true, for a regular
+//! predicate the states its per-process component admits. The monitor
+//! then runs on the *abstracted* computation and, because the screened
+//! states could never appear in a witness, reaches the exact verdict the
+//! unabstracted stream would.
+//!
+//! [`LocalSlicer`] is the pure per-process state machine behind that
+//! mode: it classifies each local state into forward / skip, emits
+//! periodic **causal summaries** (the latest observed clock, even when
+//! the local conjunct has been false for a long run) so the monitor's
+//! progress bounds keep advancing, and supports **resync** — after a
+//! crash and restart, the server hands back its per-process high-water
+//! mark and the slicer silently fast-forwards past everything already
+//! delivered, so at-least-once replay never double-counts.
+
+use gpd_computation::VectorClock;
+
+/// Which states of process `p` are *abstraction-relevant* — i.e. could
+/// appear in a witness and therefore must reach the monitor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LocalRelevance {
+    /// Conjunctive predicate `x₀ ∧ … ∧ x_{n−1}`: a local state is
+    /// relevant iff the local variable is true in it. Screened (false)
+    /// states cannot contribute to any witness, so dropping them is
+    /// verdict-preserving (Garg–Waldecker only ever pairs true states).
+    Conjunctive,
+    /// One process's component of a regular predicate: local state `k`
+    /// is relevant iff `allowed[k]`. States beyond the vector are
+    /// irrelevant (the component has stabilised to false).
+    Regular(Vec<bool>),
+}
+
+impl LocalRelevance {
+    /// Is the local state with index `state_index` (0 = initial state)
+    /// and local truth value `local_true` relevant under this rule?
+    pub fn relevant(&self, state_index: u32, local_true: bool) -> bool {
+        match self {
+            LocalRelevance::Conjunctive => local_true,
+            LocalRelevance::Regular(allowed) => {
+                allowed.get(state_index as usize).copied().unwrap_or(false)
+            }
+        }
+    }
+}
+
+/// What the slicer decided about one local state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Relevant: forward the state's clock to the monitor.
+    Forward,
+    /// Irrelevant, but the summary cadence elapsed: piggyback the
+    /// state's clock as a causal summary (progress-only, no queue
+    /// entry) so the monitor's progress bounds keep advancing through
+    /// long false runs.
+    Summarize,
+    /// Irrelevant: send nothing.
+    Skip,
+}
+
+/// Message-complexity counters a slicer accumulates; the bench report
+/// reads these to compute the forwarded-vs-generated reduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlicerStats {
+    /// Local states observed (everything the process generated,
+    /// including states screened by resync).
+    pub observed: u64,
+    /// States classified [`Decision::Forward`].
+    pub forwarded: u64,
+    /// States classified [`Decision::Summarize`].
+    pub summarized: u64,
+    /// States classified [`Decision::Skip`] (excluding resync skips).
+    pub skipped: u64,
+    /// States fast-forwarded past by [`LocalSlicer::resync`] — already
+    /// delivered before the crash, silently dropped on replay.
+    pub resumed_past: u64,
+}
+
+impl SlicerStats {
+    /// Observed-to-forwarded ratio — the message-complexity reduction
+    /// the abstraction buys (`∞` is reported as `observed` when nothing
+    /// was forwarded; `1.0` when nothing was observed).
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.observed == 0 {
+            1.0
+        } else if self.forwarded == 0 {
+            self.observed as f64
+        } else {
+            self.observed as f64 / self.forwarded as f64
+        }
+    }
+}
+
+/// The per-process local-slicer state machine.
+///
+/// Pure and deterministic: `admit` never blocks, performs no I/O, and
+/// decides from (clock, relevance, resync mark, summary cadence) only —
+/// the slicer-agent runtime owns sockets, retries and heartbeats.
+///
+/// # Example
+///
+/// ```
+/// use gpd::abstraction::{Decision, LocalSlicer};
+/// use gpd_computation::VectorClock;
+///
+/// // Process 0 of 2, summarize every 2 skipped states.
+/// let mut s = LocalSlicer::new(0, 2);
+/// assert_eq!(s.admit(&VectorClock::from(vec![1, 0]), false), Decision::Skip);
+/// assert_eq!(s.admit(&VectorClock::from(vec![2, 0]), true), Decision::Forward);
+/// assert_eq!(s.admit(&VectorClock::from(vec![3, 1]), false), Decision::Skip);
+/// assert_eq!(s.admit(&VectorClock::from(vec![4, 1]), false), Decision::Summarize);
+/// assert_eq!(s.stats().forwarded, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalSlicer {
+    /// The process this slicer runs beside.
+    process: usize,
+    /// Emit a summary after this many consecutive skipped states
+    /// (0 disables summaries).
+    summary_every: usize,
+    /// Irrelevant states since the last forward/summary.
+    skipped_since_emit: usize,
+    /// Resync mark: states with `clock[process] <= mark` were already
+    /// delivered in a previous epoch and are dropped on replay.
+    resync_mark: Option<u32>,
+    /// Latest observed clock (relevant or not) — the causal summary a
+    /// heartbeat piggybacks.
+    progress: Option<VectorClock>,
+    stats: SlicerStats,
+}
+
+impl LocalSlicer {
+    /// A slicer for process `process`, summarizing after `summary_every`
+    /// consecutive skipped states (`0` = never summarize mid-run).
+    pub fn new(process: usize, summary_every: usize) -> Self {
+        LocalSlicer {
+            process,
+            summary_every,
+            skipped_since_emit: 0,
+            resync_mark: None,
+            progress: None,
+            stats: SlicerStats::default(),
+        }
+    }
+
+    /// The process this slicer runs beside.
+    pub fn process(&self) -> usize {
+        self.process
+    }
+
+    /// Installs the server's per-process high-water mark after a
+    /// reconnect: every state whose local component is `<= high_water`
+    /// was already delivered in a previous epoch and will be silently
+    /// dropped by [`admit`](Self::admit) — the replay-without-
+    /// double-counting half of the resync invariant. `None` clears the
+    /// mark (fresh session, nothing delivered yet).
+    pub fn resync(&mut self, high_water: Option<u32>) {
+        self.resync_mark = high_water;
+        self.skipped_since_emit = 0;
+    }
+
+    /// Classifies the next local state. `clock` is the state's vector
+    /// clock; `relevant` is the verdict of the [`LocalRelevance`] rule
+    /// on this state. Local components must be fed in increasing order
+    /// (the slicer replays its own trace FIFO).
+    pub fn admit(&mut self, clock: &VectorClock, relevant: bool) -> Decision {
+        self.stats.observed += 1;
+        if let Some(mark) = self.resync_mark {
+            if clock.get(self.process) <= mark {
+                self.stats.resumed_past += 1;
+                return Decision::Skip;
+            }
+        }
+        self.progress = Some(clock.clone());
+        if relevant {
+            self.stats.forwarded += 1;
+            self.skipped_since_emit = 0;
+            Decision::Forward
+        } else if self.summary_every > 0 && self.skipped_since_emit + 1 >= self.summary_every {
+            self.stats.summarized += 1;
+            self.skipped_since_emit = 0;
+            Decision::Summarize
+        } else {
+            self.stats.skipped += 1;
+            self.skipped_since_emit += 1;
+            Decision::Skip
+        }
+    }
+
+    /// The latest observed clock — what a heartbeat reports as this
+    /// process's causal progress. Advances on every admitted state
+    /// (relevant or not), so the monitor's `Unknown` bounds are sound
+    /// and as tight as the last state the slicer saw.
+    pub fn progress(&self) -> Option<&VectorClock> {
+        self.progress.as_ref()
+    }
+
+    /// The accumulated message-complexity counters.
+    pub fn stats(&self) -> SlicerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conjunctive::possibly_conjunctive;
+    use crate::online::ConjunctiveMonitor;
+    use gpd_computation::{gen, ProcessId};
+    use rand::{Rng, SeedableRng};
+
+    fn vc(v: Vec<u32>) -> VectorClock {
+        VectorClock::from(v)
+    }
+
+    #[test]
+    fn conjunctive_relevance_is_the_local_variable() {
+        let r = LocalRelevance::Conjunctive;
+        assert!(r.relevant(0, true));
+        assert!(!r.relevant(7, false));
+    }
+
+    #[test]
+    fn regular_relevance_reads_the_allowed_set() {
+        let r = LocalRelevance::Regular(vec![false, true, true]);
+        assert!(!r.relevant(0, true)); // local truth is ignored
+        assert!(r.relevant(1, false));
+        assert!(r.relevant(2, false));
+        assert!(!r.relevant(3, true)); // beyond the vector: irrelevant
+    }
+
+    #[test]
+    fn forwards_exactly_the_relevant_states() {
+        let mut s = LocalSlicer::new(0, 0);
+        let truth = [true, false, true, true, false];
+        let mut forwarded = 0;
+        for (k, &t) in truth.iter().enumerate() {
+            let d = s.admit(&vc(vec![k as u32 + 1, 0]), t);
+            if t {
+                assert_eq!(d, Decision::Forward);
+                forwarded += 1;
+            } else {
+                assert_eq!(d, Decision::Skip);
+            }
+        }
+        assert_eq!(s.stats().forwarded, forwarded);
+        assert_eq!(s.stats().observed, truth.len() as u64);
+        assert_eq!(s.stats().summarized, 0);
+    }
+
+    #[test]
+    fn summary_cadence_fires_every_n_skips_and_resets_on_forward() {
+        let mut s = LocalSlicer::new(0, 3);
+        assert_eq!(s.admit(&vc(vec![1, 0]), false), Decision::Skip);
+        assert_eq!(s.admit(&vc(vec![2, 0]), false), Decision::Skip);
+        assert_eq!(s.admit(&vc(vec![3, 0]), false), Decision::Summarize);
+        assert_eq!(s.admit(&vc(vec![4, 0]), false), Decision::Skip);
+        // A forward resets the cadence.
+        assert_eq!(s.admit(&vc(vec![5, 0]), true), Decision::Forward);
+        assert_eq!(s.admit(&vc(vec![6, 0]), false), Decision::Skip);
+        assert_eq!(s.admit(&vc(vec![7, 0]), false), Decision::Skip);
+        assert_eq!(s.admit(&vc(vec![8, 0]), false), Decision::Summarize);
+        assert_eq!(s.stats().summarized, 2);
+    }
+
+    #[test]
+    fn resync_drops_already_delivered_states_silently() {
+        let mut s = LocalSlicer::new(0, 0);
+        s.resync(Some(3));
+        // Replay from the start: 1..=3 were delivered pre-crash.
+        for k in 1..=3u32 {
+            assert_eq!(s.admit(&vc(vec![k, 0]), true), Decision::Skip);
+        }
+        assert_eq!(s.admit(&vc(vec![4, 0]), true), Decision::Forward);
+        let st = s.stats();
+        assert_eq!(st.resumed_past, 3);
+        assert_eq!(st.forwarded, 1);
+        assert_eq!(st.observed, 4);
+        // Progress only reflects states past the mark — the server's
+        // bounds already cover the resumed prefix.
+        assert_eq!(s.progress().unwrap().get(0), 4);
+    }
+
+    #[test]
+    fn resync_none_clears_the_mark() {
+        let mut s = LocalSlicer::new(1, 0);
+        s.resync(Some(9));
+        s.resync(None);
+        assert_eq!(s.admit(&vc(vec![0, 1]), true), Decision::Forward);
+    }
+
+    #[test]
+    fn progress_advances_on_irrelevant_states_too() {
+        let mut s = LocalSlicer::new(0, 0);
+        assert!(s.progress().is_none());
+        s.admit(&vc(vec![1, 2]), false);
+        assert_eq!(s.progress().unwrap().as_slice(), [1, 2]);
+        s.admit(&vc(vec![2, 5]), false);
+        assert_eq!(s.progress().unwrap().as_slice(), [2, 5]);
+    }
+
+    #[test]
+    fn reduction_ratio_handles_edges() {
+        assert_eq!(SlicerStats::default().reduction_ratio(), 1.0);
+        let none_forwarded = SlicerStats {
+            observed: 8,
+            ..Default::default()
+        };
+        assert_eq!(none_forwarded.reduction_ratio(), 8.0);
+        let half = SlicerStats {
+            observed: 8,
+            forwarded: 2,
+            ..Default::default()
+        };
+        assert_eq!(half.reduction_ratio(), 4.0);
+    }
+
+    /// The abstraction theorem, end to end on random computations: a
+    /// monitor fed only the slicer-forwarded states reaches the same
+    /// verdict as offline detection on the full computation — and the
+    /// same *witness* as a monitor fed every true state, because for
+    /// conjunctive predicates the forwarded set IS the true-state set.
+    #[test]
+    fn sliced_stream_reaches_the_centralized_verdict() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2718);
+        for round in 0..60 {
+            let n = rng.gen_range(2..6);
+            let events = rng.gen_range(1..8);
+            let msgs = rng.gen_range(0..2 * n);
+            let comp = gen::random_computation(&mut rng, n, events, msgs);
+            let x = gen::random_bool_variable(&mut rng, &comp, 0.3);
+
+            let initial: Vec<bool> = (0..n).map(|p| x.true_initially(p)).collect();
+            let mut monitor = ConjunctiveMonitor::with_initial(&initial);
+            for p in 0..n {
+                let mut slicer = LocalSlicer::new(p, 4);
+                for k in 1..=comp.events_of(ProcessId::new(p)).len() as u32 {
+                    let clock = comp.clock(comp.event_at(p, k).unwrap()).to_owned();
+                    let relevant = x.value_in_state(p, k);
+                    match slicer.admit(&clock, relevant) {
+                        Decision::Forward => {
+                            monitor.observe(p, clock);
+                        }
+                        Decision::Summarize | Decision::Skip => {}
+                    }
+                }
+            }
+            let offline =
+                possibly_conjunctive(&comp, &x, &(0..n).map(ProcessId::new).collect::<Vec<_>>());
+            assert_eq!(
+                monitor.witness().is_some(),
+                offline.is_some(),
+                "round {round}"
+            );
+        }
+    }
+}

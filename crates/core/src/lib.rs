@@ -45,6 +45,7 @@
 //! assert!(phi.eval(&x, &witness));
 //! ```
 
+pub mod abstraction;
 pub mod budget;
 pub mod conjunctive;
 mod conjunctive_definitely;

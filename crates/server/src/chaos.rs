@@ -6,7 +6,13 @@
 //! Faults are applied at frame granularity on the client → server
 //! direction (dropping half a frame would just desynchronize the
 //! stream; the interesting failures are whole lost or repeated
-//! messages). The server → client direction is forwarded verbatim.
+//! messages). The server → client direction is forwarded frame-aware
+//! too, so **asymmetric partitions** can silence either direction
+//! alone: after [`partition_after`](ChaosConfig::partition_after)
+//! frames in the chosen direction, the next
+//! [`partition_frames`](ChaosConfig::partition_frames) frames are
+//! dropped, then the link heals — the classic "my acks vanish but my
+//! sends arrive" (or vice versa) slicer-link failure.
 //!
 //! Connections are served concurrently (one pump thread each), so a
 //! multi-tenant fleet can storm the proxy at once. Each connection's
@@ -20,7 +26,6 @@
 //! [`reset_limit`](ChaosConfig::reset_limit) — so a reconnect storm
 //! (every session forced through resume, repeatedly) is one flag away.
 
-use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -55,6 +60,53 @@ pub struct ChaosConfig {
     /// Base seed for the fault rolls; connection `i` rolls from
     /// `seed + i`.
     pub seed: u64,
+    /// Start an asymmetric partition after this many frames have been
+    /// seen **in the partitioned direction, per connection**. `None`
+    /// disables partitions.
+    pub partition_after: Option<u64>,
+    /// Drop this many consecutive frames once the partition starts,
+    /// then heal the link.
+    pub partition_frames: u64,
+    /// Which direction the partition silences.
+    pub partition_direction: PartitionDirection,
+}
+
+/// Which half of the duplex link an asymmetric partition cuts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionDirection {
+    /// Client → server frames vanish (events/heartbeats lost; acks
+    /// still flow).
+    #[default]
+    ToServer,
+    /// Server → client frames vanish (acks lost; events still land —
+    /// the redelivery-heavy half).
+    ToClient,
+}
+
+/// Per-connection, per-direction partition schedule: frames with index
+/// in `[after, after + frames)` are dropped, everything else passes.
+struct Partition {
+    after: u64,
+    frames: u64,
+    seen: u64,
+}
+
+impl Partition {
+    fn new(config: &ChaosConfig, direction: PartitionDirection) -> Option<Partition> {
+        let after = config.partition_after?;
+        (config.partition_direction == direction).then_some(Partition {
+            after,
+            frames: config.partition_frames,
+            seen: 0,
+        })
+    }
+
+    /// Whether the next frame in this direction is swallowed.
+    fn drops(&mut self) -> bool {
+        let index = self.seen;
+        self.seen += 1;
+        index >= self.after && index < self.after + self.frames
+    }
 }
 
 impl ChaosConfig {
@@ -67,6 +119,9 @@ impl ChaosConfig {
             reset_every: None,
             reset_limit: 0,
             seed: 0,
+            partition_after: None,
+            partition_frames: 0,
+            partition_direction: PartitionDirection::ToServer,
         }
     }
 }
@@ -84,6 +139,8 @@ pub struct ChaosReport {
     pub resets: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Frames swallowed by asymmetric partitions (either direction).
+    pub partitioned: u64,
 }
 
 struct Shared {
@@ -93,6 +150,7 @@ struct Shared {
     duplicated: AtomicU64,
     resets: AtomicU64,
     connections: AtomicU64,
+    partitioned: AtomicU64,
 }
 
 impl Shared {
@@ -149,6 +207,7 @@ impl ChaosHandle {
             duplicated: self.shared.duplicated.load(Ordering::Relaxed),
             resets: self.shared.resets.load(Ordering::Relaxed),
             connections: self.shared.connections.load(Ordering::Relaxed),
+            partitioned: self.shared.partitioned.load(Ordering::Relaxed),
         }
     }
 
@@ -182,6 +241,7 @@ pub fn start(addr: &str, config: ChaosConfig) -> std::io::Result<ChaosHandle> {
         duplicated: AtomicU64::new(0),
         resets: AtomicU64::new(0),
         connections: AtomicU64::new(0),
+        partitioned: AtomicU64::new(0),
     });
     let thread = {
         let shared = Arc::clone(&shared);
@@ -224,28 +284,29 @@ pub fn start(addr: &str, config: ChaosConfig) -> std::io::Result<ChaosHandle> {
 fn pump_connection(
     mut client: TcpStream,
     config: &ChaosConfig,
-    shared: &Shared,
+    shared: &Arc<Shared>,
     rng: &mut StdRng,
 ) -> std::io::Result<()> {
     let mut upstream = TcpStream::connect(&config.upstream)?;
     client.set_nodelay(true)?;
     upstream.set_nodelay(true)?;
 
-    // Server → client: verbatim byte pump in its own thread; ends when
+    // Server → client: frame-aware pump in its own thread, so an
+    // asymmetric partition can swallow whole reply frames; ends when
     // either socket dies.
     let downstream = {
         let mut up = upstream.try_clone()?;
         let mut down = client.try_clone()?;
+        let mut partition = Partition::new(config, PartitionDirection::ToClient);
+        let shared = Arc::clone(shared);
         std::thread::spawn(move || {
-            let mut buf = [0u8; 4096];
-            loop {
-                match up.read(&mut buf) {
-                    Ok(0) | Err(_) => break,
-                    Ok(k) => {
-                        if down.write_all(&buf[..k]).is_err() {
-                            break;
-                        }
-                    }
+            while let Ok(frame) = read_frame(&mut up) {
+                if partition.as_mut().is_some_and(Partition::drops) {
+                    shared.partitioned.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                if write_frame(&mut down, &frame).is_err() {
+                    break;
                 }
             }
             let _ = down.shutdown(Shutdown::Write);
@@ -254,7 +315,12 @@ fn pump_connection(
 
     // Client → server: frame-granular with faults.
     // Runs until the client hangs up (EOF) or sends garbage.
+    let mut partition = Partition::new(config, PartitionDirection::ToServer);
     while let Ok(frame) = read_frame(&mut client) {
+        if partition.as_mut().is_some_and(Partition::drops) {
+            shared.partitioned.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
         if shared.claim_reset(config) {
             let _ = client.shutdown(Shutdown::Both);
             let _ = upstream.shutdown(Shutdown::Both);
@@ -287,4 +353,86 @@ fn pump_connection(
     let _ = client.shutdown(Shutdown::Both);
     let _ = downstream.join();
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An upstream that echoes every frame and returns what it saw.
+    fn echo_upstream() -> (SocketAddr, JoinHandle<Vec<Vec<u8>>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let thread = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut seen = Vec::new();
+            while let Ok(frame) = read_frame(&mut conn) {
+                let _ = write_frame(&mut conn, &frame);
+                seen.push(frame);
+            }
+            seen
+        });
+        (addr, thread)
+    }
+
+    fn partitioned_config(upstream: SocketAddr, direction: PartitionDirection) -> ChaosConfig {
+        let mut config = ChaosConfig::new(upstream.to_string());
+        config.partition_after = Some(2);
+        config.partition_frames = 3;
+        config.partition_direction = direction;
+        config
+    }
+
+    #[test]
+    fn to_server_partition_drops_then_heals() {
+        let (up_addr, upstream) = echo_upstream();
+        let config = partitioned_config(up_addr, PartitionDirection::ToServer);
+        let handle = start("127.0.0.1:0", config).unwrap();
+        let mut client = TcpStream::connect(handle.local_addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        for i in 0u8..8 {
+            write_frame(&mut client, &[i]).unwrap();
+        }
+        // Frames 2..5 vanished upstream; the survivors' echoes prove
+        // the link healed after the window.
+        let mut echoed = Vec::new();
+        for _ in 0..5 {
+            echoed.push(read_frame(&mut client).unwrap());
+        }
+        assert_eq!(echoed, vec![vec![0], vec![1], vec![5], vec![6], vec![7]]);
+        drop(client);
+        let seen = upstream.join().unwrap();
+        assert_eq!(seen, vec![vec![0], vec![1], vec![5], vec![6], vec![7]]);
+        let report = handle.stop();
+        assert_eq!(report.partitioned, 3);
+        assert_eq!(report.forwarded, 5);
+    }
+
+    #[test]
+    fn to_client_partition_swallows_replies_only() {
+        let (up_addr, upstream) = echo_upstream();
+        let config = partitioned_config(up_addr, PartitionDirection::ToClient);
+        let handle = start("127.0.0.1:0", config).unwrap();
+        let mut client = TcpStream::connect(handle.local_addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        for i in 0u8..8 {
+            write_frame(&mut client, &[i]).unwrap();
+        }
+        // Replies 2..5 vanished; the sends all landed (asymmetric).
+        let mut echoed = Vec::new();
+        for _ in 0..5 {
+            echoed.push(read_frame(&mut client).unwrap());
+        }
+        assert_eq!(echoed, vec![vec![0], vec![1], vec![5], vec![6], vec![7]]);
+        drop(client);
+        let seen = upstream.join().unwrap();
+        assert_eq!(seen.len(), 8, "every send reached the server");
+        let report = handle.stop();
+        assert_eq!(report.partitioned, 3);
+        assert_eq!(report.forwarded, 8);
+    }
 }

@@ -23,8 +23,26 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::protocol::{
-    read_message, write_message, AckStatus, Message, ServerStats, TenantStatsRow, DEFAULT_TENANT,
+    read_message, write_message, AckStatus, Message, ServerStats, SlicerVerdict, TenantStatsRow,
+    DEFAULT_TENANT,
 };
+
+/// Deterministic backoff with jitter: `min(cap, base·2^failures)` plus
+/// a jitter drawn from a generator seeded with `seed + failures`, so
+/// replayed runs back off identically while distinct seeds (e.g. one
+/// per slicer process) desynchronize retry storms.
+pub(crate) fn backoff_delay(base: Duration, cap: Duration, seed: u64, failures: u32) -> Duration {
+    let base_ms = base.as_millis() as u64;
+    let cap_ms = cap.as_millis() as u64;
+    let exp = base_ms.saturating_mul(1u64 << failures.min(16)).min(cap_ms);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(failures as u64));
+    let jitter = if base_ms > 0 {
+        rng.gen_range(0..=base_ms)
+    } else {
+        0
+    };
+    Duration::from_millis(exp + jitter)
+}
 
 /// Client tunables.
 #[derive(Debug, Clone)]
@@ -137,12 +155,12 @@ impl FeedClient {
     /// jitter drawn from a seeded generator, so replayed runs back off
     /// identically.
     fn backoff(&self, failures: u32) -> Duration {
-        let base = self.config.backoff_base.as_millis() as u64;
-        let cap = self.config.backoff_cap.as_millis() as u64;
-        let exp = base.saturating_mul(1u64 << failures.min(16)).min(cap);
-        let mut rng = StdRng::seed_from_u64(self.config.jitter_seed.wrapping_add(failures as u64));
-        let jitter = if base > 0 { rng.gen_range(0..=base) } else { 0 };
-        Duration::from_millis(exp + jitter)
+        backoff_delay(
+            self.config.backoff_base,
+            self.config.backoff_cap,
+            self.config.jitter_seed,
+            failures,
+        )
     }
 
     fn connect(&self) -> std::io::Result<TcpStream> {
@@ -460,6 +478,25 @@ impl FeedClient {
             Message::Error { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::Protocol(format!(
                 "expected TenantStats, got {other:?}"
+            ))),
+        }
+    }
+
+    /// One-shot decentralized-verdict query: the tenant's three-valued
+    /// slicer status (witness / not-yet / degraded `Unknown` with
+    /// progress bounds).
+    ///
+    /// # Errors
+    ///
+    /// As [`FeedClient::query_verdict`].
+    pub fn query_slicer_status(&self) -> Result<SlicerVerdict, ClientError> {
+        match self.roundtrip(&Message::SlicerStatusQuery {
+            tenant: self.config.tenant.clone(),
+        })? {
+            Message::SlicerStatus(verdict) => Ok(verdict),
+            Message::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected SlicerStatus, got {other:?}"
             ))),
         }
     }

@@ -19,10 +19,18 @@
 //!   reconnect-with-resume driven by the server's high-water marks.
 //! - [`chaos`] — a fault-injecting proxy that applies
 //!   [`FaultPlan`](gpd_sim::FaultPlan) semantics (loss, duplication,
-//!   jitter, forced resets) to real sockets, for end-to-end fault
-//!   drills.
+//!   jitter, forced resets, asymmetric partitions) to real sockets,
+//!   for end-to-end fault drills.
+//! - [`slicer`] — the decentralized slicer agent: replays one
+//!   process's trace through a [`gpd::abstraction::LocalSlicer`],
+//!   forwarding only abstraction-relevant events plus heartbeats, with
+//!   epoch-numbered crash/restart resync.
+//! - [`liveness`] — server-side slicer liveness: epoch fencing,
+//!   clock-free heartbeat deadlines, and the progress bounds behind
+//!   the degraded `Unknown` verdict.
 //!
-//! See `docs/ALGORITHMS.md` §11 for the recovery-determinism argument.
+//! See `docs/ALGORITHMS.md` §11 for the recovery-determinism argument
+//! and §15 for the decentralized abstraction mode.
 
 #![warn(missing_docs)]
 
@@ -30,12 +38,18 @@ mod crc32;
 
 pub mod chaos;
 pub mod client;
+pub mod liveness;
 pub mod protocol;
 pub mod server;
+pub mod slicer;
 pub mod wal;
 
-pub use chaos::{ChaosConfig, ChaosHandle, ChaosReport};
+pub use chaos::{ChaosConfig, ChaosHandle, ChaosReport, PartitionDirection};
 pub use client::{ClientConfig, ClientError, FeedClient, FeedReport};
-pub use protocol::{AckStatus, Message, ServerStats, TenantStatsRow, DEFAULT_TENANT};
+pub use liveness::{SlicerCensus, SlicerRegistry};
+pub use protocol::{
+    AckStatus, Message, ServerStats, SlicerVerdict, TenantStatsRow, DEFAULT_TENANT,
+};
 pub use server::{ServerConfig, ServerHandle, ServerSummary};
+pub use slicer::{SlicerAgent, SlicerReport};
 pub use wal::{FsyncPolicy, Recovery, Wal, WalConfig, WalRecord};

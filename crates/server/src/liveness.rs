@@ -1,0 +1,302 @@
+//! Server-side slicer liveness tracking.
+//!
+//! Each decentralized tenant keeps one [`SlicerRegistry`]: who is
+//! slicing each process, which **epoch** (incarnation) of that slicer
+//! is current, when it was last heard from, and the latest causal
+//! progress it reported. The registry is what turns a silent slicer
+//! into a *sound* `Unknown` verdict instead of a wedged session:
+//!
+//! - **Epoch fencing.** Every `SlicerHello` adopts
+//!   `max(proposed, last_adopted + 1)` — strictly increasing per
+//!   process, even when a crash-looping slicer re-proposes a stale
+//!   epoch. Beats and completions from superseded epochs are ignored,
+//!   so a zombie from a previous incarnation can neither keep a dead
+//!   process looking alive nor mark the stream complete.
+//! - **Clock-free timing.** All methods take an explicit
+//!   [`Instant`]; the registry never reads a wall clock. Liveness is
+//!   `now - last_seen > timeout` with a **strict** comparison — a
+//!   heartbeat that lands exactly at the deadline still counts.
+//! - **Graceful completion.** A slicer that finished its stream sends
+//!   `SlicerDone`; done slicers are exempt from the timeout (silence
+//!   after completion is not a crash).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One process's slicer slot.
+#[derive(Debug, Clone)]
+struct Slot {
+    /// The adopted epoch — the only incarnation whose traffic counts.
+    epoch: u64,
+    /// When the current epoch was last heard from (hello, event,
+    /// heartbeat, or done).
+    last_seen: Instant,
+    /// The latest causal-progress clock reported (componentwise-max
+    /// merged, so replays and reordering cannot move it backwards).
+    progress: Option<Vec<u32>>,
+    /// Whether the current epoch completed its stream.
+    done: bool,
+}
+
+/// Live/dead/done census of a registry at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlicerCensus {
+    /// Registered slicers within their heartbeat deadline.
+    pub live: u64,
+    /// Registered slicers past the deadline (and not done).
+    pub dead: u64,
+    /// Slicers that completed their stream gracefully.
+    pub done: u64,
+}
+
+/// Per-tenant slicer registry: epoch adoption, liveness, and progress.
+#[derive(Debug, Clone, Default)]
+pub struct SlicerRegistry {
+    slots: HashMap<u32, Slot>,
+}
+
+impl SlicerRegistry {
+    /// An empty registry (no slicers ever registered).
+    pub fn new() -> Self {
+        SlicerRegistry::default()
+    }
+
+    /// Whether any slicer ever registered — a tenant with no slicers
+    /// is centralized and has no liveness obligations.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Registers (or re-registers) the slicer for `process`, adopting
+    /// `max(proposed, last_adopted + 1)` so epochs are strictly
+    /// increasing per process no matter what a crash-looping client
+    /// proposes. Resets the `done` flag — a re-registered slicer is
+    /// streaming again — and refreshes `last_seen`. Returns the
+    /// adopted epoch.
+    pub fn register(&mut self, process: u32, proposed: u64, now: Instant) -> u64 {
+        let slot = self.slots.entry(process).or_insert(Slot {
+            epoch: 0,
+            last_seen: now,
+            progress: None,
+            done: false,
+        });
+        let adopted = proposed.max(slot.epoch + 1);
+        slot.epoch = adopted;
+        slot.last_seen = now;
+        slot.done = false;
+        adopted
+    }
+
+    /// Records a sign of life from `process` at epoch `epoch`,
+    /// carrying an optional progress clock (empty = none). Returns
+    /// whether the beat was accepted — beats from any epoch other
+    /// than the adopted one are fenced off and change nothing.
+    pub fn beat(&mut self, process: u32, epoch: u64, progress: &[u32], now: Instant) -> bool {
+        let Some(slot) = self.slots.get_mut(&process) else {
+            return false;
+        };
+        if slot.epoch != epoch {
+            return false;
+        }
+        slot.last_seen = now;
+        if !progress.is_empty() {
+            merge_progress(&mut slot.progress, progress);
+        }
+        true
+    }
+
+    /// Marks `process`'s current epoch as done (stream fully
+    /// replayed). Fenced like [`beat`](Self::beat).
+    pub fn done(&mut self, process: u32, epoch: u64, progress: &[u32], now: Instant) -> bool {
+        let Some(slot) = self.slots.get_mut(&process) else {
+            return false;
+        };
+        if slot.epoch != epoch {
+            return false;
+        }
+        slot.last_seen = now;
+        slot.done = true;
+        if !progress.is_empty() {
+            merge_progress(&mut slot.progress, progress);
+        }
+        true
+    }
+
+    /// The adopted epoch for `process`, if it ever registered.
+    pub fn epoch_of(&self, process: u32) -> Option<u64> {
+        self.slots.get(&process).map(|s| s.epoch)
+    }
+
+    /// The processes whose slicers are past the heartbeat deadline:
+    /// registered, not done, and `now - last_seen > timeout`
+    /// (**strictly** — a beat exactly at the boundary is alive).
+    /// Sorted, so verdicts are deterministic.
+    pub fn dead(&self, now: Instant, timeout: Duration) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| !s.done && now.saturating_duration_since(s.last_seen) > timeout)
+            .map(|(&p, _)| p)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Live/dead/done counts at `now`.
+    pub fn census(&self, now: Instant, timeout: Duration) -> SlicerCensus {
+        let mut census = SlicerCensus::default();
+        for slot in self.slots.values() {
+            if slot.done {
+                census.done += 1;
+            } else if now.saturating_duration_since(slot.last_seen) > timeout {
+                census.dead += 1;
+            } else {
+                census.live += 1;
+            }
+        }
+        census
+    }
+
+    /// Per-process progress clocks over `n` processes (`None` where no
+    /// slicer reported any).
+    pub fn progress(&self, n: usize) -> Vec<Option<Vec<u32>>> {
+        (0..n as u32)
+            .map(|p| self.slots.get(&p).and_then(|s| s.progress.clone()))
+            .collect()
+    }
+}
+
+/// Componentwise max — sound under at-least-once redelivery because a
+/// vector clock replay can only be dominated by what was already
+/// merged.
+fn merge_progress(into: &mut Option<Vec<u32>>, clock: &[u32]) {
+    match into {
+        None => *into = Some(clock.to_vec()),
+        Some(existing) if existing.len() == clock.len() => {
+            for (e, &c) in existing.iter_mut().zip(clock) {
+                *e = (*e).max(c);
+            }
+        }
+        // Length mismatch: malformed report; keep what we have.
+        Some(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIMEOUT: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn first_registration_adopts_at_least_epoch_one() {
+        let mut r = SlicerRegistry::new();
+        let now = Instant::now();
+        assert_eq!(r.register(0, 0, now), 1);
+        assert_eq!(r.epoch_of(0), Some(1));
+        // A peer proposing a high epoch is honored.
+        assert_eq!(r.register(1, 40, now), 40);
+    }
+
+    #[test]
+    fn epochs_strictly_increase_across_rapid_restarts() {
+        // A crash-looping slicer that re-proposes the same stale epoch
+        // every boot must still get a fresh epoch each time — the
+        // "epoch collision after rapid kill/restart loops" case.
+        let mut r = SlicerRegistry::new();
+        let now = Instant::now();
+        let mut last = 0;
+        for _ in 0..10 {
+            let adopted = r.register(3, 0, now);
+            assert!(adopted > last);
+            last = adopted;
+        }
+        // And re-proposing a previously adopted epoch collides upward.
+        let adopted = r.register(3, last, now);
+        assert_eq!(adopted, last + 1);
+    }
+
+    #[test]
+    fn stale_epoch_beats_are_fenced() {
+        let mut r = SlicerRegistry::new();
+        let t0 = Instant::now();
+        let old = r.register(0, 0, t0);
+        let new = r.register(0, 0, t0); // restart: old epoch superseded
+        assert!(new > old);
+        // The zombie's beat is ignored: it cannot refresh liveness.
+        assert!(!r.beat(0, old, &[5, 0], t0 + TIMEOUT * 2));
+        assert_eq!(r.dead(t0 + TIMEOUT * 2, TIMEOUT), vec![0]);
+        // The current epoch's beat counts.
+        assert!(r.beat(0, new, &[5, 0], t0 + TIMEOUT * 2));
+        assert!(r.dead(t0 + TIMEOUT * 2, TIMEOUT).is_empty());
+    }
+
+    #[test]
+    fn heartbeat_exactly_at_the_deadline_is_alive() {
+        let mut r = SlicerRegistry::new();
+        let t0 = Instant::now();
+        r.register(0, 0, t0);
+        // now - last_seen == timeout: NOT dead (strict comparison).
+        assert!(r.dead(t0 + TIMEOUT, TIMEOUT).is_empty());
+        assert_eq!(r.census(t0 + TIMEOUT, TIMEOUT).live, 1);
+        // One nanosecond past: dead.
+        let past = t0 + TIMEOUT + Duration::from_nanos(1);
+        assert_eq!(r.dead(past, TIMEOUT), vec![0]);
+        assert_eq!(r.census(past, TIMEOUT).dead, 1);
+    }
+
+    #[test]
+    fn timing_is_monotonic_and_clock_free() {
+        // `now` earlier than `last_seen` (e.g. a query raced a beat on
+        // another thread's Instant) must not panic or report dead —
+        // saturating monotonic arithmetic, never wall-clock.
+        let mut r = SlicerRegistry::new();
+        let t0 = Instant::now();
+        r.register(0, 0, t0 + Duration::from_secs(5));
+        assert!(r.dead(t0, TIMEOUT).is_empty());
+        assert_eq!(r.census(t0, TIMEOUT).live, 1);
+    }
+
+    #[test]
+    fn done_slicers_are_exempt_from_liveness() {
+        let mut r = SlicerRegistry::new();
+        let t0 = Instant::now();
+        let e = r.register(0, 0, t0);
+        r.register(1, 0, t0);
+        assert!(r.done(0, e, &[9, 9], t0));
+        let late = t0 + TIMEOUT * 10;
+        // Process 0 finished: silence is completion, not a crash.
+        assert_eq!(r.dead(late, TIMEOUT), vec![1]);
+        let census = r.census(late, TIMEOUT);
+        assert_eq!((census.live, census.dead, census.done), (0, 1, 1));
+        // Re-registering (a new run) clears the done flag.
+        r.register(0, 0, late);
+        assert_eq!(r.census(late, TIMEOUT).done, 0);
+    }
+
+    #[test]
+    fn progress_merges_componentwise_max() {
+        let mut r = SlicerRegistry::new();
+        let t0 = Instant::now();
+        let e = r.register(0, 0, t0);
+        assert!(r.beat(0, e, &[3, 1], t0));
+        // A replayed older clock cannot move progress backwards.
+        assert!(r.beat(0, e, &[2, 9], t0));
+        assert_eq!(r.progress(2), vec![Some(vec![3, 9]), None]);
+        // Empty progress refreshes liveness without touching clocks.
+        assert!(r.beat(0, e, &[], t0));
+        assert_eq!(r.progress(2)[0], Some(vec![3, 9]));
+        // A malformed (wrong-length) clock is ignored.
+        assert!(r.beat(0, e, &[1, 2, 3], t0));
+        assert_eq!(r.progress(2)[0], Some(vec![3, 9]));
+    }
+
+    #[test]
+    fn unknown_process_traffic_is_rejected() {
+        let mut r = SlicerRegistry::new();
+        let now = Instant::now();
+        assert!(!r.beat(7, 1, &[1], now));
+        assert!(!r.done(7, 1, &[1], now));
+        assert!(r.is_empty());
+    }
+}

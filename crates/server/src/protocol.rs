@@ -118,6 +118,42 @@ pub struct TenantStatsRow {
     pub quarantined: bool,
     /// Whether the tenant's conjunction has been detected.
     pub witness_found: bool,
+    /// Why the tenant was quarantined (empty when not quarantined).
+    pub quarantine_reason: String,
+    /// Registered slicers currently considered live.
+    pub slicers_live: u64,
+    /// Registered slicers past their heartbeat timeout.
+    pub slicers_dead: u64,
+    /// Slicers that finished their streams gracefully.
+    pub slicers_done: u64,
+    /// Whether the tenant's decentralized verdict is degraded to
+    /// `Unknown` (some slicer is dead and no witness was found yet).
+    pub degraded: bool,
+}
+
+/// The three-valued verdict of a decentralized (slicer-fed) tenant —
+/// the online counterpart of `gpd::budget::Verdict`: either a witness,
+/// or "not yet" with every slicer accounted for, or `Unknown` with
+/// sound progress bounds when a slicer died mid-stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlicerVerdict {
+    /// The witness cut once the conjunction held (sticky; a witness
+    /// found before a crash survives the degradation).
+    pub witness: Option<Vec<Vec<u32>>>,
+    /// True when no witness is known AND some registered, unfinished
+    /// slicer missed its heartbeat deadline: the verdict is `Unknown`,
+    /// bounded below by `applied`/`explored`.
+    pub degraded: bool,
+    /// The processes whose slicers are past the heartbeat timeout.
+    pub dead: Vec<u32>,
+    /// Per process: the monitor's high-water mark — every relevant
+    /// state with local component `<= applied[p]` has been applied.
+    pub applied: Vec<Option<u32>>,
+    /// Per process: the latest causal-progress clock the slicer
+    /// reported (via events, summaries, or heartbeats) — the frontier
+    /// up to which the computation is known explored even through
+    /// false runs.
+    pub explored: Vec<Option<Vec<u32>>>,
 }
 
 /// Whether `name` is a usable tenant id: 1–64 bytes of
@@ -218,6 +254,65 @@ pub enum Message {
         /// The per-tenant rows.
         rows: Vec<TenantStatsRow>,
     },
+    /// Slicer → server: open (or resume) a slicer session for one
+    /// process of `tenant`. `epoch` is the slicer's incarnation number
+    /// (0 on first boot); the server adopts
+    /// `max(epoch, server_epoch + 1)` and replies with the adopted
+    /// epoch plus the process's high-water mark, so a restarted slicer
+    /// resumes past everything already applied and stale-epoch traffic
+    /// can be fenced.
+    SlicerHello {
+        /// The tenant id (see [`valid_tenant_name`]).
+        tenant: String,
+        /// The process this slicer runs beside.
+        process: u32,
+        /// The slicer's proposed incarnation number.
+        epoch: u64,
+        /// Per-process initial truth (fixes/validates the tenant's
+        /// predicate shape, exactly like [`Message::Hello`]).
+        initial: Vec<bool>,
+    },
+    /// Server → slicer: slicer session open.
+    SlicerHelloAck {
+        /// The epoch the server adopted — strictly greater than any
+        /// previously adopted for this process.
+        epoch: u64,
+        /// The largest local component already applied for this
+        /// process (`None` if nothing yet) — resume strictly after it.
+        high_water: Option<u32>,
+    },
+    /// Slicer → server: liveness beat carrying the slicer's causal
+    /// progress clock (its latest observed state, relevant or not).
+    /// Not acknowledged.
+    Heartbeat {
+        /// The reporting process.
+        process: u32,
+        /// The slicer's adopted epoch (stale epochs are ignored).
+        epoch: u64,
+        /// The latest observed vector clock (empty = none yet).
+        progress: Vec<u32>,
+    },
+    /// Slicer → server: the slicer replayed its whole stream. A done
+    /// slicer is exempt from liveness tracking — silence after `Done`
+    /// is completion, not a crash.
+    SlicerDone {
+        /// The reporting process.
+        process: u32,
+        /// The slicer's adopted epoch.
+        epoch: u64,
+        /// The final progress clock (empty = none).
+        progress: Vec<u32>,
+    },
+    /// Server → slicer: `SlicerDone` recorded durably in the session.
+    SlicerDoneAck,
+    /// Client → server: report the three-valued decentralized verdict
+    /// for `tenant` ("" = session's tenant).
+    SlicerStatusQuery {
+        /// The tenant whose slicer verdict is wanted.
+        tenant: String,
+    },
+    /// Server → client: the decentralized verdict.
+    SlicerStatus(SlicerVerdict),
 }
 
 const TAG_HELLO: u8 = 1;
@@ -233,6 +328,13 @@ const TAG_SHUTDOWN_ACK: u8 = 10;
 const TAG_ERROR: u8 = 11;
 const TAG_TENANT_STATS_QUERY: u8 = 12;
 const TAG_TENANT_STATS: u8 = 13;
+const TAG_SLICER_HELLO: u8 = 14;
+const TAG_SLICER_HELLO_ACK: u8 = 15;
+const TAG_HEARTBEAT: u8 = 16;
+const TAG_SLICER_DONE: u8 = 17;
+const TAG_SLICER_DONE_ACK: u8 = 18;
+const TAG_SLICER_STATUS_QUERY: u8 = 19;
+const TAG_SLICER_STATUS: u8 = 20;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -247,6 +349,17 @@ fn put_clock(out: &mut Vec<u8>, clock: &[u32]) {
     for &c in clock {
         put_u32(out, c);
     }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// `None` = 0, `Some(k)` = k+1 — the same presence-free encoding
+/// `HelloAck` uses for high-water marks.
+fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    put_u64(out, v.map_or(0, |k| k as u64 + 1));
 }
 
 fn put_witness(out: &mut Vec<u8>, witness: &Option<Vec<Vec<u32>>>) {
@@ -301,6 +414,23 @@ impl<'a> Decoder<'a> {
         let (head, rest) = self.bytes.split_at(len);
         self.bytes = rest;
         String::from_utf8(head.to_vec()).ok()
+    }
+
+    fn opt_u32(&mut self) -> Option<Option<u32>> {
+        let raw = self.u64()?;
+        Some(if raw == 0 {
+            None
+        } else {
+            Some((raw - 1) as u32)
+        })
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
     }
 
     fn witness(&mut self) -> Option<Option<Vec<Vec<u32>>>> {
@@ -421,6 +551,77 @@ impl Message {
                     put_u64(&mut out, row.snapshots);
                     out.push(row.quarantined as u8);
                     out.push(row.witness_found as u8);
+                    put_string(&mut out, &row.quarantine_reason);
+                    put_u64(&mut out, row.slicers_live);
+                    put_u64(&mut out, row.slicers_dead);
+                    put_u64(&mut out, row.slicers_done);
+                    out.push(row.degraded as u8);
+                }
+            }
+            Message::SlicerHello {
+                tenant,
+                process,
+                epoch,
+                initial,
+            } => {
+                out.push(TAG_SLICER_HELLO);
+                put_string(&mut out, tenant);
+                put_u32(&mut out, *process);
+                put_u64(&mut out, *epoch);
+                put_u32(&mut out, initial.len() as u32);
+                out.extend(initial.iter().map(|&b| b as u8));
+            }
+            Message::SlicerHelloAck { epoch, high_water } => {
+                out.push(TAG_SLICER_HELLO_ACK);
+                put_u64(&mut out, *epoch);
+                put_opt_u32(&mut out, *high_water);
+            }
+            Message::Heartbeat {
+                process,
+                epoch,
+                progress,
+            } => {
+                out.push(TAG_HEARTBEAT);
+                put_u32(&mut out, *process);
+                put_u64(&mut out, *epoch);
+                put_clock(&mut out, progress);
+            }
+            Message::SlicerDone {
+                process,
+                epoch,
+                progress,
+            } => {
+                out.push(TAG_SLICER_DONE);
+                put_u32(&mut out, *process);
+                put_u64(&mut out, *epoch);
+                put_clock(&mut out, progress);
+            }
+            Message::SlicerDoneAck => out.push(TAG_SLICER_DONE_ACK),
+            Message::SlicerStatusQuery { tenant } => {
+                out.push(TAG_SLICER_STATUS_QUERY);
+                put_string(&mut out, tenant);
+            }
+            Message::SlicerStatus(v) => {
+                out.push(TAG_SLICER_STATUS);
+                put_witness(&mut out, &v.witness);
+                out.push(v.degraded as u8);
+                put_u32(&mut out, v.dead.len() as u32);
+                for &p in &v.dead {
+                    put_u32(&mut out, p);
+                }
+                put_u32(&mut out, v.applied.len() as u32);
+                for &hw in &v.applied {
+                    put_opt_u32(&mut out, hw);
+                }
+                put_u32(&mut out, v.explored.len() as u32);
+                for clock in &v.explored {
+                    match clock {
+                        None => out.push(0),
+                        Some(c) => {
+                            out.push(1);
+                            put_clock(&mut out, c);
+                        }
+                    }
                 }
             }
         }
@@ -509,8 +710,9 @@ impl Message {
             TAG_TENANT_STATS_QUERY => Message::TenantStatsQuery,
             TAG_TENANT_STATS => {
                 let count = d.u32()? as usize;
-                // Each row is at least its 11 counters plus two flags.
-                if count > d.bytes.len() / 90 + 1 {
+                // Each row is at least its 14 counters plus three flags
+                // and two length prefixes.
+                if count > d.bytes.len() / 123 + 1 {
                     return None;
                 }
                 let rows = (0..count)
@@ -528,20 +730,85 @@ impl Message {
                             wal_segments: d.u64()?,
                             wal_bytes: d.u64()?,
                             snapshots: d.u64()?,
-                            quarantined: match d.u8()? {
-                                0 => false,
-                                1 => true,
-                                _ => return None,
-                            },
-                            witness_found: match d.u8()? {
-                                0 => false,
-                                1 => true,
-                                _ => return None,
-                            },
+                            quarantined: d.bool()?,
+                            witness_found: d.bool()?,
+                            quarantine_reason: d.string()?,
+                            slicers_live: d.u64()?,
+                            slicers_dead: d.u64()?,
+                            slicers_done: d.u64()?,
+                            degraded: d.bool()?,
                         })
                     })
                     .collect::<Option<Vec<_>>>()?;
                 Message::TenantStats { rows }
+            }
+            TAG_SLICER_HELLO => {
+                let tenant = d.string()?;
+                let process = d.u32()?;
+                let epoch = d.u64()?;
+                let n = d.u32()? as usize;
+                if n > d.bytes.len() {
+                    return None;
+                }
+                let initial = (0..n).map(|_| d.bool()).collect::<Option<Vec<bool>>>()?;
+                Message::SlicerHello {
+                    tenant,
+                    process,
+                    epoch,
+                    initial,
+                }
+            }
+            TAG_SLICER_HELLO_ACK => Message::SlicerHelloAck {
+                epoch: d.u64()?,
+                high_water: d.opt_u32()?,
+            },
+            TAG_HEARTBEAT => Message::Heartbeat {
+                process: d.u32()?,
+                epoch: d.u64()?,
+                progress: d.clock()?,
+            },
+            TAG_SLICER_DONE => Message::SlicerDone {
+                process: d.u32()?,
+                epoch: d.u64()?,
+                progress: d.clock()?,
+            },
+            TAG_SLICER_DONE_ACK => Message::SlicerDoneAck,
+            TAG_SLICER_STATUS_QUERY => Message::SlicerStatusQuery {
+                tenant: d.string()?,
+            },
+            TAG_SLICER_STATUS => {
+                let witness = d.witness()?;
+                let degraded = d.bool()?;
+                let n_dead = d.u32()? as usize;
+                if n_dead > d.bytes.len() / 4 + 1 {
+                    return None;
+                }
+                let dead = (0..n_dead).map(|_| d.u32()).collect::<Option<Vec<_>>>()?;
+                let n_applied = d.u32()? as usize;
+                if n_applied > d.bytes.len() / 8 + 1 {
+                    return None;
+                }
+                let applied = (0..n_applied)
+                    .map(|_| d.opt_u32())
+                    .collect::<Option<Vec<_>>>()?;
+                let n_explored = d.u32()? as usize;
+                if n_explored > d.bytes.len() {
+                    return None;
+                }
+                let explored = (0..n_explored)
+                    .map(|_| match d.u8()? {
+                        0 => Some(None),
+                        1 => Some(Some(d.clock()?)),
+                        _ => None,
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Message::SlicerStatus(SlicerVerdict {
+                    witness,
+                    degraded,
+                    dead,
+                    applied,
+                    explored,
+                })
             }
             _ => return None,
         };
@@ -728,6 +995,77 @@ mod tests {
         roundtrip(Message::Error {
             message: "process 9 out of range".into(),
         });
+        roundtrip(Message::SlicerHello {
+            tenant: "team-7".into(),
+            process: 3,
+            epoch: 0,
+            initial: vec![false, true, false, false],
+        });
+        roundtrip(Message::SlicerHelloAck {
+            epoch: 5,
+            high_water: None,
+        });
+        roundtrip(Message::SlicerHelloAck {
+            epoch: 1,
+            high_water: Some(0),
+        });
+        roundtrip(Message::Heartbeat {
+            process: 2,
+            epoch: 7,
+            progress: vec![],
+        });
+        roundtrip(Message::Heartbeat {
+            process: 2,
+            epoch: 7,
+            progress: vec![4, 0, 9],
+        });
+        roundtrip(Message::SlicerDone {
+            process: 0,
+            epoch: 1,
+            progress: vec![8, 8],
+        });
+        roundtrip(Message::SlicerDoneAck);
+        roundtrip(Message::SlicerStatusQuery { tenant: "".into() });
+        roundtrip(Message::SlicerStatus(SlicerVerdict::default()));
+        roundtrip(Message::SlicerStatus(SlicerVerdict {
+            witness: Some(vec![vec![1, 0], vec![1, 2]]),
+            degraded: false,
+            dead: vec![],
+            applied: vec![Some(1), Some(2)],
+            explored: vec![Some(vec![3, 0]), None],
+        }));
+        roundtrip(Message::SlicerStatus(SlicerVerdict {
+            witness: None,
+            degraded: true,
+            dead: vec![1, 3],
+            applied: vec![None, Some(0), Some(7), None],
+            explored: vec![None, Some(vec![0, 1, 0, 0]), Some(vec![2, 9, 9, 1]), None],
+        }));
+        roundtrip(Message::TenantStats {
+            rows: vec![TenantStatsRow {
+                tenant: "q".into(),
+                quarantined: true,
+                quarantine_reason: "predicate panicked at event 7".into(),
+                slicers_live: 3,
+                slicers_dead: 1,
+                slicers_done: 2,
+                degraded: true,
+                ..TenantStatsRow::default()
+            }],
+        });
+    }
+
+    #[test]
+    fn hostile_slicer_status_counts_are_bounded() {
+        // A SlicerStatus claiming 2^32-1 dead entries in a tiny body
+        // must be rejected by the size guard, not attempted.
+        let mut body = vec![
+            TAG_SLICER_STATUS,
+            0, /* no witness */
+            0, /* not degraded */
+        ];
+        body.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Message::decode(&body).is_none());
     }
 
     #[test]

@@ -65,9 +65,10 @@ use std::time::{Duration, Instant};
 use gpd::online::{ConjunctiveMonitor, MonitorSnapshot, Observation};
 use gpd_computation::VectorClock;
 
+use crate::liveness::SlicerRegistry;
 use crate::protocol::{
-    parse_message, valid_tenant_name, AckStatus, Message, ServerStats, TenantStatsRow,
-    DEFAULT_TENANT, MAX_FRAME,
+    parse_message, valid_tenant_name, AckStatus, Message, ServerStats, SlicerVerdict,
+    TenantStatsRow, DEFAULT_TENANT, MAX_FRAME,
 };
 use crate::wal::{FsyncPolicy, Wal, WalConfig, WalRecord};
 
@@ -98,6 +99,10 @@ pub struct ServerConfig {
     /// event is applied (inside the panic isolation boundary). A panic
     /// here models a crashing predicate and quarantines the tenant.
     pub fault_injection: Option<fn(&str)>,
+    /// A decentralized slicer silent for longer than this (and not
+    /// done) is considered dead; its tenant's verdict degrades to
+    /// `Unknown` with progress bounds instead of wedging.
+    pub heartbeat_timeout: Duration,
 }
 
 impl ServerConfig {
@@ -113,6 +118,7 @@ impl ServerConfig {
             quota_frames: 64,
             snapshot_every: None,
             fault_injection: None,
+            heartbeat_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -137,6 +143,12 @@ struct Tenant {
     snapshots: u64,
     events_since_snapshot: u64,
     quarantined: bool,
+    /// Why the tenant was quarantined (`None` while healthy) — the
+    /// shutdown summary prints this instead of dropping the tenant.
+    quarantine_reason: Option<String>,
+    /// Slicer liveness and progress for decentralized sessions (empty
+    /// for centralized tenants).
+    slicers: SlicerRegistry,
     /// Records replayed when this tenant's WAL was opened — the
     /// O(live state) gauge the recovery tests assert on.
     replayed: u64,
@@ -163,6 +175,8 @@ impl Tenant {
             snapshots: 0,
             events_since_snapshot: 0,
             quarantined: false,
+            quarantine_reason: None,
+            slicers: SlicerRegistry::new(),
             replayed: recovery.records.len() as u64,
         };
         // Deterministic replay: the log records every accepted
@@ -217,7 +231,9 @@ impl Tenant {
         })
     }
 
-    fn row(&self) -> TenantStatsRow {
+    fn row(&self, now: Instant, heartbeat_timeout: Duration) -> TenantStatsRow {
+        let witness_found = self.monitor.as_ref().is_some_and(|m| m.witness().is_some());
+        let census = self.slicers.census(now, heartbeat_timeout);
         TenantStatsRow {
             tenant: self.name.clone(),
             observed: self.observed,
@@ -232,7 +248,40 @@ impl Tenant {
             wal_bytes: self.wal.bytes(),
             snapshots: self.snapshots,
             quarantined: self.quarantined,
-            witness_found: self.monitor.as_ref().is_some_and(|m| m.witness().is_some()),
+            witness_found,
+            quarantine_reason: self.quarantine_reason.clone().unwrap_or_default(),
+            slicers_live: census.live,
+            slicers_dead: census.dead,
+            slicers_done: census.done,
+            degraded: !witness_found && census.dead > 0,
+        }
+    }
+
+    /// Marks the tenant quarantined, keeping the first reason (later
+    /// failures on an already-poisoned tenant add no information).
+    fn quarantine(&mut self, reason: String) {
+        self.quarantined = true;
+        self.quarantine_reason.get_or_insert(reason);
+    }
+
+    /// The three-valued decentralized verdict at `now`: the sticky
+    /// witness if one exists, otherwise "not yet" — degraded to
+    /// `Unknown` when a registered, unfinished slicer is past its
+    /// heartbeat deadline. The bounds are sound: `applied[p]` is the
+    /// monitor's dedup high-water mark and `explored[p]` the
+    /// componentwise-max of everything `p`'s slicer reported.
+    fn slicer_verdict(&self, now: Instant, heartbeat_timeout: Duration) -> SlicerVerdict {
+        let witness = self.witness();
+        let dead = self.slicers.dead(now, heartbeat_timeout);
+        let n = self.monitor.as_ref().map_or(0, |m| m.process_count());
+        SlicerVerdict {
+            degraded: witness.is_none() && !dead.is_empty(),
+            witness,
+            dead,
+            applied: (0..n)
+                .map(|p| self.monitor.as_ref().and_then(|m| m.high_water(p)))
+                .collect(),
+            explored: self.slicers.progress(n),
         }
     }
 
@@ -313,10 +362,11 @@ struct Shared {
 
 impl Shared {
     fn stats(&self) -> ServerStats {
+        let now = Instant::now();
         let mut stats = ServerStats::default();
         for tenant in self.tenant_refs() {
             let t = tenant.lock().expect("tenant poisoned");
-            let row = t.row();
+            let row = t.row(now, self.config.heartbeat_timeout);
             stats.observed += row.observed;
             stats.duplicates += row.duplicates;
             stats.stale += row.stale;
@@ -333,10 +383,15 @@ impl Shared {
     }
 
     fn tenant_rows(&self) -> Vec<TenantStatsRow> {
+        let now = Instant::now();
         let mut rows: Vec<TenantStatsRow> = self
             .tenant_refs()
             .iter()
-            .map(|t| t.lock().expect("tenant poisoned").row())
+            .map(|t| {
+                t.lock()
+                    .expect("tenant poisoned")
+                    .row(now, self.config.heartbeat_timeout)
+            })
             .collect();
         rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         rows
@@ -567,6 +622,10 @@ struct Conn {
     /// The session tenant, set by the first processed `Hello`.
     tenant: Option<TenantRef>,
     tenant_name: Option<String>,
+    /// Slicer identity `(process, adopted epoch)` when this session
+    /// was opened by a `SlicerHello` — events arriving on it double as
+    /// liveness beats for that epoch.
+    slicer: Option<(u32, u64)>,
     last_activity: Instant,
     fate: ConnFate,
     /// Target shard when a `Hello` named a tenant homed elsewhere.
@@ -581,6 +640,7 @@ impl Conn {
             wbuf: Vec::new(),
             tenant: None,
             tenant_name: None,
+            slicer: None,
             last_activity: Instant::now(),
             fate: ConnFate::Alive,
             migrate_to: None,
@@ -720,12 +780,12 @@ fn shard_loop(shard: usize, shared: &Shared) {
         if matches!(shared.config.wal.fsync, FsyncPolicy::Group) {
             for tenant in &sweep.dirty {
                 let mut t = tenant.lock().expect("tenant poisoned");
-                if t.wal.sync().is_err() {
+                if let Err(e) = t.wal.sync() {
                     // The appends this sweep acked may not be durable:
                     // quarantine the tenant and drop its connections
                     // unflushed, so no unlogged ack escapes. Clients
                     // will retransmit elsewhere.
-                    t.quarantined = true;
+                    t.quarantine(format!("wal fsync failed at group-commit boundary: {e}"));
                     let name = t.name.clone();
                     drop(t);
                     for conn in &mut conns {
@@ -806,6 +866,7 @@ impl Conn {
             wbuf: std::mem::take(&mut conn.wbuf),
             tenant: conn.tenant.take(),
             tenant_name: conn.tenant_name.take(),
+            slicer: conn.slicer.take(),
             last_activity: conn.last_activity,
             fate: ConnFate::Alive,
             migrate_to: None,
@@ -824,17 +885,23 @@ fn process_frames(shard: usize, shared: &Shared, conn: &mut Conn, sweep: &mut Sw
         }
         match parse_message(&conn.rbuf[consumed_total..]) {
             Ok(None) => break,
-            Err(_) => {
-                // Garbage framing: answer nothing (we cannot trust the
-                // stream) and drop.
-                conn.fate = ConnFate::Dead;
+            Err(e) => {
+                // Garbage framing (oversized/zero length, undecodable
+                // body): the stream can no longer be trusted, but the
+                // peer deserves to know why. Stage a clean protocol
+                // error — no allocation was ever attempted for an
+                // oversized frame — and close once it drains.
+                fail(conn, format!("protocol error: {e}"));
                 break;
             }
             Ok(Some((message, used))) => {
-                // Tenant pinning: a Hello homed elsewhere migrates the
-                // connection *before* the frame is consumed, so only
-                // the home shard ever drives this tenant's WAL.
-                if let Message::Hello { tenant, .. } = &message {
+                // Tenant pinning: a (Slicer)Hello homed elsewhere
+                // migrates the connection *before* the frame is
+                // consumed, so only the home shard ever drives this
+                // tenant's WAL.
+                if let Message::Hello { tenant, .. } | Message::SlicerHello { tenant, .. } =
+                    &message
+                {
                     let home = shard_of(tenant, shared.mailboxes.len());
                     if home != shard && valid_tenant_name(tenant) {
                         conn.migrate_to = Some(home);
@@ -883,6 +950,31 @@ fn handle_message(shared: &Shared, conn: &mut Conn, message: Message, sweep: &mu
             conn.stage(&Message::ShutdownAck { witness });
             conn.fate = ConnFate::Closing;
         }
+        Message::SlicerHello {
+            tenant,
+            process,
+            epoch,
+            initial,
+        } => handle_slicer_hello(shared, conn, &tenant, process, epoch, initial, sweep),
+        Message::Heartbeat {
+            process,
+            epoch,
+            progress,
+        } => handle_heartbeat(conn, process, epoch, &progress),
+        Message::SlicerDone {
+            process,
+            epoch,
+            progress,
+        } => handle_slicer_done(conn, process, epoch, &progress),
+        Message::SlicerStatusQuery { tenant } => {
+            let verdict =
+                resolve_tenant(shared, conn, &tenant).map_or_else(SlicerVerdict::default, |t| {
+                    t.lock()
+                        .expect("tenant poisoned")
+                        .slicer_verdict(Instant::now(), shared.config.heartbeat_timeout)
+                });
+            conn.stage(&Message::SlicerStatus(verdict));
+        }
         // Server-bound connections should not send server-role
         // messages; answer with an error and close.
         Message::HelloAck { .. }
@@ -891,10 +983,122 @@ fn handle_message(shared: &Shared, conn: &mut Conn, message: Message, sweep: &mu
         | Message::Stats(_)
         | Message::ShutdownAck { .. }
         | Message::TenantStats { .. }
+        | Message::SlicerHelloAck { .. }
+        | Message::SlicerDoneAck
+        | Message::SlicerStatus(_)
         | Message::Error { .. } => {
             fail(conn, "unexpected server-role message".to_string());
         }
     }
+}
+
+/// Opens (or resumes) a slicer session: the tenant admission and
+/// predicate-shape validation of [`handle_hello`], plus epoch adoption
+/// and a single-process high-water mark in the ack.
+fn handle_slicer_hello(
+    shared: &Shared,
+    conn: &mut Conn,
+    tenant: &str,
+    process: u32,
+    epoch: u64,
+    initial: Vec<bool>,
+    sweep: &mut SweepState,
+) {
+    if !valid_tenant_name(tenant) {
+        return fail(conn, format!("invalid tenant name {tenant:?}"));
+    }
+    if process as usize >= initial.len() {
+        return fail(
+            conn,
+            format!(
+                "slicer process {process} out of range for {} processes",
+                initial.len()
+            ),
+        );
+    }
+    let tenant_ref = match admit_tenant(shared, tenant) {
+        Ok(t) => t,
+        Err(reason) => return fail(conn, reason),
+    };
+    let mut t = tenant_ref.lock().expect("tenant poisoned");
+    if t.quarantined {
+        drop(t);
+        return fail(conn, format!("tenant {tenant:?} is quarantined"));
+    }
+    match (&t.initial, t.monitor.is_some()) {
+        (Some(existing), true) => {
+            if *existing != initial {
+                drop(t);
+                return fail(
+                    conn,
+                    "session mismatch: tenant already monitors a different computation".to_string(),
+                );
+            }
+            t.resumes += 1;
+        }
+        _ => {
+            if t.wal
+                .append(&WalRecord::Init {
+                    initial: initial.clone(),
+                })
+                .is_err()
+            {
+                drop(t);
+                return fail(conn, "wal append failed".to_string());
+            }
+            t.events_logged += 1;
+            t.monitor = Some(with_cap(
+                ConjunctiveMonitor::with_initial(&initial),
+                shared.config.queue_cap,
+            ));
+            t.initial = Some(initial);
+            sweep.mark_dirty(tenant, &tenant_ref);
+        }
+    }
+    let adopted = t.slicers.register(process, epoch, Instant::now());
+    let high_water = t
+        .monitor
+        .as_ref()
+        .expect("just initialized")
+        .high_water(process as usize);
+    drop(t);
+    conn.tenant = Some(Arc::clone(&tenant_ref));
+    conn.tenant_name = Some(tenant.to_string());
+    conn.slicer = Some((process, adopted));
+    conn.stage(&Message::SlicerHelloAck {
+        epoch: adopted,
+        high_water,
+    });
+}
+
+/// Liveness beat: refresh `last_seen` and merge the progress clock.
+/// No reply — heartbeats ride the event socket without consuming an
+/// ack round-trip.
+fn handle_heartbeat(conn: &mut Conn, process: u32, epoch: u64, progress: &[u32]) {
+    let Some(tenant_ref) = conn.tenant.clone() else {
+        return fail(
+            conn,
+            "no slicer session: send SlicerHello first".to_string(),
+        );
+    };
+    let mut t = tenant_ref.lock().expect("tenant poisoned");
+    t.slicers.beat(process, epoch, progress, Instant::now());
+}
+
+/// Graceful completion: the slicer replayed its whole stream. Done
+/// slicers are exempt from the heartbeat deadline.
+fn handle_slicer_done(conn: &mut Conn, process: u32, epoch: u64, progress: &[u32]) {
+    let Some(tenant_ref) = conn.tenant.clone() else {
+        return fail(
+            conn,
+            "no slicer session: send SlicerHello first".to_string(),
+        );
+    };
+    {
+        let mut t = tenant_ref.lock().expect("tenant poisoned");
+        t.slicers.done(process, epoch, progress, Instant::now());
+    }
+    conn.stage(&Message::SlicerDoneAck);
 }
 
 /// Stages an error reply and closes the connection after it drains.
@@ -914,6 +1118,31 @@ fn resolve_tenant(shared: &Shared, conn: &Conn, tenant: &str) -> Option<TenantRe
     shared.lookup(DEFAULT_TENANT)
 }
 
+/// Finds or admits `tenant` under the map lock; heavy work (WAL open)
+/// happens under the tenant's own lock. Errors are user-facing reasons.
+fn admit_tenant(shared: &Shared, tenant: &str) -> Result<TenantRef, String> {
+    let mut map = shared.tenants.lock().expect("tenant map poisoned");
+    match map.get(tenant) {
+        Some(t) => Ok(Arc::clone(t)),
+        None => {
+            if map.len() >= shared.config.max_tenants {
+                return Err(format!(
+                    "tenant quota exceeded ({} tenants)",
+                    shared.config.max_tenants
+                ));
+            }
+            match Tenant::open(tenant, &shared.config.wal, shared.config.queue_cap) {
+                Ok(t) => {
+                    let t = Arc::new(Mutex::new(t));
+                    map.insert(tenant.to_string(), Arc::clone(&t));
+                    Ok(t)
+                }
+                Err(e) => Err(format!("tenant WAL unavailable: {e}")),
+            }
+        }
+    }
+}
+
 fn handle_hello(
     shared: &Shared,
     conn: &mut Conn,
@@ -924,36 +1153,9 @@ fn handle_hello(
     if !valid_tenant_name(tenant) {
         return fail(conn, format!("invalid tenant name {tenant:?}"));
     }
-    // Find or admit the tenant under the map lock; heavy work (WAL
-    // open) happens under the tenant's own lock.
-    let tenant_ref = {
-        let mut map = shared.tenants.lock().expect("tenant map poisoned");
-        match map.get(tenant) {
-            Some(t) => Arc::clone(t),
-            None => {
-                if map.len() >= shared.config.max_tenants {
-                    drop(map);
-                    return fail(
-                        conn,
-                        format!(
-                            "tenant quota exceeded ({} tenants)",
-                            shared.config.max_tenants
-                        ),
-                    );
-                }
-                match Tenant::open(tenant, &shared.config.wal, shared.config.queue_cap) {
-                    Ok(t) => {
-                        let t = Arc::new(Mutex::new(t));
-                        map.insert(tenant.to_string(), Arc::clone(&t));
-                        t
-                    }
-                    Err(e) => {
-                        drop(map);
-                        return fail(conn, format!("tenant WAL unavailable: {e}"));
-                    }
-                }
-            }
-        }
+    let tenant_ref = match admit_tenant(shared, tenant) {
+        Ok(t) => t,
+        Err(reason) => return fail(conn, reason),
     };
 
     let mut t = tenant_ref.lock().expect("tenant poisoned");
@@ -1037,6 +1239,14 @@ fn handle_event(
     let p = process as usize;
     let vc = VectorClock::from(clock.clone());
     let seq = clock[p];
+    // An event on a slicer session is a sign of life (and causal
+    // progress) for its epoch — stale epochs are fenced by the
+    // registry, so a zombie's replay cannot mask its successor.
+    if let Some((sp, epoch)) = conn.slicer {
+        if sp == process {
+            t.slicers.beat(sp, epoch, &clock, Instant::now());
+        }
+    }
     // Classify first so only genuinely new events hit the log; then
     // append (durable at the group-commit boundary, or immediately
     // under `fsync always`); then apply; then ack at sweep end. See
@@ -1104,7 +1314,9 @@ fn handle_event(
                         AckStatus::Accepted
                     }
                     Err(_) => {
-                        t.quarantined = true;
+                        t.quarantine(format!(
+                            "predicate panicked applying event (process {process}, seq {seq})"
+                        ));
                         drop(t);
                         sweep.mark_dirty(&name, &tenant_ref);
                         return fail(conn, format!("tenant {name:?} is quarantined"));

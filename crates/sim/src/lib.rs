@@ -46,5 +46,7 @@
 
 mod kernel;
 pub mod protocols;
+pub mod streams;
 
 pub use kernel::{Context, FaultPlan, MissingVariable, Process, SimConfig, SimTrace, Simulation};
+pub use streams::{local_streams, LocalStreams};

@@ -1,0 +1,81 @@
+//! Per-process replay streams for decentralized slicer agents.
+//!
+//! A centralized feed replays the whole computation from one vantage
+//! point; the decentralized mode instead gives each process its own
+//! slicer agent that replays only that process's local states. This
+//! module carves a recorded [`Computation`] into exactly those
+//! per-process streams: for process `p`, the local states `1..` in
+//! local order, each as `(vector clock, local predicate value)` —
+//! the shape [`SlicerAgent::run`] consumes. The initial state (local
+//! index 0) is excluded; its truth values travel in the `SlicerHello`
+//! handshake instead, mirroring the centralized `Hello`.
+//!
+//! [`SlicerAgent::run`]: ../gpd_server/slicer/struct.SlicerAgent.html
+
+use gpd_computation::{BoolVariable, Computation, ProcessId};
+
+/// The per-process replay decomposition of a computation under a local
+/// predicate: what each decentralized slicer agent sees.
+#[derive(Debug, Clone)]
+pub struct LocalStreams {
+    /// Truth value of the local predicate in each initial state.
+    pub initial: Vec<bool>,
+    /// For each process, its non-initial local states in local order:
+    /// `(full vector clock, local predicate value)`.
+    pub streams: Vec<Vec<(Vec<u32>, bool)>>,
+}
+
+/// Splits `comp` into one replay stream per process under the local
+/// predicate `x` — the decentralized counterpart of feeding the whole
+/// computation through a single client.
+pub fn local_streams(comp: &Computation, x: &BoolVariable) -> LocalStreams {
+    let n = comp.process_count();
+    let mut initial = Vec::with_capacity(n);
+    let mut streams = Vec::with_capacity(n);
+    for p in 0..n {
+        let pid = ProcessId::new(p);
+        initial.push(x.true_initially(pid));
+        let events = comp.events_of(pid);
+        let mut stream = Vec::with_capacity(events.len());
+        for (i, &e) in events.iter().enumerate() {
+            let state = (i + 1) as u32;
+            stream.push((
+                comp.clock(e).as_slice().to_vec(),
+                x.value_in_state(pid, state),
+            ));
+        }
+        streams.push(stream);
+    }
+    LocalStreams { initial, streams }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpd_computation::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn streams_cover_every_local_state_in_order() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let comp = gen::random_computation(&mut rng, 5, 40, 25);
+        let x = gen::random_bool_variable(&mut rng, &comp, 0.3);
+        let split = local_streams(&comp, &x);
+        assert_eq!(split.initial.len(), 5);
+        assert_eq!(split.streams.len(), 5);
+        for p in 0..5 {
+            let pid = ProcessId::new(p);
+            let stream = &split.streams[p];
+            assert_eq!(stream.len(), comp.events_of(pid).len());
+            assert_eq!(split.initial[p], x.true_initially(pid));
+            for (i, (clock, val)) in stream.iter().enumerate() {
+                let state = (i + 1) as u32;
+                // The local component is the local state index, and
+                // the recorded truth value matches the variable.
+                assert_eq!(clock[p], state);
+                assert_eq!(*val, x.value_in_state(pid, state));
+            }
+        }
+    }
+}

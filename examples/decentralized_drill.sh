@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Decentralized chaos drill, from the shell:
+#
+#   1. record a 16-process voting trace ("voted" goes true at every
+#      process, so the 16-way conjunction has a real witness);
+#   2. centralized fault-free leg: `gpd feed --shutdown`, keep the
+#      verdict AND witness;
+#   3. decentralized chaos leg: 16 `gpd slicer` agents — one OS process
+#      each — stream through `gpd chaos` (frame loss, duplication, one
+#      forced reset) into a fresh server; slicer 0 is killed with
+#      SIGKILL mid-run and restarted, resuming through the epoch
+#      handshake;
+#   4. require the decentralized verdict and witness to be
+#      byte-identical to the centralized leg.
+#
+# Usage: examples/decentralized_drill.sh [path-to-gpd-binary]
+set -euo pipefail
+
+GPD=${1:-target/release/gpd}
+WORK=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+N=16
+"$GPD" simulate voting --n $N --seed 11 -o "$WORK/vote.trace"
+
+wait_addr() {
+    for _ in $(seq 1 200); do
+        if [ -s "$1" ]; then cat "$1"; return 0; fi
+        sleep 0.05
+    done
+    echo "timed out waiting for $1" >&2
+    return 1
+}
+
+# Final verdict + witness lines, "final " prefix stripped so the
+# centralized and decentralized legs compare byte for byte.
+verdict_of() {
+    grep -E '^(final )?(verdict|witness clocks):' "$1" | sed 's/^final //' | tail -n 2
+}
+
+# --- Centralized fault-free leg -------------------------------------
+"$GPD" serve --addr 127.0.0.1:0 --wal-dir "$WORK/wal-central" \
+    --addr-file "$WORK/central.addr" >"$WORK/serve-central.out" &
+ADDR=$(wait_addr "$WORK/central.addr")
+"$GPD" feed "$WORK/vote.trace" --addr "$ADDR" --var voted --shutdown \
+    >"$WORK/feed-central.out"
+wait # for serve to drain and exit
+CENTRAL=$(verdict_of "$WORK/feed-central.out")
+echo "centralized: $CENTRAL"
+
+# --- Decentralized chaos leg ----------------------------------------
+"$GPD" serve --addr 127.0.0.1:0 --wal-dir "$WORK/wal-dec" \
+    --decentralized --heartbeat-timeout-ms 3000 \
+    --addr-file "$WORK/dec-srv.addr" >"$WORK/serve-dec.out" &
+SERVE_PID=$!
+UPSTREAM=$(wait_addr "$WORK/dec-srv.addr")
+"$GPD" chaos --upstream "$UPSTREAM" --listen 127.0.0.1:0 \
+    --drop 0.05 --duplicate 0.1 --reset-after 50 --seed 42 \
+    --addr-file "$WORK/chaos.addr" >"$WORK/chaos.out" &
+CHAOS_PID=$!
+PROXY=$(wait_addr "$WORK/chaos.addr")
+
+SLICER_FLAGS=(--var voted --io-timeout-ms 300 --retries 100
+    --backoff-ms 2 --backoff-cap-ms 50 --heartbeat-ms 50)
+
+# Slicers 1..N-1: one OS process each, through the proxy.
+PIDS=()
+for p in $(seq 1 $((N - 1))); do
+    "$GPD" slicer "$WORK/vote.trace" --addr "$PROXY" "${SLICER_FLAGS[@]}" \
+        --process "$p" --seed "$p" >"$WORK/slicer-$p.out" &
+    PIDS+=($!)
+done
+
+# Slicer 0: started, SIGKILLed mid-run (the crash), restarted below.
+"$GPD" slicer "$WORK/vote.trace" --addr "$PROXY" "${SLICER_FLAGS[@]}" \
+    --process 0 --seed 100 >"$WORK/slicer-0-killed.out" &
+VICTIM=$!
+sleep 0.3
+kill -9 "$VICTIM" 2>/dev/null || true
+echo "killed slicer 0 mid-run"
+
+for pid in "${PIDS[@]}"; do wait "$pid"; done
+
+# The restart: resyncs through the epoch handshake, replays only what
+# is missing, then queries the decentralized verdict and shuts down.
+"$GPD" slicer "$WORK/vote.trace" --addr "$PROXY" "${SLICER_FLAGS[@]}" \
+    --process 0 --seed 101 --status --shutdown >"$WORK/slicer-0-restart.out"
+wait "$SERVE_PID"
+kill "$CHAOS_PID" 2>/dev/null || true
+
+DEC=$(verdict_of "$WORK/slicer-0-restart.out")
+echo "decentralized: $DEC"
+
+if [ "$CENTRAL" != "$DEC" ]; then
+    echo "FAIL: decentralized verdict/witness diverged from the centralized leg" >&2
+    echo "centralized:   $CENTRAL" >&2
+    echo "decentralized: $DEC" >&2
+    exit 1
+fi
+if grep -q DEGRADED "$WORK/slicer-0-restart.out"; then
+    echo "FAIL: tenant still degraded after the restart completed" >&2
+    exit 1
+fi
+grep -E '^slicer 0:' "$WORK/slicer-0-restart.out"
+grep -E '^tenant .*slicers' "$WORK/serve-dec.out" || true
+echo "OK: decentralized verdict and witness match the centralized leg"
+echo "    through loss, duplication, a reset, and a slicer kill/restart"

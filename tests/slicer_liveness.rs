@@ -1,0 +1,287 @@
+//! Crash-tolerance of the decentralized mode, over the wire: a killed
+//! slicer degrades its tenant to `Unknown` (with sound progress
+//! bounds) within the heartbeat timeout, other tenants are untouched,
+//! a restarted slicer heals the verdict without double-counting, and
+//! rapid kill/restart loops only ever move the epoch forward.
+
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use gpd::abstraction::LocalRelevance;
+use gpd::online::ConjunctiveMonitor;
+use gpd_computation::{gen, BoolVariable, Computation, ProcessId};
+use gpd_server::client::{ClientConfig, FeedClient};
+use gpd_server::protocol::{read_message, write_message, Message, SlicerVerdict};
+use gpd_server::server::{self, ServerConfig};
+use gpd_server::slicer::SlicerAgent;
+use gpd_server::wal::{FsyncPolicy, WalConfig};
+use gpd_sim::{local_streams, LocalStreams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const HEARTBEAT_TIMEOUT: Duration = Duration::from_millis(250);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static UNIQUE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let k = UNIQUE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gpd-live-{tag}-{}-{k}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(dir: &PathBuf) -> gpd_server::ServerHandle {
+    let mut config = ServerConfig::new(WalConfig::new(dir).with_fsync(FsyncPolicy::Always));
+    config.shards = 2;
+    config.io_timeout = Duration::from_secs(5);
+    config.heartbeat_timeout = HEARTBEAT_TIMEOUT;
+    server::start("127.0.0.1:0", config).unwrap()
+}
+
+/// A satisfiable 3-process workload: final states all true, initial
+/// states all false (so a silent process provably blocks the
+/// witness), plus sparse random trues in between.
+fn workload(seed: u64) -> (Computation, BoolVariable) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let comp = gen::random_computation(&mut rng, 3, 36, 18);
+    let values: Vec<Vec<bool>> = (0..3)
+        .map(|p| {
+            let states = comp.events_of(ProcessId::new(p)).len() + 1;
+            (0..states)
+                .map(|k| k == states - 1 || (k > 0 && rng.gen_bool(0.2)))
+                .collect()
+        })
+        .collect();
+    let x = BoolVariable::new(&comp, values);
+    (comp, x)
+}
+
+fn reference_witness(comp: &Computation, x: &BoolVariable) -> Option<Vec<Vec<u32>>> {
+    let n = comp.process_count();
+    let initial: Vec<bool> = (0..n).map(|p| x.true_initially(p)).collect();
+    let mut monitor = ConjunctiveMonitor::with_initial(&initial);
+    for p in 0..n {
+        for k in 1..=comp.events_of(ProcessId::new(p)).len() as u32 {
+            if x.value_in_state(p, k) {
+                let e = comp.event_at(p, k).unwrap();
+                monitor.observe(p, comp.clock(e).to_owned());
+            }
+        }
+    }
+    monitor
+        .witness()
+        .map(|w| w.iter().map(|c| c.as_slice().to_vec()).collect())
+}
+
+fn client_config(addr: &str, tenant: Option<&str>, seed: u64) -> ClientConfig {
+    let mut config = ClientConfig::new(addr.to_string());
+    if let Some(t) = tenant {
+        config = config.with_tenant(t.to_string());
+    }
+    config.io_timeout = Duration::from_millis(500);
+    config.max_retries = 50;
+    config.backoff_base = Duration::from_millis(2);
+    config.backoff_cap = Duration::from_millis(50);
+    config.jitter_seed = seed;
+    config
+}
+
+/// Registers `process` as a slicer for `tenant` and then drops the
+/// connection without a `SlicerDone` — a crash right after the
+/// handshake, with nothing forwarded.
+fn register_then_crash(addr: &str, tenant: &str, process: u32, initial: &[bool]) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_message(
+        &mut stream,
+        &Message::SlicerHello {
+            tenant: tenant.to_string(),
+            process,
+            epoch: 0,
+            initial: initial.to_vec(),
+        },
+    )
+    .unwrap();
+    match read_message(&mut stream).unwrap() {
+        Message::SlicerHelloAck { .. } => {}
+        other => panic!("expected SlicerHelloAck, got {other:?}"),
+    }
+    // Dropping the stream here is the crash.
+}
+
+fn run_agent(addr: &str, tenant: Option<&str>, p: u32, streams: &LocalStreams) {
+    let agent = SlicerAgent::new(
+        client_config(addr, tenant, 7 + u64::from(p)),
+        p,
+        LocalRelevance::Conjunctive,
+    )
+    .with_summary_every(8)
+    .with_heartbeat_interval(Duration::from_millis(20));
+    agent
+        .run(&streams.initial, &streams.streams[p as usize])
+        .unwrap();
+}
+
+/// Polls the slicer status until `accept` or the deadline; returns the
+/// last verdict either way.
+fn poll_status(
+    client: &FeedClient,
+    deadline: Duration,
+    accept: impl Fn(&SlicerVerdict) -> bool,
+) -> SlicerVerdict {
+    let end = Instant::now() + deadline;
+    loop {
+        let verdict = client.query_slicer_status().unwrap();
+        if accept(&verdict) || Instant::now() >= end {
+            return verdict;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A slicer that registers and then falls silent is declared dead
+/// within the heartbeat timeout; the tenant's verdict degrades to
+/// `Unknown` with sound progress bounds; restarting the slicer heals
+/// it to the exact centralized verdict without double-counting.
+#[test]
+fn killed_slicer_degrades_then_restart_heals() {
+    let (comp, x) = workload(0x11fe);
+    let expected = reference_witness(&comp, &x);
+    assert!(expected.is_some());
+    let streams = local_streams(&comp, &x);
+    let dir = tmp_dir("degrade");
+    let server = start_server(&dir);
+    let addr = server.local_addr().to_string();
+
+    // Process 0 crashes right after registering; 1 and 2 complete.
+    register_then_crash(&addr, "default", 0, &streams.initial);
+    run_agent(&addr, None, 1, &streams);
+    run_agent(&addr, None, 2, &streams);
+
+    let client = FeedClient::new(client_config(&addr, None, 99));
+    let degraded = poll_status(&client, 4 * HEARTBEAT_TIMEOUT, |v| v.degraded);
+    assert!(
+        degraded.degraded,
+        "tenant must degrade within the heartbeat timeout: {degraded:?}"
+    );
+    assert_eq!(degraded.dead, vec![0], "{degraded:?}");
+    assert!(
+        degraded.witness.is_none(),
+        "no witness can be claimed without process 0: {degraded:?}"
+    );
+    // Sound progress bounds: nothing was applied for the dead process,
+    // and the explored frontier never exceeds the computation.
+    assert_eq!(degraded.applied.len(), 3);
+    assert_eq!(degraded.applied[0], None, "{degraded:?}");
+    for p in 0..3 {
+        if let Some(clock) = &degraded.explored[p] {
+            for (q, &c) in clock.iter().enumerate() {
+                let total = comp.events_of(ProcessId::new(q)).len() as u32;
+                assert!(c <= total, "explored clock beyond the computation");
+            }
+        }
+    }
+
+    // Restart process 0: resync replays only what is missing, and the
+    // verdict heals to the exact centralized witness.
+    run_agent(&addr, None, 0, &streams);
+    let healed = poll_status(&client, 4 * HEARTBEAT_TIMEOUT, |v| {
+        !v.degraded && v.witness.is_some()
+    });
+    assert!(!healed.degraded, "{healed:?}");
+    assert_eq!(healed.witness, expected);
+
+    client.shutdown().unwrap();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A dead slicer in one tenant leaves every other tenant untouched.
+#[test]
+fn dead_slicer_is_isolated_to_its_tenant() {
+    let (comp, x) = workload(0xab5);
+    let expected = reference_witness(&comp, &x);
+    assert!(expected.is_some());
+    let streams = local_streams(&comp, &x);
+    let dir = tmp_dir("isolate");
+    let server = start_server(&dir);
+    let addr = server.local_addr().to_string();
+
+    // Tenant "flaky": process 0 crashes after registering.
+    register_then_crash(&addr, "flaky", 0, &streams.initial);
+    run_agent(&addr, Some("flaky"), 1, &streams);
+    run_agent(&addr, Some("flaky"), 2, &streams);
+    // Tenant "steady": all three complete.
+    for p in 0..3 {
+        run_agent(&addr, Some("steady"), p, &streams);
+    }
+
+    let flaky = FeedClient::new(client_config(&addr, Some("flaky"), 99));
+    let steady = FeedClient::new(client_config(&addr, Some("steady"), 99));
+    let flaky_verdict = poll_status(&flaky, 4 * HEARTBEAT_TIMEOUT, |v| v.degraded);
+    assert!(flaky_verdict.degraded, "{flaky_verdict:?}");
+    assert_eq!(flaky_verdict.dead, vec![0]);
+
+    let steady_verdict = steady.query_slicer_status().unwrap();
+    assert!(!steady_verdict.degraded, "{steady_verdict:?}");
+    assert!(steady_verdict.dead.is_empty(), "{steady_verdict:?}");
+    assert_eq!(steady_verdict.witness, expected);
+
+    steady.shutdown().unwrap();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Rapid kill/restart loops: every re-registration adopts a strictly
+/// larger epoch, zombie frames from older epochs are fenced, and the
+/// final verdict applies every event exactly once.
+#[test]
+fn rapid_kill_restart_loops_monotonic_epochs_no_double_counting() {
+    let (comp, x) = workload(0x100b);
+    let expected = reference_witness(&comp, &x);
+    let streams = local_streams(&comp, &x);
+    let dir = tmp_dir("rapid");
+    let server = start_server(&dir);
+    let addr = server.local_addr().to_string();
+
+    // Four rapid register-crash cycles for process 0, then a real run.
+    for _ in 0..4 {
+        register_then_crash(&addr, "default", 0, &streams.initial);
+    }
+    let agent = SlicerAgent::new(
+        client_config(&addr, None, 7),
+        0,
+        LocalRelevance::Conjunctive,
+    )
+    .with_summary_every(8)
+    .with_heartbeat_interval(Duration::from_millis(20));
+    let report = agent.run(&streams.initial, &streams.streams[0]).unwrap();
+    assert!(
+        report.epoch >= 5,
+        "each rapid restart must bump the epoch: {report:?}"
+    );
+    run_agent(&addr, None, 1, &streams);
+    run_agent(&addr, None, 2, &streams);
+
+    let client = FeedClient::new(client_config(&addr, None, 99));
+    let verdict = poll_status(&client, 4 * HEARTBEAT_TIMEOUT, |v| !v.degraded);
+    assert!(
+        !verdict.degraded,
+        "the final run supersedes the crashed epochs: {verdict:?}"
+    );
+    assert_eq!(verdict.witness, expected);
+
+    // No double-counting: the monitor applied each distinct true state
+    // exactly once.
+    let trues: u64 = streams
+        .streams
+        .iter()
+        .map(|s| s.iter().filter(|(_, t)| *t).count() as u64)
+        .sum();
+    let rows = client.query_tenant_stats().unwrap();
+    let row = rows.iter().find(|r| r.tenant == "default").unwrap();
+    assert_eq!(row.observed, trues, "{row:?}");
+
+    client.shutdown().unwrap();
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
