@@ -84,9 +84,10 @@ fn main() {
     let batch_section = batched_kernel_comparison(quick);
     let server_section = server_throughput_comparison(quick);
     let decentralized_section = decentralized_abstraction_comparison(quick);
+    let storage_section = storage_comparison(quick);
     if let Some(path) = json_path.as_deref() {
         let json = format!(
-            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR9.json\",\n  \"quick\": {quick},\n  \"incremental_scan\": [\n{scan_section}\n  ],\n  \"flat_kernel\": [\n{kernel_section}\n  ],\n  \"slicing\": [\n{slicing_section}\n  ],\n  \"parallel_sweep\": [\n{sweep_section}\n  ],\n  \"batched_kernel\": [\n{batch_section}\n  ],\n  \"server_throughput\": {server_section},\n  \"decentralized_abstraction\": {decentralized_section}\n}}\n",
+            "{{\n  \"regenerate\": \"cargo run --release -p gpd-bench --bin report -- --json BENCH_PR10.json\",\n  \"quick\": {quick},\n  \"incremental_scan\": [\n{scan_section}\n  ],\n  \"flat_kernel\": [\n{kernel_section}\n  ],\n  \"slicing\": [\n{slicing_section}\n  ],\n  \"parallel_sweep\": [\n{sweep_section}\n  ],\n  \"batched_kernel\": [\n{batch_section}\n  ],\n  \"server_throughput\": {server_section},\n  \"decentralized_abstraction\": {decentralized_section},\n  \"storage\": {storage_section}\n}}\n",
         );
         std::fs::write(path, json).expect("write json report");
         println!("Wrote {path}.\n");
@@ -995,6 +996,112 @@ fn batched_kernel_comparison(quick: bool) -> String {
     );
     format!(
         "    {{\n      \"workload\": \"dominance_{nrows}x{width}\", \"checksum_identical\": true,\n      \"scalar\": {{\"median_ns\": {scalar_ns}}},\n      \"batched\": {{\"median_ns\": {batched_ns}}},\n      \"speedup\": {speedup:.4}\n    }}"
+    )
+}
+
+/// The PR 10 measurement: scrub throughput over a cold multi-segment
+/// log, and recovery cost (records replayed, wall time) before vs
+/// after snapshot compaction — both on the deterministic in-memory
+/// disk, so the numbers measure the WAL code, not the host's page
+/// cache. The load-bearing floor: a compacted log must replay ≥4×
+/// fewer records than the full history it supersedes, because bounding
+/// recovery time is the entire point of compaction.
+fn storage_comparison(quick: bool) -> String {
+    use std::sync::Arc;
+
+    use gpd_server::vfs::FaultVfs;
+    use gpd_server::wal::{FsyncPolicy, Wal, WalConfig, WalRecord};
+
+    println!("## Storage: scrub throughput and recovery vs compaction (PR 10)\n");
+
+    let events: u32 = if quick { 2_000 } else { 20_000 };
+    let n = 4usize;
+    let vfs = FaultVfs::new();
+    let config = WalConfig::new("/bench-wal")
+        .with_vfs(Arc::new(vfs.clone()))
+        .with_fsync(FsyncPolicy::Interval(Duration::from_secs(3600)))
+        .with_segment_bytes(1 << 16);
+    let (mut wal, _) = Wal::open(config.clone()).expect("bench wal opens");
+    wal.append(&WalRecord::Init {
+        initial: vec![false; n],
+    })
+    .expect("bench init appends");
+    let mut latest = vec![0u32; n];
+    for k in 1..=events {
+        let p = k as usize % n;
+        latest[p] += 1;
+        let mut clock = vec![0u32; n];
+        clock[p] = latest[p];
+        wal.append(&WalRecord::Event {
+            process: p as u32,
+            clock,
+        })
+        .expect("bench event appends");
+    }
+    wal.sync().expect("bench wal syncs");
+
+    // Scrub: a full CRC re-verification of every cold segment.
+    let (scrub, scrub_dt) = time(|| wal.scrub().expect("bench scrub"));
+    assert!(scrub.is_clean(), "bench log must scrub clean: {scrub:?}");
+    let scrub_mb_per_sec = scrub.bytes_scanned as f64 / 1e6 / scrub_dt.as_secs_f64();
+
+    // Recovery over the full history...
+    let (full, full_dt) = time(|| Wal::open(config.clone()).expect("bench recovery (full)"));
+    let full_records = full.1.records.len();
+
+    // ...vs after compaction down to one snapshot.
+    let snapshot = WalRecord::Snapshot {
+        initial: vec![false; n],
+        latest: latest.iter().map(|&s| Some(s)).collect(),
+        queues: vec![Vec::new(); n],
+        witness: None,
+    };
+    wal.compact(&snapshot).expect("bench compaction");
+    let (compacted, compacted_dt) =
+        time(|| Wal::open(config.clone()).expect("bench recovery (compacted)"));
+    let compacted_records = compacted.1.records.len();
+
+    println!("| phase | segments | records | bytes | elapsed |");
+    println!("|---|---|---|---|---|");
+    println!(
+        "| scrub | {} | {} frames | {} | {} |",
+        scrub.segments,
+        scrub.frames,
+        scrub.bytes_scanned,
+        us(scrub_dt),
+    );
+    println!(
+        "| recover full history | {} | {full_records} | {} | {} |",
+        full.0.segment_count(),
+        full.0.bytes(),
+        us(full_dt),
+    );
+    println!(
+        "| recover after compaction | {} | {compacted_records} | {} | {} |",
+        compacted.0.segment_count(),
+        compacted.0.bytes(),
+        us(compacted_dt),
+    );
+
+    let reduction = full_records as f64 / compacted_records.max(1) as f64;
+    assert!(
+        full_records >= 4 * compacted_records,
+        "compaction must cut recovery replay ≥4×: \
+         {full_records} records before vs {compacted_records} after ({reduction:.1}×)"
+    );
+    println!(
+        "\nScrub: {scrub_mb_per_sec:.0} MB/s over {} segments. \
+         Compaction floor: {full_records} → {compacted_records} records replayed at recovery — {reduction:.0}× (floor: ≥4×).\n",
+        scrub.segments,
+    );
+
+    format!(
+        "{{\n    \"floor\": \"compacted recovery replays >= 4x fewer records\",\n    \"scrub_mb_per_sec\": {scrub_mb_per_sec:.1},\n    \"scrub_segments\": {},\n    \"scrub_frames\": {},\n    \"scrub_bytes\": {},\n    \"recovery_full_records\": {full_records},\n    \"recovery_full_ms\": {:.3},\n    \"recovery_compacted_records\": {compacted_records},\n    \"recovery_compacted_ms\": {:.3},\n    \"replay_reduction\": {reduction:.1}\n  }}",
+        scrub.segments,
+        scrub.frames,
+        scrub.bytes_scanned,
+        full_dt.as_secs_f64() * 1e3,
+        compacted_dt.as_secs_f64() * 1e3,
     )
 }
 

@@ -55,7 +55,7 @@ fn render_witness(witness: &Option<Vec<Vec<u32>>>) -> String {
 /// `gpd serve [--addr A] [--wal-dir DIR] [--fsync always|interval|group]
 ///  [--fsync-interval-ms N] [--shards N] [--queue-cap N] [--max-tenants N]
 ///  [--snapshot-every N] [--quota-frames N] [--heartbeat-timeout-ms N]
-///  [--decentralized] [--stats] [--addr-file FILE]`
+///  [--scrub-every-ms N] [--decentralized] [--stats] [--addr-file FILE]`
 ///
 /// Blocks until a client sends the shutdown command (`gpd feed
 /// --shutdown`), then reports the final verdict and counters —
@@ -69,6 +69,14 @@ fn render_witness(witness: &Option<Vec<Vec<u32>>>) -> String {
 /// to the per-tenant summary rows. A quarantined tenant is still
 /// drained at shutdown and its last-known verdict plus the quarantine
 /// reason are printed.
+///
+/// Startup prints one recovery line per tenant whose WAL replayed any
+/// records, flagging `DATA LOSS` when recovery had to truncate a torn
+/// tail or drop unreadable segments. `--scrub-every-ms N` enables the
+/// background scrub: each tenant's cold segments are CRC-verified at
+/// least every N milliseconds, latent corruption is healed from the
+/// live in-memory state where possible, and the scrub counters join
+/// the per-tenant summary rows.
 pub fn serve(args: &[String]) -> Result<String, CliError> {
     let flags = parse_flags(
         args,
@@ -84,6 +92,7 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
             "snapshot-every",
             "quota-frames",
             "heartbeat-timeout-ms",
+            "scrub-every-ms",
             "addr-file",
         ],
         &["stats", "decentralized"],
@@ -130,12 +139,39 @@ pub fn serve(args: &[String]) -> Result<String, CliError> {
     };
     config.quota_frames = flags.get_usize("quota-frames", 64)?;
     config.heartbeat_timeout = Duration::from_millis(flags.get_u64("heartbeat-timeout-ms", 2000)?);
+    config.scrub_every = match flags.get_u64("scrub-every-ms", 0)? {
+        0 => None,
+        n => Some(Duration::from_millis(n)),
+    };
     let per_tenant = flags.has("stats");
     let decentralized = flags.has("decentralized");
 
     let before = gpd::counters::snapshot();
     let handle = server::start(addr, config).map_err(|e| CliError::Io(format!("{addr}: {e}")))?;
     announce(handle.local_addr(), &flags)?;
+    for row in handle.tenant_stats() {
+        if row.replayed == 0
+            && row.recovered_truncated_bytes == 0
+            && row.recovered_dropped_segments == 0
+        {
+            continue;
+        }
+        let loss = if row.recovered_truncated_bytes > 0 || row.recovered_dropped_segments > 0 {
+            format!(
+                " — DATA LOSS: {} bytes truncated, {} segments dropped",
+                row.recovered_truncated_bytes, row.recovered_dropped_segments,
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "recovered tenant {}: {} records replayed{loss}",
+            row.tenant, row.replayed,
+        );
+    }
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::Io(e.to_string()))?;
     let summary = handle.wait();
 
     let monitor = gpd::counters::snapshot().since(&before);
@@ -189,8 +225,26 @@ fn render_summary(
             } else {
                 String::new()
             };
+            let storage = if row.storage_errors > 0
+                || row.scrub_passes > 0
+                || row.scrub_corruptions > 0
+                || row.recovered_truncated_bytes > 0
+                || row.recovered_dropped_segments > 0
+            {
+                format!(
+                    ", storage: {} errors, {} scrubs / {} corrupt / {} healed, {}B+{} lost at recovery",
+                    row.storage_errors,
+                    row.scrub_passes,
+                    row.scrub_corruptions,
+                    row.scrub_healed,
+                    row.recovered_truncated_bytes,
+                    row.recovered_dropped_segments,
+                )
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
-                "tenant {}: {} observed, {} duplicate, {} stale, {} rejected, queue peak {}, {} wal bytes, {} snapshots, {} resumes{}{}{}\n",
+                "tenant {}: {} observed, {} duplicate, {} stale, {} rejected, queue peak {}, {} wal bytes, {} snapshots, {} resumes{}{}{}{}\n",
                 row.tenant,
                 row.observed,
                 row.duplicates,
@@ -202,6 +256,7 @@ fn render_summary(
                 row.resumes,
                 if row.witness_found { ", witness found" } else { "" },
                 slicers,
+                storage,
                 if row.quarantined { ", QUARANTINED" } else { "" },
             ));
         }

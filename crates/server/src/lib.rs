@@ -28,9 +28,14 @@
 //! - [`liveness`] — server-side slicer liveness: epoch fencing,
 //!   clock-free heartbeat deadlines, and the progress bounds behind
 //!   the degraded `Unknown` verdict.
+//! - [`vfs`] — the storage abstraction under the WAL: the real
+//!   filesystem in production, and a deterministic fault-injecting
+//!   in-memory disk ([`FaultVfs`](vfs::FaultVfs)) with a precise
+//!   power-loss model for the storage torture tests.
 //!
-//! See `docs/ALGORITHMS.md` §11 for the recovery-determinism argument
-//! and §15 for the decentralized abstraction mode.
+//! See `docs/ALGORITHMS.md` §11 for the recovery-determinism argument,
+//! §15 for the decentralized abstraction mode, and §16 for the storage
+//! fault model.
 
 #![warn(missing_docs)]
 
@@ -42,6 +47,7 @@ pub mod liveness;
 pub mod protocol;
 pub mod server;
 pub mod slicer;
+pub mod vfs;
 pub mod wal;
 
 pub use chaos::{ChaosConfig, ChaosHandle, ChaosReport, PartitionDirection};
@@ -52,4 +58,5 @@ pub use protocol::{
 };
 pub use server::{ServerConfig, ServerHandle, ServerSummary};
 pub use slicer::{SlicerAgent, SlicerReport};
-pub use wal::{FsyncPolicy, Recovery, Wal, WalConfig, WalRecord};
+pub use vfs::{CrashStyle, Fault, FaultVfs, OpKind, RealVfs, Vfs, VfsFile};
+pub use wal::{FsyncPolicy, Recovery, ScrubReport, Wal, WalConfig, WalRecord};

@@ -127,8 +127,26 @@ pub struct TenantStatsRow {
     /// Slicers that finished their streams gracefully.
     pub slicers_done: u64,
     /// Whether the tenant's decentralized verdict is degraded to
-    /// `Unknown` (some slicer is dead and no witness was found yet).
+    /// `Unknown` (no witness yet, and either a slicer is dead or the
+    /// tenant is quarantined — e.g. poisoned storage).
     pub degraded: bool,
+    /// WAL records replayed when this tenant was recovered at startup.
+    pub replayed: u64,
+    /// Bytes recovery cut as a torn tail at startup — nonzero means an
+    /// unclean shutdown lost un-acked (or, off `fsync always`, acked)
+    /// data; operators should check client-side redelivery.
+    pub recovered_truncated_bytes: u64,
+    /// Whole segments recovery dropped after the torn one at startup.
+    pub recovered_dropped_segments: u64,
+    /// Appends rejected on transient storage errors (ENOSPC/EIO with a
+    /// clean rollback — the tenant stayed in service).
+    pub storage_errors: u64,
+    /// Completed background scrub passes ([`Wal::scrub`](crate::wal::Wal::scrub)).
+    pub scrub_passes: u64,
+    /// Corrupt segments the scrubber found over the tenant's lifetime.
+    pub scrub_corruptions: u64,
+    /// Corrupt segments healed by compacting from the live monitor.
+    pub scrub_healed: u64,
 }
 
 /// The three-valued verdict of a decentralized (slicer-fed) tenant —
@@ -556,6 +574,13 @@ impl Message {
                     put_u64(&mut out, row.slicers_dead);
                     put_u64(&mut out, row.slicers_done);
                     out.push(row.degraded as u8);
+                    put_u64(&mut out, row.replayed);
+                    put_u64(&mut out, row.recovered_truncated_bytes);
+                    put_u64(&mut out, row.recovered_dropped_segments);
+                    put_u64(&mut out, row.storage_errors);
+                    put_u64(&mut out, row.scrub_passes);
+                    put_u64(&mut out, row.scrub_corruptions);
+                    put_u64(&mut out, row.scrub_healed);
                 }
             }
             Message::SlicerHello {
@@ -710,9 +735,9 @@ impl Message {
             TAG_TENANT_STATS_QUERY => Message::TenantStatsQuery,
             TAG_TENANT_STATS => {
                 let count = d.u32()? as usize;
-                // Each row is at least its 14 counters plus three flags
+                // Each row is at least its 21 counters plus three flags
                 // and two length prefixes.
-                if count > d.bytes.len() / 123 + 1 {
+                if count > d.bytes.len() / 179 + 1 {
                     return None;
                 }
                 let rows = (0..count)
@@ -737,6 +762,13 @@ impl Message {
                             slicers_dead: d.u64()?,
                             slicers_done: d.u64()?,
                             degraded: d.bool()?,
+                            replayed: d.u64()?,
+                            recovered_truncated_bytes: d.u64()?,
+                            recovered_dropped_segments: d.u64()?,
+                            storage_errors: d.u64()?,
+                            scrub_passes: d.u64()?,
+                            scrub_corruptions: d.u64()?,
+                            scrub_healed: d.u64()?,
                         })
                     })
                     .collect::<Option<Vec<_>>>()?;
@@ -1050,6 +1082,19 @@ mod tests {
                 slicers_dead: 1,
                 slicers_done: 2,
                 degraded: true,
+                ..TenantStatsRow::default()
+            }],
+        });
+        roundtrip(Message::TenantStats {
+            rows: vec![TenantStatsRow {
+                tenant: "storage".into(),
+                replayed: 42,
+                recovered_truncated_bytes: 87,
+                recovered_dropped_segments: 2,
+                storage_errors: 5,
+                scrub_passes: 9,
+                scrub_corruptions: 1,
+                scrub_healed: 1,
                 ..TenantStatsRow::default()
             }],
         });

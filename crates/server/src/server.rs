@@ -103,6 +103,10 @@ pub struct ServerConfig {
     /// done) is considered dead; its tenant's verdict degrades to
     /// `Unknown` with progress bounds instead of wedging.
     pub heartbeat_timeout: Duration,
+    /// Re-verify each tenant's segment CRCs this often (`None` =
+    /// never), self-healing corruption from the live monitor where
+    /// possible — see `Wal::scrub` and `docs/ALGORITHMS.md` §16.
+    pub scrub_every: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -119,6 +123,7 @@ impl ServerConfig {
             snapshot_every: None,
             fault_injection: None,
             heartbeat_timeout: Duration::from_secs(2),
+            scrub_every: None,
         }
     }
 }
@@ -152,6 +157,21 @@ struct Tenant {
     /// Records replayed when this tenant's WAL was opened — the
     /// O(live state) gauge the recovery tests assert on.
     replayed: u64,
+    /// Bytes recovery cut as a torn tail when the WAL was opened —
+    /// nonzero means an unclean shutdown lost un-acked data.
+    recovered_truncated_bytes: u64,
+    /// Whole segments recovery dropped past the torn one.
+    recovered_dropped_segments: u64,
+    /// Appends rejected for transient storage errors (ENOSPC/EIO with
+    /// a clean rollback — the tenant stayed in service).
+    storage_errors: u64,
+    /// Completed background scrub passes.
+    scrub_passes: u64,
+    /// Corrupt segments the scrubber found.
+    scrub_corruptions: u64,
+    /// Corrupt segments healed by compacting from the live monitor.
+    scrub_healed: u64,
+    last_scrub: Instant,
 }
 
 impl Tenant {
@@ -178,6 +198,13 @@ impl Tenant {
             quarantine_reason: None,
             slicers: SlicerRegistry::new(),
             replayed: recovery.records.len() as u64,
+            recovered_truncated_bytes: recovery.truncated_bytes,
+            recovered_dropped_segments: recovery.dropped_segments,
+            storage_errors: 0,
+            scrub_passes: 0,
+            scrub_corruptions: 0,
+            scrub_healed: 0,
+            last_scrub: Instant::now(),
         };
         // Deterministic replay: the log records every accepted
         // observation in apply order (with snapshots as reset points),
@@ -253,7 +280,17 @@ impl Tenant {
             slicers_live: census.live,
             slicers_dead: census.dead,
             slicers_done: census.done,
-            degraded: !witness_found && census.dead > 0,
+            // Storage poisoning degrades the verdict exactly like a
+            // dead slicer: without a durable log the tenant can no
+            // longer promise "not yet" — only a sticky witness stands.
+            degraded: !witness_found && (census.dead > 0 || self.quarantined),
+            replayed: self.replayed,
+            recovered_truncated_bytes: self.recovered_truncated_bytes,
+            recovered_dropped_segments: self.recovered_dropped_segments,
+            storage_errors: self.storage_errors,
+            scrub_passes: self.scrub_passes,
+            scrub_corruptions: self.scrub_corruptions,
+            scrub_healed: self.scrub_healed,
         }
     }
 
@@ -275,7 +312,11 @@ impl Tenant {
         let dead = self.slicers.dead(now, heartbeat_timeout);
         let n = self.monitor.as_ref().map_or(0, |m| m.process_count());
         SlicerVerdict {
-            degraded: witness.is_none() && !dead.is_empty(),
+            // A quarantined tenant (poisoned storage, crashed
+            // predicate) degrades to Unknown the same way a dead
+            // slicer does: a sticky witness still stands, but "no
+            // witness" can no longer be trusted as "not yet".
+            degraded: witness.is_none() && (!dead.is_empty() || self.quarantined),
             witness,
             dead,
             applied: (0..n)
@@ -308,6 +349,45 @@ impl Tenant {
         self.snapshots += 1;
         self.events_since_snapshot = 0;
         Ok(())
+    }
+
+    /// One background scrub: re-verify every live segment's CRCs, and
+    /// self-heal corruption by compacting from the live monitor — the
+    /// monitor is authoritative for everything the log recorded, so
+    /// the rewritten log (snapshot + nothing) supersedes the corrupt
+    /// segments, which compaction then deletes. Without live state to
+    /// snapshot (or when healing itself fails) the tenant is
+    /// quarantined instead: its log can no longer be trusted.
+    fn scrub_pass(&mut self) {
+        let report = match self.wal.scrub() {
+            Ok(report) => report,
+            Err(e) => {
+                self.storage_errors += 1;
+                if self.wal.poisoned().is_some() {
+                    self.quarantine(format!("wal scrub failed: {e}"));
+                }
+                return;
+            }
+        };
+        self.scrub_passes += 1;
+        if report.is_clean() {
+            return;
+        }
+        self.scrub_corruptions += report.corrupt_segments;
+        if self.monitor.is_none() || self.initial.is_none() {
+            self.quarantine(format!(
+                "scrub found {} corrupt segment(s) and no live state to heal from",
+                report.corrupt_segments
+            ));
+            return;
+        }
+        match self.compact() {
+            Ok(()) => self.scrub_healed += report.corrupt_segments,
+            Err(e) => self.quarantine(format!(
+                "scrub found {} corrupt segment(s) and healing compaction failed: {e}",
+                report.corrupt_segments
+            )),
+        }
     }
 }
 
@@ -515,20 +595,14 @@ pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
     let local = listener.local_addr()?;
 
     let root = config.wal.dir.clone();
-    std::fs::create_dir_all(root.join("tenants"))?;
-    migrate_legacy_layout(&root)?;
+    let vfs = Arc::clone(&config.wal.vfs);
+    vfs.create_dir_all(&root.join("tenants"))?;
+    migrate_legacy_layout(&*vfs, &root)?;
 
     // Eagerly recover every tenant namespace, so stats and verdicts
     // are correct before any client reconnects.
     let mut tenants = HashMap::new();
-    for entry in std::fs::read_dir(root.join("tenants"))? {
-        let entry = entry?;
-        if !entry.file_type()?.is_dir() {
-            continue;
-        }
-        let Some(name) = entry.file_name().to_str().map(str::to_string) else {
-            continue;
-        };
+    for name in vfs.list_dirs(&root.join("tenants"))? {
         let tenant = Tenant::open(&name, &config.wal, config.queue_cap)?;
         tenants.insert(name, Arc::new(Mutex::new(tenant)));
     }
@@ -560,16 +634,22 @@ pub fn start(addr: &str, config: ServerConfig) -> std::io::Result<ServerHandle> 
 
 /// Moves pre-multi-tenant segments (`<root>/*.wal`) into the default
 /// tenant's namespace, so old logs keep working.
-fn migrate_legacy_layout(root: &std::path::Path) -> std::io::Result<()> {
+fn migrate_legacy_layout(vfs: &dyn crate::vfs::Vfs, root: &std::path::Path) -> std::io::Result<()> {
     let default_dir = tenant_dir(root, DEFAULT_TENANT);
-    for entry in std::fs::read_dir(root)? {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        if entry.file_type()?.is_file() && name.ends_with(".wal") {
-            std::fs::create_dir_all(&default_dir)?;
-            std::fs::rename(entry.path(), default_dir.join(name))?;
+    let mut moved = false;
+    for name in vfs.list(root)? {
+        if name.ends_with(".wal") {
+            vfs.create_dir_all(&default_dir)?;
+            vfs.rename(&root.join(&name), &default_dir.join(&name))?;
+            moved = true;
         }
+    }
+    if moved {
+        // Renames are durable only once both directories are synced —
+        // otherwise power loss could resurrect the pre-migration
+        // layout, or worse, drop the segments from both.
+        vfs.sync_dir(root)?;
+        vfs.sync_dir(&default_dir)?;
     }
     Ok(())
 }
@@ -741,6 +821,7 @@ impl SweepState {
 fn shard_loop(shard: usize, shared: &Shared) {
     let mut conns: Vec<Conn> = Vec::new();
     let io_timeout = shared.config.io_timeout;
+    let mut next_scrub_scan = Instant::now();
     // Sweeps without progress before the shard parks: a short yield
     // phase keeps ack latency in the microseconds while clients are
     // mid-round-trip, without burning CPU when genuinely idle.
@@ -804,6 +885,27 @@ fn shard_loop(shard: usize, shared: &Shared) {
         for tenant in &sweep.compact {
             let mut t = tenant.lock().expect("tenant poisoned");
             let _ = t.compact();
+        }
+
+        // Background scrub: periodically re-verify cold segment CRCs
+        // for this shard's tenants (the sweep thread owns their locks
+        // anyway, so the scrub never races an append).
+        if let Some(every) = shared.config.scrub_every {
+            let now = Instant::now();
+            if now >= next_scrub_scan {
+                next_scrub_scan = now + (every / 2).max(Duration::from_millis(10));
+                for tenant in shared.tenant_refs() {
+                    let mut t = tenant.lock().expect("tenant poisoned");
+                    if shard_of(&t.name, shared.mailboxes.len()) != shard
+                        || t.quarantined
+                        || now.duration_since(t.last_scrub) < every
+                    {
+                        continue;
+                    }
+                    t.last_scrub = now;
+                    t.scrub_pass();
+                }
+            }
         }
 
         // Flush staged replies; retire finished connections.
@@ -1037,14 +1139,19 @@ fn handle_slicer_hello(
             t.resumes += 1;
         }
         _ => {
-            if t.wal
-                .append(&WalRecord::Init {
-                    initial: initial.clone(),
-                })
-                .is_err()
-            {
+            if let Err(e) = t.wal.append(&WalRecord::Init {
+                initial: initial.clone(),
+            }) {
+                if t.wal.poisoned().is_some() {
+                    // Fsync failure: quarantine rather than retry
+                    // (fsyncgate), and drop the connection unflushed.
+                    t.quarantine(format!("wal append failed: {e}"));
+                    drop(t);
+                    conn.fate = ConnFate::Dead;
+                    return;
+                }
                 drop(t);
-                return fail(conn, "wal append failed".to_string());
+                return fail(conn, format!("wal append failed: {e}"));
             }
             t.events_logged += 1;
             t.monitor = Some(with_cap(
@@ -1177,14 +1284,19 @@ fn handle_hello(
         _ => {
             // First contact: log the session header before building
             // the monitor, so recovery can rebuild it.
-            if t.wal
-                .append(&WalRecord::Init {
-                    initial: initial.clone(),
-                })
-                .is_err()
-            {
+            if let Err(e) = t.wal.append(&WalRecord::Init {
+                initial: initial.clone(),
+            }) {
+                if t.wal.poisoned().is_some() {
+                    // Fsync failure: quarantine rather than retry
+                    // (fsyncgate), and drop the connection unflushed.
+                    t.quarantine(format!("wal append failed: {e}"));
+                    drop(t);
+                    conn.fate = ConnFate::Dead;
+                    return;
+                }
                 drop(t);
-                return fail(conn, "wal append failed".to_string());
+                return fail(conn, format!("wal append failed: {e}"));
             }
             t.events_logged += 1;
             t.monitor = Some(with_cap(
@@ -1269,15 +1381,36 @@ fn handle_event(
                 t.rejected += 1;
                 AckStatus::Rejected
             } else {
-                if t.wal
-                    .append(&WalRecord::Event {
-                        process,
-                        clock: clock.clone(),
-                    })
-                    .is_err()
-                {
+                if let Err(e) = t.wal.append(&WalRecord::Event {
+                    process,
+                    clock: clock.clone(),
+                }) {
+                    if t.wal.poisoned().is_some() {
+                        // Fsync failure (or a rollback that failed):
+                        // durability can no longer be promised and a
+                        // retry would trust a lying fsync (fsyncgate).
+                        // Quarantine and drop the connection with its
+                        // staged output unflushed — every un-synced
+                        // ack is withheld; the client re-delivers to
+                        // a healthy home after operator action.
+                        t.quarantine(format!("wal append failed: {e}"));
+                        drop(t);
+                        conn.fate = ConnFate::Dead;
+                        return;
+                    }
+                    // Transient storage error (ENOSPC/EIO), frame
+                    // rolled back: the log is intact minus this one
+                    // event — reject it so the client backs off, and
+                    // stay in service.
+                    t.storage_errors += 1;
+                    t.rejected += 1;
                     drop(t);
-                    return fail(conn, "wal append failed".to_string());
+                    conn.stage(&Message::Ack {
+                        process,
+                        seq,
+                        status: AckStatus::Rejected,
+                    });
+                    return;
                 }
                 t.events_logged += 1;
                 t.events_since_snapshot += 1;

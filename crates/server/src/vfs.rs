@@ -1,0 +1,946 @@
+//! Storage virtualisation and deterministic disk-fault injection.
+//!
+//! Everything the WAL does to stable storage goes through the [`Vfs`]
+//! trait — open/read/write/sync/truncate/rename/remove/list *plus
+//! directory sync*, the operation real databases forget (an `fsync` of
+//! a file does **not** persist its directory entry; a segment created,
+//! written, and fsynced can still vanish at power loss if the directory
+//! was never synced).
+//!
+//! Two implementations:
+//!
+//! - [`RealVfs`] — the real filesystem, used in production.
+//! - [`FaultVfs`] — a deterministic in-memory disk used by the torture
+//!   tests. It injects seeded faults (EIO, ENOSPC, short writes, fsync
+//!   failure) at any syscall boundary and models power loss precisely:
+//!
+//!   * File content has two layers per inode: the *live* bytes (page
+//!     cache) and the *synced* bytes (platter). `sync_data` promotes
+//!     live to synced; a crash discards whatever was never promoted.
+//!   * Namespace operations (create/remove/rename) are journalled per
+//!     directory and become durable only at `sync_dir`; a crash
+//!     replays a prefix of the un-synced journal (none under
+//!     [`CrashStyle::Strict`], all under [`CrashStyle::WriteThrough`],
+//!     a seeded prefix under [`CrashStyle::Sampled`]).
+//!   * A failed `sync_data` is *adversarial*, per the 2018 fsyncgate
+//!     findings: the kernel marks the dirty pages clean and drops
+//!     them, so every **later** `sync_data` on that file reports
+//!     success while persisting nothing. Storage code that retries a
+//!     failed fsync and trusts the second `Ok` provably loses acked
+//!     data under this model; the only sound response is to poison
+//!     the log (see [`Wal`](crate::wal::Wal)).
+//!
+//!   `mkdir` is modelled as immediately durable — the WAL creates its
+//!   directory once at open and the simplification never masks a lost
+//!   segment entry.
+//!
+//! Every syscall consumes one *op index* (large writes are split into
+//! `block_bytes` chunks, each its own op, so a multi-block frame write
+//! has crash points *inside* it — torn writes). The power-loss
+//! simulator in `tests/storage_torture.rs` re-runs a workload with
+//! [`FaultVfs::power_off_after`] set to every op index in turn, takes
+//! the [`crash`](FaultVfs::crash) image, and verifies recovery.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An open, append-only file handle.
+pub trait VfsFile: Send + fmt::Debug {
+    /// Appends up to `buf.len()` bytes at the end of the file and
+    /// returns how many were written (short writes are legal, exactly
+    /// as for `write(2)`).
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize>;
+
+    /// Forces the file's content durable (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+}
+
+/// The storage surface the WAL runs on.
+///
+/// Paths are plain `Path`s; implementations resolve them internally.
+/// All handles from one `Vfs` see one consistent disk.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Creates a directory and its ancestors (idempotent).
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Lists the *file* names directly inside `dir`.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Lists the *subdirectory* names directly inside `dir`.
+    fn list_dirs(&self, dir: &Path) -> io::Result<Vec<String>>;
+
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// The file's current length in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+
+    /// Truncates (or zero-extends) the file to `len` bytes.
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Unlinks a file. Durable only after [`sync_dir`](Self::sync_dir).
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// Renames a file. Durable only after [`sync_dir`](Self::sync_dir)
+    /// on the affected directories.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Opens a file for appending, creating it if missing. With
+    /// `create_new` the file must not already exist. Creation is
+    /// durable only after [`sync_dir`](Self::sync_dir).
+    fn open_append(&self, path: &Path, create_new: bool) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Forces the directory's entries (creations, removals, renames)
+    /// durable — the step that makes a freshly created segment file
+    /// survive power loss.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------
+// Real filesystem
+// ---------------------------------------------------------------------
+
+/// The production [`Vfs`]: a thin veneer over `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealVfs;
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl VfsFile for RealFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+fn real_entries(dir: &Path, want_dirs: bool) -> io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() == want_dirs {
+            if let Some(name) = entry.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+impl Vfs for RealVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        real_entries(dir, false)
+    }
+
+    fn list_dirs(&self, dir: &Path) -> io::Result<Vec<String>> {
+        real_entries(dir, true)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        OpenOptions::new().write(true).open(path)?.set_len(len)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn open_append(&self, path: &Path, create_new: bool) -> io::Result<Box<dyn VfsFile>> {
+        let mut options = OpenOptions::new();
+        options.append(true);
+        if create_new {
+            options.create_new(true);
+        } else {
+            options.create(true);
+        }
+        Ok(Box::new(RealFile(options.open(path)?)))
+    }
+
+    #[cfg(unix)]
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+
+    #[cfg(not(unix))]
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        // Windows has no directory handles to fsync; directory metadata
+        // updates are synchronous there.
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-injecting in-memory disk
+// ---------------------------------------------------------------------
+
+/// Which syscall an op index belongs to, for kind-targeted fault
+/// schedules ("fail the 3rd fsync").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpKind {
+    /// `create_dir_all`.
+    Mkdir,
+    /// `list` / `list_dirs`.
+    List,
+    /// `read`.
+    Read,
+    /// `file_len`.
+    Len,
+    /// `set_len`.
+    SetLen,
+    /// `remove`.
+    Remove,
+    /// `rename`.
+    Rename,
+    /// `open_append`.
+    Open,
+    /// One block of a `VfsFile::write`.
+    Write,
+    /// `VfsFile::sync_data`.
+    SyncData,
+    /// `sync_dir`.
+    SyncDir,
+}
+
+/// A single-shot injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Generic I/O error; the op has no effect.
+    Eio,
+    /// Disk full (`ErrorKind::StorageFull`); the op has no effect.
+    Enospc,
+    /// A write persists only half its block, then reports the short
+    /// count (legal `write(2)` behaviour; on other op kinds this
+    /// degrades to [`Eio`](Self::Eio)).
+    ShortWrite,
+    /// The fsync reports failure after dropping the dirty pages; every
+    /// later fsync of the same file reports success while persisting
+    /// nothing (the fsyncgate adversary). On non-sync ops this
+    /// degrades to [`Eio`](Self::Eio)).
+    SyncFail,
+}
+
+/// How much of the un-synced state survives a simulated power loss.
+#[derive(Debug, Clone, Copy)]
+pub enum CrashStyle {
+    /// Nothing un-synced survives: file content reverts to its last
+    /// `sync_data`, directory entries to their last `sync_dir`. The
+    /// adversarial minimum — what correctness must assume.
+    Strict,
+    /// Everything written survives, even without any sync — the lucky
+    /// maximum (the kernel flushed everything just in time). Recovery
+    /// must also cope with *more* than the acked prefix surviving.
+    WriteThrough,
+    /// A seeded in-between: each directory keeps a random prefix of
+    /// its un-synced journal, each file keeps a random subset of its
+    /// un-synced blocks (holes read as zeroes — out-of-order
+    /// writeback). Deterministic per seed.
+    Sampled(u64),
+}
+
+#[derive(Debug, Default)]
+struct Inode {
+    /// Page-cache view: every successful write lands here.
+    live: Vec<u8>,
+    /// Platter view: what survives a [`CrashStyle::Strict`] crash.
+    synced: Vec<u8>,
+    /// Set by an injected fsync failure: the dirty pages are gone and
+    /// later fsyncs lie (report success, persist nothing).
+    sync_broken: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NsOp {
+    Link(String, u64),
+    Unlink(String),
+}
+
+#[derive(Debug, Default)]
+struct DirState {
+    live: BTreeMap<String, u64>,
+    durable: BTreeMap<String, u64>,
+    /// Namespace ops since the last `sync_dir`, in order. A crash
+    /// persists a prefix of this journal on top of `durable`.
+    journal: Vec<NsOp>,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    dirs: BTreeMap<PathBuf, DirState>,
+    inodes: BTreeMap<u64, Inode>,
+    next_inode: u64,
+    ops: u64,
+    kind_counts: BTreeMap<OpKind, u64>,
+    by_index: BTreeMap<u64, Fault>,
+    by_kind: BTreeMap<(OpKind, u64), Fault>,
+    power_off: Option<u64>,
+    block_bytes: usize,
+}
+
+impl Default for FaultState {
+    fn default() -> Self {
+        FaultState {
+            dirs: BTreeMap::new(),
+            inodes: BTreeMap::new(),
+            next_inode: 0,
+            ops: 0,
+            kind_counts: BTreeMap::new(),
+            by_index: BTreeMap::new(),
+            by_kind: BTreeMap::new(),
+            power_off: None,
+            block_bytes: usize::MAX,
+        }
+    }
+}
+
+fn eio(msg: impl Into<String>) -> io::Error {
+    io::Error::other(msg.into())
+}
+
+fn enospc() -> io::Error {
+    io::Error::new(io::ErrorKind::StorageFull, "injected ENOSPC")
+}
+
+impl FaultState {
+    /// Accounts one op; returns a fault the caller must interpret
+    /// (short write / sync failure), or errors out directly.
+    fn begin(&mut self, kind: OpKind) -> io::Result<Option<Fault>> {
+        let index = self.ops;
+        self.ops += 1;
+        let nth = self.kind_counts.entry(kind).or_insert(0);
+        let kind_nth = *nth;
+        *nth += 1;
+        if self.power_off.is_some_and(|cut| index >= cut) {
+            return Err(eio(format!(
+                "simulated power loss at op {index} ({kind:?})"
+            )));
+        }
+        let fault = self
+            .by_index
+            .remove(&index)
+            .or_else(|| self.by_kind.remove(&(kind, kind_nth)));
+        match fault {
+            Some(Fault::Eio) => Err(eio(format!("injected EIO at op {index} ({kind:?})"))),
+            Some(Fault::Enospc) => Err(enospc()),
+            other => Ok(other),
+        }
+    }
+
+    fn dir_mut(&mut self, dir: &Path) -> io::Result<&mut DirState> {
+        self.dirs
+            .get_mut(dir)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no dir {dir:?}")))
+    }
+}
+
+fn split(path: &Path) -> io::Result<(PathBuf, String)> {
+    let parent = path.parent().map(Path::to_path_buf).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("no parent: {path:?}"))
+    })?;
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, format!("bad name: {path:?}")))?
+        .to_string();
+    Ok((parent, name))
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(io::ErrorKind::NotFound, format!("no file {path:?}"))
+}
+
+/// Deterministic xorshift64*; good enough to sample crash images.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A deterministic in-memory disk with seeded fault injection and a
+/// precise power-loss model. Cheap to clone (shared state): clones see
+/// the same disk, so tests keep a handle to crash or inspect the disk
+/// a [`Wal`](crate::wal::Wal) is writing to.
+#[derive(Debug, Clone, Default)]
+pub struct FaultVfs {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultVfs {
+    /// A fresh, empty, fault-free disk.
+    pub fn new() -> Self {
+        FaultVfs::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().expect("fault vfs poisoned by panic")
+    }
+
+    /// Splits every write into `bytes`-sized blocks, each its own op —
+    /// a frame write then has power-loss points *inside* it (torn
+    /// writes). Default: unlimited (one op per write call).
+    pub fn with_block_bytes(self, bytes: usize) -> Self {
+        assert!(bytes > 0, "block size must be positive");
+        self.lock().block_bytes = bytes;
+        self
+    }
+
+    /// Injects `fault` at the op with this global index (single-shot).
+    pub fn fail_op(&self, index: u64, fault: Fault) {
+        self.lock().by_index.insert(index, fault);
+    }
+
+    /// Injects `fault` at the `nth` op of `kind` (0-based,
+    /// single-shot) — "fail the 3rd fsync".
+    pub fn fail_kind(&self, kind: OpKind, nth: u64, fault: Fault) {
+        self.lock().by_kind.insert((kind, nth), fault);
+    }
+
+    /// Every op with global index `>= cut` fails as if power was lost
+    /// — the workload cannot touch the disk past that point. Combine
+    /// with [`crash`](Self::crash) to get the surviving image.
+    pub fn power_off_after(&self, cut: u64) {
+        self.lock().power_off = Some(cut);
+    }
+
+    /// Total ops performed so far — run a workload once fault-free to
+    /// learn how many crash points it has.
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Ops of one kind performed so far.
+    pub fn ops_of(&self, kind: OpKind) -> u64 {
+        self.lock().kind_counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Flips one byte of a file in both the page cache and on the
+    /// platter — simulated bit rot for scrub tests. Consumes no op.
+    ///
+    /// # Errors
+    ///
+    /// `NotFound` if the path does not resolve, `InvalidInput` if
+    /// `offset` is past the end.
+    pub fn flip_byte(&self, path: &Path, offset: u64) -> io::Result<()> {
+        let (parent, name) = split(path)?;
+        let mut state = self.lock();
+        let id = *state
+            .dir_mut(&parent)?
+            .live
+            .get(&name)
+            .ok_or_else(|| not_found(path))?;
+        let inode = state.inodes.get_mut(&id).expect("linked inode exists");
+        let at = offset as usize;
+        if at >= inode.live.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "flip offset past end of file",
+            ));
+        }
+        inode.live[at] ^= 0x40;
+        if at < inode.synced.len() {
+            inode.synced[at] ^= 0x40;
+        }
+        Ok(())
+    }
+
+    /// The disk as it would be found after a power loss, as a fresh
+    /// fault-free `FaultVfs`: un-synced content and un-dir-synced
+    /// namespace changes are discarded per `style`. The original is
+    /// untouched.
+    pub fn crash(&self, style: CrashStyle) -> FaultVfs {
+        let state = self.lock();
+        let mut rng = match style {
+            CrashStyle::Sampled(seed) => seed | 1,
+            _ => 1,
+        };
+        let mut dirs = BTreeMap::new();
+        let mut used: BTreeMap<u64, Inode> = BTreeMap::new();
+        for (path, dir) in &state.dirs {
+            let names = match style {
+                CrashStyle::Strict => dir.durable.clone(),
+                CrashStyle::WriteThrough => dir.live.clone(),
+                CrashStyle::Sampled(_) => {
+                    // A prefix of the metadata journal reached the
+                    // platter (ordered metadata journalling).
+                    let keep = (xorshift(&mut rng) % (dir.journal.len() as u64 + 1)) as usize;
+                    let mut names = dir.durable.clone();
+                    for op in &dir.journal[..keep] {
+                        match op {
+                            NsOp::Link(name, id) => {
+                                names.insert(name.clone(), *id);
+                            }
+                            NsOp::Unlink(name) => {
+                                names.remove(name);
+                            }
+                        }
+                    }
+                    names
+                }
+            };
+            for id in names.values() {
+                if used.contains_key(id) {
+                    continue;
+                }
+                let inode = &state.inodes[id];
+                let content = match style {
+                    CrashStyle::Strict => inode.synced.clone(),
+                    CrashStyle::WriteThrough => inode.live.clone(),
+                    CrashStyle::Sampled(_) => {
+                        // The synced prefix is guaranteed; each
+                        // un-synced block survives by coin flip, lost
+                        // blocks before a surviving one read as zeroes.
+                        let base = inode.synced.len().min(inode.live.len());
+                        let mut content = inode.live[..base].to_vec();
+                        let block = state.block_bytes.clamp(1, 512);
+                        let mut end = base;
+                        let mut at = base;
+                        while at < inode.live.len() {
+                            let next = (at + block).min(inode.live.len());
+                            if xorshift(&mut rng) & 1 == 0 {
+                                if content.len() < at {
+                                    content.resize(at, 0);
+                                }
+                                content.truncate(at);
+                                content.extend_from_slice(&inode.live[at..next]);
+                                end = next;
+                            }
+                            at = next;
+                        }
+                        content.resize(end, 0);
+                        content
+                    }
+                };
+                used.insert(
+                    *id,
+                    Inode {
+                        synced: content.clone(),
+                        live: content,
+                        sync_broken: false,
+                    },
+                );
+            }
+            dirs.insert(
+                path.clone(),
+                DirState {
+                    live: names.clone(),
+                    durable: names,
+                    journal: Vec::new(),
+                },
+            );
+        }
+        FaultVfs {
+            state: Arc::new(Mutex::new(FaultState {
+                dirs,
+                inodes: used,
+                next_inode: state.next_inode,
+                block_bytes: state.block_bytes,
+                ..FaultState::default()
+            })),
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        state.begin(OpKind::Mkdir)?;
+        for ancestor in dir.ancestors() {
+            state.dirs.entry(ancestor.to_path_buf()).or_default();
+        }
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut state = self.lock();
+        state.begin(OpKind::List)?;
+        Ok(state.dir_mut(dir)?.live.keys().cloned().collect())
+    }
+
+    fn list_dirs(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let mut state = self.lock();
+        state.begin(OpKind::List)?;
+        if !state.dirs.contains_key(dir) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no dir {dir:?}"),
+            ));
+        }
+        Ok(state
+            .dirs
+            .keys()
+            .filter(|p| p.parent() == Some(dir))
+            .filter_map(|p| p.file_name()?.to_str().map(str::to_string))
+            .collect())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let (parent, name) = split(path)?;
+        let mut state = self.lock();
+        state.begin(OpKind::Read)?;
+        let id = *state
+            .dir_mut(&parent)?
+            .live
+            .get(&name)
+            .ok_or_else(|| not_found(path))?;
+        Ok(state.inodes[&id].live.clone())
+    }
+
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        let (parent, name) = split(path)?;
+        let mut state = self.lock();
+        state.begin(OpKind::Len)?;
+        let id = *state
+            .dir_mut(&parent)?
+            .live
+            .get(&name)
+            .ok_or_else(|| not_found(path))?;
+        Ok(state.inodes[&id].live.len() as u64)
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        let (parent, name) = split(path)?;
+        let mut state = self.lock();
+        state.begin(OpKind::SetLen)?;
+        let id = *state
+            .dir_mut(&parent)?
+            .live
+            .get(&name)
+            .ok_or_else(|| not_found(path))?;
+        // Truncation hits the page cache only; it reaches the platter
+        // at the next sync_data, so a crash first can resurrect the
+        // cut tail (recovery re-cuts it — the operation is idempotent).
+        state
+            .inodes
+            .get_mut(&id)
+            .expect("linked inode exists")
+            .live
+            .resize(len as usize, 0);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let (parent, name) = split(path)?;
+        let mut state = self.lock();
+        state.begin(OpKind::Remove)?;
+        let dir = state.dir_mut(&parent)?;
+        dir.live.remove(&name).ok_or_else(|| not_found(path))?;
+        dir.journal.push(NsOp::Unlink(name));
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let (from_parent, from_name) = split(from)?;
+        let (to_parent, to_name) = split(to)?;
+        let mut state = self.lock();
+        state.begin(OpKind::Rename)?;
+        let from_dir = state.dir_mut(&from_parent)?;
+        let id = from_dir
+            .live
+            .remove(&from_name)
+            .ok_or_else(|| not_found(from))?;
+        from_dir.journal.push(NsOp::Unlink(from_name));
+        let to_dir = state.dir_mut(&to_parent)?;
+        to_dir.live.insert(to_name.clone(), id);
+        to_dir.journal.push(NsOp::Link(to_name, id));
+        Ok(())
+    }
+
+    fn open_append(&self, path: &Path, create_new: bool) -> io::Result<Box<dyn VfsFile>> {
+        let (parent, name) = split(path)?;
+        let mut state = self.lock();
+        state.begin(OpKind::Open)?;
+        let existing = state.dir_mut(&parent)?.live.get(&name).copied();
+        let id = match existing {
+            Some(id) if create_new => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!("exists: {id} at {path:?}"),
+                ));
+            }
+            Some(id) => id,
+            None => {
+                let id = state.next_inode;
+                state.next_inode += 1;
+                state.inodes.insert(id, Inode::default());
+                let dir = state.dir_mut(&parent)?;
+                dir.live.insert(name.clone(), id);
+                dir.journal.push(NsOp::Link(name, id));
+                id
+            }
+        };
+        Ok(Box::new(FaultFile {
+            state: Arc::clone(&self.state),
+            inode: id,
+        }))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        let mut state = self.lock();
+        if let Some(fault) = state.begin(OpKind::SyncDir)? {
+            let _ = fault;
+            return Err(eio("injected sync_dir failure"));
+        }
+        let dir = state.dir_mut(dir)?;
+        dir.durable = dir.live.clone();
+        dir.journal.clear();
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct FaultFile {
+    state: Arc<Mutex<FaultState>>,
+    inode: u64,
+}
+
+impl VfsFile for FaultFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.state.lock().expect("fault vfs poisoned by panic");
+        let fault = state.begin(OpKind::Write)?;
+        let mut n = buf.len().min(state.block_bytes);
+        match fault {
+            Some(Fault::ShortWrite) => n = (n / 2).max(1),
+            Some(_) => return Err(eio("injected fault on write")),
+            None => {}
+        }
+        state
+            .inodes
+            .get_mut(&self.inode)
+            .expect("open inode exists")
+            .live
+            .extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        let mut state = self.state.lock().expect("fault vfs poisoned by panic");
+        let fault = state.begin(OpKind::SyncData)?;
+        let inode = state
+            .inodes
+            .get_mut(&self.inode)
+            .expect("open inode exists");
+        match fault {
+            Some(Fault::SyncFail) => {
+                // fsyncgate: the kernel dropped the dirty pages and
+                // marked them clean — this sync fails, and every later
+                // one "succeeds" without persisting anything.
+                inode.sync_broken = true;
+                Err(eio("injected fsync failure (dirty pages dropped)"))
+            }
+            Some(_) => Err(eio("injected fault on fsync")),
+            None if inode.sync_broken => Ok(()),
+            None => {
+                inode.synced = inode.live.clone();
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_file(vfs: &FaultVfs, path: &Path, bytes: &[u8]) -> Box<dyn VfsFile> {
+        let mut f = vfs.open_append(path, true).unwrap();
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let n = f.write(rest).unwrap();
+            rest = &rest[n..];
+        }
+        f
+    }
+
+    #[test]
+    fn unsynced_content_is_lost_in_a_strict_crash() {
+        let vfs = FaultVfs::new();
+        vfs.create_dir_all(Path::new("/d")).unwrap();
+        let path = Path::new("/d/a");
+        let mut f = write_file(&vfs, path, b"durable");
+        f.sync_data().unwrap();
+        vfs.sync_dir(Path::new("/d")).unwrap();
+        let mut rest: &[u8] = b" volatile";
+        while !rest.is_empty() {
+            let n = f.write(rest).unwrap();
+            rest = &rest[n..];
+        }
+        assert_eq!(vfs.read(path).unwrap(), b"durable volatile");
+        let strict = vfs.crash(CrashStyle::Strict);
+        assert_eq!(strict.read(path).unwrap(), b"durable");
+        let lucky = vfs.crash(CrashStyle::WriteThrough);
+        assert_eq!(lucky.read(path).unwrap(), b"durable volatile");
+    }
+
+    #[test]
+    fn undirsynced_creation_vanishes_in_a_strict_crash() {
+        let vfs = FaultVfs::new();
+        let dir = Path::new("/d");
+        vfs.create_dir_all(dir).unwrap();
+        let mut f = write_file(&vfs, Path::new("/d/a"), b"data");
+        // The file content is fsynced — but its directory entry is not.
+        f.sync_data().unwrap();
+        let strict = vfs.crash(CrashStyle::Strict);
+        assert!(strict.read(Path::new("/d/a")).is_err(), "entry lost");
+        assert_eq!(strict.list(dir).unwrap(), Vec::<String>::new());
+        // After sync_dir the entry (and the synced content) survive.
+        vfs.sync_dir(dir).unwrap();
+        let strict = vfs.crash(CrashStyle::Strict);
+        assert_eq!(strict.read(Path::new("/d/a")).unwrap(), b"data");
+    }
+
+    #[test]
+    fn unsynced_removal_resurrects_in_a_strict_crash() {
+        let vfs = FaultVfs::new();
+        let dir = Path::new("/d");
+        vfs.create_dir_all(dir).unwrap();
+        write_file(&vfs, Path::new("/d/a"), b"x")
+            .sync_data()
+            .unwrap();
+        vfs.sync_dir(dir).unwrap();
+        vfs.remove(Path::new("/d/a")).unwrap();
+        assert!(vfs.read(Path::new("/d/a")).is_err());
+        let strict = vfs.crash(CrashStyle::Strict);
+        assert_eq!(
+            strict.read(Path::new("/d/a")).unwrap(),
+            b"x",
+            "unlink not durable"
+        );
+        vfs.sync_dir(dir).unwrap();
+        let strict = vfs.crash(CrashStyle::Strict);
+        assert!(strict.read(Path::new("/d/a")).is_err(), "unlink durable");
+    }
+
+    #[test]
+    fn failed_fsync_poisons_later_fsyncs_silently() {
+        let vfs = FaultVfs::new();
+        vfs.create_dir_all(Path::new("/d")).unwrap();
+        let path = Path::new("/d/a");
+        let mut f = write_file(&vfs, path, b"doomed");
+        vfs.fail_kind(OpKind::SyncData, 0, Fault::SyncFail);
+        assert!(f.sync_data().is_err(), "first fsync reports the failure");
+        // Retry-and-trust: the second fsync lies.
+        f.sync_data().unwrap();
+        vfs.sync_dir(Path::new("/d")).unwrap();
+        let strict = vfs.crash(CrashStyle::Strict);
+        assert_eq!(
+            strict.read(path).unwrap(),
+            b"",
+            "the data the second fsync claimed durable is gone"
+        );
+    }
+
+    #[test]
+    fn power_off_fails_every_later_op() {
+        let vfs = FaultVfs::new();
+        vfs.create_dir_all(Path::new("/d")).unwrap();
+        vfs.power_off_after(vfs.op_count());
+        assert!(vfs.open_append(Path::new("/d/a"), true).is_err());
+        assert!(vfs.list(Path::new("/d")).is_err());
+    }
+
+    #[test]
+    fn short_write_and_enospc_inject() {
+        let vfs = FaultVfs::new();
+        vfs.create_dir_all(Path::new("/d")).unwrap();
+        let mut f = vfs.open_append(Path::new("/d/a"), true).unwrap();
+        vfs.fail_kind(OpKind::Write, 0, Fault::ShortWrite);
+        assert_eq!(f.write(b"abcd").unwrap(), 2, "half the block");
+        vfs.fail_kind(OpKind::Write, 1, Fault::Enospc);
+        let err = f.write(b"cd").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        f.write(b"cd").unwrap();
+        assert_eq!(vfs.read(Path::new("/d/a")).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn block_splitting_creates_intra_write_ops() {
+        let vfs = FaultVfs::new().with_block_bytes(4);
+        vfs.create_dir_all(Path::new("/d")).unwrap();
+        let mut f = vfs.open_append(Path::new("/d/a"), true).unwrap();
+        let before = vfs.op_count();
+        let mut rest: &[u8] = &[7u8; 10];
+        while !rest.is_empty() {
+            let n = f.write(rest).unwrap();
+            rest = &rest[n..];
+        }
+        assert_eq!(vfs.op_count() - before, 3, "10 bytes = 3 blocks of <=4");
+    }
+
+    #[test]
+    fn sampled_crash_is_deterministic_per_seed() {
+        let build = || {
+            let vfs = FaultVfs::new().with_block_bytes(3);
+            vfs.create_dir_all(Path::new("/d")).unwrap();
+            let mut f = write_file(&vfs, Path::new("/d/a"), b"synced!");
+            f.sync_data().unwrap();
+            vfs.sync_dir(Path::new("/d")).unwrap();
+            let mut rest: &[u8] = b" both unsynced tails here";
+            while !rest.is_empty() {
+                let n = f.write(rest).unwrap();
+                rest = &rest[n..];
+            }
+            write_file(&vfs, Path::new("/d/b"), b"never synced");
+            vfs
+        };
+        let a = build().crash(CrashStyle::Sampled(42));
+        let b = build().crash(CrashStyle::Sampled(42));
+        assert_eq!(
+            a.read(Path::new("/d/a")).unwrap(),
+            b.read(Path::new("/d/a")).unwrap()
+        );
+        assert_eq!(
+            a.read(Path::new("/d/b")).is_ok(),
+            b.read(Path::new("/d/b")).is_ok()
+        );
+        // And the synced prefix always survives sampling.
+        let img = build().crash(CrashStyle::Sampled(7));
+        assert_eq!(&img.read(Path::new("/d/a")).unwrap()[..7], b"synced!");
+    }
+
+    #[test]
+    fn rename_is_durable_only_after_dir_sync() {
+        let vfs = FaultVfs::new();
+        let dir = Path::new("/d");
+        vfs.create_dir_all(dir).unwrap();
+        write_file(&vfs, Path::new("/d/a"), b"x")
+            .sync_data()
+            .unwrap();
+        vfs.sync_dir(dir).unwrap();
+        vfs.rename(Path::new("/d/a"), Path::new("/d/b")).unwrap();
+        let strict = vfs.crash(CrashStyle::Strict);
+        assert!(strict.read(Path::new("/d/b")).is_err(), "rename lost");
+        assert_eq!(strict.read(Path::new("/d/a")).unwrap(), b"x");
+        vfs.sync_dir(dir).unwrap();
+        let strict = vfs.crash(CrashStyle::Strict);
+        assert_eq!(strict.read(Path::new("/d/b")).unwrap(), b"x");
+        assert!(strict.read(Path::new("/d/a")).is_err());
+    }
+}

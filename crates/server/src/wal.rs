@@ -34,13 +34,33 @@
 //! witness flag byte followed — when `1` — by `n` clocks). A `Snapshot`
 //! *resets* replay to the recorded state; [`Wal::compact`] uses it to
 //! shrink recovery from O(event history) to O(live monitor state).
+//!
+//! ## Durability discipline
+//!
+//! All I/O goes through a [`Vfs`] so the torture tests can run the log
+//! on a fault-injecting in-memory disk. Three rules, each torn from a
+//! real-world failure class (see `docs/ALGORITHMS.md` §16):
+//!
+//! 1. **Directory sync.** Creating, deleting, or truncating a segment
+//!    is durable only once the *directory* is fsynced; [`Wal::open`],
+//!    rotation, and compaction all sync the directory before trusting
+//!    the new layout.
+//! 2. **Fsync failure poisons.** A failed fsync may have dropped the
+//!    dirty pages; retrying and trusting the second `Ok` silently
+//!    loses acked data (fsyncgate). The log goes permanently out of
+//!    service instead — see [`Wal::poisoned`].
+//! 3. **Write errors roll back.** ENOSPC or EIO mid-frame truncates
+//!    the partial frame away; the log stays usable and old segments
+//!    stay intact, so the host can reject the one event and continue.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Read;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::crc32::crc32;
+use crate::vfs::{RealVfs, Vfs, VfsFile};
 
 /// When appended records reach the disk platter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,16 +94,27 @@ pub struct WalConfig {
     pub segment_bytes: u64,
     /// Durability policy.
     pub fsync: FsyncPolicy,
+    /// The storage the log runs on — the real filesystem by default,
+    /// or a [`FaultVfs`](crate::vfs::FaultVfs) under torture tests.
+    pub vfs: Arc<dyn Vfs>,
 }
 
 impl WalConfig {
-    /// Defaults: 1 MiB segments, [`FsyncPolicy::Always`].
+    /// Defaults: 1 MiB segments, [`FsyncPolicy::Always`], the real
+    /// filesystem.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         WalConfig {
             dir: dir.into(),
             segment_bytes: 1 << 20,
             fsync: FsyncPolicy::Always,
+            vfs: Arc::new(RealVfs),
         }
+    }
+
+    /// Runs the log on `vfs` instead of the real filesystem.
+    pub fn with_vfs(mut self, vfs: Arc<dyn Vfs>) -> Self {
+        self.vfs = vfs;
+        self
     }
 
     /// Sets the segment rotation threshold.
@@ -240,10 +271,12 @@ impl WalRecord {
                 if rest.len() != 4 * len as usize {
                     return None;
                 }
+                // Fallible like the CRC check: a malformed chunk reads
+                // as a corrupt frame, never a panic on the shard thread.
                 let clock = rest
                     .chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
-                    .collect();
+                    .map(|c| Some(u32::from_le_bytes(c.try_into().ok()?)))
+                    .collect::<Option<Vec<u32>>>()?;
                 Some(WalRecord::Event { process, clock })
             }
             KIND_SNAPSHOT => {
@@ -278,11 +311,9 @@ impl WalRecord {
                     }
                     let (raw, tail) = rest.split_at(4 * n);
                     *rest = tail;
-                    Some(
-                        raw.chunks_exact(4)
-                            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
-                            .collect(),
-                    )
+                    raw.chunks_exact(4)
+                        .map(|c| Some(u32::from_le_bytes(c.try_into().ok()?)))
+                        .collect::<Option<Vec<u32>>>()
                 };
                 let mut queues = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -343,12 +374,47 @@ pub struct Recovery {
     pub dropped_segments: u64,
 }
 
+/// What [`Wal::scrub`] found: a read-only CRC re-verification of every
+/// live segment, catching bit rot before a recovery would.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Segments scanned.
+    pub segments: u64,
+    /// Intact frames verified.
+    pub frames: u64,
+    /// Total bytes read.
+    pub bytes_scanned: u64,
+    /// Segments whose clean prefix fell short of their length —
+    /// bit rot (or an unflushed torn tail, impossible on a live log).
+    pub corrupt_segments: u64,
+    /// Bytes past the first corruption, summed over corrupt segments.
+    pub corrupt_bytes: u64,
+}
+
+impl ScrubReport {
+    /// Whether any segment failed verification.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_segments == 0
+    }
+}
+
 /// An append-only, CRC-framed, rotating write-ahead log with
 /// snapshot-based compaction.
+///
+/// ## Fsync failure is fatal (fsyncgate)
+///
+/// A failed `fsync` means the kernel may already have dropped the
+/// dirty pages while marking them clean — a retry that then "succeeds"
+/// has synced nothing. The log therefore never retries: any sync
+/// failure (data or directory) permanently **poisons** the `Wal`; all
+/// further mutating calls fail with [`poisoned`](Self::poisoned) set,
+/// and the host must withhold every un-flushed ack and quarantine the
+/// tenant. Plain write errors (ENOSPC, EIO) are *not* poisonous: the
+/// partial frame is rolled back and the log stays usable.
 #[derive(Debug)]
 pub struct Wal {
     config: WalConfig,
-    file: File,
+    file: Box<dyn VfsFile>,
     seg_index: u64,
     seg_len: u64,
     /// Live (on-disk) segment files, by index. Compaction shrinks this.
@@ -357,6 +423,8 @@ pub struct Wal {
     dirty: bool,
     /// Bytes across all live segments (recovered + appended).
     total_bytes: u64,
+    /// Set forever by the first failed fsync; see the type docs.
+    poisoned: Option<String>,
 }
 
 fn segment_path(dir: &Path, index: u64) -> PathBuf {
@@ -374,14 +442,12 @@ impl Wal {
     /// Returns the underlying I/O error if the directory or segments
     /// cannot be created/read/truncated.
     pub fn open(config: WalConfig) -> std::io::Result<(Wal, Recovery)> {
-        fs::create_dir_all(&config.dir)?;
-        let mut indices: Vec<u64> = fs::read_dir(&config.dir)?
-            .filter_map(|entry| {
-                let name = entry.ok()?.file_name();
-                let name = name.to_str()?;
-                let stem = name.strip_suffix(".wal")?;
-                stem.parse().ok()
-            })
+        let vfs = Arc::clone(&config.vfs);
+        vfs.create_dir_all(&config.dir)?;
+        let mut indices: Vec<u64> = vfs
+            .list(&config.dir)?
+            .into_iter()
+            .filter_map(|name| name.strip_suffix(".wal")?.parse().ok())
             .collect();
         indices.sort_unstable();
 
@@ -391,7 +457,7 @@ impl Wal {
         let mut tail: Option<(u64, u64)> = None; // (segment index, clean length)
         for (pos, &index) in indices.iter().enumerate() {
             let path = segment_path(&config.dir, index);
-            let bytes = fs::read(&path)?;
+            let bytes = vfs.read(&path)?;
             let clean = scan_segment(&bytes, &mut recovery.records);
             live.push(index);
             total_bytes += clean;
@@ -399,12 +465,12 @@ impl Wal {
             if clean < bytes.len() as u64 {
                 // Torn tail: truncate this segment and drop the rest.
                 recovery.truncated_bytes += bytes.len() as u64 - clean;
-                OpenOptions::new().write(true).open(&path)?.set_len(clean)?;
+                vfs.set_len(&path, clean)?;
                 for &later in &indices[pos + 1..] {
                     let later_path = segment_path(&config.dir, later);
-                    recovery.truncated_bytes += fs::metadata(&later_path)?.len();
+                    recovery.truncated_bytes += vfs.file_len(&later_path)?;
                     recovery.dropped_segments += 1;
-                    fs::remove_file(later_path)?;
+                    vfs.remove(&later_path)?;
                 }
                 break;
             }
@@ -414,16 +480,13 @@ impl Wal {
         if live.is_empty() {
             live.push(seg_index);
         }
-        let mut file = OpenOptions::new()
-            .create(true)
-            // The recovered prefix must survive the reopen; the torn
-            // tail was already cut by `set_len` above.
-            .truncate(false)
-            .append(false)
-            .read(false)
-            .write(true)
-            .open(segment_path(&config.dir, seg_index))?;
-        file.seek(SeekFrom::Start(seg_len))?;
+        // Append mode: writes land at the current end — the recovered
+        // clean prefix (the torn tail was already cut by `set_len`).
+        let file = vfs.open_append(&segment_path(&config.dir, seg_index), false)?;
+        // Make the directory state durable before the first append:
+        // segment 0's creation and the recovery-time removals above
+        // must survive power loss from here on.
+        vfs.sync_dir(&config.dir)?;
         Ok((
             Wal {
                 config,
@@ -434,9 +497,31 @@ impl Wal {
                 last_sync: Instant::now(),
                 dirty: false,
                 total_bytes,
+                poisoned: None,
             },
             recovery,
         ))
+    }
+
+    /// The reason this log is permanently out of service (a failed
+    /// fsync — see the type docs), or `None` while healthy.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    fn poison(&mut self, reason: String) -> std::io::Error {
+        let err = std::io::Error::other(format!("wal poisoned: {reason}"));
+        if self.poisoned.is_none() {
+            self.poisoned = Some(reason);
+        }
+        err
+    }
+
+    fn guard(&self) -> std::io::Result<()> {
+        match &self.poisoned {
+            Some(reason) => Err(std::io::Error::other(format!("wal poisoned: {reason}"))),
+            None => Ok(()),
+        }
     }
 
     /// Appends one record. Under [`FsyncPolicy::Always`] the record is
@@ -446,8 +531,14 @@ impl Wal {
     /// # Errors
     ///
     /// Returns the underlying I/O error; the record must then be treated
-    /// as not logged (do not ack it).
+    /// as not logged (do not ack it). A plain write error (ENOSPC, EIO)
+    /// rolls the partial frame back and leaves the log usable — the
+    /// caller may reject the event and carry on. A sync failure, or a
+    /// write error whose rollback also failed, poisons the log (see the
+    /// type docs); check [`poisoned`](Self::poisoned) to tell them
+    /// apart.
     pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        self.guard()?;
         let bytes = frame(record);
         if bytes.len() - FRAME_HEADER > MAX_PAYLOAD as usize {
             // A frame recovery would refuse to read must never be
@@ -461,7 +552,7 @@ impl Wal {
         if self.seg_len > 0 && self.seg_len + frame_len > self.config.segment_bytes {
             self.rotate()?;
         }
-        self.file.write_all(&bytes)?;
+        self.write_frame(&bytes)?;
         self.seg_len += frame_len;
         self.total_bytes += frame_len;
         self.dirty = true;
@@ -478,14 +569,52 @@ impl Wal {
         Ok(())
     }
 
+    /// Writes one whole frame, rolling a partial write back to the
+    /// pre-append length so a failed append (ENOSPC mid-frame) leaves
+    /// no torn garbage for the *next* append to bury mid-segment.
+    fn write_frame(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut written = 0usize;
+        while written < bytes.len() {
+            match self.file.write(&bytes[written..]) {
+                Ok(0) => {
+                    return Err(self.rollback_partial(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "wal write returned zero",
+                    )));
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(self.rollback_partial(e)),
+            }
+        }
+        Ok(())
+    }
+
+    fn rollback_partial(&mut self, cause: std::io::Error) -> std::io::Error {
+        let path = segment_path(&self.config.dir, self.seg_index);
+        let vfs = Arc::clone(&self.config.vfs);
+        if let Err(rollback) = vfs.set_len(&path, self.seg_len) {
+            // Can't even restore the segment to its pre-append length:
+            // the on-disk tail is unknown, so the log is out of service.
+            return self.poison(format!(
+                "append failed ({cause}) and rollback failed ({rollback})"
+            ));
+        }
+        cause
+    }
+
     /// Flushes buffered appends to disk (no-op when clean).
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error.
+    /// Returns the underlying I/O error — and **poisons** the log (a
+    /// failed fsync can never be retried; see the type docs).
     pub fn sync(&mut self) -> std::io::Result<()> {
+        self.guard()?;
         if self.dirty {
-            self.file.sync_data()?;
+            if let Err(e) = self.file.sync_data() {
+                return Err(self.poison(format!("fsync failed: {e}")));
+            }
             self.dirty = false;
         }
         self.last_sync = Instant::now();
@@ -494,12 +623,22 @@ impl Wal {
 
     fn rotate(&mut self) -> std::io::Result<()> {
         self.sync()?;
-        self.seg_index += 1;
-        self.live.push(self.seg_index);
-        self.file = OpenOptions::new()
-            .create_new(true)
-            .write(true)
-            .open(segment_path(&self.config.dir, self.seg_index))?;
+        let next = self.seg_index + 1;
+        let vfs = Arc::clone(&self.config.vfs);
+        // Create first, commit state after: a failed create (ENOSPC)
+        // leaves the current segment writable and the next append
+        // simply retries the rotation.
+        let file = vfs.open_append(&segment_path(&self.config.dir, next), true)?;
+        // The new segment's directory entry must be durable before
+        // anything written to it is trusted: a file fsync does not
+        // persist the entry, and a segment lost to power loss would
+        // silently drop its acked events.
+        if let Err(e) = vfs.sync_dir(&self.config.dir) {
+            return Err(self.poison(format!("directory fsync failed at rotate: {e}")));
+        }
+        self.file = file;
+        self.seg_index = next;
+        self.live.push(next);
         self.seg_len = 0;
         Ok(())
     }
@@ -520,9 +659,13 @@ impl Wal {
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error. If the error struck after the
-    /// snapshot was durable, a retry simply compacts again.
+    /// Returns the underlying I/O error. ENOSPC (or any write error)
+    /// while the snapshot is being written rolls the fresh segment
+    /// back and keeps **every old segment intact** — the log stays
+    /// usable on its full history and a retry simply compacts again.
+    /// Only a failed fsync poisons the log.
     pub fn compact(&mut self, snapshot: &WalRecord) -> std::io::Result<u64> {
+        self.guard()?;
         self.rotate()?;
         self.append(snapshot)?;
         self.sync()?; // durable before anything is deleted
@@ -532,15 +675,59 @@ impl Wal {
             .copied()
             .filter(|&index| index != self.seg_index)
             .collect();
+        let vfs = Arc::clone(&self.config.vfs);
         let mut removed = 0u64;
-        for index in &old {
-            let path = segment_path(&self.config.dir, *index);
-            self.total_bytes = self.total_bytes.saturating_sub(fs::metadata(&path)?.len());
-            fs::remove_file(path)?;
+        for index in old {
+            // Book-keep per deletion so an error mid-loop (EIO) leaves
+            // `live` matching the disk; recovery of the partially
+            // deleted set still works — the snapshot segment sorts
+            // last and resets replay regardless of which older
+            // segments survive.
+            let path = segment_path(&self.config.dir, index);
+            let len = vfs.file_len(&path)?;
+            vfs.remove(&path)?;
+            self.live.retain(|&i| i != index);
+            self.total_bytes = self.total_bytes.saturating_sub(len);
             removed += 1;
         }
-        self.live.retain(|&index| index == self.seg_index);
+        // Make the deletions durable. (Not load-bearing for
+        // correctness — resurrected old segments replay before the
+        // snapshot that resets them — but an fsync failure is still
+        // disqualifying.)
+        if let Err(e) = vfs.sync_dir(&self.config.dir) {
+            return Err(self.poison(format!("directory fsync failed at compact: {e}")));
+        }
         Ok(removed)
+    }
+
+    /// Re-verifies every live segment's CRCs without touching replay
+    /// state — the background scrub that catches bit rot while the
+    /// snapshot needed to heal it still exists. Read-only: healing is
+    /// the host's move (compact from the live monitor, which rewrites
+    /// the log and deletes the corrupt segments; see
+    /// `Tenant::scrub_pass`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying read error, or the poisoning error if
+    /// the log is out of service.
+    pub fn scrub(&self) -> std::io::Result<ScrubReport> {
+        self.guard()?;
+        let vfs = Arc::clone(&self.config.vfs);
+        let mut report = ScrubReport::default();
+        for &index in &self.live {
+            let bytes = vfs.read(&segment_path(&self.config.dir, index))?;
+            let mut records = Vec::new();
+            let clean = scan_segment(&bytes, &mut records);
+            report.segments += 1;
+            report.frames += records.len() as u64;
+            report.bytes_scanned += bytes.len() as u64;
+            if clean < bytes.len() as u64 {
+                report.corrupt_segments += 1;
+                report.corrupt_bytes += bytes.len() as u64 - clean;
+            }
+        }
+        Ok(report)
     }
 
     /// The number of live segment files on disk (compaction shrinks
